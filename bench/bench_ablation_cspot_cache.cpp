@@ -1,0 +1,100 @@
+// Ablation (paper Section 4.2 discussion): the CSPOT element-size cache.
+//
+// The production protocol fetches the log's element size before every
+// append (reliability over latency). Earlier CSPOT versions cached the
+// size client-side, which "effectively halves the message latency, but
+// causes the append to fail if the log element size is changed on the
+// server side without a client cache update." Both behaviours are
+// reproduced here, including the stale-cache recovery cost.
+#include <functional>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "cspot/topology.hpp"
+
+using namespace xg;
+using namespace xg::cspot;
+
+namespace {
+
+SampleSet MeasureAppends(Runtime& rt, sim::Simulation& sim, const char* client,
+                         const char* host, bool use_cache, int count) {
+  SampleSet lat;
+  AppendOptions opts;
+  opts.use_size_cache = use_cache;
+  const std::vector<uint8_t> payload(1024, 1);
+  int i = 0;
+  std::function<void()> next = [&]() {
+    if (i >= count) return;
+    ++i;
+    const auto t0 = sim.Now();
+    rt.RemoteAppend(client, host, "log", payload, opts,
+                    [&, t0](Result<SeqNo> r) {
+                      if (r.ok() && i > 1) lat.Add((sim.Now() - t0).millis());
+                      next();
+                    });
+  };
+  next();
+  sim.Run();
+  return lat;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"Path", "Protocol", "Avg (ms)", "SD (ms)"});
+  struct Path {
+    const char* name;
+    const char* client;
+    const char* host;
+  } paths[] = {
+      {"UNL->UCSB (5G+Int.)", "unl", "ucsb"},
+      {"UNL->UCSB (Internet)", "unl-wired", "ucsb"},
+      {"UCSB->ND (Internet)", "ucsb", "nd"},
+  };
+  for (const Path& path : paths) {
+    for (bool cache : {false, true}) {
+      sim::Simulation sim;
+      Runtime rt(sim, 31337);
+      BuildXgTopology(rt);
+      rt.CreateLog(path.host, LogConfig{"log", 1024, 256});
+      const SampleSet lat =
+          MeasureAppends(rt, sim, path.client, path.host, cache, 30);
+      table.AddRow({path.name,
+                    cache ? "size cache (1 RTT)" : "two-phase (2 RTT)",
+                    Table::Num(lat.mean(), 1), Table::Num(lat.stddev(), 1)});
+    }
+  }
+  table.Print(std::cout, "Ablation A: element-size caching halves append "
+                         "latency (paper Section 4.2)");
+
+  // The failure mode: server recreates the log with a new element size.
+  sim::Simulation sim;
+  Runtime rt(sim, 999);
+  BuildXgTopology(rt);
+  rt.CreateLog("ucsb", LogConfig{"log", 1024, 256});
+  (void)MeasureAppends(rt, sim, "unl-wired", "ucsb", true, 5);  // warm cache
+  Node* ucsb = rt.GetNode("ucsb");
+  ucsb->DeleteLog("log");
+  ucsb->CreateLog(LogConfig{"log", 2048, 256});
+  const auto t0 = sim.Now();
+  double recovery_ms = -1.0;
+  rt.RemoteAppend("unl-wired", "ucsb", "log", std::vector<uint8_t>(1024, 2),
+                  AppendOptions{.use_size_cache = true, .max_attempts = 8,
+                                .timeout_ms = 400.0},
+                  [&](Result<SeqNo> r) {
+                    if (r.ok()) recovery_ms = (sim.Now() - t0).millis();
+                  });
+  sim.Run();
+  std::cout << "\nStale-cache scenario: server recreated the log with a new "
+               "element size.\n"
+            << "  cache invalidations: "
+            << rt.counters().size_cache_invalidations << "\n"
+            << "  recovery append latency: " << recovery_ms
+            << " ms (mismatch round trip + refreshed two-phase append)\n"
+            << "Expected: ~3 round trips instead of 1 — the reliability "
+               "cost that made the paper\nkeep the two-phase protocol in "
+               "production.\n";
+  return 0;
+}

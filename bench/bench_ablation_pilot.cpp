@@ -1,0 +1,87 @@
+// Ablation (paper Section 3.6 future work): pilot provisioning strategies.
+//
+// On-demand submits a plain batch job per CFD task and eats the queueing
+// delay every time (the paper saw 0-24 h at ND); reactive submits a pilot
+// when the first task arrives ("starting on-time"); proactive keeps a warm
+// pilot at all times ("starting early"), trading idle node-hours for
+// latency. We drive a day of alerts against a contended facility and
+// report response latency vs idle cost for each strategy.
+#include <iostream>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "hpc/scheduler.hpp"
+#include "pilot/pilot.hpp"
+
+using namespace xg;
+using namespace xg::pilot;
+
+namespace {
+
+struct Outcome {
+  SampleSet wait_s;
+  double idle_node_hours = 0.0;
+  uint64_t pilots = 0;
+};
+
+Outcome RunStrategy(Strategy strategy, double utilization, uint64_t seed) {
+  sim::Simulation sim;
+  hpc::SiteProfile site = hpc::NotreDameCRC();
+  site.nodes = 16;
+  site.background_utilization = utilization;
+  hpc::BatchScheduler sched(sim, site, seed);
+  sched.StartBackgroundLoad(sim::SimTime::Hours(30));
+  // Let the background queue establish itself before our tasks arrive.
+  sim.RunUntil(sim::SimTime::Hours(4));
+
+  PilotConfig cfg;
+  cfg.strategy = strategy;
+  cfg.pilot_walltime_s = 4.0 * 3600.0;
+  auto ctl = std::make_unique<PilotController>(sim, sched,
+                                               hpc::CfdPerfModel{}, cfg,
+                                               seed ^ 0x9);
+  Outcome out;
+  // One CFD task every 30 minutes for 20 hours (every detection cycle
+  // alerts — the heaviest realistic load).
+  sim::Periodic(sim, sim::SimTime::Minutes(5), sim::SimTime::Minutes(30),
+                [&]() {
+                  if (sim.Now() > sim::SimTime::Hours(24)) return false;
+                  ctl->SubmitTask(6000.0, [&out](const TaskResult& r) {
+                    out.wait_s.Add(r.wait_s);
+                  });
+                  return true;
+                });
+  sim.RunUntil(sim::SimTime::Hours(30));
+  out.idle_node_hours = ctl->idle_node_seconds() / 3600.0;
+  out.pilots = ctl->pilots_submitted();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"Strategy", "Load", "Tasks", "Wait mean (s)", "Wait p95 (s)",
+               "Wait max (s)", "Idle node-h", "Pilots"});
+  for (double util : {0.70, 0.92}) {
+    for (Strategy s :
+         {Strategy::kOnDemand, Strategy::kReactive, Strategy::kProactive}) {
+      const Outcome o = RunStrategy(s, util, 4242);
+      table.AddRow({StrategyName(s), Table::Num(util * 100, 0) + "%",
+                    Table::Num(o.wait_s.count(), 0),
+                    Table::Num(o.wait_s.mean(), 1),
+                    Table::Num(o.wait_s.Percentile(95), 1),
+                    Table::Num(o.wait_s.max(), 1),
+                    Table::Num(o.idle_node_hours, 1),
+                    Table::Num(o.pilots, 0)});
+    }
+  }
+  table.Print(std::cout,
+              "Ablation: pilot provisioning strategy vs queueing delay "
+              "(24 h of 30-min CFD tasks on a contended 16-node site)");
+  std::cout << "\nExpected: on-demand waits grow with facility load (paper: "
+               "0-24 h observed);\nreactive pays the queue once then stays "
+               "warm; proactive answers in ~1 s but\naccumulates idle "
+               "node-hours holding its reservation.\n";
+  return 0;
+}

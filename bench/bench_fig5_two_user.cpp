@@ -1,0 +1,59 @@
+// Figure 5 reproduction: two-user simultaneous uplink throughput across
+// bandwidths, duplexing modes, and device types.
+//
+// Expected shape (paper): 4G FDD phones scale to ~35.5 Mbps at 15 MHz then
+// drop at 20 MHz (SDR sampling constraints); 4G RPis degrade with
+// bandwidth; 5G FDD laptops scale 9.9 -> 45.7 Mbps with balanced sharing;
+// 5G TDD laptops reach ~65.2 Mbps at 40 MHz then drop at 50 MHz; RPis peak
+// near 53.8 Mbps. Per-user shares stay even in 5G.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "net5g/iperf.hpp"
+
+using namespace xg;
+using namespace xg::net5g;
+
+int main() {
+  constexpr int kSamples = 100;
+  const DeviceType devices[] = {DeviceType::kLaptop, DeviceType::kRaspberryPi,
+                                DeviceType::kSmartphone};
+  const std::pair<Access, Duplex> networks[] = {
+      {Access::kLte4G, Duplex::kFdd},
+      {Access::kNr5G, Duplex::kFdd},
+      {Access::kNr5G, Duplex::kTdd},
+  };
+
+  Table table({"Network", "BW (MHz)", "Device", "Aggregate Mbps", "SD",
+               "UE1 Mbps", "UE2 Mbps", "Fairness"});
+  uint64_t seed = 5001;
+  for (const auto& [access, duplex] : networks) {
+    for (DeviceType dev : devices) {
+      for (double bw : SweepBandwidths(access, duplex)) {
+        const ThroughputPoint p =
+            MeasureTwoUser(access, duplex, bw, dev, kSamples, seed++);
+        const double a = p.per_ue[0].mean();
+        const double b = p.per_ue[1].mean();
+        const double fairness =
+            (a + b) > 0 ? std::min(a, b) / std::max(a, b) : 0.0;
+        table.AddRow({std::string(AccessName(access)) + " " +
+                          DuplexName(duplex),
+                      Table::Num(bw, 0), DeviceTypeName(dev),
+                      Table::Num(p.aggregate.mean()),
+                      Table::Num(p.aggregate.stddev()), Table::Num(a),
+                      Table::Num(b), Table::Num(fairness)});
+      }
+    }
+  }
+  table.Print(std::cout,
+              "Figure 5: Two-user Uplink Throughput Across Devices");
+  if (table.WriteCsv("fig5_two_user.csv")) {
+    std::cout << "\nData written to fig5_two_user.csv\n";
+  }
+  std::cout << "\nShape checks (paper):\n"
+            << "  4G FDD phones drop at 20 MHz (SDR sampling constraint)\n"
+            << "  4G FDD RPis degrade with bandwidth (modem limits)\n"
+            << "  5G TDD laptops peak at 40 MHz, drop at 50 MHz\n"
+            << "  5G modes share capacity evenly (fairness ~ 1)\n";
+  return 0;
+}

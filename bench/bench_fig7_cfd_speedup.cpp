@@ -1,0 +1,89 @@
+// Figure 7 reproduction: total CFD application runtime (including mesh
+// generation) on a single node as a function of core count — 10 runs per
+// size, mean and +/- 2 standard deviations, as in the paper.
+//
+// SUBSTITUTION NOTE (DESIGN.md): the paper measures OpenFOAM wall-clock on
+// a real 64-core node. This build machine has one core, so the sweep
+// samples the calibrated performance model (anchored to the paper's
+// 420.39 s +/- 36.29 s at 64 cores). A scaled wall-clock run of the real
+// solver is included below to show the implementation actually computes.
+//
+// Also reproduced: the Section 4.4 multi-node statement — the OpenFOAM
+// kernel is fastest on 2 x 64 cores, but the total application is fastest
+// on a single node.
+#include <chrono>
+#include <iostream>
+
+#include "cfd/solver.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "hpc/perfmodel.hpp"
+
+using namespace xg;
+
+int main() {
+  hpc::CfdPerfModel model;
+  Rng rng(7001);
+
+  Table fig7({"Cores", "Mean total (s)", "SD (s)", "-2SD", "+2SD",
+              "Speedup vs 1"});
+  const double t1 = model.TotalTime(1, 1);
+  for (int cores : {1, 2, 4, 8, 16, 32, 48, 64}) {
+    RunningStats runs;
+    for (int r = 0; r < 10; ++r) {
+      runs.Add(model.SampleTotalTime(cores, 1, rng));
+    }
+    fig7.AddRow({Table::Num(cores, 0), Table::Num(runs.mean()),
+                 Table::Num(runs.stddev()),
+                 Table::Num(runs.mean() - 2 * runs.stddev()),
+                 Table::Num(runs.mean() + 2 * runs.stddev()),
+                 Table::Num(t1 / runs.mean(), 1)});
+  }
+  fig7.Print(std::cout,
+             "Figure 7: OpenFOAM-substitute total runtime vs core count "
+             "(single node, 10 runs per size)");
+  if (fig7.WriteCsv("fig7_speedup.csv")) {
+    std::cout << "Data written to fig7_speedup.csv\n";
+  }
+  std::cout << "Paper anchor: 64 cores -> 420.39 s +/- 36.29 s\n\n";
+
+  Table nodes({"Nodes x 64 cores", "OpenFOAM kernel (s)", "Total app (s)"});
+  for (int n : {1, 2, 3, 4}) {
+    nodes.AddRow({Table::Num(n, 0), Table::Num(model.FoamTime(64, n)),
+                  Table::Num(model.TotalTime(64, n))});
+  }
+  nodes.Print(std::cout, "Section 4.4: multi-node (MPI) scaling of kernel "
+                         "vs total application");
+  std::cout << "Expected: kernel minimum at 2 nodes; total minimum at 1 "
+               "node (decompose/reconstruct overhead grows with nodes).\n\n";
+
+  // Real-solver wall-clock at reduced scale: demonstrates the actual
+  // implementation and lets multi-core machines observe real speedup.
+  cfd::MeshParams mp;
+  mp.nx = 36;
+  mp.ny = 30;
+  mp.nz = 10;
+  cfd::Mesh mesh(mp);
+  Table real({"Threads", "Wall-clock (s)", "Steps", "Cells"});
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned threads = 1; threads <= hw; threads *= 2) {
+    ThreadPool pool(threads);
+    cfd::Solver solver(mesh, cfd::SolverParams{}, &pool);
+    cfd::Boundary bc;
+    bc.wind_speed_ms = 4.0;
+    bc.wind_dir_deg = 270.0;
+    solver.Initialize(bc);
+    const auto t0 = std::chrono::steady_clock::now();
+    solver.Run(40);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    real.AddRow({Table::Num(threads, 0), Table::Num(secs, 3), "40",
+                 Table::Num(static_cast<double>(mesh.cell_count()), 0)});
+  }
+  real.Print(std::cout,
+             "Real solver wall-clock (reduced mesh; informative only on "
+             "multi-core hosts)");
+  return 0;
+}

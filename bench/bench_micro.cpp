@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the hot paths of each substrate:
+// log appends, the radio scheduler's slot loop, the CFD kernels, the
+// statistical tests, and the discrete-event kernel.
+#include <benchmark/benchmark.h>
+
+#include "cfd/solver.hpp"
+#include "common/rng.hpp"
+#include "common/sim.hpp"
+#include "cspot/log.hpp"
+#include "laminar/stats_tests.hpp"
+#include "net5g/cell.hpp"
+#include "net5g/iperf.hpp"
+
+namespace {
+
+using namespace xg;
+
+void BM_MemoryLogAppend(benchmark::State& state) {
+  cspot::MemoryLog log(cspot::LogConfig{"b", 1024, 4096});
+  std::vector<uint8_t> payload(1024, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Append(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_MemoryLogAppend);
+
+void BM_MemoryLogGet(benchmark::State& state) {
+  cspot::MemoryLog log(cspot::LogConfig{"b", 1024, 4096});
+  std::vector<uint8_t> payload(1024, 7);
+  for (int i = 0; i < 4096; ++i) log.Append(payload);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Get(rng.UniformInt(0, 4095)));
+  }
+}
+BENCHMARK(BM_MemoryLogGet);
+
+void BM_CellSlotLoop(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  net5g::CellConfig cfg = net5g::Make5GTddCell(40.0);
+  net5g::Cell cell(cfg, 2);
+  const net5g::UeProfile ue =
+      net5g::MakeUeProfile(net5g::DeviceType::kRaspberryPi, cfg);
+  for (int u = 0; u < users; ++u) cell.AttachUe(ue);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.RunUplink(1, 0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          cfg.SlotsPerSec());
+}
+BENCHMARK(BM_CellSlotLoop)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_SpectralEfficiency(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net5g::SpectralEfficiency(rng.Uniform(0.0, 30.0), true));
+  }
+}
+BENCHMARK(BM_SpectralEfficiency);
+
+void BM_CfdStep(benchmark::State& state) {
+  cfd::MeshParams mp;
+  mp.nx = static_cast<int>(state.range(0));
+  mp.ny = mp.nx * 5 / 6;
+  mp.nz = 10;
+  cfd::Mesh mesh(mp);
+  cfd::Solver solver(mesh, cfd::SolverParams{});
+  cfd::Boundary bc;
+  bc.wind_speed_ms = 4.0;
+  bc.wind_dir_deg = 270.0;
+  solver.Initialize(bc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Step());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(mesh.cell_count()));
+}
+BENCHMARK(BM_CfdStep)->Arg(24)->Arg(48);
+
+void BM_WelchTTest(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 6; ++i) {
+    a.push_back(rng.Gaussian(3, 1));
+    b.push_back(rng.Gaussian(3.5, 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(laminar::WelchTTest(a, b));
+  }
+}
+BENCHMARK(BM_WelchTTest);
+
+void BM_KolmogorovSmirnov(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 6; ++i) {
+    a.push_back(rng.Gaussian(3, 1));
+    b.push_back(rng.Gaussian(3.5, 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(laminar::KolmogorovSmirnov(a, b));
+  }
+}
+BENCHMARK(BM_KolmogorovSmirnov);
+
+void BM_SimulationEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(sim::SimTime::Micros(rng.UniformInt(0, 100000)), [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulationEventChurn);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Gaussian());
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Table 1 reproduction: CSPOT message latency for a 1 KB payload over the
+// three prototype paths, measured exactly as in the paper — 30 back-to-back
+// appends, first discarded (connection start-up), each acknowledged with a
+// sequence number after the element is durable at the end of the log.
+//
+// Paper values: UNL->UCSB (5G+Int.) 101 +/- 17 ms; UNL->UCSB (Internet)
+// 17 +/- 0.8 ms; UCSB->ND (Internet) 92 +/- 1 ms.
+#include <functional>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "cspot/topology.hpp"
+
+using namespace xg;
+using namespace xg::cspot;
+
+namespace {
+
+SampleSet MeasurePath(const char* client, const char* host, uint64_t seed) {
+  sim::Simulation sim;
+  Runtime rt(sim, seed);
+  BuildXgTopology(rt);
+  rt.CreateLog(host, LogConfig{"bench", 1024, 128});
+  SampleSet lat;
+  const std::vector<uint8_t> payload(1024, 0x5A);
+  int i = 0;
+  std::function<void()> next = [&]() {
+    if (i >= 30) return;
+    ++i;
+    const auto t0 = sim.Now();
+    rt.RemoteAppend(client, host, "bench", payload, AppendOptions{},
+                    [&, t0](Result<SeqNo> r) {
+                      if (!r.ok()) return;
+                      if (i > 1) lat.Add((sim.Now() - t0).millis());
+                      next();
+                    });
+  };
+  next();
+  sim.Run();
+  return lat;
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    const char* name;
+    const char* client;
+    const char* host;
+    double paper_mean, paper_sd;
+  } rows[] = {
+      {"UNL->UCSB (5G+Int.)", "unl", "ucsb", 101.0, 17.0},
+      {"UNL->UCSB (Internet)", "unl-wired", "ucsb", 17.0, 0.8},
+      {"UCSB->ND (Internet)", "ucsb", "nd", 92.0, 1.0},
+  };
+
+  Table table({"Path", "Latency Avg. (ms)", "Latency SD (ms)",
+               "Paper Avg.", "Paper SD"});
+  uint64_t seed = 1001;
+  for (const Row& row : rows) {
+    const SampleSet lat = MeasurePath(row.client, row.host, seed++);
+    table.AddRow({row.name, Table::Num(lat.mean(), 0),
+                  Table::Num(lat.stddev(), 1), Table::Num(row.paper_mean, 0),
+                  Table::Num(row.paper_sd, 1)});
+  }
+  table.Print(std::cout, "Table 1: CSPOT Message Latency for 1KB payload "
+                         "(30 appends, first discarded)");
+  if (table.WriteCsv("table1_latency.csv")) {
+    std::cout << "Data written to table1_latency.csv\n";
+  }
+  std::cout << "\nNote: each append costs two protocol round trips "
+               "(element-size fetch, then the element itself);\nthe 5G "
+               "path's large SD comes from uplink scheduling-grant jitter "
+               "on the air interface.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Breach detection: the digital-twin + robot loop from paper Section 2.
+//
+// A bird strike tears the screen mid-afternoon. Interior anemometers near
+// the hole start reading wind the calibrated CFD twin says should not be
+// there; after persistent deviation the twin localizes the suspect region
+// and dispatches the Farm-ng robot, which plans an A* route through the
+// orchard rows, surveils the screen with its camera, confirms the breach,
+// and has it repaired — closing the sensing -> computing -> actuation loop.
+//
+//   $ ./breach_detection
+#include <cstdio>
+
+#include "core/fabric.hpp"
+
+int main() {
+  using namespace xg;
+
+  core::FabricConfig config;
+  config.seed = 4711;
+  // Run the real CFD solver (reduced mesh) so twin predictions come from
+  // actual airflow fields rather than the analytic attenuation model.
+  config.cfd_mode = core::CfdMode::kFull;
+  config.cfd_mesh.nx = 30;
+  config.cfd_mesh.ny = 25;
+  config.cfd_mesh.nz = 10;
+  config.cfd_steps = 60;
+  config.twin.calibration_updates = 2;
+
+  core::Fabric fabric(config);
+
+  sensors::BreachEvent breach;
+  breach.time_s = 14.0 * 3600.0;  // 14:00 bird strike
+  breach.x_m = 30.0;
+  breach.y_m = 90.0;
+  breach.radius_m = 25.0;
+  breach.severity = 1.0;
+  fabric.ScheduleBreach(breach);
+
+  fabric.on_result = [&](const core::CfdResult& r) {
+    std::printf("[%5.2f h] CFD refresh: interior %.2f m/s predicted "
+                "(boundary %.2f m/s), twin %s\n",
+                fabric.simulation().Now().hours(), r.interior_mean_speed_ms,
+                r.boundary_wind_ms,
+                fabric.twin().calibrated() ? "calibrated" : "calibrating");
+  };
+  fabric.on_breach = [&](const core::BreachSuspicion& s, bool confirmed) {
+    std::printf("[%5.2f h] robot report: suspect region (%.0f, %.0f) m, "
+                "max deviation %.1f sigma -> %s\n",
+                fabric.simulation().Now().hours(), s.x_m, s.y_m, s.max_sigma,
+                confirmed ? "BREACH CONFIRMED, repair dispatched"
+                          : "no breach found (false alarm)");
+  };
+
+  std::printf("Screen breach scheduled at 14:00 at (%.0f, %.0f) m. "
+              "Simulating 24 h...\n\n",
+              breach.x_m, breach.y_m);
+  fabric.Run(24.0);
+
+  const core::FabricMetrics& m = fabric.metrics();
+  std::printf(
+      "\nOutcome: %lu suspicion(s), %lu robot dispatch(es), %lu breach(es) "
+      "confirmed.\n",
+      static_cast<unsigned long>(m.breach_suspicions),
+      static_cast<unsigned long>(m.robot_dispatches),
+      static_cast<unsigned long>(m.breaches_confirmed));
+  if (m.breach_detection_delay_s.count() > 0) {
+    std::printf("Breach-to-confirmation delay: %.1f minutes.\n",
+                m.breach_detection_delay_s.mean() / 60.0);
+  }
+  std::printf("Screen intact at end of day: %s\n",
+              fabric.cups().AnyActiveBreach(24 * 3600.0) ? "NO" : "yes");
+  return 0;
+}

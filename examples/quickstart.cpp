@@ -1,0 +1,57 @@
+// Quickstart: the smallest end-to-end xGFabric program.
+//
+// Builds the prototype topology (sensor client behind a private 5G network
+// at UNL, repository at UCSB, HPC head node at ND), publishes telemetry
+// through CSPOT, lets the Laminar change detector trigger a CFD run via
+// the pilot, and prints what came back.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/fabric.hpp"
+
+int main() {
+  using namespace xg;
+
+  core::FabricConfig config;
+  config.seed = 2026;
+  config.telemetry_over_5g = true;  // flip to false for the wired baseline
+
+  core::Fabric fabric(config);
+
+  // Print every CFD result as it lands in the UCSB results log.
+  fabric.on_result = [&](const core::CfdResult& result) {
+    std::printf(
+        "[%6.2f h] CFD result: boundary wind %.2f m/s @ %.0f deg -> interior "
+        "%.2f m/s, %.1f C; spray %s (response %.0f s)\n",
+        fabric.simulation().Now().hours(), result.boundary_wind_ms,
+        result.boundary_dir_deg, result.interior_mean_speed_ms,
+        result.interior_mean_temp_c, result.spray_advisory_ok ? "OK" : "HOLD",
+        result.complete_time_s - result.trigger_time_s);
+  };
+
+  // A weather front in the afternoon gives the change detector something
+  // to catch.
+  sensors::FrontEvent front;
+  front.start_s = 4.0 * 3600.0;
+  front.ramp_s = 1200.0;
+  front.d_wind_ms = 2.5;
+  front.d_temp_c = -2.0;
+  fabric.ScheduleFront(front);
+
+  std::puts("Running 8 hours of coupled sensor->5G->CSPOT->HPC operation...");
+  fabric.Run(8.0);
+
+  const core::FabricMetrics& m = fabric.metrics();
+  std::printf(
+      "\nSummary: %lu telemetry frames (avg append %.0f ms over 5G), "
+      "%lu detection cycles,\n%lu alerts, %lu CFD runs (avg runtime %.0f s, "
+      "avg validity %.1f min of the 30-min cycle).\n",
+      static_cast<unsigned long>(m.telemetry_frames_stored),
+      m.telemetry_latency_ms.mean(),
+      static_cast<unsigned long>(m.detection_cycles),
+      static_cast<unsigned long>(m.alerts_raised),
+      static_cast<unsigned long>(m.cfd_runs_completed),
+      m.cfd_runtime_s.mean(), m.result_validity_s.mean() / 60.0);
+  return 0;
+}

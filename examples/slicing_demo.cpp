@@ -1,0 +1,78 @@
+// Network slicing demo: partitioning the private 5G uplink between two
+// tenants (paper Sections 3.3 / 4.1, Fig 6).
+//
+// Tenant A is the telemetry fleet (needs a small guaranteed share);
+// tenant B is a video/robot uplink (takes the rest). The demo sweeps the
+// PRB split, shows strict vs work-conserving enforcement, and reports how
+// the telemetry tenant's throughput floor holds as the video tenant
+// saturates its slice.
+//
+//   $ ./slicing_demo
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "net5g/cell.hpp"
+#include "net5g/iperf.hpp"
+
+int main() {
+  using namespace xg;
+  using namespace xg::net5g;
+
+  std::puts("Private 5G TDD carrier, 40 MHz, two tenants on dedicated "
+            "slices.\n");
+
+  Table sweep({"Telemetry slice", "Telemetry Mbps", "Video Mbps",
+               "Telemetry SD"});
+  for (double share : {0.1, 0.2, 0.3, 0.5}) {
+    CellConfig cfg = Make5GTddCell(40.0);
+    cfg.slices = {SliceConfig{"telemetry", share},
+                  SliceConfig{"video", 1.0 - share}};
+    Cell cell(cfg, 90210);
+    cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
+    cell.AttachUe(MakeUeProfile(DeviceType::kLaptop, cfg), "video");
+    const UplinkRunResult run = cell.RunUplink(60, 1);
+    sweep.AddRow({Table::Num(share * 100, 0) + "%",
+                  Table::Num(run.per_ue[0].mean()),
+                  Table::Num(run.per_ue[1].mean()),
+                  Table::Num(run.per_ue[0].stddev())});
+  }
+  sweep.Print(std::cout,
+              "PRB split sweep (strict slicing)");
+
+  std::puts("\nIsolation check: does a saturating video tenant disturb the "
+            "telemetry slice?");
+  Table iso({"Scenario", "Telemetry Mbps"});
+  for (bool video_active : {false, true}) {
+    CellConfig cfg = Make5GTddCell(40.0);
+    cfg.slices = {SliceConfig{"telemetry", 0.2}, SliceConfig{"video", 0.8}};
+    Cell cell(cfg, 31415);
+    cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
+    if (video_active) {
+      cell.AttachUe(MakeUeProfile(DeviceType::kLaptop, cfg), "video");
+    }
+    const UplinkRunResult run = cell.RunUplink(60, 1);
+    iso.AddRow({video_active ? "video tenant saturating its 80% slice"
+                             : "video tenant idle",
+                Table::Num(run.per_ue[0].mean())});
+  }
+  iso.Print(std::cout, "");
+  std::puts("Strict slicing: the telemetry tenant's throughput is the same "
+            "either way — the\nguarantee the paper's change-detection "
+            "traffic relies on.");
+
+  std::puts("\nWork-conserving alternative (idle PRBs donated):");
+  Table wc({"Enforcement", "Telemetry Mbps (video idle)"});
+  for (bool conserving : {false, true}) {
+    CellConfig cfg = Make5GTddCell(40.0);
+    cfg.slices = {SliceConfig{"telemetry", 0.2}, SliceConfig{"video", 0.8}};
+    cfg.work_conserving_slicing = conserving;
+    Cell cell(cfg, 27182);
+    cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
+    const UplinkRunResult run = cell.RunUplink(60, 1);
+    wc.AddRow({conserving ? "work-conserving" : "strict",
+               Table::Num(run.per_ue[0].mean())});
+  }
+  wc.Print(std::cout, "");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// CFD "case" files: the input-deck generation stage of the pipeline.
+//
+// In the paper, the Pilot gathers the most recent telemetry from the CSPOT
+// logs at UCSB and runs a preprocessing pipeline that generates OpenFOAM
+// input files and meshing coordinates before the solver is launched on the
+// batch queue. This module is that stage: a CfdCase bundles the mesh
+// parameters, solver parameters, and telemetry-derived boundary conditions,
+// and round-trips through a human-readable key = value case file.
+#pragma once
+
+#include <string>
+
+#include "cfd/mesh.hpp"
+#include "cfd/solver.hpp"
+#include "common/result.hpp"
+
+namespace xg::cfd {
+
+struct CfdCase {
+  std::string name = "cups";
+  MeshParams mesh;
+  SolverParams solver;
+  Boundary boundary;
+  int steps = 150;
+};
+
+/// Serialize a case to the key = value text format.
+std::string FormatCase(const CfdCase& c);
+
+/// Parse a case file previously produced by FormatCase. Unknown keys are
+/// errors (they indicate generator/solver version skew — the portability
+/// hazard Section 4.3 describes).
+Result<CfdCase> ParseCase(const std::string& text);
+
+Status WriteCaseFile(const CfdCase& c, const std::string& path);
+Result<CfdCase> ReadCaseFile(const std::string& path);
+
+/// Construct boundary conditions from averaged telemetry values (the
+/// preprocessing step run by the pilot).
+Boundary BoundaryFromTelemetry(double exterior_wind_ms, double wind_dir_deg,
+                               double exterior_temp_c,
+                               double interior_temp_c);
+
+}  // namespace xg::cfd

@@ -1,0 +1,81 @@
+// Structured mesh generation for the CUPS screen-house CFD.
+//
+// Substitutes OpenFOAM's blockMesh/snappyHexMesh stage: a uniform
+// structured grid over a rectangular domain that encloses the screen house
+// with upstream/downstream buffer, with per-cell flags marking the porous
+// screen envelope (walls + roof of the house) and the interior canopy
+// region. Mesh generation is deliberately a separate, serial step — it is
+// part of the application's serial fraction in the Fig 7 speedup curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xg::cfd {
+
+enum class CellType : unsigned char {
+  kFluid = 0,
+  kScreen,  ///< porous screen cell (Darcy-Forchheimer drag)
+  kCanopy,  ///< tree canopy inside the house (drag + heat source)
+};
+
+struct MeshParams {
+  // Domain extents (m). The house is placed with buffer on all sides.
+  double domain_x = 240.0;
+  double domain_y = 200.0;
+  double domain_z = 30.0;
+  // House footprint and height (m), offset inside the domain.
+  double house_x0 = 60.0, house_x1 = 180.0;  ///< 120 m
+  double house_y0 = 40.0, house_y1 = 160.0;  ///< 120 m
+  double house_z1 = 7.5;
+  double canopy_z1 = 4.5;  ///< canopy fills the house up to this height
+  // Resolution.
+  int nx = 48, ny = 40, nz = 12;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(const MeshParams& params);
+
+  const MeshParams& params() const { return params_; }
+  int nx() const { return params_.nx; }
+  int ny() const { return params_.ny; }
+  int nz() const { return params_.nz; }
+  size_t cell_count() const {
+    return static_cast<size_t>(params_.nx) * params_.ny * params_.nz;
+  }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double dz() const { return dz_; }
+
+  size_t Index(int i, int j, int k) const {
+    return (static_cast<size_t>(k) * params_.ny + j) * params_.nx + i;
+  }
+  bool InBounds(int i, int j, int k) const {
+    return i >= 0 && i < params_.nx && j >= 0 && j < params_.ny && k >= 0 &&
+           k < params_.nz;
+  }
+
+  CellType Type(int i, int j, int k) const { return types_[Index(i, j, k)]; }
+  CellType TypeAt(size_t idx) const { return types_[idx]; }
+
+  /// Cell-center coordinates.
+  double X(int i) const { return (i + 0.5) * dx_; }
+  double Y(int j) const { return (j + 0.5) * dy_; }
+  double Z(int k) const { return (k + 0.5) * dz_; }
+
+  /// Nearest cell to a physical point (clamped into the domain).
+  void Locate(double x, double y, double z, int& i, int& j, int& k) const;
+
+  /// True when the cell center lies inside the house envelope.
+  bool InsideHouse(int i, int j, int k) const;
+
+  size_t CountType(CellType t) const;
+
+ private:
+  MeshParams params_;
+  double dx_, dy_, dz_;
+  std::vector<CellType> types_;
+};
+
+}  // namespace xg::cfd

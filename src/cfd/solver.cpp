@@ -1,0 +1,475 @@
+#include "cfd/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::cfd {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Atmospheric boundary-layer power-law profile, normalized to 1 at 10 m.
+double WindProfile(double z_m) {
+  const double z = std::max(0.5, z_m);
+  return std::max(0.3, std::pow(z / 10.0, 0.14));
+}
+}  // namespace
+
+Solver::Solver(const Mesh& mesh, SolverParams params, ThreadPool* pool)
+    : mesh_(mesh), params_(params), pool_(pool) {
+  const size_t n = mesh_.cell_count();
+  u_.assign(n, 0.0);
+  v_.assign(n, 0.0);
+  w_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  t_.assign(n, 0.0);
+  u0_.assign(n, 0.0);
+  v0_.assign(n, 0.0);
+  w0_.assign(n, 0.0);
+  t0_.assign(n, 0.0);
+  div_.assign(n, 0.0);
+}
+
+void Solver::WindVector(double& wx, double& wy) const {
+  const double theta = bc_.wind_dir_deg * kPi / 180.0;
+  // Meteorological convention: direction the wind comes FROM, clockwise
+  // from north; +x east, +y north.
+  wx = -bc_.wind_speed_ms * std::sin(theta);
+  wy = -bc_.wind_speed_ms * std::cos(theta);
+}
+
+void Solver::Initialize(const Boundary& bc) {
+  bc_ = bc;
+  double wx, wy;
+  WindVector(wx, wy);
+  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
+  for (int k = 0; k < nz; ++k) {
+    const double prof = WindProfile(mesh_.Z(k));
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const size_t c = mesh_.Index(i, j, k);
+        const bool inside = mesh_.InsideHouse(i, j, k);
+        u_[c] = inside ? 0.0 : wx * prof;
+        v_[c] = inside ? 0.0 : wy * prof;
+        w_[c] = 0.0;
+        p_[c] = 0.0;
+        t_[c] = inside ? bc.interior_temp_c : bc.exterior_temp_c;
+      }
+    }
+  }
+  ApplyVelocityBounds(u_, v_, w_);
+  ApplyScalarBounds(t_, bc.exterior_temp_c);
+}
+
+template <typename Fn>
+void Solver::ForEachInterior(Fn&& fn) {
+  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
+  auto body = [&](size_t kb, size_t ke) {
+    for (size_t k = kb; k < ke; ++k) {
+      for (int j = 1; j < ny - 1; ++j) {
+        for (int i = 1; i < nx - 1; ++i) {
+          fn(i, j, static_cast<int>(k));
+        }
+      }
+    }
+  };
+  if (pool_ != nullptr && nz > 3) {
+    // Slab decomposition over k in [1, nz-1).
+    pool_->ParallelFor(static_cast<size_t>(nz - 2),
+                       [&](size_t b, size_t e) { body(b + 1, e + 1); });
+  } else {
+    body(1, static_cast<size_t>(nz - 1));
+  }
+}
+
+void Solver::ApplyVelocityBounds(std::vector<double>& u,
+                                 std::vector<double>& v,
+                                 std::vector<double>& w) const {
+  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
+  double wx, wy;
+  WindVector(wx, wy);
+
+  // Lateral faces: Dirichlet inflow where the wind enters, zero-gradient
+  // outflow elsewhere.
+  for (int k = 0; k < nz; ++k) {
+    const double prof = WindProfile(mesh_.Z(k));
+    for (int j = 0; j < ny; ++j) {
+      {  // x-min face (inward normal +x)
+        const size_t c = mesh_.Index(0, j, k), n = mesh_.Index(1, j, k);
+        if (wx > 0) {
+          u[c] = wx * prof;
+          v[c] = wy * prof;
+          w[c] = 0.0;
+        } else {
+          u[c] = u[n];
+          v[c] = v[n];
+          w[c] = w[n];
+        }
+      }
+      {  // x-max face (inward normal -x)
+        const size_t c = mesh_.Index(nx - 1, j, k), n = mesh_.Index(nx - 2, j, k);
+        if (wx < 0) {
+          u[c] = wx * prof;
+          v[c] = wy * prof;
+          w[c] = 0.0;
+        } else {
+          u[c] = u[n];
+          v[c] = v[n];
+          w[c] = w[n];
+        }
+      }
+    }
+    for (int i = 0; i < nx; ++i) {
+      {  // y-min face (inward normal +y)
+        const size_t c = mesh_.Index(i, 0, k), n = mesh_.Index(i, 1, k);
+        if (wy > 0) {
+          u[c] = wx * prof;
+          v[c] = wy * prof;
+          w[c] = 0.0;
+        } else {
+          u[c] = u[n];
+          v[c] = v[n];
+          w[c] = w[n];
+        }
+      }
+      {  // y-max face (inward normal -y)
+        const size_t c = mesh_.Index(i, ny - 1, k), n = mesh_.Index(i, ny - 2, k);
+        if (wy < 0) {
+          u[c] = wx * prof;
+          v[c] = wy * prof;
+          w[c] = 0.0;
+        } else {
+          u[c] = u[n];
+          v[c] = v[n];
+          w[c] = w[n];
+        }
+      }
+    }
+  }
+  // Ground: no-slip. Top: free-slip (zero normal velocity).
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const size_t g = mesh_.Index(i, j, 0);
+      u[g] = v[g] = w[g] = 0.0;
+      const size_t top = mesh_.Index(i, j, nz - 1);
+      const size_t below = mesh_.Index(i, j, nz - 2);
+      u[top] = u[below];
+      v[top] = v[below];
+      w[top] = 0.0;
+    }
+  }
+}
+
+void Solver::ApplyScalarBounds(std::vector<double>& s,
+                               double inflow_value) const {
+  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
+  double wx, wy;
+  WindVector(wx, wy);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      s[mesh_.Index(0, j, k)] =
+          wx > 0 ? inflow_value : s[mesh_.Index(1, j, k)];
+      s[mesh_.Index(nx - 1, j, k)] =
+          wx < 0 ? inflow_value : s[mesh_.Index(nx - 2, j, k)];
+    }
+    for (int i = 0; i < nx; ++i) {
+      s[mesh_.Index(i, 0, k)] =
+          wy > 0 ? inflow_value : s[mesh_.Index(i, 1, k)];
+      s[mesh_.Index(i, ny - 1, k)] =
+          wy < 0 ? inflow_value : s[mesh_.Index(i, ny - 2, k)];
+    }
+  }
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      s[mesh_.Index(i, j, 0)] = s[mesh_.Index(i, j, 1)];
+      s[mesh_.Index(i, j, nz - 1)] = s[mesh_.Index(i, j, nz - 2)];
+    }
+  }
+}
+
+void Solver::Advect() {
+  u0_ = u_;
+  v0_ = v_;
+  w0_ = w_;
+  t0_ = t_;
+  const double dt = params_.dt_s;
+  const double idx = 1.0 / mesh_.dx(), idy = 1.0 / mesh_.dy(),
+               idz = 1.0 / mesh_.dz();
+  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
+
+  ForEachInterior([&](int i, int j, int k) {
+    const size_t c = mesh_.Index(i, j, k);
+    const double uu = u0_[c], vv = v0_[c], ww = w0_[c];
+    auto upwind = [&](const std::vector<double>& f) {
+      // First-order upwind derivative along each axis.
+      const double dfx = uu >= 0 ? (f[c] - f[c - sx]) * idx
+                                 : (f[c + sx] - f[c]) * idx;
+      const double dfy = vv >= 0 ? (f[c] - f[c - sy]) * idy
+                                 : (f[c + sy] - f[c]) * idy;
+      const double dfz = ww >= 0 ? (f[c] - f[c - sz]) * idz
+                                 : (f[c + sz] - f[c]) * idz;
+      return uu * dfx + vv * dfy + ww * dfz;
+    };
+    u_[c] = u0_[c] - dt * upwind(u0_);
+    v_[c] = v0_[c] - dt * upwind(v0_);
+    w_[c] = w0_[c] - dt * upwind(w0_);
+    t_[c] = t0_[c] - dt * upwind(t0_);
+  });
+  total_updates_ += mesh_.cell_count();
+}
+
+void Solver::DiffuseAndForce() {
+  u0_ = u_;
+  v0_ = v_;
+  w0_ = w_;
+  t0_ = t_;
+  const double dt = params_.dt_s;
+  const double cx = 1.0 / (mesh_.dx() * mesh_.dx());
+  const double cy = 1.0 / (mesh_.dy() * mesh_.dy());
+  const double cz = 1.0 / (mesh_.dz() * mesh_.dz());
+  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
+  const double nu = params_.eddy_viscosity;
+  const double kappa = params_.thermal_diffusivity;
+
+  ForEachInterior([&](int i, int j, int k) {
+    const size_t c = mesh_.Index(i, j, k);
+    auto lap = [&](const std::vector<double>& f) {
+      return cx * (f[c + sx] - 2.0 * f[c] + f[c - sx]) +
+             cy * (f[c + sy] - 2.0 * f[c] + f[c - sy]) +
+             cz * (f[c + sz] - 2.0 * f[c] + f[c - sz]);
+    };
+    double un = u0_[c] + dt * nu * lap(u0_);
+    double vn = v0_[c] + dt * nu * lap(v0_);
+    double wn = w0_[c] + dt * nu * lap(w0_);
+    double tn = t0_[c] + dt * kappa * lap(t0_);
+
+    // Boussinesq buoyancy relative to the exterior air temperature.
+    wn += dt * params_.gravity * params_.buoyancy_beta *
+          (t0_[c] - bc_.exterior_temp_c);
+
+    // Porous drag (implicit per cell: unconditionally stable).
+    const CellType type = mesh_.TypeAt(c);
+    if (type != CellType::kFluid) {
+      const double cd = type == CellType::kScreen ? params_.screen_drag
+                                                  : params_.canopy_drag;
+      const double speed =
+          std::sqrt(un * un + vn * vn + wn * wn);
+      const double damp = 1.0 / (1.0 + dt * cd * speed);
+      un *= damp;
+      vn *= damp;
+      wn *= damp;
+      if (type == CellType::kCanopy) {
+        tn += dt * params_.canopy_heat_w * 100.0;  // K per step scaling
+      }
+    }
+    u_[c] = un;
+    v_[c] = vn;
+    w_[c] = wn;
+    t_[c] = tn;
+  });
+  ApplyVelocityBounds(u_, v_, w_);
+  ApplyScalarBounds(t_, bc_.exterior_temp_c);
+  total_updates_ += mesh_.cell_count();
+}
+
+void Solver::SolvePressure(StepStats& stats) {
+  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
+  const double dt = params_.dt_s;
+  const double idx2 = 1.0 / (2.0 * mesh_.dx()), idy2 = 1.0 / (2.0 * mesh_.dy()),
+               idz2 = 1.0 / (2.0 * mesh_.dz());
+  const int sx = 1, sy = nx, sz = nx * ny;
+
+  // RHS: divergence of the provisional velocity / dt.
+  ForEachInterior([&](int i, int j, int k) {
+    const size_t c = mesh_.Index(i, j, k);
+    div_[c] = ((u_[c + sx] - u_[c - sx]) * idx2 +
+               (v_[c + sy] - v_[c - sy]) * idy2 +
+               (w_[c + sz] - w_[c - sz]) * idz2) /
+              dt;
+  });
+
+  double wx, wy;
+  WindVector(wx, wy);
+  const double cx = 1.0 / (mesh_.dx() * mesh_.dx());
+  const double cy = 1.0 / (mesh_.dy() * mesh_.dy());
+  const double cz = 1.0 / (mesh_.dz() * mesh_.dz());
+  const double omega = params_.poisson_omega;
+
+  // Red-black SOR. Outflow lateral faces carry Dirichlet p = 0 ghosts (an
+  // all-Neumann problem would be singular); inflow, ground, and top faces
+  // are Neumann.
+  for (int iter = 0; iter < params_.poisson_iters; ++iter) {
+    for (int color = 0; color < 2; ++color) {
+      auto pass = [&](size_t kb, size_t ke) {
+        for (size_t kk = kb; kk < ke; ++kk) {
+          const int k = static_cast<int>(kk);
+          for (int j = 1; j < ny - 1; ++j) {
+            for (int i = 1; i < nx - 1; ++i) {
+              if (((i + j + k) & 1) != color) continue;
+              const size_t c = mesh_.Index(i, j, k);
+              double ap = 0.0, sum = 0.0;
+              // x- neighbor
+              if (i > 1) { ap += cx; sum += cx * p_[c - sx]; }
+              else if (wx <= 0) { ap += cx; }  // Dirichlet ghost p=0 (outflow)
+              if (i < nx - 2) { ap += cx; sum += cx * p_[c + sx]; }
+              else if (wx >= 0) { ap += cx; }
+              if (j > 1) { ap += cy; sum += cy * p_[c - sy]; }
+              else if (wy <= 0) { ap += cy; }
+              if (j < ny - 2) { ap += cy; sum += cy * p_[c + sy]; }
+              else if (wy >= 0) { ap += cy; }
+              if (k > 1) { ap += cz; sum += cz * p_[c - sz]; }
+              if (k < nz - 2) { ap += cz; sum += cz * p_[c + sz]; }
+              if (ap <= 0.0) continue;
+              const double p_gs = (sum - div_[c]) / ap;
+              p_[c] = (1.0 - omega) * p_[c] + omega * p_gs;
+            }
+          }
+        }
+      };
+      if (pool_ != nullptr && nz > 3) {
+        pool_->ParallelFor(static_cast<size_t>(nz - 2),
+                           [&](size_t b, size_t e) { pass(b + 1, e + 1); });
+      } else {
+        pass(1, static_cast<size_t>(nz - 1));
+      }
+    }
+    total_updates_ += mesh_.cell_count();
+  }
+
+  // Mirror pressure onto boundary cells for the gradient step.
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      p_[mesh_.Index(0, j, k)] = wx > 0 ? p_[mesh_.Index(1, j, k)] : 0.0;
+      p_[mesh_.Index(nx - 1, j, k)] =
+          wx < 0 ? p_[mesh_.Index(nx - 2, j, k)] : 0.0;
+    }
+    for (int i = 0; i < nx; ++i) {
+      p_[mesh_.Index(i, 0, k)] = wy > 0 ? p_[mesh_.Index(i, 1, k)] : 0.0;
+      p_[mesh_.Index(i, ny - 1, k)] =
+          wy < 0 ? p_[mesh_.Index(i, ny - 2, k)] : 0.0;
+    }
+  }
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      p_[mesh_.Index(i, j, 0)] = p_[mesh_.Index(i, j, 1)];
+      p_[mesh_.Index(i, j, nz - 1)] = p_[mesh_.Index(i, j, nz - 2)];
+    }
+  }
+
+  // Residual of the last sweep (max |Ap - b| scaled), for diagnostics.
+  double res = 0.0;
+  for (int k = 1; k < nz - 1; ++k) {
+    for (int j = 1; j < ny - 1; ++j) {
+      for (int i = 1; i < nx - 1; ++i) {
+        const size_t c = mesh_.Index(i, j, k);
+        const double lap = cx * (p_[c + sx] - 2 * p_[c] + p_[c - sx]) +
+                           cy * (p_[c + sy] - 2 * p_[c] + p_[c - sy]) +
+                           cz * (p_[c + sz] - 2 * p_[c] + p_[c - sz]);
+        res = std::max(res, std::abs(lap - div_[c]));
+      }
+    }
+  }
+  stats.poisson_residual = res;
+}
+
+void Solver::Project() {
+  const double dt = params_.dt_s;
+  const double idx2 = 1.0 / (2.0 * mesh_.dx()), idy2 = 1.0 / (2.0 * mesh_.dy()),
+               idz2 = 1.0 / (2.0 * mesh_.dz());
+  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
+  ForEachInterior([&](int i, int j, int k) {
+    const size_t c = mesh_.Index(i, j, k);
+    u_[c] -= dt * (p_[c + sx] - p_[c - sx]) * idx2;
+    v_[c] -= dt * (p_[c + sy] - p_[c - sy]) * idy2;
+    w_[c] -= dt * (p_[c + sz] - p_[c - sz]) * idz2;
+  });
+  ApplyVelocityBounds(u_, v_, w_);
+  total_updates_ += mesh_.cell_count();
+}
+
+StepStats Solver::Step() {
+  StepStats stats;
+  Advect();
+  ApplyVelocityBounds(u_, v_, w_);
+  ApplyScalarBounds(t_, bc_.exterior_temp_c);
+  DiffuseAndForce();
+  SolvePressure(stats);
+  Project();
+  stats.max_divergence = MaxDivergence();
+  stats.cell_updates = total_updates_;
+  return stats;
+}
+
+StepStats Solver::Run(int steps) {
+  StepStats last;
+  for (int s = 0; s < steps; ++s) last = Step();
+  return last;
+}
+
+double Solver::SpeedAt(int i, int j, int k) const {
+  const size_t c = mesh_.Index(i, j, k);
+  return std::sqrt(u_[c] * u_[c] + v_[c] * v_[c] + w_[c] * w_[c]);
+}
+
+double Solver::SpeedAtPoint(double x, double y, double z) const {
+  int i, j, k;
+  mesh_.Locate(x, y, z, i, j, k);
+  return SpeedAt(i, j, k);
+}
+
+double Solver::TemperatureAtPoint(double x, double y, double z) const {
+  int i, j, k;
+  mesh_.Locate(x, y, z, i, j, k);
+  return t_[mesh_.Index(i, j, k)];
+}
+
+double Solver::InteriorMeanSpeed() const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (int k = 1; k < mesh_.nz() - 1; ++k) {
+    for (int j = 1; j < mesh_.ny() - 1; ++j) {
+      for (int i = 1; i < mesh_.nx() - 1; ++i) {
+        if (!mesh_.InsideHouse(i, j, k)) continue;
+        sum += SpeedAt(i, j, k);
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double Solver::InteriorMeanTemperature() const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (int k = 1; k < mesh_.nz() - 1; ++k) {
+    for (int j = 1; j < mesh_.ny() - 1; ++j) {
+      for (int i = 1; i < mesh_.nx() - 1; ++i) {
+        if (!mesh_.InsideHouse(i, j, k)) continue;
+        sum += t_[mesh_.Index(i, j, k)];
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double Solver::MaxDivergence() const {
+  const double idx2 = 1.0 / (2.0 * mesh_.dx()), idy2 = 1.0 / (2.0 * mesh_.dy()),
+               idz2 = 1.0 / (2.0 * mesh_.dz());
+  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
+  double worst = 0.0;
+  for (int k = 1; k < mesh_.nz() - 1; ++k) {
+    for (int j = 1; j < mesh_.ny() - 1; ++j) {
+      for (int i = 1; i < mesh_.nx() - 1; ++i) {
+        const size_t c = mesh_.Index(i, j, k);
+        const double d = (u_[c + sx] - u_[c - sx]) * idx2 +
+                         (v_[c + sy] - v_[c - sy]) * idy2 +
+                         (w_[c + sz] - w_[c - sz]) * idz2;
+        worst = std::max(worst, std::abs(d));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace xg::cfd

@@ -1,0 +1,27 @@
+// Output writers for the CFD fields.
+//
+// The paper's pipeline renders OpenFOAM's VTK output through ParaView
+// (with the portability pain described in Section 4.3). We write:
+//  - legacy ASCII VTK structured-points files (loadable in any ParaView),
+//  - a self-contained PPM raster of a horizontal velocity-magnitude slice
+//    (the stand-in for the Fig 3 panel, requiring no display environment).
+#pragma once
+
+#include <string>
+
+#include "cfd/solver.hpp"
+#include "common/result.hpp"
+
+namespace xg::cfd {
+
+/// Write velocity magnitude, temperature, and pressure as a legacy VTK
+/// STRUCTURED_POINTS dataset.
+Status WriteVtk(const Solver& solver, const std::string& path);
+
+/// Render a horizontal slice at height `z_m` of the velocity magnitude as
+/// a color-mapped PPM image (blue = calm .. red = fast), `scale` pixels per
+/// cell. The house outline is drawn in black.
+Status WriteSlicePpm(const Solver& solver, double z_m, const std::string& path,
+                     int scale = 8);
+
+}  // namespace xg::cfd

@@ -1,0 +1,36 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace xg {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mu;
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace xg

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Components log state transitions (pilot
+// submissions, CSPOT retries, breach alerts); tests silence it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xg {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit one log line (thread-safe) if `level` passes the global filter.
+void LogMessage(LogLevel level, const std::string& component,
+                const std::string& message);
+
+/// Streaming helper: XG_LOG(kInfo, "pilot") << "submitted " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { LogMessage(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace xg
+
+#define XG_LOG(level, component) ::xg::LogStream(::xg::LogLevel::level, component)

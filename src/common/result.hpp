@@ -1,0 +1,118 @@
+// Lightweight Status / Result<T> error-handling vocabulary for xGFabric.
+//
+// The CSPOT paper stresses that an append "fails in only one of two ways":
+// the call errors, or the ack (sequence number) is lost. We therefore thread
+// explicit, inspectable error values through every fallible API instead of
+// exceptions, so retry loops can distinguish error classes.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xg {
+
+/// Error classification shared across all xGFabric subsystems.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller bug: bad parameter
+  kNotFound,          ///< named log / node / slice does not exist
+  kAlreadyExists,     ///< create collided with existing object
+  kUnavailable,       ///< transient: partition, power loss, queue full
+  kAckLost,           ///< operation may have succeeded; ack was dropped
+  kTimeout,           ///< deadline exceeded
+  kResourceExhausted, ///< log full, PRBs exhausted, no nodes available
+  kFailedPrecondition,///< object in wrong state for the call
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of an ErrorCode.
+inline const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kAckLost: return "ACK_LOST";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A status: either OK or an error code plus a message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for error classes where retrying the same call can succeed.
+  bool retryable() const {
+    return code_ == ErrorCode::kUnavailable || code_ == ErrorCode::kAckLost ||
+           code_ == ErrorCode::kTimeout;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = ErrorCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Result<T>: a value or a Status error. Minimal std::expected stand-in.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}       // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) { // NOLINT implicit
+    assert(!std::get<Status>(v_).ok() && "Result error must not be OK");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T take() {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(v_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace xg

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace xg {
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t x;
+  do {
+    x = NextU64();
+  } while (x >= limit);
+  return lo + static_cast<int64_t>(x % span);
+}
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double mean) {
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -mean * std::log(u);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Gaussian(mu, sigma));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 60.0) {
+    // Normal approximation with continuity correction.
+    const double x = Gaussian(mean, std::sqrt(mean));
+    return x < 0.0 ? 0 : static_cast<int64_t>(x + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = Uniform();
+  int64_t n = 0;
+  while (prod > limit) {
+    prod *= Uniform();
+    ++n;
+  }
+  return n;
+}
+
+double Rng::Rayleigh(double sigma) {
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return sigma * std::sqrt(-2.0 * std::log(u));
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xD2B74407B1CE6E93ull); }
+
+}  // namespace xg

@@ -1,0 +1,103 @@
+// Statistics accumulators used by every measurement harness in xGFabric:
+// throughput sampling (Figs 4-6), message latency (Table 1), CFD runtime
+// distributions (Fig 7), and end-to-end timing (Section 4.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xg {
+
+/// Numerically stable running mean/variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container that also supports order statistics. Retains all
+/// samples; adequate for the sample counts in this paper (<= thousands).
+class SampleSet {
+ public:
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  double variance() const { return stats_.variance(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double sum() const { return stats_.sum(); }
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  RunningStats stats_;
+
+  void EnsureSorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  size_t bin_count() const { return counts_.size(); }
+  uint64_t BinCount(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+  double BinLow(size_t i) const;
+  double BinHigh(size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Exponentially-weighted moving average, used by the proportional-fair
+/// scheduler for per-UE average throughput tracking.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  void Add(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace xg

@@ -1,0 +1,39 @@
+// ASCII table printer shared by the bench harnesses so every reproduced
+// paper table/figure prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; it must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string Num(double v, int precision = 2);
+  static std::string PlusMinus(double mean, double sd, int precision = 2);
+
+  /// Render with column alignment; `title` prints above the table.
+  std::string Render(const std::string& title = "") const;
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  /// CSV form (RFC-4180 quoting) — the paper's artifact workflow keeps
+  /// each figure's data in a CSV next to the plot script.
+  std::string RenderCsv() const;
+  /// Write the CSV to a file; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xg

@@ -1,0 +1,83 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+
+namespace xg {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    // Copy what this worker needs, then run unlocked.
+    auto range_fn = task_.range_fn;
+    auto worker_fn = task_.worker_fn;
+    std::pair<size_t, size_t> range{0, 0};
+    if (index < task_.ranges.size()) range = task_.ranges[index];
+    lk.unlock();
+
+    if (range_fn && range.second > range.first) {
+      range_fn(range.first, range.second);
+    }
+    if (worker_fn) worker_fn(index);
+
+    lk.lock();
+    if (--remaining_ == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = workers_.size();
+  std::vector<std::pair<size_t, size_t>> ranges(workers, {0, 0});
+  const size_t chunk = (n + workers - 1) / workers;
+  for (size_t i = 0; i < workers; ++i) {
+    const size_t b = std::min(n, i * chunk);
+    const size_t e = std::min(n, b + chunk);
+    ranges[i] = {b, e};
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  task_.range_fn = fn;
+  task_.worker_fn = nullptr;
+  task_.ranges = std::move(ranges);
+  remaining_ = workers;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+}
+
+void ThreadPool::RunOnAll(const std::function<void(size_t)>& fn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  task_.range_fn = nullptr;
+  task_.worker_fn = fn;
+  task_.ranges.clear();
+  remaining_ = workers_.size();
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+}
+
+}  // namespace xg

@@ -1,0 +1,57 @@
+// Fork-join worker pool used by the CFD solver for domain-decomposed
+// parallel loops (the stand-in for OpenFOAM's per-core decomposition).
+//
+// The pool keeps N persistent workers; ParallelFor partitions an index range
+// into contiguous chunks (one per worker, matching the solver's slab
+// decomposition) and blocks until all chunks finish.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xg {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads == 0` means hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Run fn(begin, end) over [0, n) split into one contiguous chunk per
+  /// worker; blocks until every chunk completes. Calls from the body must
+  /// not touch the pool (no nesting).
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// Run fn(worker_index) once on each worker and block until all return.
+  void RunOnAll(const std::function<void(size_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void(size_t, size_t)> range_fn;  // (begin, end)
+    std::function<void(size_t)> worker_fn;         // (worker index)
+    std::vector<std::pair<size_t, size_t>> ranges;
+  };
+
+  void WorkerLoop(size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  uint64_t generation_ = 0;      // bumps when a new task is posted
+  size_t remaining_ = 0;         // workers still running current task
+  bool shutdown_ = false;
+};
+
+}  // namespace xg

@@ -1,0 +1,85 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::core {
+
+const char* ActionKindName(ActionKind a) {
+  switch (a) {
+    case ActionKind::kSprayWindow: return "SPRAY_WINDOW";
+    case ActionKind::kSprayHold: return "SPRAY_HOLD";
+    case ActionKind::kFrostAlert: return "FROST_ALERT";
+    case ActionKind::kIrrigate: return "IRRIGATE";
+    case ActionKind::kNone: return "NONE";
+  }
+  return "?";
+}
+
+double InterventionAdvisor::VaporPressureDeficitKpa(double temp_c,
+                                                    double humidity_pct) {
+  // Tetens: saturation vapor pressure in kPa.
+  const double es = 0.6108 * std::exp(17.27 * temp_c / (temp_c + 237.3));
+  return es * (1.0 - std::clamp(humidity_pct, 0.0, 100.0) / 100.0);
+}
+
+std::vector<Advisory> InterventionAdvisor::Advise(
+    const CfdResult& result, const TelemetryFrame& telemetry) const {
+  std::vector<Advisory> out;
+
+  // Spray decision: both the coarse exterior-wind rule (what the operator
+  // sees without the model) and the model's interior air-speed refinement.
+  const bool exterior_ok =
+      result.boundary_wind_ms <= config_.spray_max_exterior_ms;
+  const bool interior_ok =
+      result.interior_mean_speed_ms <= config_.spray_max_interior_ms;
+  if (exterior_ok && interior_ok) {
+    Advisory a;
+    a.kind = ActionKind::kSprayWindow;
+    a.reason = "interior air speed " +
+               std::to_string(result.interior_mean_speed_ms).substr(0, 4) +
+               " m/s within drift limit";
+    a.score = 1.0 - result.interior_mean_speed_ms /
+                        std::max(1e-6, config_.spray_max_interior_ms);
+    out.push_back(a);
+  } else {
+    Advisory a;
+    a.kind = ActionKind::kSprayHold;
+    a.reason = exterior_ok ? "interior circulation above drift limit"
+                           : "exterior wind above application limit";
+    a.score = std::min(
+        1.0, result.interior_mean_speed_ms / config_.spray_max_interior_ms -
+                 1.0 + (exterior_ok ? 0.0 : 0.5));
+    a.score = std::clamp(a.score, 0.1, 1.0);
+    out.push_back(a);
+  }
+
+  // Frost: interior temperature approaching the damage point. Severity
+  // grows as the margin to damage shrinks.
+  if (result.interior_mean_temp_c <= config_.frost_alert_c) {
+    Advisory a;
+    a.kind = ActionKind::kFrostAlert;
+    const double span = config_.frost_alert_c - config_.frost_damage_c;
+    a.score = std::clamp(
+        (config_.frost_alert_c - result.interior_mean_temp_c) / span, 0.05,
+        1.0);
+    a.reason = "interior minimum approaching citrus damage point";
+    out.push_back(a);
+  }
+
+  // Irrigation: VPD proxy from the telemetry (exterior RH) and the model's
+  // interior temperature.
+  const double vpd = VaporPressureDeficitKpa(result.interior_mean_temp_c,
+                                             telemetry.exterior_humidity_pct);
+  if (vpd >= config_.vpd_irrigate_kpa) {
+    Advisory a;
+    a.kind = ActionKind::kIrrigate;
+    a.score = std::clamp(vpd / (2.0 * config_.vpd_irrigate_kpa), 0.1, 1.0);
+    a.reason = "vapor pressure deficit " + std::to_string(vpd).substr(0, 4) +
+               " kPa: high evaporative demand";
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace xg::core

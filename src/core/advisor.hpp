@@ -1,0 +1,66 @@
+// Intervention advisor (paper Section 5 future work: "exploit the
+// simulation results to perform real-time interventions in the CUPS
+// facility", and Section 2's decision-support list: pesticide/fertilizer
+// spraying, frost prevention, irrigation).
+//
+// The advisor turns a CFD result (and optionally a spray-drift transport
+// run) into grower-facing recommendations with explicit thresholds:
+//  - spray window: interior air speed low enough that drift loss through
+//    the screen stays acceptable;
+//  - frost alert: predicted interior minimum temperature approaching the
+//    citrus damage point, with lead time from the model cadence;
+//  - irrigation advice: vapor-pressure-deficit proxy from temperature and
+//    humidity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/telemetry.hpp"
+
+namespace xg::core {
+
+enum class ActionKind {
+  kSprayWindow,      ///< conditions suitable for applying inputs
+  kSprayHold,        ///< too windy: drift loss would be excessive
+  kFrostAlert,       ///< run wind machines / irrigation for frost protection
+  kIrrigate,         ///< high evaporative demand
+  kNone,
+};
+
+const char* ActionKindName(ActionKind a);
+
+struct Advisory {
+  ActionKind kind = ActionKind::kNone;
+  std::string reason;
+  double score = 0.0;  ///< urgency/severity in [0, 1]
+};
+
+struct AdvisorConfig {
+  double spray_max_interior_ms = 0.9;  ///< interior air speed ceiling
+  double spray_max_exterior_ms = 2.5;  ///< the paper's advisory input
+  double frost_alert_c = 2.0;          ///< interior temp triggering alert
+  double frost_damage_c = -1.0;        ///< citrus damage point
+  double vpd_irrigate_kpa = 2.2;       ///< VPD above which to irrigate
+};
+
+class InterventionAdvisor {
+ public:
+  explicit InterventionAdvisor(AdvisorConfig config = AdvisorConfig{})
+      : config_(config) {}
+
+  const AdvisorConfig& config() const { return config_; }
+
+  /// All advisories warranted by a CFD result and the matching telemetry.
+  std::vector<Advisory> Advise(const CfdResult& result,
+                               const TelemetryFrame& telemetry) const;
+
+  /// Saturation vapor-pressure-deficit proxy (kPa) from temperature and
+  /// relative humidity (Tetens approximation).
+  static double VaporPressureDeficitKpa(double temp_c, double humidity_pct);
+
+ private:
+  AdvisorConfig config_;
+};
+
+}  // namespace xg::core

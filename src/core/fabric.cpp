@@ -1,0 +1,443 @@
+#include "core/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "cfd/solver.hpp"
+#include "common/logging.hpp"
+
+namespace xg::core {
+
+namespace {
+constexpr const char* kTelemetryLog = "telemetry";
+constexpr const char* kAlertLog = "alerts";
+constexpr const char* kResultLog = "results";
+
+struct AlertRecord {
+  double time_s = 0.0;
+  double data_bytes = 0.0;
+};
+}  // namespace
+
+FabricConfig::FabricConfig() : site(hpc::NotreDameCRC()) {
+  pilot.data_threshold_bytes = 16384.0;  // one node per ~16 KB of telemetry
+  pilot.cores_per_node = site.cores_per_node;
+  pilot.estimated_task_runtime_s = 600.0;
+  twin.calibration_updates = 2;
+}
+
+Fabric::Fabric(FabricConfig config)
+    : config_(std::move(config)), detector_(config_.detector),
+      perf_(config_.perf), twin_(config_.twin), advisor_(config_.advisor),
+      rng_(config_.seed ^ 0xFAB) {
+  cspot_ = std::make_unique<cspot::Runtime>(sim_, config_.seed);
+  nodes_ = cspot::BuildXgTopology(*cspot_);
+  telemetry_client_ =
+      config_.telemetry_over_5g ? nodes_.unl_5g : nodes_.unl_wired;
+
+  atmosphere_ = std::make_unique<sensors::Atmosphere>(config_.atmosphere,
+                                                      config_.seed ^ 0xA7);
+  cups_ = std::make_unique<sensors::CupsFacility>(config_.cups,
+                                                  config_.seed ^ 0xC4);
+
+  // Logs at the UCSB repository.
+  cspot_->CreateLog(nodes_.ucsb, cspot::LogConfig{kTelemetryLog, 1024, 4096});
+  cspot_->CreateLog(nodes_.ucsb, cspot::LogConfig{kAlertLog, 64, 1024});
+  cspot_->CreateLog(nodes_.ucsb, cspot::LogConfig{kResultLog, 1024, 1024});
+
+  scheduler_ = std::make_unique<hpc::BatchScheduler>(sim_, config_.site,
+                                                     config_.seed ^ 0x5C);
+  pilot::PilotConfig pc = config_.pilot;
+  pc.cores_per_node = config_.site.cores_per_node;
+  pilot_ = std::make_unique<pilot::PilotController>(sim_, *scheduler_, perf_,
+                                                    pc, config_.seed ^ 0x91);
+
+  for (const auto& st : cups_->stations()) {
+    twin_.RegisterStation(st.id(), st.x(), st.y(), st.interior());
+  }
+
+  fault_injector_ =
+      std::make_unique<sensors::FaultInjector>(config_.seed ^ 0xF417);
+  qc_ = sensors::QualityControl(config_.qc);
+
+  OrchardGridParams og;
+  og.length_m = config_.cups.length_m;
+  og.width_m = config_.cups.width_m;
+  orchard_ = std::make_unique<OrchardGrid>(og);
+  robot_ = std::make_unique<Robot>(*orchard_, config_.robot,
+                                   config_.cups.length_m / 2.0, 1.0);
+}
+
+void Fabric::ScheduleBreach(const sensors::BreachEvent& breach) {
+  cups_->AddBreach(breach);
+}
+
+void Fabric::ScheduleFront(const sensors::FrontEvent& front) {
+  atmosphere_->AddFront(front);
+}
+
+void Fabric::ScheduleStationFault(const sensors::FaultWindow& fault) {
+  fault_injector_->Add(fault);
+}
+
+void Fabric::PublishTelemetry() {
+  const sensors::AtmoState exterior = atmosphere_->Current();
+  const double now_s = sim_.Now().seconds();
+  const std::vector<sensors::Reading> raw = cups_->MeasureAll(exterior, now_s);
+
+  // Ingest pipeline: fault injection (the physical world) then QC
+  // screening (the edge software) before anything enters the telemetry
+  // stream the detector and twin consume.
+  std::vector<sensors::Reading> readings;
+  std::vector<bool> interior;
+  const auto& stations = cups_->stations();
+  for (size_t i = 0; i < raw.size(); ++i) {
+    auto injected = fault_injector_->Apply(raw[i]);
+    if (!injected.has_value()) {
+      ++metrics_.readings_dropped;
+      continue;
+    }
+    if (config_.qc_enabled &&
+        qc_.Check(*injected) != sensors::QcVerdict::kPass) {
+      ++metrics_.qc_rejected_readings;
+      continue;
+    }
+    readings.push_back(*injected);
+    interior.push_back(stations[i].interior());
+  }
+  TelemetryFrame frame = MakeFrame(readings, interior, now_s);
+  ++metrics_.telemetry_frames_sent;
+
+  const sim::SimTime t0 = sim_.Now();
+  cspot_->RemoteAppend(
+      telemetry_client_, nodes_.ucsb, kTelemetryLog, SerializeFrame(frame),
+      cspot::AppendOptions{},
+      [this, t0, frame](Result<cspot::SeqNo> r) {
+        if (!r.ok()) {
+          XG_LOG(kWarn, "fabric")
+              << "telemetry append failed: " << r.status().ToString();
+          return;
+        }
+        ++metrics_.telemetry_frames_stored;
+        metrics_.telemetry_latency_ms.Add((sim_.Now() - t0).millis());
+        // The operator-side twin sees each stored frame.
+        auto suspicion = twin_.Observe(frame);
+        if (suspicion) HandleSuspicion(*suspicion);
+      });
+}
+
+std::vector<TelemetryFrame> Fabric::RecentFrames(size_t n) const {
+  std::vector<TelemetryFrame> frames;
+  cspot::Node* ucsb = cspot_->GetNode(nodes_.ucsb);
+  if (ucsb == nullptr) return frames;
+  cspot::LogStorage* log = ucsb->GetLog(kTelemetryLog);
+  if (log == nullptr) return frames;
+  for (const auto& bytes : log->Tail(n)) {
+    auto f = DeserializeFrame(bytes);
+    if (f.ok()) frames.push_back(f.take());
+  }
+  return frames;
+}
+
+void Fabric::RunDetectionCycle() {
+  ++metrics_.detection_cycles;
+  const size_t need = 2 * config_.detector.window;
+  std::vector<TelemetryFrame> frames = RecentFrames(need);
+
+  bool changed = false;
+  if (frames.size() >= need) {
+    std::vector<double> wind, temp;
+    for (const auto& f : frames) {
+      wind.push_back(f.exterior_wind_ms);
+      temp.push_back(f.exterior_temp_c);
+    }
+    changed = detector_.Evaluate(wind).changed ||
+              detector_.Evaluate(temp).changed;
+  }
+  // Bootstrap: the very first cycle with data runs a calibration
+  // simulation even without a statistically detectable change.
+  if (!changed && metrics_.cfd_runs_completed == 0 && !cfd_in_flight_ &&
+      !frames.empty()) {
+    changed = true;
+  }
+  if (!changed) return;
+
+  double data_bytes = 0.0;
+  for (const auto& f : frames) {
+    data_bytes += static_cast<double>(f.WireBytes());
+  }
+  AlertRecord alert{sim_.Now().seconds(), data_bytes};
+  std::vector<uint8_t> bytes(sizeof(AlertRecord));
+  std::memcpy(bytes.data(), &alert, sizeof(AlertRecord));
+  auto r = cspot_->LocalAppend(nodes_.ucsb, kAlertLog, bytes);
+  if (r.ok()) ++metrics_.alerts_raised;
+}
+
+void Fabric::TriggerCfd(double alert_time_s, double data_bytes) {
+  if (cfd_in_flight_) return;  // one simulation at a time in the prototype
+  cfd_in_flight_ = true;
+
+  // The pilot gathers the most recent telemetry from the CSPOT logs at
+  // UCSB to parameterize the preprocessing pipeline.
+  cspot_->RemoteLatestSeq(
+      nodes_.nd, nodes_.ucsb, kTelemetryLog,
+      [this, alert_time_s, data_bytes](Result<cspot::SeqNo> latest) {
+        if (!latest.ok() || latest.value() == cspot::kNoSeq) {
+          cfd_in_flight_ = false;
+          return;
+        }
+        cspot_->RemoteGet(
+            nodes_.nd, nodes_.ucsb, kTelemetryLog, latest.value(),
+            [this, alert_time_s, data_bytes](Result<std::vector<uint8_t>> bytes) {
+              if (!bytes.ok()) {
+                cfd_in_flight_ = false;
+                return;
+              }
+              auto frame = DeserializeFrame(bytes.value());
+              if (!frame.ok()) {
+                cfd_in_flight_ = false;
+                return;
+              }
+              const TelemetryFrame boundary = frame.take();
+              pilot_->SubmitTask(
+                  data_bytes,
+                  [this, alert_time_s, boundary](const pilot::TaskResult& task) {
+                    metrics_.cfd_wait_s.Add(task.wait_s);
+                    metrics_.cfd_runtime_s.Add(task.runtime_s);
+                    CfdResult result = ExecuteCfd(alert_time_s, boundary);
+                    result.complete_time_s = sim_.Now().seconds();
+                    StoreResult(result);
+                  });
+            });
+      });
+}
+
+CfdResult Fabric::ExecuteCfd(double alert_time_s,
+                             const TelemetryFrame& boundary) {
+  CfdResult result;
+  result.trigger_time_s = alert_time_s;
+  result.boundary_wind_ms = boundary.exterior_wind_ms;
+  result.boundary_dir_deg = boundary.exterior_dir_deg;
+  result.boundary_temp_c = boundary.exterior_temp_c;
+  result.spray_advisory_ok = boundary.exterior_wind_ms < 2.5;
+
+  // Preprocessing: generate the case file from telemetry and parse it back
+  // (the input-deck pipeline the pilot runs before launching the solver).
+  cfd::CfdCase cfd_case;
+  cfd_case.mesh = config_.cfd_mesh;
+  cfd_case.steps = config_.cfd_steps;
+  cfd_case.boundary = cfd::BoundaryFromTelemetry(
+      boundary.exterior_wind_ms, boundary.exterior_dir_deg,
+      boundary.exterior_temp_c,
+      boundary.exterior_temp_c + config_.cups.greenhouse_temp_c);
+  auto parsed = cfd::ParseCase(cfd::FormatCase(cfd_case));
+  if (parsed.ok()) cfd_case = parsed.take();
+
+  if (config_.cfd_mode == CfdMode::kFull) {
+    cfd::Mesh mesh(cfd_case.mesh);
+    cfd::Solver solver(mesh, cfd_case.solver);
+    solver.Initialize(cfd_case.boundary);
+    solver.Run(cfd_case.steps);
+    result.interior_mean_speed_ms = solver.InteriorMeanSpeed();
+    result.interior_mean_temp_c = solver.InteriorMeanTemperature();
+    const auto& mp = cfd_case.mesh;
+    for (const auto& st : cups_->stations()) {
+      if (!st.interior()) continue;
+      // Map facility coordinates into the solver's domain frame.
+      const double mx = mp.house_x0 + st.x() / config_.cups.length_m *
+                                          (mp.house_x1 - mp.house_x0);
+      const double my = mp.house_y0 + st.y() / config_.cups.width_m *
+                                          (mp.house_y1 - mp.house_y0);
+      StationPrediction p;
+      p.station_id = st.id();
+      p.wind_speed_ms = solver.SpeedAtPoint(mx, my, 2.0);
+      p.temperature_c = solver.TemperatureAtPoint(mx, my, 2.0);
+      result.predictions.push_back(p);
+    }
+  } else {
+    // Modeled interior: screen attenuation applied to the boundary wind.
+    result.interior_mean_speed_ms =
+        boundary.exterior_wind_ms * config_.cups.screen_wind_factor;
+    result.interior_mean_temp_c =
+        boundary.exterior_temp_c + config_.cups.greenhouse_temp_c;
+    for (const auto& st : cups_->stations()) {
+      if (!st.interior()) continue;
+      StationPrediction p;
+      p.station_id = st.id();
+      p.wind_speed_ms = result.interior_mean_speed_ms;
+      p.temperature_c = result.interior_mean_temp_c;
+      result.predictions.push_back(p);
+    }
+  }
+  return result;
+}
+
+void Fabric::StoreResult(const CfdResult& result) {
+  ++metrics_.cfd_runs_completed;
+  const double response_s = result.complete_time_s - result.trigger_time_s;
+  metrics_.alert_to_result_s.Add(response_s);
+  metrics_.result_validity_s.Add(
+      std::max(0.0, config_.detect_period_s - response_s));
+  latest_result_ = result;
+  twin_.UpdatePrediction(result);
+  cfd_in_flight_ = false;
+
+  // Decision support: each fresh simulation re-evaluates the intervention
+  // advisories against the latest telemetry.
+  const std::vector<TelemetryFrame> latest = RecentFrames(1);
+  if (!latest.empty()) {
+    for (const Advisory& a : advisor_.Advise(result, latest.back())) {
+      switch (a.kind) {
+        case ActionKind::kSprayWindow: ++metrics_.spray_windows; break;
+        case ActionKind::kFrostAlert: ++metrics_.frost_alerts; break;
+        case ActionKind::kIrrigate: ++metrics_.irrigation_advisories; break;
+        default: break;
+      }
+      if (on_advisory) on_advisory(a);
+    }
+  }
+
+  cspot_->RemoteAppend(nodes_.nd, nodes_.ucsb, kResultLog,
+                       SerializeResult(result), cspot::AppendOptions{},
+                       [this, result](Result<cspot::SeqNo> r) {
+                         if (r.ok() && on_result) on_result(result);
+                       });
+}
+
+bool Fabric::ConfirmBreachAtRobot(bool via_patrol) {
+  const double now_s = sim_.Now().seconds();
+  auto breach = cups_->StrongestActiveBreach(now_s);
+  if (!breach) return false;
+  const double d =
+      std::hypot(breach->x_m - robot_->x(), breach->y_m - robot_->y());
+  if (d > config_.robot.camera_range_m) return false;
+  ++metrics_.breaches_confirmed;
+  if (via_patrol) ++metrics_.breaches_found_on_patrol;
+  metrics_.breach_detection_delay_s.Add(now_s - breach->time_s);
+  cups_->RepairBreachesNear(robot_->x(), robot_->y(),
+                            config_.robot.camera_range_m, now_s);
+  XG_LOG(kInfo, "fabric") << "breach confirmed at (" << breach->x_m << ","
+                          << breach->y_m << ") after "
+                          << (now_s - breach->time_s) << "s"
+                          << (via_patrol ? " (patrol)" : " (twin)");
+  return true;
+}
+
+void Fabric::HandleSuspicion(const BreachSuspicion& suspicion) {
+  ++metrics_.breach_suspicions;
+  if (!config_.dispatch_robot || robot_busy_) return;
+  robot_busy_ = true;
+  ++metrics_.robot_dispatches;
+  auto report = robot_->Surveil(suspicion.x_m, suspicion.y_m);
+  if (!report.ok()) {
+    robot_busy_ = false;
+    return;
+  }
+  const BreachSuspicion suspicion_copy = suspicion;
+  sim_.Schedule(sim::SimTime::Seconds(report.value().total_time_s),
+                [this, suspicion_copy]() {
+                  robot_busy_ = false;
+                  const bool confirmed = ConfirmBreachAtRobot(false);
+                  if (on_breach) on_breach(suspicion_copy, confirmed);
+                });
+}
+
+void Fabric::PatrolNextLeg() {
+  if (robot_busy_) return;
+  // Perimeter circuit: corners plus edge midpoints, so every stretch of
+  // screen wall comes within camera range once per full circuit.
+  const double inset = 6.0;
+  const double lx = config_.cups.length_m - inset;
+  const double wy = config_.cups.width_m - inset;
+  const double mx = config_.cups.length_m / 2.0;
+  const double my = config_.cups.width_m / 2.0;
+  const double waypoints[8][2] = {
+      {inset, inset}, {mx, inset},  {lx, inset}, {lx, my},
+      {lx, wy},       {mx, wy},     {inset, wy}, {inset, my},
+  };
+  const auto& wp = waypoints[patrol_waypoint_ % 8];
+  ++patrol_waypoint_;
+  auto report = robot_->Surveil(wp[0], wp[1]);
+  if (!report.ok()) return;
+  robot_busy_ = true;
+  ++metrics_.patrol_legs;
+  sim_.Schedule(sim::SimTime::Seconds(report.value().total_time_s), [this]() {
+    robot_busy_ = false;
+    ConfirmBreachAtRobot(true);
+  });
+}
+
+void Fabric::Run(double hours) {
+  const sim::SimTime horizon = sim_.Now() + sim::SimTime::Hours(hours);
+
+  if (config_.background_load) {
+    scheduler_->StartBackgroundLoad(horizon);
+    // Warm the queue: without history the first hour has an empty system.
+  }
+
+  if (config_.robot_patrol) {
+    sim::Periodic(sim_, sim::SimTime::Seconds(config_.patrol_period_s / 2.0),
+                  sim::SimTime::Seconds(config_.patrol_period_s),
+                  [this, horizon]() {
+                    if (sim_.Now() > horizon) return false;
+                    PatrolNextLeg();
+                    return true;
+                  });
+  }
+
+  // Telemetry every reporting period.
+  sim::Periodic(sim_, sim::SimTime::Seconds(config_.telemetry_period_s),
+                sim::SimTime::Seconds(config_.telemetry_period_s),
+                [this, horizon]() {
+                  if (sim_.Now() > horizon) return false;
+                  atmosphere_->Advance(config_.telemetry_period_s);
+                  PublishTelemetry();
+                  return true;
+                });
+
+  // Change detection at UCSB on the 30-minute duty cycle.
+  sim::Periodic(sim_, sim::SimTime::Seconds(config_.detect_period_s + 5.0),
+                sim::SimTime::Seconds(config_.detect_period_s),
+                [this, horizon]() {
+                  if (sim_.Now() > horizon) return false;
+                  RunDetectionCycle();
+                  return true;
+                });
+
+  // ND fetches the alert status on the same duty cycle, offset behind the
+  // detector.
+  auto last_alert = std::make_shared<cspot::SeqNo>(cspot::kNoSeq);
+  sim::Periodic(
+      sim_, sim::SimTime::Seconds(config_.detect_period_s + 65.0),
+      sim::SimTime::Seconds(config_.detect_period_s),
+      [this, horizon, last_alert]() {
+        if (sim_.Now() > horizon) return false;
+        cspot_->RemoteLatestSeq(
+            nodes_.nd, nodes_.ucsb, kAlertLog,
+            [this, last_alert](Result<cspot::SeqNo> latest) {
+              if (!latest.ok() || latest.value() == cspot::kNoSeq) return;
+              if (latest.value() <= *last_alert) return;
+              const cspot::SeqNo seq = latest.value();
+              cspot_->RemoteGet(
+                  nodes_.nd, nodes_.ucsb, kAlertLog, seq,
+                  [this, last_alert, seq](Result<std::vector<uint8_t>> bytes) {
+                    if (!bytes.ok() ||
+                        bytes.value().size() < sizeof(AlertRecord)) {
+                      return;
+                    }
+                    *last_alert = seq;
+                    AlertRecord alert;
+                    std::memcpy(&alert, bytes.value().data(),
+                                sizeof(AlertRecord));
+                    TriggerCfd(alert.time_s, alert.data_bytes);
+                  });
+            });
+        return true;
+      });
+
+  sim_.RunUntil(horizon);
+  metrics_.pilot_idle_node_seconds = pilot_->idle_node_seconds();
+}
+
+}  // namespace xg::core

@@ -1,0 +1,179 @@
+// The xGFabric end-to-end assembly (paper Fig 3 / Section 3.7).
+//
+// One Fabric object wires together every layer on a shared virtual clock:
+//
+//   sensors  — the CUPS facility at the remote site, reporting every 5 min;
+//   net5g    — the private 5G access hop the telemetry crosses at UNL;
+//   cspot    — the UNL -> UCSB -> ND log replication paths;
+//   laminar  — the change-detection duty cycle at UCSB (3 tests + voting);
+//   pilot    — the controller at ND deciding when to (pre)provision nodes;
+//   hpc      — the batch facility and the calibrated CFD runtime model;
+//   cfd      — the airflow solver (optionally run for real at small scale);
+//   twin     — prediction-vs-measurement deviation, breach localization;
+//   robot    — surveillance dispatch when a breach is suspected.
+//
+// The fabric is the public API the examples and the end-to-end bench use:
+// configure, Run(hours), then read the metrics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfd/case.hpp"
+#include "common/sim.hpp"
+#include "common/stats.hpp"
+#include "core/advisor.hpp"
+#include "core/robot.hpp"
+#include "core/telemetry.hpp"
+#include "core/twin.hpp"
+#include "cspot/runtime.hpp"
+#include "cspot/topology.hpp"
+#include "hpc/perfmodel.hpp"
+#include "hpc/scheduler.hpp"
+#include "laminar/change_detect.hpp"
+#include "pilot/pilot.hpp"
+#include "sensors/cups.hpp"
+#include "sensors/quality.hpp"
+
+namespace xg::core {
+
+enum class CfdMode {
+  kModeled,  ///< analytic interior prediction; runtime from the perf model
+  kFull,     ///< run the real solver on a reduced mesh (runtime still
+             ///< charged to the virtual clock from the perf model)
+};
+
+struct FabricConfig {
+  uint64_t seed = 42;
+  bool telemetry_over_5g = true;       ///< UNL client behind the 5G hop
+  double telemetry_period_s = 300.0;   ///< weather-station reporting interval
+  double detect_period_s = 1800.0;     ///< change-detection / alert duty cycle
+  laminar::ChangeDetectorConfig detector;
+  sensors::CupsParams cups;
+  sensors::AtmosphereParams atmosphere;
+  hpc::SiteProfile site;               ///< defaults to ND CRC
+  bool background_load = false;        ///< competing jobs on the facility
+  pilot::PilotConfig pilot;
+  hpc::CfdPerfParams perf;
+  CfdMode cfd_mode = CfdMode::kModeled;
+  cfd::MeshParams cfd_mesh;            ///< used in kFull mode
+  int cfd_steps = 120;                 ///< solver steps in kFull mode
+  TwinConfig twin;
+  RobotParams robot;
+  bool dispatch_robot = true;
+  /// Patrol mode: when idle, the robot sweeps the screen perimeter on a
+  /// fixed cadence — a detection path independent of the digital twin
+  /// (catches breaches the sparse anemometer grid cannot sense).
+  bool robot_patrol = false;
+  double patrol_period_s = 3600.0;
+  AdvisorConfig advisor;
+  /// Quality-control screening of station readings before they enter the
+  /// telemetry stream (rejects range/rate/stuck-sensor failures).
+  bool qc_enabled = true;
+  sensors::QcLimits qc;
+
+  FabricConfig();
+};
+
+/// Everything the evaluation reports, accumulated over a run.
+struct FabricMetrics {
+  uint64_t telemetry_frames_sent = 0;
+  uint64_t telemetry_frames_stored = 0;
+  SampleSet telemetry_latency_ms;  ///< UNL -> UCSB append latency
+  uint64_t detection_cycles = 0;
+  uint64_t alerts_raised = 0;
+  uint64_t cfd_runs_completed = 0;
+  SampleSet cfd_wait_s;            ///< alert at ND -> execution start
+  SampleSet cfd_runtime_s;
+  SampleSet alert_to_result_s;     ///< alert raised -> result stored at UCSB
+  SampleSet result_validity_s;     ///< detect interval minus response time
+  uint64_t breach_suspicions = 0;
+  uint64_t robot_dispatches = 0;
+  uint64_t patrol_legs = 0;
+  uint64_t breaches_confirmed = 0;
+  uint64_t breaches_found_on_patrol = 0;
+  SampleSet breach_detection_delay_s;  ///< breach occurs -> confirmed
+  double pilot_idle_node_seconds = 0.0;
+  uint64_t spray_windows = 0;
+  uint64_t frost_alerts = 0;
+  uint64_t irrigation_advisories = 0;
+  uint64_t qc_rejected_readings = 0;
+  uint64_t readings_dropped = 0;  ///< station dropouts (fault injection)
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config);
+
+  /// Run the whole coupled system for `hours` of virtual time.
+  void Run(double hours);
+
+  /// Inject a screen breach (before or during Run via a scheduled call).
+  void ScheduleBreach(const sensors::BreachEvent& breach);
+
+  /// Schedule a weather front in the synthetic atmosphere.
+  void ScheduleFront(const sensors::FrontEvent& front);
+
+  /// Inject a station fault (stuck sensor, dropout, spike window).
+  void ScheduleStationFault(const sensors::FaultWindow& fault);
+
+  const FabricMetrics& metrics() const { return metrics_; }
+  const FabricConfig& config() const { return config_; }
+
+  sim::Simulation& simulation() { return sim_; }
+  cspot::Runtime& cspot_runtime() { return *cspot_; }
+  sensors::CupsFacility& cups() { return *cups_; }
+  DigitalTwin& twin() { return twin_; }
+
+  /// Most recent CFD result, if any simulation completed.
+  const std::optional<CfdResult>& latest_result() const { return latest_result_; }
+
+  /// Hook invoked when a CFD result lands at UCSB (for examples/benches).
+  std::function<void(const CfdResult&)> on_result;
+  /// Hook invoked when the robot confirms (or clears) a suspicion.
+  std::function<void(const BreachSuspicion&, bool confirmed)> on_breach;
+  /// Hook invoked for each intervention advisory a CFD result generates.
+  std::function<void(const Advisory&)> on_advisory;
+
+ private:
+  void PublishTelemetry();
+  void RunDetectionCycle();
+  void TriggerCfd(double alert_time_s, double data_bytes);
+  CfdResult ExecuteCfd(double alert_time_s, const TelemetryFrame& boundary);
+  void StoreResult(const CfdResult& result);
+  void HandleSuspicion(const BreachSuspicion& suspicion);
+  void PatrolNextLeg();
+  /// Shared breach check at the robot's current position; repairs and
+  /// accounts a confirmed breach. Returns true when one was confirmed.
+  bool ConfirmBreachAtRobot(bool via_patrol);
+  std::vector<TelemetryFrame> RecentFrames(size_t n) const;
+
+  FabricConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<cspot::Runtime> cspot_;
+  cspot::TopologyNames nodes_;
+  std::unique_ptr<sensors::Atmosphere> atmosphere_;
+  std::unique_ptr<sensors::CupsFacility> cups_;
+  laminar::ChangeDetector detector_;
+  std::unique_ptr<hpc::BatchScheduler> scheduler_;
+  std::unique_ptr<pilot::PilotController> pilot_;
+  hpc::CfdPerfModel perf_;
+  DigitalTwin twin_;
+  InterventionAdvisor advisor_;
+  std::unique_ptr<sensors::FaultInjector> fault_injector_;
+  sensors::QualityControl qc_;
+  std::unique_ptr<OrchardGrid> orchard_;
+  std::unique_ptr<Robot> robot_;
+  FabricMetrics metrics_;
+  std::optional<CfdResult> latest_result_;
+  std::string telemetry_client_;
+  bool cfd_in_flight_ = false;
+  bool robot_busy_ = false;
+  size_t patrol_waypoint_ = 0;
+  Rng rng_;
+};
+
+}  // namespace xg::core

@@ -1,0 +1,162 @@
+#include "core/robot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace xg::core {
+
+OrchardGrid::OrchardGrid(OrchardGridParams params) : params_(params) {
+  nx_ = std::max(1, static_cast<int>(params_.length_m / params_.cell_m));
+  ny_ = std::max(1, static_cast<int>(params_.width_m / params_.cell_m));
+  blocked_.assign(static_cast<size_t>(nx_) * ny_, 0);
+  for (int iy = 0; iy < ny_; ++iy) {
+    const double y = (iy + 0.5) * params_.cell_m;
+    // Tree rows run along x at multiples of the row pitch; a row occupies
+    // roughly half a pitch of canopy width.
+    const double in_row = std::fmod(y, params_.row_pitch_m);
+    const bool row = in_row > params_.row_pitch_m * 0.35 &&
+                     in_row < params_.row_pitch_m * 0.75;
+    if (!row) continue;
+    for (int ix = 0; ix < nx_; ++ix) {
+      const double x = (ix + 0.5) * params_.cell_m;
+      // Cross alleys cut gaps through the rows.
+      const double in_gap = std::fmod(x, params_.row_gap_every_m);
+      if (in_gap < params_.gap_width_m) continue;
+      blocked_[static_cast<size_t>(iy) * nx_ + ix] = 1;
+    }
+  }
+}
+
+bool OrchardGrid::Blocked(int ix, int iy) const {
+  if (!InBounds(ix, iy)) return true;
+  return blocked_[static_cast<size_t>(iy) * nx_ + ix] != 0;
+}
+
+void OrchardGrid::ToCell(double x_m, double y_m, int& ix, int& iy) const {
+  ix = std::clamp(static_cast<int>(x_m / params_.cell_m), 0, nx_ - 1);
+  iy = std::clamp(static_cast<int>(y_m / params_.cell_m), 0, ny_ - 1);
+}
+
+void OrchardGrid::ToWorld(int ix, int iy, double& x_m, double& y_m) const {
+  x_m = (ix + 0.5) * params_.cell_m;
+  y_m = (iy + 0.5) * params_.cell_m;
+}
+
+bool OrchardGrid::NearestFree(double x_m, double y_m, int& ix, int& iy) const {
+  ToCell(x_m, y_m, ix, iy);
+  if (!Blocked(ix, iy)) return true;
+  for (int r = 1; r < std::max(nx_, ny_); ++r) {
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != r) continue;
+        const int cx = ix + dx, cy = iy + dy;
+        if (InBounds(cx, cy) && !Blocked(cx, cy)) {
+          ix = cx;
+          iy = cy;
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+Result<RoutePlan> PlanRoute(const OrchardGrid& grid, double from_x,
+                            double from_y, double to_x, double to_y) {
+  int sx, sy, gx, gy;
+  if (!grid.NearestFree(from_x, from_y, sx, sy) ||
+      !grid.NearestFree(to_x, to_y, gx, gy)) {
+    return Status(ErrorCode::kUnavailable, "no free cell near endpoints");
+  }
+
+  const int nx = grid.nx(), ny = grid.ny();
+  const size_t n = static_cast<size_t>(nx) * ny;
+  std::vector<double> gscore(n, 1e30);
+  std::vector<int32_t> came(n, -1);
+  auto idx = [nx](int x, int y) { return static_cast<size_t>(y) * nx + x; };
+  auto heur = [&](int x, int y) {
+    const double dx = x - gx, dy = y - gy;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  struct QEntry {
+    double f;
+    int x, y;
+    bool operator>(const QEntry& o) const { return f > o.f; }
+  };
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> open;
+  gscore[idx(sx, sy)] = 0.0;
+  open.push({heur(sx, sy), sx, sy});
+
+  static constexpr int kDx[8] = {1, -1, 0, 0, 1, 1, -1, -1};
+  static constexpr int kDy[8] = {0, 0, 1, -1, 1, -1, 1, -1};
+
+  bool found = false;
+  while (!open.empty()) {
+    const QEntry cur = open.top();
+    open.pop();
+    if (cur.x == gx && cur.y == gy) {
+      found = true;
+      break;
+    }
+    const double g = gscore[idx(cur.x, cur.y)];
+    if (cur.f - heur(cur.x, cur.y) > g + 1e-9) continue;  // stale entry
+    for (int d = 0; d < 8; ++d) {
+      const int nx2 = cur.x + kDx[d], ny2 = cur.y + kDy[d];
+      if (grid.Blocked(nx2, ny2)) continue;
+      // No corner cutting on diagonals.
+      if (d >= 4 && (grid.Blocked(cur.x + kDx[d], cur.y) ||
+                     grid.Blocked(cur.x, cur.y + kDy[d]))) {
+        continue;
+      }
+      const double step = d < 4 ? 1.0 : std::sqrt(2.0);
+      const double ng = g + step;
+      if (ng < gscore[idx(nx2, ny2)]) {
+        gscore[idx(nx2, ny2)] = ng;
+        came[idx(nx2, ny2)] = static_cast<int32_t>(idx(cur.x, cur.y));
+        open.push({ng + heur(nx2, ny2), nx2, ny2});
+      }
+    }
+  }
+  if (!found) {
+    return Status(ErrorCode::kUnavailable, "no route through the orchard");
+  }
+
+  RoutePlan plan;
+  std::vector<std::pair<int, int>> cells;
+  for (int32_t c = static_cast<int32_t>(idx(gx, gy)); c >= 0; c = came[static_cast<size_t>(c)]) {
+    cells.push_back({static_cast<int>(c % nx), static_cast<int>(c / nx)});
+    if (came[static_cast<size_t>(c)] == static_cast<int32_t>(c)) break;
+  }
+  std::reverse(cells.begin(), cells.end());
+  plan.length_m = gscore[idx(gx, gy)] * grid.cell();
+  plan.waypoints.reserve(cells.size());
+  for (auto& [cx, cy] : cells) {
+    double wx, wy;
+    grid.ToWorld(cx, cy, wx, wy);
+    plan.waypoints.push_back({wx, wy});
+  }
+  return plan;
+}
+
+Robot::Robot(const OrchardGrid& grid, RobotParams params, double x0, double y0)
+    : grid_(grid), params_(params), x_(x0), y_(y0) {}
+
+Result<SurveilReport> Robot::Surveil(double target_x, double target_y) {
+  auto plan = PlanRoute(grid_, x_, y_, target_x, target_y);
+  if (!plan.ok()) return plan.status();
+  SurveilReport report;
+  report.route_length_m = plan.value().length_m;
+  report.travel_time_s = plan.value().length_m / params_.speed_ms;
+  report.total_time_s = report.travel_time_s + params_.inspect_time_s;
+  if (!plan.value().waypoints.empty()) {
+    x_ = plan.value().waypoints.back().first;
+    y_ = plan.value().waypoints.back().second;
+  }
+  report.end_x = x_;
+  report.end_y = y_;
+  return report;
+}
+
+}  // namespace xg::core

@@ -1,0 +1,93 @@
+// Farm-ng style wheeled robot: route planning and breach surveillance.
+//
+// The paper's plan (Section 2): when the twin flags a deviation, dispatch
+// the autonomous robot to surveil the suspected screen region with its
+// on-board camera. We model the orchard floor as an occupancy grid — tree
+// rows are obstacles with periodic gaps — plan with A*, and drive the
+// route in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace xg::core {
+
+struct OrchardGridParams {
+  double length_m = 120.0;
+  double width_m = 120.0;
+  double cell_m = 2.0;       ///< grid resolution
+  double row_pitch_m = 6.0;  ///< tree-row spacing (rows run along x)
+  double row_gap_every_m = 30.0;  ///< cross-alley spacing
+  double gap_width_m = 4.0;
+};
+
+/// Occupancy grid of the orchard floor inside the screen house.
+class OrchardGrid {
+ public:
+  explicit OrchardGrid(OrchardGridParams params);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  double cell() const { return params_.cell_m; }
+  bool Blocked(int ix, int iy) const;
+  bool InBounds(int ix, int iy) const {
+    return ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_;
+  }
+  void ToCell(double x_m, double y_m, int& ix, int& iy) const;
+  void ToWorld(int ix, int iy, double& x_m, double& y_m) const;
+
+  /// Nearest unblocked cell to a point (spiral search).
+  bool NearestFree(double x_m, double y_m, int& ix, int& iy) const;
+
+ private:
+  OrchardGridParams params_;
+  int nx_, ny_;
+  std::vector<uint8_t> blocked_;
+};
+
+struct RoutePlan {
+  std::vector<std::pair<double, double>> waypoints;  ///< world coordinates
+  double length_m = 0.0;
+};
+
+/// A* shortest path on the grid (8-connected, no corner cutting).
+Result<RoutePlan> PlanRoute(const OrchardGrid& grid, double from_x,
+                            double from_y, double to_x, double to_y);
+
+struct RobotParams {
+  double speed_ms = 1.5;
+  double inspect_time_s = 180.0;  ///< camera sweep of the suspect region
+  /// A breach is confirmable within this distance of the inspection stop.
+  /// Sized to cover a station's breach-sensing radius: the twin can only
+  /// localize to "near station X", so the sweep must cover that zone.
+  double camera_range_m = 25.0;
+};
+
+struct SurveilReport {
+  double travel_time_s = 0.0;
+  double total_time_s = 0.0;  ///< travel + inspection
+  double route_length_m = 0.0;
+  double end_x = 0.0, end_y = 0.0;
+};
+
+class Robot {
+ public:
+  Robot(const OrchardGrid& grid, RobotParams params, double x0, double y0);
+
+  double x() const { return x_; }
+  double y() const { return y_; }
+  const RobotParams& params() const { return params_; }
+
+  /// Plan and "drive" to the target (updates position); returns timing.
+  Result<SurveilReport> Surveil(double target_x, double target_y);
+
+ private:
+  const OrchardGrid& grid_;
+  RobotParams params_;
+  double x_, y_;
+};
+
+}  // namespace xg::core

@@ -1,0 +1,40 @@
+// Scenario files: declarative end-to-end runs.
+//
+// A scenario bundles a fabric configuration with the day's events (weather
+// fronts, screen breaches) and the run horizon, in the same key = value
+// format as the CFD case files. This is the deployment-facing entry point:
+// operators describe a day, `xgfabric_sim` runs it and reports the metrics.
+#pragma once
+
+#include <string>
+
+#include "core/fabric.hpp"
+
+namespace xg::core {
+
+struct Scenario {
+  std::string name = "default";
+  double hours = 24.0;
+  FabricConfig fabric;
+  std::vector<sensors::FrontEvent> fronts;
+  std::vector<sensors::BreachEvent> breaches;
+};
+
+/// Serialize to the key = value format. Events use indexed keys
+/// (front.0.start_s = ...).
+std::string FormatScenario(const Scenario& s);
+
+/// Parse a scenario produced by FormatScenario (or hand-written). Unknown
+/// keys are errors.
+Result<Scenario> ParseScenario(const std::string& text);
+
+Status WriteScenarioFile(const Scenario& s, const std::string& path);
+Result<Scenario> ReadScenarioFile(const std::string& path);
+
+/// Build the fabric, apply the events, run, and return the metrics.
+FabricMetrics RunScenario(const Scenario& s);
+
+/// Render the metrics as the standard operator report.
+std::string FormatReport(const Scenario& s, const FabricMetrics& m);
+
+}  // namespace xg::core

@@ -1,0 +1,191 @@
+#include "cspot/log.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace xg::cspot {
+
+std::vector<std::vector<uint8_t>> LogStorage::Tail(size_t n) const {
+  std::vector<std::vector<uint8_t>> out;
+  const SeqNo latest = Latest();
+  if (latest == kNoSeq) return out;
+  SeqNo first = latest - static_cast<SeqNo>(n) + 1;
+  if (first < Earliest()) first = Earliest();
+  for (SeqNo s = first; s <= latest; ++s) {
+    auto r = Get(s);
+    if (r.ok()) out.push_back(r.take());
+  }
+  return out;
+}
+
+MemoryLog::MemoryLog(LogConfig config) : config_(std::move(config)) {
+  ring_.resize(config_.history);
+}
+
+Result<SeqNo> MemoryLog::Append(const std::vector<uint8_t>& payload) {
+  if (payload.size() > config_.element_size) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "payload exceeds element size of log " + config_.name);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  const SeqNo seq = next_seq_++;
+  ring_[static_cast<size_t>(seq) % config_.history] = payload;
+  return seq;
+}
+
+Result<std::vector<uint8_t>> MemoryLog::Get(SeqNo seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (seq < 0 || seq >= next_seq_) {
+    return Status(ErrorCode::kNotFound, "sequence number never written");
+  }
+  const SeqNo earliest =
+      next_seq_ > static_cast<SeqNo>(config_.history)
+          ? next_seq_ - static_cast<SeqNo>(config_.history)
+          : 0;
+  if (seq < earliest) {
+    return Status(ErrorCode::kNotFound, "element evicted from history");
+  }
+  return ring_[static_cast<size_t>(seq) % config_.history];
+}
+
+SeqNo MemoryLog::Latest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_seq_ == 0 ? kNoSeq : next_seq_ - 1;
+}
+
+SeqNo MemoryLog::Earliest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (next_seq_ == 0) return kNoSeq;
+  return next_seq_ > static_cast<SeqNo>(config_.history)
+             ? next_seq_ - static_cast<SeqNo>(config_.history)
+             : 0;
+}
+
+namespace {
+constexpr uint64_t kMagic = 0x43535054'4C4F4731ull;  // "CSPTLOG1"
+
+struct FileHeader {
+  uint64_t magic;
+  uint64_t element_size;
+  uint64_t history;
+  int64_t next_seq;
+};
+}  // namespace
+
+FileLog::FileLog(std::string path, LogConfig config)
+    : path_(std::move(path)), config_(std::move(config)) {}
+
+FileLog::~FileLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+long FileLog::SlotOffset(SeqNo seq) const {
+  const size_t slot = static_cast<size_t>(seq) % config_.history;
+  return static_cast<long>(sizeof(FileHeader) + slot * SlotBytes());
+}
+
+Status FileLog::WriteHeader() {
+  FileHeader h{kMagic, config_.element_size, config_.history, next_seq_};
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(&h, sizeof(h), 1, file_) != 1 || std::fflush(file_) != 0) {
+    return Status(ErrorCode::kInternal, "header write failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status FileLog::ReadHeader() {
+  FileHeader h{};
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fread(&h, sizeof(h), 1, file_) != 1) {
+    return Status(ErrorCode::kInternal, "header read failed: " + path_);
+  }
+  if (h.magic != kMagic) {
+    return Status(ErrorCode::kFailedPrecondition, "not a CSPOT log: " + path_);
+  }
+  if (h.element_size != config_.element_size || h.history != config_.history) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "log geometry mismatch on reopen: " + path_);
+  }
+  next_seq_ = h.next_seq;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
+                                               LogConfig config) {
+  auto log = std::unique_ptr<FileLog>(new FileLog(path, std::move(config)));
+  // Try reopen first (crash recovery path), else create fresh.
+  log->file_ = std::fopen(path.c_str(), "r+b");
+  if (log->file_ != nullptr) {
+    Status s = log->ReadHeader();
+    if (!s.ok()) return s;
+    return log;
+  }
+  log->file_ = std::fopen(path.c_str(), "w+b");
+  if (log->file_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, "cannot create log file: " + path);
+  }
+  Status s = log->WriteHeader();
+  if (!s.ok()) return s;
+  return log;
+}
+
+Result<SeqNo> FileLog::Append(const std::vector<uint8_t>& payload) {
+  if (payload.size() > config_.element_size) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "payload exceeds element size of log " + config_.name);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  const SeqNo seq = next_seq_;
+  const auto len = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> slot(SlotBytes(), 0);
+  std::memcpy(slot.data(), &len, sizeof(len));
+  std::memcpy(slot.data() + sizeof(len), payload.data(), payload.size());
+  if (std::fseek(file_, SlotOffset(seq), SEEK_SET) != 0 ||
+      std::fwrite(slot.data(), slot.size(), 1, file_) != 1) {
+    return Status(ErrorCode::kUnavailable, "slot write failed: " + path_);
+  }
+  next_seq_ = seq + 1;
+  Status hs = WriteHeader();  // persists the sequence counter
+  if (!hs.ok()) return hs;
+  return seq;
+}
+
+Result<std::vector<uint8_t>> FileLog::Get(SeqNo seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (seq < 0 || seq >= next_seq_) {
+    return Status(ErrorCode::kNotFound, "sequence number never written");
+  }
+  const SeqNo earliest =
+      next_seq_ > static_cast<SeqNo>(config_.history)
+          ? next_seq_ - static_cast<SeqNo>(config_.history)
+          : 0;
+  if (seq < earliest) {
+    return Status(ErrorCode::kNotFound, "element evicted from history");
+  }
+  uint32_t len = 0;
+  if (std::fseek(file_, SlotOffset(seq), SEEK_SET) != 0 ||
+      std::fread(&len, sizeof(len), 1, file_) != 1 ||
+      len > config_.element_size) {
+    return Status(ErrorCode::kInternal, "slot read failed: " + path_);
+  }
+  std::vector<uint8_t> payload(len);
+  if (len > 0 && std::fread(payload.data(), len, 1, file_) != 1) {
+    return Status(ErrorCode::kInternal, "payload read failed: " + path_);
+  }
+  return payload;
+}
+
+SeqNo FileLog::Latest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_seq_ == 0 ? kNoSeq : next_seq_ - 1;
+}
+
+SeqNo FileLog::Earliest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (next_seq_ == 0) return kNoSeq;
+  return next_seq_ > static_cast<SeqNo>(config_.history)
+             ? next_seq_ - static_cast<SeqNo>(config_.history)
+             : 0;
+}
+
+}  // namespace xg::cspot

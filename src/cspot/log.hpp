@@ -1,0 +1,121 @@
+// CSPOT append-only logs ("persistent program variables").
+//
+// Faithful to the published CSPOT semantics:
+//  - every log has a fixed element size, stored in its header;
+//  - appends are assigned a unique, dense sequence number atomically; this
+//    is the *only* atomic primitive the runtime offers (no lock API);
+//  - logs keep a bounded history window (circular), like WooF objects;
+//  - reads by sequence number are unsynchronized snapshots;
+//  - the log is a single-assignment structure: an element, once written at
+//    a sequence number, never changes — which is what lets Laminar layer
+//    functional dataflow semantics on top.
+//
+// Two storage backends: in-memory (simulation speed) and file-backed
+// (demonstrates crash-survival of program state across power loss).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace xg::cspot {
+
+using SeqNo = int64_t;
+constexpr SeqNo kNoSeq = -1;
+
+struct LogConfig {
+  std::string name;
+  size_t element_size = 1024;  ///< fixed payload slot size, bytes
+  size_t history = 1024;       ///< retained elements (circular window)
+};
+
+/// Abstract storage: the runtime and transport talk to this interface.
+class LogStorage {
+ public:
+  virtual ~LogStorage() = default;
+
+  virtual const LogConfig& config() const = 0;
+
+  /// Append a payload (must fit the element size). Returns the assigned
+  /// sequence number. Sequence numbers start at 0 and are dense.
+  virtual Result<SeqNo> Append(const std::vector<uint8_t>& payload) = 0;
+
+  /// Read the payload at a sequence number. Fails with kNotFound if the
+  /// entry has been evicted from the history window or was never written.
+  virtual Result<std::vector<uint8_t>> Get(SeqNo seq) const = 0;
+
+  /// Latest assigned sequence number, or kNoSeq when empty.
+  virtual SeqNo Latest() const = 0;
+
+  /// Earliest sequence number still retained, or kNoSeq when empty.
+  virtual SeqNo Earliest() const = 0;
+
+  /// Number of retained elements.
+  size_t Size() const {
+    const SeqNo l = Latest();
+    if (l == kNoSeq) return 0;
+    return static_cast<size_t>(l - Earliest() + 1);
+  }
+
+  /// Read the most recent `n` payloads, oldest first (fewer if not
+  /// retained). The log-scan primitive handlers use for multi-event
+  /// synchronization.
+  std::vector<std::vector<uint8_t>> Tail(size_t n) const;
+};
+
+/// In-memory circular log.
+class MemoryLog : public LogStorage {
+ public:
+  explicit MemoryLog(LogConfig config);
+
+  const LogConfig& config() const override { return config_; }
+  Result<SeqNo> Append(const std::vector<uint8_t>& payload) override;
+  Result<std::vector<uint8_t>> Get(SeqNo seq) const override;
+  SeqNo Latest() const override;
+  SeqNo Earliest() const override;
+
+ private:
+  LogConfig config_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<uint8_t>> ring_;
+  SeqNo next_seq_ = 0;
+};
+
+/// File-backed circular log with a fixed-size binary layout:
+/// [header][slot 0][slot 1]...[slot history-1], each slot holding
+/// (payload_len, payload bytes padded to element_size). The header records
+/// the next sequence number; recovery reads it back after a crash.
+class FileLog : public LogStorage {
+ public:
+  /// Creates or reopens the log at `path`. Reopening validates that the
+  /// stored element size matches `config.element_size`.
+  static Result<std::unique_ptr<FileLog>> Open(const std::string& path,
+                                               LogConfig config);
+  ~FileLog() override;
+
+  const LogConfig& config() const override { return config_; }
+  Result<SeqNo> Append(const std::vector<uint8_t>& payload) override;
+  Result<std::vector<uint8_t>> Get(SeqNo seq) const override;
+  SeqNo Latest() const override;
+  SeqNo Earliest() const override;
+
+ private:
+  FileLog(std::string path, LogConfig config);
+  Status WriteHeader();
+  Status ReadHeader();
+
+  std::string path_;
+  LogConfig config_;
+  mutable std::mutex mu_;
+  mutable std::FILE* file_ = nullptr;
+  SeqNo next_seq_ = 0;
+
+  size_t SlotBytes() const { return sizeof(uint32_t) + config_.element_size; }
+  long SlotOffset(SeqNo seq) const;
+};
+
+}  // namespace xg::cspot

@@ -1,0 +1,78 @@
+#include "cspot/node.hpp"
+
+namespace xg::cspot {
+
+Result<LogStorage*> Node::CreateLog(const LogConfig& config) {
+  if (logs_.count(config.name)) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "log exists on " + name_ + ": " + config.name);
+  }
+  auto log = std::make_unique<MemoryLog>(config);
+  LogStorage* ptr = log.get();
+  logs_[config.name] = std::move(log);
+  return ptr;
+}
+
+Result<LogStorage*> Node::AdoptLog(std::unique_ptr<LogStorage> log) {
+  const std::string name = log->config().name;
+  if (logs_.count(name)) {
+    return Status(ErrorCode::kAlreadyExists, "log exists on " + name_);
+  }
+  LogStorage* ptr = log.get();
+  logs_[name] = std::move(log);
+  return ptr;
+}
+
+Status Node::DeleteLog(const std::string& log) {
+  if (logs_.erase(log) == 0) {
+    return Status(ErrorCode::kNotFound, "no log " + log + " on " + name_);
+  }
+  handlers_.erase(log);
+  dedup_.erase(log);
+  return Status::Ok();
+}
+
+LogStorage* Node::GetLog(const std::string& log) const {
+  auto it = logs_.find(log);
+  return it == logs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Node::LogNames() const {
+  std::vector<std::string> names;
+  names.reserve(logs_.size());
+  for (const auto& [name, _] : logs_) names.push_back(name);
+  return names;
+}
+
+Status Node::RegisterHandler(const std::string& log, Handler handler) {
+  if (!logs_.count(log)) {
+    return Status(ErrorCode::kNotFound, "no log " + log + " on " + name_);
+  }
+  handlers_[log].push_back(std::move(handler));
+  return Status::Ok();
+}
+
+const std::vector<Node::Handler>& Node::HandlersFor(
+    const std::string& log) const {
+  static const std::vector<Handler> kEmpty;
+  auto it = handlers_.find(log);
+  return it == handlers_.end() ? kEmpty : it->second;
+}
+
+Result<SeqNo> Node::DedupLookup(const std::string& log, uint64_t token) const {
+  auto lit = dedup_.find(log);
+  if (lit == dedup_.end()) {
+    return Status(ErrorCode::kNotFound, "no dedup entry");
+  }
+  auto tit = lit->second.find(token);
+  if (tit == lit->second.end()) {
+    return Status(ErrorCode::kNotFound, "no dedup entry");
+  }
+  return tit->second;
+}
+
+void Node::DedupRecord(const std::string& log, uint64_t token, SeqNo seq) {
+  dedup_[log][token] = seq;
+}
+
+}  // namespace xg::cspot

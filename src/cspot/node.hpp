@@ -1,0 +1,69 @@
+// A CSPOT node: a named host holding logs and handler registrations.
+//
+// Handlers are the only computational mechanism in CSPOT: a handler is
+// bound to a log and fires once per append, with the appended element.
+// There is deliberately no way to trigger on "multiple appends" — handlers
+// that need multi-event synchronization scan the logs (LogStorage::Tail).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "cspot/log.hpp"
+
+namespace xg::cspot {
+
+class Node {
+ public:
+  /// Handler signature: (log name, assigned seq, appended payload).
+  using Handler =
+      std::function<void(const std::string&, SeqNo, const std::vector<uint8_t>&)>;
+
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Power state. A node that is down neither serves requests nor runs
+  /// handlers; its persistent logs survive and it can be brought back up.
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  /// Create a memory-backed log. Fails with kAlreadyExists on name clash.
+  Result<LogStorage*> CreateLog(const LogConfig& config);
+
+  /// Install an externally created log (e.g. a FileLog for durability).
+  Result<LogStorage*> AdoptLog(std::unique_ptr<LogStorage> log);
+
+  /// Remove a log entirely (also used to recreate with a different
+  /// element size — the size-cache invalidation scenario).
+  Status DeleteLog(const std::string& log);
+
+  /// Lookup; nullptr when missing.
+  LogStorage* GetLog(const std::string& log) const;
+
+  std::vector<std::string> LogNames() const;
+
+  /// Bind a handler to fire on each append to `log`.
+  Status RegisterHandler(const std::string& log, Handler handler);
+
+  /// Handlers bound to a log (empty vector if none).
+  const std::vector<Handler>& HandlersFor(const std::string& log) const;
+
+  /// Dedup table used by the transport for exactly-once appends:
+  /// token -> previously assigned seq.
+  Result<SeqNo> DedupLookup(const std::string& log, uint64_t token) const;
+  void DedupRecord(const std::string& log, uint64_t token, SeqNo seq);
+
+ private:
+  std::string name_;
+  bool up_ = true;
+  std::map<std::string, std::unique_ptr<LogStorage>> logs_;
+  std::map<std::string, std::vector<Handler>> handlers_;
+  std::map<std::string, std::map<uint64_t, SeqNo>> dedup_;
+};
+
+}  // namespace xg::cspot

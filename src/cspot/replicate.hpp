@@ -1,0 +1,55 @@
+// Continuous log replication.
+//
+// The xGFabric telemetry path is a replication pipeline: appends landing
+// at one site's log are forwarded to a log at another site (UNL -> UCSB ->
+// ND in the prototype). This utility packages that pattern: a handler on
+// the source log remote-appends each element to the destination with
+// CSPOT's retry/dedup semantics, and a recovery scan re-ships anything a
+// partition or power loss left behind.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cspot/runtime.hpp"
+
+namespace xg::cspot {
+
+struct ReplicationStats {
+  uint64_t forwarded = 0;       ///< elements shipped (acked)
+  uint64_t failed = 0;          ///< elements that exhausted retries
+  uint64_t recovery_shipped = 0;///< elements re-shipped by recovery scans
+};
+
+class Replicator {
+ public:
+  /// Wires src_node/src_log -> dst_node/dst_log. The destination log must
+  /// already exist. Returns an object whose lifetime owns the stats (the
+  /// handler stays registered for the runtime's lifetime).
+  static Result<std::unique_ptr<Replicator>> Create(
+      Runtime& rt, const std::string& src_node, const std::string& src_log,
+      const std::string& dst_node, const std::string& dst_log,
+      AppendOptions options = AppendOptions{});
+
+  const ReplicationStats& stats() const { return stats_; }
+
+  /// Recovery: compare the destination's element count with the source's
+  /// and re-ship the gap (oldest retained first). Used after partitions
+  /// longer than the retry budget. Completion is asynchronous; the
+  /// callback receives how many elements were (re)shipped.
+  void Recover(std::function<void(uint64_t)> done = nullptr);
+
+ private:
+  Replicator(Runtime& rt, std::string src_node, std::string src_log,
+             std::string dst_node, std::string dst_log, AppendOptions options);
+
+  void Forward(const std::vector<uint8_t>& payload, bool from_recovery);
+
+  Runtime& rt_;
+  std::string src_node_, src_log_, dst_node_, dst_log_;
+  AppendOptions options_;
+  ReplicationStats stats_;
+};
+
+}  // namespace xg::cspot

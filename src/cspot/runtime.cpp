@@ -1,0 +1,329 @@
+#include "cspot/runtime.hpp"
+
+#include <utility>
+
+namespace xg::cspot {
+
+Runtime::Runtime(sim::Simulation& sim, uint64_t seed, RuntimeParams params)
+    : sim_(sim), wan_(sim, seed ^ 0xA5A5A5A5u), rng_(seed), params_(params) {}
+
+Node& Runtime::AddNode(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it != nodes_.end()) return *it->second;
+  wan_.AddNode(name);
+  auto node = std::make_unique<Node>(name);
+  Node& ref = *node;
+  nodes_[name] = std::move(node);
+  return ref;
+}
+
+Node* Runtime::GetNode(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Result<LogStorage*> Runtime::CreateLog(const std::string& node,
+                                       const LogConfig& cfg) {
+  Node* n = GetNode(node);
+  if (n == nullptr) return Status(ErrorCode::kNotFound, "no node " + node);
+  return n->CreateLog(cfg);
+}
+
+void Runtime::FireHandlers(Node& host, const std::string& log, SeqNo seq,
+                           const std::vector<uint8_t>& payload) {
+  for (const auto& handler : host.HandlersFor(log)) {
+    Node* host_ptr = &host;
+    sim_.Schedule(sim::SimTime::Millis(params_.handler_delay_ms),
+                  [this, host_ptr, handler, log, seq, payload]() {
+                    // A node that lost power after the append does not run
+                    // the handler; recovery code re-scans the log instead.
+                    if (!host_ptr->up()) return;
+                    ++counters_.handler_fires;
+                    handler(log, seq, payload);
+                  });
+  }
+}
+
+Result<SeqNo> Runtime::LocalAppend(const std::string& node,
+                                   const std::string& log,
+                                   const std::vector<uint8_t>& payload) {
+  Node* n = GetNode(node);
+  if (n == nullptr) return Status(ErrorCode::kNotFound, "no node " + node);
+  if (!n->up()) return Status(ErrorCode::kUnavailable, node + " is down");
+  LogStorage* storage = n->GetLog(log);
+  if (storage == nullptr) {
+    return Status(ErrorCode::kNotFound, "no log " + log + " on " + node);
+  }
+  Result<SeqNo> r = storage->Append(payload);
+  if (r.ok()) FireHandlers(*n, log, r.value(), payload);
+  return r;
+}
+
+Status Runtime::RegisterHandler(const std::string& node, const std::string& log,
+                                Node::Handler handler) {
+  Node* n = GetNode(node);
+  if (n == nullptr) return Status(ErrorCode::kNotFound, "no node " + node);
+  return n->RegisterHandler(log, std::move(handler));
+}
+
+void Runtime::InvalidateSizeCache(const std::string& client,
+                                  const std::string& host,
+                                  const std::string& log) {
+  size_cache_.erase(CacheKey(client, host, log));
+}
+
+// ---------------------------------------------------------------------------
+// Remote append state machine
+// ---------------------------------------------------------------------------
+
+struct Runtime::AppendOp {
+  std::string client, host, log;
+  std::vector<uint8_t> payload;
+  AppendOptions opts;
+  AppendCallback done;
+  uint64_t token = 0;      ///< idempotence token, constant across retries
+  int attempt = 0;
+  bool finished = false;
+  sim::EventHandle timeout;
+  uint64_t phase_id = 0;   ///< guards stale responses from earlier phases
+};
+
+void Runtime::RemoteAppend(const std::string& client, const std::string& host,
+                           const std::string& log,
+                           std::vector<uint8_t> payload,
+                           const AppendOptions& opts, AppendCallback done) {
+  ++counters_.remote_appends;
+  auto op = std::make_shared<AppendOp>();
+  op->client = client;
+  op->host = host;
+  op->log = log;
+  op->payload = std::move(payload);
+  op->opts = opts;
+  op->done = std::move(done);
+  op->token = next_token_++;
+  StartAttempt(std::move(op));
+}
+
+void Runtime::StartAttempt(std::shared_ptr<AppendOp> op) {
+  if (op->finished) return;
+  if (op->attempt >= op->opts.max_attempts) {
+    op->finished = true;
+    op->done(Status(ErrorCode::kTimeout,
+                    "append to " + op->host + "/" + op->log +
+                        " exhausted retries"));
+    return;
+  }
+  ++op->attempt;
+  ++counters_.attempts;
+  ++op->phase_id;
+
+  const std::string key = CacheKey(op->client, op->host, op->log);
+  auto cached = size_cache_.find(key);
+  if (op->opts.use_size_cache && cached != size_cache_.end()) {
+    ++counters_.size_cache_hits;
+    PhasePut(std::move(op), cached->second);
+  } else {
+    PhaseGetSize(std::move(op));
+  }
+}
+
+void Runtime::PhaseGetSize(std::shared_ptr<AppendOp> op) {
+  ++counters_.size_requests;
+  const uint64_t phase = op->phase_id;
+
+  // Arm the per-phase timeout: if no response lands, retry from scratch.
+  op->timeout = sim_.Schedule(sim::SimTime::Millis(op->opts.timeout_ms),
+                              [this, op, phase]() {
+                                if (op->finished || op->phase_id != phase) return;
+                                ++counters_.timeouts;
+                                StartAttempt(op);
+                              });
+
+  wan_.Send(op->client, op->host, params_.control_bytes, [this, op, phase]() {
+    // Request arrives at the host.
+    Node* host = GetNode(op->host);
+    if (host == nullptr || !host->up()) return;  // dropped; timeout drives retry
+    LogStorage* storage = host->GetLog(op->log);
+    const bool found = storage != nullptr;
+    const size_t element_size = found ? storage->config().element_size : 0;
+    wan_.Send(op->host, op->client, params_.control_bytes,
+              [this, op, phase, found, element_size]() {
+                if (op->finished || op->phase_id != phase) return;
+                sim_.Cancel(op->timeout);
+                if (!found) {
+                  FinishAttempt(op, Status(ErrorCode::kNotFound,
+                                           "no log " + op->log + " on " +
+                                               op->host));
+                  return;
+                }
+                size_cache_[CacheKey(op->client, op->host, op->log)] =
+                    element_size;
+                ++op->phase_id;
+                PhasePut(op, element_size);
+              });
+  });
+}
+
+void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
+  ++counters_.puts;
+  const uint64_t phase = op->phase_id;
+  if (op->payload.size() > assumed_size) {
+    FinishAttempt(op, Status(ErrorCode::kInvalidArgument,
+                             "payload exceeds element size"));
+    return;
+  }
+
+  op->timeout = sim_.Schedule(sim::SimTime::Millis(op->opts.timeout_ms),
+                              [this, op, phase]() {
+                                if (op->finished || op->phase_id != phase) return;
+                                ++counters_.timeouts;
+                                StartAttempt(op);
+                              });
+
+  const size_t wire_bytes = params_.control_bytes + op->payload.size();
+  wan_.Send(op->client, op->host, wire_bytes, [this, op, phase, assumed_size]() {
+    Node* host = GetNode(op->host);
+    if (host == nullptr || !host->up()) return;
+    LogStorage* storage = host->GetLog(op->log);
+
+    enum class Verdict { kOk, kNotFound, kSizeMismatch, kDedup, kStorageError };
+    Verdict verdict = Verdict::kOk;
+    SeqNo seq = kNoSeq;
+
+    if (storage == nullptr) {
+      verdict = Verdict::kNotFound;
+    } else if (storage->config().element_size != assumed_size) {
+      // The client's cached element size is stale: the log was recreated
+      // with a different geometry. The append is rejected (the paper's
+      // size-cache failure mode).
+      verdict = Verdict::kSizeMismatch;
+    } else {
+      Result<SeqNo> dedup = host->DedupLookup(op->log, op->token);
+      if (dedup.ok()) {
+        verdict = Verdict::kDedup;
+        seq = dedup.value();
+      }
+    }
+
+    // The persistent append consumes storage time at the host before the
+    // ack is generated (the ack carries the durable sequence number).
+    const double host_ms = (verdict == Verdict::kOk) ? params_.storage_ms : 0.0;
+    Node* host_ptr = host;
+    sim_.Schedule(sim::SimTime::Millis(host_ms), [this, op, phase, verdict_in = verdict,
+                                                  seq_in = seq, host_ptr]() mutable {
+      Verdict verdict = verdict_in;
+      SeqNo seq = seq_in;
+      if (!host_ptr->up()) return;  // power lost mid-append: no ack
+      if (verdict == Verdict::kOk) {
+        LogStorage* storage = host_ptr->GetLog(op->log);
+        if (storage == nullptr) {
+          verdict = Verdict::kNotFound;
+        } else {
+          Result<SeqNo> r = storage->Append(op->payload);
+          if (!r.ok()) {
+            verdict = Verdict::kStorageError;
+          } else {
+            seq = r.value();
+            host_ptr->DedupRecord(op->log, op->token, seq);
+            FireHandlers(*host_ptr, op->log, seq, op->payload);
+          }
+        }
+      }
+      wan_.Send(op->host, op->client, params_.control_bytes,
+                [this, op, phase, verdict, seq]() {
+                  if (op->finished || op->phase_id != phase) return;
+                  sim_.Cancel(op->timeout);
+                  switch (verdict) {
+                    case Verdict::kOk:
+                      FinishAttempt(op, seq);
+                      return;
+                    case Verdict::kDedup:
+                      ++counters_.dedup_hits;
+                      FinishAttempt(op, seq);
+                      return;
+                    case Verdict::kNotFound:
+                      FinishAttempt(op, Status(ErrorCode::kNotFound,
+                                               "no log " + op->log));
+                      return;
+                    case Verdict::kSizeMismatch:
+                      ++counters_.size_cache_invalidations;
+                      InvalidateSizeCache(op->client, op->host, op->log);
+                      ++op->phase_id;
+                      StartAttempt(op);  // refreshes the size next attempt
+                      return;
+                    case Verdict::kStorageError:
+                      FinishAttempt(op, Status(ErrorCode::kInternal,
+                                               "storage append failed"));
+                      return;
+                  }
+                });
+    });
+  });
+}
+
+void Runtime::FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result) {
+  if (op->finished) return;
+  op->finished = true;
+  sim_.Cancel(op->timeout);
+  op->done(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Remote reads (single round trip each)
+// ---------------------------------------------------------------------------
+
+void Runtime::RemoteLatestSeq(const std::string& client,
+                              const std::string& host, const std::string& log,
+                              SeqCallback done) {
+  auto cb = std::make_shared<SeqCallback>(std::move(done));
+  const bool sent =
+      wan_.Send(client, host, params_.control_bytes, [this, client, host, log, cb]() {
+        Node* h = GetNode(host);
+        if (h == nullptr || !h->up()) return;
+        LogStorage* storage = h->GetLog(log);
+        if (storage == nullptr) {
+          wan_.Send(host, client, params_.control_bytes, [cb, log]() {
+            (*cb)(Status(ErrorCode::kNotFound, "no log " + log));
+          });
+          return;
+        }
+        const SeqNo latest = storage->Latest();
+        wan_.Send(host, client, params_.control_bytes,
+                  [cb, latest]() { (*cb)(latest); });
+      });
+  if (!sent) {
+    sim_.Schedule(sim::SimTime::Millis(0.0), [cb, client, host]() {
+      (*cb)(Status(ErrorCode::kUnavailable, "no route " + client + "->" + host));
+    });
+  }
+}
+
+void Runtime::RemoteGet(const std::string& client, const std::string& host,
+                        const std::string& log, SeqNo seq, ReadCallback done) {
+  auto cb = std::make_shared<ReadCallback>(std::move(done));
+  const bool sent =
+      wan_.Send(client, host, params_.control_bytes,
+                [this, client, host, log, seq, cb]() {
+                  Node* h = GetNode(host);
+                  if (h == nullptr || !h->up()) return;
+                  LogStorage* storage = h->GetLog(log);
+                  if (storage == nullptr) {
+                    wan_.Send(host, client, params_.control_bytes, [cb, log]() {
+                      (*cb)(Status(ErrorCode::kNotFound, "no log " + log));
+                    });
+                    return;
+                  }
+                  Result<std::vector<uint8_t>> r = storage->Get(seq);
+                  const size_t bytes =
+                      params_.control_bytes + (r.ok() ? r.value().size() : 0);
+                  wan_.Send(host, client, bytes,
+                            [cb, r = std::move(r)]() { (*cb)(r); });
+                });
+  if (!sent) {
+    sim_.Schedule(sim::SimTime::Millis(0.0), [cb, client, host]() {
+      (*cb)(Status(ErrorCode::kUnavailable, "no route " + client + "->" + host));
+    });
+  }
+}
+
+}  // namespace xg::cspot

@@ -1,0 +1,127 @@
+// The CSPOT distributed runtime: nodes + WAN + the append protocol.
+//
+// The wire protocol mirrors the published implementation's behaviour
+// (Section 4.2 of the paper): appending to a remote log takes TWO round
+// trips — the client first requests the log's element size from the hosting
+// site, then ships the element. The element-size cache optimization
+// (`use_size_cache`) skips the first round trip and halves the latency, at
+// the cost of a failure when the server-side log was recreated with a
+// different element size (`kFailedPrecondition`, after which the cache entry
+// is invalidated and the next attempt refreshes it).
+//
+// Reliability semantics are CSPOT's: an append either returns an error or
+// returns the assigned sequence number; if the ack is lost the operation is
+// retried with the same idempotence token and the host's dedup table makes
+// the retry return the original sequence number — exactly-once delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/sim.hpp"
+#include "cspot/node.hpp"
+#include "cspot/wan.hpp"
+
+namespace xg::cspot {
+
+struct AppendOptions {
+  bool use_size_cache = false;  ///< client-side element-size caching
+  int max_attempts = 8;         ///< total protocol attempts before giving up
+  double timeout_ms = 400.0;    ///< per-phase response timeout
+};
+
+struct RuntimeParams {
+  double storage_ms = 0.2;       ///< persistent append time at the host
+  double handler_delay_ms = 0.5; ///< dispatch delay before a handler runs
+  size_t control_bytes = 64;     ///< wire size of protocol control messages
+};
+
+/// Protocol / reliability counters, inspectable by tests and benches.
+struct RuntimeCounters {
+  uint64_t remote_appends = 0;
+  uint64_t attempts = 0;
+  uint64_t size_requests = 0;
+  uint64_t size_cache_hits = 0;
+  uint64_t size_cache_invalidations = 0;
+  uint64_t puts = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t timeouts = 0;
+  uint64_t handler_fires = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(sim::Simulation& sim, uint64_t seed,
+          RuntimeParams params = RuntimeParams{});
+
+  sim::Simulation& simulation() { return sim_; }
+  Wan& wan() { return wan_; }
+  const RuntimeCounters& counters() const { return counters_; }
+
+  /// Create a node (also registered with the WAN).
+  Node& AddNode(const std::string& name);
+  Node* GetNode(const std::string& name);
+
+  /// Create a memory-backed log on a node.
+  Result<LogStorage*> CreateLog(const std::string& node, const LogConfig& cfg);
+
+  /// Local append: assigns a sequence number and fires handlers after the
+  /// dispatch delay. Fails when the node is powered down.
+  Result<SeqNo> LocalAppend(const std::string& node, const std::string& log,
+                            const std::vector<uint8_t>& payload);
+
+  /// Bind a handler on a node's log.
+  Status RegisterHandler(const std::string& node, const std::string& log,
+                         Node::Handler handler);
+
+  using AppendCallback = std::function<void(Result<SeqNo>)>;
+  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+  using SeqCallback = std::function<void(Result<SeqNo>)>;
+
+  /// Asynchronous remote append (two-phase protocol, retry + dedup).
+  /// `done` fires exactly once, in virtual time.
+  void RemoteAppend(const std::string& client, const std::string& host,
+                    const std::string& log, std::vector<uint8_t> payload,
+                    const AppendOptions& opts, AppendCallback done);
+
+  /// One-round-trip remote reads.
+  void RemoteLatestSeq(const std::string& client, const std::string& host,
+                       const std::string& log, SeqCallback done);
+  void RemoteGet(const std::string& client, const std::string& host,
+                 const std::string& log, SeqNo seq, ReadCallback done);
+
+  /// Drop a client's cached element size (test hook).
+  void InvalidateSizeCache(const std::string& client, const std::string& host,
+                           const std::string& log);
+
+ private:
+  struct AppendOp;
+
+  void StartAttempt(std::shared_ptr<AppendOp> op);
+  void PhaseGetSize(std::shared_ptr<AppendOp> op);
+  void PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size);
+  void FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result);
+  void FireHandlers(Node& host, const std::string& log, SeqNo seq,
+                    const std::vector<uint8_t>& payload);
+
+  std::string CacheKey(const std::string& client, const std::string& host,
+                       const std::string& log) const {
+    return client + "|" + host + "|" + log;
+  }
+
+  sim::Simulation& sim_;
+  Wan wan_;
+  Rng rng_;
+  RuntimeParams params_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  std::map<std::string, size_t> size_cache_;
+  RuntimeCounters counters_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace xg::cspot

@@ -1,0 +1,51 @@
+#include "cspot/topology.hpp"
+
+namespace xg::cspot {
+
+LinkParams Air5GLink() {
+  LinkParams p;
+  // One-way air-interface + core latency of the srsRAN/Open5GS deployment:
+  // dominated by uplink scheduling-request/grant cycles, hence the large
+  // jitter relative to the wired paths (Table 1: SD 17 ms over the four
+  // crossings of a two-round-trip append).
+  p.one_way_ms = 21.0;
+  p.jitter_ms = 8.4;
+  p.min_ms = 8.0;
+  p.bandwidth_mbps = 50.0;  // uplink-constrained
+  return p;
+}
+
+LinkParams UnlUcsbInternet() {
+  LinkParams p;
+  p.one_way_ms = 4.25;  // 2 RTT x 2 crossings = 17 ms per append
+  p.jitter_ms = 0.4;
+  p.min_ms = 3.0;
+  p.bandwidth_mbps = 1000.0;
+  return p;
+}
+
+LinkParams UcsbNdInternet() {
+  LinkParams p;
+  p.one_way_ms = 23.0;  // 92 ms per append
+  p.jitter_ms = 0.5;
+  p.min_ms = 18.0;
+  p.bandwidth_mbps = 1000.0;
+  return p;
+}
+
+TopologyNames BuildXgTopology(Runtime& rt) {
+  TopologyNames n;
+  rt.AddNode(n.unl_5g);
+  rt.AddNode(n.unl_wired);
+  rt.AddNode(n.unl_gateway);
+  rt.AddNode(n.ucsb);
+  rt.AddNode(n.nd);
+
+  rt.wan().AddLink(n.unl_5g, n.unl_gateway, Air5GLink());
+  rt.wan().AddLink(n.unl_gateway, n.ucsb, UnlUcsbInternet());
+  rt.wan().AddLink(n.unl_wired, n.ucsb, UnlUcsbInternet());
+  rt.wan().AddLink(n.ucsb, n.nd, UcsbNdInternet());
+  return n;
+}
+
+}  // namespace xg::cspot

@@ -1,0 +1,39 @@
+// The xGFabric prototype topology (paper Fig 3):
+//
+//   unl        — sensor-network client at U. Nebraska-Lincoln, reached
+//                through the private 5G network (air link -> unl-gw);
+//   unl-wired  — the same client moved onto wired Ethernet (the Table 1
+//                "UNL->UCSB (Internet)" configuration);
+//   unl-gw     — the 5G core / campus gateway at UNL;
+//   ucsb       — the CSPOT data repository at UC Santa Barbara;
+//   nd         — the HPC head node at Notre Dame.
+//
+// Link latencies are calibrated so the two-round-trip CSPOT append protocol
+// reproduces Table 1: 17 ms UNL->UCSB wired, ~101 ms over 5G, 92 ms
+// UCSB->ND (mean +/- SD 0.8 / 17 / 1 ms respectively).
+#pragma once
+
+#include <cstdint>
+
+#include "cspot/runtime.hpp"
+
+namespace xg::cspot {
+
+struct TopologyNames {
+  const char* unl_5g = "unl";
+  const char* unl_wired = "unl-wired";
+  const char* unl_gateway = "unl-gw";
+  const char* ucsb = "ucsb";
+  const char* nd = "nd";
+};
+
+/// Link parameter presets for the three physical path segments.
+LinkParams Air5GLink();        ///< UE <-> gNB/core over the private 5G network
+LinkParams UnlUcsbInternet();  ///< UNL campus <-> UCSB over commodity Internet
+LinkParams UcsbNdInternet();   ///< UCSB <-> Notre Dame over commodity Internet
+
+/// Create the five nodes and four links of the prototype deployment inside
+/// an existing runtime. Idempotent node creation; returns the names in use.
+TopologyNames BuildXgTopology(Runtime& rt);
+
+}  // namespace xg::cspot

@@ -1,0 +1,66 @@
+#include "cspot/uri.hpp"
+
+namespace xg::cspot {
+
+std::string WoofUri::ToString() const {
+  return "woof://" + node + "/" + ns + "/" + log;
+}
+
+Result<WoofUri> ParseWoofUri(const std::string& uri) {
+  constexpr const char* kScheme = "woof://";
+  constexpr size_t kSchemeLen = 7;
+  if (uri.rfind(kScheme, 0) != 0) {
+    return Status(ErrorCode::kInvalidArgument, "not a woof:// URI: " + uri);
+  }
+  const std::string rest = uri.substr(kSchemeLen);
+  const size_t first = rest.find('/');
+  if (first == std::string::npos || first == 0) {
+    return Status(ErrorCode::kInvalidArgument, "missing node or path: " + uri);
+  }
+  WoofUri out;
+  out.node = rest.substr(0, first);
+  const std::string path = rest.substr(first + 1);
+  if (path.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "missing log name: " + uri);
+  }
+  const size_t second = path.find('/');
+  if (second == std::string::npos) {
+    out.log = path;  // default namespace
+  } else {
+    out.ns = path.substr(0, second);
+    out.log = path.substr(second + 1);
+    if (out.ns.empty() || out.log.empty() ||
+        out.log.find('/') != std::string::npos) {
+      return Status(ErrorCode::kInvalidArgument, "malformed path: " + uri);
+    }
+  }
+  return out;
+}
+
+Result<LogStorage*> Namespace::CreateLog(const std::string& log,
+                                         size_t element_size, size_t history) {
+  LogConfig cfg;
+  cfg.name = name_ + "/" + log;
+  cfg.element_size = element_size;
+  cfg.history = history;
+  return node_.CreateLog(cfg);
+}
+
+LogStorage* Namespace::GetLog(const std::string& log) const {
+  return node_.GetLog(name_ + "/" + log);
+}
+
+Status Namespace::DeleteLog(const std::string& log) {
+  return node_.DeleteLog(name_ + "/" + log);
+}
+
+std::vector<std::string> Namespace::LogNames() const {
+  std::vector<std::string> out;
+  const std::string prefix = name_ + "/";
+  for (const std::string& full : node_.LogNames()) {
+    if (full.rfind(prefix, 0) == 0) out.push_back(full.substr(prefix.size()));
+  }
+  return out;
+}
+
+}  // namespace xg::cspot

@@ -1,0 +1,50 @@
+// WooF-style object naming for CSPOT logs.
+//
+// Published CSPOT addresses append-only objects with URIs of the form
+//   woof://<node>/<namespace>/<log>
+// This module parses and formats those names and offers a namespace-scoped
+// view over a Node's logs so applications can organize logs hierarchically
+// (the runtime keys logs by "<namespace>/<log>").
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "cspot/node.hpp"
+
+namespace xg::cspot {
+
+struct WoofUri {
+  std::string node;
+  std::string ns = "default";
+  std::string log;
+
+  std::string ToString() const;
+  /// The key under which the log is stored on the node.
+  std::string LocalName() const { return ns + "/" + log; }
+};
+
+/// Parse "woof://node/namespace/log" (namespace may be omitted:
+/// "woof://node/log" maps to the default namespace).
+Result<WoofUri> ParseWoofUri(const std::string& uri);
+
+/// A namespace-scoped helper over one node's logs.
+class Namespace {
+ public:
+  Namespace(Node& node, std::string name)
+      : node_(node), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Result<LogStorage*> CreateLog(const std::string& log, size_t element_size,
+                                size_t history);
+  LogStorage* GetLog(const std::string& log) const;
+  Status DeleteLog(const std::string& log);
+  std::vector<std::string> LogNames() const;
+
+ private:
+  Node& node_;
+  std::string name_;
+};
+
+}  // namespace xg::cspot

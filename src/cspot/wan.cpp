@@ -1,0 +1,126 @@
+#include "cspot/wan.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace xg::cspot {
+
+Wan::Wan(sim::Simulation& sim, uint64_t seed) : sim_(sim), rng_(seed) {}
+
+void Wan::AddNode(const std::string& name) {
+  if (!HasNode(name)) {
+    nodes_.push_back(name);
+    reachable_[name] = true;
+  }
+}
+
+bool Wan::HasNode(const std::string& name) const {
+  return std::find(nodes_.begin(), nodes_.end(), name) != nodes_.end();
+}
+
+Status Wan::AddLink(const std::string& a, const std::string& b, LinkParams p) {
+  if (!HasNode(a) || !HasNode(b)) {
+    return Status(ErrorCode::kNotFound, "link endpoint unknown");
+  }
+  links_.push_back(Link{a, b, p, true});
+  return Status::Ok();
+}
+
+Status Wan::SetLinkUp(const std::string& a, const std::string& b, bool up) {
+  for (auto& l : links_) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      l.up = up;
+      return Status::Ok();
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such link");
+}
+
+void Wan::SetNodeReachable(const std::string& name, bool reachable) {
+  reachable_[name] = reachable;
+}
+
+bool Wan::NodeReachable(const std::string& name) const {
+  auto it = reachable_.find(name);
+  return it != reachable_.end() && it->second;
+}
+
+std::vector<size_t> Wan::Route(const std::string& from,
+                               const std::string& to) const {
+  // BFS over up links between reachable nodes; returns link indexes.
+  if (!NodeReachable(from) || !NodeReachable(to)) return {};
+  std::map<std::string, std::pair<std::string, size_t>> parent;  // node -> (prev, link)
+  std::deque<std::string> frontier{from};
+  parent[from] = {"", SIZE_MAX};
+  while (!frontier.empty()) {
+    const std::string cur = frontier.front();
+    frontier.pop_front();
+    if (cur == to) break;
+    for (size_t i = 0; i < links_.size(); ++i) {
+      const Link& l = links_[i];
+      if (!l.up) continue;
+      std::string next;
+      if (l.a == cur) next = l.b;
+      else if (l.b == cur) next = l.a;
+      else continue;
+      if (!NodeReachable(next) || parent.count(next)) continue;
+      parent[next] = {cur, i};
+      frontier.push_back(next);
+    }
+  }
+  if (!parent.count(to)) return {};
+  std::vector<size_t> route;
+  for (std::string cur = to; cur != from;) {
+    auto& [prev, link] = parent[cur];
+    route.push_back(link);
+    cur = prev;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+bool Wan::Send(const std::string& from, const std::string& to, size_t bytes,
+               std::function<void()> deliver) {
+  ++messages_sent_;
+  const auto route = Route(from, to);
+  if (route.empty() && from != to) {
+    ++messages_lost_;
+    return false;
+  }
+  double total_ms = 0.0;
+  for (size_t idx : route) {
+    const LinkParams& p = links_[idx].params;
+    if (rng_.Bernoulli(p.loss_prob)) {
+      ++messages_lost_;
+      return false;
+    }
+    double lat = rng_.Gaussian(p.one_way_ms, p.jitter_ms);
+    if (lat < p.min_ms) lat = p.min_ms;
+    if (p.bandwidth_mbps > 0.0 && bytes > 0) {
+      lat += static_cast<double>(bytes) * 8.0 / (p.bandwidth_mbps * 1e3);
+    }
+    total_ms += lat;
+  }
+  sim_.Schedule(sim::SimTime::Millis(total_ms), std::move(deliver));
+  return true;
+}
+
+Result<double> Wan::MeanPathLatencyMs(const std::string& from,
+                                      const std::string& to,
+                                      size_t bytes) const {
+  const auto route = Route(from, to);
+  if (route.empty() && from != to) {
+    return Status(ErrorCode::kUnavailable, "no route " + from + "->" + to);
+  }
+  double total = 0.0;
+  for (size_t idx : route) {
+    const LinkParams& p = links_[idx].params;
+    total += p.one_way_ms;
+    if (p.bandwidth_mbps > 0.0 && bytes > 0) {
+      total += static_cast<double>(bytes) * 8.0 / (p.bandwidth_mbps * 1e3);
+    }
+  }
+  return total;
+}
+
+}  // namespace xg::cspot

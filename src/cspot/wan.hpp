@@ -1,0 +1,81 @@
+// Simulated wide-area network connecting CSPOT nodes.
+//
+// Replaces the testbed's physical paths (private 5G air interface at UNL,
+// commodity Internet between UNL, UCSB and ND). Links carry per-message
+// latency = base one-way + Gaussian jitter + serialization time, may drop
+// messages (loss), and can be taken down to model partitions. Routing is
+// shortest-hop over the link graph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/sim.hpp"
+
+namespace xg::cspot {
+
+struct LinkParams {
+  double one_way_ms = 5.0;       ///< mean propagation + processing latency
+  double jitter_ms = 0.3;        ///< per-message latency stddev
+  double min_ms = 0.05;          ///< latency floor
+  double loss_prob = 0.0;        ///< independent per-message loss
+  double bandwidth_mbps = 100.0; ///< serialization rate
+};
+
+class Wan {
+ public:
+  Wan(sim::Simulation& sim, uint64_t seed);
+
+  void AddNode(const std::string& name);
+  bool HasNode(const std::string& name) const;
+
+  /// Add a bidirectional link between existing nodes.
+  Status AddLink(const std::string& a, const std::string& b, LinkParams p);
+
+  /// Take a link down / bring it up (network partition injection).
+  Status SetLinkUp(const std::string& a, const std::string& b, bool up);
+
+  /// Take every link of a node down (site-level partition).
+  void SetNodeReachable(const std::string& name, bool reachable);
+  bool NodeReachable(const std::string& name) const;
+
+  /// Send `bytes` from `from` to `to`; `deliver` runs at the destination
+  /// after the sampled path latency. Returns false when no route exists or
+  /// the message is lost (deliver never runs in that case).
+  bool Send(const std::string& from, const std::string& to, size_t bytes,
+            std::function<void()> deliver);
+
+  /// Mean end-to-end one-way latency (no jitter/loss), for diagnostics.
+  Result<double> MeanPathLatencyMs(const std::string& from,
+                                   const std::string& to,
+                                   size_t bytes = 0) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_lost() const { return messages_lost_; }
+
+ private:
+  struct Link {
+    std::string a, b;
+    LinkParams params;
+    bool up = true;
+  };
+
+  /// Indexes into links_ along the shortest-hop route, empty if none.
+  std::vector<size_t> Route(const std::string& from,
+                            const std::string& to) const;
+
+  sim::Simulation& sim_;
+  Rng rng_;
+  std::vector<std::string> nodes_;
+  std::map<std::string, bool> reachable_;
+  std::vector<Link> links_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_lost_ = 0;
+};
+
+}  // namespace xg::cspot

@@ -1,0 +1,66 @@
+#include "hpc/federation.hpp"
+
+#include <algorithm>
+
+namespace xg::hpc {
+
+SiteSelector::SiteSelector(sim::Simulation& sim, CfdPerfModel perf,
+                           uint64_t seed)
+    : sim_(sim), perf_(perf), rng_(seed) {}
+
+BatchScheduler& SiteSelector::AddSite(const SiteProfile& profile) {
+  Site site;
+  site.profile = profile;
+  site.scheduler =
+      std::make_unique<BatchScheduler>(sim_, profile, rng_.NextU64());
+  sites_.push_back(std::move(site));
+  return *sites_.back().scheduler;
+}
+
+BatchScheduler* SiteSelector::Scheduler(const std::string& site) {
+  for (auto& s : sites_) {
+    if (s.profile.name == site) return s.scheduler.get();
+  }
+  return nullptr;
+}
+
+std::vector<SiteScore> SiteSelector::ScoreAll(int nodes) const {
+  std::vector<SiteScore> scores;
+  scores.reserve(sites_.size());
+  for (const Site& s : sites_) {
+    SiteScore score;
+    score.site = s.profile.name;
+    score.est_wait_s = s.scheduler->EstimateWaitS(
+        std::min(nodes, s.profile.nodes));
+    score.est_runtime_s =
+        perf_.TotalTime(s.profile.cores_per_node, std::min(nodes, 1));
+    score.est_completion_s = score.est_wait_s + score.est_runtime_s;
+    score.batch_rendering =
+        PlanBatchRendering(s.profile).mode != RenderMode::kUnsupported;
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+Result<SiteScore> SiteSelector::Best(int nodes,
+                                     bool require_batch_rendering) const {
+  std::vector<SiteScore> scores = ScoreAll(nodes);
+  const SiteScore* best = nullptr;
+  for (const SiteScore& s : scores) {
+    if (require_batch_rendering && !s.batch_rendering) continue;
+    if (best == nullptr || s.est_completion_s < best->est_completion_s) {
+      best = &s;
+    }
+  }
+  if (best == nullptr) {
+    return Status(ErrorCode::kUnavailable,
+                  "no site satisfies the placement constraints");
+  }
+  return *best;
+}
+
+void SiteSelector::StartBackgroundLoadAll(sim::SimTime until) {
+  for (Site& s : sites_) s.scheduler->StartBackgroundLoad(until);
+}
+
+}  // namespace xg::hpc

@@ -1,0 +1,63 @@
+// Multi-site federation (paper Section 4.3): "Future deployments of
+// xGFabric will make use of varying HPC sites in order to exploit the
+// changing availability and performance of different facilities."
+//
+// The SiteSelector holds one batch-scheduler simulator per facility and
+// chooses, per task, the site minimizing expected completion time
+// (estimated queue wait + modeled runtime on that site's node width),
+// optionally filtered by a portability requirement (batch rendering
+// support). This is the scheduling/placement layer above the pilot.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "hpc/perfmodel.hpp"
+#include "hpc/portability.hpp"
+#include "hpc/scheduler.hpp"
+
+namespace xg::hpc {
+
+struct SiteScore {
+  std::string site;
+  double est_wait_s = 0.0;
+  double est_runtime_s = 0.0;
+  double est_completion_s = 0.0;
+  bool batch_rendering = false;
+};
+
+class SiteSelector {
+ public:
+  SiteSelector(sim::Simulation& sim, CfdPerfModel perf, uint64_t seed);
+
+  /// Add a facility; its scheduler is created and owned by the selector.
+  BatchScheduler& AddSite(const SiteProfile& profile);
+
+  size_t site_count() const { return sites_.size(); }
+  BatchScheduler* Scheduler(const std::string& site);
+
+  /// Score every site for an n-node job (lower completion is better).
+  std::vector<SiteScore> ScoreAll(int nodes) const;
+
+  /// Best site for an n-node job; fails when no site qualifies.
+  /// `require_batch_rendering` filters to sites whose batch environment can
+  /// render the VTK output (Section 4.3's constraint).
+  Result<SiteScore> Best(int nodes, bool require_batch_rendering = false) const;
+
+  /// Start background load on every site (each to its own utilization).
+  void StartBackgroundLoadAll(sim::SimTime until);
+
+ private:
+  sim::Simulation& sim_;
+  CfdPerfModel perf_;
+  Rng rng_;
+  struct Site {
+    SiteProfile profile;
+    std::unique_ptr<BatchScheduler> scheduler;
+  };
+  std::vector<Site> sites_;
+};
+
+}  // namespace xg::hpc

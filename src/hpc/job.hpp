@@ -1,0 +1,45 @@
+// Batch job vocabulary shared by the scheduler and the pilot layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/sim.hpp"
+
+namespace xg::hpc {
+
+using JobId = int64_t;
+constexpr JobId kNoJob = -1;
+
+struct JobSpec {
+  std::string name;
+  int nodes = 1;
+  double walltime_s = 3600.0;  ///< requested limit; job is killed past it
+  double runtime_s = 600.0;    ///< actual execution length once started
+};
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kTimedOut,  ///< hit the walltime limit
+  kCancelled,
+};
+
+const char* JobStateName(JobState s);
+
+struct JobInfo {
+  JobId id = kNoJob;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  sim::SimTime submit_time;
+  sim::SimTime start_time;
+  sim::SimTime end_time;
+
+  double QueueWaitS() const { return (start_time - submit_time).seconds(); }
+};
+
+using JobCallback = std::function<void(const JobInfo&)>;
+
+}  // namespace xg::hpc

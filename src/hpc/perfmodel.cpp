@@ -1,0 +1,59 @@
+#include "hpc/perfmodel.hpp"
+
+#include <cmath>
+
+namespace xg::hpc {
+
+double CfdPerfModel::SerialTime(int nodes) const {
+  return params_.serial_s * params_.work_scale *
+         (1.0 + params_.multi_node_serial_factor * (nodes - 1));
+}
+
+double CfdPerfModel::FoamTime(int cores_per_node, int nodes) const {
+  const double cores = static_cast<double>(cores_per_node) * nodes;
+  const double solve = params_.parallel_work_s * params_.work_scale / cores;
+  const double sync = params_.per_core_overhead_s * (cores_per_node - 1);
+  const double comm =
+      nodes > 1 ? params_.inter_node_comm_s * std::pow(nodes - 1.0, 1.5) : 0.0;
+  return solve + sync + comm;
+}
+
+double CfdPerfModel::TotalTime(int cores_per_node, int nodes) const {
+  return SerialTime(nodes) + FoamTime(cores_per_node, nodes);
+}
+
+double CfdPerfModel::SampleTotalTime(int cores_per_node, int nodes,
+                                     Rng& rng) const {
+  const double mean = TotalTime(cores_per_node, nodes);
+  const double sigma = params_.jitter_rel;
+  // Lognormal with unit mean: exp(N(-sigma^2/2, sigma)).
+  return mean * rng.LogNormal(-sigma * sigma / 2.0, sigma);
+}
+
+int CfdPerfModel::BestFoamNodes(int cores_per_node, int max_nodes) const {
+  int best = 1;
+  double best_t = FoamTime(cores_per_node, 1);
+  for (int n = 2; n <= max_nodes; ++n) {
+    const double t = FoamTime(cores_per_node, n);
+    if (t < best_t) {
+      best_t = t;
+      best = n;
+    }
+  }
+  return best;
+}
+
+int CfdPerfModel::BestTotalNodes(int cores_per_node, int max_nodes) const {
+  int best = 1;
+  double best_t = TotalTime(cores_per_node, 1);
+  for (int n = 2; n <= max_nodes; ++n) {
+    const double t = TotalTime(cores_per_node, n);
+    if (t < best_t) {
+      best_t = t;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace xg::hpc

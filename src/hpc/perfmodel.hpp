@@ -1,0 +1,68 @@
+// Calibrated execution-time model for the full CFD application.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper's Fig 7 measures OpenFOAM
+// wall-clock on a real 64-core node; this build machine cannot demonstrate
+// that, so the Fig 7 bench samples this analytic model instead. The model
+// is the standard Amdahl decomposition of the *total application*:
+//
+//   T(total) = T_serial(nodes) + W / (cores * nodes) + sync(cores) + comm(nodes)
+//
+//   - T_serial: input generation, mesh generation, and output
+//     post-processing; grows with node count (decomposePar/reconstructPar
+//     overhead) — this is why the total application slows beyond one node
+//     even though the OpenFOAM kernel itself is fastest on 2 x 64 cores
+//     (paper Section 4.4);
+//   - W: parallelizable solver work;
+//   - sync: intra-node synchronization per extra core;
+//   - comm: inter-node MPI exchange, superlinear in node count.
+//
+// Defaults are calibrated to the paper's single measurement pair —
+// 420.39 s +/- 36.29 s at 64 cores / 1 node — and to the qualitative
+// multi-node statements. Runs are jittered log-normally (batch-system
+// noise), matching the reported ~8.6% relative SD.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace xg::hpc {
+
+struct CfdPerfParams {
+  double serial_s = 160.0;            ///< 1-node mesh gen + pre/post
+  double parallel_work_s = 16000.0;   ///< single-core solve work
+  double per_core_overhead_s = 0.12;  ///< intra-node sync per extra core
+  double inter_node_comm_s = 30.0;    ///< scaled by (nodes-1)^1.5
+  double multi_node_serial_factor = 0.75;  ///< serial growth per extra node
+  double jitter_rel = 0.085;          ///< lognormal relative SD
+  double work_scale = 1.0;            ///< problem-size multiplier
+};
+
+class CfdPerfModel {
+ public:
+  explicit CfdPerfModel(CfdPerfParams params = CfdPerfParams{})
+      : params_(params) {}
+
+  const CfdPerfParams& params() const { return params_; }
+
+  /// Serial fraction (input gen + meshing + post-processing) at a node count.
+  double SerialTime(int nodes) const;
+
+  /// The OpenFOAM-kernel part only (solve + parallel overheads).
+  double FoamTime(int cores_per_node, int nodes) const;
+
+  /// Deterministic mean total application time.
+  double TotalTime(int cores_per_node, int nodes = 1) const;
+
+  /// One stochastic run (lognormal jitter around the mean).
+  double SampleTotalTime(int cores_per_node, int nodes, Rng& rng) const;
+
+  /// Node count minimizing the OpenFOAM kernel time (paper: 2).
+  int BestFoamNodes(int cores_per_node, int max_nodes) const;
+
+  /// Node count minimizing the *total* application time (paper: 1).
+  int BestTotalNodes(int cores_per_node, int max_nodes) const;
+
+ private:
+  CfdPerfParams params_;
+};
+
+}  // namespace xg::hpc

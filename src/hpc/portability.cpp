@@ -1,0 +1,57 @@
+#include "hpc/portability.hpp"
+
+namespace xg::hpc {
+
+const char* RenderModeName(RenderMode m) {
+  switch (m) {
+    case RenderMode::kSshForwardedHeadNode: return "ssh -Y head node";
+    case RenderMode::kBatchVirtualFramebuffer: return "batch + Xvfb";
+    case RenderMode::kBatchMesaOffscreen: return "batch + Mesa offscreen";
+    case RenderMode::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+RenderPlan PlanBatchRendering(const SiteProfile& site) {
+  if (site.graphics == GraphicsStack::kMesa) {
+    if (site.mesa_passthrough) {
+      return {RenderMode::kBatchMesaOffscreen,
+              site.name + ": Mesa-compiled ParaView renders offscreen in batch"};
+    }
+    return {RenderMode::kUnsupported,
+            site.name + ": Mesa ParaView but no environment pass-through"};
+  }
+  // OpenGL-compiled ParaView needs a display: a virtual framebuffer in the
+  // batch allocation, if the site supports one.
+  if (site.virtual_framebuffer) {
+    return {RenderMode::kBatchVirtualFramebuffer,
+            site.name + ": OpenGL ParaView with X.Org virtual framebuffer"};
+  }
+  return {RenderMode::kUnsupported,
+          site.name +
+              ": OpenGL ParaView without virtual framebuffer or Mesa "
+              "pass-through"};
+}
+
+RenderPlan PlanFrontEndRendering(const SiteProfile& site) {
+  return {RenderMode::kSshForwardedHeadNode,
+          site.name + ": user establishes a display-forwarded SSH connection "
+                      "(ssh -Y) for offscreen rendering on the head node"};
+}
+
+std::vector<std::string> CheckPinnedEnvironment(
+    const SiteProfile& site, const std::string& pinned_openfoam,
+    const std::string& pinned_paraview) {
+  std::vector<std::string> mismatches;
+  if (site.openfoam_module != pinned_openfoam) {
+    mismatches.push_back("openfoam: site provides " + site.openfoam_module +
+                         ", pinned " + pinned_openfoam);
+  }
+  if (site.paraview_module != pinned_paraview) {
+    mismatches.push_back("paraview: site provides " + site.paraview_module +
+                         ", pinned " + pinned_paraview);
+  }
+  return mismatches;
+}
+
+}  // namespace xg::hpc

@@ -1,0 +1,47 @@
+// Portability checks (paper Section 4.3).
+//
+// Rendering the VTK output across heterogeneous facilities was the main
+// portability challenge: ParaView builds differ in graphics-library
+// dependencies, and not every site supports virtual framebuffers or Mesa
+// environment pass-through in batch jobs. This module encodes the decision
+// procedure the deployment scripts perform: pick a rendering plan per site
+// or report why a mode is unusable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpc/site.hpp"
+
+namespace xg::hpc {
+
+enum class RenderMode {
+  kSshForwardedHeadNode,  ///< user connects with ssh -Y; offscreen render on head node
+  kBatchVirtualFramebuffer,  ///< Xvfb inside the batch job
+  kBatchMesaOffscreen,       ///< Mesa software rendering inside the batch job
+  kUnsupported,
+};
+
+const char* RenderModeName(RenderMode m);
+
+struct RenderPlan {
+  RenderMode mode = RenderMode::kUnsupported;
+  std::string reason;
+};
+
+/// Decide how a batch job could render on this site, preferring batch-side
+/// rendering when the environment allows it.
+RenderPlan PlanBatchRendering(const SiteProfile& site);
+
+/// The paper's chosen front-end solution: SSH display forwarding to the
+/// head node always works (every site allows offscreen rendering there).
+RenderPlan PlanFrontEndRendering(const SiteProfile& site);
+
+/// Environment reproducibility check: verifies the pinned software list
+/// (the Miniconda strategy) against the site's modules; returns the list of
+/// mismatches that deployment scripts would need to reconcile.
+std::vector<std::string> CheckPinnedEnvironment(
+    const SiteProfile& site, const std::string& pinned_openfoam,
+    const std::string& pinned_paraview);
+
+}  // namespace xg::hpc

@@ -1,0 +1,74 @@
+#include "hpc/site.hpp"
+
+namespace xg::hpc {
+
+const char* SchedulerName(SchedulerType t) {
+  switch (t) {
+    case SchedulerType::kUge: return "UGE";
+    case SchedulerType::kSlurm: return "Slurm";
+  }
+  return "?";
+}
+
+const char* GraphicsName(GraphicsStack g) {
+  switch (g) {
+    case GraphicsStack::kOpenGlXorg: return "OpenGL+X.Org";
+    case GraphicsStack::kMesa: return "Mesa";
+  }
+  return "?";
+}
+
+SiteProfile NotreDameCRC() {
+  SiteProfile s;
+  s.name = "ND-CRC";
+  s.scheduler = SchedulerType::kUge;
+  s.nodes = 24;
+  s.cores_per_node = 64;
+  s.max_walltime_h = 24.0;
+  s.os = "RHEL 8";
+  s.openfoam_module = "openfoam/10";
+  s.paraview_module = "paraview/5.11-opengl";
+  s.graphics = GraphicsStack::kOpenGlXorg;
+  s.virtual_framebuffer = true;
+  s.mesa_passthrough = true;
+  s.background_utilization = 0.78;
+  return s;
+}
+
+SiteProfile PurdueAnvil() {
+  SiteProfile s;
+  s.name = "ANVIL";
+  s.scheduler = SchedulerType::kSlurm;
+  s.nodes = 64;
+  s.cores_per_node = 128;
+  s.max_walltime_h = 48.0;
+  s.os = "Rocky 8";
+  s.openfoam_module = "openfoam/9";
+  s.paraview_module = "paraview/5.10-opengl";
+  s.graphics = GraphicsStack::kOpenGlXorg;
+  // Section 4.3: ANVIL lacks both virtual-framebuffer support and Mesa
+  // environment pass-through.
+  s.virtual_framebuffer = false;
+  s.mesa_passthrough = false;
+  s.background_utilization = 0.82;
+  return s;
+}
+
+SiteProfile TaccStampede3() {
+  SiteProfile s;
+  s.name = "Stampede3";
+  s.scheduler = SchedulerType::kSlurm;
+  s.nodes = 48;
+  s.cores_per_node = 112;
+  s.max_walltime_h = 48.0;
+  s.os = "Rocky 9";
+  s.openfoam_module = "openfoam/11";
+  s.paraview_module = "paraview/5.12-mesa";
+  s.graphics = GraphicsStack::kMesa;
+  s.virtual_framebuffer = false;
+  s.mesa_passthrough = true;
+  s.background_utilization = 0.85;
+  return s;
+}
+
+}  // namespace xg::hpc

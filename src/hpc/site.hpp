@@ -1,0 +1,42 @@
+// HPC site profiles.
+//
+// The paper deploys the simulation across three facilities — Notre Dame's
+// CRC, Purdue's ANVIL, and TACC's Stampede3 — and Section 4.3 catalogs the
+// practical differences: batch scheduler, pre-installed OpenFOAM/ParaView
+// module versions, and graphics-stack quirks that constrain how the VTK
+// output can be rendered. These profiles drive both the batch-scheduler
+// simulator and the portability checks.
+#pragma once
+
+#include <string>
+
+namespace xg::hpc {
+
+enum class SchedulerType { kUge, kSlurm };
+enum class GraphicsStack { kOpenGlXorg, kMesa };
+
+struct SiteProfile {
+  std::string name;
+  SchedulerType scheduler = SchedulerType::kSlurm;
+  int nodes = 32;
+  int cores_per_node = 64;
+  double max_walltime_h = 24.0;
+  // Software environment (Section 4.3).
+  std::string os;
+  std::string openfoam_module;
+  std::string paraview_module;
+  GraphicsStack graphics = GraphicsStack::kOpenGlXorg;
+  bool virtual_framebuffer = true;   ///< Xvfb available on head nodes
+  bool mesa_passthrough = true;      ///< Mesa env vars survive batch submit
+  // Load profile for the queueing-delay model.
+  double background_utilization = 0.75;  ///< long-run fraction of busy nodes
+};
+
+SiteProfile NotreDameCRC();
+SiteProfile PurdueAnvil();
+SiteProfile TaccStampede3();
+
+const char* SchedulerName(SchedulerType t);
+const char* GraphicsName(GraphicsStack g);
+
+}  // namespace xg::hpc

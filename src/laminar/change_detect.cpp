@@ -1,0 +1,53 @@
+#include "laminar/change_detect.hpp"
+
+namespace xg::laminar {
+
+ChangeDecision ChangeDetector::Compare(const std::vector<double>& previous,
+                                       const std::vector<double>& recent) const {
+  ChangeDecision d;
+  if (previous.size() < 2 || recent.size() < 2) return d;
+  d.enough_data = true;
+  d.welch = WelchTTest(previous, recent);
+  d.mann_whitney = MannWhitneyU(previous, recent);
+  d.kolmogorov_smirnov = KolmogorovSmirnov(previous, recent);
+  d.votes = static_cast<int>(d.welch.reject(config_.alpha)) +
+            static_cast<int>(d.mann_whitney.reject(config_.alpha)) +
+            static_cast<int>(d.kolmogorov_smirnov.reject(config_.alpha));
+  d.changed = d.votes >= config_.votes_needed;
+  return d;
+}
+
+ChangeDecision ChangeDetector::Evaluate(const std::vector<double>& series) const {
+  const size_t n = config_.window;
+  if (series.size() < 2 * n) return ChangeDecision{};
+  std::vector<double> previous(series.end() - static_cast<long>(2 * n),
+                               series.end() - static_cast<long>(n));
+  std::vector<double> recent(series.end() - static_cast<long>(n),
+                             series.end());
+  return Compare(previous, recent);
+}
+
+ChangeDetectionGraph BuildChangeDetectionProgram(
+    Program& program, const std::string& ingest_host,
+    const std::string& detect_host, ChangeDetectorConfig config,
+    SinkFn on_alert) {
+  ChangeDetectionGraph g;
+  g.source = program.AddSource("telemetry", ingest_host, ValueType::kDouble);
+  g.window = program.AddWindow("window", detect_host, g.source,
+                               2 * config.window);
+  ChangeDetector detector(config);
+  g.decision = program.AddMap(
+      "vote", detect_host, g.window, ValueType::kBool,
+      [detector](const Value& v) {
+        const auto& series = v.AsVector();
+        return Value(detector.Evaluate(series).changed);
+      });
+  const int only_changed = program.AddFilter(
+      "changed", detect_host, g.decision,
+      [](const Value& v) { return v.AsBool(); });
+  g.alert = program.AddSink("alert", detect_host, only_changed,
+                            std::move(on_alert));
+  return g;
+}
+
+}  // namespace xg::laminar

@@ -1,0 +1,102 @@
+// Convenience operator builders for Laminar programs.
+//
+// Laminar is "a strongly-typed applicative language"; these helpers are the
+// standard-library corner of it: arithmetic, comparison, and aggregation
+// operands built from the core Map/Zip/Reduce primitives, so application
+// graphs (like the change-detection program) read declaratively.
+#pragma once
+
+#include "laminar/program.hpp"
+
+namespace xg::laminar::ops {
+
+/// c = a + b (numeric coercion; result kDouble).
+inline int Add(Program& p, const std::string& name, const std::string& host,
+               int a, int b) {
+  return p.AddZip(name, host, {a, b}, ValueType::kDouble,
+                  [](const std::vector<Value>& v) {
+                    return Value(v[0].ToNumber().value_or(0.0) +
+                                 v[1].ToNumber().value_or(0.0));
+                  });
+}
+
+inline int Sub(Program& p, const std::string& name, const std::string& host,
+               int a, int b) {
+  return p.AddZip(name, host, {a, b}, ValueType::kDouble,
+                  [](const std::vector<Value>& v) {
+                    return Value(v[0].ToNumber().value_or(0.0) -
+                                 v[1].ToNumber().value_or(0.0));
+                  });
+}
+
+inline int Mul(Program& p, const std::string& name, const std::string& host,
+               int a, int b) {
+  return p.AddZip(name, host, {a, b}, ValueType::kDouble,
+                  [](const std::vector<Value>& v) {
+                    return Value(v[0].ToNumber().value_or(0.0) *
+                                 v[1].ToNumber().value_or(0.0));
+                  });
+}
+
+/// c = a * k for a compile-time constant factor.
+inline int Scale(Program& p, const std::string& name, const std::string& host,
+                 int a, double k) {
+  return p.AddMap(name, host, a, ValueType::kDouble,
+                  [k](const Value& v) {
+                    return Value(v.ToNumber().value_or(0.0) * k);
+                  });
+}
+
+/// Boolean a > b.
+inline int GreaterThan(Program& p, const std::string& name,
+                       const std::string& host, int a, int b) {
+  return p.AddZip(name, host, {a, b}, ValueType::kBool,
+                  [](const std::vector<Value>& v) {
+                    return Value(v[0].ToNumber().value_or(0.0) >
+                                 v[1].ToNumber().value_or(0.0));
+                  });
+}
+
+/// Running sum of a numeric stream.
+inline int RunningSum(Program& p, const std::string& name,
+                      const std::string& host, int a) {
+  return p.AddReduce(name, host, a, Value(0.0),
+                     [](const Value& acc, const Value& x) {
+                       return Value(acc.AsDouble() +
+                                    x.ToNumber().value_or(0.0));
+                     });
+}
+
+/// Running maximum of a numeric stream.
+inline int RunningMax(Program& p, const std::string& name,
+                      const std::string& host, int a) {
+  return p.AddReduce(name, host, a, Value(-1e300),
+                     [](const Value& acc, const Value& x) {
+                       const double v = x.ToNumber().value_or(-1e300);
+                       return Value(v > acc.AsDouble() ? v : acc.AsDouble());
+                     });
+}
+
+/// Running count of tokens seen.
+inline int RunningCount(Program& p, const std::string& name,
+                        const std::string& host, int a) {
+  return p.AddReduce(name, host, a, Value(int64_t{0}),
+                     [](const Value& acc, const Value&) {
+                       return Value(acc.AsInt() + 1);
+                     });
+}
+
+/// Mean of a window vector (pairs with Program::AddWindow).
+inline int WindowMean(Program& p, const std::string& name,
+                      const std::string& host, int window_op) {
+  return p.AddMap(name, host, window_op, ValueType::kDouble,
+                  [](const Value& v) {
+                    const auto& xs = v.AsVector();
+                    if (xs.empty()) return Value(0.0);
+                    double s = 0.0;
+                    for (double x : xs) s += x;
+                    return Value(s / static_cast<double>(xs.size()));
+                  });
+}
+
+}  // namespace xg::laminar::ops

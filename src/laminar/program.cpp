@@ -1,0 +1,401 @@
+#include "laminar/program.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace xg::laminar {
+
+namespace {
+constexpr size_t kTokenLogElement = 4096;
+constexpr size_t kTokenLogHistory = 4096;
+}  // namespace
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kSource: return "source";
+    case OpKind::kConst: return "const";
+    case OpKind::kMap: return "map";
+    case OpKind::kZip: return "zip";
+    case OpKind::kWindow: return "window";
+    case OpKind::kFilter: return "filter";
+    case OpKind::kSink: return "sink";
+    case OpKind::kReduce: return "reduce";
+  }
+  return "?";
+}
+
+Program::Program(cspot::Runtime& rt, std::string name)
+    : rt_(rt), name_(std::move(name)) {}
+
+int Program::AddOperand(Operand op) {
+  ops_.push_back(std::move(op));
+  const int id = static_cast<int>(ops_.size()) - 1;
+  for (int in : ops_[static_cast<size_t>(id)].inputs) {
+    if (in >= 0 && in < id) {
+      ops_[static_cast<size_t>(in)].consumers.push_back(id);
+    }
+  }
+  return id;
+}
+
+int Program::AddSource(const std::string& op, const std::string& host,
+                       ValueType type) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kSource;
+  o.output_type = type;
+  return AddOperand(std::move(o));
+}
+
+int Program::AddConst(const std::string& op, const std::string& host, Value v) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kConst;
+  o.output_type = v.type();
+  o.constant = std::move(v);
+  return AddOperand(std::move(o));
+}
+
+int Program::AddMap(const std::string& op, const std::string& host, int input,
+                    ValueType output_type, MapFn fn) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kMap;
+  o.output_type = output_type;
+  o.inputs = {input};
+  o.map = std::move(fn);
+  return AddOperand(std::move(o));
+}
+
+int Program::AddZip(const std::string& op, const std::string& host,
+                    const std::vector<int>& inputs, ValueType output_type,
+                    ZipFn fn) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kZip;
+  o.output_type = output_type;
+  o.inputs = inputs;
+  o.zip = std::move(fn);
+  return AddOperand(std::move(o));
+}
+
+int Program::AddWindow(const std::string& op, const std::string& host,
+                       int input, size_t n) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kWindow;
+  o.output_type = ValueType::kDoubleVector;
+  o.inputs = {input};
+  o.window = n;
+  return AddOperand(std::move(o));
+}
+
+int Program::AddFilter(const std::string& op, const std::string& host,
+                       int input, PredicateFn fn) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kFilter;
+  o.inputs = {input};
+  o.predicate = std::move(fn);
+  return AddOperand(std::move(o));
+}
+
+int Program::AddReduce(const std::string& op, const std::string& host,
+                       int input, Value init, ReduceFn fn) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kReduce;
+  o.output_type = init.type();
+  o.inputs = {input};
+  o.constant = std::move(init);
+  o.reduce = std::move(fn);
+  return AddOperand(std::move(o));
+}
+
+int Program::AddSink(const std::string& op, const std::string& host, int input,
+                     SinkFn fn) {
+  Operand o;
+  o.name = op;
+  o.host = host;
+  o.kind = OpKind::kSink;
+  o.inputs = {input};
+  o.sink = std::move(fn);
+  return AddOperand(std::move(o));
+}
+
+std::string Program::OutLog(int op) const {
+  return "lam." + name_ + "." + ops_[static_cast<size_t>(op)].name + ".out";
+}
+
+std::string Program::InLog(int op, size_t slot) const {
+  return "lam." + name_ + "." + ops_[static_cast<size_t>(op)].name + ".in" +
+         std::to_string(slot);
+}
+
+ValueType Program::InputType(const Operand& op, size_t slot) const {
+  const int producer = op.inputs[slot];
+  return ops_[static_cast<size_t>(producer)].output_type;
+}
+
+Status Program::Deploy() {
+  if (deployed_) {
+    return Status(ErrorCode::kFailedPrecondition, "already deployed");
+  }
+
+  // Type-check: window/filter constrain their input; sinks accept any.
+  for (const Operand& op : ops_) {
+    for (size_t s = 0; s < op.inputs.size(); ++s) {
+      const int in = op.inputs[s];
+      if (in < 0 || in >= static_cast<int>(ops_.size())) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "operand " + op.name + " has dangling input");
+      }
+      const ValueType t = InputType(op, s);
+      if (op.kind == OpKind::kWindow && t != ValueType::kDouble &&
+          t != ValueType::kInt) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "window input must be numeric: " + op.name);
+      }
+    }
+    if (op.kind == OpKind::kFilter) {
+      // A filter is type-transparent.
+      const_cast<Operand&>(op).output_type = InputType(op, 0);
+    }
+  }
+
+  // Create logs and handlers.
+  const cspot::LogConfig base{"", kTokenLogElement, kTokenLogHistory};
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Operand& op = ops_[i];
+    if (rt_.GetNode(op.host) == nullptr) {
+      return Status(ErrorCode::kNotFound, "no CSPOT node " + op.host);
+    }
+    if (op.kind != OpKind::kSink && op.kind != OpKind::kConst) {
+      cspot::LogConfig out = base;
+      out.name = OutLog(static_cast<int>(i));
+      auto r = rt_.CreateLog(op.host, out);
+      if (!r.ok()) return r.status();
+    }
+    for (size_t s = 0; s < op.inputs.size(); ++s) {
+      if (ops_[static_cast<size_t>(op.inputs[s])].kind == OpKind::kConst) {
+        continue;  // consts are folded, no log
+      }
+      cspot::LogConfig in = base;
+      in.name = InLog(static_cast<int>(i), s);
+      auto r = rt_.CreateLog(op.host, in);
+      if (!r.ok()) return r.status();
+      const int op_id = static_cast<int>(i);
+      Status hs = rt_.RegisterHandler(
+          op.host, in.name,
+          [this, op_id](const std::string&, cspot::SeqNo,
+                        const std::vector<uint8_t>& payload) {
+            auto token = DeserializeToken(payload);
+            if (!token.ok()) return;
+            TryFire(op_id, token.value().iteration);
+          });
+      if (!hs.ok()) return hs;
+    }
+  }
+  deployed_ = true;
+  return Status::Ok();
+}
+
+Status Program::Inject(int source, int64_t iteration, const Value& v) {
+  if (!deployed_) return Status(ErrorCode::kFailedPrecondition, "not deployed");
+  if (source < 0 || source >= static_cast<int>(ops_.size()) ||
+      ops_[static_cast<size_t>(source)].kind != OpKind::kSource) {
+    return Status(ErrorCode::kInvalidArgument, "not a source operand");
+  }
+  if (v.type() != ops_[static_cast<size_t>(source)].output_type) {
+    return Status(ErrorCode::kInvalidArgument,
+                  std::string("type mismatch injecting ") +
+                      ValueTypeName(v.type()));
+  }
+  Emit(source, iteration, v);
+  return Status::Ok();
+}
+
+Result<Value> Program::InputAt(int op, size_t slot, int64_t iteration) const {
+  const Operand& o = ops_[static_cast<size_t>(op)];
+  const Operand& producer = ops_[static_cast<size_t>(o.inputs[slot])];
+  if (producer.kind == OpKind::kConst) return producer.constant;
+  cspot::Node* node =
+      const_cast<cspot::Runtime&>(rt_).GetNode(o.host);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, "host missing");
+  cspot::LogStorage* log = node->GetLog(InLog(op, slot));
+  if (log == nullptr) return Status(ErrorCode::kNotFound, "input log missing");
+  for (const auto& bytes : log->Tail(kTokenLogHistory)) {
+    auto token = DeserializeToken(bytes);
+    if (token.ok() && token.value().iteration == iteration) {
+      return token.value().value;
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no token for iteration");
+}
+
+Result<Value> Program::OutputAt(int op, int64_t iteration) const {
+  const Operand& o = ops_[static_cast<size_t>(op)];
+  if (o.kind == OpKind::kConst) return o.constant;
+  cspot::Node* node = const_cast<cspot::Runtime&>(rt_).GetNode(o.host);
+  if (node == nullptr) return Status(ErrorCode::kNotFound, "host missing");
+  cspot::LogStorage* log = node->GetLog(OutLog(op));
+  if (log == nullptr) return Status(ErrorCode::kNotFound, "no output log");
+  for (const auto& bytes : log->Tail(kTokenLogHistory)) {
+    auto token = DeserializeToken(bytes);
+    if (token.ok() && token.value().iteration == iteration) {
+      return token.value().value;
+    }
+  }
+  return Status(ErrorCode::kNotFound, "operand did not fire for iteration");
+}
+
+int64_t Program::FiringCount(int op) const {
+  const Operand& o = ops_[static_cast<size_t>(op)];
+  cspot::Node* node = const_cast<cspot::Runtime&>(rt_).GetNode(o.host);
+  if (node == nullptr) return 0;
+  cspot::LogStorage* log = node->GetLog(OutLog(op));
+  if (log == nullptr) return 0;
+  return log->Latest() + 1;
+}
+
+void Program::TryFire(int op, int64_t iteration) {
+  Operand& o = ops_[static_cast<size_t>(op)];
+
+  // Idempotence: skip when the output log already holds this iteration.
+  if (o.kind != OpKind::kSink) {
+    auto existing = OutputAt(op, iteration);
+    if (existing.ok()) return;
+  }
+
+  if (o.kind == OpKind::kReduce) {
+    // Fire strictly in iteration order, recovering the accumulator from
+    // the output log (out(k-1)); an input token may unblock a run of
+    // later iterations that arrived out of order.
+    for (;;) {
+      // Next unfired iteration = latest output + 1.
+      int64_t next = 0;
+      cspot::Node* node = rt_.GetNode(o.host);
+      if (node != nullptr) {
+        cspot::LogStorage* out_log = node->GetLog(OutLog(op));
+        if (out_log != nullptr && out_log->Latest() != cspot::kNoSeq) {
+          // The output log stores tokens in firing order; the latest
+          // token's iteration is the last fired.
+          auto latest = out_log->Get(out_log->Latest());
+          if (latest.ok()) {
+            auto tok = DeserializeToken(latest.value());
+            if (tok.ok()) next = tok.value().iteration + 1;
+          }
+        }
+      }
+      auto in = InputAt(op, 0, next);
+      if (!in.ok()) return;
+      const Value acc =
+          next == 0 ? o.constant : OutputAt(op, next - 1).value_or(o.constant);
+      Emit(op, next, o.reduce(acc, in.value()));
+    }
+  }
+
+  if (o.kind == OpKind::kWindow) {
+    // Needs the input tokens for the whole trailing window.
+    if (iteration + 1 < static_cast<int64_t>(o.window)) {
+      // Not enough history yet; also re-check whether this token completed
+      // the window for a *later* iteration that arrived out of order.
+    }
+    // A token for iteration k can complete windows ending at k..k+n-1.
+    for (int64_t end = iteration;
+         end < iteration + static_cast<int64_t>(o.window); ++end) {
+      if (end + 1 < static_cast<int64_t>(o.window)) continue;
+      if (OutputAt(op, end).ok()) continue;
+      std::vector<double> window;
+      bool complete = true;
+      for (int64_t k = end - static_cast<int64_t>(o.window) + 1; k <= end;
+           ++k) {
+        auto v = InputAt(op, 0, k);
+        if (!v.ok()) {
+          complete = false;
+          break;
+        }
+        auto num = v.value().ToNumber();
+        if (!num.ok()) {
+          complete = false;
+          break;
+        }
+        window.push_back(num.value());
+      }
+      if (complete) Emit(op, end, Value(std::move(window)));
+    }
+    return;
+  }
+
+  // Strict firing: all inputs must hold iteration `iteration`.
+  std::vector<Value> args(o.inputs.size());
+  for (size_t s = 0; s < o.inputs.size(); ++s) {
+    auto v = InputAt(op, s, iteration);
+    if (!v.ok()) return;
+    args[s] = v.take();
+  }
+
+  switch (o.kind) {
+    case OpKind::kMap:
+      Emit(op, iteration, o.map(args[0]));
+      return;
+    case OpKind::kZip:
+      Emit(op, iteration, o.zip(args));
+      return;
+    case OpKind::kFilter:
+      if (o.predicate(args[0])) Emit(op, iteration, args[0]);
+      return;
+    case OpKind::kSink:
+      o.sink(iteration, args[0]);
+      return;
+    case OpKind::kSource:
+    case OpKind::kConst:
+    case OpKind::kWindow:
+    case OpKind::kReduce:
+      return;  // handled elsewhere
+  }
+}
+
+void Program::Emit(int op, int64_t iteration, const Value& v) {
+  Operand& o = ops_[static_cast<size_t>(op)];
+  const std::vector<uint8_t> payload = SerializeToken(Token{iteration, v});
+  auto r = rt_.LocalAppend(o.host, OutLog(op), payload);
+  if (!r.ok()) {
+    XG_LOG(kWarn, "laminar") << "emit failed on " << o.name << ": "
+                             << r.status().ToString();
+    return;
+  }
+  // Forward the token to each consumer's input log (remote append when the
+  // consumer lives on a different CSPOT node; CSPOT handles retries).
+  for (int consumer : o.consumers) {
+    const Operand& c = ops_[static_cast<size_t>(consumer)];
+    size_t slot = 0;
+    for (size_t s = 0; s < c.inputs.size(); ++s) {
+      if (c.inputs[s] == op) {
+        slot = s;
+        const std::string in_log = InLog(consumer, slot);
+        if (c.host == o.host) {
+          auto lr = rt_.LocalAppend(c.host, in_log, payload);
+          if (!lr.ok()) {
+            XG_LOG(kWarn, "laminar")
+                << "local forward failed: " << lr.status().ToString();
+          }
+        } else {
+          rt_.RemoteAppend(o.host, c.host, in_log, payload,
+                           cspot::AppendOptions{},
+                           [](Result<cspot::SeqNo>) {});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace xg::laminar

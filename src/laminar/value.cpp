@@ -1,0 +1,183 @@
+#include "laminar/value.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+namespace xg::laminar {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNone: return "none";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kBool: return "bool";
+    case ValueType::kString: return "string";
+    case ValueType::kDoubleVector: return "double[]";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(v_.index());
+}
+
+int64_t Value::AsInt() const {
+  assert(type() == ValueType::kInt);
+  const auto* p = std::get_if<int64_t>(&v_);
+  return p != nullptr ? *p : 0;
+}
+
+double Value::AsDouble() const {
+  assert(type() == ValueType::kDouble);
+  const auto* p = std::get_if<double>(&v_);
+  return p != nullptr ? *p : 0.0;
+}
+
+bool Value::AsBool() const {
+  assert(type() == ValueType::kBool);
+  const auto* p = std::get_if<bool>(&v_);
+  return p != nullptr && *p;
+}
+
+const std::string& Value::AsString() const {
+  assert(type() == ValueType::kString);
+  static const std::string kEmpty;
+  const auto* p = std::get_if<std::string>(&v_);
+  return p != nullptr ? *p : kEmpty;
+}
+
+const std::vector<double>& Value::AsVector() const {
+  assert(type() == ValueType::kDoubleVector);
+  static const std::vector<double> kEmpty;
+  const auto* p = std::get_if<std::vector<double>>(&v_);
+  return p != nullptr ? *p : kEmpty;
+}
+
+Result<double> Value::ToNumber() const {
+  switch (type()) {
+    case ValueType::kInt: return static_cast<double>(std::get<int64_t>(v_));
+    case ValueType::kDouble: return std::get<double>(v_);
+    case ValueType::kBool: return std::get<bool>(v_) ? 1.0 : 0.0;
+    default:
+      return Status(ErrorCode::kInvalidArgument,
+                    std::string("not numeric: ") + ValueTypeName(type()));
+  }
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::kNone: os << "none"; break;
+    case ValueType::kInt: os << std::get<int64_t>(v_); break;
+    case ValueType::kDouble: os << std::get<double>(v_); break;
+    case ValueType::kBool: os << (std::get<bool>(v_) ? "true" : "false"); break;
+    case ValueType::kString: os << '"' << std::get<std::string>(v_) << '"'; break;
+    case ValueType::kDoubleVector: {
+      const auto& v = std::get<std::vector<double>>(v_);
+      os << '[';
+      for (size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i];
+      os << ']';
+      break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+template <typename T>
+void Put(std::vector<uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool Take(const std::vector<uint8_t>& in, size_t& off, T& v) {
+  if (off + sizeof(T) > in.size()) return false;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+}  // namespace
+
+std::vector<uint8_t> SerializeToken(const Token& t) {
+  std::vector<uint8_t> out;
+  Put(out, static_cast<uint8_t>(t.value.type()));
+  Put(out, t.iteration);
+  switch (t.value.type()) {
+    case ValueType::kNone:
+      break;
+    case ValueType::kInt:
+      Put(out, t.value.AsInt());
+      break;
+    case ValueType::kDouble:
+      Put(out, t.value.AsDouble());
+      break;
+    case ValueType::kBool:
+      Put(out, static_cast<uint8_t>(t.value.AsBool() ? 1 : 0));
+      break;
+    case ValueType::kString: {
+      const auto& s = t.value.AsString();
+      Put(out, static_cast<uint32_t>(s.size()));
+      out.insert(out.end(), s.begin(), s.end());
+      break;
+    }
+    case ValueType::kDoubleVector: {
+      const auto& v = t.value.AsVector();
+      Put(out, static_cast<uint32_t>(v.size()));
+      for (double d : v) Put(out, d);
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Token> DeserializeToken(const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  uint8_t type_byte = 0;
+  Token t;
+  if (!Take(bytes, off, type_byte) || !Take(bytes, off, t.iteration)) {
+    return Status(ErrorCode::kInvalidArgument, "short token");
+  }
+  switch (static_cast<ValueType>(type_byte)) {
+    case ValueType::kNone:
+      t.value = Value();
+      return t;
+    case ValueType::kInt: {
+      int64_t v;
+      if (!Take(bytes, off, v)) break;
+      t.value = Value(v);
+      return t;
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (!Take(bytes, off, v)) break;
+      t.value = Value(v);
+      return t;
+    }
+    case ValueType::kBool: {
+      uint8_t v;
+      if (!Take(bytes, off, v)) break;
+      t.value = Value(v != 0);
+      return t;
+    }
+    case ValueType::kString: {
+      uint32_t n;
+      if (!Take(bytes, off, n) || off + n > bytes.size()) break;
+      t.value = Value(std::string(bytes.begin() + static_cast<long>(off),
+                                  bytes.begin() + static_cast<long>(off + n)));
+      return t;
+    }
+    case ValueType::kDoubleVector: {
+      uint32_t n;
+      if (!Take(bytes, off, n) || off + static_cast<size_t>(n) * 8 > bytes.size()) break;
+      std::vector<double> v(n);
+      for (uint32_t i = 0; i < n; ++i) Take(bytes, off, v[i]);
+      t.value = Value(std::move(v));
+      return t;
+    }
+  }
+  return Status(ErrorCode::kInvalidArgument, "malformed token payload");
+}
+
+}  // namespace xg::laminar

@@ -1,0 +1,73 @@
+// Laminar's strongly-typed value model.
+//
+// Laminar is a strict, applicative dataflow language: every token carried
+// between operands is a typed, immutable value tagged with the iteration it
+// belongs to. Values serialize into CSPOT log elements, which is how the
+// dataflow acquires CSPOT's crash-consistency (a token, once appended, is a
+// single-assignment variable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace xg::laminar {
+
+enum class ValueType : uint8_t {
+  kNone = 0,
+  kInt,
+  kDouble,
+  kBool,
+  kString,
+  kDoubleVector,
+};
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(bool v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(std::vector<double> v) : v_(std::move(v)) {}
+
+  ValueType type() const;
+  bool is_none() const { return type() == ValueType::kNone; }
+
+  /// Typed accessors; assert on type mismatch in debug, return defaults in
+  /// release (the graph builder type-checks edges up front).
+  int64_t AsInt() const;
+  double AsDouble() const;
+  bool AsBool() const;
+  const std::string& AsString() const;
+  const std::vector<double>& AsVector() const;
+
+  /// Numeric coercion: int/double/bool to double.
+  Result<double> ToNumber() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string,
+               std::vector<double>>
+      v_;
+};
+
+/// A dataflow token: a value stamped with its iteration number.
+struct Token {
+  int64_t iteration = 0;
+  Value value;
+};
+
+/// Binary serialization of tokens into CSPOT log payloads.
+std::vector<uint8_t> SerializeToken(const Token& t);
+Result<Token> DeserializeToken(const std::vector<uint8_t>& bytes);
+
+}  // namespace xg::laminar

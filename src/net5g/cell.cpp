@@ -1,0 +1,185 @@
+#include "net5g/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::net5g {
+
+Cell::Cell(CellConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  slice_members_.resize(config_.slices.size());
+}
+
+int Cell::AttachUe(const UeProfile& profile, const std::string& slice) {
+  for (size_t s = 0; s < config_.slices.size(); ++s) {
+    if (config_.slices[s].name == slice) {
+      UeState ue{profile, Channel(profile.channel, rng_.Fork()), s, 0.0,
+                 Ewma(0.05)};
+      ues_.push_back(std::move(ue));
+      const size_t idx = ues_.size() - 1;
+      slice_members_[s].push_back(idx);
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+int Cell::SlicePrbs(size_t slice_index) const {
+  const int total = config_.PrbTotal();
+  if (!config_.work_conserving_slicing) {
+    return static_cast<int>(std::floor(
+        config_.slices[slice_index].prb_fraction * static_cast<double>(total)));
+  }
+  // Work-conserving: idle slices donate their PRBs pro rata to busy ones.
+  double busy_fraction = 0.0;
+  for (size_t s = 0; s < config_.slices.size(); ++s) {
+    if (!slice_members_[s].empty()) {
+      busy_fraction += config_.slices[s].prb_fraction;
+    }
+  }
+  if (busy_fraction <= 0.0 || slice_members_[slice_index].empty()) return 0;
+  return static_cast<int>(std::floor(config_.slices[slice_index].prb_fraction /
+                                     busy_fraction *
+                                     static_cast<double>(total)));
+}
+
+double Cell::OverloadSeverity() const {
+  const double load = RequiredSampleRateMsps(config_.access, config_.bw_mhz);
+  const double capacity =
+      config_.sdr_capacity_msps *
+      (1.0 - config_.sdr_per_ue_load *
+                 static_cast<double>(std::max<int>(0, ue_count() - 1)));
+  if (capacity <= 0.0) return 1.0;
+  return std::max(0.0, (load - capacity) / capacity);
+}
+
+void Cell::RunSlot(int64_t slot_index, double slot_drop_fraction,
+                   Direction direction) {
+  const bool active =
+      config_.duplex == Duplex::kFdd ||
+      (direction == Direction::kUplink ? config_.tdd.IsUplink(slot_index)
+                                       : config_.tdd.IsDownlink(slot_index));
+  if (!active) return;
+  // An overloaded front end drops whole slots (sample overflow -> the RAN
+  // discards the slot's uplink data).
+  if (slot_drop_fraction > 0.0 && rng_.Bernoulli(slot_drop_fraction)) return;
+
+  const bool is_nr = config_.access == Access::kNr5G;
+  for (size_t s = 0; s < config_.slices.size(); ++s) {
+    const auto& members = slice_members_[s];
+    if (members.empty()) continue;
+    const int prbs = SlicePrbs(s);
+    if (prbs <= 0) continue;
+
+    const size_t n = members.size();
+    if (scheduler_ == SchedulerPolicy::kRoundRobin || n == 1) {
+      // Equal PRB split; remainder PRBs rotate so long-run shares match.
+      const int base = prbs / static_cast<int>(n);
+      const int rem = prbs % static_cast<int>(n);
+      for (size_t k = 0; k < n; ++k) {
+        UeState& ue = ues_[members[k]];
+        int alloc = base;
+        if (rem > 0 &&
+            static_cast<int64_t>(k) ==
+                (rr_cursor_ + static_cast<int64_t>(s)) % static_cast<int64_t>(n)) {
+          alloc += rem;
+        }
+        if (alloc <= 0) continue;
+        const double snr = ue.channel.SlotSnrDb() +
+                           (direction == Direction::kDownlink
+                                ? ue.profile.dl_snr_offset_db
+                                : 0.0);
+        const double se = SpectralEfficiency(snr, is_nr);
+        const double bits = SlotBits(alloc, se);
+        ue.phy_bits_this_second += bits;
+        ue.avg_rate.Add(bits);
+      }
+    } else {
+      // Proportional fair: the UE with the best instantaneous/average
+      // ratio takes the whole slot's slice quota (classic PF TDMA form).
+      double best_metric = -1.0;
+      size_t best = 0;
+      std::vector<double> snrs(n);
+      for (size_t k = 0; k < n; ++k) {
+        UeState& ue = ues_[members[k]];
+        snrs[k] = ue.channel.SlotSnrDb() +
+                  (direction == Direction::kDownlink
+                       ? ue.profile.dl_snr_offset_db
+                       : 0.0);
+        const double inst = SlotBits(prbs, SpectralEfficiency(snrs[k], is_nr));
+        const double avg = ue.avg_rate.initialized()
+                               ? std::max(1.0, ue.avg_rate.value())
+                               : 1.0;
+        const double metric = inst / avg;
+        if (metric > best_metric) {
+          best_metric = metric;
+          best = k;
+        }
+      }
+      for (size_t k = 0; k < n; ++k) {
+        UeState& ue = ues_[members[k]];
+        const double bits =
+            (k == best) ? SlotBits(prbs, SpectralEfficiency(snrs[k], is_nr))
+                        : 0.0;
+        ue.phy_bits_this_second += bits;
+        ue.avg_rate.Add(bits);
+      }
+    }
+  }
+  ++rr_cursor_;
+}
+
+UplinkRunResult Cell::RunUplink(int seconds, int warmup_seconds) {
+  return RunDirection(seconds, warmup_seconds, Direction::kUplink);
+}
+
+UplinkRunResult Cell::RunDownlink(int seconds, int warmup_seconds) {
+  return RunDirection(seconds, warmup_seconds, Direction::kDownlink);
+}
+
+UplinkRunResult Cell::RunDirection(int seconds, int warmup_seconds,
+                                   Direction direction) {
+  UplinkRunResult result;
+  result.per_ue.resize(ues_.size());
+  result.sdr_overload_severity = OverloadSeverity();
+  const int slots_per_sec = config_.SlotsPerSec();
+  int64_t slot_index = 0;
+
+  for (int sec = 0; sec < seconds + warmup_seconds; ++sec) {
+    for (auto& ue : ues_) {
+      ue.channel.TickSecond();
+      ue.phy_bits_this_second = 0.0;
+    }
+    // This second's overload-induced slot-drop fraction. Overflow episodes
+    // are bursty, which is why the measured variance blows up at the SDR
+    // limit (paper Figs 4/5, widest bandwidths).
+    double drop = 0.0;
+    const double sev = result.sdr_overload_severity;
+    if (sev > 0.0) {
+      drop = std::clamp(rng_.Gaussian(12.0 * sev, 6.0 * sev), 0.0, 0.95);
+    }
+    for (int t = 0; t < slots_per_sec; ++t, ++slot_index) {
+      RunSlot(slot_index, drop, direction);
+    }
+    if (sec < warmup_seconds) continue;
+    double total = 0.0;
+    for (size_t u = 0; u < ues_.size(); ++u) {
+      const double phy_mbps = ues_[u].phy_bits_this_second / 1e6;
+      double goodput =
+          direction == Direction::kUplink
+              ? ues_[u].profile.HostGoodput(phy_mbps)
+              : std::min(phy_mbps, ues_[u].profile.modem_dl_cap_mbps);
+      // Host-side per-second variation (TCP dynamics, OS scheduling); this
+      // is what keeps cap-limited devices from reporting a zero-variance
+      // sample set.
+      goodput *= std::max(
+          0.0, 1.0 + rng_.Gaussian(0.0, ues_[u].profile.host_jitter_rel));
+      result.per_ue[u].Add(goodput);
+      total += goodput;
+    }
+    result.aggregate.Add(total);
+  }
+  return result;
+}
+
+}  // namespace xg::net5g

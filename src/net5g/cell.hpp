@@ -1,0 +1,94 @@
+// The cell (gNB / eNB) simulator: a slot-level uplink MAC.
+//
+// Each virtual second the simulator:
+//   1. advances every UE's slow shadowing state;
+//   2. draws this second's SDR/RAN-host overload state (slot-drop fraction);
+//   3. iterates the slots of the second — on each uplink slot, every slice
+//      distributes its PRB quota across its backlogged UEs (equal split
+//      with rotating remainder, or proportional-fair), each UE's SNR is
+//      sampled, link adaptation picks the spectral efficiency, and the
+//      transport block bits are credited;
+//   4. converts per-UE PHY bits to goodput through the device's host
+//      pipeline model and records one iperf-style throughput sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net5g/channel.hpp"
+#include "net5g/device.hpp"
+#include "net5g/phy.hpp"
+#include "net5g/types.hpp"
+
+namespace xg::net5g {
+
+enum class SchedulerPolicy {
+  kRoundRobin,        ///< equal PRB split with rotating remainder
+  kProportionalFair,  ///< weight by instantaneous rate / EWMA average rate
+};
+
+enum class Direction { kUplink, kDownlink };
+
+/// Result of an uplink measurement run.
+struct UplinkRunResult {
+  std::vector<SampleSet> per_ue;  ///< per-second goodput samples, Mbps
+  SampleSet aggregate;            ///< sum across UEs per second, Mbps
+  double sdr_overload_severity = 0.0;  ///< 0 when the front end had headroom
+};
+
+class Cell {
+ public:
+  Cell(CellConfig config, uint64_t seed);
+
+  /// Attach a UE to a slice (by slice name); returns the UE index.
+  /// Fails (returns -1) if the slice does not exist.
+  int AttachUe(const UeProfile& profile, const std::string& slice = "default");
+
+  int ue_count() const { return static_cast<int>(ues_.size()); }
+  const CellConfig& config() const { return config_; }
+
+  void set_scheduler(SchedulerPolicy p) { scheduler_ = p; }
+
+  /// PRBs available to a slice on an uplink slot.
+  int SlicePrbs(size_t slice_index) const;
+
+  /// Severity of SDR / RAN-host overload for the current attach state:
+  /// 0 when within capacity, otherwise the fractional excess load.
+  double OverloadSeverity() const;
+
+  /// Run a full-buffer uplink test for `seconds` one-second samples after
+  /// `warmup_seconds` discarded seconds (iperf3-style).
+  UplinkRunResult RunUplink(int seconds, int warmup_seconds = 1);
+
+  /// Same methodology in the downlink direction (gNB -> UEs). Downlink
+  /// SNR gets the device's link-budget advantage, uses the D slots of the
+  /// TDD pattern, and is capped by the modem's DL category instead of the
+  /// host uplink drain.
+  UplinkRunResult RunDownlink(int seconds, int warmup_seconds = 1);
+
+ private:
+  struct UeState {
+    UeProfile profile;
+    Channel channel;
+    size_t slice = 0;
+    double phy_bits_this_second = 0.0;
+    Ewma avg_rate{0.05};  ///< for proportional fair
+  };
+
+  void RunSlot(int64_t slot_index, double slot_drop_fraction,
+               Direction direction);
+  UplinkRunResult RunDirection(int seconds, int warmup_seconds,
+                               Direction direction);
+
+  CellConfig config_;
+  Rng rng_;
+  std::vector<UeState> ues_;
+  std::vector<std::vector<size_t>> slice_members_;
+  SchedulerPolicy scheduler_ = SchedulerPolicy::kRoundRobin;
+  int64_t rr_cursor_ = 0;
+};
+
+}  // namespace xg::net5g

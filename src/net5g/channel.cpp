@@ -1,0 +1,27 @@
+#include "net5g/channel.hpp"
+
+#include <cmath>
+
+namespace xg::net5g {
+
+Channel::Channel(ChannelParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  // Start from the stationary distribution of the AR(1) process.
+  shadow_db_ = rng_.Gaussian(0.0, params_.shadow_sigma_db);
+}
+
+void Channel::TickSecond() {
+  // AR(1): x' = rho * x + sqrt(1-rho^2) * sigma * N(0,1) keeps the
+  // stationary stddev equal to shadow_sigma_db.
+  const double rho = params_.shadow_corr;
+  shadow_db_ = rho * shadow_db_ +
+               std::sqrt(1.0 - rho * rho) *
+                   rng_.Gaussian(0.0, params_.shadow_sigma_db);
+}
+
+double Channel::SlotSnrDb() {
+  return params_.link_snr_db + shadow_db_ +
+         rng_.Gaussian(0.0, params_.fast_sigma_db);
+}
+
+}  // namespace xg::net5g

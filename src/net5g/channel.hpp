@@ -1,0 +1,46 @@
+// Per-UE radio channel model.
+//
+// SNR(t) = link_snr + shadowing(t) + fast_fading(slot)
+//   - link_snr: the calibrated long-term link quality of a device on a given
+//     (access, duplex) network (antenna, Tx power, placement);
+//   - shadowing: slow log-normal component, AR(1)-correlated second to
+//     second — this is what gives the per-second iperf samples their
+//     measured 3-5 Mbps standard deviation (paper Fig 6);
+//   - fast fading: per-slot Gaussian jitter in dB, which averages out over
+//     the ~1000-2000 slots in each one-second sample.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace xg::net5g {
+
+struct ChannelParams {
+  double link_snr_db = 20.0;
+  double shadow_sigma_db = 2.0;   ///< stddev of the slow component
+  double shadow_corr = 0.85;      ///< AR(1) coefficient per second
+  double fast_sigma_db = 1.5;     ///< per-slot jitter
+};
+
+class Channel {
+ public:
+  Channel(ChannelParams params, Rng rng);
+
+  /// Advance the slow (per-second) shadowing state.
+  void TickSecond();
+
+  /// SNR for one slot, combining the current shadowing state and an
+  /// independent fast-fading draw.
+  double SlotSnrDb();
+
+  /// Current slow-state SNR (no fast fading), for tests.
+  double MeanSnrDb() const { return params_.link_snr_db + shadow_db_; }
+
+  const ChannelParams& params() const { return params_; }
+
+ private:
+  ChannelParams params_;
+  Rng rng_;
+  double shadow_db_ = 0.0;
+};
+
+}  // namespace xg::net5g

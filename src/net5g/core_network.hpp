@@ -1,0 +1,94 @@
+// Standalone 5G core network functions (Open5GS substitute).
+//
+// The testbed runs a containerized 5G SA core providing "subscriber
+// authentication, session and mobility management, policy enforcement, and
+// data routing" with programmable sysmoISIM-SJA5 SIM cards provisioned via
+// the pysim toolkit (paper Section 3.3). This module reproduces that
+// control plane at functional fidelity: a subscriber database keyed by
+// IMSI with per-SIM keys (the provisioning step), a registration procedure
+// with a simplified AKA challenge, PDU session establishment bound to a
+// network slice, and policy enforcement (per-subscriber slice allowlists).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace xg::net5g {
+
+/// A programmable SIM profile (what pysim writes onto the card).
+struct SimProfile {
+  std::string imsi;          ///< e.g. "001010000000001"
+  uint64_t ki = 0;           ///< subscriber key (shared secret)
+  uint64_t opc = 0;          ///< operator key derivative
+};
+
+/// Subscriber database entry (what the core's UDM/UDR holds).
+struct Subscription {
+  SimProfile sim;
+  std::vector<std::string> allowed_slices = {"default"};
+  bool barred = false;
+};
+
+enum class UeState { kDeregistered, kRegistered, kSessionActive };
+
+struct PduSession {
+  uint32_t session_id = 0;
+  std::string imsi;
+  std::string slice;
+  std::string ue_ip;  ///< assigned UE address
+};
+
+/// The 5G core control plane: AMF/SMF/UDM in one object.
+class CoreNetwork {
+ public:
+  explicit CoreNetwork(uint64_t seed, std::string ip_prefix = "10.45.0.");
+
+  // -- provisioning (the pysim step) --------------------------------------
+  /// Write a subscriber into the database. Fails on duplicate IMSI.
+  Status Provision(const Subscription& sub);
+  Status Bar(const std::string& imsi, bool barred);
+  size_t subscriber_count() const { return subscribers_.size(); }
+
+  // -- registration (simplified 5G-AKA) -----------------------------------
+  /// The UE presents its SIM; the core authenticates against the database
+  /// (key match), applies policy, and registers the UE.
+  Result<UeState> Register(const SimProfile& sim);
+  Status Deregister(const std::string& imsi);
+  UeState StateOf(const std::string& imsi) const;
+
+  // -- session management --------------------------------------------------
+  /// Establish a PDU session on a slice; enforces the slice allowlist and
+  /// assigns a UE address.
+  Result<PduSession> EstablishSession(const std::string& imsi,
+                                      const std::string& slice);
+  Status ReleaseSession(uint32_t session_id);
+  std::vector<PduSession> ActiveSessions() const;
+
+  // -- counters -------------------------------------------------------------
+  uint64_t auth_failures() const { return auth_failures_; }
+  uint64_t policy_rejections() const { return policy_rejections_; }
+
+ private:
+  Rng rng_;
+  std::string ip_prefix_;
+  std::map<std::string, Subscription> subscribers_;
+  std::map<std::string, UeState> states_;
+  std::map<uint32_t, PduSession> sessions_;
+  uint32_t next_session_ = 1;
+  int next_ip_ = 2;
+  uint64_t auth_failures_ = 0;
+  uint64_t policy_rejections_ = 0;
+};
+
+/// Generate a batch of sequential SIM profiles (the pysim provisioning
+/// workflow for a box of sysmoISIMs).
+std::vector<SimProfile> MakeSimBatch(const std::string& imsi_prefix, int count,
+                                     Rng& rng);
+
+}  // namespace xg::net5g

@@ -1,0 +1,51 @@
+// User-equipment (UE) device catalog.
+//
+// The paper's testbed measures three device classes — laptop, Raspberry Pi,
+// smartphone — on three networks (private 4G FDD, 5G FDD, 5G TDD) using two
+// external modems (SIM7600G-H LTE Cat-4, RM530N-GL 5G) plus the phones'
+// integrated modems. Measured throughput is shaped by three device-side
+// bottlenecks that this catalog parameterizes:
+//
+//  1. link SNR — long-term link quality of the device/antenna on that
+//     network (calibrated per device x network from the paper's Fig 4);
+//  2. modem category cap — hard uplink ceiling of the modem;
+//  3. host pipeline — the USB/driver path between host and modem. When the
+//     radio can deliver more than the host can drain, the TCP stream sees
+//     loss and collapses: goodput = C * (C/offered)^beta. beta = 0 is a
+//     clean cap (laptop), beta > 0 reproduces the Raspberry-Pi-on-4G curve
+//     that *degrades* as bandwidth grows.
+#pragma once
+
+#include <string>
+
+#include "net5g/channel.hpp"
+#include "net5g/types.hpp"
+
+namespace xg::net5g {
+
+enum class DeviceType { kLaptop, kRaspberryPi, kSmartphone };
+
+const char* DeviceTypeName(DeviceType t);
+
+struct UeProfile {
+  std::string name;
+  DeviceType type = DeviceType::kLaptop;
+  ChannelParams channel;
+  double modem_cap_mbps = 1e9;      ///< modem category uplink ceiling
+  double modem_dl_cap_mbps = 1e9;   ///< modem category downlink ceiling
+  double dl_snr_offset_db = 3.0;    ///< downlink link-budget advantage
+  double host_capacity_mbps = 1e9;  ///< host/USB drain capacity
+  double host_collapse_beta = 0.0;  ///< loss-collapse exponent past capacity
+  double host_jitter_rel = 0.015;   ///< relative per-second goodput jitter
+
+  /// Goodput delivered end-to-end for a given offered PHY-layer rate
+  /// (deterministic part; the per-second jitter is applied by the cell).
+  double HostGoodput(double phy_mbps) const;
+};
+
+/// Catalog entry for a device class on a given network configuration.
+/// Link SNRs are calibrated against the paper's single-user measurements
+/// (Fig 4); host caps encode the measured device ceilings.
+UeProfile MakeUeProfile(DeviceType type, const CellConfig& cell);
+
+}  // namespace xg::net5g

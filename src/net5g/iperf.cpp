@@ -1,0 +1,81 @@
+#include "net5g/iperf.hpp"
+
+namespace xg::net5g {
+
+CellConfig MakeSweepCell(Access access, Duplex duplex, double bw_mhz) {
+  if (access == Access::kLte4G) return Make4GFddCell(bw_mhz);
+  return duplex == Duplex::kFdd ? Make5GFddCell(bw_mhz)
+                                : Make5GTddCell(bw_mhz);
+}
+
+std::vector<double> SweepBandwidths(Access access, Duplex duplex) {
+  if (access == Access::kLte4G || duplex == Duplex::kFdd) {
+    return {5.0, 10.0, 15.0, 20.0};
+  }
+  return {10.0, 15.0, 20.0, 30.0, 40.0, 50.0};
+}
+
+namespace {
+ThroughputPoint Measure(Access access, Duplex duplex, double bw_mhz,
+                        DeviceType device, int users, int samples,
+                        uint64_t seed) {
+  CellConfig cfg = MakeSweepCell(access, duplex, bw_mhz);
+  Cell cell(cfg, seed);
+  const UeProfile profile = MakeUeProfile(device, cfg);
+  for (int u = 0; u < users; ++u) cell.AttachUe(profile);
+  UplinkRunResult run = cell.RunUplink(samples, /*warmup_seconds=*/1);
+
+  ThroughputPoint p;
+  p.access = access;
+  p.duplex = duplex;
+  p.bw_mhz = bw_mhz;
+  p.device = device;
+  p.users = users;
+  p.aggregate = std::move(run.aggregate);
+  p.per_ue = std::move(run.per_ue);
+  return p;
+}
+}  // namespace
+
+ThroughputPoint MeasureSingleUser(Access access, Duplex duplex, double bw_mhz,
+                                  DeviceType device, int samples,
+                                  uint64_t seed) {
+  return Measure(access, duplex, bw_mhz, device, 1, samples, seed);
+}
+
+ThroughputPoint MeasureTwoUser(Access access, Duplex duplex, double bw_mhz,
+                               DeviceType device, int samples, uint64_t seed) {
+  return Measure(access, duplex, bw_mhz, device, 2, samples, seed);
+}
+
+SlicingResult MeasureSlicing(double fraction1, int samples, uint64_t seed,
+                             bool work_conserving) {
+  CellConfig cfg = Make5GTddCell(40.0);
+  cfg.slices = {SliceConfig{"slice-a", fraction1},
+                SliceConfig{"slice-b", 1.0 - fraction1}};
+  cfg.work_conserving_slicing = work_conserving;
+  Cell cell(cfg, seed);
+
+  // The two physical Raspberry Pi units in the slicing experiment: unit 1
+  // has a slightly weaker link and a lower host ceiling than unit 2
+  // (calibrated to the asymmetry visible in the paper's Fig 6).
+  UeProfile rpi1 = MakeUeProfile(DeviceType::kRaspberryPi, cfg);
+  rpi1.name = "RPi1";
+  rpi1.channel.link_snr_db = 21.2;
+  rpi1.host_capacity_mbps = 35.0;
+  UeProfile rpi2 = MakeUeProfile(DeviceType::kRaspberryPi, cfg);
+  rpi2.name = "RPi2";
+  rpi2.channel.link_snr_db = 22.8;
+  rpi2.host_capacity_mbps = 43.5;
+
+  cell.AttachUe(rpi1, "slice-a");
+  cell.AttachUe(rpi2, "slice-b");
+  UplinkRunResult run = cell.RunUplink(samples, /*warmup_seconds=*/1);
+
+  SlicingResult r;
+  r.ue1 = std::move(run.per_ue[0]);
+  r.ue2 = std::move(run.per_ue[1]);
+  return r;
+}
+
+}  // namespace xg::net5g

@@ -1,0 +1,59 @@
+// iperf3-style measurement harness over the cell simulator.
+//
+// The paper's methodology: at each (network, bandwidth, device) point,
+// connect the device(s), run an uplink test, and collect 100 one-second
+// throughput samples (the first discarded as warmup). These helpers run
+// exactly that procedure and return the sample statistics, so the bench
+// binaries for Figs 4-6 are thin tables over this API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net5g/cell.hpp"
+#include "net5g/device.hpp"
+#include "net5g/types.hpp"
+
+namespace xg::net5g {
+
+/// One measured point of a throughput sweep.
+struct ThroughputPoint {
+  Access access;
+  Duplex duplex;
+  double bw_mhz = 0.0;
+  DeviceType device;
+  int users = 1;
+  SampleSet aggregate;             ///< sum over users, per second
+  std::vector<SampleSet> per_ue;   ///< per-user samples
+};
+
+/// Single-user uplink test (Fig 4 methodology): one UE of `device` class on
+/// a cell built from (access, duplex, bw), `samples` one-second samples.
+ThroughputPoint MeasureSingleUser(Access access, Duplex duplex, double bw_mhz,
+                                  DeviceType device, int samples,
+                                  uint64_t seed);
+
+/// Two-user uplink test (Fig 5 methodology): two identical UEs transmit
+/// simultaneously on the default slice.
+ThroughputPoint MeasureTwoUser(Access access, Duplex duplex, double bw_mhz,
+                               DeviceType device, int samples, uint64_t seed);
+
+/// Slicing test (Fig 6 methodology): two UEs on a 40 MHz 5G TDD carrier,
+/// assigned to complementary slices of `fraction1` and `1 - fraction1` of
+/// the PRBs. Profiles may be overridden to model the two physical units.
+struct SlicingResult {
+  SampleSet ue1;
+  SampleSet ue2;
+};
+SlicingResult MeasureSlicing(double fraction1, int samples, uint64_t seed,
+                             bool work_conserving = false);
+
+/// Build a cell for a sweep point with the testbed's standard settings.
+CellConfig MakeSweepCell(Access access, Duplex duplex, double bw_mhz);
+
+/// Bandwidth steps used by the paper for each network type.
+std::vector<double> SweepBandwidths(Access access, Duplex duplex);
+
+}  // namespace xg::net5g

@@ -1,0 +1,36 @@
+// Latency model for the 5G access hop, used by the CSPOT transport when a
+// WAN path traverses the private 5G network (Table 1's "5G+Int." path).
+//
+// Round-trip on the testbed's srsRAN/Open5GS air interface is dominated by
+// uplink scheduling-request + grant cycles and core processing; the paper's
+// measurement implies roughly 84 ms of extra RTT versus the wired path
+// (101 ms total vs 17 ms wired for a two-round-trip CSPOT append).
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace xg::net5g {
+
+struct AirLatencyParams {
+  double one_way_ms = 21.0;   ///< mean one-way air+core latency
+  double jitter_ms = 3.5;     ///< per-message jitter (stddev)
+  double min_ms = 8.0;        ///< floor (frame alignment)
+};
+
+class AirLatency {
+ public:
+  explicit AirLatency(AirLatencyParams p = AirLatencyParams{}) : p_(p) {}
+
+  /// Sample a one-way latency for one message, in milliseconds.
+  double SampleOneWayMs(Rng& rng) const {
+    const double v = rng.Gaussian(p_.one_way_ms, p_.jitter_ms);
+    return v < p_.min_ms ? p_.min_ms : v;
+  }
+
+  const AirLatencyParams& params() const { return p_; }
+
+ private:
+  AirLatencyParams p_;
+};
+
+}  // namespace xg::net5g

@@ -1,0 +1,29 @@
+#include "net5g/phy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::net5g {
+
+double DbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+double SpectralEfficiency(double snr_db, bool is_nr, const PhyParams& p) {
+  const double cap = p.shannon_eta * std::log2(1.0 + DbToLinear(snr_db));
+  const double ceiling = is_nr ? p.se_max_nr : p.se_max_lte;
+  // Quantize onto the MCS ladder: `mcs_levels` equal spectral-efficiency
+  // steps between the floor and the ceiling, rounding down (a scheduler
+  // never picks an MCS above what the channel supports).
+  if (cap <= p.se_min) return 0.0;  // below CQI 1: out of coverage
+  const double step = (ceiling - p.se_min) / p.mcs_levels;
+  const int level = std::min<int>(
+      p.mcs_levels, static_cast<int>((std::min(cap, ceiling) - p.se_min) / step));
+  return p.se_min + step * level;
+}
+
+double SlotBits(int prbs, double se, const PhyParams& p) {
+  const double res = static_cast<double>(prbs) * 12.0 *
+                     static_cast<double>(p.data_symbols_per_slot);
+  return res * se * p.harq_efficiency;
+}
+
+}  // namespace xg::net5g

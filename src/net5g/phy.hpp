@@ -1,0 +1,35 @@
+// Link adaptation: SNR -> MCS spectral efficiency -> transport block size.
+//
+// We use the attenuated-Shannon link abstraction standard in system-level
+// cellular simulators: se = eta * log2(1 + SNR), quantized to the discrete
+// MCS ladder and clipped to the modulation ceiling. The transport block for
+// a slot is then se * (data resource elements in the allocated PRBs).
+#pragma once
+
+#include <cstdint>
+
+namespace xg::net5g {
+
+struct PhyParams {
+  double shannon_eta = 0.60;   ///< implementation loss vs Shannon capacity
+  double se_min = 0.0586;      ///< QPSK rate-1/8 floor (CQI 1)
+  double se_max_lte = 4.39;    ///< 64QAM ceiling on the LTE uplink
+  double se_max_nr = 5.55;     ///< 256QAM ceiling on the NR uplink
+  int mcs_levels = 28;         ///< MCS ladder granularity
+  double bler_target = 0.10;   ///< initial-transmission BLER the OLLA aims at
+  double harq_efficiency = 0.96;  ///< residual capacity after HARQ retx
+  int data_symbols_per_slot = 12; ///< 14 minus DMRS/control overhead
+};
+
+/// Quantized spectral efficiency (bits per resource element) for an SNR.
+double SpectralEfficiency(double snr_db, bool is_nr,
+                          const PhyParams& p = PhyParams{});
+
+/// Uplink bits deliverable in one slot over `prbs` resource blocks at the
+/// given spectral efficiency, including HARQ efficiency.
+double SlotBits(int prbs, double se, const PhyParams& p = PhyParams{});
+
+/// Convert dB to linear power ratio.
+double DbToLinear(double db);
+
+}  // namespace xg::net5g

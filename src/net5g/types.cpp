@@ -1,0 +1,126 @@
+#include "net5g/types.hpp"
+
+#include <cmath>
+
+namespace xg::net5g {
+
+const char* AccessName(Access a) {
+  switch (a) {
+    case Access::kLte4G: return "4G";
+    case Access::kNr5G: return "5G";
+  }
+  return "?";
+}
+
+const char* DuplexName(Duplex d) {
+  switch (d) {
+    case Duplex::kFdd: return "FDD";
+    case Duplex::kTdd: return "TDD";
+  }
+  return "?";
+}
+
+namespace {
+struct BwPrb {
+  double bw_mhz;
+  int prb;
+};
+
+// TS 38.101-1 Table 5.3.2-1, FR1.
+constexpr BwPrb kNr15kHz[] = {{5, 25},  {10, 52},  {15, 79},  {20, 106},
+                              {25, 133}, {30, 160}, {40, 216}, {50, 270}};
+constexpr BwPrb kNr30kHz[] = {{5, 11},  {10, 24},  {15, 38},  {20, 51},
+                              {25, 65}, {30, 78},  {40, 106}, {50, 133}};
+// TS 36.101 LTE channel bandwidths.
+constexpr BwPrb kLte[] = {{1.4, 6}, {3, 15}, {5, 25}, {10, 50}, {15, 75}, {20, 100}};
+
+int Lookup(const BwPrb* table, size_t n, double bw_mhz) {
+  for (size_t i = 0; i < n; ++i) {
+    if (std::abs(table[i].bw_mhz - bw_mhz) < 1e-9) return table[i].prb;
+  }
+  return 0;
+}
+}  // namespace
+
+int PrbCount(Access access, int scs_khz, double bw_mhz) {
+  if (access == Access::kLte4G) {
+    return Lookup(kLte, std::size(kLte), bw_mhz);
+  }
+  if (scs_khz == 15) return Lookup(kNr15kHz, std::size(kNr15kHz), bw_mhz);
+  if (scs_khz == 30) return Lookup(kNr30kHz, std::size(kNr30kHz), bw_mhz);
+  return 0;
+}
+
+int SlotsPerSecond(int scs_khz) {
+  switch (scs_khz) {
+    case 15: return 1000;
+    case 30: return 2000;
+    case 60: return 4000;
+    default: return 0;
+  }
+}
+
+double RequiredSampleRateMsps(Access /*access*/, double bw_mhz) {
+  // The power-of-two sample-rate grid used by USRP-based stacks.
+  if (bw_mhz <= 5.0) return 7.68;
+  if (bw_mhz <= 10.0) return 15.36;
+  if (bw_mhz <= 15.0) return 23.04;
+  if (bw_mhz <= 20.0) return 30.72;
+  if (bw_mhz <= 30.0) return 46.08;
+  if (bw_mhz <= 40.0) return 46.08;
+  if (bw_mhz <= 50.0) return 61.44;
+  return 61.44 * (bw_mhz / 50.0);
+}
+
+double TddPattern::UplinkFraction() const {
+  if (slots.empty()) return 0.0;
+  int u = 0;
+  for (char c : slots) u += (c == 'U');
+  return static_cast<double>(u) / static_cast<double>(slots.size());
+}
+
+double TddPattern::DownlinkFraction() const {
+  if (slots.empty()) return 0.0;
+  int d = 0;
+  for (char c : slots) d += (c == 'D');
+  return static_cast<double>(d) / static_cast<double>(slots.size());
+}
+
+CellConfig Make4GFddCell(double bw_mhz) {
+  CellConfig c;
+  c.access = Access::kLte4G;
+  c.duplex = Duplex::kFdd;
+  c.bw_mhz = bw_mhz;
+  c.scs_khz = 15;
+  // The private 4G deployment ran on an older SDR/host combination with
+  // less headroom; calibrated so a second UE at 20 MHz overloads it
+  // (Fig 5, "drop at 20 MHz likely due to SDR sampling constraints").
+  c.sdr_capacity_msps = 33.0;
+  c.sdr_per_ue_load = 0.10;
+  return c;
+}
+
+CellConfig Make5GFddCell(double bw_mhz) {
+  CellConfig c;
+  c.access = Access::kNr5G;
+  c.duplex = Duplex::kFdd;
+  c.bw_mhz = bw_mhz;
+  c.scs_khz = 15;
+  c.sdr_capacity_msps = 66.0;  // B210-class front end + modern host
+  c.sdr_per_ue_load = 0.10;
+  return c;
+}
+
+CellConfig Make5GTddCell(double bw_mhz) {
+  CellConfig c;
+  c.access = Access::kNr5G;
+  c.duplex = Duplex::kTdd;
+  c.bw_mhz = bw_mhz;
+  c.scs_khz = 30;
+  c.tdd = TddPattern{};  // 40% uplink slots
+  c.sdr_capacity_msps = 66.0;
+  c.sdr_per_ue_load = 0.10;
+  return c;
+}
+
+}  // namespace xg::net5g

@@ -1,0 +1,103 @@
+// Core vocabulary for the private 4G/5G radio network simulator.
+//
+// The xGFabric testbed runs srsRAN + Open5GS on USRP SDRs; we replace the
+// physical radio with a TTI-level simulator whose capacity mechanics follow
+// the 3GPP numerology: carrier bandwidth -> PRB budget (TS 38.101-1 Table
+// 5.3.2-1 / TS 36.101), subcarrier spacing -> slot rate, duplex mode ->
+// uplink slot fraction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xg::net5g {
+
+/// Radio access technology of a cell.
+enum class Access {
+  kLte4G,  ///< private 4G baseline (SIM7600G-H era deployment)
+  kNr5G,   ///< private 5G standalone (srsRAN + Open5GS)
+};
+
+/// Duplexing mode of a carrier.
+enum class Duplex {
+  kFdd,  ///< paired spectrum: the full carrier serves uplink continuously
+  kTdd,  ///< unpaired: uplink gets only the U slots of the TDD pattern
+};
+
+const char* AccessName(Access a);
+const char* DuplexName(Duplex d);
+
+/// Number of uplink physical resource blocks for a carrier.
+///
+/// NR follows TS 38.101-1 Table 5.3.2-1 (FR1); LTE follows TS 36.101.
+/// Returns 0 for unsupported (bandwidth, SCS) combinations.
+int PrbCount(Access access, int scs_khz, double bw_mhz);
+
+/// Slots per second for a subcarrier spacing (15 kHz -> 1000, 30 kHz -> 2000).
+int SlotsPerSecond(int scs_khz);
+
+/// I/Q sample rate (Msps) the SDR front end must sustain for a carrier.
+/// LTE uses the standard 30.72 Msps grid; NR is provisioned at the same
+/// power-of-two grid rates used by srsRAN.
+double RequiredSampleRateMsps(Access access, double bw_mhz);
+
+/// TDD slot pattern over a repeating period; 'D' downlink, 'U' uplink,
+/// 'S' special (counted as neither for uplink data in this model).
+struct TddPattern {
+  std::string slots = "DDDSUUDSUU";  ///< default: 40% uplink slots
+
+  int Period() const { return static_cast<int>(slots.size()); }
+  bool IsUplink(int64_t slot_index) const {
+    return slots[static_cast<size_t>(slot_index % Period())] == 'U';
+  }
+  bool IsDownlink(int64_t slot_index) const {
+    return slots[static_cast<size_t>(slot_index % Period())] == 'D';
+  }
+  double UplinkFraction() const;
+  double DownlinkFraction() const;
+};
+
+/// A network slice: a named partition of the carrier's PRBs.
+///
+/// With `strict` enforcement (the paper's configuration) a slice never uses
+/// more than its quota even if other slices are idle; the work-conserving
+/// alternative redistributes unused PRBs and is exercised as an ablation.
+struct SliceConfig {
+  std::string name = "default";
+  double prb_fraction = 1.0;  ///< share of carrier PRBs, (0, 1]
+};
+
+/// Full carrier / cell configuration.
+struct CellConfig {
+  Access access = Access::kNr5G;
+  Duplex duplex = Duplex::kFdd;
+  double bw_mhz = 20.0;
+  int scs_khz = 15;               ///< 15 for FDD/LTE, 30 for NR TDD
+  TddPattern tdd;                 ///< used when duplex == kTdd
+  std::vector<SliceConfig> slices = {SliceConfig{}};
+  bool work_conserving_slicing = false;
+
+  /// SDR / RAN-host capacity model (see SdrProfile) — Msps the front end
+  /// plus srsRAN host can sustain with one active UE.
+  double sdr_capacity_msps = 61.44;
+  /// Fractional capacity loss per additional simultaneously active UE
+  /// (models srsRAN CPU load growing with the connected-UE count).
+  double sdr_per_ue_load = 0.10;
+
+  int PrbTotal() const { return PrbCount(access, scs_khz, bw_mhz); }
+  int SlotsPerSec() const { return SlotsPerSecond(scs_khz); }
+  double UplinkSlotFraction() const {
+    return duplex == Duplex::kFdd ? 1.0 : tdd.UplinkFraction();
+  }
+  double DownlinkSlotFraction() const {
+    return duplex == Duplex::kFdd ? 1.0 : tdd.DownlinkFraction();
+  }
+};
+
+/// Convenience factories mirroring the three testbed networks.
+CellConfig Make4GFddCell(double bw_mhz);
+CellConfig Make5GFddCell(double bw_mhz);
+CellConfig Make5GTddCell(double bw_mhz);
+
+}  // namespace xg::net5g

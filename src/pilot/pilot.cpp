@@ -1,0 +1,249 @@
+#include "pilot/pilot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xg::pilot {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kOnDemand: return "on-demand";
+    case Strategy::kReactive: return "reactive";
+    case Strategy::kProactive: return "proactive";
+  }
+  return "?";
+}
+
+PilotController::PilotController(sim::Simulation& sim,
+                                 hpc::BatchScheduler& scheduler,
+                                 hpc::CfdPerfModel perf, PilotConfig config,
+                                 uint64_t seed)
+    : sim_(sim), scheduler_(scheduler), perf_(perf), config_(config),
+      rng_(seed), last_accrual_(sim.Now()) {
+  if (config_.strategy == Strategy::kProactive) {
+    EnsureWarmPilot(config_.data_threshold_bytes);
+    // Periodic expiry watch.
+    sim::Periodic(sim_, sim::SimTime::Minutes(10.0), sim::SimTime::Minutes(10.0),
+                  [this]() {
+                    EnsureWarmPilot(config_.data_threshold_bytes);
+                    return true;
+                  });
+  }
+}
+
+int PilotController::RequiredNodes(double data_bytes) const {
+  // Eq (1): N_req = max(1, D / threshold).
+  return std::max(
+      1, static_cast<int>(std::ceil(data_bytes / config_.data_threshold_bytes)));
+}
+
+int PilotController::AvailableNodes() const {
+  // Eq (2): sum over active pilots — idle capacity usable right now.
+  int n = 0;
+  for (const auto& [id, p] : pilots_) {
+    if (p.active && !p.finished) n += p.nodes - p.busy_nodes;
+  }
+  return n;
+}
+
+int PilotController::active_pilot_nodes() const {
+  int n = 0;
+  for (const auto& [id, p] : pilots_) {
+    if (p.active && !p.finished) n += p.nodes;
+  }
+  return n;
+}
+
+bool PilotController::ShouldSubmitPilot(double data_bytes) const {
+  // Eq (3).
+  return AvailableNodes() < RequiredNodes(data_bytes);
+}
+
+hpc::JobSpec PilotController::PilotSpec(double data_bytes) const {
+  // Eq (4).
+  hpc::JobSpec spec;
+  spec.name = "xg-pilot";
+  spec.nodes = std::min(scheduler_.total_nodes(), RequiredNodes(data_bytes));
+  spec.walltime_s = std::min(scheduler_.site().max_walltime_h * 3600.0,
+                             std::max(config_.pilot_walltime_s,
+                                      config_.estimated_task_runtime_s));
+  spec.runtime_s = spec.walltime_s;  // a pilot holds its nodes until expiry
+  return spec;
+}
+
+void PilotController::AccrueIdle() {
+  const double dt = (sim_.Now() - last_accrual_).seconds();
+  if (dt > 0.0) {
+    int idle = 0;
+    for (const auto& [id, p] : pilots_) {
+      if (p.active && !p.finished) idle += p.nodes - p.busy_nodes;
+    }
+    idle_node_seconds_ += idle * dt;
+  }
+  last_accrual_ = sim_.Now();
+}
+
+double PilotController::idle_node_seconds() const {
+  // Include un-accrued time up to "now".
+  double total = idle_node_seconds_;
+  const double dt = (sim_.Now() - last_accrual_).seconds();
+  if (dt > 0.0) {
+    int idle = 0;
+    for (const auto& [id, p] : pilots_) {
+      if (p.active && !p.finished) idle += p.nodes - p.busy_nodes;
+    }
+    total += idle * dt;
+  }
+  return total;
+}
+
+void PilotController::SubmitPilot(int nodes) {
+  AccrueIdle();
+  hpc::JobSpec spec = PilotSpec(nodes * config_.data_threshold_bytes);
+  spec.nodes = std::min(scheduler_.total_nodes(), nodes);
+  ++pilots_submitted_;
+  const hpc::JobId id = scheduler_.Submit(
+      spec,
+      /*on_start=*/
+      [this](const hpc::JobInfo& info) {
+        AccrueIdle();
+        auto it = pilots_.find(info.id);
+        if (it == pilots_.end()) return;
+        it->second.active = true;
+        XG_LOG(kInfo, "pilot")
+            << "pilot " << info.id << " active with " << it->second.nodes
+            << " nodes after " << info.QueueWaitS() << "s in queue";
+        DispatchPending();
+      },
+      /*on_end=*/
+      [this](const hpc::JobInfo& info) {
+        AccrueIdle();
+        auto it = pilots_.find(info.id);
+        if (it != pilots_.end()) {
+          it->second.finished = true;
+          it->second.active = false;
+        }
+        if (config_.strategy == Strategy::kProactive) {
+          EnsureWarmPilot(config_.data_threshold_bytes);
+        }
+      });
+  PilotState st;
+  st.job = id;
+  st.nodes = std::min(scheduler_.total_nodes(), nodes);
+  pilots_[id] = st;
+}
+
+void PilotController::EnsureWarmPilot(double data_bytes_hint) {
+  // Keep at least one pilot queued or active with remaining life beyond
+  // the proactive lead time.
+  for (const auto& [id, p] : pilots_) {
+    if (p.finished) continue;
+    if (!p.active) return;  // one already queued
+    const hpc::JobInfo* info = scheduler_.Get(id);
+    if (info == nullptr) continue;
+    const double remaining = info->spec.walltime_s -
+                             (sim_.Now() - info->start_time).seconds();
+    if (remaining > config_.proactive_lead_s) return;
+  }
+  SubmitPilot(RequiredNodes(data_bytes_hint));
+}
+
+void PilotController::RunOnDemand(PendingTask task) {
+  hpc::JobSpec spec;
+  spec.name = "xg-cfd";
+  spec.nodes = task.nodes_needed;
+  spec.runtime_s =
+      perf_.SampleTotalTime(config_.cores_per_node, task.nodes_needed, rng_);
+  spec.walltime_s = std::min(scheduler_.site().max_walltime_h * 3600.0,
+                             config_.estimated_task_runtime_s * 4.0 +
+                                 spec.runtime_s);
+  const sim::SimTime submitted = task.submitted;
+  auto done = task.done;
+  const int nodes = task.nodes_needed;
+  scheduler_.Submit(
+      spec, nullptr,
+      [this, submitted, done, nodes](const hpc::JobInfo& info) {
+        TaskResult r;
+        r.wait_s = (info.start_time - submitted).seconds();
+        r.runtime_s = (info.end_time - info.start_time).seconds();
+        r.ran_in_warm_pilot = false;
+        r.nodes_used = nodes;
+        ++tasks_completed_;
+        if (done) done(r);
+      });
+}
+
+void PilotController::RunInPilot(PilotState& pilot, PendingTask task) {
+  AccrueIdle();
+  const int use_nodes = std::min(task.nodes_needed, pilot.nodes - pilot.busy_nodes);
+  pilot.busy_nodes += use_nodes;
+  const double runtime =
+      perf_.SampleTotalTime(config_.cores_per_node, use_nodes, rng_);
+  const double wait =
+      (sim_.Now() - task.submitted).seconds() + config_.dispatch_overhead_s;
+  const hpc::JobId pilot_id = pilot.job;
+  auto done = task.done;
+  sim_.Schedule(
+      sim::SimTime::Seconds(config_.dispatch_overhead_s + runtime),
+      [this, pilot_id, use_nodes, wait, runtime, done]() {
+        AccrueIdle();
+        auto it = pilots_.find(pilot_id);
+        if (it != pilots_.end()) {
+          it->second.busy_nodes =
+              std::max(0, it->second.busy_nodes - use_nodes);
+        }
+        TaskResult r;
+        r.wait_s = wait;
+        r.runtime_s = runtime;
+        r.ran_in_warm_pilot = true;
+        r.nodes_used = use_nodes;
+        ++tasks_completed_;
+        if (done) done(r);
+        DispatchPending();
+      });
+}
+
+void PilotController::DispatchPending() {
+  while (!pending_.empty()) {
+    PendingTask& task = pending_.front();
+    PilotState* best = nullptr;
+    for (auto& [id, p] : pilots_) {
+      if (!p.active || p.finished) continue;
+      if (p.nodes - p.busy_nodes >= std::min(task.nodes_needed, p.nodes)) {
+        best = &p;
+        break;
+      }
+    }
+    if (best == nullptr) return;
+    PendingTask t = std::move(task);
+    pending_.pop_front();
+    RunInPilot(*best, std::move(t));
+  }
+}
+
+void PilotController::SubmitTask(double data_bytes, TaskCallback done) {
+  PendingTask task;
+  task.data_bytes = data_bytes;
+  task.nodes_needed = RequiredNodes(data_bytes);
+  task.submitted = sim_.Now();
+  task.done = std::move(done);
+
+  if (config_.strategy == Strategy::kOnDemand) {
+    RunOnDemand(std::move(task));
+    return;
+  }
+  // Eq (3): submit a pilot when active capacity cannot absorb the task.
+  if (ShouldSubmitPilot(data_bytes)) {
+    bool have_queued_pilot = false;
+    for (const auto& [id, p] : pilots_) {
+      if (!p.active && !p.finished) have_queued_pilot = true;
+    }
+    if (!have_queued_pilot) SubmitPilot(task.nodes_needed);
+  }
+  pending_.push_back(std::move(task));
+  DispatchPending();
+}
+
+}  // namespace xg::pilot

@@ -1,0 +1,87 @@
+#include "sensors/atmosphere.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::sensors {
+
+Atmosphere::Atmosphere(AtmosphereParams params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  // Start the AR(1) states at their stationary distribution.
+  f_wind_ = rng_.Gaussian(0.0, params_.wind_sigma_ms);
+  f_dir_ = rng_.Gaussian(0.0, params_.dir_sigma_deg);
+  f_temp_ = rng_.Gaussian(0.0, params_.temp_sigma_c);
+  f_hum_ = rng_.Gaussian(0.0, params_.humidity_sigma_pct);
+}
+
+AtmoState Atmosphere::BaselineAt(double t_s) const {
+  // Diurnal phase: t = 0 is local midnight; peak temperature ~15:00,
+  // peak wind in the afternoon mixing hours.
+  const double day_frac = std::fmod(t_s / 86400.0, 1.0);
+  const double temp_phase = std::cos(2.0 * M_PI * (day_frac - 15.0 / 24.0));
+  const double wind_phase = std::max(0.0, std::sin(2.0 * M_PI * (day_frac - 0.25)));
+
+  AtmoState s;
+  s.wind_speed_ms = params_.base_wind_ms + params_.diurnal_wind_ms * wind_phase;
+  s.temperature_c = params_.base_temp_c + params_.diurnal_temp_c * temp_phase;
+  s.humidity_pct =
+      params_.base_humidity_pct - params_.diurnal_humidity_pct * temp_phase;
+  s.wind_dir_deg = params_.base_dir_deg;
+
+  for (const FrontEvent& f : fronts_) {
+    if (t_s < f.start_s) continue;
+    const double progress =
+        f.ramp_s <= 0.0 ? 1.0 : std::min(1.0, (t_s - f.start_s) / f.ramp_s);
+    s.wind_speed_ms += progress * f.d_wind_ms;
+    s.wind_dir_deg += progress * f.d_dir_deg;
+    s.temperature_c += progress * f.d_temp_c;
+    s.humidity_pct += progress * f.d_humidity_pct;
+  }
+  s.wind_speed_ms = std::max(0.0, s.wind_speed_ms);
+  s.humidity_pct = std::clamp(s.humidity_pct, 2.0, 100.0);
+  s.wind_dir_deg = std::fmod(std::fmod(s.wind_dir_deg, 360.0) + 360.0, 360.0);
+  return s;
+}
+
+void Atmosphere::StepMinute() {
+  const double rho = params_.ar_corr;
+  const double w = std::sqrt(1.0 - rho * rho);
+  f_wind_ = rho * f_wind_ + w * rng_.Gaussian(0.0, params_.wind_sigma_ms);
+  f_dir_ = rho * f_dir_ + w * rng_.Gaussian(0.0, params_.dir_sigma_deg);
+  f_temp_ = rho * f_temp_ + w * rng_.Gaussian(0.0, params_.temp_sigma_c);
+  f_hum_ = rho * f_hum_ + w * rng_.Gaussian(0.0, params_.humidity_sigma_pct);
+}
+
+AtmoState Atmosphere::Advance(double dt_s) {
+  double remaining = dt_s;
+  while (remaining > 0.0) {
+    const double step = std::min(60.0, remaining);
+    // Sub-minute steps reuse the minute transition scaled by duration to
+    // keep the process well-defined for arbitrary dt.
+    if (step >= 60.0) {
+      StepMinute();
+    } else {
+      const double rho = std::pow(params_.ar_corr, step / 60.0);
+      const double w = std::sqrt(1.0 - rho * rho);
+      f_wind_ = rho * f_wind_ + w * rng_.Gaussian(0.0, params_.wind_sigma_ms);
+      f_dir_ = rho * f_dir_ + w * rng_.Gaussian(0.0, params_.dir_sigma_deg);
+      f_temp_ = rho * f_temp_ + w * rng_.Gaussian(0.0, params_.temp_sigma_c);
+      f_hum_ = rho * f_hum_ + w * rng_.Gaussian(0.0, params_.humidity_sigma_pct);
+    }
+    remaining -= step;
+    t_s_ += step;
+  }
+  return Current();
+}
+
+AtmoState Atmosphere::Current() const {
+  AtmoState s = BaselineAt(t_s_);
+  s.wind_speed_ms = std::max(0.0, s.wind_speed_ms + f_wind_);
+  s.wind_dir_deg =
+      std::fmod(std::fmod(s.wind_dir_deg + f_dir_, 360.0) + 360.0, 360.0);
+  s.temperature_c += f_temp_;
+  s.humidity_pct = std::clamp(s.humidity_pct + f_hum_, 2.0, 100.0);
+  return s;
+}
+
+}  // namespace xg::sensors

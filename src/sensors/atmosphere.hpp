@@ -1,0 +1,81 @@
+// Synthetic atmosphere for the Lindcove CUPS site.
+//
+// Replaces the real weather: a slowly varying state with
+//  - a diurnal cycle (temperature peaks mid-afternoon, wind picks up with
+//    daytime convective mixing, humidity moves inversely to temperature);
+//  - AR(1) fluctuations around the cycle (what makes consecutive 5-minute
+//    readings statistically indistinguishable most of the time);
+//  - scheduled weather *fronts*: ramps in the means over a transition
+//    period (what the change-detection program is supposed to catch).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace xg::sensors {
+
+/// Ground-truth environmental state at a moment in time.
+struct AtmoState {
+  double wind_speed_ms = 0.0;    ///< m/s
+  double wind_dir_deg = 0.0;     ///< meteorological degrees
+  double temperature_c = 0.0;    ///< deg C
+  double humidity_pct = 0.0;     ///< relative humidity %
+};
+
+/// A front: over [start_s, start_s + ramp_s] the baseline means shift by
+/// the given deltas and stay shifted until superseded.
+struct FrontEvent {
+  double start_s = 0.0;
+  double ramp_s = 1800.0;
+  double d_wind_ms = 0.0;
+  double d_dir_deg = 0.0;
+  double d_temp_c = 0.0;
+  double d_humidity_pct = 0.0;
+};
+
+struct AtmosphereParams {
+  double base_wind_ms = 2.5;
+  double base_temp_c = 22.0;
+  double base_humidity_pct = 55.0;
+  double base_dir_deg = 290.0;   ///< prevailing NW wind in the Central Valley
+  double diurnal_wind_ms = 1.5;  ///< amplitude of the daytime wind increase
+  double diurnal_temp_c = 8.0;
+  double diurnal_humidity_pct = 15.0;
+  double ar_corr = 0.97;         ///< AR(1) coefficient per minute step
+  double wind_sigma_ms = 0.35;   ///< stationary stddev of the fluctuation
+  double dir_sigma_deg = 8.0;
+  double temp_sigma_c = 0.25;
+  double humidity_sigma_pct = 1.2;
+};
+
+class Atmosphere {
+ public:
+  Atmosphere(AtmosphereParams params, uint64_t seed);
+
+  void AddFront(const FrontEvent& front) { fronts_.push_back(front); }
+
+  /// Advance the fluctuation state by `dt_s` seconds (internally stepped
+  /// per minute) and return the state at the new time.
+  AtmoState Advance(double dt_s);
+
+  /// Current state without advancing.
+  AtmoState Current() const;
+
+  double now_s() const { return t_s_; }
+
+  /// Deterministic baseline (diurnal cycle + fronts, no noise) at a time.
+  AtmoState BaselineAt(double t_s) const;
+
+ private:
+  void StepMinute();
+
+  AtmosphereParams params_;
+  Rng rng_;
+  std::vector<FrontEvent> fronts_;
+  double t_s_ = 0.0;
+  // AR(1) fluctuation states.
+  double f_wind_ = 0.0, f_dir_ = 0.0, f_temp_ = 0.0, f_hum_ = 0.0;
+};
+
+}  // namespace xg::sensors

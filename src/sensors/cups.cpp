@@ -1,0 +1,112 @@
+#include "sensors/cups.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::sensors {
+
+CupsFacility::CupsFacility(CupsParams params, uint64_t seed)
+    : params_(params) {
+  Rng rng(seed);
+  int32_t id = 0;
+  // Interior stations on a jittered grid across the floor plan.
+  const int n_in = params_.interior_stations;
+  const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(n_in))));
+  for (int i = 0; i < n_in; ++i) {
+    const int cx = i % cols, cy = i / cols;
+    const double x =
+        (cx + 0.5) / cols * params_.length_m + rng.Gaussian(0.0, 3.0);
+    const double y = (cy + 0.5) / std::max(1, (n_in + cols - 1) / cols) *
+                         params_.width_m +
+                     rng.Gaussian(0.0, 3.0);
+    StationNoise noise;
+    noise.wind_bias_ms = rng.Gaussian(0.0, 0.08);
+    noise.temp_bias_c = rng.Gaussian(0.0, 0.15);
+    stations_.emplace_back(id++, std::clamp(x, 1.0, params_.length_m - 1.0),
+                           std::clamp(y, 1.0, params_.width_m - 1.0), true,
+                           noise, rng.NextU64());
+  }
+  // Exterior stations along the upwind fence line.
+  for (int i = 0; i < params_.exterior_stations; ++i) {
+    StationNoise noise;
+    noise.wind_bias_ms = rng.Gaussian(0.0, 0.08);
+    noise.temp_bias_c = rng.Gaussian(0.0, 0.15);
+    const double y = (i + 0.5) / params_.exterior_stations * params_.width_m;
+    stations_.emplace_back(id++, -10.0, y, false, noise, rng.NextU64());
+  }
+}
+
+int CupsFacility::RepairBreachesNear(double x_m, double y_m, double radius_m,
+                                     double time_s) {
+  int repaired = 0;
+  for (BreachEvent& b : breaches_) {
+    if (b.repaired || time_s < b.time_s) continue;
+    const double d = std::hypot(b.x_m - x_m, b.y_m - y_m);
+    if (d <= radius_m) {
+      b.repaired = true;
+      b.repair_time_s = time_s;
+      ++repaired;
+    }
+  }
+  return repaired;
+}
+
+AtmoState CupsFacility::LocalTruth(const WeatherStation& station,
+                                   const AtmoState& exterior,
+                                   double time_s) const {
+  if (!station.interior()) return exterior;
+
+  AtmoState s = exterior;
+  double wind_factor = params_.screen_wind_factor;
+  for (const BreachEvent& b : breaches_) {
+    if (time_s < b.time_s || (b.repaired && time_s >= b.repair_time_s)) {
+      continue;
+    }
+    const double d = std::hypot(station.x() - b.x_m, station.y() - b.y_m);
+    if (d < b.radius_m) {
+      // Inside the disturbed zone the screen attenuation is partially
+      // defeated, strongest at the breach itself.
+      const double proximity = 1.0 - d / b.radius_m;
+      const double defeated =
+          b.severity * proximity * (1.0 - params_.screen_wind_factor);
+      wind_factor = std::max(wind_factor, params_.screen_wind_factor + defeated);
+    }
+  }
+  s.wind_speed_ms = exterior.wind_speed_ms * wind_factor;
+  s.temperature_c = exterior.temperature_c + params_.greenhouse_temp_c;
+  s.humidity_pct =
+      std::min(100.0, exterior.humidity_pct + params_.humidity_gain_pct);
+  return s;
+}
+
+std::vector<Reading> CupsFacility::MeasureAll(const AtmoState& exterior,
+                                              double time_s) {
+  std::vector<Reading> readings;
+  readings.reserve(stations_.size());
+  for (WeatherStation& st : stations_) {
+    readings.push_back(st.Measure(LocalTruth(st, exterior, time_s), time_s));
+  }
+  return readings;
+}
+
+bool CupsFacility::AnyActiveBreach(double time_s) const {
+  for (const BreachEvent& b : breaches_) {
+    if (time_s >= b.time_s && !(b.repaired && time_s >= b.repair_time_s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<BreachEvent> CupsFacility::StrongestActiveBreach(
+    double time_s) const {
+  std::optional<BreachEvent> best;
+  for (const BreachEvent& b : breaches_) {
+    if (time_s >= b.time_s && !(b.repaired && time_s >= b.repair_time_s)) {
+      if (!best || b.severity > best->severity) best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace xg::sensors

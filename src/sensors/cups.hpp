@@ -1,0 +1,82 @@
+// The CUPS screen-house facility model.
+//
+// A protective screen house on the order of 100,000 cubic meters
+// (~ 120 m x 120 m footprint, 7-9 m tall to clear tree canopy and
+// harvesting equipment). The screen attenuates wind: interior air speed is
+// a fraction of the exterior wind, and the enclosure traps heat. A screen
+// *breach* locally defeats the attenuation — stations near a breach read
+// interior wind approaching exterior levels, which is the deviation the
+// digital twin uses for detection and localization.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sensors/atmosphere.hpp"
+#include "sensors/station.hpp"
+
+namespace xg::sensors {
+
+struct BreachEvent {
+  double time_s = 0.0;    ///< when the screen is damaged
+  double x_m = 0.0;       ///< breach location on the facility plan
+  double y_m = 0.0;
+  double radius_m = 15.0; ///< zone of disturbed airflow
+  double severity = 1.0;  ///< 0..1, fraction of attenuation defeated
+  bool repaired = false;
+  double repair_time_s = 1e30;
+};
+
+struct CupsParams {
+  double length_m = 120.0;
+  double width_m = 120.0;
+  double height_m = 7.5;          ///< ~108,000 m^3 with the defaults
+  double screen_wind_factor = 0.30;  ///< interior/exterior wind ratio
+  double greenhouse_temp_c = 1.8;    ///< interior warming vs exterior
+  double humidity_gain_pct = 6.0;    ///< transpiration raises interior RH
+  int interior_stations = 6;
+  int exterior_stations = 3;
+};
+
+class CupsFacility {
+ public:
+  CupsFacility(CupsParams params, uint64_t seed);
+
+  const CupsParams& params() const { return params_; }
+  double volume_m3() const {
+    return params_.length_m * params_.width_m * params_.height_m;
+  }
+
+  std::vector<WeatherStation>& stations() { return stations_; }
+  const std::vector<WeatherStation>& stations() const { return stations_; }
+
+  void AddBreach(const BreachEvent& breach) { breaches_.push_back(breach); }
+  const std::vector<BreachEvent>& breaches() const { return breaches_; }
+
+  /// Mark breaches within `radius_m` of (x, y) repaired at `time_s`.
+  int RepairBreachesNear(double x_m, double y_m, double radius_m,
+                         double time_s);
+
+  /// Ground truth at a station's location: exterior stations see the
+  /// atmosphere unmodified; interior stations see the screen-modified
+  /// microclimate, locally perturbed by any active breach.
+  AtmoState LocalTruth(const WeatherStation& station,
+                       const AtmoState& exterior, double time_s) const;
+
+  /// All station readings for the current exterior state.
+  std::vector<Reading> MeasureAll(const AtmoState& exterior, double time_s);
+
+  /// True iff any breach is active (occurred, not repaired) at `time_s`.
+  bool AnyActiveBreach(double time_s) const;
+
+  /// Location of the strongest active breach, if any.
+  std::optional<BreachEvent> StrongestActiveBreach(double time_s) const;
+
+ private:
+  CupsParams params_;
+  std::vector<WeatherStation> stations_;
+  std::vector<BreachEvent> breaches_;
+};
+
+}  // namespace xg::sensors

@@ -1,0 +1,102 @@
+#include "sensors/quality.hpp"
+
+#include <cmath>
+
+namespace xg::sensors {
+
+const char* QcVerdictName(QcVerdict v) {
+  switch (v) {
+    case QcVerdict::kPass: return "PASS";
+    case QcVerdict::kRangeFail: return "RANGE";
+    case QcVerdict::kRateFail: return "RATE";
+    case QcVerdict::kStuckFail: return "STUCK";
+  }
+  return "?";
+}
+
+std::optional<Reading> FaultInjector::Apply(const Reading& r) {
+  FaultKind active = FaultKind::kNone;
+  for (const FaultWindow& w : windows_) {
+    if (w.station_id == r.station_id && r.time_s >= w.start_s &&
+        r.time_s < w.end_s) {
+      active = w.kind;
+      break;
+    }
+  }
+  switch (active) {
+    case FaultKind::kNone: {
+      last_good_[r.station_id] = r;
+      return r;
+    }
+    case FaultKind::kDropout:
+      return std::nullopt;
+    case FaultKind::kStuck: {
+      auto it = last_good_.find(r.station_id);
+      if (it == last_good_.end()) return r;  // nothing to be stuck at yet
+      Reading stuck = it->second;
+      stuck.time_s = r.time_s;  // timestamps advance; values freeze
+      return stuck;
+    }
+    case FaultKind::kSpike: {
+      Reading spiked = r;
+      spiked.wind_speed_ms += rng_.Uniform(40.0, 120.0);
+      spiked.temperature_c += rng_.Uniform(30.0, 80.0);
+      return spiked;
+    }
+  }
+  return r;
+}
+
+QcVerdict QualityControl::Check(const Reading& r) {
+  History& h = history_[r.station_id];
+  QcVerdict verdict = QcVerdict::kPass;
+
+  if (r.wind_speed_ms < limits_.wind_min_ms ||
+      r.wind_speed_ms > limits_.wind_max_ms ||
+      r.temperature_c < limits_.temp_min_c ||
+      r.temperature_c > limits_.temp_max_c ||
+      r.humidity_pct < limits_.humidity_min_pct ||
+      r.humidity_pct > limits_.humidity_max_pct) {
+    verdict = QcVerdict::kRangeFail;
+  } else if (h.have_last) {
+    if (std::abs(r.wind_speed_ms - h.last.wind_speed_ms) >
+            limits_.wind_rate_ms ||
+        std::abs(r.temperature_c - h.last.temperature_c) >
+            limits_.temp_rate_c) {
+      verdict = QcVerdict::kRateFail;
+    }
+  }
+
+  if (verdict == QcVerdict::kPass && h.have_last &&
+      r.wind_speed_ms == h.last.wind_speed_ms && r.wind_speed_ms > 0.0) {
+    ++h.identical_wind;
+    if (h.identical_wind >= limits_.stuck_repeats) {
+      verdict = QcVerdict::kStuckFail;
+    }
+  } else if (verdict == QcVerdict::kPass) {
+    h.identical_wind = 0;
+  }
+
+  // Only clean readings update the rate-of-change baseline, so a spike
+  // does not mask the spike after it.
+  if (verdict == QcVerdict::kPass) {
+    h.last = r;
+    h.have_last = true;
+    ++passed_;
+  } else {
+    ++rejected_;
+  }
+  return verdict;
+}
+
+std::vector<Reading> QualityControl::Filter(
+    const std::vector<Reading>& readings) {
+  std::vector<Reading> out;
+  out.reserve(readings.size());
+  for (const Reading& r : readings) {
+    if (Check(r) == QcVerdict::kPass) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace xg::sensors

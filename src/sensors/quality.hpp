@@ -1,0 +1,95 @@
+// Sensor fault injection and quality control.
+//
+// Commodity agricultural stations fail in characteristic ways: anemometer
+// bearings seize (stuck-at readings), radios drop out, solar-charged units
+// brown out overnight. The paper's digital-twin loop depends on trusting
+// telemetry, so the ingest path screens readings with the standard QC
+// battery (range checks, rate-of-change checks, stuck-sensor detection)
+// before they reach the change detector or the twin.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sensors/station.hpp"
+
+namespace xg::sensors {
+
+enum class FaultKind {
+  kNone,
+  kStuck,     ///< sensor repeats its last value
+  kDropout,   ///< station produces no reading
+  kSpike,     ///< a wild out-of-range excursion
+};
+
+/// Per-station fault schedule: between start and end, readings are
+/// corrupted according to the fault kind.
+struct FaultWindow {
+  int32_t station_id = 0;
+  FaultKind kind = FaultKind::kNone;
+  double start_s = 0.0;
+  double end_s = 1e30;
+};
+
+/// Applies fault windows to a stream of readings.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  void Add(const FaultWindow& window) { windows_.push_back(window); }
+
+  /// Transform a reading; nullopt means the reading was dropped.
+  std::optional<Reading> Apply(const Reading& r);
+
+ private:
+  Rng rng_;
+  std::vector<FaultWindow> windows_;
+  std::map<int32_t, Reading> last_good_;
+};
+
+enum class QcVerdict { kPass, kRangeFail, kRateFail, kStuckFail };
+
+const char* QcVerdictName(QcVerdict v);
+
+struct QcLimits {
+  double wind_min_ms = 0.0, wind_max_ms = 60.0;
+  double temp_min_c = -30.0, temp_max_c = 60.0;
+  double humidity_min_pct = 0.0, humidity_max_pct = 100.0;
+  /// Max physically plausible change per reporting interval.
+  double wind_rate_ms = 8.0;
+  double temp_rate_c = 5.0;
+  /// Consecutive bit-identical wind readings before a sensor is "stuck"
+  /// (a real anemometer at nonzero wind never repeats exactly).
+  int stuck_repeats = 4;
+};
+
+/// Stateful per-station QC filter.
+class QualityControl {
+ public:
+  explicit QualityControl(QcLimits limits = QcLimits{}) : limits_(limits) {}
+
+  /// Screen one reading; updates per-station history.
+  QcVerdict Check(const Reading& r);
+
+  /// Screen a frame's worth of readings, returning only the passing ones.
+  std::vector<Reading> Filter(const std::vector<Reading>& readings);
+
+  uint64_t passed() const { return passed_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct History {
+    Reading last;
+    bool have_last = false;
+    int identical_wind = 0;
+  };
+  QcLimits limits_;
+  std::map<int32_t, History> history_;
+  uint64_t passed_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace xg::sensors

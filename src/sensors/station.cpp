@@ -1,0 +1,50 @@
+#include "sensors/station.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace xg::sensors {
+
+std::vector<uint8_t> SerializeReading(const Reading& r) {
+  std::vector<uint8_t> out(sizeof(Reading));
+  std::memcpy(out.data(), &r, sizeof(Reading));
+  return out;
+}
+
+Result<Reading> DeserializeReading(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < sizeof(Reading)) {
+    return Status(ErrorCode::kInvalidArgument, "short telemetry record");
+  }
+  Reading r;
+  std::memcpy(&r, bytes.data(), sizeof(Reading));
+  return r;
+}
+
+WeatherStation::WeatherStation(int32_t id, double x_m, double y_m,
+                               bool interior, StationNoise noise,
+                               uint64_t seed)
+    : id_(id), x_m_(x_m), y_m_(y_m), interior_(interior), noise_(noise),
+      rng_(seed) {}
+
+Reading WeatherStation::Measure(const AtmoState& local_truth, double time_s) {
+  Reading r;
+  r.station_id = id_;
+  r.time_s = time_s;
+  r.wind_speed_ms = std::max(
+      0.0, local_truth.wind_speed_ms + noise_.wind_bias_ms +
+               rng_.Gaussian(0.0, noise_.wind_sigma_ms));
+  r.wind_dir_deg = std::fmod(
+      std::fmod(local_truth.wind_dir_deg + rng_.Gaussian(0.0, noise_.dir_sigma_deg),
+                360.0) +
+          360.0,
+      360.0);
+  r.temperature_c = local_truth.temperature_c + noise_.temp_bias_c +
+                    rng_.Gaussian(0.0, noise_.temp_sigma_c);
+  r.humidity_pct = std::clamp(
+      local_truth.humidity_pct + rng_.Gaussian(0.0, noise_.humidity_sigma_pct),
+      0.0, 100.0);
+  return r;
+}
+
+}  // namespace xg::sensors

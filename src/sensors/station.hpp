@@ -1,0 +1,66 @@
+// Weather stations and telemetry records.
+//
+// The CUPS deployment instruments the screen house with commodity
+// agricultural weather stations (inside and outside the screen) reporting
+// every 5 minutes. Their measurement error is high enough that consecutive
+// readings are often statistically indistinguishable — the property the
+// change-detection program exists to handle — so the noise model here is a
+// first-class parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "sensors/atmosphere.hpp"
+
+namespace xg::sensors {
+
+/// One telemetry record, the unit shipped through CSPOT logs (fits the
+/// standard 1 KB element with room to spare).
+struct Reading {
+  int32_t station_id = 0;
+  double time_s = 0.0;  ///< simulation time of measurement
+  double wind_speed_ms = 0.0;
+  double wind_dir_deg = 0.0;
+  double temperature_c = 0.0;
+  double humidity_pct = 0.0;
+};
+
+std::vector<uint8_t> SerializeReading(const Reading& r);
+Result<Reading> DeserializeReading(const std::vector<uint8_t>& bytes);
+
+struct StationNoise {
+  double wind_sigma_ms = 0.45;   ///< commodity anemometer error
+  double dir_sigma_deg = 10.0;
+  double temp_sigma_c = 0.5;
+  double humidity_sigma_pct = 3.0;
+  double wind_bias_ms = 0.0;     ///< per-unit calibration bias
+  double temp_bias_c = 0.0;
+};
+
+class WeatherStation {
+ public:
+  WeatherStation(int32_t id, double x_m, double y_m, bool interior,
+                 StationNoise noise, uint64_t seed);
+
+  int32_t id() const { return id_; }
+  double x() const { return x_m_; }
+  double y() const { return y_m_; }
+  bool interior() const { return interior_; }
+  const StationNoise& noise() const { return noise_; }
+
+  /// Produce a noisy reading of the local true state.
+  Reading Measure(const AtmoState& local_truth, double time_s);
+
+ private:
+  int32_t id_;
+  double x_m_, y_m_;
+  bool interior_;
+  StationNoise noise_;
+  Rng rng_;
+};
+
+}  // namespace xg::sensors

@@ -1,0 +1,141 @@
+#include "cfd/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::cfd {
+namespace {
+
+TEST(Mesh, DimensionsAndSpacing) {
+  MeshParams p;
+  p.nx = 48;
+  p.ny = 40;
+  p.nz = 12;
+  Mesh mesh(p);
+  EXPECT_EQ(mesh.cell_count(), 48u * 40u * 12u);
+  EXPECT_DOUBLE_EQ(mesh.dx(), p.domain_x / 48);
+  EXPECT_DOUBLE_EQ(mesh.dy(), p.domain_y / 40);
+  EXPECT_DOUBLE_EQ(mesh.dz(), p.domain_z / 12);
+}
+
+TEST(Mesh, IndexIsBijective) {
+  MeshParams p;
+  p.nx = 8;
+  p.ny = 6;
+  p.nz = 4;
+  Mesh mesh(p);
+  std::vector<bool> seen(mesh.cell_count(), false);
+  for (int k = 0; k < 4; ++k) {
+    for (int j = 0; j < 6; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        const size_t idx = mesh.Index(i, j, k);
+        ASSERT_LT(idx, mesh.cell_count());
+        ASSERT_FALSE(seen[idx]);
+        seen[idx] = true;
+      }
+    }
+  }
+}
+
+TEST(Mesh, ScreenEnvelopeExists) {
+  Mesh mesh(MeshParams{});
+  EXPECT_GT(mesh.CountType(CellType::kScreen), 0u);
+  EXPECT_GT(mesh.CountType(CellType::kCanopy), 0u);
+  EXPECT_GT(mesh.CountType(CellType::kFluid),
+            mesh.CountType(CellType::kScreen));
+}
+
+TEST(Mesh, ScreenOnlyAroundHouse) {
+  MeshParams p;
+  Mesh mesh(p);
+  for (int k = 0; k < mesh.nz(); ++k) {
+    for (int j = 0; j < mesh.ny(); ++j) {
+      for (int i = 0; i < mesh.nx(); ++i) {
+        if (mesh.Type(i, j, k) == CellType::kFluid) continue;
+        const double x = mesh.X(i), y = mesh.Y(j), z = mesh.Z(k);
+        EXPECT_GE(x, p.house_x0 - mesh.dx());
+        EXPECT_LE(x, p.house_x1 + mesh.dx());
+        EXPECT_GE(y, p.house_y0 - mesh.dy());
+        EXPECT_LE(y, p.house_y1 + mesh.dy());
+        EXPECT_LE(z, p.house_z1 + 2 * mesh.dz());
+      }
+    }
+  }
+}
+
+TEST(Mesh, CanopyInsideScreenFootprint) {
+  MeshParams p;
+  Mesh mesh(p);
+  for (int k = 0; k < mesh.nz(); ++k) {
+    for (int j = 0; j < mesh.ny(); ++j) {
+      for (int i = 0; i < mesh.nx(); ++i) {
+        if (mesh.Type(i, j, k) != CellType::kCanopy) continue;
+        EXPECT_LE(mesh.Z(k), p.canopy_z1 + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Mesh, LocateClampsToDomain) {
+  Mesh mesh(MeshParams{});
+  int i, j, k;
+  mesh.Locate(-100.0, -100.0, -100.0, i, j, k);
+  EXPECT_EQ(i, 0);
+  EXPECT_EQ(j, 0);
+  EXPECT_EQ(k, 0);
+  mesh.Locate(1e9, 1e9, 1e9, i, j, k);
+  EXPECT_EQ(i, mesh.nx() - 1);
+  EXPECT_EQ(j, mesh.ny() - 1);
+  EXPECT_EQ(k, mesh.nz() - 1);
+}
+
+TEST(Mesh, LocateRoundTripsCellCenters) {
+  Mesh mesh(MeshParams{});
+  int i, j, k;
+  mesh.Locate(mesh.X(10), mesh.Y(7), mesh.Z(3), i, j, k);
+  EXPECT_EQ(i, 10);
+  EXPECT_EQ(j, 7);
+  EXPECT_EQ(k, 3);
+}
+
+TEST(Mesh, InsideHouseClassification) {
+  MeshParams p;
+  Mesh mesh(p);
+  int i, j, k;
+  mesh.Locate((p.house_x0 + p.house_x1) / 2, (p.house_y0 + p.house_y1) / 2,
+              p.house_z1 / 2, i, j, k);
+  EXPECT_TRUE(mesh.InsideHouse(i, j, k));
+  mesh.Locate(5.0, 5.0, 5.0, i, j, k);
+  EXPECT_FALSE(mesh.InsideHouse(i, j, k));
+  // Above the roof is outside.
+  mesh.Locate((p.house_x0 + p.house_x1) / 2, (p.house_y0 + p.house_y1) / 2,
+              p.domain_z - 1.0, i, j, k);
+  EXPECT_FALSE(mesh.InsideHouse(i, j, k));
+}
+
+TEST(Mesh, InBounds) {
+  MeshParams p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nz = 4;
+  Mesh mesh(p);
+  EXPECT_TRUE(mesh.InBounds(0, 0, 0));
+  EXPECT_TRUE(mesh.InBounds(3, 3, 3));
+  EXPECT_FALSE(mesh.InBounds(-1, 0, 0));
+  EXPECT_FALSE(mesh.InBounds(0, 4, 0));
+  EXPECT_FALSE(mesh.InBounds(0, 0, 4));
+}
+
+TEST(Mesh, ResolutionScalesCellCounts) {
+  MeshParams coarse;
+  coarse.nx = 24;
+  coarse.ny = 20;
+  coarse.nz = 6;
+  MeshParams fine = coarse;
+  fine.nx = 48;
+  fine.ny = 40;
+  fine.nz = 12;
+  EXPECT_EQ(Mesh(fine).cell_count(), 8u * Mesh(coarse).cell_count());
+}
+
+}  // namespace
+}  // namespace xg::cfd

@@ -1,0 +1,131 @@
+#include "cfd/scalar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::cfd {
+namespace {
+
+class ScalarTest : public ::testing::Test {
+ protected:
+  ScalarTest() : mesh_(SmallMesh()), solver_(mesh_, SolverParams{}) {}
+
+  static MeshParams SmallMesh() {
+    MeshParams p;
+    p.nx = 24;
+    p.ny = 20;
+    p.nz = 12;
+    return p;
+  }
+
+  void Spin(double wind) {
+    Boundary bc;
+    bc.wind_speed_ms = wind;
+    bc.wind_dir_deg = 270.0;
+    solver_.Initialize(bc);
+    solver_.Run(60);
+  }
+
+  SprayRelease CenterRelease() {
+    SprayRelease r;
+    const MeshParams& p = mesh_.params();
+    r.x_m = (p.house_x0 + p.house_x1) / 2.0;
+    r.y_m = (p.house_y0 + p.house_y1) / 2.0;
+    r.z_m = 2.0;
+    r.radius_m = 10.0;
+    r.duration_s = 30.0;
+    return r;
+  }
+
+  Mesh mesh_;
+  Solver solver_;
+};
+
+TEST_F(ScalarTest, ReleaseAddsMass) {
+  Spin(2.0);
+  ScalarField field(solver_);
+  field.Step(CenterRelease(), 0.0);
+  const SprayStats s = field.Stats();
+  EXPECT_GT(s.released_mass, 0.0);
+  EXPECT_GT(s.total_mass, 0.0);
+  EXPECT_LE(s.total_mass, s.released_mass + 1e-9);
+}
+
+TEST_F(ScalarTest, ConcentrationNeverNegative) {
+  Spin(5.0);
+  ScalarField field(solver_);
+  const SprayRelease r = CenterRelease();
+  for (int step = 0; step < 100; ++step) field.Step(r, step * 0.2);
+  for (double c : field.concentration()) ASSERT_GE(c, 0.0);
+}
+
+TEST_F(ScalarTest, NoReleaseNoMass) {
+  Spin(3.0);
+  ScalarField field(solver_);
+  for (int step = 0; step < 20; ++step) field.Step();
+  EXPECT_DOUBLE_EQ(field.Stats().total_mass, 0.0);
+  EXPECT_DOUBLE_EQ(field.Stats().escaped_fraction, 0.0);
+}
+
+TEST_F(ScalarTest, MassDecaysAfterReleaseEnds) {
+  Spin(4.0);
+  ScalarField field(solver_);
+  const SprayRelease r = CenterRelease();
+  double t = 0.0;
+  for (int step = 0; step < 200; ++step, t += 0.2) field.Step(r, t);
+  const double mid = field.Stats().total_mass;
+  for (int step = 0; step < 400; ++step) field.Step();
+  EXPECT_LT(field.Stats().total_mass, mid);  // advected/diffused out
+}
+
+TEST_F(ScalarTest, WindIncreasesDriftLoss) {
+  // The advisory's core physics: more interior circulation, more agent
+  // escapes the house.
+  Solver calm(mesh_, SolverParams{});
+  Boundary calm_bc;
+  calm_bc.wind_speed_ms = 1.0;
+  calm_bc.wind_dir_deg = 270.0;
+  calm.Initialize(calm_bc);
+  calm.Run(60);
+
+  Solver windy(mesh_, SolverParams{});
+  Boundary windy_bc = calm_bc;
+  windy_bc.wind_speed_ms = 8.0;
+  windy.Initialize(windy_bc);
+  windy.Run(60);
+
+  SprayRelease r;
+  const MeshParams& p = mesh_.params();
+  r.x_m = (p.house_x0 + p.house_x1) / 2.0;
+  r.y_m = (p.house_y0 + p.house_y1) / 2.0;
+  r.radius_m = 10.0;
+  r.duration_s = 30.0;
+  const SprayStats calm_stats = SimulateSpray(calm, r, 240.0);
+  const SprayStats windy_stats = SimulateSpray(windy, r, 240.0);
+  EXPECT_GT(windy_stats.escaped_fraction, calm_stats.escaped_fraction);
+  EXPECT_GT(calm_stats.canopy_dose, windy_stats.canopy_dose);
+}
+
+TEST_F(ScalarTest, CanopyCoverageGrowsDuringRelease) {
+  Spin(2.0);
+  ScalarField field(solver_);
+  const SprayRelease r = CenterRelease();
+  field.Step(r, 0.0);
+  const double early = field.Stats(0.01).coverage_fraction;
+  double t = 0.2;
+  for (int step = 0; step < 120; ++step, t += 0.2) field.Step(r, t);
+  const double late = field.Stats(0.01).coverage_fraction;
+  EXPECT_GE(late, early);
+  EXPECT_GT(late, 0.0);
+}
+
+TEST_F(ScalarTest, StatsBoundedFractions) {
+  Spin(6.0);
+  const SprayStats s = SimulateSpray(solver_, CenterRelease(), 120.0);
+  EXPECT_GE(s.escaped_fraction, 0.0);
+  EXPECT_LE(s.escaped_fraction, 1.0);
+  EXPECT_GE(s.coverage_fraction, 0.0);
+  EXPECT_LE(s.coverage_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace xg::cfd

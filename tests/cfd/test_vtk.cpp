@@ -1,0 +1,93 @@
+#include "cfd/vtk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace xg::cfd {
+namespace {
+
+class VtkTest : public ::testing::Test {
+ protected:
+  VtkTest() : mesh_(SmallMesh()), solver_(mesh_, SolverParams{}) {
+    Boundary bc;
+    bc.wind_speed_ms = 4.0;
+    bc.wind_dir_deg = 270.0;
+    solver_.Initialize(bc);
+    solver_.Run(5);
+  }
+  static MeshParams SmallMesh() {
+    MeshParams p;
+    p.nx = 12;
+    p.ny = 10;
+    p.nz = 5;
+    return p;
+  }
+  std::string TempPath(const std::string& suffix) {
+    return ::testing::TempDir() + "xg_vtk_" + suffix;
+  }
+  Mesh mesh_;
+  Solver solver_;
+};
+
+TEST_F(VtkTest, WritesValidVtkHeader) {
+  const std::string path = TempPath("out.vtk");
+  ASSERT_TRUE(WriteVtk(solver_, path).ok());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_NE(line.find("vtk DataFile"), std::string::npos);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(all.find("DIMENSIONS 12 10 5"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS speed"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS temperature"), std::string::npos);
+  EXPECT_NE(all.find("VECTORS velocity"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(VtkTest, PointDataCountMatchesMesh) {
+  const std::string path = TempPath("count.vtk");
+  ASSERT_TRUE(WriteVtk(solver_, path).ok());
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  std::ostringstream expect;
+  expect << "POINT_DATA " << mesh_.cell_count();
+  EXPECT_NE(all.find(expect.str()), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(VtkTest, VtkToUnwritablePathFails) {
+  EXPECT_FALSE(WriteVtk(solver_, "/no/such/dir/out.vtk").ok());
+}
+
+TEST_F(VtkTest, PpmSliceHasCorrectGeometry) {
+  const std::string path = TempPath("slice.ppm");
+  ASSERT_TRUE(WriteSlicePpm(solver_, 2.0, path, 4).ok());
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::string magic;
+  int w, h, maxval;
+  f >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, mesh_.nx() * 4);
+  EXPECT_EQ(h, mesh_.ny() * 4);
+  EXPECT_EQ(maxval, 255);
+  f.get();  // single whitespace after header
+  std::vector<char> pixels(static_cast<size_t>(w) * h * 3);
+  f.read(pixels.data(), static_cast<long>(pixels.size()));
+  EXPECT_EQ(f.gcount(), static_cast<long>(pixels.size()));
+  std::remove(path.c_str());
+}
+
+TEST_F(VtkTest, PpmToUnwritablePathFails) {
+  EXPECT_FALSE(WriteSlicePpm(solver_, 2.0, "/no/such/dir/s.ppm").ok());
+}
+
+}  // namespace
+}  // namespace xg::cfd

@@ -1,0 +1,64 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kNotFound, "no such log");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such log");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such log");
+}
+
+TEST(Status, RetryableClassification) {
+  EXPECT_TRUE(Status(ErrorCode::kUnavailable, "").retryable());
+  EXPECT_TRUE(Status(ErrorCode::kAckLost, "").retryable());
+  EXPECT_TRUE(Status(ErrorCode::kTimeout, "").retryable());
+  EXPECT_FALSE(Status(ErrorCode::kInvalidArgument, "").retryable());
+  EXPECT_FALSE(Status(ErrorCode::kNotFound, "").retryable());
+  EXPECT_FALSE(Status(ErrorCode::kInternal, "").retryable());
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(ErrorCode::kTimeout, "late"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = r.take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+}  // namespace
+}  // namespace xg

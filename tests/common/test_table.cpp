@@ -1,0 +1,95 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace xg {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"Path", "Latency"});
+  t.AddRow({"UNL->UCSB", "101"});
+  t.AddRow({"UCSB->ND", "92"});
+  const std::string out = t.Render("Table 1");
+  EXPECT_NE(out.find("Table 1"), std::string::npos);
+  EXPECT_NE(out.find("Path"), std::string::npos);
+  EXPECT_NE(out.find("UNL->UCSB"), std::string::npos);
+  EXPECT_NE(out.find("92"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"A"});
+  t.AddRow({"very-long-cell-content"});
+  const std::string out = t.Render();
+  // Every rendered line has the same width.
+  std::istringstream is(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.14159, 0), "3");
+  EXPECT_EQ(Table::Num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PlusMinusFormatting) {
+  EXPECT_EQ(Table::PlusMinus(420.39, 36.29, 2), "420.39 +/- 36.29");
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"x"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os, "title");
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace xg
+
+namespace xg {
+namespace {
+
+TEST(TableCsv, BasicRendering) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.RenderCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableCsv, QuotingRules) {
+  Table t({"name", "value"});
+  t.AddRow({"has,comma", "has\"quote"});
+  t.AddRow({"plain", "multi\nline"});
+  EXPECT_EQ(t.RenderCsv(),
+            "name,value\n\"has,comma\",\"has\"\"quote\"\nplain,\"multi\nline\"\n");
+}
+
+TEST(TableCsv, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "xg_table.csv";
+  Table t({"x"});
+  t.AddRow({"42"});
+  ASSERT_TRUE(t.WriteCsv(path));
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableCsv, UnwritablePathFails) {
+  Table t({"x"});
+  EXPECT_FALSE(t.WriteCsv("/no/such/dir/out.csv"));
+}
+
+}  // namespace
+}  // namespace xg

@@ -1,0 +1,107 @@
+#include "common/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace xg {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10001;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.ParallelFor(3, [&](size_t b, size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ChunksAreContiguousSlabs) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(100, [&](size_t b, size_t e) {
+    std::lock_guard<std::mutex> lk(mu);
+    chunks.push_back({b, e});
+  });
+  std::sort(chunks.begin(), chunks.end());
+  size_t expect_begin = 0;
+  for (auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_GT(e, b);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 100u);
+}
+
+TEST(ThreadPool, SequentialTasksReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(1000, [&](size_t b, size_t e) {
+      long local = 0;
+      for (size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 20L * (999L * 1000L / 2));
+}
+
+TEST(ThreadPool, RunOnAllHitsEveryWorker) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> hits(5);
+  pool.RunOnAll([&](size_t worker) { hits[worker].fetch_add(1); });
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPool) {
+  ThreadPool pool(1);
+  std::vector<int> v(100, 0);
+  pool.ParallelFor(v.size(), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) v[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 100);
+}
+
+TEST(ThreadPool, ResultsMatchSerialReduction) {
+  ThreadPool pool(4);
+  const size_t n = 4096;
+  std::vector<double> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = static_cast<double>(i) * 0.5;
+  std::vector<double> partial(4, 0.0);
+  std::atomic<size_t> slot{0};
+  pool.ParallelFor(n, [&](size_t b, size_t e) {
+    double s = 0.0;
+    for (size_t i = b; i < e; ++i) s += data[i];
+    partial[slot.fetch_add(1)] = s;
+  });
+  const double total = std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 0.5 * (n - 1) * n / 2.0);
+}
+
+}  // namespace
+}  // namespace xg

@@ -1,0 +1,114 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::core {
+namespace {
+
+CfdResult Result_(double boundary_wind, double interior_speed,
+                  double interior_temp) {
+  CfdResult r;
+  r.boundary_wind_ms = boundary_wind;
+  r.interior_mean_speed_ms = interior_speed;
+  r.interior_mean_temp_c = interior_temp;
+  return r;
+}
+
+TelemetryFrame Frame(double humidity) {
+  TelemetryFrame f;
+  f.exterior_humidity_pct = humidity;
+  return f;
+}
+
+bool Has(const std::vector<Advisory>& advice, ActionKind kind) {
+  for (const Advisory& a : advice) {
+    if (a.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Advisor, CalmConditionsOpenSprayWindow) {
+  InterventionAdvisor advisor;
+  const auto advice = advisor.Advise(Result_(1.5, 0.4, 22.0), Frame(55.0));
+  EXPECT_TRUE(Has(advice, ActionKind::kSprayWindow));
+  EXPECT_FALSE(Has(advice, ActionKind::kSprayHold));
+}
+
+TEST(Advisor, WindyExteriorHoldsSpray) {
+  InterventionAdvisor advisor;
+  const auto advice = advisor.Advise(Result_(5.0, 0.4, 22.0), Frame(55.0));
+  EXPECT_TRUE(Has(advice, ActionKind::kSprayHold));
+  EXPECT_FALSE(Has(advice, ActionKind::kSprayWindow));
+}
+
+TEST(Advisor, InteriorCirculationRefinesTheCoarseRule) {
+  // The model's value-add: exterior wind passes the coarse 2.5 m/s rule
+  // but the CFD shows strong interior circulation -> hold anyway.
+  InterventionAdvisor advisor;
+  const auto advice = advisor.Advise(Result_(2.0, 1.4, 22.0), Frame(55.0));
+  EXPECT_TRUE(Has(advice, ActionKind::kSprayHold));
+}
+
+TEST(Advisor, FrostAlertNearDamagePoint) {
+  InterventionAdvisor advisor;
+  EXPECT_TRUE(
+      Has(advisor.Advise(Result_(1.0, 0.3, 1.0), Frame(70.0)),
+          ActionKind::kFrostAlert));
+  EXPECT_FALSE(
+      Has(advisor.Advise(Result_(1.0, 0.3, 10.0), Frame(70.0)),
+          ActionKind::kFrostAlert));
+}
+
+TEST(Advisor, FrostSeverityGrowsAsTemperatureFalls) {
+  InterventionAdvisor advisor;
+  double mild_score = 0.0, severe_score = 0.0;
+  for (const Advisory& a : advisor.Advise(Result_(1, 0.3, 1.8), Frame(70))) {
+    if (a.kind == ActionKind::kFrostAlert) mild_score = a.score;
+  }
+  for (const Advisory& a : advisor.Advise(Result_(1, 0.3, -0.5), Frame(70))) {
+    if (a.kind == ActionKind::kFrostAlert) severe_score = a.score;
+  }
+  EXPECT_GT(severe_score, mild_score);
+}
+
+TEST(Advisor, IrrigationOnHighVpd) {
+  InterventionAdvisor advisor;
+  // Hot and dry: VPD well above 2.2 kPa.
+  EXPECT_TRUE(Has(advisor.Advise(Result_(1, 0.3, 36.0), Frame(20.0)),
+                  ActionKind::kIrrigate));
+  // Cool and humid: no irrigation demand.
+  EXPECT_FALSE(Has(advisor.Advise(Result_(1, 0.3, 18.0), Frame(85.0)),
+                   ActionKind::kIrrigate));
+}
+
+TEST(Advisor, VpdFormulaSanity) {
+  // At 100% RH the deficit is zero; hotter + drier -> larger.
+  EXPECT_NEAR(InterventionAdvisor::VaporPressureDeficitKpa(25.0, 100.0), 0.0,
+              1e-9);
+  const double mild = InterventionAdvisor::VaporPressureDeficitKpa(25.0, 60.0);
+  const double harsh = InterventionAdvisor::VaporPressureDeficitKpa(38.0, 20.0);
+  EXPECT_GT(harsh, mild);
+  // Reference: es(25 C) ~ 3.17 kPa -> VPD at 60% ~ 1.27.
+  EXPECT_NEAR(mild, 1.27, 0.1);
+}
+
+TEST(Advisor, ScoresWithinUnitRange) {
+  InterventionAdvisor advisor;
+  for (const auto& advice :
+       {advisor.Advise(Result_(0.5, 0.1, -3.0), Frame(10.0)),
+        advisor.Advise(Result_(9.0, 3.0, 45.0), Frame(5.0))}) {
+    for (const Advisory& a : advice) {
+      EXPECT_GE(a.score, 0.0) << ActionKindName(a.kind);
+      EXPECT_LE(a.score, 1.0) << ActionKindName(a.kind);
+      EXPECT_FALSE(a.reason.empty());
+    }
+  }
+}
+
+TEST(Advisor, ActionNamesPrintable) {
+  EXPECT_STREQ(ActionKindName(ActionKind::kSprayWindow), "SPRAY_WINDOW");
+  EXPECT_STREQ(ActionKindName(ActionKind::kFrostAlert), "FROST_ALERT");
+}
+
+}  // namespace
+}  // namespace xg::core

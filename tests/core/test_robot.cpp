@@ -1,0 +1,140 @@
+#include "core/robot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xg::core {
+namespace {
+
+TEST(OrchardGrid, HasRowsAndAlleys) {
+  OrchardGrid grid(OrchardGridParams{});
+  size_t blocked = 0, total = 0;
+  for (int y = 0; y < grid.ny(); ++y) {
+    for (int x = 0; x < grid.nx(); ++x) {
+      blocked += grid.Blocked(x, y);
+      ++total;
+    }
+  }
+  EXPECT_GT(blocked, total / 10);  // tree rows exist
+  EXPECT_LT(blocked, total / 2);   // drivable alleys dominate
+}
+
+TEST(OrchardGrid, OutOfBoundsIsBlocked) {
+  OrchardGrid grid(OrchardGridParams{});
+  EXPECT_TRUE(grid.Blocked(-1, 0));
+  EXPECT_TRUE(grid.Blocked(0, -1));
+  EXPECT_TRUE(grid.Blocked(grid.nx(), 0));
+}
+
+TEST(OrchardGrid, WorldCellRoundTrip) {
+  OrchardGrid grid(OrchardGridParams{});
+  int ix, iy;
+  grid.ToCell(33.0, 47.0, ix, iy);
+  double x, y;
+  grid.ToWorld(ix, iy, x, y);
+  EXPECT_NEAR(x, 33.0, grid.cell());
+  EXPECT_NEAR(y, 47.0, grid.cell());
+}
+
+TEST(OrchardGrid, NearestFreeFindsUnblockedCell) {
+  OrchardGrid grid(OrchardGridParams{});
+  // Probe every few meters; NearestFree must always succeed and return a
+  // genuinely free cell.
+  for (double x = 1.0; x < 119.0; x += 7.0) {
+    for (double y = 1.0; y < 119.0; y += 7.0) {
+      int ix, iy;
+      ASSERT_TRUE(grid.NearestFree(x, y, ix, iy));
+      EXPECT_FALSE(grid.Blocked(ix, iy));
+    }
+  }
+}
+
+TEST(PlanRoute, StraightLineDownAnAlley) {
+  OrchardGrid grid(OrchardGridParams{});
+  // y = 1 m is in the first alley (rows start at 35% of the 6 m pitch).
+  auto plan = PlanRoute(grid, 2.0, 1.0, 100.0, 1.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan.value().length_m, 98.0, 6.0);
+  ASSERT_GE(plan.value().waypoints.size(), 2u);
+}
+
+TEST(PlanRoute, PathAvoidsBlockedCells) {
+  OrchardGrid grid(OrchardGridParams{});
+  auto plan = PlanRoute(grid, 2.0, 1.0, 110.0, 110.0);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& [x, y] : plan.value().waypoints) {
+    int ix, iy;
+    grid.ToCell(x, y, ix, iy);
+    EXPECT_FALSE(grid.Blocked(ix, iy)) << "waypoint (" << x << "," << y << ")";
+  }
+}
+
+TEST(PlanRoute, LengthAtLeastEuclidean) {
+  OrchardGrid grid(OrchardGridParams{});
+  const double x0 = 2, y0 = 1, x1 = 110, y1 = 99;
+  auto plan = PlanRoute(grid, x0, y0, x1, y1);
+  ASSERT_TRUE(plan.ok());
+  const double euclid = std::hypot(x1 - x0, y1 - y0);
+  EXPECT_GE(plan.value().length_m, euclid - 2.0 * grid.cell());
+}
+
+TEST(PlanRoute, CrossRowRoutesUseAlleyGaps) {
+  // Routing across rows must be possible thanks to the periodic gaps.
+  OrchardGrid grid(OrchardGridParams{});
+  auto plan = PlanRoute(grid, 60.0, 1.0, 60.0, 118.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.value().length_m, 100.0);
+}
+
+TEST(PlanRoute, BlockedTargetSnapsToNearestFree) {
+  OrchardGrid grid(OrchardGridParams{});
+  // Target inside a tree row (y ~ 3 m with the default pitch is blocked).
+  auto plan = PlanRoute(grid, 2.0, 1.0, 60.0, 3.0);
+  ASSERT_TRUE(plan.ok());
+  const auto& end = plan.value().waypoints.back();
+  EXPECT_NEAR(end.second, 3.0, 4.0);  // close to the requested target
+}
+
+TEST(Robot, SurveilComputesTravelTime) {
+  OrchardGrid grid(OrchardGridParams{});
+  RobotParams params;
+  params.speed_ms = 2.0;
+  params.inspect_time_s = 60.0;
+  Robot robot(grid, params, 60.0, 1.0);
+  auto rep = robot.Surveil(100.0, 1.0);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_NEAR(rep.value().travel_time_s, rep.value().route_length_m / 2.0,
+              1e-9);
+  EXPECT_NEAR(rep.value().total_time_s,
+              rep.value().travel_time_s + 60.0, 1e-9);
+}
+
+TEST(Robot, PositionUpdatesAfterSurveil) {
+  OrchardGrid grid(OrchardGridParams{});
+  Robot robot(grid, RobotParams{}, 60.0, 1.0);
+  auto rep = robot.Surveil(20.0, 90.0);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_NEAR(robot.x(), 20.0, 6.0);
+  EXPECT_NEAR(robot.y(), 90.0, 6.0);
+  // Second surveil starts from the new position: short hop, short time.
+  auto rep2 = robot.Surveil(24.0, 90.0);
+  ASSERT_TRUE(rep2.ok());
+  EXPECT_LT(rep2.value().route_length_m, rep.value().route_length_m);
+}
+
+TEST(Robot, EndPositionWithinCameraRangeOfTarget) {
+  OrchardGrid grid(OrchardGridParams{});
+  RobotParams params;
+  Robot robot(grid, params, 60.0, 1.0);
+  for (auto [tx, ty] : {std::pair{20.0, 90.0}, std::pair{110.0, 50.0},
+                        std::pair{5.0, 5.0}}) {
+    auto rep = robot.Surveil(tx, ty);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_LE(std::hypot(rep.value().end_x - tx, rep.value().end_y - ty),
+              params.camera_range_m);
+  }
+}
+
+}  // namespace
+}  // namespace xg::core

@@ -1,0 +1,144 @@
+#include "core/twin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::core {
+namespace {
+
+CfdResult Prediction(double boundary_wind, std::vector<StationPrediction> p) {
+  CfdResult r;
+  r.boundary_wind_ms = boundary_wind;
+  r.predictions = std::move(p);
+  return r;
+}
+
+TelemetryFrame Frame(double exterior_wind,
+                     std::vector<std::pair<int, double>> interior_winds) {
+  TelemetryFrame f;
+  f.exterior_wind_ms = exterior_wind;
+  for (auto& [id, wind] : interior_winds) {
+    sensors::Reading r;
+    r.station_id = id;
+    r.wind_speed_ms = wind;
+    f.stations.push_back(r);
+  }
+  return f;
+}
+
+class TwinTest : public ::testing::Test {
+ protected:
+  TwinTest() : twin_(Config()) {
+    twin_.RegisterStation(0, 20, 30, true);
+    twin_.RegisterStation(1, 100, 30, true);
+    twin_.RegisterStation(2, -10, 60, false);  // exterior, ignored
+  }
+  static TwinConfig Config() {
+    TwinConfig c;
+    c.calibration_updates = 1;
+    c.consecutive_required = 2;
+    c.deviation_sigma = 3.0;
+    c.noise_floor_ms = 0.5;
+    return c;
+  }
+  void Calibrate() {
+    twin_.UpdatePrediction(
+        Prediction(4.0, {{0, 1.2}, {1, 1.2}}));
+    // One calibration frame while updates_seen < calibration_updates...
+    // calibration happens during Observe before `calibrated()`.
+    twin_.Observe(Frame(4.0, {{0, 1.2}, {1, 1.2}}));
+    twin_.UpdatePrediction(Prediction(4.0, {{0, 1.2}, {1, 1.2}}));
+  }
+  DigitalTwin twin_;
+};
+
+TEST_F(TwinTest, NoPredictionMeansNoSuspicion) {
+  EXPECT_FALSE(twin_.Observe(Frame(4.0, {{0, 5.0}})).has_value());
+}
+
+TEST_F(TwinTest, HealthyReadingsRaiseNothing) {
+  Calibrate();
+  ASSERT_TRUE(twin_.calibrated());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(twin_.Observe(Frame(4.0, {{0, 1.25}, {1, 1.15}})).has_value());
+  }
+}
+
+TEST_F(TwinTest, PersistentDeviationRaisesSuspicion) {
+  Calibrate();
+  // Station 0 reads near-exterior wind (breach defeats the screen).
+  EXPECT_FALSE(twin_.Observe(Frame(4.0, {{0, 3.8}, {1, 1.2}})).has_value());
+  auto s = twin_.Observe(Frame(4.0, {{0, 3.9}, {1, 1.2}}));
+  ASSERT_TRUE(s.has_value());  // second consecutive deviation
+  EXPECT_EQ(s->stations, std::vector<int32_t>{0});
+  EXPECT_NEAR(s->x_m, 20.0, 1e-9);
+  EXPECT_NEAR(s->y_m, 30.0, 1e-9);
+  EXPECT_GT(s->max_sigma, 3.0);
+}
+
+TEST_F(TwinTest, TransientSpikeDoesNotAlarm) {
+  Calibrate();
+  EXPECT_FALSE(twin_.Observe(Frame(4.0, {{0, 3.8}, {1, 1.2}})).has_value());
+  // Back to normal: streak resets.
+  EXPECT_FALSE(twin_.Observe(Frame(4.0, {{0, 1.2}, {1, 1.2}})).has_value());
+  EXPECT_FALSE(twin_.Observe(Frame(4.0, {{0, 3.8}, {1, 1.2}})).has_value());
+}
+
+TEST_F(TwinTest, MultipleStationsLocalizeByCentroid) {
+  Calibrate();
+  twin_.Observe(Frame(4.0, {{0, 3.8}, {1, 3.8}}));
+  auto s = twin_.Observe(Frame(4.0, {{0, 3.8}, {1, 3.8}}));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->stations.size(), 2u);
+  EXPECT_GT(s->x_m, 20.0);
+  EXPECT_LT(s->x_m, 100.0);
+}
+
+TEST_F(TwinTest, StalePredictionSuppressesChecks) {
+  Calibrate();
+  // Exterior wind far from the prediction's boundary: deviation checks
+  // must be suspended, not raise a false breach.
+  twin_.Observe(Frame(8.0, {{0, 2.4}, {1, 2.4}}));
+  auto s = twin_.Observe(Frame(8.0, {{0, 2.4}, {1, 2.4}}));
+  EXPECT_FALSE(s.has_value());
+}
+
+TEST_F(TwinTest, CalibrationLearnsModelBias) {
+  // Model predicts 1.0 but healthy measurements run at 1.5 (model bias):
+  // after calibration the twin must not alarm on that bias.
+  TwinConfig cfg = Config();
+  cfg.calibration_updates = 2;
+  DigitalTwin twin(cfg);
+  twin.RegisterStation(0, 10, 10, true);
+  twin.UpdatePrediction(Prediction(4.0, {{0, 1.0}}));
+  twin.Observe(Frame(4.0, {{0, 1.5}}));
+  twin.Observe(Frame(4.0, {{0, 1.5}}));
+  twin.UpdatePrediction(Prediction(4.0, {{0, 1.0}}));
+  ASSERT_TRUE(twin.calibrated());
+  EXPECT_NEAR(twin.CalibrationFor(0), 1.5, 0.1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(twin.Observe(Frame(4.0, {{0, 1.5}})).has_value());
+  }
+}
+
+TEST_F(TwinTest, UnknownStationsIgnored) {
+  Calibrate();
+  EXPECT_FALSE(twin_.Observe(Frame(4.0, {{99, 50.0}})).has_value());
+}
+
+TEST_F(TwinTest, ExteriorStationsNeverFlagged) {
+  Calibrate();
+  twin_.Observe(Frame(4.0, {{2, 50.0}}));
+  EXPECT_FALSE(twin_.Observe(Frame(4.0, {{2, 50.0}})).has_value());
+}
+
+TEST_F(TwinTest, ResidualDiagnosticsExposed) {
+  Calibrate();
+  twin_.Observe(Frame(4.0, {{0, 1.2}, {1, 2.2}}));
+  const auto& resid = twin_.last_residual_sigma();
+  ASSERT_EQ(resid.size(), 2u);
+  EXPECT_LT(resid.at(0), 1.0);
+  EXPECT_GT(resid.at(1), 1.0);
+}
+
+}  // namespace
+}  // namespace xg::core

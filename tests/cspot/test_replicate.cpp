@@ -1,0 +1,107 @@
+#include "cspot/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::cspot {
+namespace {
+
+std::vector<uint8_t> Bytes(int i) {
+  return {static_cast<uint8_t>(i), static_cast<uint8_t>(i >> 8)};
+}
+
+class ReplicateTest : public ::testing::Test {
+ protected:
+  ReplicateTest() : rt_(sim_, 55) {
+    rt_.AddNode("edge");
+    rt_.AddNode("repo");
+    LinkParams p;
+    p.one_way_ms = 8.0;
+    p.jitter_ms = 0.0;
+    rt_.wan().AddLink("edge", "repo", p);
+    rt_.CreateLog("edge", LogConfig{"telemetry", 64, 256});
+    rt_.CreateLog("repo", LogConfig{"telemetry", 64, 256});
+  }
+  sim::Simulation sim_;
+  Runtime rt_;
+};
+
+TEST_F(ReplicateTest, ForwardsEveryAppend) {
+  auto repl = Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry");
+  ASSERT_TRUE(repl.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rt_.LocalAppend("edge", "telemetry", Bytes(i)).ok());
+  }
+  sim_.Run();
+  LogStorage* dst = rt_.GetNode("repo")->GetLog("telemetry");
+  EXPECT_EQ(dst->Size(), 10u);
+  EXPECT_EQ(repl.value()->stats().forwarded, 10u);
+  EXPECT_EQ(repl.value()->stats().failed, 0u);
+  // Content preserved in order.
+  EXPECT_EQ(dst->Get(0).value(), Bytes(0));
+  EXPECT_EQ(dst->Get(9).value(), Bytes(9));
+}
+
+TEST_F(ReplicateTest, MissingSourceLogFails) {
+  auto repl = Replicator::Create(rt_, "edge", "ghost", "repo", "telemetry");
+  EXPECT_FALSE(repl.ok());
+}
+
+TEST_F(ReplicateTest, PartitionThenRecovery) {
+  AppendOptions opts;
+  opts.max_attempts = 2;  // small retry budget: partition defeats it
+  opts.timeout_ms = 50.0;
+  auto repl =
+      Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry", opts);
+  ASSERT_TRUE(repl.ok());
+
+  rt_.wan().SetLinkUp("edge", "repo", false);
+  for (int i = 0; i < 5; ++i) {
+    rt_.LocalAppend("edge", "telemetry", Bytes(i));
+  }
+  sim_.Run();
+  EXPECT_EQ(rt_.GetNode("repo")->GetLog("telemetry")->Size(), 0u);
+  EXPECT_EQ(repl.value()->stats().failed, 5u);
+
+  // Heal and run the recovery scan.
+  rt_.wan().SetLinkUp("edge", "repo", true);
+  uint64_t reshipped = 0;
+  repl.value()->Recover([&](uint64_t n) { reshipped = n; });
+  sim_.Run();
+  EXPECT_EQ(reshipped, 5u);
+  EXPECT_EQ(rt_.GetNode("repo")->GetLog("telemetry")->Size(), 5u);
+  EXPECT_EQ(repl.value()->stats().recovery_shipped, 5u);
+}
+
+TEST_F(ReplicateTest, RecoveryWithNothingMissingShipsNothing) {
+  auto repl = Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry");
+  ASSERT_TRUE(repl.ok());
+  rt_.LocalAppend("edge", "telemetry", Bytes(1));
+  sim_.Run();
+  uint64_t reshipped = 99;
+  repl.value()->Recover([&](uint64_t n) { reshipped = n; });
+  sim_.Run();
+  EXPECT_EQ(reshipped, 0u);
+  EXPECT_EQ(rt_.GetNode("repo")->GetLog("telemetry")->Size(), 1u);
+}
+
+TEST_F(ReplicateTest, ChainedReplication) {
+  // edge -> repo -> archive: the telemetry path UNL -> UCSB -> ND.
+  rt_.AddNode("archive");
+  LinkParams p;
+  p.one_way_ms = 20.0;
+  p.jitter_ms = 0.0;
+  rt_.wan().AddLink("repo", "archive", p);
+  rt_.CreateLog("archive", LogConfig{"telemetry", 64, 256});
+  auto hop1 =
+      Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry");
+  auto hop2 =
+      Replicator::Create(rt_, "repo", "telemetry", "archive", "telemetry");
+  ASSERT_TRUE(hop1.ok());
+  ASSERT_TRUE(hop2.ok());
+  for (int i = 0; i < 4; ++i) rt_.LocalAppend("edge", "telemetry", Bytes(i));
+  sim_.Run();
+  EXPECT_EQ(rt_.GetNode("archive")->GetLog("telemetry")->Size(), 4u);
+}
+
+}  // namespace
+}  // namespace xg::cspot

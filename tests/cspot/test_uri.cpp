@@ -1,0 +1,77 @@
+#include "cspot/uri.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::cspot {
+namespace {
+
+TEST(WoofUri, ParseFullForm) {
+  auto r = ParseWoofUri("woof://ucsb/cups/telemetry");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node, "ucsb");
+  EXPECT_EQ(r.value().ns, "cups");
+  EXPECT_EQ(r.value().log, "telemetry");
+  EXPECT_EQ(r.value().LocalName(), "cups/telemetry");
+}
+
+TEST(WoofUri, ParseDefaultNamespace) {
+  auto r = ParseWoofUri("woof://nd/results");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node, "nd");
+  EXPECT_EQ(r.value().ns, "default");
+  EXPECT_EQ(r.value().log, "results");
+}
+
+TEST(WoofUri, RoundTrip) {
+  WoofUri u{"unl", "sensors", "station-3"};
+  auto r = ParseWoofUri(u.ToString());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node, u.node);
+  EXPECT_EQ(r.value().ns, u.ns);
+  EXPECT_EQ(r.value().log, u.log);
+}
+
+TEST(WoofUri, RejectsMalformed) {
+  EXPECT_FALSE(ParseWoofUri("http://ucsb/x").ok());
+  EXPECT_FALSE(ParseWoofUri("woof://").ok());
+  EXPECT_FALSE(ParseWoofUri("woof://node").ok());
+  EXPECT_FALSE(ParseWoofUri("woof://node/").ok());
+  EXPECT_FALSE(ParseWoofUri("woof:///log").ok());
+  EXPECT_FALSE(ParseWoofUri("woof://node/ns/log/extra").ok());
+  EXPECT_FALSE(ParseWoofUri("woof://node//log").ok());
+}
+
+TEST(Namespace, ScopedCreateAndLookup) {
+  Node node("ucsb");
+  Namespace cups(node, "cups");
+  Namespace admin(node, "admin");
+  ASSERT_TRUE(cups.CreateLog("telemetry", 128, 64).ok());
+  ASSERT_TRUE(admin.CreateLog("telemetry", 64, 16).ok());  // no clash
+  EXPECT_NE(cups.GetLog("telemetry"), nullptr);
+  EXPECT_NE(admin.GetLog("telemetry"), nullptr);
+  EXPECT_NE(cups.GetLog("telemetry"), admin.GetLog("telemetry"));
+  EXPECT_EQ(cups.GetLog("telemetry")->config().element_size, 128u);
+}
+
+TEST(Namespace, ListOnlyOwnLogs) {
+  Node node("n");
+  Namespace a(node, "a"), b(node, "b");
+  a.CreateLog("one", 16, 4);
+  a.CreateLog("two", 16, 4);
+  b.CreateLog("three", 16, 4);
+  const auto names = a.LogNames();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_EQ(b.LogNames().size(), 1u);
+}
+
+TEST(Namespace, Delete) {
+  Node node("n");
+  Namespace ns(node, "x");
+  ns.CreateLog("gone", 16, 4);
+  EXPECT_TRUE(ns.DeleteLog("gone").ok());
+  EXPECT_EQ(ns.GetLog("gone"), nullptr);
+  EXPECT_FALSE(ns.DeleteLog("gone").ok());
+}
+
+}  // namespace
+}  // namespace xg::cspot

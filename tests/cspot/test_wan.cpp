@@ -1,0 +1,195 @@
+#include "cspot/wan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace xg::cspot {
+namespace {
+
+class WanTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+};
+
+TEST_F(WanTest, DirectDelivery) {
+  Wan wan(sim_, 1);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  LinkParams p;
+  p.one_way_ms = 10.0;
+  p.jitter_ms = 0.0;
+  p.bandwidth_mbps = 0.0;
+  wan.AddLink("a", "b", p);
+  bool delivered = false;
+  EXPECT_TRUE(wan.Send("a", "b", 100, [&] { delivered = true; }));
+  sim_.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(sim_.Now().millis(), 10.0);
+}
+
+TEST_F(WanTest, MultiHopRoutingSumsLatency) {
+  Wan wan(sim_, 2);
+  for (const char* n : {"a", "b", "c"}) wan.AddNode(n);
+  LinkParams p;
+  p.one_way_ms = 5.0;
+  p.jitter_ms = 0.0;
+  p.bandwidth_mbps = 0.0;
+  wan.AddLink("a", "b", p);
+  wan.AddLink("b", "c", p);
+  bool delivered = false;
+  wan.Send("a", "c", 0, [&] { delivered = true; });
+  sim_.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(sim_.Now().millis(), 10.0);
+  auto mean = wan.MeanPathLatencyMs("a", "c");
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean.value(), 10.0);
+}
+
+TEST_F(WanTest, NoRouteFailsImmediately) {
+  Wan wan(sim_, 3);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  EXPECT_FALSE(wan.Send("a", "b", 0, [] { FAIL(); }));
+  EXPECT_FALSE(wan.MeanPathLatencyMs("a", "b").ok());
+  EXPECT_EQ(wan.messages_lost(), 1u);
+}
+
+TEST_F(WanTest, SerializationDelayScalesWithBytes) {
+  Wan wan(sim_, 4);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  LinkParams p;
+  p.one_way_ms = 0.0;
+  p.jitter_ms = 0.0;
+  p.min_ms = 0.0;
+  p.bandwidth_mbps = 8.0;  // 1 ms per 1000 bytes
+  wan.AddLink("a", "b", p);
+  wan.Send("a", "b", 1000, [] {});
+  sim_.Run();
+  EXPECT_NEAR(sim_.Now().millis(), 1.0, 1e-9);
+}
+
+TEST_F(WanTest, LinkDownBlocksRoute) {
+  Wan wan(sim_, 5);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  wan.AddLink("a", "b", LinkParams{});
+  ASSERT_TRUE(wan.SetLinkUp("a", "b", false).ok());
+  EXPECT_FALSE(wan.Send("a", "b", 0, [] {}));
+  ASSERT_TRUE(wan.SetLinkUp("a", "b", true).ok());
+  EXPECT_TRUE(wan.Send("a", "b", 0, [] {}));
+}
+
+TEST_F(WanTest, SetLinkUpUnknownLink) {
+  Wan wan(sim_, 6);
+  wan.AddNode("a");
+  EXPECT_FALSE(wan.SetLinkUp("a", "zz", false).ok());
+}
+
+TEST_F(WanTest, RouteAroundDownLink) {
+  Wan wan(sim_, 7);
+  for (const char* n : {"a", "b", "c"}) wan.AddNode(n);
+  LinkParams fast;
+  fast.one_way_ms = 1.0;
+  fast.jitter_ms = 0.0;
+  fast.bandwidth_mbps = 0.0;
+  LinkParams slow = fast;
+  slow.one_way_ms = 50.0;
+  wan.AddLink("a", "c", fast);   // direct
+  wan.AddLink("a", "b", slow);
+  wan.AddLink("b", "c", slow);
+  wan.SetLinkUp("a", "c", false);  // force the detour
+  bool delivered = false;
+  EXPECT_TRUE(wan.Send("a", "c", 0, [&] { delivered = true; }));
+  sim_.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(sim_.Now().millis(), 100.0);
+}
+
+TEST_F(WanTest, NodeUnreachableBlocksAllTraffic) {
+  Wan wan(sim_, 8);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  wan.AddLink("a", "b", LinkParams{});
+  wan.SetNodeReachable("b", false);
+  EXPECT_FALSE(wan.NodeReachable("b"));
+  EXPECT_FALSE(wan.Send("a", "b", 0, [] {}));
+  wan.SetNodeReachable("b", true);
+  EXPECT_TRUE(wan.Send("a", "b", 0, [] {}));
+}
+
+TEST_F(WanTest, LossDropsExpectedFraction) {
+  Wan wan(sim_, 9);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  LinkParams p;
+  p.loss_prob = 0.25;
+  wan.AddLink("a", "b", p);
+  int delivered = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    wan.Send("a", "b", 0, [&] { ++delivered; });
+  }
+  sim_.Run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.75, 0.03);
+  EXPECT_EQ(wan.messages_lost(), static_cast<uint64_t>(n - delivered));
+}
+
+TEST_F(WanTest, JitterProducesLatencySpread) {
+  Wan wan(sim_, 10);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  LinkParams p;
+  p.one_way_ms = 20.0;
+  p.jitter_ms = 4.0;
+  p.min_ms = 0.0;
+  p.bandwidth_mbps = 0.0;
+  wan.AddLink("a", "b", p);
+  SampleSet lat;
+  for (int i = 0; i < 500; ++i) {
+    const auto t0 = sim_.Now();
+    wan.Send("a", "b", 0, [&lat, t0, this] {
+      lat.Add((sim_.Now() - t0).millis());
+    });
+    sim_.Run();
+  }
+  EXPECT_NEAR(lat.mean(), 20.0, 0.8);
+  EXPECT_NEAR(lat.stddev(), 4.0, 0.8);
+}
+
+TEST_F(WanTest, LatencyFloorEnforced) {
+  Wan wan(sim_, 11);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  LinkParams p;
+  p.one_way_ms = 1.0;
+  p.jitter_ms = 10.0;  // would often go negative
+  p.min_ms = 0.5;
+  p.bandwidth_mbps = 0.0;
+  wan.AddLink("a", "b", p);
+  for (int i = 0; i < 200; ++i) {
+    const auto t0 = sim_.Now();
+    wan.Send("a", "b", 0, [t0, this] {
+      EXPECT_GE((sim_.Now() - t0).millis(), 0.5 - 1e-9);
+    });
+    sim_.Run();
+  }
+}
+
+TEST_F(WanTest, AddLinkRequiresKnownNodes) {
+  Wan wan(sim_, 12);
+  wan.AddNode("a");
+  EXPECT_FALSE(wan.AddLink("a", "ghost", LinkParams{}).ok());
+}
+
+TEST_F(WanTest, DuplicateAddNodeIsIdempotent) {
+  Wan wan(sim_, 13);
+  wan.AddNode("a");
+  wan.AddNode("a");
+  EXPECT_TRUE(wan.HasNode("a"));
+}
+
+}  // namespace
+}  // namespace xg::cspot

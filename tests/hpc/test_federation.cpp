@@ -1,0 +1,88 @@
+#include "hpc/federation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::hpc {
+namespace {
+
+class FederationTest : public ::testing::Test {
+ protected:
+  FederationTest() : selector_(sim_, CfdPerfModel{}, 77) {
+    selector_.AddSite(NotreDameCRC());
+    selector_.AddSite(PurdueAnvil());
+    selector_.AddSite(TaccStampede3());
+  }
+  sim::Simulation sim_;
+  SiteSelector selector_;
+};
+
+TEST_F(FederationTest, ScoresEverySite) {
+  const auto scores = selector_.ScoreAll(1);
+  ASSERT_EQ(scores.size(), 3u);
+  for (const SiteScore& s : scores) {
+    EXPECT_GT(s.est_runtime_s, 0.0);
+    EXPECT_GE(s.est_wait_s, 0.0);
+    EXPECT_DOUBLE_EQ(s.est_completion_s, s.est_wait_s + s.est_runtime_s);
+  }
+}
+
+TEST_F(FederationTest, IdleSitesPreferFasterNodes) {
+  // With empty queues the winner is the site with the fastest modeled
+  // runtime — ANVIL's 128-core nodes beat ND's 64.
+  auto best = selector_.Best(1);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().site, "ANVIL");
+}
+
+TEST_F(FederationTest, CongestionMovesWorkElsewhere) {
+  // Saturate ANVIL with long jobs; selection must shift away.
+  BatchScheduler* anvil = selector_.Scheduler("ANVIL");
+  ASSERT_NE(anvil, nullptr);
+  for (int i = 0; i < 80; ++i) {
+    anvil->Submit(JobSpec{"hog", 8, 24 * 3600.0, 24 * 3600.0});
+  }
+  sim_.RunUntil(sim::SimTime::Minutes(1));
+  auto best = selector_.Best(1);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NE(best.value().site, "ANVIL");
+}
+
+TEST_F(FederationTest, BatchRenderingConstraintExcludesAnvil) {
+  // Section 4.3: ANVIL cannot render in batch; a placement that requires
+  // batch-side rendering must avoid it even when it is otherwise best.
+  auto best = selector_.Best(1, /*require_batch_rendering=*/true);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NE(best.value().site, "ANVIL");
+  for (const SiteScore& s : selector_.ScoreAll(1)) {
+    if (s.site == "ANVIL") {
+      EXPECT_FALSE(s.batch_rendering);
+    } else {
+      EXPECT_TRUE(s.batch_rendering);
+    }
+  }
+}
+
+TEST_F(FederationTest, NoQualifyingSiteFails) {
+  sim::Simulation sim;
+  SiteSelector lonely(sim, CfdPerfModel{}, 5);
+  lonely.AddSite(PurdueAnvil());  // the only site cannot batch-render
+  EXPECT_FALSE(lonely.Best(1, /*require_batch_rendering=*/true).ok());
+  EXPECT_TRUE(lonely.Best(1, false).ok());
+}
+
+TEST_F(FederationTest, SchedulerLookup) {
+  EXPECT_NE(selector_.Scheduler("ND-CRC"), nullptr);
+  EXPECT_EQ(selector_.Scheduler("nowhere"), nullptr);
+  EXPECT_EQ(selector_.site_count(), 3u);
+}
+
+TEST_F(FederationTest, BackgroundLoadAllSitesRuns) {
+  selector_.StartBackgroundLoadAll(sim::SimTime::Hours(6));
+  sim_.RunUntil(sim::SimTime::Hours(6));
+  for (const char* name : {"ND-CRC", "ANVIL", "Stampede3"}) {
+    EXPECT_GT(selector_.Scheduler(name)->jobs_started(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace xg::hpc

@@ -1,0 +1,105 @@
+#include "hpc/perfmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace xg::hpc {
+namespace {
+
+TEST(PerfModel, CalibratedToPaperAnchor) {
+  // Paper Fig 7: 64 cores, single node -> 420.39 s mean.
+  CfdPerfModel model;
+  EXPECT_NEAR(model.TotalTime(64, 1), 420.39, 10.0);
+}
+
+TEST(PerfModel, JitterMatchesPaperSpread) {
+  // Paper: SD 36.29 s at 64 cores (~8.6% relative).
+  CfdPerfModel model;
+  Rng rng(3);
+  RunningStats s;
+  for (int i = 0; i < 3000; ++i) s.Add(model.SampleTotalTime(64, 1, rng));
+  EXPECT_NEAR(s.mean(), model.TotalTime(64, 1), 3.0);
+  EXPECT_NEAR(s.stddev(), 36.29, 8.0);
+}
+
+TEST(PerfModel, RuntimeDecreasesWithCores) {
+  CfdPerfModel model;
+  double prev = 1e30;
+  for (int cores : {1, 2, 4, 8, 16, 32, 64}) {
+    const double t = model.TotalTime(cores, 1);
+    EXPECT_LT(t, prev) << cores << " cores";
+    prev = t;
+  }
+}
+
+TEST(PerfModel, SpeedupSaturates) {
+  CfdPerfModel model;
+  const double s32 = model.TotalTime(1, 1) / model.TotalTime(32, 1);
+  const double s64 = model.TotalTime(1, 1) / model.TotalTime(64, 1);
+  EXPECT_GT(s64, s32);           // still improving
+  EXPECT_LT(s64, 2.0 * s32 * 0.9);  // but sub-linear (Amdahl)
+  EXPECT_LT(s64, 64.0);
+}
+
+TEST(PerfModel, FoamKernelFastestOnTwoNodes) {
+  // Paper Section 4.4: "The OpenFOAM computation, itself, runs fastest on
+  // 2 nodes, each with 64 cores."
+  CfdPerfModel model;
+  EXPECT_EQ(model.BestFoamNodes(64, 8), 2);
+  EXPECT_LT(model.FoamTime(64, 2), model.FoamTime(64, 1));
+}
+
+TEST(PerfModel, TotalApplicationFastestOnOneNode) {
+  // Paper Section 4.4: "the total application slows down when executed on
+  // more than one node."
+  CfdPerfModel model;
+  EXPECT_EQ(model.BestTotalNodes(64, 8), 1);
+  EXPECT_GT(model.TotalTime(64, 2), model.TotalTime(64, 1));
+  EXPECT_GT(model.TotalTime(64, 4), model.TotalTime(64, 2));
+}
+
+TEST(PerfModel, SerialTimeGrowsWithNodes) {
+  CfdPerfModel model;
+  EXPECT_GT(model.SerialTime(2), model.SerialTime(1));
+  EXPECT_GT(model.SerialTime(4), model.SerialTime(2));
+}
+
+TEST(PerfModel, WorkScaleMultipliesRuntime) {
+  CfdPerfParams p;
+  p.work_scale = 2.0;
+  CfdPerfModel big(p);
+  CfdPerfModel base;
+  EXPECT_NEAR(big.TotalTime(64, 1) / base.TotalTime(64, 1), 2.0, 0.05);
+}
+
+TEST(PerfModel, SampleAlwaysPositive) {
+  CfdPerfModel model;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.SampleTotalTime(64, 1, rng), 0.0);
+  }
+}
+
+TEST(PerfModel, SustainedCadenceAboutSevenMinutes) {
+  // Paper Section 4.4: a dedicated 64-core machine sustains roughly one
+  // simulation every 7 minutes.
+  CfdPerfModel model;
+  EXPECT_NEAR(model.TotalTime(64, 1) / 60.0, 7.0, 0.8);
+}
+
+class CoreSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoreSweep, EfficiencyBelowOne) {
+  CfdPerfModel model;
+  const int cores = GetParam();
+  const double speedup = model.TotalTime(1, 1) / model.TotalTime(cores, 1);
+  EXPECT_LE(speedup, static_cast<double>(cores));
+  EXPECT_GE(speedup, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 48, 64));
+
+}  // namespace
+}  // namespace xg::hpc

@@ -1,0 +1,80 @@
+#include "hpc/portability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::hpc {
+namespace {
+
+TEST(Sites, ProfilesMatchPaperDescription) {
+  const SiteProfile nd = NotreDameCRC();
+  EXPECT_EQ(nd.scheduler, SchedulerType::kUge);  // AD appendix: UGE at ND
+  EXPECT_EQ(nd.cores_per_node, 64);              // Fig 7 runs on 64 cores
+  EXPECT_EQ(nd.graphics, GraphicsStack::kOpenGlXorg);
+  EXPECT_TRUE(nd.virtual_framebuffer);
+
+  const SiteProfile anvil = PurdueAnvil();
+  EXPECT_EQ(anvil.graphics, GraphicsStack::kOpenGlXorg);
+  EXPECT_FALSE(anvil.virtual_framebuffer);  // Section 4.3
+  EXPECT_FALSE(anvil.mesa_passthrough);
+
+  const SiteProfile tacc = TaccStampede3();
+  EXPECT_EQ(tacc.graphics, GraphicsStack::kMesa);  // Mesa-compiled ParaView
+}
+
+TEST(Portability, NdSupportsBatchXvfb) {
+  const RenderPlan plan = PlanBatchRendering(NotreDameCRC());
+  EXPECT_EQ(plan.mode, RenderMode::kBatchVirtualFramebuffer);
+}
+
+TEST(Portability, AnvilBatchRenderingUnsupported) {
+  // Section 4.3: ANVIL lacks both virtual framebuffer and Mesa
+  // environment pass-through.
+  const RenderPlan plan = PlanBatchRendering(PurdueAnvil());
+  EXPECT_EQ(plan.mode, RenderMode::kUnsupported);
+  EXPECT_NE(plan.reason.find("ANVIL"), std::string::npos);
+}
+
+TEST(Portability, StampedeUsesMesaOffscreen) {
+  const RenderPlan plan = PlanBatchRendering(TaccStampede3());
+  EXPECT_EQ(plan.mode, RenderMode::kBatchMesaOffscreen);
+}
+
+TEST(Portability, FrontEndSshWorksEverywhere) {
+  // The paper's chosen solution: ssh -Y display forwarding to head nodes.
+  for (const SiteProfile& site :
+       {NotreDameCRC(), PurdueAnvil(), TaccStampede3()}) {
+    const RenderPlan plan = PlanFrontEndRendering(site);
+    EXPECT_EQ(plan.mode, RenderMode::kSshForwardedHeadNode) << site.name;
+    EXPECT_NE(plan.reason.find(site.name), std::string::npos);
+  }
+}
+
+TEST(Portability, PinnedEnvironmentFlagsVersionSkew) {
+  // Pin to the ND environment; other sites report mismatches (the
+  // "variations in pre-installed software modules" problem).
+  const SiteProfile nd = NotreDameCRC();
+  EXPECT_TRUE(CheckPinnedEnvironment(nd, nd.openfoam_module,
+                                     nd.paraview_module)
+                  .empty());
+  const auto anvil_issues = CheckPinnedEnvironment(
+      PurdueAnvil(), nd.openfoam_module, nd.paraview_module);
+  EXPECT_EQ(anvil_issues.size(), 2u);
+  const auto tacc_issues = CheckPinnedEnvironment(
+      TaccStampede3(), nd.openfoam_module, nd.paraview_module);
+  EXPECT_EQ(tacc_issues.size(), 2u);
+}
+
+TEST(Portability, RenderModeNamesPrintable) {
+  EXPECT_STREQ(RenderModeName(RenderMode::kUnsupported), "unsupported");
+  EXPECT_STREQ(RenderModeName(RenderMode::kSshForwardedHeadNode),
+               "ssh -Y head node");
+}
+
+TEST(Sites, SchedulerAndGraphicsNames) {
+  EXPECT_STREQ(SchedulerName(SchedulerType::kUge), "UGE");
+  EXPECT_STREQ(SchedulerName(SchedulerType::kSlurm), "Slurm");
+  EXPECT_STREQ(GraphicsName(GraphicsStack::kMesa), "Mesa");
+}
+
+}  // namespace
+}  // namespace xg::hpc

@@ -1,0 +1,128 @@
+#include "laminar/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::laminar {
+namespace {
+
+class OpsTest : public ::testing::Test {
+ protected:
+  OpsTest() : rt_(sim_, 17) { rt_.AddNode("n"); }
+
+  void RunAll() { sim_.Run(); }
+
+  sim::Simulation sim_;
+  cspot::Runtime rt_;
+};
+
+TEST_F(OpsTest, Arithmetic) {
+  Program p(rt_, "arith");
+  const int a = p.AddSource("a", "n", ValueType::kDouble);
+  const int b = p.AddSource("b", "n", ValueType::kDouble);
+  const int sum = ops::Add(p, "sum", "n", a, b);
+  const int diff = ops::Sub(p, "diff", "n", a, b);
+  const int prod = ops::Mul(p, "prod", "n", a, b);
+  const int scaled = ops::Scale(p, "scaled", "n", a, 10.0);
+  ASSERT_TRUE(p.Deploy().ok());
+  p.Inject(a, 0, Value(6.0));
+  p.Inject(b, 0, Value(2.0));
+  RunAll();
+  EXPECT_DOUBLE_EQ(p.OutputAt(sum, 0).value().AsDouble(), 8.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(diff, 0).value().AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(prod, 0).value().AsDouble(), 12.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(scaled, 0).value().AsDouble(), 60.0);
+}
+
+TEST_F(OpsTest, GreaterThanProducesBool) {
+  Program p(rt_, "cmp");
+  const int a = p.AddSource("a", "n", ValueType::kDouble);
+  const int k = p.AddConst("k", "n", Value(3.0));
+  const int gt = ops::GreaterThan(p, "gt", "n", a, k);
+  ASSERT_TRUE(p.Deploy().ok());
+  p.Inject(a, 0, Value(5.0));
+  p.Inject(a, 1, Value(1.0));
+  RunAll();
+  EXPECT_TRUE(p.OutputAt(gt, 0).value().AsBool());
+  EXPECT_FALSE(p.OutputAt(gt, 1).value().AsBool());
+}
+
+TEST_F(OpsTest, RunningSumFoldsInOrder) {
+  Program p(rt_, "rsum");
+  const int a = p.AddSource("a", "n", ValueType::kDouble);
+  const int sum = ops::RunningSum(p, "sum", "n", a);
+  ASSERT_TRUE(p.Deploy().ok());
+  for (int i = 0; i < 5; ++i) {
+    p.Inject(a, i, Value(static_cast<double>(i + 1)));
+  }
+  RunAll();
+  // 1, 3, 6, 10, 15.
+  EXPECT_DOUBLE_EQ(p.OutputAt(sum, 0).value().AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(sum, 2).value().AsDouble(), 6.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(sum, 4).value().AsDouble(), 15.0);
+}
+
+TEST_F(OpsTest, ReduceHandlesOutOfOrderArrivals) {
+  Program p(rt_, "ooo");
+  const int a = p.AddSource("a", "n", ValueType::kDouble);
+  const int sum = ops::RunningSum(p, "sum", "n", a);
+  ASSERT_TRUE(p.Deploy().ok());
+  // Iteration 2 arrives first: the fold must stall, then catch up.
+  p.Inject(a, 2, Value(30.0));
+  RunAll();
+  EXPECT_FALSE(p.OutputAt(sum, 0).ok());
+  EXPECT_FALSE(p.OutputAt(sum, 2).ok());
+  p.Inject(a, 0, Value(10.0));
+  p.Inject(a, 1, Value(20.0));
+  RunAll();
+  EXPECT_DOUBLE_EQ(p.OutputAt(sum, 0).value().AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(sum, 1).value().AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(sum, 2).value().AsDouble(), 60.0);
+}
+
+TEST_F(OpsTest, RunningMaxAndCount) {
+  Program p(rt_, "agg");
+  const int a = p.AddSource("a", "n", ValueType::kDouble);
+  const int mx = ops::RunningMax(p, "max", "n", a);
+  const int ct = ops::RunningCount(p, "count", "n", a);
+  ASSERT_TRUE(p.Deploy().ok());
+  for (int i = 0; i < 4; ++i) {
+    p.Inject(a, i, Value(std::vector<double>{3.0, 7.0, 5.0, 6.0}[static_cast<size_t>(i)]));
+  }
+  RunAll();
+  EXPECT_DOUBLE_EQ(p.OutputAt(mx, 1).value().AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(p.OutputAt(mx, 3).value().AsDouble(), 7.0);
+  EXPECT_EQ(p.OutputAt(ct, 3).value().AsInt(), 4);
+}
+
+TEST_F(OpsTest, ReduceFeedsDownstreamOperands) {
+  // reduce -> map -> sink chain: each fold firing propagates.
+  Program p(rt_, "chain");
+  const int a = p.AddSource("a", "n", ValueType::kDouble);
+  const int sum = ops::RunningSum(p, "sum", "n", a);
+  std::vector<double> sunk;
+  p.AddSink("sink", "n", sum, [&](int64_t, const Value& v) {
+    sunk.push_back(v.AsDouble());
+  });
+  ASSERT_TRUE(p.Deploy().ok());
+  p.Inject(a, 0, Value(1.0));
+  p.Inject(a, 1, Value(2.0));
+  RunAll();
+  EXPECT_EQ(sunk, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST_F(OpsTest, WindowMeanOverSlidingWindow) {
+  Program p(rt_, "wm");
+  const int a = p.AddSource("a", "n", ValueType::kDouble);
+  const int win = p.AddWindow("w", "n", a, 3);
+  const int mean = ops::WindowMean(p, "mean", "n", win);
+  ASSERT_TRUE(p.Deploy().ok());
+  for (int i = 0; i < 4; ++i) {
+    p.Inject(a, i, Value(static_cast<double>(i)));  // 0,1,2,3
+  }
+  RunAll();
+  EXPECT_DOUBLE_EQ(p.OutputAt(mean, 2).value().AsDouble(), 1.0);  // (0+1+2)/3
+  EXPECT_DOUBLE_EQ(p.OutputAt(mean, 3).value().AsDouble(), 2.0);  // (1+2+3)/3
+}
+
+}  // namespace
+}  // namespace xg::laminar

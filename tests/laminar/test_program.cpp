@@ -1,0 +1,242 @@
+#include "laminar/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cspot/topology.hpp"
+
+namespace xg::laminar {
+namespace {
+
+class ProgramTest : public ::testing::Test {
+ protected:
+  ProgramTest() : rt_(sim_, 11) {
+    rt_.AddNode("edge");
+    rt_.AddNode("cloud");
+    cspot::LinkParams p;
+    p.one_way_ms = 5.0;
+    p.jitter_ms = 0.0;
+    rt_.wan().AddLink("edge", "cloud", p);
+  }
+  sim::Simulation sim_;
+  cspot::Runtime rt_;
+};
+
+TEST_F(ProgramTest, MapFiresPerInjection) {
+  Program prog(rt_, "p1");
+  const int src = prog.AddSource("in", "edge", ValueType::kDouble);
+  const int dbl = prog.AddMap("double", "edge", src, ValueType::kDouble,
+                              [](const Value& v) {
+                                return Value(v.AsDouble() * 2.0);
+                              });
+  ASSERT_TRUE(prog.Deploy().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(prog.Inject(src, i, Value(static_cast<double>(i))).ok());
+  }
+  sim_.Run();
+  EXPECT_EQ(prog.FiringCount(dbl), 5);
+  for (int i = 0; i < 5; ++i) {
+    auto out = prog.OutputAt(dbl, i);
+    ASSERT_TRUE(out.ok());
+    EXPECT_DOUBLE_EQ(out.value().AsDouble(), 2.0 * i);
+  }
+}
+
+TEST_F(ProgramTest, ZipWaitsForAllInputs) {
+  Program prog(rt_, "p2");
+  const int a = prog.AddSource("a", "edge", ValueType::kDouble);
+  const int b = prog.AddSource("b", "edge", ValueType::kDouble);
+  const int sum = prog.AddZip("sum", "edge", {a, b}, ValueType::kDouble,
+                              [](const std::vector<Value>& vs) {
+                                return Value(vs[0].AsDouble() +
+                                             vs[1].AsDouble());
+                              });
+  ASSERT_TRUE(prog.Deploy().ok());
+  prog.Inject(a, 0, Value(1.0));
+  sim_.Run();
+  EXPECT_FALSE(prog.OutputAt(sum, 0).ok());  // strict: b missing
+  prog.Inject(b, 0, Value(2.0));
+  sim_.Run();
+  auto out = prog.OutputAt(sum, 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value().AsDouble(), 3.0);
+}
+
+TEST_F(ProgramTest, ZipHandlesOutOfOrderIterations) {
+  Program prog(rt_, "p3");
+  const int a = prog.AddSource("a", "edge", ValueType::kDouble);
+  const int b = prog.AddSource("b", "edge", ValueType::kDouble);
+  const int sum = prog.AddZip("sum", "edge", {a, b}, ValueType::kDouble,
+                              [](const std::vector<Value>& vs) {
+                                return Value(vs[0].AsDouble() +
+                                             vs[1].AsDouble());
+                              });
+  ASSERT_TRUE(prog.Deploy().ok());
+  prog.Inject(a, 1, Value(10.0));
+  prog.Inject(b, 0, Value(1.0));
+  prog.Inject(a, 0, Value(0.5));
+  prog.Inject(b, 1, Value(20.0));
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 0).value().AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 1).value().AsDouble(), 30.0);
+}
+
+TEST_F(ProgramTest, ConstFoldsIntoZip) {
+  Program prog(rt_, "p4");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  const int k = prog.AddConst("k", "edge", Value(10.0));
+  const int sum = prog.AddZip("plus_k", "edge", {src, k}, ValueType::kDouble,
+                              [](const std::vector<Value>& vs) {
+                                return Value(vs[0].AsDouble() +
+                                             vs[1].AsDouble());
+                              });
+  ASSERT_TRUE(prog.Deploy().ok());
+  prog.Inject(src, 0, Value(5.0));
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 0).value().AsDouble(), 15.0);
+}
+
+TEST_F(ProgramTest, WindowEmitsSlidingVectors) {
+  Program prog(rt_, "p5");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  const int win = prog.AddWindow("w", "edge", src, 3);
+  ASSERT_TRUE(prog.Deploy().ok());
+  for (int i = 0; i < 5; ++i) {
+    prog.Inject(src, i, Value(static_cast<double>(i * i)));
+  }
+  sim_.Run();
+  EXPECT_FALSE(prog.OutputAt(win, 0).ok());
+  EXPECT_FALSE(prog.OutputAt(win, 1).ok());
+  auto w2 = prog.OutputAt(win, 2);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w2.value().AsVector(), (std::vector<double>{0.0, 1.0, 4.0}));
+  auto w4 = prog.OutputAt(win, 4);
+  ASSERT_TRUE(w4.ok());
+  EXPECT_EQ(w4.value().AsVector(), (std::vector<double>{4.0, 9.0, 16.0}));
+}
+
+TEST_F(ProgramTest, FilterDropsIterations) {
+  Program prog(rt_, "p6");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  const int pos = prog.AddFilter("pos", "edge", src, [](const Value& v) {
+    return v.AsDouble() > 0.0;
+  });
+  std::vector<int64_t> seen;
+  prog.AddSink("sink", "edge", pos, [&](int64_t iter, const Value&) {
+    seen.push_back(iter);
+  });
+  ASSERT_TRUE(prog.Deploy().ok());
+  prog.Inject(src, 0, Value(1.0));
+  prog.Inject(src, 1, Value(-1.0));
+  prog.Inject(src, 2, Value(2.0));
+  sim_.Run();
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 2}));
+}
+
+TEST_F(ProgramTest, CrossHostDataflow) {
+  // Producer on the edge, consumer in the cloud: tokens cross the WAN via
+  // CSPOT remote appends.
+  Program prog(rt_, "p7");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  const int neg = prog.AddMap("neg", "cloud", src, ValueType::kDouble,
+                              [](const Value& v) {
+                                return Value(-v.AsDouble());
+                              });
+  double sunk = 0.0;
+  prog.AddSink("sink", "cloud", neg,
+               [&](int64_t, const Value& v) { sunk = v.AsDouble(); });
+  ASSERT_TRUE(prog.Deploy().ok());
+  prog.Inject(src, 0, Value(4.0));
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(sunk, -4.0);
+  EXPECT_GT(sim_.Now().millis(), 10.0);  // at least one WAN crossing
+}
+
+TEST_F(ProgramTest, TypeMismatchOnInjectFails) {
+  Program prog(rt_, "p8");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  ASSERT_TRUE(prog.Deploy().ok());
+  EXPECT_FALSE(prog.Inject(src, 0, Value(int64_t{1})).ok());
+  EXPECT_FALSE(prog.Inject(src, 0, Value(std::string("no"))).ok());
+}
+
+TEST_F(ProgramTest, InjectIntoNonSourceFails) {
+  Program prog(rt_, "p9");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  const int m = prog.AddMap("m", "edge", src, ValueType::kDouble,
+                            [](const Value& v) { return v; });
+  ASSERT_TRUE(prog.Deploy().ok());
+  EXPECT_FALSE(prog.Inject(m, 0, Value(1.0)).ok());
+}
+
+TEST_F(ProgramTest, InjectBeforeDeployFails) {
+  Program prog(rt_, "p10");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  EXPECT_FALSE(prog.Inject(src, 0, Value(1.0)).ok());
+}
+
+TEST_F(ProgramTest, DoubleDeployFails) {
+  Program prog(rt_, "p11");
+  prog.AddSource("x", "edge", ValueType::kDouble);
+  ASSERT_TRUE(prog.Deploy().ok());
+  EXPECT_FALSE(prog.Deploy().ok());
+}
+
+TEST_F(ProgramTest, DeployOnUnknownHostFails) {
+  Program prog(rt_, "p12");
+  prog.AddSource("x", "mars", ValueType::kDouble);
+  EXPECT_FALSE(prog.Deploy().ok());
+}
+
+TEST_F(ProgramTest, WindowRequiresNumericInput) {
+  Program prog(rt_, "p13");
+  const int src = prog.AddSource("x", "edge", ValueType::kString);
+  prog.AddWindow("w", "edge", src, 3);
+  EXPECT_FALSE(prog.Deploy().ok());
+}
+
+TEST_F(ProgramTest, DuplicateInjectionIsIdempotent) {
+  // Re-injecting the same iteration must not double-fire consumers
+  // (single-assignment output logs).
+  Program prog(rt_, "p14");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  int fires = 0;
+  const int m = prog.AddMap("m", "edge", src, ValueType::kDouble,
+                            [&fires](const Value& v) {
+                              ++fires;
+                              return v;
+                            });
+  ASSERT_TRUE(prog.Deploy().ok());
+  prog.Inject(src, 0, Value(1.0));
+  sim_.Run();
+  prog.Inject(src, 0, Value(1.0));
+  sim_.Run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(prog.FiringCount(m), 1);
+}
+
+TEST_F(ProgramTest, DiamondTopology) {
+  // x -> (a, b) -> zip: both branches fire from the same token.
+  Program prog(rt_, "p15");
+  const int src = prog.AddSource("x", "edge", ValueType::kDouble);
+  const int twice = prog.AddMap("twice", "edge", src, ValueType::kDouble,
+                                [](const Value& v) {
+                                  return Value(v.AsDouble() * 2);
+                                });
+  const int thrice = prog.AddMap("thrice", "edge", src, ValueType::kDouble,
+                                 [](const Value& v) {
+                                   return Value(v.AsDouble() * 3);
+                                 });
+  const int sum = prog.AddZip("sum", "edge", {twice, thrice},
+                              ValueType::kDouble,
+                              [](const std::vector<Value>& vs) {
+                                return Value(vs[0].AsDouble() +
+                                             vs[1].AsDouble());
+                              });
+  ASSERT_TRUE(prog.Deploy().ok());
+  prog.Inject(src, 0, Value(1.0));
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 0).value().AsDouble(), 5.0);
+}
+
+}  // namespace
+}  // namespace xg::laminar

@@ -1,0 +1,102 @@
+#include "laminar/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::laminar {
+namespace {
+
+TEST(Value, TypesReported) {
+  EXPECT_EQ(Value().type(), ValueType::kNone);
+  EXPECT_EQ(Value(int64_t{3}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(std::string("s")).type(), ValueType::kString);
+  EXPECT_EQ(Value(std::vector<double>{1.0}).type(), ValueType::kDoubleVector);
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value(int64_t{7}).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value(3.25).AsDouble(), 3.25);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(std::string("abc")).AsString(), "abc");
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_EQ(Value(v).AsVector(), v);
+}
+
+TEST(Value, ToNumberCoercions) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).ToNumber().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToNumber().value(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToNumber().value(), 1.0);
+  EXPECT_FALSE(Value(std::string("x")).ToNumber().ok());
+  EXPECT_FALSE(Value().ToNumber().ok());
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value(2.0), Value(2.0));
+  EXPECT_FALSE(Value(2.0) == Value(int64_t{2}));  // strongly typed
+  EXPECT_EQ(Value(std::string("a")), Value(std::string("a")));
+}
+
+TEST(Value, ToStringFormats) {
+  EXPECT_EQ(Value().ToString(), "none");
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(std::string("hi")).ToString(), "\"hi\"");
+  EXPECT_EQ(Value(std::vector<double>{1.0, 2.0}).ToString(), "[1,2]");
+}
+
+TEST(TokenSerialization, RoundTripAllTypes) {
+  const Token tokens[] = {
+      {0, Value()},
+      {1, Value(int64_t{-12345})},
+      {2, Value(3.14159)},
+      {3, Value(true)},
+      {4, Value(false)},
+      {5, Value(std::string("telemetry"))},
+      {6, Value(std::vector<double>{1.5, -2.5, 0.0})},
+      {1000000007, Value(2.0)},
+  };
+  for (const Token& t : tokens) {
+    auto bytes = SerializeToken(t);
+    auto back = DeserializeToken(bytes);
+    ASSERT_TRUE(back.ok()) << t.value.ToString();
+    EXPECT_EQ(back.value().iteration, t.iteration);
+    EXPECT_EQ(back.value().value, t.value);
+  }
+}
+
+TEST(TokenSerialization, EmptyVectorAndString) {
+  for (const Token& t : {Token{1, Value(std::vector<double>{})},
+                         Token{2, Value(std::string())}}) {
+    auto back = DeserializeToken(SerializeToken(t));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().value, t.value);
+  }
+}
+
+TEST(TokenSerialization, RejectsShortBuffers) {
+  EXPECT_FALSE(DeserializeToken({}).ok());
+  EXPECT_FALSE(DeserializeToken({1, 2, 3}).ok());
+}
+
+TEST(TokenSerialization, RejectsTruncatedPayload) {
+  Token t{1, Value(std::vector<double>{1.0, 2.0, 3.0})};
+  auto bytes = SerializeToken(t);
+  bytes.resize(bytes.size() - 5);
+  EXPECT_FALSE(DeserializeToken(bytes).ok());
+}
+
+TEST(TokenSerialization, RejectsBogusTypeByte) {
+  Token t{1, Value(2.0)};
+  auto bytes = SerializeToken(t);
+  bytes[0] = 99;
+  EXPECT_FALSE(DeserializeToken(bytes).ok());
+}
+
+TEST(ValueTypeName, AllNamed) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNone), "none");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDoubleVector), "double[]");
+}
+
+}  // namespace
+}  // namespace xg::laminar

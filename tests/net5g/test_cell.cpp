@@ -1,0 +1,269 @@
+#include "net5g/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net5g/iperf.hpp"
+
+namespace xg::net5g {
+namespace {
+
+UeProfile CleanUe(double snr_db) {
+  UeProfile p;
+  p.name = "test";
+  p.channel.link_snr_db = snr_db;
+  p.channel.shadow_sigma_db = 0.0;
+  p.channel.fast_sigma_db = 0.0;
+  p.host_jitter_rel = 0.0;
+  return p;
+}
+
+TEST(Cell, AttachToUnknownSliceFails) {
+  Cell cell(Make5GFddCell(20), 1);
+  EXPECT_EQ(cell.AttachUe(CleanUe(20), "nope"), -1);
+  EXPECT_EQ(cell.ue_count(), 0);
+}
+
+TEST(Cell, AttachToDefaultSlice) {
+  Cell cell(Make5GFddCell(20), 1);
+  EXPECT_EQ(cell.AttachUe(CleanUe(20)), 0);
+  EXPECT_EQ(cell.AttachUe(CleanUe(20)), 1);
+  EXPECT_EQ(cell.ue_count(), 2);
+}
+
+TEST(Cell, SingleUserThroughputMatchesPhyFormula) {
+  CellConfig cfg = Make5GFddCell(20);
+  Cell cell(cfg, 2);
+  cell.AttachUe(CleanUe(20.0));
+  auto run = cell.RunUplink(10, 1);
+  // Deterministic channel: throughput = SlotBits(106, se(20dB)) * 1000.
+  const double se = SpectralEfficiency(20.0, true);
+  const double expect_mbps = SlotBits(106, se) * 1000 / 1e6;
+  EXPECT_NEAR(run.per_ue[0].mean(), expect_mbps, 0.01);
+  EXPECT_NEAR(run.per_ue[0].stddev(), 0.0, 1e-9);
+}
+
+TEST(Cell, TddUplinkFractionScalesThroughput) {
+  CellConfig fdd = Make5GFddCell(20);
+  CellConfig tdd = Make5GTddCell(20);
+  Cell cf(fdd, 3), ct(tdd, 3);
+  cf.AttachUe(CleanUe(20.0));
+  ct.AttachUe(CleanUe(20.0));
+  const double f = cf.RunUplink(5, 1).per_ue[0].mean();
+  const double t = ct.RunUplink(5, 1).per_ue[0].mean();
+  // TDD 20 MHz @30kHz: 51 PRB x 2000 slots x 0.4 vs FDD 106 x 1000.
+  const double expect_ratio = (51.0 * 2000.0 * 0.4) / (106.0 * 1000.0);
+  EXPECT_NEAR(t / f, expect_ratio, 0.02);
+}
+
+TEST(Cell, TwoUsersShareCapacityFairly) {
+  CellConfig cfg = Make5GFddCell(20);
+  Cell cell(cfg, 4);
+  cell.AttachUe(CleanUe(20.0));
+  cell.AttachUe(CleanUe(20.0));
+  auto run = cell.RunUplink(20, 1);
+  const double a = run.per_ue[0].mean();
+  const double b = run.per_ue[1].mean();
+  EXPECT_NEAR(a / b, 1.0, 0.02);  // equal split with rotating remainder
+  // Aggregate equals the single-user capacity.
+  Cell single(cfg, 4);
+  single.AttachUe(CleanUe(20.0));
+  const double solo = single.RunUplink(20, 1).per_ue[0].mean();
+  EXPECT_NEAR(run.aggregate.mean(), solo, solo * 0.02);
+}
+
+TEST(Cell, SlicePrbsProportionalToFraction) {
+  CellConfig cfg = Make5GTddCell(40);
+  cfg.slices = {SliceConfig{"a", 0.25}, SliceConfig{"b", 0.75}};
+  Cell cell(cfg, 5);
+  EXPECT_EQ(cell.SlicePrbs(0), static_cast<int>(0.25 * 106));
+  EXPECT_EQ(cell.SlicePrbs(1), static_cast<int>(0.75 * 106));
+}
+
+TEST(Cell, StrictSlicingWastesIdleQuota) {
+  CellConfig cfg = Make5GTddCell(40);
+  cfg.slices = {SliceConfig{"a", 0.3}, SliceConfig{"b", 0.7}};
+  cfg.work_conserving_slicing = false;
+  Cell cell(cfg, 6);
+  cell.AttachUe(CleanUe(22.0), "a");  // slice b is idle
+  auto run = cell.RunUplink(10, 1);
+  // UE limited to 30% of PRBs even though 70% sit idle.
+  const double se = SpectralEfficiency(22.0, true);
+  const double expect =
+      SlotBits(static_cast<int>(0.3 * 106), se) * 2000 * 0.4 / 1e6;
+  EXPECT_NEAR(run.per_ue[0].mean(), expect, expect * 0.02);
+}
+
+TEST(Cell, WorkConservingSlicingDonatesIdleQuota) {
+  CellConfig cfg = Make5GTddCell(40);
+  cfg.slices = {SliceConfig{"a", 0.3}, SliceConfig{"b", 0.7}};
+  cfg.work_conserving_slicing = true;
+  Cell cell(cfg, 7);
+  cell.AttachUe(CleanUe(22.0), "a");
+  auto run = cell.RunUplink(10, 1);
+  const double se = SpectralEfficiency(22.0, true);
+  const double full = SlotBits(106, se) * 2000 * 0.4 / 1e6;
+  EXPECT_NEAR(run.per_ue[0].mean(), full, full * 0.02);
+}
+
+TEST(Cell, OverloadSeverityZeroWithHeadroom) {
+  Cell cell(Make5GTddCell(40), 8);
+  cell.AttachUe(CleanUe(22));
+  cell.AttachUe(CleanUe(22));
+  EXPECT_DOUBLE_EQ(cell.OverloadSeverity(), 0.0);
+}
+
+TEST(Cell, OverloadSeverityPositiveAtSdrLimit) {
+  Cell cell(Make5GTddCell(50), 9);
+  cell.AttachUe(CleanUe(22));
+  EXPECT_DOUBLE_EQ(cell.OverloadSeverity(), 0.0);
+  cell.AttachUe(CleanUe(22));
+  EXPECT_GT(cell.OverloadSeverity(), 0.0);  // 2 UEs at 50 MHz overload
+}
+
+TEST(Cell, OverloadReducesThroughputAndAddsVariance) {
+  CellConfig cfg = Make5GTddCell(50);
+  Cell two(cfg, 10);
+  UeProfile ue = MakeUeProfile(DeviceType::kLaptop, cfg);
+  two.AttachUe(ue);
+  two.AttachUe(ue);
+  auto overloaded = two.RunUplink(60, 1);
+
+  CellConfig cfg40 = Make5GTddCell(40);
+  Cell ok(cfg40, 10);
+  UeProfile ue40 = MakeUeProfile(DeviceType::kLaptop, cfg40);
+  ok.AttachUe(ue40);
+  ok.AttachUe(ue40);
+  auto healthy = ok.RunUplink(60, 1);
+
+  // Despite 25% more spectrum, the overloaded configuration delivers less.
+  EXPECT_LT(overloaded.aggregate.mean(), healthy.aggregate.mean());
+  EXPECT_GT(overloaded.aggregate.stddev(), healthy.aggregate.stddev());
+}
+
+TEST(Cell, ProportionalFairMatchesRoundRobinForEqualUes) {
+  CellConfig cfg = Make5GFddCell(20);
+  Cell cell(cfg, 11);
+  cell.set_scheduler(SchedulerPolicy::kProportionalFair);
+  UeProfile ue = CleanUe(20.0);
+  ue.channel.fast_sigma_db = 1.0;  // PF needs variation to choose on
+  cell.AttachUe(ue);
+  cell.AttachUe(ue);
+  auto run = cell.RunUplink(30, 2);
+  EXPECT_NEAR(run.per_ue[0].mean() / run.per_ue[1].mean(), 1.0, 0.1);
+}
+
+TEST(Cell, ProportionalFairExploitsGoodSlots) {
+  // With fading, PF aggregate should be at least RR aggregate (multi-user
+  // diversity).
+  CellConfig cfg = Make5GFddCell(20);
+  UeProfile ue = CleanUe(14.0);
+  ue.channel.fast_sigma_db = 4.0;
+
+  Cell rr(cfg, 12);
+  rr.AttachUe(ue);
+  rr.AttachUe(ue);
+  const double rr_agg = rr.RunUplink(50, 2).aggregate.mean();
+
+  Cell pf(cfg, 12);
+  pf.set_scheduler(SchedulerPolicy::kProportionalFair);
+  pf.AttachUe(ue);
+  pf.AttachUe(ue);
+  const double pf_agg = pf.RunUplink(50, 2).aggregate.mean();
+
+  EXPECT_GT(pf_agg, rr_agg * 0.98);
+}
+
+class BandwidthScaling
+    : public ::testing::TestWithParam<std::tuple<Access, Duplex>> {};
+
+TEST_P(BandwidthScaling, CleanUeThroughputGrowsWithBandwidth) {
+  auto [access, duplex] = GetParam();
+  double prev = 0.0;
+  for (double bw : SweepBandwidths(access, duplex)) {
+    CellConfig cfg = MakeSweepCell(access, duplex, bw);
+    Cell cell(cfg, 13);
+    cell.AttachUe(CleanUe(18.0));
+    const double mbps = cell.RunUplink(5, 1).per_ue[0].mean();
+    EXPECT_GT(mbps, prev) << AccessName(access) << " " << DuplexName(duplex)
+                          << " at " << bw << " MHz";
+    prev = mbps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, BandwidthScaling,
+    ::testing::Values(std::make_tuple(Access::kLte4G, Duplex::kFdd),
+                      std::make_tuple(Access::kNr5G, Duplex::kFdd),
+                      std::make_tuple(Access::kNr5G, Duplex::kTdd)));
+
+}  // namespace
+}  // namespace xg::net5g
+
+// -- downlink ---------------------------------------------------------------
+
+namespace xg::net5g {
+namespace {
+
+TEST(CellDownlink, FddDownlinkUsesFullCarrier) {
+  CellConfig cfg = Make5GFddCell(20);
+  Cell cell(cfg, 20);
+  UeProfile ue = CleanUe(20.0);
+  ue.dl_snr_offset_db = 0.0;
+  cell.AttachUe(ue);
+  const double ul = Cell(cfg, 20).AttachUe(ue) >= 0 ? 0.0 : 0.0;
+  (void)ul;
+  auto dl = cell.RunDownlink(5, 1);
+  const double se = SpectralEfficiency(20.0, true);
+  const double expect = SlotBits(106, se) * 1000 / 1e6;
+  EXPECT_NEAR(dl.per_ue[0].mean(), expect, 0.01);
+}
+
+TEST(CellDownlink, TddDownlinkOutweighsUplink) {
+  // Default pattern: 6 D vs 4 U slots -> DL throughput > UL throughput.
+  CellConfig cfg = Make5GTddCell(40);
+  UeProfile ue = CleanUe(20.0);
+  ue.dl_snr_offset_db = 0.0;
+  Cell a(cfg, 21), b(cfg, 21);
+  a.AttachUe(ue);
+  b.AttachUe(ue);
+  const double ul = a.RunUplink(5, 1).per_ue[0].mean();
+  const double dl = b.RunDownlink(5, 1).per_ue[0].mean();
+  EXPECT_NEAR(dl / ul, cfg.tdd.DownlinkFraction() / cfg.tdd.UplinkFraction(),
+              0.05);
+}
+
+TEST(CellDownlink, LinkBudgetAdvantageHelps) {
+  CellConfig cfg = Make5GFddCell(20);
+  UeProfile flat = CleanUe(14.0);
+  flat.dl_snr_offset_db = 0.0;
+  UeProfile boosted = CleanUe(14.0);
+  boosted.dl_snr_offset_db = 6.0;
+  Cell a(cfg, 22), b(cfg, 22);
+  a.AttachUe(flat);
+  b.AttachUe(boosted);
+  EXPECT_GT(b.RunDownlink(5, 1).per_ue[0].mean(),
+            a.RunDownlink(5, 1).per_ue[0].mean());
+}
+
+TEST(CellDownlink, HostUplinkBottleneckDoesNotApply) {
+  // The RPi-on-4G uplink collapse is a host *drain* problem; its downlink
+  // is bounded by the modem category instead.
+  CellConfig cfg = Make4GFddCell(20);
+  const UeProfile rpi = MakeUeProfile(DeviceType::kRaspberryPi, cfg);
+  Cell ul_cell(cfg, 23), dl_cell(cfg, 23);
+  ul_cell.AttachUe(rpi);
+  dl_cell.AttachUe(rpi);
+  const double ul = ul_cell.RunUplink(20, 1).per_ue[0].mean();
+  const double dl = dl_cell.RunDownlink(20, 1).per_ue[0].mean();
+  EXPECT_GT(dl, 5.0 * ul);
+}
+
+TEST(CellDownlink, TddFractionsSumWithSpecialSlots) {
+  TddPattern p;  // "DDDSUUDSUU"
+  EXPECT_DOUBLE_EQ(p.DownlinkFraction(), 0.4);
+  EXPECT_DOUBLE_EQ(p.UplinkFraction(), 0.4);
+  EXPECT_LT(p.DownlinkFraction() + p.UplinkFraction(), 1.0);  // S slots
+}
+
+}  // namespace
+}  // namespace xg::net5g

@@ -1,0 +1,85 @@
+#include "net5g/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace xg::net5g {
+namespace {
+
+TEST(Channel, MeanSnrTracksLinkSnr) {
+  ChannelParams p;
+  p.link_snr_db = 20.0;
+  p.shadow_sigma_db = 2.0;
+  RunningStats means;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Channel ch(p, Rng(seed));
+    for (int s = 0; s < 20; ++s) ch.TickSecond();
+    means.Add(ch.MeanSnrDb());
+  }
+  EXPECT_NEAR(means.mean(), 20.0, 1.0);
+}
+
+TEST(Channel, ShadowingStationaryStddev) {
+  ChannelParams p;
+  p.link_snr_db = 15.0;
+  p.shadow_sigma_db = 3.0;
+  p.shadow_corr = 0.8;
+  Channel ch(p, Rng(5));
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    ch.TickSecond();
+    s.Add(ch.MeanSnrDb() - p.link_snr_db);
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.25);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.3);
+}
+
+TEST(Channel, SlotSnrIncludesFastFading) {
+  ChannelParams p;
+  p.link_snr_db = 18.0;
+  p.shadow_sigma_db = 0.0;
+  p.fast_sigma_db = 2.0;
+  Channel ch(p, Rng(6));
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.Add(ch.SlotSnrDb());
+  EXPECT_NEAR(s.mean(), 18.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Channel, NoNoiseChannelsAreConstant) {
+  ChannelParams p;
+  p.link_snr_db = 25.0;
+  p.shadow_sigma_db = 0.0;
+  p.fast_sigma_db = 0.0;
+  Channel ch(p, Rng(7));
+  for (int i = 0; i < 10; ++i) {
+    ch.TickSecond();
+    EXPECT_DOUBLE_EQ(ch.SlotSnrDb(), 25.0);
+  }
+}
+
+TEST(Channel, TemporalCorrelationOfShadowing) {
+  ChannelParams p;
+  p.shadow_sigma_db = 2.5;
+  p.shadow_corr = 0.9;
+  Channel ch(p, Rng(8));
+  // Lag-1 autocorrelation of the shadowing process should be near rho.
+  double prev = 0.0;
+  RunningStats xy, xx;
+  bool have_prev = false;
+  for (int i = 0; i < 50000; ++i) {
+    ch.TickSecond();
+    const double x = ch.MeanSnrDb() - p.link_snr_db;
+    if (have_prev) {
+      xy.Add(prev * x);
+      xx.Add(prev * prev);
+    }
+    prev = x;
+    have_prev = true;
+  }
+  EXPECT_NEAR(xy.mean() / xx.mean(), 0.9, 0.05);
+}
+
+}  // namespace
+}  // namespace xg::net5g

@@ -1,0 +1,163 @@
+#include "net5g/core_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::net5g {
+namespace {
+
+SimProfile Sim(const std::string& imsi, uint64_t ki = 111, uint64_t opc = 222) {
+  return SimProfile{imsi, ki, opc};
+}
+
+Subscription Sub(const std::string& imsi,
+                 std::vector<std::string> slices = {"default"}) {
+  Subscription s;
+  s.sim = Sim(imsi);
+  s.allowed_slices = std::move(slices);
+  return s;
+}
+
+TEST(CoreNetwork, ProvisionAndRegister) {
+  CoreNetwork core(1);
+  ASSERT_TRUE(core.Provision(Sub("001010000000001")).ok());
+  EXPECT_EQ(core.subscriber_count(), 1u);
+  auto r = core.Register(Sim("001010000000001"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(core.StateOf("001010000000001"), UeState::kRegistered);
+}
+
+TEST(CoreNetwork, DuplicateProvisionRejected) {
+  CoreNetwork core(2);
+  ASSERT_TRUE(core.Provision(Sub("x")).ok());
+  EXPECT_EQ(core.Provision(Sub("x")).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(core.Provision(Sub("")).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CoreNetwork, UnknownImsiRejected) {
+  CoreNetwork core(3);
+  auto r = core.Register(Sim("999999999999999"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(core.auth_failures(), 1u);
+}
+
+TEST(CoreNetwork, WrongKeysRejected) {
+  // A SIM with the right IMSI but wrong Ki/OPc (cloned card) must fail AKA.
+  CoreNetwork core(4);
+  core.Provision(Sub("001010000000001"));
+  auto r = core.Register(Sim("001010000000001", /*ki=*/999, /*opc=*/888));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(core.auth_failures(), 1u);
+  EXPECT_EQ(core.StateOf("001010000000001"), UeState::kDeregistered);
+}
+
+TEST(CoreNetwork, BarredSubscriberRejected) {
+  CoreNetwork core(5);
+  core.Provision(Sub("a"));
+  core.Bar("a", true);
+  EXPECT_FALSE(core.Register(Sim("a")).ok());
+  EXPECT_EQ(core.policy_rejections(), 1u);
+  core.Bar("a", false);
+  EXPECT_TRUE(core.Register(Sim("a")).ok());
+}
+
+TEST(CoreNetwork, SessionRequiresRegistration) {
+  CoreNetwork core(6);
+  core.Provision(Sub("a"));
+  EXPECT_FALSE(core.EstablishSession("a", "default").ok());
+  core.Register(Sim("a"));
+  auto s = core.EstablishSession("a", "default");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(core.StateOf("a"), UeState::kSessionActive);
+  EXPECT_EQ(s.value().slice, "default");
+  EXPECT_EQ(s.value().ue_ip.rfind("10.45.0.", 0), 0u);
+}
+
+TEST(CoreNetwork, SliceAllowlistEnforced) {
+  CoreNetwork core(7);
+  core.Provision(Sub("iot", {"telemetry"}));
+  core.Register(Sim("iot"));
+  EXPECT_FALSE(core.EstablishSession("iot", "video").ok());
+  EXPECT_EQ(core.policy_rejections(), 1u);
+  EXPECT_TRUE(core.EstablishSession("iot", "telemetry").ok());
+}
+
+TEST(CoreNetwork, UniqueUeAddresses) {
+  CoreNetwork core(8);
+  core.Provision(Sub("a"));
+  core.Provision(Sub("b"));
+  core.Register(Sim("a"));
+  core.Register(Sim("b"));
+  auto sa = core.EstablishSession("a", "default");
+  auto sb = core.EstablishSession("b", "default");
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_NE(sa.value().ue_ip, sb.value().ue_ip);
+  EXPECT_NE(sa.value().session_id, sb.value().session_id);
+  EXPECT_EQ(core.ActiveSessions().size(), 2u);
+}
+
+TEST(CoreNetwork, DeregisterReleasesSessions) {
+  CoreNetwork core(9);
+  core.Provision(Sub("a"));
+  core.Register(Sim("a"));
+  core.EstablishSession("a", "default");
+  ASSERT_TRUE(core.Deregister("a").ok());
+  EXPECT_EQ(core.StateOf("a"), UeState::kDeregistered);
+  EXPECT_TRUE(core.ActiveSessions().empty());
+  EXPECT_FALSE(core.Deregister("a").ok());  // already deregistered
+}
+
+TEST(CoreNetwork, BarringTearsDownActiveUe) {
+  CoreNetwork core(10);
+  core.Provision(Sub("a"));
+  core.Register(Sim("a"));
+  core.EstablishSession("a", "default");
+  core.Bar("a", true);
+  EXPECT_EQ(core.StateOf("a"), UeState::kDeregistered);
+  EXPECT_TRUE(core.ActiveSessions().empty());
+}
+
+TEST(CoreNetwork, ReleaseSession) {
+  CoreNetwork core(11);
+  core.Provision(Sub("a"));
+  core.Register(Sim("a"));
+  auto s = core.EstablishSession("a", "default");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(core.ReleaseSession(s.value().session_id).ok());
+  EXPECT_FALSE(core.ReleaseSession(s.value().session_id).ok());
+  EXPECT_EQ(core.StateOf("a"), UeState::kRegistered);
+}
+
+TEST(SimBatch, SequentialImsisUniqueKeys) {
+  Rng rng(12);
+  const auto sims = MakeSimBatch("0010100000", 5, rng);
+  ASSERT_EQ(sims.size(), 5u);
+  EXPECT_EQ(sims[0].imsi, "001010000000001");
+  EXPECT_EQ(sims[4].imsi, "001010000000005");
+  for (size_t i = 0; i < sims.size(); ++i) {
+    for (size_t j = i + 1; j < sims.size(); ++j) {
+      EXPECT_NE(sims[i].ki, sims[j].ki);
+    }
+  }
+}
+
+TEST(SimBatch, ProvisionedBatchAllRegister) {
+  // The testbed workflow: provision the batch into the core, then every
+  // UE attaches with its card.
+  Rng rng(13);
+  CoreNetwork core(14);
+  const auto sims = MakeSimBatch("9990100000", 4, rng);
+  for (const SimProfile& sim : sims) {
+    Subscription sub;
+    sub.sim = sim;
+    ASSERT_TRUE(core.Provision(sub).ok());
+  }
+  for (const SimProfile& sim : sims) {
+    EXPECT_TRUE(core.Register(sim).ok()) << sim.imsi;
+  }
+  EXPECT_EQ(core.auth_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace xg::net5g

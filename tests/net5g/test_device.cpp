@@ -1,0 +1,105 @@
+#include "net5g/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::net5g {
+namespace {
+
+TEST(HostGoodput, PassThroughBelowCapacity) {
+  UeProfile p;
+  p.host_capacity_mbps = 50.0;
+  p.host_collapse_beta = 0.0;
+  EXPECT_DOUBLE_EQ(p.HostGoodput(30.0), 30.0);
+}
+
+TEST(HostGoodput, HardCapWithZeroBeta) {
+  UeProfile p;
+  p.host_capacity_mbps = 10.0;
+  p.host_collapse_beta = 0.0;
+  EXPECT_DOUBLE_EQ(p.HostGoodput(40.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.HostGoodput(400.0), 10.0);
+}
+
+TEST(HostGoodput, CollapseDecreasesWithOfferedLoad) {
+  UeProfile p;
+  p.host_capacity_mbps = 6.0;
+  p.host_collapse_beta = 0.5;
+  const double at10 = p.HostGoodput(10.0);
+  const double at40 = p.HostGoodput(40.0);
+  EXPECT_LT(at10, 6.0);
+  EXPECT_LT(at40, at10);  // the Raspberry-Pi-on-4G degradation shape
+  EXPECT_GT(at40, 0.0);
+}
+
+TEST(HostGoodput, ModemCapAppliesLast) {
+  UeProfile p;
+  p.host_capacity_mbps = 100.0;
+  p.modem_cap_mbps = 5.0;
+  EXPECT_DOUBLE_EQ(p.HostGoodput(50.0), 5.0);
+}
+
+TEST(HostGoodput, ContinuousAtCapacity) {
+  UeProfile p;
+  p.host_capacity_mbps = 10.0;
+  p.host_collapse_beta = 0.4;
+  EXPECT_NEAR(p.HostGoodput(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(p.HostGoodput(10.001), 10.0, 0.01);
+}
+
+TEST(Catalog, ProfilesNamedByNetwork) {
+  const CellConfig cell = Make5GTddCell(40);
+  const UeProfile p = MakeUeProfile(DeviceType::kRaspberryPi, cell);
+  EXPECT_EQ(p.name, "RPi-5G-TDD");
+  EXPECT_EQ(p.type, DeviceType::kRaspberryPi);
+}
+
+TEST(Catalog, SmartphoneTddUplinkIsCapped) {
+  // The COTS phone's poor n78 TDD uplink (paper Fig 4: 14.40 Mbps).
+  const UeProfile p =
+      MakeUeProfile(DeviceType::kSmartphone, Make5GTddCell(50));
+  EXPECT_LT(p.host_capacity_mbps, 20.0);
+}
+
+TEST(Catalog, Rpi4GCollapses) {
+  const UeProfile p =
+      MakeUeProfile(DeviceType::kRaspberryPi, Make4GFddCell(20));
+  EXPECT_GT(p.host_collapse_beta, 0.0);
+  EXPECT_LT(p.host_capacity_mbps, 10.0);
+}
+
+TEST(Catalog, Laptop4GHardCap) {
+  const UeProfile p = MakeUeProfile(DeviceType::kLaptop, Make4GFddCell(20));
+  EXPECT_DOUBLE_EQ(p.host_collapse_beta, 0.0);
+  EXPECT_NEAR(p.host_capacity_mbps, 10.6, 0.5);
+}
+
+TEST(Catalog, FiveGModemsUncappedInFdd) {
+  for (DeviceType d : {DeviceType::kLaptop, DeviceType::kRaspberryPi,
+                       DeviceType::kSmartphone}) {
+    const UeProfile p = MakeUeProfile(d, Make5GFddCell(20));
+    EXPECT_GT(p.host_capacity_mbps, 100.0) << DeviceTypeName(d);
+    EXPECT_GT(p.modem_cap_mbps, 100.0);
+  }
+}
+
+TEST(Catalog, ShadowSigmaGrowsWithBandwidth) {
+  const UeProfile narrow =
+      MakeUeProfile(DeviceType::kLaptop, Make5GTddCell(10));
+  const UeProfile wide = MakeUeProfile(DeviceType::kLaptop, Make5GTddCell(50));
+  EXPECT_GT(wide.channel.shadow_sigma_db, narrow.channel.shadow_sigma_db);
+}
+
+TEST(Catalog, TddChannelsNoisierThanFdd) {
+  const UeProfile fdd = MakeUeProfile(DeviceType::kLaptop, Make5GFddCell(20));
+  const UeProfile tdd = MakeUeProfile(DeviceType::kLaptop, Make5GTddCell(20));
+  EXPECT_GT(tdd.channel.shadow_sigma_db, fdd.channel.shadow_sigma_db);
+}
+
+TEST(DeviceTypeName, AllNamed) {
+  EXPECT_STREQ(DeviceTypeName(DeviceType::kLaptop), "Laptop");
+  EXPECT_STREQ(DeviceTypeName(DeviceType::kRaspberryPi), "RPi");
+  EXPECT_STREQ(DeviceTypeName(DeviceType::kSmartphone), "Smartphone");
+}
+
+}  // namespace
+}  // namespace xg::net5g

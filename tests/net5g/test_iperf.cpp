@@ -1,0 +1,170 @@
+// Shape tests against the paper's Figures 4-6: the simulator must
+// reproduce the qualitative ordering and scaling of the measured uplink
+// throughput (absolute values are calibrated, so the single-user 20/50 MHz
+// anchors are also checked within tolerance).
+#include "net5g/iperf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::net5g {
+namespace {
+
+constexpr int kSamples = 60;
+
+TEST(Fig4Anchors, FourGFddAt20MHz) {
+  const double phone =
+      MeasureSingleUser(Access::kLte4G, Duplex::kFdd, 20, DeviceType::kSmartphone,
+                        kSamples, 1).aggregate.mean();
+  const double laptop =
+      MeasureSingleUser(Access::kLte4G, Duplex::kFdd, 20, DeviceType::kLaptop,
+                        kSamples, 1).aggregate.mean();
+  const double rpi =
+      MeasureSingleUser(Access::kLte4G, Duplex::kFdd, 20, DeviceType::kRaspberryPi,
+                        kSamples, 1).aggregate.mean();
+  EXPECT_NEAR(phone, 43.83, 6.0);   // paper: 43.83
+  EXPECT_NEAR(laptop, 10.41, 2.0);  // paper: 10.41
+  EXPECT_NEAR(rpi, 2.23, 1.0);      // paper: 2.23
+  EXPECT_GT(phone, laptop);
+  EXPECT_GT(laptop, rpi);
+}
+
+TEST(Fig4Anchors, FiveGFddAt20MHz) {
+  const double phone =
+      MeasureSingleUser(Access::kNr5G, Duplex::kFdd, 20, DeviceType::kSmartphone,
+                        kSamples, 2).aggregate.mean();
+  const double rpi =
+      MeasureSingleUser(Access::kNr5G, Duplex::kFdd, 20, DeviceType::kRaspberryPi,
+                        kSamples, 2).aggregate.mean();
+  const double laptop =
+      MeasureSingleUser(Access::kNr5G, Duplex::kFdd, 20, DeviceType::kLaptop,
+                        kSamples, 2).aggregate.mean();
+  EXPECT_NEAR(phone, 58.89, 6.0);
+  EXPECT_NEAR(rpi, 52.36, 6.0);
+  EXPECT_NEAR(laptop, 40.83, 6.0);
+  EXPECT_GT(phone, rpi);
+  EXPECT_GT(rpi, laptop);
+}
+
+TEST(Fig4Anchors, FiveGTddAt50MHz) {
+  const double rpi =
+      MeasureSingleUser(Access::kNr5G, Duplex::kTdd, 50, DeviceType::kRaspberryPi,
+                        kSamples, 3).aggregate.mean();
+  const double laptop =
+      MeasureSingleUser(Access::kNr5G, Duplex::kTdd, 50, DeviceType::kLaptop,
+                        kSamples, 3).aggregate.mean();
+  const double phone =
+      MeasureSingleUser(Access::kNr5G, Duplex::kTdd, 50, DeviceType::kSmartphone,
+                        kSamples, 3).aggregate.mean();
+  EXPECT_NEAR(rpi, 65.97, 7.0);
+  EXPECT_NEAR(laptop, 58.31, 6.0);
+  EXPECT_NEAR(phone, 14.40, 3.0);
+  EXPECT_GT(rpi, laptop);    // in TDD the RPi wins (paper Fig 4)
+  EXPECT_GT(laptop, phone);  // the COTS phone collapses on n78 uplink
+}
+
+TEST(Fig4Shape, AllDevicesImproveFrom4GTo5G) {
+  for (DeviceType d : {DeviceType::kLaptop, DeviceType::kRaspberryPi,
+                       DeviceType::kSmartphone}) {
+    const double g4 = MeasureSingleUser(Access::kLte4G, Duplex::kFdd, 20, d,
+                                        kSamples, 4).aggregate.mean();
+    const double g5 = MeasureSingleUser(Access::kNr5G, Duplex::kFdd, 20, d,
+                                        kSamples, 4).aggregate.mean();
+    EXPECT_GT(g5, g4) << DeviceTypeName(d);
+  }
+}
+
+TEST(Fig4Shape, Rpi4GDegradesWithBandwidth) {
+  double prev = 1e9;
+  for (double bw : {5.0, 10.0, 15.0, 20.0}) {
+    const double v =
+        MeasureSingleUser(Access::kLte4G, Duplex::kFdd, bw,
+                          DeviceType::kRaspberryPi, kSamples, 5)
+            .aggregate.mean();
+    EXPECT_LT(v, prev) << "at " << bw;
+    prev = v;
+  }
+}
+
+TEST(Fig4Shape, TddVarianceGrowsWithBandwidth) {
+  const auto narrow = MeasureSingleUser(Access::kNr5G, Duplex::kTdd, 10,
+                                        DeviceType::kRaspberryPi, 100, 6);
+  const auto wide = MeasureSingleUser(Access::kNr5G, Duplex::kTdd, 50,
+                                      DeviceType::kRaspberryPi, 100, 6);
+  EXPECT_GT(wide.aggregate.stddev(), narrow.aggregate.stddev());
+}
+
+TEST(Fig5Shape, TwoUserFddSharesFairly) {
+  const auto p = MeasureTwoUser(Access::kNr5G, Duplex::kFdd, 20,
+                                DeviceType::kRaspberryPi, 100, 7);
+  ASSERT_EQ(p.per_ue.size(), 2u);
+  EXPECT_NEAR(p.per_ue[0].mean() / p.per_ue[1].mean(), 1.0, 0.15);
+}
+
+TEST(Fig5Shape, TwoUserPhone4GDropsAt20MHz) {
+  const double at15 = MeasureTwoUser(Access::kLte4G, Duplex::kFdd, 15,
+                                     DeviceType::kSmartphone, 100, 8)
+                          .aggregate.mean();
+  const double at20 = MeasureTwoUser(Access::kLte4G, Duplex::kFdd, 20,
+                                     DeviceType::kSmartphone, 100, 8)
+                          .aggregate.mean();
+  EXPECT_LT(at20, at15);  // SDR sampling constraint (paper Fig 5)
+}
+
+TEST(Fig5Shape, TwoUserTddLaptopDropsAt50MHz) {
+  const double at40 = MeasureTwoUser(Access::kNr5G, Duplex::kTdd, 40,
+                                     DeviceType::kLaptop, 100, 9)
+                          .aggregate.mean();
+  const double at50 = MeasureTwoUser(Access::kNr5G, Duplex::kTdd, 50,
+                                     DeviceType::kLaptop, 100, 9)
+                          .aggregate.mean();
+  EXPECT_LT(at50, at40);
+  EXPECT_NEAR(at40, 65.2, 8.0);  // paper: 65.2 Mbps at 40 MHz
+}
+
+TEST(Fig6Anchors, ComplementarySlices) {
+  const auto lo = MeasureSlicing(0.1, 100, 10);
+  EXPECT_NEAR(lo.ue1.mean(), 4.95, 1.5);   // paper: 4.95
+  EXPECT_NEAR(lo.ue2.mean(), 43.47, 5.0);  // paper: 43.47
+  const auto mid = MeasureSlicing(0.5, 100, 10);
+  EXPECT_NEAR(mid.ue1.mean(), 23.91, 4.0);
+  EXPECT_NEAR(mid.ue2.mean(), 25.22, 4.0);
+  const auto hi = MeasureSlicing(0.9, 100, 10);
+  EXPECT_NEAR(hi.ue1.mean(), 34.73, 4.0);  // host-capped unit 1
+}
+
+TEST(Fig6Shape, ThroughputMonotoneInPrbShare) {
+  double prev = 0.0;
+  for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto r = MeasureSlicing(f, 60, 11);
+    EXPECT_GT(r.ue1.mean(), prev) << "at share " << f;
+    prev = r.ue1.mean();
+  }
+}
+
+TEST(Fig6Shape, StddevWithinPaperRange) {
+  // "Standard deviations remain within a narrow 3-5 Mbps range" at the
+  // mid allocations.
+  const auto mid = MeasureSlicing(0.5, 100, 12);
+  EXPECT_GT(mid.ue1.stddev(), 1.0);
+  EXPECT_LT(mid.ue1.stddev(), 6.0);
+}
+
+class SliceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SliceSweep, SharesSumNearFullCapacity) {
+  const double f = GetParam();
+  const auto r = MeasureSlicing(f, 60, 13);
+  const auto full = MeasureSlicing(0.5, 60, 13);
+  const double total = r.ue1.mean() + r.ue2.mean();
+  const double mid_total = full.ue1.mean() + full.ue2.mean();
+  // Away from host caps the totals should be comparable (PRBs conserved);
+  // allow generous tolerance at extremes where one UE is cap-limited.
+  EXPECT_GT(total, mid_total * 0.75);
+  EXPECT_LT(total, mid_total * 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SliceSweep,
+                         ::testing::Values(0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8));
+
+}  // namespace
+}  // namespace xg::net5g

@@ -1,0 +1,83 @@
+#include "net5g/phy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xg::net5g {
+namespace {
+
+TEST(Phy, DbToLinear) {
+  EXPECT_DOUBLE_EQ(DbToLinear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(DbToLinear(10.0), 10.0);
+  EXPECT_NEAR(DbToLinear(3.0), 2.0, 0.01);
+  EXPECT_NEAR(DbToLinear(-10.0), 0.1, 1e-12);
+}
+
+TEST(Phy, SpectralEfficiencyMonotoneInSnr) {
+  double prev = -1.0;
+  for (double snr = -10.0; snr <= 40.0; snr += 0.5) {
+    const double se = SpectralEfficiency(snr, /*is_nr=*/true);
+    EXPECT_GE(se, prev - 1e-12) << "at snr " << snr;
+    prev = se;
+  }
+}
+
+TEST(Phy, OutOfCoverageIsZero) {
+  EXPECT_EQ(SpectralEfficiency(-20.0, true), 0.0);
+  EXPECT_EQ(SpectralEfficiency(-20.0, false), 0.0);
+}
+
+TEST(Phy, NrCeilingHigherThanLte) {
+  const double se_nr = SpectralEfficiency(45.0, true);
+  const double se_lte = SpectralEfficiency(45.0, false);
+  PhyParams p;
+  EXPECT_NEAR(se_nr, p.se_max_nr, 0.25);
+  EXPECT_NEAR(se_lte, p.se_max_lte, 0.25);
+  EXPECT_GT(se_nr, se_lte);
+}
+
+TEST(Phy, QuantizationNeverExceedsShannon) {
+  PhyParams p;
+  for (double snr = 0.0; snr <= 35.0; snr += 1.0) {
+    const double cap = p.shannon_eta * std::log2(1.0 + DbToLinear(snr));
+    EXPECT_LE(SpectralEfficiency(snr, true, p), cap + 1e-9);
+  }
+}
+
+TEST(Phy, QuantizationIsDiscrete) {
+  // Nearby SNRs should land on the same MCS step.
+  const double a = SpectralEfficiency(20.00, true);
+  const double b = SpectralEfficiency(20.01, true);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Phy, SlotBitsScaleWithPrbs) {
+  const double one = SlotBits(1, 4.0);
+  const double hundred = SlotBits(100, 4.0);
+  EXPECT_NEAR(hundred, 100.0 * one, 1e-9);
+}
+
+TEST(Phy, SlotBitsFormula) {
+  PhyParams p;
+  // 10 PRB x 12 subcarriers x 12 data symbols x se x harq.
+  EXPECT_NEAR(SlotBits(10, 2.0, p), 10 * 12 * 12 * 2.0 * p.harq_efficiency,
+              1e-9);
+}
+
+TEST(Phy, ZeroSeZeroBits) {
+  EXPECT_EQ(SlotBits(100, 0.0), 0.0);
+  EXPECT_EQ(SlotBits(0, 5.0), 0.0);
+}
+
+TEST(Phy, PeakUplinkRateSanity) {
+  // 20 MHz NR FDD at very high SNR: ~15.26M RE/s * 5.55 b/RE ~ 81 Mbps.
+  PhyParams p;
+  const double se = SpectralEfficiency(45.0, true, p);
+  const double bits_per_sec = SlotBits(106, se, p) * 1000;
+  EXPECT_GT(bits_per_sec / 1e6, 70.0);
+  EXPECT_LT(bits_per_sec / 1e6, 90.0);
+}
+
+}  // namespace
+}  // namespace xg::net5g

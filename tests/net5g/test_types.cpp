@@ -1,0 +1,116 @@
+#include "net5g/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::net5g {
+namespace {
+
+TEST(PrbTables, Nr15kHzMatches3gpp) {
+  EXPECT_EQ(PrbCount(Access::kNr5G, 15, 5), 25);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 15, 10), 52);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 15, 15), 79);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 15, 20), 106);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 15, 50), 270);
+}
+
+TEST(PrbTables, Nr30kHzMatches3gpp) {
+  EXPECT_EQ(PrbCount(Access::kNr5G, 30, 10), 24);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 30, 20), 51);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 30, 40), 106);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 30, 50), 133);
+}
+
+TEST(PrbTables, LteMatches36101) {
+  EXPECT_EQ(PrbCount(Access::kLte4G, 15, 5), 25);
+  EXPECT_EQ(PrbCount(Access::kLte4G, 15, 10), 50);
+  EXPECT_EQ(PrbCount(Access::kLte4G, 15, 15), 75);
+  EXPECT_EQ(PrbCount(Access::kLte4G, 15, 20), 100);
+}
+
+TEST(PrbTables, UnsupportedCombinationsReturnZero) {
+  EXPECT_EQ(PrbCount(Access::kNr5G, 15, 7.3), 0);
+  EXPECT_EQ(PrbCount(Access::kNr5G, 60, 20), 0);
+  EXPECT_EQ(PrbCount(Access::kLte4G, 15, 50), 0);
+}
+
+TEST(SlotsPerSecond, Numerology) {
+  EXPECT_EQ(SlotsPerSecond(15), 1000);
+  EXPECT_EQ(SlotsPerSecond(30), 2000);
+  EXPECT_EQ(SlotsPerSecond(60), 4000);
+  EXPECT_EQ(SlotsPerSecond(7), 0);
+}
+
+TEST(SampleRates, FollowPowerOfTwoGrid) {
+  EXPECT_DOUBLE_EQ(RequiredSampleRateMsps(Access::kNr5G, 5), 7.68);
+  EXPECT_DOUBLE_EQ(RequiredSampleRateMsps(Access::kNr5G, 20), 30.72);
+  EXPECT_DOUBLE_EQ(RequiredSampleRateMsps(Access::kNr5G, 40), 46.08);
+  EXPECT_DOUBLE_EQ(RequiredSampleRateMsps(Access::kNr5G, 50), 61.44);
+}
+
+TEST(SampleRates, MonotoneInBandwidth) {
+  double prev = 0.0;
+  for (double bw : {5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0, 80.0}) {
+    const double r = RequiredSampleRateMsps(Access::kNr5G, bw);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(TddPattern, DefaultUplinkFraction) {
+  TddPattern p;  // "DDDSUUDSUU": 4 U out of 10
+  EXPECT_DOUBLE_EQ(p.UplinkFraction(), 0.4);
+}
+
+TEST(TddPattern, IsUplinkCyclesThroughPattern) {
+  TddPattern p;
+  p.slots = "DU";
+  EXPECT_FALSE(p.IsUplink(0));
+  EXPECT_TRUE(p.IsUplink(1));
+  EXPECT_FALSE(p.IsUplink(2));
+  EXPECT_TRUE(p.IsUplink(12345 * 2 + 1));
+}
+
+TEST(TddPattern, SpecialSlotsAreNotUplink) {
+  TddPattern p;
+  p.slots = "DSU";
+  EXPECT_FALSE(p.IsUplink(0));
+  EXPECT_FALSE(p.IsUplink(1));
+  EXPECT_TRUE(p.IsUplink(2));
+  EXPECT_NEAR(p.UplinkFraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CellFactories, MatchTestbedConfigurations) {
+  const CellConfig c4 = Make4GFddCell(20);
+  EXPECT_EQ(c4.access, Access::kLte4G);
+  EXPECT_EQ(c4.duplex, Duplex::kFdd);
+  EXPECT_EQ(c4.PrbTotal(), 100);
+  EXPECT_DOUBLE_EQ(c4.UplinkSlotFraction(), 1.0);
+
+  const CellConfig f5 = Make5GFddCell(20);
+  EXPECT_EQ(f5.scs_khz, 15);
+  EXPECT_EQ(f5.PrbTotal(), 106);
+  EXPECT_EQ(f5.SlotsPerSec(), 1000);
+
+  const CellConfig t5 = Make5GTddCell(50);
+  EXPECT_EQ(t5.scs_khz, 30);
+  EXPECT_EQ(t5.PrbTotal(), 133);
+  EXPECT_EQ(t5.SlotsPerSec(), 2000);
+  EXPECT_LT(t5.UplinkSlotFraction(), 1.0);
+}
+
+TEST(CellFactories, DefaultSliceCoversCarrier) {
+  const CellConfig c = Make5GFddCell(10);
+  ASSERT_EQ(c.slices.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.slices[0].prb_fraction, 1.0);
+  EXPECT_EQ(c.slices[0].name, "default");
+}
+
+TEST(Names, Printable) {
+  EXPECT_STREQ(AccessName(Access::kLte4G), "4G");
+  EXPECT_STREQ(AccessName(Access::kNr5G), "5G");
+  EXPECT_STREQ(DuplexName(Duplex::kFdd), "FDD");
+  EXPECT_STREQ(DuplexName(Duplex::kTdd), "TDD");
+}
+
+}  // namespace
+}  // namespace xg::net5g

@@ -1,0 +1,184 @@
+#include "pilot/pilot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace xg::pilot {
+namespace {
+
+hpc::SiteProfile QuietSite(int nodes = 8) {
+  hpc::SiteProfile s = hpc::NotreDameCRC();
+  s.nodes = nodes;
+  return s;
+}
+
+class PilotTest : public ::testing::Test {
+ protected:
+  PilotTest() : sched_(sim_, QuietSite(), 5) {}
+
+  // Heap-allocated: the proactive strategy's periodic timer captures the
+  // controller's address, so it must never be moved or copied.
+  std::unique_ptr<PilotController> MakeController(PilotConfig cfg) {
+    cfg.data_threshold_bytes = 4096.0;
+    return std::make_unique<PilotController>(sim_, sched_,
+                                             hpc::CfdPerfModel{}, cfg, 7);
+  }
+
+  sim::Simulation sim_;
+  hpc::BatchScheduler sched_;
+};
+
+TEST_F(PilotTest, Eq1RequiredNodes) {
+  auto ctl = MakeController(PilotConfig{});
+  EXPECT_EQ(ctl->RequiredNodes(0.0), 1);       // max(1, ...)
+  EXPECT_EQ(ctl->RequiredNodes(100.0), 1);
+  EXPECT_EQ(ctl->RequiredNodes(4096.0), 1);
+  EXPECT_EQ(ctl->RequiredNodes(4097.0), 2);    // ceil
+  EXPECT_EQ(ctl->RequiredNodes(3 * 4096.0), 3);
+}
+
+TEST_F(PilotTest, Eq2AvailableNodesCountsOnlyActivePilots) {
+  auto ctl = MakeController(PilotConfig{});
+  EXPECT_EQ(ctl->AvailableNodes(), 0);
+  ctl->SubmitTask(4096.0, nullptr);  // pilot submitted, not active yet
+  EXPECT_EQ(ctl->AvailableNodes(), 0);
+  sim_.RunUntil(sim::SimTime::Seconds(30));
+  // The pilot is running but the task occupies it -> still 0 idle;
+  // after the task completes the pilot node is idle capacity.
+  sim_.RunUntil(sim::SimTime::Minutes(30));
+  EXPECT_EQ(ctl->AvailableNodes(), 1);
+}
+
+TEST_F(PilotTest, Eq3SubmitDecision) {
+  auto ctl = MakeController(PilotConfig{});
+  EXPECT_TRUE(ctl->ShouldSubmitPilot(100.0));  // nothing active
+  ctl->SubmitTask(100.0, nullptr);
+  sim_.RunUntil(sim::SimTime::Minutes(30));
+  EXPECT_FALSE(ctl->ShouldSubmitPilot(100.0));     // 1 idle >= 1 required
+  EXPECT_TRUE(ctl->ShouldSubmitPilot(5 * 4096.0)); // needs more nodes
+}
+
+TEST_F(PilotTest, Eq4SpecClampsToSystem) {
+  auto ctl = MakeController(PilotConfig{});
+  const hpc::JobSpec spec = ctl->PilotSpec(100 * 4096.0);  // wants 100 nodes
+  EXPECT_EQ(spec.nodes, 8);  // min(system nodes, N_req)
+  EXPECT_LE(spec.walltime_s, QuietSite().max_walltime_h * 3600.0);
+}
+
+TEST_F(PilotTest, ReactiveTaskRunsAndReports) {
+  auto ctl = MakeController(PilotConfig{});
+  TaskResult result;
+  bool done = false;
+  ctl->SubmitTask(4096.0, [&](const TaskResult& r) {
+    result = r;
+    done = true;
+  });
+  sim_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ran_in_warm_pilot);
+  EXPECT_NEAR(result.runtime_s, 420.0, 120.0);  // perf-model sample
+  EXPECT_EQ(ctl->tasks_completed(), 1u);
+}
+
+TEST_F(PilotTest, SecondTaskReusesWarmPilot) {
+  auto ctl = MakeController(PilotConfig{});
+  double wait1 = -1, wait2 = -1;
+  ctl->SubmitTask(4096.0, [&](const TaskResult& r) {
+    wait1 = r.wait_s;
+    // Submit the next task while the pilot is still warm.
+    ctl->SubmitTask(4096.0, [&](const TaskResult& r2) { wait2 = r2.wait_s; });
+  });
+  sim_.Run();
+  EXPECT_GE(wait1, 0.0);
+  // The second task needs no batch queue pass: dispatch overhead only.
+  EXPECT_NEAR(wait2, 1.0, 0.5);
+  EXPECT_EQ(ctl->pilots_submitted(), 1u);
+}
+
+TEST_F(PilotTest, OnDemandPaysQueueingDelayEveryTask) {
+  // Fill the machine so the batch queue is contended.
+  for (int i = 0; i < 8; ++i) {
+    sched_.Submit(hpc::JobSpec{"hog", 1, 3600.0, 3600.0});
+  }
+  PilotConfig cfg;
+  cfg.strategy = Strategy::kOnDemand;
+  auto ctl = MakeController(cfg);
+  double wait = -1;
+  ctl->SubmitTask(4096.0, [&](const TaskResult& r) { wait = r.wait_s; });
+  sim_.Run();
+  EXPECT_GT(wait, 1000.0);  // waited for the hogs to drain
+}
+
+TEST_F(PilotTest, ReactivePilotMasksQueueForSubsequentTasks) {
+  for (int i = 0; i < 8; ++i) {
+    sched_.Submit(hpc::JobSpec{"hog", 1, 1800.0, 1800.0});
+  }
+  auto ctl = MakeController(PilotConfig{});
+  double wait1 = -1, wait2 = -1;
+  ctl->SubmitTask(4096.0, [&](const TaskResult& r) {
+    wait1 = r.wait_s;
+    ctl->SubmitTask(4096.0, [&](const TaskResult& r2) { wait2 = r2.wait_s; });
+  });
+  sim_.Run();
+  EXPECT_GT(wait1, 1000.0);  // first task eats the queue delay
+  EXPECT_LT(wait2, 10.0);    // pilot already holds the nodes
+}
+
+TEST_F(PilotTest, ProactiveKeepsWarmPilot) {
+  PilotConfig cfg;
+  cfg.strategy = Strategy::kProactive;
+  auto ctl = MakeController(cfg);
+  // Give the warm pilot time to start.
+  sim_.RunUntil(sim::SimTime::Minutes(5));
+  EXPECT_GE(ctl->active_pilot_nodes(), 1);
+  double wait = -1;
+  ctl->SubmitTask(4096.0, [&](const TaskResult& r) { wait = r.wait_s; });
+  sim_.RunUntil(sim::SimTime::Hours(1));
+  EXPECT_NEAR(wait, 1.0, 0.5);  // immediate dispatch, no queue pass
+}
+
+TEST_F(PilotTest, ProactiveAccumulatesIdleNodeSeconds) {
+  PilotConfig cfg;
+  cfg.strategy = Strategy::kProactive;
+  auto ctl = MakeController(cfg);
+  sim_.RunUntil(sim::SimTime::Hours(2));
+  // Two idle hours on one node ~ 7200 idle node-seconds.
+  EXPECT_GT(ctl->idle_node_seconds(), 3600.0);
+}
+
+TEST_F(PilotTest, OnDemandHasNoIdleCost) {
+  PilotConfig cfg;
+  cfg.strategy = Strategy::kOnDemand;
+  auto ctl = MakeController(cfg);
+  bool done = false;
+  ctl->SubmitTask(4096.0, [&](const TaskResult&) { done = true; });
+  sim_.RunUntil(sim::SimTime::Hours(4));
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(ctl->idle_node_seconds(), 0.0);
+}
+
+TEST_F(PilotTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kOnDemand), "on-demand");
+  EXPECT_STREQ(StrategyName(Strategy::kReactive), "reactive");
+  EXPECT_STREQ(StrategyName(Strategy::kProactive), "proactive");
+}
+
+class RequiredNodesSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RequiredNodesSweep, Eq1Formula) {
+  sim::Simulation sim;
+  hpc::BatchScheduler sched(sim, QuietSite(64), 1);
+  PilotConfig cfg;
+  cfg.data_threshold_bytes = 1000.0;
+  PilotController ctl(sim, sched, hpc::CfdPerfModel{}, cfg, 2);
+  const int k = GetParam();
+  EXPECT_EQ(ctl.RequiredNodes(k * 1000.0), std::max(1, k));
+  EXPECT_EQ(ctl.RequiredNodes(k * 1000.0 + 1.0), k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(DataSizes, RequiredNodesSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 50));
+
+}  // namespace
+}  // namespace xg::pilot

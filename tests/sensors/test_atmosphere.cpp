@@ -1,0 +1,120 @@
+#include "sensors/atmosphere.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace xg::sensors {
+namespace {
+
+TEST(Atmosphere, DiurnalTemperaturePeaksAfternoon) {
+  Atmosphere atmo(AtmosphereParams{}, 1);
+  const AtmoState night = atmo.BaselineAt(3.0 * 3600);    // 03:00
+  const AtmoState afternoon = atmo.BaselineAt(15.0 * 3600);  // 15:00
+  EXPECT_GT(afternoon.temperature_c, night.temperature_c + 5.0);
+  EXPECT_LT(afternoon.humidity_pct, night.humidity_pct);
+}
+
+TEST(Atmosphere, WindPicksUpDuringDay) {
+  Atmosphere atmo(AtmosphereParams{}, 1);
+  const AtmoState night = atmo.BaselineAt(2.0 * 3600);
+  const AtmoState midday = atmo.BaselineAt(12.0 * 3600);
+  EXPECT_GT(midday.wind_speed_ms, night.wind_speed_ms);
+}
+
+TEST(Atmosphere, FrontShiftsBaseline) {
+  AtmosphereParams p;
+  Atmosphere atmo(p, 2);
+  FrontEvent front;
+  front.start_s = 1000.0;
+  front.ramp_s = 500.0;
+  front.d_wind_ms = 3.0;
+  front.d_temp_c = -4.0;
+  atmo.AddFront(front);
+  const AtmoState before = atmo.BaselineAt(999.0);
+  const AtmoState mid = atmo.BaselineAt(1250.0);
+  const AtmoState after = atmo.BaselineAt(1500.0);
+  EXPECT_NEAR(mid.wind_speed_ms - before.wind_speed_ms, 1.5, 0.3);
+  EXPECT_NEAR(after.wind_speed_ms - before.wind_speed_ms, 3.0, 0.3);
+  EXPECT_NEAR(after.temperature_c - before.temperature_c, -4.0, 0.3);
+  // Shift persists after the ramp.
+  const AtmoState later = atmo.BaselineAt(5000.0);
+  EXPECT_GT(later.wind_speed_ms, atmo.BaselineAt(999.0).wind_speed_ms + 2.0);
+}
+
+TEST(Atmosphere, InstantFrontAppliesImmediately) {
+  Atmosphere atmo(AtmosphereParams{}, 3);
+  FrontEvent front;
+  front.start_s = 100.0;
+  front.ramp_s = 0.0;
+  front.d_wind_ms = 2.0;
+  atmo.AddFront(front);
+  EXPECT_NEAR(atmo.BaselineAt(100.0).wind_speed_ms -
+                  atmo.BaselineAt(99.9).wind_speed_ms,
+              2.0, 0.05);
+}
+
+TEST(Atmosphere, AdvanceMovesClock) {
+  Atmosphere atmo(AtmosphereParams{}, 4);
+  EXPECT_DOUBLE_EQ(atmo.now_s(), 0.0);
+  atmo.Advance(300.0);
+  EXPECT_DOUBLE_EQ(atmo.now_s(), 300.0);
+  atmo.Advance(45.0);  // sub-minute step path
+  EXPECT_DOUBLE_EQ(atmo.now_s(), 345.0);
+}
+
+TEST(Atmosphere, FluctuationsAreStationary) {
+  AtmosphereParams p;
+  Atmosphere atmo(p, 5);
+  RunningStats wind_dev;
+  for (int i = 0; i < 5000; ++i) {
+    const AtmoState s = atmo.Advance(60.0);
+    const AtmoState base = atmo.BaselineAt(atmo.now_s());
+    wind_dev.Add(s.wind_speed_ms - base.wind_speed_ms);
+  }
+  EXPECT_NEAR(wind_dev.mean(), 0.0, 0.1);
+  EXPECT_NEAR(wind_dev.stddev(), p.wind_sigma_ms, 0.12);
+}
+
+TEST(Atmosphere, PhysicalBoundsRespected) {
+  AtmosphereParams p;
+  p.base_wind_ms = 0.2;  // near-calm: noise would go negative
+  p.base_humidity_pct = 98.0;
+  Atmosphere atmo(p, 6);
+  for (int i = 0; i < 2000; ++i) {
+    const AtmoState s = atmo.Advance(60.0);
+    EXPECT_GE(s.wind_speed_ms, 0.0);
+    EXPECT_LE(s.humidity_pct, 100.0);
+    EXPECT_GE(s.humidity_pct, 2.0);
+    EXPECT_GE(s.wind_dir_deg, 0.0);
+    EXPECT_LT(s.wind_dir_deg, 360.0);
+  }
+}
+
+TEST(Atmosphere, DeterministicAcrossRuns) {
+  Atmosphere a(AtmosphereParams{}, 7), b(AtmosphereParams{}, 7);
+  for (int i = 0; i < 100; ++i) {
+    const AtmoState sa = a.Advance(300.0);
+    const AtmoState sb = b.Advance(300.0);
+    EXPECT_DOUBLE_EQ(sa.wind_speed_ms, sb.wind_speed_ms);
+    EXPECT_DOUBLE_EQ(sa.temperature_c, sb.temperature_c);
+  }
+}
+
+TEST(Atmosphere, ConsecutiveReadingsOftenIndistinguishable) {
+  // The property motivating the change detector: over 5-minute intervals
+  // the AR(1) fluctuation keeps consecutive readings close.
+  Atmosphere atmo(AtmosphereParams{}, 8);
+  atmo.Advance(12 * 3600.0);  // midday
+  double prev = atmo.Current().wind_speed_ms;
+  RunningStats step;
+  for (int i = 0; i < 200; ++i) {
+    const AtmoState s = atmo.Advance(300.0);
+    step.Add(std::abs(s.wind_speed_ms - prev));
+    prev = s.wind_speed_ms;
+  }
+  EXPECT_LT(step.mean(), 0.5);  // much smaller than station noise x 2
+}
+
+}  // namespace
+}  // namespace xg::sensors

@@ -1,0 +1,154 @@
+#include "sensors/cups.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::sensors {
+namespace {
+
+AtmoState Exterior(double wind = 4.0) {
+  AtmoState s;
+  s.wind_speed_ms = wind;
+  s.wind_dir_deg = 290.0;
+  s.temperature_c = 22.0;
+  s.humidity_pct = 50.0;
+  return s;
+}
+
+TEST(Cups, VolumeIsAboutHundredThousandCubicMeters) {
+  CupsFacility cups(CupsParams{}, 1);
+  EXPECT_NEAR(cups.volume_m3(), 108000.0, 1.0);
+}
+
+TEST(Cups, StationLayout) {
+  CupsParams p;
+  p.interior_stations = 6;
+  p.exterior_stations = 3;
+  CupsFacility cups(p, 2);
+  ASSERT_EQ(cups.stations().size(), 9u);
+  int interior = 0;
+  for (const auto& st : cups.stations()) {
+    interior += st.interior();
+    if (st.interior()) {
+      EXPECT_GE(st.x(), 0.0);
+      EXPECT_LE(st.x(), p.length_m);
+    }
+  }
+  EXPECT_EQ(interior, 6);
+}
+
+TEST(Cups, ScreenAttenuatesInteriorWind) {
+  CupsFacility cups(CupsParams{}, 3);
+  const auto& st = cups.stations().front();
+  ASSERT_TRUE(st.interior());
+  const AtmoState local = cups.LocalTruth(st, Exterior(), 0.0);
+  EXPECT_NEAR(local.wind_speed_ms, 4.0 * 0.30, 1e-9);
+  EXPECT_NEAR(local.temperature_c, 22.0 + 1.8, 1e-9);
+  EXPECT_GT(local.humidity_pct, 50.0);
+}
+
+TEST(Cups, ExteriorStationsSeeRawAtmosphere) {
+  CupsFacility cups(CupsParams{}, 4);
+  for (const auto& st : cups.stations()) {
+    if (st.interior()) continue;
+    const AtmoState local = cups.LocalTruth(st, Exterior(), 0.0);
+    EXPECT_DOUBLE_EQ(local.wind_speed_ms, 4.0);
+    EXPECT_DOUBLE_EQ(local.temperature_c, 22.0);
+  }
+}
+
+TEST(Cups, BreachRaisesLocalWind) {
+  CupsFacility cups(CupsParams{}, 5);
+  const auto& st = cups.stations().front();
+  const double before =
+      cups.LocalTruth(st, Exterior(), 0.0).wind_speed_ms;
+  BreachEvent b;
+  b.time_s = 100.0;
+  b.x_m = st.x();
+  b.y_m = st.y();
+  b.severity = 1.0;
+  b.radius_m = 20.0;
+  cups.AddBreach(b);
+  // Before the breach time: unchanged.
+  EXPECT_DOUBLE_EQ(cups.LocalTruth(st, Exterior(), 50.0).wind_speed_ms,
+                   before);
+  // After: station at the breach sees nearly full exterior wind.
+  const double after = cups.LocalTruth(st, Exterior(), 200.0).wind_speed_ms;
+  EXPECT_NEAR(after, 4.0, 0.15);
+}
+
+TEST(Cups, BreachEffectDecaysWithDistance) {
+  CupsParams p;
+  CupsFacility cups(p, 6);
+  BreachEvent b;
+  b.time_s = 0.0;
+  b.x_m = 60.0;
+  b.y_m = 60.0;
+  b.severity = 1.0;
+  b.radius_m = 30.0;
+  cups.AddBreach(b);
+  // Probe with synthetic stations at increasing distance.
+  double prev = 1e9;
+  for (double d : {0.0, 10.0, 20.0, 29.0}) {
+    WeatherStation probe(99, 60.0 + d, 60.0, true, StationNoise{}, 7);
+    const double w = cups.LocalTruth(probe, Exterior(), 1.0).wind_speed_ms;
+    EXPECT_LE(w, prev + 1e-9);
+    prev = w;
+  }
+  // Outside the radius: back to the screen factor.
+  WeatherStation far(98, 60.0 + 40.0, 60.0, true, StationNoise{}, 8);
+  EXPECT_NEAR(cups.LocalTruth(far, Exterior(), 1.0).wind_speed_ms, 1.2, 1e-9);
+}
+
+TEST(Cups, RepairRestoresAttenuation) {
+  CupsFacility cups(CupsParams{}, 9);
+  const auto& st = cups.stations().front();
+  BreachEvent b;
+  b.time_s = 0.0;
+  b.x_m = st.x();
+  b.y_m = st.y();
+  cups.AddBreach(b);
+  EXPECT_TRUE(cups.AnyActiveBreach(10.0));
+  EXPECT_EQ(cups.RepairBreachesNear(st.x(), st.y(), 5.0, 100.0), 1);
+  EXPECT_FALSE(cups.AnyActiveBreach(200.0));
+  EXPECT_NEAR(cups.LocalTruth(st, Exterior(), 200.0).wind_speed_ms, 1.2,
+              1e-9);
+}
+
+TEST(Cups, RepairOutOfRangeDoesNothing) {
+  CupsFacility cups(CupsParams{}, 10);
+  BreachEvent b;
+  b.time_s = 0.0;
+  b.x_m = 10.0;
+  b.y_m = 10.0;
+  cups.AddBreach(b);
+  EXPECT_EQ(cups.RepairBreachesNear(100.0, 100.0, 5.0, 50.0), 0);
+  EXPECT_TRUE(cups.AnyActiveBreach(60.0));
+}
+
+TEST(Cups, StrongestActiveBreachSelection) {
+  CupsFacility cups(CupsParams{}, 11);
+  BreachEvent weak;
+  weak.time_s = 0.0;
+  weak.severity = 0.3;
+  weak.x_m = 10;
+  BreachEvent strong;
+  strong.time_s = 0.0;
+  strong.severity = 0.9;
+  strong.x_m = 50;
+  cups.AddBreach(weak);
+  cups.AddBreach(strong);
+  auto best = cups.StrongestActiveBreach(1.0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->x_m, 50.0);
+  EXPECT_FALSE(cups.StrongestActiveBreach(-1.0).has_value());
+}
+
+TEST(Cups, MeasureAllReturnsOnePerStation) {
+  CupsFacility cups(CupsParams{}, 12);
+  auto readings = cups.MeasureAll(Exterior(), 300.0);
+  EXPECT_EQ(readings.size(), cups.stations().size());
+  for (const auto& r : readings) EXPECT_DOUBLE_EQ(r.time_s, 300.0);
+}
+
+}  // namespace
+}  // namespace xg::sensors

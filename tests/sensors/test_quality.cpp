@@ -1,0 +1,142 @@
+#include "sensors/quality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::sensors {
+namespace {
+
+Reading Make(int id, double t, double wind, double temp = 22.0,
+             double hum = 50.0) {
+  Reading r;
+  r.station_id = id;
+  r.time_s = t;
+  r.wind_speed_ms = wind;
+  r.temperature_c = temp;
+  r.humidity_pct = hum;
+  r.wind_dir_deg = 290.0;
+  return r;
+}
+
+TEST(FaultInjector, NoFaultPassesThrough) {
+  FaultInjector inj(1);
+  const Reading r = Make(0, 100.0, 3.0);
+  auto out = inj.Apply(r);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->wind_speed_ms, 3.0);
+}
+
+TEST(FaultInjector, DropoutRemovesReadings) {
+  FaultInjector inj(2);
+  inj.Add({0, FaultKind::kDropout, 100.0, 200.0});
+  EXPECT_TRUE(inj.Apply(Make(0, 50.0, 3.0)).has_value());
+  EXPECT_FALSE(inj.Apply(Make(0, 150.0, 3.0)).has_value());
+  EXPECT_TRUE(inj.Apply(Make(0, 250.0, 3.0)).has_value());
+  // Other stations unaffected.
+  EXPECT_TRUE(inj.Apply(Make(1, 150.0, 3.0)).has_value());
+}
+
+TEST(FaultInjector, StuckRepeatsLastGoodValue) {
+  FaultInjector inj(3);
+  inj.Add({0, FaultKind::kStuck, 100.0, 1e30});
+  inj.Apply(Make(0, 50.0, 2.5));   // last good
+  auto out = inj.Apply(Make(0, 150.0, 7.7));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->wind_speed_ms, 2.5);  // frozen value
+  EXPECT_DOUBLE_EQ(out->time_s, 150.0);       // live timestamp
+}
+
+TEST(FaultInjector, SpikeGoesOutOfRange) {
+  FaultInjector inj(4);
+  inj.Add({0, FaultKind::kSpike, 0.0, 1e30});
+  auto out = inj.Apply(Make(0, 10.0, 3.0));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_GT(out->wind_speed_ms, 40.0);
+}
+
+TEST(QualityControl, CleanStreamPasses) {
+  QualityControl qc;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(qc.Check(Make(0, i * 300.0, 3.0 + 0.1 * i)), QcVerdict::kPass);
+  }
+  EXPECT_EQ(qc.passed(), 10u);
+  EXPECT_EQ(qc.rejected(), 0u);
+}
+
+TEST(QualityControl, RangeViolationsRejected) {
+  QualityControl qc;
+  EXPECT_EQ(qc.Check(Make(0, 0, -1.0)), QcVerdict::kRangeFail);
+  EXPECT_EQ(qc.Check(Make(0, 0, 80.0)), QcVerdict::kRangeFail);
+  EXPECT_EQ(qc.Check(Make(0, 0, 3.0, 99.0)), QcVerdict::kRangeFail);
+  EXPECT_EQ(qc.Check(Make(0, 0, 3.0, 22.0, 120.0)), QcVerdict::kRangeFail);
+  EXPECT_EQ(qc.rejected(), 4u);
+}
+
+TEST(QualityControl, RateOfChangeRejected) {
+  QualityControl qc;
+  EXPECT_EQ(qc.Check(Make(0, 0, 3.0)), QcVerdict::kPass);
+  EXPECT_EQ(qc.Check(Make(0, 300, 15.0)), QcVerdict::kRateFail);  // +12 m/s
+  EXPECT_EQ(qc.Check(Make(0, 600, 3.5)), QcVerdict::kPass);
+  EXPECT_EQ(qc.Check(Make(0, 900, 3.0, 29.0)), QcVerdict::kRateFail);  // +7 C
+}
+
+TEST(QualityControl, SpikeDoesNotPoisonBaseline) {
+  // After a rejected spike, a normal reading relative to the pre-spike
+  // baseline must pass.
+  QualityControl qc;
+  EXPECT_EQ(qc.Check(Make(0, 0, 3.0)), QcVerdict::kPass);
+  EXPECT_EQ(qc.Check(Make(0, 300, 45.0)), QcVerdict::kRateFail);
+  EXPECT_EQ(qc.Check(Make(0, 600, 3.2)), QcVerdict::kPass);
+}
+
+TEST(QualityControl, StuckSensorDetected) {
+  QualityControl qc;
+  EXPECT_EQ(qc.Check(Make(0, 0, 2.7)), QcVerdict::kPass);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(qc.Check(Make(0, i * 300.0, 2.7)), QcVerdict::kPass) << i;
+  }
+  // Fifth identical nonzero value crosses stuck_repeats = 4.
+  EXPECT_EQ(qc.Check(Make(0, 4 * 300.0, 2.7)), QcVerdict::kStuckFail);
+}
+
+TEST(QualityControl, CalmZeroWindIsNotStuck) {
+  // Repeated exact zeros are plausible in calm conditions.
+  QualityControl qc;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(qc.Check(Make(0, i * 300.0, 0.0)), QcVerdict::kPass);
+  }
+}
+
+TEST(QualityControl, FilterDropsBadReadings) {
+  QualityControl qc;
+  std::vector<Reading> frame = {Make(0, 0, 3.0), Make(1, 0, -5.0),
+                                Make(2, 0, 4.0)};
+  const auto clean = qc.Filter(frame);
+  ASSERT_EQ(clean.size(), 2u);
+  EXPECT_EQ(clean[0].station_id, 0);
+  EXPECT_EQ(clean[1].station_id, 2);
+}
+
+TEST(QualityControl, EndToEndWithInjector) {
+  // A stuck anemometer is caught by QC within the repeat budget.
+  FaultInjector inj(5);
+  inj.Add({0, FaultKind::kStuck, 1000.0, 1e30});
+  QualityControl qc;
+  Rng rng(6);
+  int stuck_flags = 0;
+  for (int i = 0; i < 20; ++i) {
+    const double t = i * 300.0;
+    const Reading raw = Make(0, t, 3.0 + rng.Gaussian(0.0, 0.4));
+    auto r = inj.Apply(raw);
+    if (!r.has_value()) continue;
+    stuck_flags += (qc.Check(*r) == QcVerdict::kStuckFail);
+  }
+  EXPECT_GE(stuck_flags, 1);
+}
+
+TEST(QcVerdictName, Printable) {
+  EXPECT_STREQ(QcVerdictName(QcVerdict::kPass), "PASS");
+  EXPECT_STREQ(QcVerdictName(QcVerdict::kStuckFail), "STUCK");
+}
+
+}  // namespace
+}  // namespace xg::sensors

@@ -1,0 +1,108 @@
+#include "sensors/station.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace xg::sensors {
+namespace {
+
+AtmoState Truth() {
+  AtmoState s;
+  s.wind_speed_ms = 3.0;
+  s.wind_dir_deg = 290.0;
+  s.temperature_c = 22.0;
+  s.humidity_pct = 55.0;
+  return s;
+}
+
+TEST(Reading, SerializationRoundTrip) {
+  Reading r;
+  r.station_id = 42;
+  r.time_s = 1234.5;
+  r.wind_speed_ms = 3.21;
+  r.wind_dir_deg = 123.4;
+  r.temperature_c = -2.5;
+  r.humidity_pct = 87.6;
+  auto bytes = SerializeReading(r);
+  auto back = DeserializeReading(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().station_id, 42);
+  EXPECT_DOUBLE_EQ(back.value().time_s, 1234.5);
+  EXPECT_DOUBLE_EQ(back.value().wind_speed_ms, 3.21);
+  EXPECT_DOUBLE_EQ(back.value().temperature_c, -2.5);
+}
+
+TEST(Reading, ShortBufferRejected) {
+  EXPECT_FALSE(DeserializeReading({1, 2, 3}).ok());
+}
+
+TEST(Reading, FitsCspotElement) {
+  EXPECT_LE(SerializeReading(Reading{}).size(), 1024u);
+}
+
+TEST(WeatherStation, NoiseStatisticsMatchModel) {
+  StationNoise noise;
+  noise.wind_sigma_ms = 0.45;
+  noise.temp_sigma_c = 0.5;
+  WeatherStation st(1, 10, 10, true, noise, 99);
+  RunningStats wind, temp;
+  for (int i = 0; i < 5000; ++i) {
+    const Reading r = st.Measure(Truth(), i * 300.0);
+    wind.Add(r.wind_speed_ms);
+    temp.Add(r.temperature_c);
+  }
+  EXPECT_NEAR(wind.mean(), 3.0, 0.05);
+  EXPECT_NEAR(wind.stddev(), 0.45, 0.05);
+  EXPECT_NEAR(temp.mean(), 22.0, 0.05);
+  EXPECT_NEAR(temp.stddev(), 0.5, 0.05);
+}
+
+TEST(WeatherStation, BiasApplied) {
+  StationNoise noise;
+  noise.wind_sigma_ms = 0.0;
+  noise.dir_sigma_deg = 0.0;
+  noise.temp_sigma_c = 0.0;
+  noise.humidity_sigma_pct = 0.0;
+  noise.wind_bias_ms = 0.3;
+  noise.temp_bias_c = -0.5;
+  WeatherStation st(2, 0, 0, false, noise, 1);
+  const Reading r = st.Measure(Truth(), 0.0);
+  EXPECT_DOUBLE_EQ(r.wind_speed_ms, 3.3);
+  EXPECT_DOUBLE_EQ(r.temperature_c, 21.5);
+}
+
+TEST(WeatherStation, ReadingsClampedToPhysicalRange) {
+  StationNoise noise;
+  noise.wind_sigma_ms = 5.0;  // huge noise to push limits
+  noise.humidity_sigma_pct = 50.0;
+  WeatherStation st(3, 0, 0, true, noise, 2);
+  AtmoState calm = Truth();
+  calm.wind_speed_ms = 0.1;
+  for (int i = 0; i < 1000; ++i) {
+    const Reading r = st.Measure(calm, 0.0);
+    EXPECT_GE(r.wind_speed_ms, 0.0);
+    EXPECT_GE(r.humidity_pct, 0.0);
+    EXPECT_LE(r.humidity_pct, 100.0);
+    EXPECT_GE(r.wind_dir_deg, 0.0);
+    EXPECT_LT(r.wind_dir_deg, 360.0);
+  }
+}
+
+TEST(WeatherStation, MetadataAccessors) {
+  WeatherStation st(7, 12.5, 30.0, true, StationNoise{}, 3);
+  EXPECT_EQ(st.id(), 7);
+  EXPECT_DOUBLE_EQ(st.x(), 12.5);
+  EXPECT_DOUBLE_EQ(st.y(), 30.0);
+  EXPECT_TRUE(st.interior());
+}
+
+TEST(WeatherStation, TimestampPropagated) {
+  WeatherStation st(1, 0, 0, true, StationNoise{}, 4);
+  const Reading r = st.Measure(Truth(), 987.0);
+  EXPECT_DOUBLE_EQ(r.time_s, 987.0);
+  EXPECT_EQ(r.station_id, 1);
+}
+
+}  // namespace
+}  // namespace xg::sensors
