@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_federation.dir/bench_ablation_federation.cpp.o"
+  "CMakeFiles/bench_ablation_federation.dir/bench_ablation_federation.cpp.o.d"
+  "bench_ablation_federation"
+  "bench_ablation_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

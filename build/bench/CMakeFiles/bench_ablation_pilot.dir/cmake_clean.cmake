@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pilot.dir/bench_ablation_pilot.cpp.o"
+  "CMakeFiles/bench_ablation_pilot.dir/bench_ablation_pilot.cpp.o.d"
+  "bench_ablation_pilot"
+  "bench_ablation_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

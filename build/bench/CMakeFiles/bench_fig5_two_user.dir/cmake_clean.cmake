@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_two_user.dir/bench_fig5_two_user.cpp.o"
+  "CMakeFiles/bench_fig5_two_user.dir/bench_fig5_two_user.cpp.o.d"
+  "bench_fig5_two_user"
+  "bench_fig5_two_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_two_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breach_detection.dir/breach_detection.cpp.o"
+  "CMakeFiles/breach_detection.dir/breach_detection.cpp.o.d"
+  "breach_detection"
+  "breach_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breach_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

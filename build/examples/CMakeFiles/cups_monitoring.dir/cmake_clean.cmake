@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cups_monitoring.dir/cups_monitoring.cpp.o"
+  "CMakeFiles/cups_monitoring.dir/cups_monitoring.cpp.o.d"
+  "cups_monitoring"
+  "cups_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cups_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

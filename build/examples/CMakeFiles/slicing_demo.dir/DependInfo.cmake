@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/slicing_demo.cpp" "examples/CMakeFiles/slicing_demo.dir/slicing_demo.cpp.o" "gcc" "examples/CMakeFiles/slicing_demo.dir/slicing_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilot/CMakeFiles/xg_pilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/xg_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfd/CMakeFiles/xg_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/xg_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/laminar/CMakeFiles/xg_laminar.dir/DependInfo.cmake"
+  "/root/repo/build/src/cspot/CMakeFiles/xg_cspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/net5g/CMakeFiles/xg_net5g.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spray_planner.dir/spray_planner.cpp.o"
+  "CMakeFiles/spray_planner.dir/spray_planner.cpp.o.d"
+  "spray_planner"
+  "spray_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spray_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgfabric_sim.dir/xgfabric_sim.cpp.o"
+  "CMakeFiles/xgfabric_sim.dir/xgfabric_sim.cpp.o.d"
+  "xgfabric_sim"
+  "xgfabric_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgfabric_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

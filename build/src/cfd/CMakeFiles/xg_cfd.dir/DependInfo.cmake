@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfd/case.cpp" "src/cfd/CMakeFiles/xg_cfd.dir/case.cpp.o" "gcc" "src/cfd/CMakeFiles/xg_cfd.dir/case.cpp.o.d"
+  "/root/repo/src/cfd/mesh.cpp" "src/cfd/CMakeFiles/xg_cfd.dir/mesh.cpp.o" "gcc" "src/cfd/CMakeFiles/xg_cfd.dir/mesh.cpp.o.d"
+  "/root/repo/src/cfd/scalar.cpp" "src/cfd/CMakeFiles/xg_cfd.dir/scalar.cpp.o" "gcc" "src/cfd/CMakeFiles/xg_cfd.dir/scalar.cpp.o.d"
+  "/root/repo/src/cfd/solver.cpp" "src/cfd/CMakeFiles/xg_cfd.dir/solver.cpp.o" "gcc" "src/cfd/CMakeFiles/xg_cfd.dir/solver.cpp.o.d"
+  "/root/repo/src/cfd/vtk.cpp" "src/cfd/CMakeFiles/xg_cfd.dir/vtk.cpp.o" "gcc" "src/cfd/CMakeFiles/xg_cfd.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_cfd.dir/case.cpp.o"
+  "CMakeFiles/xg_cfd.dir/case.cpp.o.d"
+  "CMakeFiles/xg_cfd.dir/mesh.cpp.o"
+  "CMakeFiles/xg_cfd.dir/mesh.cpp.o.d"
+  "CMakeFiles/xg_cfd.dir/scalar.cpp.o"
+  "CMakeFiles/xg_cfd.dir/scalar.cpp.o.d"
+  "CMakeFiles/xg_cfd.dir/solver.cpp.o"
+  "CMakeFiles/xg_cfd.dir/solver.cpp.o.d"
+  "CMakeFiles/xg_cfd.dir/vtk.cpp.o"
+  "CMakeFiles/xg_cfd.dir/vtk.cpp.o.d"
+  "libxg_cfd.a"
+  "libxg_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

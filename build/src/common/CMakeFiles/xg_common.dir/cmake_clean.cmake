@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_common.dir/logging.cpp.o"
+  "CMakeFiles/xg_common.dir/logging.cpp.o.d"
+  "CMakeFiles/xg_common.dir/rng.cpp.o"
+  "CMakeFiles/xg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/xg_common.dir/sim.cpp.o"
+  "CMakeFiles/xg_common.dir/sim.cpp.o.d"
+  "CMakeFiles/xg_common.dir/stats.cpp.o"
+  "CMakeFiles/xg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/xg_common.dir/table.cpp.o"
+  "CMakeFiles/xg_common.dir/table.cpp.o.d"
+  "CMakeFiles/xg_common.dir/threadpool.cpp.o"
+  "CMakeFiles/xg_common.dir/threadpool.cpp.o.d"
+  "libxg_common.a"
+  "libxg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

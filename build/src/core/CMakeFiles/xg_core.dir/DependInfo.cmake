@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/xg_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/xg_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/fabric.cpp" "src/core/CMakeFiles/xg_core.dir/fabric.cpp.o" "gcc" "src/core/CMakeFiles/xg_core.dir/fabric.cpp.o.d"
+  "/root/repo/src/core/robot.cpp" "src/core/CMakeFiles/xg_core.dir/robot.cpp.o" "gcc" "src/core/CMakeFiles/xg_core.dir/robot.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/xg_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/xg_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/telemetry.cpp" "src/core/CMakeFiles/xg_core.dir/telemetry.cpp.o" "gcc" "src/core/CMakeFiles/xg_core.dir/telemetry.cpp.o.d"
+  "/root/repo/src/core/twin.cpp" "src/core/CMakeFiles/xg_core.dir/twin.cpp.o" "gcc" "src/core/CMakeFiles/xg_core.dir/twin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net5g/CMakeFiles/xg_net5g.dir/DependInfo.cmake"
+  "/root/repo/build/src/cspot/CMakeFiles/xg_cspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/laminar/CMakeFiles/xg_laminar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/xg_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfd/CMakeFiles/xg_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/xg_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilot/CMakeFiles/xg_pilot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_core.dir/advisor.cpp.o"
+  "CMakeFiles/xg_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/xg_core.dir/fabric.cpp.o"
+  "CMakeFiles/xg_core.dir/fabric.cpp.o.d"
+  "CMakeFiles/xg_core.dir/robot.cpp.o"
+  "CMakeFiles/xg_core.dir/robot.cpp.o.d"
+  "CMakeFiles/xg_core.dir/scenario.cpp.o"
+  "CMakeFiles/xg_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/xg_core.dir/telemetry.cpp.o"
+  "CMakeFiles/xg_core.dir/telemetry.cpp.o.d"
+  "CMakeFiles/xg_core.dir/twin.cpp.o"
+  "CMakeFiles/xg_core.dir/twin.cpp.o.d"
+  "libxg_core.a"
+  "libxg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

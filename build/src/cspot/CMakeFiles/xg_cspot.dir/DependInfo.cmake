@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cspot/log.cpp" "src/cspot/CMakeFiles/xg_cspot.dir/log.cpp.o" "gcc" "src/cspot/CMakeFiles/xg_cspot.dir/log.cpp.o.d"
+  "/root/repo/src/cspot/node.cpp" "src/cspot/CMakeFiles/xg_cspot.dir/node.cpp.o" "gcc" "src/cspot/CMakeFiles/xg_cspot.dir/node.cpp.o.d"
+  "/root/repo/src/cspot/replicate.cpp" "src/cspot/CMakeFiles/xg_cspot.dir/replicate.cpp.o" "gcc" "src/cspot/CMakeFiles/xg_cspot.dir/replicate.cpp.o.d"
+  "/root/repo/src/cspot/runtime.cpp" "src/cspot/CMakeFiles/xg_cspot.dir/runtime.cpp.o" "gcc" "src/cspot/CMakeFiles/xg_cspot.dir/runtime.cpp.o.d"
+  "/root/repo/src/cspot/topology.cpp" "src/cspot/CMakeFiles/xg_cspot.dir/topology.cpp.o" "gcc" "src/cspot/CMakeFiles/xg_cspot.dir/topology.cpp.o.d"
+  "/root/repo/src/cspot/uri.cpp" "src/cspot/CMakeFiles/xg_cspot.dir/uri.cpp.o" "gcc" "src/cspot/CMakeFiles/xg_cspot.dir/uri.cpp.o.d"
+  "/root/repo/src/cspot/wan.cpp" "src/cspot/CMakeFiles/xg_cspot.dir/wan.cpp.o" "gcc" "src/cspot/CMakeFiles/xg_cspot.dir/wan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net5g/CMakeFiles/xg_net5g.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_cspot.dir/log.cpp.o"
+  "CMakeFiles/xg_cspot.dir/log.cpp.o.d"
+  "CMakeFiles/xg_cspot.dir/node.cpp.o"
+  "CMakeFiles/xg_cspot.dir/node.cpp.o.d"
+  "CMakeFiles/xg_cspot.dir/replicate.cpp.o"
+  "CMakeFiles/xg_cspot.dir/replicate.cpp.o.d"
+  "CMakeFiles/xg_cspot.dir/runtime.cpp.o"
+  "CMakeFiles/xg_cspot.dir/runtime.cpp.o.d"
+  "CMakeFiles/xg_cspot.dir/topology.cpp.o"
+  "CMakeFiles/xg_cspot.dir/topology.cpp.o.d"
+  "CMakeFiles/xg_cspot.dir/uri.cpp.o"
+  "CMakeFiles/xg_cspot.dir/uri.cpp.o.d"
+  "CMakeFiles/xg_cspot.dir/wan.cpp.o"
+  "CMakeFiles/xg_cspot.dir/wan.cpp.o.d"
+  "libxg_cspot.a"
+  "libxg_cspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_cspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/federation.cpp" "src/hpc/CMakeFiles/xg_hpc.dir/federation.cpp.o" "gcc" "src/hpc/CMakeFiles/xg_hpc.dir/federation.cpp.o.d"
+  "/root/repo/src/hpc/perfmodel.cpp" "src/hpc/CMakeFiles/xg_hpc.dir/perfmodel.cpp.o" "gcc" "src/hpc/CMakeFiles/xg_hpc.dir/perfmodel.cpp.o.d"
+  "/root/repo/src/hpc/portability.cpp" "src/hpc/CMakeFiles/xg_hpc.dir/portability.cpp.o" "gcc" "src/hpc/CMakeFiles/xg_hpc.dir/portability.cpp.o.d"
+  "/root/repo/src/hpc/scheduler.cpp" "src/hpc/CMakeFiles/xg_hpc.dir/scheduler.cpp.o" "gcc" "src/hpc/CMakeFiles/xg_hpc.dir/scheduler.cpp.o.d"
+  "/root/repo/src/hpc/site.cpp" "src/hpc/CMakeFiles/xg_hpc.dir/site.cpp.o" "gcc" "src/hpc/CMakeFiles/xg_hpc.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

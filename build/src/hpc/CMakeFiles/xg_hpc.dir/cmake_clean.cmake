@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_hpc.dir/federation.cpp.o"
+  "CMakeFiles/xg_hpc.dir/federation.cpp.o.d"
+  "CMakeFiles/xg_hpc.dir/perfmodel.cpp.o"
+  "CMakeFiles/xg_hpc.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/xg_hpc.dir/portability.cpp.o"
+  "CMakeFiles/xg_hpc.dir/portability.cpp.o.d"
+  "CMakeFiles/xg_hpc.dir/scheduler.cpp.o"
+  "CMakeFiles/xg_hpc.dir/scheduler.cpp.o.d"
+  "CMakeFiles/xg_hpc.dir/site.cpp.o"
+  "CMakeFiles/xg_hpc.dir/site.cpp.o.d"
+  "libxg_hpc.a"
+  "libxg_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

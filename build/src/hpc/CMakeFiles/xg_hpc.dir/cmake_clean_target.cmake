@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxg_hpc.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/laminar/change_detect.cpp" "src/laminar/CMakeFiles/xg_laminar.dir/change_detect.cpp.o" "gcc" "src/laminar/CMakeFiles/xg_laminar.dir/change_detect.cpp.o.d"
+  "/root/repo/src/laminar/program.cpp" "src/laminar/CMakeFiles/xg_laminar.dir/program.cpp.o" "gcc" "src/laminar/CMakeFiles/xg_laminar.dir/program.cpp.o.d"
+  "/root/repo/src/laminar/stats_tests.cpp" "src/laminar/CMakeFiles/xg_laminar.dir/stats_tests.cpp.o" "gcc" "src/laminar/CMakeFiles/xg_laminar.dir/stats_tests.cpp.o.d"
+  "/root/repo/src/laminar/value.cpp" "src/laminar/CMakeFiles/xg_laminar.dir/value.cpp.o" "gcc" "src/laminar/CMakeFiles/xg_laminar.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cspot/CMakeFiles/xg_cspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/net5g/CMakeFiles/xg_net5g.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

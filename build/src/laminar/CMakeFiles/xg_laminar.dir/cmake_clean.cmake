@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_laminar.dir/change_detect.cpp.o"
+  "CMakeFiles/xg_laminar.dir/change_detect.cpp.o.d"
+  "CMakeFiles/xg_laminar.dir/program.cpp.o"
+  "CMakeFiles/xg_laminar.dir/program.cpp.o.d"
+  "CMakeFiles/xg_laminar.dir/stats_tests.cpp.o"
+  "CMakeFiles/xg_laminar.dir/stats_tests.cpp.o.d"
+  "CMakeFiles/xg_laminar.dir/value.cpp.o"
+  "CMakeFiles/xg_laminar.dir/value.cpp.o.d"
+  "libxg_laminar.a"
+  "libxg_laminar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_laminar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

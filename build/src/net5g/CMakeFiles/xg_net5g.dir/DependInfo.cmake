@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net5g/cell.cpp" "src/net5g/CMakeFiles/xg_net5g.dir/cell.cpp.o" "gcc" "src/net5g/CMakeFiles/xg_net5g.dir/cell.cpp.o.d"
+  "/root/repo/src/net5g/channel.cpp" "src/net5g/CMakeFiles/xg_net5g.dir/channel.cpp.o" "gcc" "src/net5g/CMakeFiles/xg_net5g.dir/channel.cpp.o.d"
+  "/root/repo/src/net5g/core_network.cpp" "src/net5g/CMakeFiles/xg_net5g.dir/core_network.cpp.o" "gcc" "src/net5g/CMakeFiles/xg_net5g.dir/core_network.cpp.o.d"
+  "/root/repo/src/net5g/device.cpp" "src/net5g/CMakeFiles/xg_net5g.dir/device.cpp.o" "gcc" "src/net5g/CMakeFiles/xg_net5g.dir/device.cpp.o.d"
+  "/root/repo/src/net5g/iperf.cpp" "src/net5g/CMakeFiles/xg_net5g.dir/iperf.cpp.o" "gcc" "src/net5g/CMakeFiles/xg_net5g.dir/iperf.cpp.o.d"
+  "/root/repo/src/net5g/phy.cpp" "src/net5g/CMakeFiles/xg_net5g.dir/phy.cpp.o" "gcc" "src/net5g/CMakeFiles/xg_net5g.dir/phy.cpp.o.d"
+  "/root/repo/src/net5g/types.cpp" "src/net5g/CMakeFiles/xg_net5g.dir/types.cpp.o" "gcc" "src/net5g/CMakeFiles/xg_net5g.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_net5g.dir/cell.cpp.o"
+  "CMakeFiles/xg_net5g.dir/cell.cpp.o.d"
+  "CMakeFiles/xg_net5g.dir/channel.cpp.o"
+  "CMakeFiles/xg_net5g.dir/channel.cpp.o.d"
+  "CMakeFiles/xg_net5g.dir/core_network.cpp.o"
+  "CMakeFiles/xg_net5g.dir/core_network.cpp.o.d"
+  "CMakeFiles/xg_net5g.dir/device.cpp.o"
+  "CMakeFiles/xg_net5g.dir/device.cpp.o.d"
+  "CMakeFiles/xg_net5g.dir/iperf.cpp.o"
+  "CMakeFiles/xg_net5g.dir/iperf.cpp.o.d"
+  "CMakeFiles/xg_net5g.dir/phy.cpp.o"
+  "CMakeFiles/xg_net5g.dir/phy.cpp.o.d"
+  "CMakeFiles/xg_net5g.dir/types.cpp.o"
+  "CMakeFiles/xg_net5g.dir/types.cpp.o.d"
+  "libxg_net5g.a"
+  "libxg_net5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_net5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

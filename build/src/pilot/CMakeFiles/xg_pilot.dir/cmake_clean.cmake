@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_pilot.dir/pilot.cpp.o"
+  "CMakeFiles/xg_pilot.dir/pilot.cpp.o.d"
+  "libxg_pilot.a"
+  "libxg_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xg_pilot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/atmosphere.cpp" "src/sensors/CMakeFiles/xg_sensors.dir/atmosphere.cpp.o" "gcc" "src/sensors/CMakeFiles/xg_sensors.dir/atmosphere.cpp.o.d"
+  "/root/repo/src/sensors/cups.cpp" "src/sensors/CMakeFiles/xg_sensors.dir/cups.cpp.o" "gcc" "src/sensors/CMakeFiles/xg_sensors.dir/cups.cpp.o.d"
+  "/root/repo/src/sensors/quality.cpp" "src/sensors/CMakeFiles/xg_sensors.dir/quality.cpp.o" "gcc" "src/sensors/CMakeFiles/xg_sensors.dir/quality.cpp.o.d"
+  "/root/repo/src/sensors/station.cpp" "src/sensors/CMakeFiles/xg_sensors.dir/station.cpp.o" "gcc" "src/sensors/CMakeFiles/xg_sensors.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

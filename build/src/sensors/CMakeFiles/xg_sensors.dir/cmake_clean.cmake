@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_sensors.dir/atmosphere.cpp.o"
+  "CMakeFiles/xg_sensors.dir/atmosphere.cpp.o.d"
+  "CMakeFiles/xg_sensors.dir/cups.cpp.o"
+  "CMakeFiles/xg_sensors.dir/cups.cpp.o.d"
+  "CMakeFiles/xg_sensors.dir/quality.cpp.o"
+  "CMakeFiles/xg_sensors.dir/quality.cpp.o.d"
+  "CMakeFiles/xg_sensors.dir/station.cpp.o"
+  "CMakeFiles/xg_sensors.dir/station.cpp.o.d"
+  "libxg_sensors.a"
+  "libxg_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_case.cpp.o"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_case.cpp.o.d"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_mesh.cpp.o"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_mesh.cpp.o.d"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_scalar.cpp.o"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_scalar.cpp.o.d"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_solver.cpp.o"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_solver.cpp.o.d"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_vtk.cpp.o"
+  "CMakeFiles/xg_test_cfd.dir/cfd/test_vtk.cpp.o.d"
+  "xg_test_cfd"
+  "xg_test_cfd.pdb"
+  "xg_test_cfd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

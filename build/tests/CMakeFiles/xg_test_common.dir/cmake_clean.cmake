@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_common.dir/common/test_result.cpp.o"
+  "CMakeFiles/xg_test_common.dir/common/test_result.cpp.o.d"
+  "CMakeFiles/xg_test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/xg_test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/xg_test_common.dir/common/test_sim.cpp.o"
+  "CMakeFiles/xg_test_common.dir/common/test_sim.cpp.o.d"
+  "CMakeFiles/xg_test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/xg_test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/xg_test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/xg_test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/xg_test_common.dir/common/test_threadpool.cpp.o"
+  "CMakeFiles/xg_test_common.dir/common/test_threadpool.cpp.o.d"
+  "xg_test_common"
+  "xg_test_common.pdb"
+  "xg_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_core.dir/core/test_advisor.cpp.o"
+  "CMakeFiles/xg_test_core.dir/core/test_advisor.cpp.o.d"
+  "CMakeFiles/xg_test_core.dir/core/test_fabric.cpp.o"
+  "CMakeFiles/xg_test_core.dir/core/test_fabric.cpp.o.d"
+  "CMakeFiles/xg_test_core.dir/core/test_properties.cpp.o"
+  "CMakeFiles/xg_test_core.dir/core/test_properties.cpp.o.d"
+  "CMakeFiles/xg_test_core.dir/core/test_robot.cpp.o"
+  "CMakeFiles/xg_test_core.dir/core/test_robot.cpp.o.d"
+  "CMakeFiles/xg_test_core.dir/core/test_scenario.cpp.o"
+  "CMakeFiles/xg_test_core.dir/core/test_scenario.cpp.o.d"
+  "CMakeFiles/xg_test_core.dir/core/test_telemetry.cpp.o"
+  "CMakeFiles/xg_test_core.dir/core/test_telemetry.cpp.o.d"
+  "CMakeFiles/xg_test_core.dir/core/test_twin.cpp.o"
+  "CMakeFiles/xg_test_core.dir/core/test_twin.cpp.o.d"
+  "xg_test_core"
+  "xg_test_core.pdb"
+  "xg_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

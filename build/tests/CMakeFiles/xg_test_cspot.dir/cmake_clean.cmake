@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_log.cpp.o"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_log.cpp.o.d"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_replicate.cpp.o"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_replicate.cpp.o.d"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_runtime.cpp.o"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_runtime.cpp.o.d"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_uri.cpp.o"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_uri.cpp.o.d"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_wan.cpp.o"
+  "CMakeFiles/xg_test_cspot.dir/cspot/test_wan.cpp.o.d"
+  "xg_test_cspot"
+  "xg_test_cspot.pdb"
+  "xg_test_cspot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_cspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_federation.cpp.o"
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_federation.cpp.o.d"
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_perfmodel.cpp.o"
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_perfmodel.cpp.o.d"
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_portability.cpp.o"
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_portability.cpp.o.d"
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_scheduler.cpp.o"
+  "CMakeFiles/xg_test_hpc.dir/hpc/test_scheduler.cpp.o.d"
+  "xg_test_hpc"
+  "xg_test_hpc.pdb"
+  "xg_test_hpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

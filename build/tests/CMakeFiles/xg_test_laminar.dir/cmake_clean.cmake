@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_change_detect.cpp.o"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_change_detect.cpp.o.d"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_ops.cpp.o"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_ops.cpp.o.d"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_program.cpp.o"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_program.cpp.o.d"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_stats_tests.cpp.o"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_stats_tests.cpp.o.d"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_value.cpp.o"
+  "CMakeFiles/xg_test_laminar.dir/laminar/test_value.cpp.o.d"
+  "xg_test_laminar"
+  "xg_test_laminar.pdb"
+  "xg_test_laminar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_laminar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

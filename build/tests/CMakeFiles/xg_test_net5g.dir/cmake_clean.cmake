@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_cell.cpp.o"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_cell.cpp.o.d"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_channel.cpp.o"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_channel.cpp.o.d"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_core_network.cpp.o"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_core_network.cpp.o.d"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_device.cpp.o"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_device.cpp.o.d"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_iperf.cpp.o"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_iperf.cpp.o.d"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_phy.cpp.o"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_phy.cpp.o.d"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_types.cpp.o"
+  "CMakeFiles/xg_test_net5g.dir/net5g/test_types.cpp.o.d"
+  "xg_test_net5g"
+  "xg_test_net5g.pdb"
+  "xg_test_net5g[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_net5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

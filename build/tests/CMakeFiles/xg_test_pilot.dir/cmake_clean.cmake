@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_pilot.dir/pilot/test_pilot.cpp.o"
+  "CMakeFiles/xg_test_pilot.dir/pilot/test_pilot.cpp.o.d"
+  "xg_test_pilot"
+  "xg_test_pilot.pdb"
+  "xg_test_pilot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_atmosphere.cpp.o"
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_atmosphere.cpp.o.d"
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_cups.cpp.o"
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_cups.cpp.o.d"
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_quality.cpp.o"
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_quality.cpp.o.d"
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_station.cpp.o"
+  "CMakeFiles/xg_test_sensors.dir/sensors/test_station.cpp.o.d"
+  "xg_test_sensors"
+  "xg_test_sensors.pdb"
+  "xg_test_sensors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_test_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

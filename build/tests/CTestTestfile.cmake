@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xg_test_common[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_net5g[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_cspot[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_laminar[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_sensors[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_cfd[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_hpc[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_pilot[1]_include.cmake")
+include("/root/repo/build/tests/xg_test_core[1]_include.cmake")
