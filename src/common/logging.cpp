@@ -2,15 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 
 namespace xg {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mu;
+std::mutex g_mu;  // guards clock/sink installation and stderr writes
+std::function<int64_t()> g_clock;
+LogSink g_sink;
+}  // namespace
 
-const char* LevelName(LogLevel l) {
+const char* LogLevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -20,17 +24,69 @@ const char* LevelName(LogLevel l) {
   }
   return "?";
 }
-}  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool ShouldLog(LogLevel level) {
+  return level >= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+void SetLogClock(std::function<int64_t()> clock) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_clock = std::move(clock);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_sink = std::move(sink);
+}
+
+std::string FormatLogLine(const LogRecord& rec) {
+  std::string out = "[";
+  out += LogLevelName(rec.level);
+  out += "] " + rec.component + ": " + rec.message;
+  for (const auto& [k, v] : rec.fields) {
+    out += " " + k + "=" + v;
+  }
+  if (rec.sim_time_us >= 0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), " @%.3fs",
+                  static_cast<double>(rec.sim_time_us) * 1e-6);
+    out += buf;
+  }
+  return out;
+}
+
+void EmitLog(LogRecord rec) {
+  if (!ShouldLog(rec.level)) return;
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    if (g_clock && rec.sim_time_us < 0) rec.sim_time_us = g_clock();
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(rec);
+    return;
+  }
+  const std::string line = FormatLogLine(rec);
+  std::lock_guard<std::mutex> lk(g_mu);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
 
 void LogMessage(LogLevel level, const std::string& component,
                 const std::string& message) {
-  if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lk(g_mu);
-  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
-               message.c_str());
+  if (!ShouldLog(level)) return;
+  LogRecord rec;
+  rec.level = level;
+  rec.component = component;
+  rec.message = message;
+  EmitLog(std::move(rec));
 }
 
 }  // namespace xg

@@ -1,39 +1,112 @@
-// Minimal leveled logger. Components log state transitions (pilot
-// submissions, CSPOT retries, breach alerts); tests silence it.
+// Minimal leveled logger with structured-record hooks. Components log
+// state transitions (pilot submissions, CSPOT retries, breach alerts);
+// tests silence it or capture it through a sink (see obs/logsink.hpp).
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace xg {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
-/// Global minimum level; messages below it are dropped.
+const char* LogLevelName(LogLevel l);
+
+/// Global minimum level; messages below it are dropped (atomically read,
+/// so any thread may flip it while workers log).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emit one log line (thread-safe) if `level` passes the global filter.
+/// True when a message at `level` would currently be emitted. LogStream
+/// checks this at construction so discarded lines never format operands.
+bool ShouldLog(LogLevel level);
+
+/// One structured log line: leveled message plus component, optional
+/// virtual-clock timestamp, and key=value fields.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  int64_t sim_time_us = -1;  ///< -1 when no log clock is installed
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Install a virtual-clock source stamped onto every record (typically
+/// `[&sim] { return sim.Now().micros(); }`). Pass nullptr to remove; the
+/// installer must remove it before the captured clock dies.
+void SetLogClock(std::function<int64_t()> clock);
+
+/// Replace the default stderr writer. Pass nullptr to restore stderr.
+/// The sink is invoked without internal locks held; it must be
+/// thread-safe if multiple threads log.
+using LogSink = std::function<void(const LogRecord&)>;
+void SetLogSink(LogSink sink);
+
+/// Default plain-text form: "[LEVEL] component: message key=value @12.3s".
+std::string FormatLogLine(const LogRecord& rec);
+
+/// Filter on the global level, stamp the clock, and dispatch to the sink
+/// (or stderr). Thread-safe.
+void EmitLog(LogRecord rec);
+
+/// Emit one unstructured log line if `level` passes the global filter.
 void LogMessage(LogLevel level, const std::string& component,
                 const std::string& message);
 
 /// Streaming helper: XG_LOG(kInfo, "pilot") << "submitted " << n;
+///
+/// The level check happens in the constructor: when the line is below the
+/// global level no ostringstream is created and `operator<<` operands are
+/// never formatted (or even evaluated for their stream overloads), so a
+/// disabled XG_LOG costs one atomic load.
 class LogStream {
  public:
-  LogStream(LogLevel level, std::string component)
-      : level_(level), component_(std::move(component)) {}
-  ~LogStream() { LogMessage(level_, component_, os_.str()); }
+  LogStream(LogLevel level, std::string component) : level_(level) {
+    if (ShouldLog(level_)) {
+      component_ = std::move(component);
+      os_.emplace();
+    }
+  }
+  ~LogStream() {
+    if (!os_) return;
+    LogRecord rec;
+    rec.level = level_;
+    rec.component = std::move(component_);
+    rec.message = os_->str();
+    rec.fields = std::move(fields_);
+    EmitLog(std::move(rec));
+  }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
 
   template <typename T>
   LogStream& operator<<(const T& v) {
-    os_ << v;
+    if (os_) *os_ << v;
+    return *this;
+  }
+
+  /// Attach a structured key=value field (formatted only when enabled).
+  template <typename T>
+  LogStream& Field(const std::string& key, const T& value) {
+    if (os_) {
+      std::ostringstream fv;
+      fv << value;
+      fields_.emplace_back(key, fv.str());
+    }
     return *this;
   }
 
  private:
   LogLevel level_;
   std::string component_;
-  std::ostringstream os_;
+  std::optional<std::ostringstream> os_;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 }  // namespace xg

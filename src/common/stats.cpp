@@ -54,6 +54,14 @@ void SampleSet::AddAll(const std::vector<double>& xs) {
   for (double x : xs) Add(x);
 }
 
+void SampleSet::Reserve(size_t n) { samples_.reserve(n); }
+
+void SampleSet::Clear() {
+  samples_.clear();
+  sorted_ = false;
+  stats_.Reset();
+}
+
 void SampleSet::EnsureSorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -35,10 +35,22 @@ class RunningStats {
 
 /// Sample container that also supports order statistics. Retains all
 /// samples; adequate for the sample counts in this paper (<= thousands).
+///
+/// THREAD-SAFETY: not thread-safe, *including the const accessors*.
+/// Percentile()/Median() sort the sample buffer lazily through `mutable`
+/// members, so two concurrent "read-only" Percentile calls race on the
+/// sort, and a concurrent Add can invalidate iterators mid-sort. Guard
+/// the whole object externally, or merge per-thread SampleSets instead.
+/// For a thread-safe bounded alternative see obs::LatencyHistogram.
 class SampleSet {
  public:
   void Add(double x);
   void AddAll(const std::vector<double>& xs);
+
+  /// Pre-size the sample buffer (bench loops reuse one set per config).
+  void Reserve(size_t n);
+  /// Drop all samples and reset the running stats for reuse.
+  void Clear();
 
   size_t count() const { return samples_.size(); }
   double mean() const { return stats_.mean(); }
@@ -55,6 +67,8 @@ class SampleSet {
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  // `mutable` supports lazy sorting from const accessors; see the
+  // thread-safety note in the class comment before adding shared use.
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
   RunningStats stats_;

@@ -17,6 +17,10 @@ constexpr const char* kResultLog = "results";
 struct AlertRecord {
   double time_s = 0.0;
   double data_bytes = 0.0;
+  // Trace context, serialized through the alert log so the ND-side CFD
+  // path joins the originating telemetry reading's trace (0 = untraced).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 }  // namespace
 
@@ -67,6 +71,67 @@ Fabric::Fabric(FabricConfig config)
   orchard_ = std::make_unique<OrchardGrid>(og);
   robot_ = std::make_unique<Robot>(*orchard_, config_.robot,
                                    config_.cups.length_m / 2.0, 1.0);
+
+  // Observability wiring: spans run on the virtual clock; each layer
+  // mirrors its own counters (which remain the source of truth).
+  tracer_.set_clock([this] { return sim_.Now().micros(); });
+  tracer_.set_enabled(config_.tracing_enabled);
+  obs::MetricsRegistry* reg = config_.metrics_enabled ? &registry_ : nullptr;
+  cspot_->AttachObservability(reg,
+                              config_.tracing_enabled ? &tracer_ : nullptr);
+  scheduler_->AttachObservability(reg);
+  pilot_->AttachObservability(reg);
+  if (reg != nullptr) RegisterFabricMetrics();
+}
+
+void Fabric::RegisterFabricMetrics() {
+  const auto kCounter = obs::MetricSample::Type::kCounter;
+  struct Mirror {
+    const char* name;
+    const char* help;
+    const uint64_t* field;
+  };
+  const Mirror mirrors[] = {
+      {"xg_fabric_telemetry_frames_sent_total", "Telemetry frames published",
+       &metrics_.telemetry_frames_sent},
+      {"xg_fabric_telemetry_frames_stored_total",
+       "Telemetry frames durably appended at UCSB",
+       &metrics_.telemetry_frames_stored},
+      {"xg_fabric_detection_cycles_total", "Change-detection duty cycles",
+       &metrics_.detection_cycles},
+      {"xg_fabric_alerts_raised_total", "Change alerts appended",
+       &metrics_.alerts_raised},
+      {"xg_fabric_cfd_runs_completed_total", "CFD simulations completed",
+       &metrics_.cfd_runs_completed},
+      {"xg_fabric_breach_suspicions_total", "Twin-raised breach suspicions",
+       &metrics_.breach_suspicions},
+      {"xg_fabric_robot_dispatches_total", "Robot surveillance dispatches",
+       &metrics_.robot_dispatches},
+      {"xg_fabric_patrol_legs_total", "Perimeter patrol legs flown",
+       &metrics_.patrol_legs},
+      {"xg_fabric_breaches_confirmed_total", "Breaches confirmed on camera",
+       &metrics_.breaches_confirmed},
+      {"xg_fabric_spray_windows_total", "Spray-window advisories",
+       &metrics_.spray_windows},
+      {"xg_fabric_frost_alerts_total", "Frost advisories",
+       &metrics_.frost_alerts},
+      {"xg_fabric_irrigation_advisories_total", "Irrigation advisories",
+       &metrics_.irrigation_advisories},
+      {"xg_fabric_qc_rejected_readings_total", "Readings rejected by QC",
+       &metrics_.qc_rejected_readings},
+      {"xg_fabric_readings_dropped_total", "Readings lost to station faults",
+       &metrics_.readings_dropped},
+  };
+  for (const Mirror& m : mirrors) {
+    const uint64_t* field = m.field;
+    registry_.RegisterCallback(
+        m.name, {}, m.help,
+        [field] { return static_cast<double>(*field); }, kCounter);
+  }
+  telemetry_latency_hist_ = &registry_.GetHistogram(
+      "xg_fabric_telemetry_latency_ms", {},
+      "End-to-end telemetry append latency, " + telemetry_client_ +
+          " -> " + nodes_.ucsb + " (ms)");
 }
 
 void Fabric::ScheduleBreach(const sensors::BreachEvent& breach) {
@@ -82,6 +147,13 @@ void Fabric::ScheduleStationFault(const sensors::FaultWindow& fault) {
 }
 
 void Fabric::PublishTelemetry() {
+  // One trace per reading: the root span covers the reading's whole
+  // journey, so its duration is the e2e latency the paper decomposes.
+  const obs::TraceContext root = tracer_.StartTrace("telemetry", "fabric");
+  tracer_.Annotate(root, "client", telemetry_client_);
+  const obs::TraceContext read_span =
+      tracer_.StartSpan("sensor.read", "sensors", root);
+
   const sensors::AtmoState exterior = atmosphere_->Current();
   const double now_s = sim_.Now().seconds();
   const std::vector<sensors::Reading> raw = cups_->MeasureAll(exterior, now_s);
@@ -108,21 +180,37 @@ void Fabric::PublishTelemetry() {
   }
   TelemetryFrame frame = MakeFrame(readings, interior, now_s);
   ++metrics_.telemetry_frames_sent;
+  tracer_.Annotate(read_span, "stations", std::to_string(readings.size()));
+  tracer_.EndSpan(read_span);
 
   const sim::SimTime t0 = sim_.Now();
+  cspot::AppendOptions opts;
+  opts.trace = root;
   cspot_->RemoteAppend(
       telemetry_client_, nodes_.ucsb, kTelemetryLog, SerializeFrame(frame),
-      cspot::AppendOptions{},
-      [this, t0, frame](Result<cspot::SeqNo> r) {
+      opts,
+      [this, t0, frame, root](Result<cspot::SeqNo> r) {
         if (!r.ok()) {
           XG_LOG(kWarn, "fabric")
               << "telemetry append failed: " << r.status().ToString();
+          tracer_.Annotate(root, "error", r.status().ToString());
+          tracer_.EndSpan(root);
           return;
         }
         ++metrics_.telemetry_frames_stored;
-        metrics_.telemetry_latency_ms.Add((sim_.Now() - t0).millis());
-        // The operator-side twin sees each stored frame.
+        const double latency_ms = (sim_.Now() - t0).millis();
+        metrics_.telemetry_latency_ms.Add(latency_ms);
+        if (telemetry_latency_hist_ != nullptr) {
+          telemetry_latency_hist_->Observe(latency_ms);
+        }
+        // The operator-side twin sees each stored frame; the detection
+        // cycle attaches its span to this frame's trace.
+        const obs::TraceContext observe =
+            tracer_.StartSpan("twin.observe", "twin", root);
         auto suspicion = twin_.Observe(frame);
+        tracer_.EndSpan(observe);
+        tracer_.EndSpan(root);
+        last_frame_trace_ = root;
         if (suspicion) HandleSuspicion(*suspicion);
       });
 }
@@ -142,6 +230,10 @@ std::vector<TelemetryFrame> Fabric::RecentFrames(size_t n) const {
 
 void Fabric::RunDetectionCycle() {
   ++metrics_.detection_cycles;
+  // The window evaluation joins the latest stored frame's trace, so a
+  // reading that trips the detector carries one trace end to end.
+  const obs::TraceContext window =
+      tracer_.StartSpan("laminar.window", "laminar", last_frame_trace_);
   const size_t need = 2 * config_.detector.window;
   std::vector<TelemetryFrame> frames = RecentFrames(need);
 
@@ -161,53 +253,90 @@ void Fabric::RunDetectionCycle() {
       !frames.empty()) {
     changed = true;
   }
-  if (!changed) return;
+  tracer_.Annotate(window, "frames", std::to_string(frames.size()));
+  tracer_.Annotate(window, "changed", changed ? "true" : "false");
+  if (!changed) {
+    tracer_.EndSpan(window);
+    return;
+  }
 
   double data_bytes = 0.0;
   for (const auto& f : frames) {
     data_bytes += static_cast<double>(f.WireBytes());
   }
-  AlertRecord alert{sim_.Now().seconds(), data_bytes};
+  // The alert record carries the trace context through the CSPOT log to
+  // the ND-side poller (context propagation through persisted state).
+  AlertRecord alert{sim_.Now().seconds(), data_bytes, window.trace_id,
+                    window.span_id};
   std::vector<uint8_t> bytes(sizeof(AlertRecord));
   std::memcpy(bytes.data(), &alert, sizeof(AlertRecord));
   auto r = cspot_->LocalAppend(nodes_.ucsb, kAlertLog, bytes);
   if (r.ok()) ++metrics_.alerts_raised;
+  tracer_.EndSpan(window);
 }
 
-void Fabric::TriggerCfd(double alert_time_s, double data_bytes) {
+void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
+                        obs::TraceContext trace) {
   if (cfd_in_flight_) return;  // one simulation at a time in the prototype
   cfd_in_flight_ = true;
+
+  // The decision span covers alert pickup: fetching the boundary frame
+  // from UCSB and sizing/submitting the task (the paper's Eqs 1-4).
+  const obs::TraceContext decision =
+      tracer_.StartSpan("pilot.decision", "pilot", trace);
+  tracer_.Annotate(decision, "data_bytes",
+                   std::to_string(static_cast<uint64_t>(data_bytes)));
 
   // The pilot gathers the most recent telemetry from the CSPOT logs at
   // UCSB to parameterize the preprocessing pipeline.
   cspot_->RemoteLatestSeq(
       nodes_.nd, nodes_.ucsb, kTelemetryLog,
-      [this, alert_time_s, data_bytes](Result<cspot::SeqNo> latest) {
+      [this, alert_time_s, data_bytes, decision](Result<cspot::SeqNo> latest) {
         if (!latest.ok() || latest.value() == cspot::kNoSeq) {
           cfd_in_flight_ = false;
+          tracer_.EndSpan(decision);
           return;
         }
         cspot_->RemoteGet(
             nodes_.nd, nodes_.ucsb, kTelemetryLog, latest.value(),
-            [this, alert_time_s, data_bytes](Result<std::vector<uint8_t>> bytes) {
+            [this, alert_time_s, data_bytes,
+             decision](Result<std::vector<uint8_t>> bytes) {
               if (!bytes.ok()) {
                 cfd_in_flight_ = false;
+                tracer_.EndSpan(decision);
                 return;
               }
               auto frame = DeserializeFrame(bytes.value());
               if (!frame.ok()) {
                 cfd_in_flight_ = false;
+                tracer_.EndSpan(decision);
                 return;
               }
               const TelemetryFrame boundary = frame.take();
+              tracer_.EndSpan(decision);
+              const int64_t submit_us = sim_.Now().micros();
               pilot_->SubmitTask(
                   data_bytes,
-                  [this, alert_time_s, boundary](const pilot::TaskResult& task) {
+                  [this, alert_time_s, boundary, decision,
+                   submit_us](const pilot::TaskResult& task) {
                     metrics_.cfd_wait_s.Add(task.wait_s);
                     metrics_.cfd_runtime_s.Add(task.runtime_s);
+                    // The job already ran in virtual time; reconstruct its
+                    // span from the pilot's wait/runtime accounting.
+                    const int64_t end_us = sim_.Now().micros();
+                    const int64_t start_us =
+                        submit_us + static_cast<int64_t>(task.wait_s * 1e6);
+                    const obs::TraceContext job = tracer_.RecordSpan(
+                        "hpc.cfd", "hpc", decision, submit_us, end_us,
+                        {{"wait_s", std::to_string(task.wait_s)},
+                         {"nodes", std::to_string(task.nodes_used)},
+                         {"warm_pilot",
+                          task.ran_in_warm_pilot ? "true" : "false"}});
+                    tracer_.RecordSpan("cfd.solve", "cfd", job, start_us,
+                                       end_us);
                     CfdResult result = ExecuteCfd(alert_time_s, boundary);
                     result.complete_time_s = sim_.Now().seconds();
-                    StoreResult(result);
+                    StoreResult(result, job);
                   });
             });
       });
@@ -273,14 +402,18 @@ CfdResult Fabric::ExecuteCfd(double alert_time_s,
   return result;
 }
 
-void Fabric::StoreResult(const CfdResult& result) {
+void Fabric::StoreResult(const CfdResult& result,
+                         const obs::TraceContext& trace) {
   ++metrics_.cfd_runs_completed;
   const double response_s = result.complete_time_s - result.trigger_time_s;
   metrics_.alert_to_result_s.Add(response_s);
   metrics_.result_validity_s.Add(
       std::max(0.0, config_.detect_period_s - response_s));
   latest_result_ = result;
+  const obs::TraceContext compare =
+      tracer_.StartSpan("twin.compare", "twin", trace);
   twin_.UpdatePrediction(result);
+  tracer_.EndSpan(compare);
   cfd_in_flight_ = false;
 
   // Decision support: each fresh simulation re-evaluates the intervention
@@ -298,8 +431,10 @@ void Fabric::StoreResult(const CfdResult& result) {
     }
   }
 
+  cspot::AppendOptions opts;
+  opts.trace = trace;
   cspot_->RemoteAppend(nodes_.nd, nodes_.ucsb, kResultLog,
-                       SerializeResult(result), cspot::AppendOptions{},
+                       SerializeResult(result), opts,
                        [this, result](Result<cspot::SeqNo> r) {
                          if (r.ok() && on_result) on_result(result);
                        });
@@ -430,7 +565,9 @@ void Fabric::Run(double hours) {
                     AlertRecord alert;
                     std::memcpy(&alert, bytes.value().data(),
                                 sizeof(AlertRecord));
-                    TriggerCfd(alert.time_s, alert.data_bytes);
+                    TriggerCfd(alert.time_s, alert.data_bytes,
+                               obs::TraceContext{alert.trace_id,
+                                                 alert.span_id});
                   });
             });
         return true;

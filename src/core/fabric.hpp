@@ -34,6 +34,8 @@
 #include "hpc/perfmodel.hpp"
 #include "hpc/scheduler.hpp"
 #include "laminar/change_detect.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pilot/pilot.hpp"
 #include "sensors/cups.hpp"
 #include "sensors/quality.hpp"
@@ -74,6 +76,11 @@ struct FabricConfig {
   /// telemetry stream (rejects range/rate/stuck-sensor failures).
   bool qc_enabled = true;
   sensors::QcLimits qc;
+  /// Observability switches (bench_obs_overhead measures their cost).
+  /// With metrics on, every layer mirrors its counters into `registry()`;
+  /// with tracing on, each telemetry reading's journey becomes one trace.
+  bool metrics_enabled = true;
+  bool tracing_enabled = true;
 
   FabricConfig();
 };
@@ -128,6 +135,11 @@ class Fabric {
   sensors::CupsFacility& cups() { return *cups_; }
   DigitalTwin& twin() { return twin_; }
 
+  /// Unified observability: every layer's counters, mirrored live.
+  obs::MetricsRegistry& registry() { return registry_; }
+  /// Span store for the per-reading end-to-end traces (§4.4 breakdown).
+  obs::Tracer& tracer() { return tracer_; }
+
   /// Most recent CFD result, if any simulation completed.
   const std::optional<CfdResult>& latest_result() const { return latest_result_; }
 
@@ -139,11 +151,13 @@ class Fabric {
   std::function<void(const Advisory&)> on_advisory;
 
  private:
+  void RegisterFabricMetrics();
   void PublishTelemetry();
   void RunDetectionCycle();
-  void TriggerCfd(double alert_time_s, double data_bytes);
+  void TriggerCfd(double alert_time_s, double data_bytes,
+                  obs::TraceContext trace);
   CfdResult ExecuteCfd(double alert_time_s, const TelemetryFrame& boundary);
-  void StoreResult(const CfdResult& result);
+  void StoreResult(const CfdResult& result, const obs::TraceContext& trace);
   void HandleSuspicion(const BreachSuspicion& suspicion);
   void PatrolNextLeg();
   /// Shared breach check at the robot's current position; repairs and
@@ -153,6 +167,10 @@ class Fabric {
 
   FabricConfig config_;
   sim::Simulation sim_;
+  // Declared before the components so the registry/tracer outlive every
+  // callback mirror that captures a component `this`.
+  obs::MetricsRegistry registry_;
+  obs::Tracer tracer_;
   std::unique_ptr<cspot::Runtime> cspot_;
   cspot::TopologyNames nodes_;
   std::unique_ptr<sensors::Atmosphere> atmosphere_;
@@ -169,6 +187,11 @@ class Fabric {
   std::unique_ptr<Robot> robot_;
   FabricMetrics metrics_;
   std::optional<CfdResult> latest_result_;
+  /// Histogram view of telemetry_latency_ms (nullptr with metrics off).
+  obs::LatencyHistogram* telemetry_latency_hist_ = nullptr;
+  /// Trace of the most recently stored frame; the detection cycle and the
+  /// downstream CFD/alert path attach to it.
+  obs::TraceContext last_frame_trace_;
   std::string telemetry_client_;
   bool cfd_in_flight_ = false;
   bool robot_busy_ = false;

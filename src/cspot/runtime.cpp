@@ -7,6 +7,51 @@ namespace xg::cspot {
 Runtime::Runtime(sim::Simulation& sim, uint64_t seed, RuntimeParams params)
     : sim_(sim), wan_(sim, seed ^ 0xA5A5A5A5u), rng_(seed), params_(params) {}
 
+void Runtime::AttachObservability(obs::MetricsRegistry* registry,
+                                  obs::Tracer* tracer) {
+  tracer_ = tracer;
+  wan_.set_tracer(tracer);
+  if (registry == nullptr) return;
+  const auto kCounter = obs::MetricSample::Type::kCounter;
+  struct Mirror {
+    const char* name;
+    const char* help;
+    const uint64_t* field;
+  };
+  const Mirror mirrors[] = {
+      {"xg_cspot_remote_appends_total", "Remote append operations started",
+       &counters_.remote_appends},
+      {"xg_cspot_append_attempts_total", "Append protocol attempts (retries)",
+       &counters_.attempts},
+      {"xg_cspot_size_requests_total", "Get-size round trips",
+       &counters_.size_requests},
+      {"xg_cspot_size_cache_hits_total", "Element-size cache hits",
+       &counters_.size_cache_hits},
+      {"xg_cspot_size_cache_invalidations_total",
+       "Stale element-size cache entries invalidated",
+       &counters_.size_cache_invalidations},
+      {"xg_cspot_puts_total", "Put round trips", &counters_.puts},
+      {"xg_cspot_dedup_hits_total", "Idempotent retries absorbed by dedup",
+       &counters_.dedup_hits},
+      {"xg_cspot_timeouts_total", "Per-phase response timeouts",
+       &counters_.timeouts},
+      {"xg_cspot_handler_fires_total", "Append handlers dispatched",
+       &counters_.handler_fires},
+  };
+  for (const Mirror& m : mirrors) {
+    const uint64_t* field = m.field;
+    registry->RegisterCallback(
+        m.name, {}, m.help,
+        [field] { return static_cast<double>(*field); }, kCounter);
+  }
+  registry->RegisterCallback(
+      "xg_cspot_wan_messages_sent_total", {}, "WAN messages sent",
+      [this] { return static_cast<double>(wan_.messages_sent()); }, kCounter);
+  registry->RegisterCallback(
+      "xg_cspot_wan_messages_lost_total", {}, "WAN messages lost",
+      [this] { return static_cast<double>(wan_.messages_lost()); }, kCounter);
+}
+
 Node& Runtime::AddNode(const std::string& name) {
   auto it = nodes_.find(name);
   if (it != nodes_.end()) return *it->second;
@@ -86,6 +131,8 @@ struct Runtime::AppendOp {
   bool finished = false;
   sim::EventHandle timeout;
   uint64_t phase_id = 0;   ///< guards stale responses from earlier phases
+  obs::TraceContext span;        ///< cspot.append, whole operation
+  obs::TraceContext phase_span;  ///< current get-size / put phase
 };
 
 void Runtime::RemoteAppend(const std::string& client, const std::string& host,
@@ -101,6 +148,9 @@ void Runtime::RemoteAppend(const std::string& client, const std::string& host,
   op->opts = opts;
   op->done = std::move(done);
   op->token = next_token_++;
+  op->span = obs::StartSpanIf(tracer_, "cspot.append", "cspot", opts.trace);
+  obs::AnnotateIf(tracer_, op->span, "path", client + "->" + host);
+  obs::AnnotateIf(tracer_, op->span, "log", log);
   StartAttempt(std::move(op));
 }
 
@@ -108,6 +158,8 @@ void Runtime::StartAttempt(std::shared_ptr<AppendOp> op) {
   if (op->finished) return;
   if (op->attempt >= op->opts.max_attempts) {
     op->finished = true;
+    obs::AnnotateIf(tracer_, op->span, "error", "exhausted retries");
+    obs::EndSpanIf(tracer_, op->span);
     op->done(Status(ErrorCode::kTimeout,
                     "append to " + op->host + "/" + op->log +
                         " exhausted retries"));
@@ -130,12 +182,17 @@ void Runtime::StartAttempt(std::shared_ptr<AppendOp> op) {
 void Runtime::PhaseGetSize(std::shared_ptr<AppendOp> op) {
   ++counters_.size_requests;
   const uint64_t phase = op->phase_id;
+  op->phase_span =
+      obs::StartSpanIf(tracer_, "cspot.get_size", "cspot", op->span);
 
   // Arm the per-phase timeout: if no response lands, retry from scratch.
   op->timeout = sim_.Schedule(sim::SimTime::Millis(op->opts.timeout_ms),
                               [this, op, phase]() {
                                 if (op->finished || op->phase_id != phase) return;
                                 ++counters_.timeouts;
+                                obs::AnnotateIf(tracer_, op->phase_span,
+                                                "timeout", "true");
+                                obs::EndSpanIf(tracer_, op->phase_span);
                                 StartAttempt(op);
                               });
 
@@ -150,6 +207,7 @@ void Runtime::PhaseGetSize(std::shared_ptr<AppendOp> op) {
               [this, op, phase, found, element_size]() {
                 if (op->finished || op->phase_id != phase) return;
                 sim_.Cancel(op->timeout);
+                obs::EndSpanIf(tracer_, op->phase_span);
                 if (!found) {
                   FinishAttempt(op, Status(ErrorCode::kNotFound,
                                            "no log " + op->log + " on " +
@@ -160,8 +218,10 @@ void Runtime::PhaseGetSize(std::shared_ptr<AppendOp> op) {
                     element_size;
                 ++op->phase_id;
                 PhasePut(op, element_size);
-              });
-  });
+              },
+              op->phase_span);
+  },
+  op->phase_span);
 }
 
 void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
@@ -172,11 +232,15 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
                              "payload exceeds element size"));
     return;
   }
+  op->phase_span = obs::StartSpanIf(tracer_, "cspot.put", "cspot", op->span);
 
   op->timeout = sim_.Schedule(sim::SimTime::Millis(op->opts.timeout_ms),
                               [this, op, phase]() {
                                 if (op->finished || op->phase_id != phase) return;
                                 ++counters_.timeouts;
+                                obs::AnnotateIf(tracer_, op->phase_span,
+                                                "timeout", "true");
+                                obs::EndSpanIf(tracer_, op->phase_span);
                                 StartAttempt(op);
                               });
 
@@ -208,6 +272,11 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
     // The persistent append consumes storage time at the host before the
     // ack is generated (the ack carries the durable sequence number).
     const double host_ms = (verdict == Verdict::kOk) ? params_.storage_ms : 0.0;
+    if (tracer_ != nullptr && op->phase_span.valid() && host_ms > 0.0) {
+      const int64_t now_us = sim_.Now().micros();
+      tracer_->RecordSpan("cspot.storage", "cspot", op->phase_span, now_us,
+                          now_us + static_cast<int64_t>(host_ms * 1e3));
+    }
     Node* host_ptr = host;
     sim_.Schedule(sim::SimTime::Millis(host_ms), [this, op, phase, verdict_in = verdict,
                                                   seq_in = seq, host_ptr]() mutable {
@@ -233,6 +302,7 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
                 [this, op, phase, verdict, seq]() {
                   if (op->finished || op->phase_id != phase) return;
                   sim_.Cancel(op->timeout);
+                  obs::EndSpanIf(tracer_, op->phase_span);
                   switch (verdict) {
                     case Verdict::kOk:
                       FinishAttempt(op, seq);
@@ -256,15 +326,25 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
                                                "storage append failed"));
                       return;
                   }
-                });
+                },
+                op->phase_span);
     });
-  });
+  },
+  op->phase_span);
 }
 
 void Runtime::FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result) {
   if (op->finished) return;
   op->finished = true;
   sim_.Cancel(op->timeout);
+  if (tracer_ != nullptr && op->span.valid()) {
+    tracer_->Annotate(op->span, "attempts", std::to_string(op->attempt));
+    if (!result.ok()) {
+      tracer_->Annotate(op->span, "error", result.status().ToString());
+    }
+    tracer_->EndSpan(op->phase_span);
+    tracer_->EndSpan(op->span);
+  }
   op->done(std::move(result));
 }
 

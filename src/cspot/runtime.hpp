@@ -26,6 +26,8 @@
 #include "common/sim.hpp"
 #include "cspot/node.hpp"
 #include "cspot/wan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace xg::cspot {
 
@@ -33,6 +35,10 @@ struct AppendOptions {
   bool use_size_cache = false;  ///< client-side element-size caching
   int max_attempts = 8;         ///< total protocol attempts before giving up
   double timeout_ms = 400.0;    ///< per-phase response timeout
+  /// When valid (and a tracer is attached), the append is traced as a
+  /// `cspot.append` span under this parent, with per-phase and per-WAN-hop
+  /// child spans.
+  obs::TraceContext trace;
 };
 
 struct RuntimeParams {
@@ -62,6 +68,14 @@ class Runtime {
   sim::Simulation& simulation() { return sim_; }
   Wan& wan() { return wan_; }
   const RuntimeCounters& counters() const { return counters_; }
+
+  /// Mirror the runtime counters into `registry` (read at snapshot time —
+  /// the counter struct stays the single source of truth) and trace
+  /// appends against `tracer`. Either may be nullptr; both must outlive
+  /// this runtime.
+  void AttachObservability(obs::MetricsRegistry* registry,
+                           obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
 
   /// Create a node (also registered with the WAN).
   Node& AddNode(const std::string& name);
@@ -121,6 +135,7 @@ class Runtime {
   std::map<std::string, std::unique_ptr<Node>> nodes_;
   std::map<std::string, size_t> size_cache_;
   RuntimeCounters counters_;
+  obs::Tracer* tracer_ = nullptr;
   uint64_t next_token_ = 1;
 };
 

@@ -12,6 +12,7 @@ LinkParams Air5GLink() {
   p.jitter_ms = 8.4;
   p.min_ms = 8.0;
   p.bandwidth_mbps = 50.0;  // uplink-constrained
+  p.kind = "5g-air";
   return p;
 }
 

@@ -80,26 +80,49 @@ std::vector<size_t> Wan::Route(const std::string& from,
 }
 
 bool Wan::Send(const std::string& from, const std::string& to, size_t bytes,
-               std::function<void()> deliver) {
+               std::function<void()> deliver, const obs::TraceContext& trace) {
   ++messages_sent_;
   const auto route = Route(from, to);
   if (route.empty() && from != to) {
     ++messages_lost_;
     return false;
   }
+  const bool traced = tracer_ != nullptr && trace.valid();
+  const int64_t depart_us = sim_.Now().micros();
   double total_ms = 0.0;
+  std::string cur = from;
   for (size_t idx : route) {
-    const LinkParams& p = links_[idx].params;
-    if (rng_.Bernoulli(p.loss_prob)) {
+    const Link& l = links_[idx];
+    const LinkParams& p = l.params;
+    const std::string next = l.a == cur ? l.b : l.a;
+    const bool lost = rng_.Bernoulli(p.loss_prob);
+    double lat = 0.0;
+    if (!lost) {
+      lat = rng_.Gaussian(p.one_way_ms, p.jitter_ms);
+      if (lat < p.min_ms) lat = p.min_ms;
+      if (p.bandwidth_mbps > 0.0 && bytes > 0) {
+        lat += static_cast<double>(bytes) * 8.0 / (p.bandwidth_mbps * 1e3);
+      }
+    }
+    if (traced) {
+      // The hop happened on the wire whether or not the message survives
+      // it, so the span covers the crossing with the sampled latency.
+      const bool air = p.kind == "5g-air";
+      std::vector<std::pair<std::string, std::string>> args = {
+          {"from", cur}, {"to", next}, {"bytes", std::to_string(bytes)}};
+      if (lost) args.emplace_back("lost", "true");
+      const int64_t hop_start = depart_us + static_cast<int64_t>(total_ms * 1e3);
+      const int64_t hop_end = hop_start + static_cast<int64_t>(lat * 1e3);
+      tracer_->RecordSpan(air ? "net5g.access" : "wan.hop",
+                          air ? "net5g" : "wan", trace, hop_start, hop_end,
+                          std::move(args));
+    }
+    if (lost) {
       ++messages_lost_;
       return false;
     }
-    double lat = rng_.Gaussian(p.one_way_ms, p.jitter_ms);
-    if (lat < p.min_ms) lat = p.min_ms;
-    if (p.bandwidth_mbps > 0.0 && bytes > 0) {
-      lat += static_cast<double>(bytes) * 8.0 / (p.bandwidth_mbps * 1e3);
-    }
     total_ms += lat;
+    cur = next;
   }
   sim_.Schedule(sim::SimTime::Millis(total_ms), std::move(deliver));
   return true;

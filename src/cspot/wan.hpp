@@ -16,6 +16,7 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/sim.hpp"
+#include "obs/trace.hpp"
 
 namespace xg::cspot {
 
@@ -25,6 +26,9 @@ struct LinkParams {
   double min_ms = 0.05;          ///< latency floor
   double loss_prob = 0.0;        ///< independent per-message loss
   double bandwidth_mbps = 100.0; ///< serialization rate
+  /// Physical-path segment kind, used to attribute traced hops to a
+  /// component ("5g-air" spans are charged to net5g, the rest to wan).
+  std::string kind = "internet";
 };
 
 class Wan {
@@ -44,11 +48,17 @@ class Wan {
   void SetNodeReachable(const std::string& name, bool reachable);
   bool NodeReachable(const std::string& name) const;
 
+  /// Observability: when a tracer is attached and `trace` is valid, each
+  /// link crossing of a Send is recorded as a child hop span with the
+  /// exact sampled per-link latency (the per-hop decomposition of §4.4).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Send `bytes` from `from` to `to`; `deliver` runs at the destination
   /// after the sampled path latency. Returns false when no route exists or
   /// the message is lost (deliver never runs in that case).
   bool Send(const std::string& from, const std::string& to, size_t bytes,
-            std::function<void()> deliver);
+            std::function<void()> deliver,
+            const obs::TraceContext& trace = obs::TraceContext{});
 
   /// Mean end-to-end one-way latency (no jitter/loss), for diagnostics.
   Result<double> MeanPathLatencyMs(const std::string& from,
@@ -71,6 +81,7 @@ class Wan {
 
   sim::Simulation& sim_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::string> nodes_;
   std::map<std::string, bool> reachable_;
   std::vector<Link> links_;

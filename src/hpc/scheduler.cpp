@@ -23,6 +23,28 @@ BatchScheduler::BatchScheduler(sim::Simulation& sim, SiteProfile site,
     : sim_(sim), site_(std::move(site)), rng_(seed),
       free_nodes_(site_.nodes) {}
 
+void BatchScheduler::AttachObservability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const obs::Labels site_label = {{"site", site_.name}};
+  registry->RegisterCallback(
+      "xg_hpc_jobs_started_total", site_label, "Batch jobs started",
+      [this] { return static_cast<double>(jobs_started_); },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
+      "xg_hpc_node_seconds_used_total", site_label,
+      "Node-seconds consumed by finished jobs",
+      [this] { return node_seconds_used_; },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
+      "xg_hpc_queue_length", site_label, "Jobs waiting in the batch queue",
+      [this] { return static_cast<double>(queue_.size()); },
+      obs::MetricSample::Type::kGauge);
+  registry->RegisterCallback(
+      "xg_hpc_free_nodes", site_label, "Idle nodes at the site",
+      [this] { return static_cast<double>(free_nodes_); },
+      obs::MetricSample::Type::kGauge);
+}
+
 JobId BatchScheduler::Submit(const JobSpec& spec, JobCallback on_start,
                              JobCallback on_end) {
   JobInfo info;

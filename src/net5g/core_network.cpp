@@ -8,6 +8,27 @@ namespace xg::net5g {
 CoreNetwork::CoreNetwork(uint64_t seed, std::string ip_prefix)
     : rng_(seed), ip_prefix_(std::move(ip_prefix)) {}
 
+void CoreNetwork::AttachObservability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->RegisterCallback(
+      "xg_net5g_auth_failures_total", {}, "5G-AKA authentication failures",
+      [this] { return static_cast<double>(auth_failures_); },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
+      "xg_net5g_policy_rejections_total", {},
+      "Slice-allowlist policy rejections",
+      [this] { return static_cast<double>(policy_rejections_); },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
+      "xg_net5g_subscribers", {}, "Provisioned subscribers",
+      [this] { return static_cast<double>(subscribers_.size()); },
+      obs::MetricSample::Type::kGauge);
+  registry->RegisterCallback(
+      "xg_net5g_active_sessions", {}, "Established PDU sessions",
+      [this] { return static_cast<double>(sessions_.size()); },
+      obs::MetricSample::Type::kGauge);
+}
+
 Status CoreNetwork::Provision(const Subscription& sub) {
   if (sub.sim.imsi.empty()) {
     return Status(ErrorCode::kInvalidArgument, "empty IMSI");

@@ -18,6 +18,7 @@
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace xg::net5g {
 
@@ -73,6 +74,10 @@ class CoreNetwork {
   // -- counters -------------------------------------------------------------
   uint64_t auth_failures() const { return auth_failures_; }
   uint64_t policy_rejections() const { return policy_rejections_; }
+
+  /// Mirror control-plane counters into `registry` (read at snapshot
+  /// time). The registry must outlive this core network.
+  void AttachObservability(obs::MetricsRegistry* registry);
 
  private:
   Rng rng_;

@@ -1,0 +1,190 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace xg::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+/// `{label="value",...}` or "" when label-free; `extra` appends one more
+/// pair (used for histogram `le`).
+std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + JsonEscape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* TypeName(MetricSample::Type t) {
+  switch (t) {
+    case MetricSample::Type::kCounter: return "counter";
+    case MetricSample::Type::kGauge: return "gauge";
+    case MetricSample::Type::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const std::vector<MetricSample>& samples) {
+  std::string out;
+  std::string last_name;
+  for (const auto& s : samples) {
+    if (s.name != last_name) {
+      last_name = s.name;
+      if (!s.help.empty()) out += "# HELP " + s.name + " " + s.help + "\n";
+      out += "# TYPE " + s.name + " " + TypeName(s.type) + "\n";
+    }
+    if (s.type == MetricSample::Type::kHistogram) {
+      uint64_t cum = 0;
+      for (size_t i = 0; i < s.hist.counts.size(); ++i) {
+        cum += s.hist.counts[i];
+        const std::string le = i < s.hist.bounds.size()
+                                   ? FormatDouble(s.hist.bounds[i])
+                                   : "+Inf";
+        out += s.name + "_bucket" + LabelBlock(s.labels, "le", le) + " " +
+               std::to_string(cum) + "\n";
+      }
+      out += s.name + "_sum" + LabelBlock(s.labels) + " " +
+             FormatDouble(s.hist.sum) + "\n";
+      out += s.name + "_count" + LabelBlock(s.labels) + " " +
+             std::to_string(s.hist.count) + "\n";
+    } else {
+      out += s.name + LabelBlock(s.labels) + " " + FormatDouble(s.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsToJson(const std::vector<MetricSample>& samples) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"type\":\"" +
+           TypeName(s.type) + "\",\"labels\":{";
+    bool fl = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!fl) out += ",";
+      fl = false;
+      out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+    }
+    out += "}";
+    if (s.type == MetricSample::Type::kHistogram) {
+      out += ",\"buckets\":[";
+      for (size_t i = 0; i < s.hist.counts.size(); ++i) {
+        if (i) out += ",";
+        const std::string le = i < s.hist.bounds.size()
+                                   ? "\"" + FormatDouble(s.hist.bounds[i]) +
+                                         "\""
+                                   : "\"+Inf\"";
+        out += "{\"le\":" + le +
+               ",\"count\":" + std::to_string(s.hist.counts[i]) + "}";
+      }
+      out += "],\"sum\":" + FormatDouble(s.hist.sum) +
+             ",\"count\":" + std::to_string(s.hist.count);
+    } else {
+      out += ",\"value\":" + FormatDouble(s.value);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  // Stable small tids per component, in first-seen order.
+  std::map<std::string, int> tids;
+  for (const auto& s : spans) {
+    tids.emplace(s.component, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const auto& [comp, tid] : tids) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  tid, JsonEscape(comp).c_str());
+    out += buf;
+  }
+  for (const auto& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"ph\":\"X\",\"pid\":%" PRIu64 ",\"tid\":%d,\"ts\":%" PRId64
+        ",\"dur\":%" PRId64 ",\"name\":\"",
+        s.trace_id, tids[s.component], s.start_us, s.duration_us());
+    out += buf;
+    out += JsonEscape(s.name) + "\",\"cat\":\"" + JsonEscape(s.component) +
+           "\",\"args\":{";
+    std::snprintf(buf, sizeof(buf),
+                  "\"span_id\":\"%" PRIu64 "\",\"parent_id\":\"%" PRIu64 "\"",
+                  s.span_id, s.parent_id);
+    out += buf;
+    if (s.open()) out += ",\"open\":\"true\"";
+    for (const auto& [k, v] : s.args) {
+      out += ",\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace xg::obs

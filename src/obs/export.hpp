@@ -1,0 +1,33 @@
+// Exporters (observability pillar 3): Prometheus text exposition and JSON
+// for the metrics registry, Chrome `trace_event` JSON for the tracer.
+//
+// All exporters consume value snapshots (`MetricsRegistry::Snapshot()`,
+// `Tracer::Snapshot()`), never live instruments, so exporting is safe
+// while every component keeps mutating.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xg::obs {
+
+/// Backslash-escape a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+/// Prometheus text exposition format (# HELP / # TYPE, histogram as
+/// cumulative `_bucket{le=...}` plus `_sum` and `_count`).
+std::string ToPrometheusText(const std::vector<MetricSample>& samples);
+
+/// The same snapshot as a JSON array, one object per metric.
+std::string MetricsToJson(const std::vector<MetricSample>& samples);
+
+/// Chrome `trace_event` JSON (the `{"traceEvents": [...]}` object form),
+/// loadable in chrome://tracing or Perfetto. Spans become complete ("X")
+/// events; still-open spans are emitted with their start time, zero
+/// duration and an `open` arg. pid groups by trace id, tid by component.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace xg::obs

@@ -1,0 +1,137 @@
+#include "obs/logsink.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace xg::obs {
+
+namespace {
+
+std::string LowerLevel(LogLevel l) {
+  std::string s = LogLevelName(l);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool NeedsQuoting(const std::string& v) {
+  if (v.empty()) return true;
+  return std::any_of(v.begin(), v.end(), [](unsigned char c) {
+    return std::isspace(c) || c == '"' || c == '=';
+  });
+}
+
+std::string LogfmtValue(const std::string& v) {
+  if (!NeedsQuoting(v)) return v;
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string FormatLogfmt(const LogRecord& rec) {
+  std::string out;
+  if (rec.sim_time_us >= 0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "ts=%.6f ",
+                  static_cast<double>(rec.sim_time_us) * 1e-6);
+    out += buf;
+  }
+  out += "level=" + LowerLevel(rec.level);
+  out += " component=" + LogfmtValue(rec.component);
+  out += " msg=" + LogfmtValue(rec.message);
+  for (const auto& [k, v] : rec.fields) {
+    out += " " + k + "=" + LogfmtValue(v);
+  }
+  return out;
+}
+
+LogRing::LogRing(size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+void LogRing::Append(const LogRecord& rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[next_] = rec;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+void LogRing::Install(bool forward_to_stderr) {
+  SetLogSink([this, forward_to_stderr](const LogRecord& rec) {
+    Append(rec);
+    if (forward_to_stderr) {
+      std::fprintf(stderr, "%s\n", FormatLogLine(rec).c_str());
+    }
+  });
+  std::lock_guard<std::mutex> lk(mu_);
+  installed_ = true;
+}
+
+void LogRing::Uninstall() {
+  bool installed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    installed = installed_;
+    installed_ = false;
+  }
+  if (installed) SetLogSink(nullptr);
+}
+
+LogRing::~LogRing() { Uninstall(); }
+
+std::vector<LogRecord> LogRing::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LogRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<LogRecord> LogRing::ForComponent(
+    const std::string& component) const {
+  std::vector<LogRecord> all = Snapshot();
+  std::vector<LogRecord> out;
+  for (auto& rec : all) {
+    if (rec.component == component) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+size_t LogRing::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+uint64_t LogRing::total_appended() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+void LogRing::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace xg::obs

@@ -1,0 +1,58 @@
+// Structured log sink (observability pillar 3, log half).
+//
+// LogRing captures the structured records produced by common/logging in a
+// bounded ring buffer that tests and operators can inspect after (or
+// during) a run: the last N component/level/sim-time-stamped lines, plus
+// a logfmt serialization (`ts=... level=... component=... msg="..."`).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace xg::obs {
+
+/// Render one record as a logfmt line:
+///   ts=12.345 level=info component=fabric msg="breach confirmed" legs=3
+std::string FormatLogfmt(const LogRecord& rec);
+
+class LogRing {
+ public:
+  explicit LogRing(size_t capacity = 1024);
+
+  /// Store a record, evicting the oldest once `capacity` is reached.
+  void Append(const LogRecord& rec);
+
+  /// Install this ring as the process-wide log sink. When
+  /// `forward_to_stderr` is set, lines are also printed as before.
+  /// Call Uninstall() (or destroy nothing earlier than program end) —
+  /// the global sink holds a pointer to this ring.
+  void Install(bool forward_to_stderr = false);
+  /// Remove the global sink if this ring installed one.
+  void Uninstall();
+
+  ~LogRing();
+
+  /// Oldest-to-newest copy of the buffered records.
+  std::vector<LogRecord> Snapshot() const;
+  /// Buffered records for one component, oldest first.
+  std::vector<LogRecord> ForComponent(const std::string& component) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t total_appended() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<LogRecord> ring_;  // circular once full
+  size_t next_ = 0;              // insertion point when full
+  uint64_t total_ = 0;
+  bool installed_ = false;
+};
+
+}  // namespace xg::obs

@@ -1,0 +1,227 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xg::obs {
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.1,   0.25,  0.5,    1.0,    2.5,    5.0,     10.0,
+          25.0,  50.0,  100.0,  250.0,  500.0,  1000.0,  2500.0,
+          5000.0, 10000.0, 30000.0, 60000.0, 300000.0, 600000.0};
+}
+
+LatencyHistogram::LatencyHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void LatencyHistogram::Observe(double v) {
+  // Prometheus `le`: first bucket whose upper bound is >= v.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t i = static_cast<size_t>(it - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+}
+
+double LatencyHistogram::mean() const {
+  const uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double LatencyHistogram::ApproxPercentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += c;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(out[i]);
+    const bool ok = std::isalpha(c) || c == '_' || (i > 0 && std::isdigit(c));
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+namespace {
+Labels Canonical(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  const std::string n = SanitizeMetricName(name);
+  const Labels l = Canonical(labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& e = counters_[Key(n, l)];
+  if (!e.inst) {
+    e.name = n;
+    e.labels = l;
+    e.help = help;
+    e.inst = std::make_unique<Counter>();
+  }
+  return *e.inst;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  const std::string n = SanitizeMetricName(name);
+  const Labels l = Canonical(labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& e = gauges_[Key(n, l)];
+  if (!e.inst) {
+    e.name = n;
+    e.labels = l;
+    e.help = help;
+    e.inst = std::make_unique<Gauge>();
+  }
+  return *e.inst;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                                const Labels& labels,
+                                                const std::string& help,
+                                                std::vector<double> bounds) {
+  const std::string n = SanitizeMetricName(name);
+  const Labels l = Canonical(labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& e = histograms_[Key(n, l)];
+  if (!e.inst) {
+    e.name = n;
+    e.labels = l;
+    e.help = help;
+    e.inst = std::make_unique<LatencyHistogram>(
+        bounds.empty() ? DefaultLatencyBucketsMs() : std::move(bounds));
+  }
+  return *e.inst;
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       const Labels& labels,
+                                       const std::string& help,
+                                       std::function<double()> read,
+                                       MetricSample::Type type) {
+  const std::string n = SanitizeMetricName(name);
+  const Labels l = Canonical(labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  callbacks_[Key(n, l)] = CallbackEntry{n, l, help, std::move(read), type};
+}
+
+size_t MetricsRegistry::UnregisterCallbacks(const std::string& name_prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t removed = 0;
+  for (auto it = callbacks_.begin(); it != callbacks_.end();) {
+    if (it->second.name.rfind(name_prefix, 0) == 0) {
+      it = callbacks_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              callbacks_.size());
+  for (const auto& [key, e] : counters_) {
+    MetricSample s;
+    s.type = MetricSample::Type::kCounter;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.help = e.help;
+    s.value = static_cast<double>(e.inst->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, e] : gauges_) {
+    MetricSample s;
+    s.type = MetricSample::Type::kGauge;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.help = e.help;
+    s.value = e.inst->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, e] : histograms_) {
+    MetricSample s;
+    s.type = MetricSample::Type::kHistogram;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.help = e.help;
+    s.hist.bounds = e.inst->bounds();
+    s.hist.counts.reserve(e.inst->bucket_count());
+    for (size_t i = 0; i < e.inst->bucket_count(); ++i) {
+      s.hist.counts.push_back(e.inst->BucketCount(i));
+    }
+    s.hist.count = e.inst->count();
+    s.hist.sum = e.inst->sum();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, e] : callbacks_) {
+    MetricSample s;
+    s.type = e.type;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.help = e.help;
+    s.value = e.read ? e.read() : 0.0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         callbacks_.size();
+}
+
+MetricsRegistry& DefaultRegistry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace xg::obs

@@ -1,0 +1,187 @@
+// Cross-layer metrics registry (observability pillar 1).
+//
+// Every component of the fabric — the CSPOT runtime, the 5G core, the
+// pilot controller, the batch scheduler, the Fabric assembly itself —
+// registers its instruments here so one exporter pass can observe the
+// whole system. Three instrument kinds:
+//
+//   Counter          monotonic uint64 (e.g. cspot_retries_total);
+//   Gauge            settable double (e.g. hpc_free_nodes);
+//   LatencyHistogram bounded-memory distribution with fixed upper-bound
+//                    buckets (Prometheus `le` semantics: a sample lands in
+//                    the first bucket whose bound is >= the value).
+//
+// Instruments are identified by (name, labels); the same call with the
+// same identity returns the same instrument, so call sites can look up
+// lazily. Updates are lock-free atomics; registration and Snapshot() take
+// the registry mutex. References returned by Get* stay valid for the
+// registry's lifetime.
+//
+// Components whose counters predate this layer (RuntimeCounters,
+// FabricMetrics, ...) mirror them via RegisterCallback: the existing
+// struct stays the single source of truth and the registry reads it at
+// snapshot time — no duplicated bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xg::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Lock-free add for atomic<double> (CAS loop; fetch_add on floating
+/// atomics is C++20 and not yet universal).
+inline void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { AtomicAdd(v_, d); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Millisecond latency buckets spanning sub-ms radio frames to multi-minute
+/// CFD runs (the full dynamic range of the paper's measurements).
+std::vector<double> DefaultLatencyBucketsMs();
+
+class LatencyHistogram {
+ public:
+  /// `upper_bounds` are sorted/deduplicated; an implicit +Inf bucket is
+  /// appended. Memory is fixed at construction — O(buckets), never O(samples).
+  explicit LatencyHistogram(std::vector<double> upper_bounds =
+                                DefaultLatencyBucketsMs());
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Number of buckets including the +Inf overflow bucket.
+  size_t bucket_count() const { return counts_.size(); }
+  /// Non-cumulative count of bucket `i`; `i == bounds().size()` is +Inf.
+  uint64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Percentile estimated by linear interpolation inside the owning bucket;
+  /// p in [0, 100]. The +Inf bucket reports the last finite bound.
+  double ApproxPercentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1 (+Inf)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  ///< non-cumulative, last entry is +Inf
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// One exported metric, produced by MetricsRegistry::Snapshot().
+struct MetricSample {
+  enum class Type { kCounter, kGauge, kHistogram };
+  Type type = Type::kGauge;
+  std::string name;
+  Labels labels;
+  std::string help;
+  double value = 0.0;       ///< counter / gauge
+  HistogramSnapshot hist;   ///< histogram only
+};
+
+/// Normalize a metric name to the convention `[a-zA-Z_][a-zA-Z0-9_]*`
+/// (offending characters become '_'). Convention: `xg_<component>_<what>`
+/// with `_total` suffix for counters and unit suffixes (_ms, _seconds,
+/// _bytes) spelled out — see DESIGN.md "Observability".
+std::string SanitizeMetricName(const std::string& name);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  LatencyHistogram& GetHistogram(const std::string& name,
+                                 const Labels& labels = {},
+                                 const std::string& help = "",
+                                 std::vector<double> upper_bounds = {});
+
+  /// Mirror an externally-owned value: `read` is evaluated at snapshot
+  /// time. The callback must outlive the registry or be removed with
+  /// UnregisterCallbacks; it must not call back into this registry.
+  void RegisterCallback(const std::string& name, const Labels& labels,
+                        const std::string& help, std::function<double()> read,
+                        MetricSample::Type type = MetricSample::Type::kGauge);
+
+  /// Drop every callback whose name starts with `name_prefix` (component
+  /// teardown). Returns the number removed.
+  size_t UnregisterCallbacks(const std::string& name_prefix);
+
+  /// Consistent-enough view for exporters: instruments are read with
+  /// relaxed atomics while writers keep mutating, so each value is exact
+  /// at its own read point. Sorted by (name, labels) for deterministic
+  /// export output.
+  std::vector<MetricSample> Snapshot() const;
+
+  size_t instrument_count() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    std::unique_ptr<T> inst;
+  };
+  struct CallbackEntry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    std::function<double()> read;
+    MetricSample::Type type;
+  };
+
+  static std::string Key(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<LatencyHistogram>> histograms_;
+  std::map<std::string, CallbackEntry> callbacks_;
+};
+
+/// Process-wide registry for components not owned by a Fabric.
+MetricsRegistry& DefaultRegistry();
+
+}  // namespace xg::obs

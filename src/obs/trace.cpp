@@ -1,0 +1,214 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace xg::obs {
+
+void Tracer::set_clock(Clock clock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_ = std::move(clock);
+}
+
+void Tracer::set_capacity(size_t max_spans) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = max_spans;
+}
+
+int64_t Tracer::NowUs() const { return clock_ ? clock_() : 0; }
+
+TraceContext Tracer::StartLocked(const std::string& name,
+                                 const std::string& component,
+                                 uint64_t trace_id, uint64_t parent_span) {
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.span_id = next_span_++;
+  rec.parent_id = parent_span;
+  rec.name = name;
+  rec.component = component;
+  rec.start_us = NowUs();
+  rec.end_us = rec.start_us - 1;  // open
+  spans_.push_back(std::move(rec));
+  return {trace_id, spans_.back().span_id};
+}
+
+SpanRecord* Tracer::FindLocked(uint64_t span_id) {
+  if (spans_.empty() || span_id < spans_.front().span_id) return nullptr;
+  const uint64_t idx = span_id - spans_.front().span_id;
+  if (idx >= spans_.size()) return nullptr;
+  return &spans_[idx];
+}
+
+TraceContext Tracer::StartTrace(const std::string& name,
+                                const std::string& component) {
+  if (!enabled()) return {};
+  std::lock_guard<std::mutex> lk(mu_);
+  return StartLocked(name, component, next_trace_++, 0);
+}
+
+TraceContext Tracer::StartSpan(const std::string& name,
+                               const std::string& component,
+                               const TraceContext& parent) {
+  if (!enabled() || !parent.valid()) return {};
+  std::lock_guard<std::mutex> lk(mu_);
+  return StartLocked(name, component, parent.trace_id, parent.span_id);
+}
+
+void Tracer::EndSpan(const TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  SpanRecord* rec = FindLocked(ctx.span_id);
+  if (rec == nullptr || !rec->open()) return;
+  rec->end_us = std::max(NowUs(), rec->start_us);
+}
+
+void Tracer::Annotate(const TraceContext& ctx, const std::string& key,
+                      const std::string& value) {
+  if (!ctx.valid()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  SpanRecord* rec = FindLocked(ctx.span_id);
+  if (rec != nullptr) rec->args.emplace_back(key, value);
+}
+
+TraceContext Tracer::RecordSpan(
+    const std::string& name, const std::string& component,
+    const TraceContext& parent, int64_t start_us, int64_t end_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled() || !parent.valid()) return {};
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceContext ctx = StartLocked(name, component, parent.trace_id,
+                                 parent.span_id);
+  if (!ctx.valid()) return {};
+  SpanRecord& rec = spans_.back();
+  rec.start_us = start_us;
+  rec.end_us = std::max(end_us, start_us);
+  rec.args = std::move(args);
+  return ctx;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_;
+}
+
+std::vector<SpanRecord> Tracer::TraceSpans(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanRecord> out;
+  for (const auto& s : spans_) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::vector<uint64_t> Tracer::TraceIds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<uint64_t> ids;
+  for (const auto& s : spans_) {
+    if (std::find(ids.begin(), ids.end(), s.trace_id) == ids.end()) {
+      ids.push_back(s.trace_id);
+    }
+  }
+  return ids;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+
+TraceBreakdown BreakdownTrace(const std::vector<SpanRecord>& spans,
+                              uint64_t trace_id) {
+  TraceBreakdown b;
+  b.trace_id = trace_id;
+  std::vector<const SpanRecord*> trace;
+  for (const auto& s : spans) {
+    if (s.trace_id == trace_id) trace.push_back(&s);
+  }
+  if (trace.empty()) return b;
+  std::sort(trace.begin(), trace.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              if (a->start_us != b->start_us) return a->start_us < b->start_us;
+              return a->span_id < b->span_id;
+            });
+
+  int64_t min_start = trace.front()->start_us;
+  int64_t max_end = min_start;
+  std::map<uint64_t, const SpanRecord*> by_id;
+  std::map<uint64_t, int64_t> child_time;  // parent span id -> sum child dur
+  for (const SpanRecord* s : trace) {
+    by_id[s->span_id] = s;
+    max_end = std::max(max_end, s->open() ? s->start_us : s->end_us);
+  }
+  for (const SpanRecord* s : trace) {
+    if (s->parent_id != 0 && by_id.count(s->parent_id)) {
+      child_time[s->parent_id] += s->duration_us();
+    }
+  }
+  b.total_us = max_end - min_start;
+
+  for (const SpanRecord* s : trace) {
+    BreakdownRow row;
+    row.name = s->name;
+    row.component = s->component;
+    row.start_us = s->start_us - min_start;
+    row.duration_us = s->duration_us();
+    const auto ct = child_time.find(s->span_id);
+    row.exclusive_us = std::max<int64_t>(
+        0, row.duration_us - (ct == child_time.end() ? 0 : ct->second));
+    int depth = 0;
+    for (uint64_t p = s->parent_id; p != 0 && depth < 64;) {
+      auto it = by_id.find(p);
+      if (it == by_id.end()) break;
+      ++depth;
+      p = it->second->parent_id;
+    }
+    row.depth = depth;
+    b.rows.push_back(std::move(row));
+  }
+  return b;
+}
+
+std::string FormatBreakdown(const TraceBreakdown& b) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "trace %llu: %.3f ms end-to-end\n",
+                static_cast<unsigned long long>(b.trace_id),
+                static_cast<double>(b.total_us) / 1e3);
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-10s %-34s %12s %12s %12s\n", "comp",
+                "span", "start ms", "dur ms", "excl ms");
+  out += line;
+  for (const auto& r : b.rows) {
+    std::string name(static_cast<size_t>(r.depth) * 2, ' ');
+    name += r.name;
+    if (name.size() > 34) name.resize(34);
+    std::snprintf(line, sizeof(line), "  %-10s %-34s %12.3f %12.3f %12.3f\n",
+                  r.component.c_str(), name.c_str(),
+                  static_cast<double>(r.start_us) / 1e3,
+                  static_cast<double>(r.duration_us) / 1e3,
+                  static_cast<double>(r.exclusive_us) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace xg::obs

@@ -33,6 +33,30 @@ PilotController::PilotController(sim::Simulation& sim,
   }
 }
 
+void PilotController::AttachObservability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const obs::Labels strategy_label = {{"strategy", StrategyName(config_.strategy)}};
+  registry->RegisterCallback(
+      "xg_pilot_pilots_submitted_total", strategy_label, "Pilot jobs submitted",
+      [this] { return static_cast<double>(pilots_submitted_); },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
+      "xg_pilot_tasks_completed_total", strategy_label,
+      "Application tasks completed",
+      [this] { return static_cast<double>(tasks_completed_); },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
+      "xg_pilot_idle_node_seconds_total", strategy_label,
+      "Node-seconds pilots held without running a task",
+      [this] { return idle_node_seconds(); },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
+      "xg_pilot_active_nodes", strategy_label,
+      "Idle nodes currently held by active pilots",
+      [this] { return static_cast<double>(active_pilot_nodes()); },
+      obs::MetricSample::Type::kGauge);
+}
+
 int PilotController::RequiredNodes(double data_bytes) const {
   // Eq (1): N_req = max(1, D / threshold).
   return std::max(

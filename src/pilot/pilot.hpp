@@ -28,6 +28,7 @@
 #include "common/sim.hpp"
 #include "hpc/perfmodel.hpp"
 #include "hpc/scheduler.hpp"
+#include "obs/metrics.hpp"
 
 namespace xg::pilot {
 
@@ -84,6 +85,10 @@ class PilotController {
   uint64_t pilots_submitted() const { return pilots_submitted_; }
   uint64_t tasks_completed() const { return tasks_completed_; }
   int active_pilot_nodes() const;
+
+  /// Mirror pilot metrics into `registry` (labelled by strategy; read at
+  /// snapshot time). The registry must outlive this controller.
+  void AttachObservability(obs::MetricsRegistry* registry);
 
  private:
   struct PilotState {

@@ -106,6 +106,33 @@ TEST(SampleSet, StatsTrackSamples) {
   EXPECT_DOUBLE_EQ(s.max(), 3.0);
 }
 
+TEST(SampleSet, ReserveDoesNotChangeObservableState) {
+  SampleSet s;
+  s.Reserve(1000);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_GE(s.samples().capacity(), 1000u);
+  s.Add(4.0);
+  s.Add(2.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+}
+
+TEST(SampleSet, ClearResetsForReuse) {
+  SampleSet s;
+  s.AddAll({5.0, 10.0, 15.0});
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+  s.Clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  // The set is fully reusable: stats and order statistics restart clean.
+  s.AddAll({1.0, 3.0});
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+}
+
 TEST(Histogram, BinsAndEdges) {
   Histogram h(0.0, 10.0, 5);
   h.Add(-1.0);   // underflow

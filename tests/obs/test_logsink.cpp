@@ -1,0 +1,154 @@
+#include "obs/logsink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace xg::obs {
+namespace {
+
+/// Restores global logger state (level, sink, clock) on scope exit so
+/// tests cannot leak configuration into each other.
+struct LoggingStateGuard {
+  LogLevel level = GetLogLevel();
+  ~LoggingStateGuard() {
+    SetLogLevel(level);
+    SetLogSink(nullptr);
+    SetLogClock(nullptr);
+  }
+};
+
+/// Streaming this type records that operator<< actually ran — proof of
+/// whether a suppressed XG_LOG formats its operands.
+struct FormatProbe {
+  mutable int* hits;
+};
+std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+  ++(*p.hits);
+  return os << "probe";
+}
+
+TEST(Logging, LevelNamesAndShouldLog) {
+  LoggingStateGuard guard;
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(ShouldLog(LogLevel::kInfo));
+  EXPECT_TRUE(ShouldLog(LogLevel::kWarn));
+  EXPECT_TRUE(ShouldLog(LogLevel::kError));
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(ShouldLog(LogLevel::kError));
+}
+
+TEST(Logging, SuppressedStreamNeverFormatsOperands) {
+  // The satellite fix: the level gate sits in the LogStream constructor,
+  // so a below-level line must not even format its operands.
+  LoggingStateGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  int hits = 0;
+  XG_LOG(kDebug, "test") << "value: " << FormatProbe{&hits};
+  EXPECT_EQ(hits, 0);
+  XG_LOG(kError, "test") << "value: " << FormatProbe{&hits};
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Logging, SinkReceivesStructuredRecord) {
+  LoggingStateGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  LogRecord seen;
+  SetLogSink([&seen](const LogRecord& rec) { seen = rec; });
+  XG_LOG(kInfo, "pilot").Field("nodes", 4) << "pilot submitted";
+  EXPECT_EQ(seen.component, "pilot");
+  EXPECT_EQ(seen.message, "pilot submitted");
+  ASSERT_EQ(seen.fields.size(), 1u);
+  EXPECT_EQ(seen.fields[0].first, "nodes");
+  EXPECT_EQ(seen.fields[0].second, "4");
+  EXPECT_EQ(seen.sim_time_us, -1);  // no clock installed
+}
+
+TEST(Logging, LogClockStampsVirtualTime) {
+  LoggingStateGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  int64_t now_us = 12345678;
+  SetLogClock([&now_us] { return now_us; });
+  LogRecord seen;
+  SetLogSink([&seen](const LogRecord& rec) { seen = rec; });
+  XG_LOG(kInfo, "fabric") << "tick";
+  EXPECT_EQ(seen.sim_time_us, 12345678);
+  EXPECT_NE(FormatLogLine(seen).find("@12.3"), std::string::npos);
+}
+
+TEST(Logfmt, FormatsRecordWithQuotingRules) {
+  LogRecord rec;
+  rec.level = LogLevel::kInfo;
+  rec.component = "fabric";
+  rec.message = "breach confirmed";
+  rec.sim_time_us = 12345000;
+  rec.fields = {{"legs", "3"}, {"site", "notre dame"}};
+  EXPECT_EQ(FormatLogfmt(rec),
+            "ts=12.345000 level=info component=fabric "
+            "msg=\"breach confirmed\" legs=3 site=\"notre dame\"");
+
+  LogRecord bare;
+  bare.level = LogLevel::kError;
+  bare.component = "cspot";
+  bare.message = "timeout";
+  EXPECT_EQ(FormatLogfmt(bare), "level=error component=cspot msg=timeout");
+}
+
+TEST(LogRing, CapturesRecordsThroughTheGlobalSink) {
+  LoggingStateGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  LogRing ring(16);
+  ring.Install();
+  XG_LOG(kInfo, "cspot") << "append ok";
+  XG_LOG(kWarn, "fabric") << "latency high";
+  ring.Uninstall();
+  XG_LOG(kInfo, "cspot") << "not captured";
+
+  EXPECT_EQ(ring.total_appended(), 2u);
+  auto records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "append ok");
+  EXPECT_EQ(records[1].component, "fabric");
+  auto cspot_only = ring.ForComponent("cspot");
+  ASSERT_EQ(cspot_only.size(), 1u);
+}
+
+TEST(LogRing, EvictsOldestBeyondCapacity) {
+  LogRing ring(3);
+  for (int i = 0; i < 7; ++i) {
+    LogRecord rec;
+    rec.message = "m" + std::to_string(i);
+    ring.Append(rec);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_appended(), 7u);
+  auto records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  // Oldest-first view of the last three records.
+  EXPECT_EQ(records[0].message, "m4");
+  EXPECT_EQ(records[2].message, "m6");
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(LogRing, InstallIsExclusiveOfPreviousSink) {
+  LoggingStateGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  int direct = 0;
+  SetLogSink([&direct](const LogRecord&) { ++direct; });
+  {
+    LogRing ring(4);
+    ring.Install();
+    XG_LOG(kInfo, "x") << "into ring";
+    EXPECT_EQ(ring.total_appended(), 1u);
+    // Destructor uninstalls; logging afterwards must not touch the dead ring.
+  }
+  XG_LOG(kInfo, "x") << "to stderr/default";
+  EXPECT_EQ(direct, 0);  // the ring replaced the earlier sink entirely
+}
+
+}  // namespace
+}  // namespace xg::obs
