@@ -8,6 +8,7 @@
 // reproduced here, including the stale-cache recovery cost.
 #include <functional>
 #include <iostream>
+#include <cstdlib>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -58,7 +59,9 @@ int main() {
       sim::Simulation sim;
       Runtime rt(sim, 31337);
       BuildXgTopology(rt);
-      rt.CreateLog(path.host, LogConfig{"log", 1024, 256});
+      if (!rt.CreateLog(path.host, LogConfig{"log", 1024, 256}).ok()) {
+        std::abort();
+      }
       const SampleSet lat =
           MeasureAppends(rt, sim, path.client, path.host, cache, 30);
       table.AddRow({path.name,
@@ -73,16 +76,19 @@ int main() {
   sim::Simulation sim;
   Runtime rt(sim, 999);
   BuildXgTopology(rt);
-  rt.CreateLog("ucsb", LogConfig{"log", 1024, 256});
+  if (!rt.CreateLog("ucsb", LogConfig{"log", 1024, 256}).ok()) std::abort();
   (void)MeasureAppends(rt, sim, "unl-wired", "ucsb", true, 5);  // warm cache
   Node* ucsb = rt.GetNode("ucsb");
-  ucsb->DeleteLog("log");
-  ucsb->CreateLog(LogConfig{"log", 2048, 256});
+  if (!ucsb->DeleteLog("log").ok()) std::abort();
+  if (!ucsb->CreateLog(LogConfig{"log", 2048, 256}).ok()) std::abort();
   const auto t0 = sim.Now();
   double recovery_ms = -1.0;
+  AppendOptions stale_opts;
+  stale_opts.use_size_cache = true;
+  stale_opts.max_attempts = 8;
+  stale_opts.timeout_ms = 400.0;
   rt.RemoteAppend("unl-wired", "ucsb", "log", std::vector<uint8_t>(1024, 2),
-                  AppendOptions{.use_size_cache = true, .max_attempts = 8,
-                                .timeout_ms = 400.0},
+                  stale_opts,
                   [&](Result<SeqNo> r) {
                     if (r.ok()) recovery_ms = (sim.Now() - t0).millis();
                   });

@@ -2,6 +2,7 @@
 // log appends, the radio scheduler's slot loop, the CFD kernels, the
 // statistical tests, and the discrete-event kernel.
 #include <benchmark/benchmark.h>
+#include <cstdlib>
 
 #include "cfd/solver.hpp"
 #include "common/rng.hpp"
@@ -28,7 +29,9 @@ BENCHMARK(BM_MemoryLogAppend);
 void BM_MemoryLogGet(benchmark::State& state) {
   cspot::MemoryLog log(cspot::LogConfig{"b", 1024, 4096});
   std::vector<uint8_t> payload(1024, 7);
-  for (int i = 0; i < 4096; ++i) log.Append(payload);
+  for (int i = 0; i < 4096; ++i) {
+    if (!log.Append(payload).ok()) std::abort();
+  }
   Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(log.Get(rng.UniformInt(0, 4095)));

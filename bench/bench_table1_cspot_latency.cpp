@@ -7,6 +7,7 @@
 // 17 +/- 0.8 ms; UCSB->ND (Internet) 92 +/- 1 ms.
 #include <functional>
 #include <iostream>
+#include <cstdlib>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -21,7 +22,7 @@ SampleSet MeasurePath(const char* client, const char* host, uint64_t seed) {
   sim::Simulation sim;
   Runtime rt(sim, seed);
   BuildXgTopology(rt);
-  rt.CreateLog(host, LogConfig{"bench", 1024, 128});
+  if (!rt.CreateLog(host, LogConfig{"bench", 1024, 128}).ok()) std::abort();
   SampleSet lat;
   const std::vector<uint8_t> payload(1024, 0x5A);
   int i = 0;

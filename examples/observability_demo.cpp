@@ -46,13 +46,16 @@ int main() {
   net5g::Subscription station;
   station.sim = {"001010000000001", /*ki=*/0xCAFE, /*opc=*/0xBEEF};
   station.allowed_slices = {"telemetry"};
-  core5g.Provision(station);
-  core5g.Register(station.sim);
-  core5g.EstablishSession(station.sim.imsi, "telemetry");
-  // A mis-provisioned SIM and a disallowed slice show up as counters.
-  core5g.Register({"001010000000001", /*ki=*/0xDEAD, /*opc=*/0xBEEF});
-  core5g.Register(station.sim);
-  core5g.EstablishSession(station.sim.imsi, "video");
+  if (!core5g.Provision(station).ok()) return 1;
+  if (!core5g.Register(station.sim).ok()) return 1;
+  if (!core5g.EstablishSession(station.sim.imsi, "telemetry").ok()) return 1;
+  // A mis-provisioned SIM and a disallowed slice are *expected* to fail;
+  // they exist to drive the auth-failure / policy-rejection counters.
+  [[maybe_unused]] const auto cloned_sim =
+      core5g.Register({"001010000000001", /*ki=*/0xDEAD, /*opc=*/0xBEEF});
+  if (!core5g.Register(station.sim).ok()) return 1;
+  [[maybe_unused]] const auto denied_slice =
+      core5g.EstablishSession(station.sim.imsi, "video");
 
   sensors::FrontEvent front;
   front.start_s = 2.0 * 3600.0;

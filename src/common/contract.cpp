@@ -1,0 +1,101 @@
+#include "common/contract.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace xg::contract {
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kRequire: return "require";
+    case Kind::kEnsure: return "ensure";
+    case Kind::kInvariant: return "invariant";
+  }
+  return "?";
+}
+
+namespace {
+
+std::atomic<uint64_t> g_violations{0};
+std::mutex g_last_mu;
+std::optional<Violation> g_last;  // guarded by g_last_mu
+
+Mode InitialMode() {
+  const char* env = std::getenv("XG_CONTRACT_ABORT");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') return Mode::kAbort;
+  return Mode::kReturnStatus;
+}
+
+std::atomic<Mode>& ModeFlag() {
+  static std::atomic<Mode> mode{InitialMode()};
+  return mode;
+}
+
+}  // namespace
+
+Mode GetMode() { return ModeFlag().load(std::memory_order_relaxed); }
+void SetMode(Mode m) { ModeFlag().store(m, std::memory_order_relaxed); }
+
+uint64_t ViolationCount() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::optional<Violation> LastViolation() {
+  std::lock_guard<std::mutex> lk(g_last_mu);
+  return g_last;
+}
+
+void ResetViolationStats() {
+  g_violations.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(g_last_mu);
+  g_last.reset();
+}
+
+Status Report(Kind kind, const char* condition, ErrorCode code,
+              std::string message, const char* file, int line,
+              const char* function) {
+  Violation v;
+  v.kind = kind;
+  v.code = code;
+  v.condition = condition;
+  v.message = std::move(message);
+  v.file = file;
+  v.line = line;
+  v.function = function;
+
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(g_last_mu);
+    g_last = v;
+  }
+
+  // Structured record through the global sink so an installed obs::LogRing
+  // (or any operator sink) sees the violation with machine-readable fields.
+  LogRecord rec;
+  rec.level = LogLevel::kError;
+  rec.component = "contract";
+  rec.message = v.message.empty() ? "contract violation" : v.message;
+  rec.fields.emplace_back("kind", KindName(kind));
+  rec.fields.emplace_back("condition", v.condition);
+  rec.fields.emplace_back("code", ErrorCodeName(code));
+  rec.fields.emplace_back("file", v.file + ":" + std::to_string(line));
+  rec.fields.emplace_back("function", v.function);
+  EmitLog(std::move(rec));
+
+  if (GetMode() == Mode::kAbort) {
+    // The log sink may be a silent ring; make sure the abort reason reaches
+    // stderr regardless.
+    std::fprintf(stderr, "contract %s violated: %s (%s) at %s:%d in %s\n",
+                 KindName(kind), v.condition.c_str(), v.message.c_str(),
+                 v.file.c_str(), line, v.function.c_str());
+    std::abort();
+  }
+  return Status(code, v.message + " [" + KindName(kind) + " " + v.condition +
+                          " at " + v.file + ":" + std::to_string(line) + "]");
+}
+
+}  // namespace xg::contract

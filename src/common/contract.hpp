@@ -1,0 +1,112 @@
+// Runtime contract layer: the mechanical form of the invariants the CSPOT
+// and Laminar papers state in prose (dense sequence numbers, single
+// assignment, conserved PRB quotas, pilot decision bounds).
+//
+// Three macros:
+//   XG_REQUIRE(cond, code, msg)   precondition, use in functions returning
+//                                 Status or Result<T>; on violation reports
+//                                 and returns Status(code, msg)
+//   XG_ENSURE(cond, code, msg)    postcondition, same mechanics
+//   XG_INVARIANT(cond, msg)       internal invariant in any context (void
+//                                 functions, hot loops); reports but does
+//                                 not return — callers that need graceful
+//                                 degradation check the condition themselves
+//
+// Two modes, switchable at runtime (`SetMode`) or via the environment
+// variable XG_CONTRACT_ABORT=1 read at first use:
+//   kReturnStatus (default)  violations become error Status values /
+//                            structured log records; the process continues
+//   kAbort                   violations print the record and abort() — the
+//                            mode CI sanitizer jobs and death tests use
+//
+// Every violation, in both modes, is emitted through the structured logging
+// sink (component "contract", level kError) so an installed obs::LogRing
+// captures a machine-readable record: kind, condition, file:line, function.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace xg::contract {
+
+enum class Kind { kRequire, kEnsure, kInvariant };
+enum class Mode { kAbort, kReturnStatus };
+
+const char* KindName(Kind k);
+
+/// One contract violation, as recorded for tests and operators.
+struct Violation {
+  Kind kind = Kind::kRequire;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string condition;  ///< stringified failing expression
+  std::string message;
+  std::string file;
+  int line = 0;
+  std::string function;
+};
+
+Mode GetMode();
+void SetMode(Mode m);
+
+/// RAII mode override for tests.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m) : prev_(GetMode()) { SetMode(m); }
+  ~ScopedMode() { SetMode(prev_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode prev_;
+};
+
+/// Process-wide count of violations reported since start / last reset.
+uint64_t ViolationCount();
+/// Most recent violation, if any (copy; thread-safe).
+std::optional<Violation> LastViolation();
+void ResetViolationStats();
+
+/// Report a violation: record it, emit the structured log line, abort in
+/// kAbort mode, and build the Status the XG_REQUIRE/XG_ENSURE macros
+/// return. Not usually called directly.
+Status Report(Kind kind, const char* condition, ErrorCode code,
+              std::string message, const char* file, int line,
+              const char* function);
+
+}  // namespace xg::contract
+
+/// Precondition for Status- or Result<T>-returning functions: on violation
+/// reports and returns Status(ErrorCode::code, msg).
+#define XG_REQUIRE(cond, code, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      return ::xg::contract::Report(::xg::contract::Kind::kRequire, #cond,  \
+                                    ::xg::ErrorCode::code, (msg), __FILE__, \
+                                    __LINE__, __func__);                    \
+    }                                                                       \
+  } while (0)
+
+/// Postcondition for Status- or Result<T>-returning functions.
+#define XG_ENSURE(cond, code, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      return ::xg::contract::Report(::xg::contract::Kind::kEnsure, #cond,   \
+                                    ::xg::ErrorCode::code, (msg), __FILE__, \
+                                    __LINE__, __func__);                    \
+    }                                                                       \
+  } while (0)
+
+/// Invariant check usable in any context (void functions, loops). Reports
+/// (and aborts in kAbort mode) but does not alter control flow in
+/// kReturnStatus mode.
+#define XG_INVARIANT(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      (void)::xg::contract::Report(::xg::contract::Kind::kInvariant, #cond,  \
+                                   ::xg::ErrorCode::kInternal, (msg),        \
+                                   __FILE__, __LINE__, __func__);            \
+    }                                                                        \
+  } while (0)

@@ -44,8 +44,11 @@ inline const char* ErrorCodeName(ErrorCode c) {
   return "UNKNOWN";
 }
 
-/// A status: either OK or an error code plus a message.
-class Status {
+/// A status: either OK or an error code plus a message. [[nodiscard]]:
+/// silently dropping an error (e.g. the Result<SeqNo> of an Append) is
+/// exactly the failure mode the retry-until-ack protocol exists to prevent,
+/// so ignoring one is a compile error under -Werror.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrorCode::kOk) {}
   Status(ErrorCode code, std::string message)
@@ -80,7 +83,7 @@ class Status {
 
 /// Result<T>: a value or a Status error. Minimal std::expected stand-in.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}       // NOLINT implicit
   Result(Status status) : v_(std::move(status)) { // NOLINT implicit

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "common/contract.hpp"
+
 namespace xg {
+
+namespace {
+// Set while a worker thread executes a task, so a nested ParallelFor /
+// RunOnAll issued from inside a task body can be detected: the nested call
+// would wait on cv_done_ from the very thread the pool needs to finish the
+// outer task — a guaranteed deadlock.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
@@ -38,10 +48,12 @@ void ThreadPool::WorkerLoop(size_t index) {
     if (index < task_.ranges.size()) range = task_.ranges[index];
     lk.unlock();
 
+    tl_worker_pool = this;
     if (range_fn && range.second > range.first) {
       range_fn(range.first, range.second);
     }
     if (worker_fn) worker_fn(index);
+    tl_worker_pool = nullptr;
 
     lk.lock();
     if (--remaining_ == 0) cv_done_.notify_all();
@@ -51,6 +63,19 @@ void ThreadPool::WorkerLoop(size_t index) {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
+  // Fork-join pools do not nest: a task body calling back into its own pool
+  // would block a worker on the join it is itself part of. Degrade to
+  // inline execution so the caller still makes progress in return mode.
+  XG_INVARIANT(tl_worker_pool != this,
+               "nested ParallelFor on the same ThreadPool would deadlock");
+  if (tl_worker_pool == this) {
+    fn(0, n);
+    return;
+  }
+  // Serialize independent submitters: two concurrent fork-joins would race
+  // on the shared task slot and lose work. Taken only after the nesting
+  // check, so a worker thread can never self-deadlock here.
+  std::lock_guard<std::mutex> submit_lk(submit_mu_);
   const size_t workers = workers_.size();
   std::vector<std::pair<size_t, size_t>> ranges(workers, {0, 0});
   const size_t chunk = (n + workers - 1) / workers;
@@ -70,6 +95,13 @@ void ThreadPool::ParallelFor(size_t n,
 }
 
 void ThreadPool::RunOnAll(const std::function<void(size_t)>& fn) {
+  XG_INVARIANT(tl_worker_pool != this,
+               "nested RunOnAll on the same ThreadPool would deadlock");
+  if (tl_worker_pool == this) {
+    fn(0);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lk(submit_mu_);
   std::unique_lock<std::mutex> lk(mu_);
   task_.range_fn = nullptr;
   task_.worker_fn = fn;

@@ -45,6 +45,7 @@ class ThreadPool {
   void WorkerLoop(size_t index);
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  ///< serializes external fork-join submitters
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "cfd/solver.hpp"
+#include "common/contract.hpp"
 #include "common/logging.hpp"
 
 namespace xg::core {
@@ -45,10 +46,15 @@ Fabric::Fabric(FabricConfig config)
   cups_ = std::make_unique<sensors::CupsFacility>(config_.cups,
                                                   config_.seed ^ 0xC4);
 
-  // Logs at the UCSB repository.
-  cspot_->CreateLog(nodes_.ucsb, cspot::LogConfig{kTelemetryLog, 1024, 4096});
-  cspot_->CreateLog(nodes_.ucsb, cspot::LogConfig{kAlertLog, 64, 1024});
-  cspot_->CreateLog(nodes_.ucsb, cspot::LogConfig{kResultLog, 1024, 1024});
+  // Logs at the UCSB repository. The topology was built above, so log
+  // creation can only fail on a name clash — an internal wiring bug.
+  const cspot::LogConfig log_cfgs[] = {{kTelemetryLog, 1024, 4096},
+                                       {kAlertLog, 64, 1024},
+                                       {kResultLog, 1024, 1024}};
+  for (const auto& cfg : log_cfgs) {
+    auto created = cspot_->CreateLog(nodes_.ucsb, cfg);
+    XG_INVARIANT(created.ok(), "fabric log creation failed: " + cfg.name);
+  }
 
   scheduler_ = std::make_unique<hpc::BatchScheduler>(sim_, config_.site,
                                                      config_.seed ^ 0x5C);

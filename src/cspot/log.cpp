@@ -3,7 +3,19 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/contract.hpp"
+
 namespace xg::cspot {
+
+Status ValidateLogConfig(const LogConfig& config) {
+  XG_REQUIRE(config.element_size > 0, kInvalidArgument,
+             "log element size must be positive: " + config.name);
+  XG_REQUIRE(config.element_size <= kMaxElementSize, kInvalidArgument,
+             "log element size exceeds limit: " + config.name);
+  XG_REQUIRE(config.history > 0, kInvalidArgument,
+             "log history window must be positive: " + config.name);
+  return Status::Ok();
+}
 
 std::vector<std::vector<uint8_t>> LogStorage::Tail(size_t n) const {
   std::vector<std::vector<uint8_t>> out;
@@ -19,17 +31,23 @@ std::vector<std::vector<uint8_t>> LogStorage::Tail(size_t n) const {
 }
 
 MemoryLog::MemoryLog(LogConfig config) : config_(std::move(config)) {
+  // Constructors cannot return a Status; geometry is validated by the
+  // creating factories (Node::CreateLog, FileLog::Open). Still guard the
+  // zero-history case that would make every ring index undefined.
+  XG_INVARIANT(config_.history > 0, "MemoryLog history must be positive");
+  if (config_.history == 0) config_.history = 1;
   ring_.resize(config_.history);
 }
 
 Result<SeqNo> MemoryLog::Append(const std::vector<uint8_t>& payload) {
-  if (payload.size() > config_.element_size) {
-    return Status(ErrorCode::kInvalidArgument,
-                  "payload exceeds element size of log " + config_.name);
-  }
+  XG_REQUIRE(payload.size() <= config_.element_size, kInvalidArgument,
+             "payload exceeds element size of log " + config_.name);
   std::lock_guard<std::mutex> lk(mu_);
   const SeqNo seq = next_seq_++;
   ring_[static_cast<size_t>(seq) % config_.history] = payload;
+  // CSPOT's dense-sequence invariant: Append is the only writer and hands
+  // out consecutive numbers; a gap here would break Laminar's replay.
+  XG_ENSURE(seq + 1 == next_seq_, kInternal, "sequence numbers must be dense");
   return seq;
 }
 
@@ -112,6 +130,8 @@ Status FileLog::ReadHeader() {
 
 Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
                                                LogConfig config) {
+  Status geometry = ValidateLogConfig(config);
+  if (!geometry.ok()) return geometry;
   auto log = std::unique_ptr<FileLog>(new FileLog(path, std::move(config)));
   // Try reopen first (crash recovery path), else create fresh.
   log->file_ = std::fopen(path.c_str(), "r+b");
@@ -130,10 +150,8 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
 }
 
 Result<SeqNo> FileLog::Append(const std::vector<uint8_t>& payload) {
-  if (payload.size() > config_.element_size) {
-    return Status(ErrorCode::kInvalidArgument,
-                  "payload exceeds element size of log " + config_.name);
-  }
+  XG_REQUIRE(payload.size() <= config_.element_size, kInvalidArgument,
+             "payload exceeds element size of log " + config_.name);
   std::lock_guard<std::mutex> lk(mu_);
   const SeqNo seq = next_seq_;
   const auto len = static_cast<uint32_t>(payload.size());

@@ -33,6 +33,15 @@ struct LogConfig {
   size_t history = 1024;       ///< retained elements (circular window)
 };
 
+/// Geometry bounds every storage backend enforces (XG_REQUIRE): a log
+/// must have a positive element size and a positive history window, and
+/// the element size is capped so a single slot cannot overflow the
+/// FileLog slot-offset arithmetic.
+constexpr size_t kMaxElementSize = size_t{1} << 30;  // 1 GiB per element
+
+/// Validates geometry; kInvalidArgument on violation.
+Status ValidateLogConfig(const LogConfig& config);
+
 /// Abstract storage: the runtime and transport talk to this interface.
 class LogStorage {
  public:

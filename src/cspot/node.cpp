@@ -1,8 +1,12 @@
 #include "cspot/node.hpp"
 
+#include "common/contract.hpp"
+
 namespace xg::cspot {
 
 Result<LogStorage*> Node::CreateLog(const LogConfig& config) {
+  Status geometry = ValidateLogConfig(config);
+  if (!geometry.ok()) return geometry;
   if (logs_.count(config.name)) {
     return Status(ErrorCode::kAlreadyExists,
                   "log exists on " + name_ + ": " + config.name);
@@ -72,6 +76,18 @@ Result<SeqNo> Node::DedupLookup(const std::string& log, uint64_t token) const {
 }
 
 void Node::DedupRecord(const std::string& log, uint64_t token, SeqNo seq) {
+  // Exactly-once delivery hinges on a token mapping to one durable sequence
+  // number forever: a retry that re-recorded a different seq would mean the
+  // same logical append was written (and acked) twice.
+  auto lit = dedup_.find(log);
+  if (lit != dedup_.end()) {
+    auto tit = lit->second.find(token);
+    if (tit != lit->second.end()) {
+      XG_INVARIANT(tit->second == seq,
+                   "dedup token re-recorded with a different sequence number");
+      return;
+    }
+  }
   dedup_[log][token] = seq;
 }
 

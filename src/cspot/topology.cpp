@@ -1,5 +1,7 @@
 #include "cspot/topology.hpp"
 
+#include "common/contract.hpp"
+
 namespace xg::cspot {
 
 LinkParams Air5GLink() {
@@ -42,10 +44,15 @@ TopologyNames BuildXgTopology(Runtime& rt) {
   rt.AddNode(n.ucsb);
   rt.AddNode(n.nd);
 
-  rt.wan().AddLink(n.unl_5g, n.unl_gateway, Air5GLink());
-  rt.wan().AddLink(n.unl_gateway, n.ucsb, UnlUcsbInternet());
-  rt.wan().AddLink(n.unl_wired, n.ucsb, UnlUcsbInternet());
-  rt.wan().AddLink(n.ucsb, n.nd, UcsbNdInternet());
+  const Status links[] = {
+      rt.wan().AddLink(n.unl_5g, n.unl_gateway, Air5GLink()),
+      rt.wan().AddLink(n.unl_gateway, n.ucsb, UnlUcsbInternet()),
+      rt.wan().AddLink(n.unl_wired, n.ucsb, UnlUcsbInternet()),
+      rt.wan().AddLink(n.ucsb, n.nd, UcsbNdInternet()),
+  };
+  for (const Status& s : links) {
+    XG_INVARIANT(s.ok(), "topology link setup failed: " + s.ToString());
+  }
   return n;
 }
 

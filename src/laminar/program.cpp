@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hpp"
 #include "common/logging.hpp"
 
 namespace xg::laminar {
@@ -219,8 +220,7 @@ Status Program::Inject(int source, int64_t iteration, const Value& v) {
                   std::string("type mismatch injecting ") +
                       ValueTypeName(v.type()));
   }
-  Emit(source, iteration, v);
-  return Status::Ok();
+  return Emit(source, iteration, v);
 }
 
 Result<Value> Program::InputAt(int op, size_t slot, int64_t iteration) const {
@@ -299,7 +299,9 @@ void Program::TryFire(int op, int64_t iteration) {
       if (!in.ok()) return;
       const Value acc =
           next == 0 ? o.constant : OutputAt(op, next - 1).value_or(o.constant);
-      Emit(op, next, o.reduce(acc, in.value()));
+      // A failed emit must break the loop: `next` would not advance and the
+      // recovery scan would retry the same iteration forever.
+      if (!Emit(op, next, o.reduce(acc, in.value())).ok()) return;
     }
   }
 
@@ -330,7 +332,9 @@ void Program::TryFire(int op, int64_t iteration) {
         }
         window.push_back(num.value());
       }
-      if (complete) Emit(op, end, Value(std::move(window)));
+      if (complete) {
+        if (!Emit(op, end, Value(std::move(window))).ok()) return;
+      }
     }
     return;
   }
@@ -345,13 +349,15 @@ void Program::TryFire(int op, int64_t iteration) {
 
   switch (o.kind) {
     case OpKind::kMap:
-      Emit(op, iteration, o.map(args[0]));
+      if (Status es = Emit(op, iteration, o.map(args[0])); !es.ok()) return;
       return;
     case OpKind::kZip:
-      Emit(op, iteration, o.zip(args));
+      if (Status es = Emit(op, iteration, o.zip(args)); !es.ok()) return;
       return;
     case OpKind::kFilter:
-      if (o.predicate(args[0])) Emit(op, iteration, args[0]);
+      if (o.predicate(args[0])) {
+        if (Status es = Emit(op, iteration, args[0]); !es.ok()) return;
+      }
       return;
     case OpKind::kSink:
       o.sink(iteration, args[0]);
@@ -364,14 +370,20 @@ void Program::TryFire(int op, int64_t iteration) {
   }
 }
 
-void Program::Emit(int op, int64_t iteration, const Value& v) {
+Status Program::Emit(int op, int64_t iteration, const Value& v) {
   Operand& o = ops_[static_cast<size_t>(op)];
+  // Laminar's single-assignment invariant: an (operand, iteration) pair is
+  // bound at most once. Re-binding would let consumers observe two different
+  // values for the same logical token, breaking deterministic replay.
+  XG_REQUIRE(!OutputAt(op, iteration).ok(), kAlreadyExists,
+             "operand " + o.name + " already emitted iteration " +
+                 std::to_string(iteration));
   const std::vector<uint8_t> payload = SerializeToken(Token{iteration, v});
   auto r = rt_.LocalAppend(o.host, OutLog(op), payload);
   if (!r.ok()) {
     XG_LOG(kWarn, "laminar") << "emit failed on " << o.name << ": "
                              << r.status().ToString();
-    return;
+    return r.status();
   }
   // Forward the token to each consumer's input log (remote append when the
   // consumer lives on a different CSPOT node; CSPOT handles retries).
@@ -396,6 +408,7 @@ void Program::Emit(int op, int64_t iteration, const Value& v) {
       }
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace xg::laminar

@@ -141,7 +141,9 @@ class Program {
 
   /// Emit a token from `op`: append to the output log and forward to
   /// every consumer's input log.
-  void Emit(int op, int64_t iteration, const Value& v);
+  /// Enforces the single-assignment contract: emitting a second, different
+  /// token for an (operand, iteration) pair is rejected with kAlreadyExists.
+  Status Emit(int op, int64_t iteration, const Value& v);
 
   cspot::Runtime& rt_;
   std::string name_;

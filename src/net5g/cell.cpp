@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hpp"
+
 namespace xg::net5g {
 
 Cell::Cell(CellConfig config, uint64_t seed)
@@ -25,6 +27,9 @@ int Cell::AttachUe(const UeProfile& profile, const std::string& slice) {
 }
 
 int Cell::SlicePrbs(size_t slice_index) const {
+  XG_INVARIANT(slice_index < config_.slices.size(),
+               "slice index out of range");
+  if (slice_index >= config_.slices.size()) return 0;
   const int total = config_.PrbTotal();
   if (!config_.work_conserving_slicing) {
     return static_cast<int>(std::floor(
@@ -142,6 +147,16 @@ UplinkRunResult Cell::RunDirection(int seconds, int warmup_seconds,
   UplinkRunResult result;
   result.per_ue.resize(ues_.size());
   result.sdr_overload_severity = OverloadSeverity();
+  // Slice quota conservation: in any slot the PRBs granted across busy
+  // slices must fit the cell's PRB budget. With work-conserving slicing the
+  // floor division guarantees this; with fixed fractions a config whose
+  // fractions sum past 1.0 would silently overcommit the air interface.
+  int granted_prbs = 0;
+  for (size_t s = 0; s < config_.slices.size(); ++s) {
+    if (!slice_members_[s].empty()) granted_prbs += SlicePrbs(s);
+  }
+  XG_INVARIANT(granted_prbs <= config_.PrbTotal(),
+               "slice PRB grants exceed the cell PRB budget");
   const int slots_per_sec = config_.SlotsPerSec();
   int64_t slot_index = 0;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/contract.hpp"
+
 namespace xg::net5g {
 
 CoreNetwork::CoreNetwork(uint64_t seed, std::string ip_prefix)
@@ -49,8 +51,11 @@ Status CoreNetwork::Bar(const std::string& imsi, bool barred) {
   }
   it->second.barred = barred;
   if (barred) {
-    // Barring tears down any current registration and sessions.
-    Deregister(imsi);
+    // Barring tears down any current registration and sessions; a UE that
+    // was never registered has nothing to tear down, which is fine.
+    const Status dereg = Deregister(imsi);
+    XG_INVARIANT(dereg.ok() || dereg.code() == ErrorCode::kFailedPrecondition,
+                 "barred-UE teardown failed: " + dereg.ToString());
   }
   return Status::Ok();
 }

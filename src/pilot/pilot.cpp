@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "common/contract.hpp"
 
 #include "common/logging.hpp"
 
@@ -58,9 +61,17 @@ void PilotController::AttachObservability(obs::MetricsRegistry* registry) {
 }
 
 int PilotController::RequiredNodes(double data_bytes) const {
-  // Eq (1): N_req = max(1, D / threshold).
-  return std::max(
-      1, static_cast<int>(std::ceil(data_bytes / config_.data_threshold_bytes)));
+  // Eq (1): N_req = max(1, D / threshold). A non-positive threshold makes
+  // the division meaningless (and the int cast undefined); degrade to the
+  // single-node floor the equation's max() clause implies.
+  XG_INVARIANT(config_.data_threshold_bytes > 0.0,
+               "pilot data threshold must be positive");
+  if (!(config_.data_threshold_bytes > 0.0)) return 1;
+  const double ratio = std::ceil(data_bytes / config_.data_threshold_bytes);
+  if (ratio >= static_cast<double>(std::numeric_limits<int>::max())) {
+    return std::numeric_limits<int>::max();
+  }
+  return std::max(1, static_cast<int>(ratio));
 }
 
 int PilotController::AvailableNodes() const {
@@ -94,6 +105,12 @@ hpc::JobSpec PilotController::PilotSpec(double data_bytes) const {
                              std::max(config_.pilot_walltime_s,
                                       config_.estimated_task_runtime_s));
   spec.runtime_s = spec.walltime_s;  // a pilot holds its nodes until expiry
+  // Eq (4) bounds: never request more nodes than the system has, never ask
+  // for more walltime than the site allows.
+  XG_INVARIANT(spec.nodes >= 1 && spec.nodes <= scheduler_.total_nodes(),
+               "pilot node request outside system bounds");
+  XG_INVARIANT(spec.walltime_s <= scheduler_.site().max_walltime_h * 3600.0,
+               "pilot walltime exceeds site maximum");
   return spec;
 }
 

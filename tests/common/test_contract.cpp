@@ -1,0 +1,159 @@
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/result.hpp"
+#include "obs/logsink.hpp"
+
+namespace xg {
+namespace {
+
+using contract::Kind;
+using contract::Mode;
+using contract::ScopedMode;
+
+// Status-returning functions the macro round-trip tests drive.
+Status CheckedDivisorStatus(int divisor) {
+  XG_REQUIRE(divisor != 0, kInvalidArgument, "divisor must be non-zero");
+  return Status::Ok();
+}
+
+Result<int> CheckedDivide(int num, int divisor) {
+  XG_REQUIRE(divisor != 0, kInvalidArgument, "divisor must be non-zero");
+  return num / divisor;
+}
+
+Status PostconditionFails() {
+  const int computed = -1;
+  XG_ENSURE(computed >= 0, kInternal, "result must be non-negative");
+  return Status::Ok();
+}
+
+void VoidInvariantFails() {
+  XG_INVARIANT(1 + 1 == 3, "arithmetic is broken");
+}
+
+class ContractTest : public ::testing::Test {
+ protected:
+  ContractTest() { contract::ResetViolationStats(); }
+  ~ContractTest() override { contract::ResetViolationStats(); }
+};
+
+TEST_F(ContractTest, DefaultModeReturnsStatus) {
+  // The suite runs without XG_CONTRACT_ABORT; violations must not abort.
+  EXPECT_EQ(contract::GetMode(), Mode::kReturnStatus);
+}
+
+TEST_F(ContractTest, RequirePassesCleanly) {
+  EXPECT_TRUE(CheckedDivisorStatus(2).ok());
+  EXPECT_EQ(contract::ViolationCount(), 0u);
+  EXPECT_FALSE(contract::LastViolation().has_value());
+}
+
+TEST_F(ContractTest, RequireViolationRoundTripsStatus) {
+  const Status s = CheckedDivisorStatus(0);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("divisor must be non-zero"), std::string::npos);
+  EXPECT_EQ(contract::ViolationCount(), 1u);
+}
+
+TEST_F(ContractTest, RequireViolationRoundTripsThroughResult) {
+  const Result<int> ok = CheckedDivide(10, 2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  const Result<int> bad = CheckedDivide(10, 0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ContractTest, EnsureViolationReportsPostconditionKind) {
+  const Status s = PostconditionFails();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInternal);
+  const auto v = contract::LastViolation();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, Kind::kEnsure);
+  EXPECT_EQ(v->condition, "computed >= 0");
+}
+
+TEST_F(ContractTest, InvariantRecordsWithoutAlteringControlFlow) {
+  VoidInvariantFails();  // must return normally in kReturnStatus mode
+  EXPECT_EQ(contract::ViolationCount(), 1u);
+  const auto v = contract::LastViolation();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, Kind::kInvariant);
+  EXPECT_EQ(v->code, ErrorCode::kInternal);
+  EXPECT_NE(v->file.find("test_contract.cpp"), std::string::npos);
+  EXPECT_GT(v->line, 0);
+  EXPECT_EQ(v->function, "VoidInvariantFails");
+}
+
+TEST_F(ContractTest, ScopedModeRestoresPreviousMode) {
+  ASSERT_EQ(contract::GetMode(), Mode::kReturnStatus);
+  {
+    ScopedMode abort_mode(Mode::kAbort);
+    EXPECT_EQ(contract::GetMode(), Mode::kAbort);
+  }
+  EXPECT_EQ(contract::GetMode(), Mode::kReturnStatus);
+}
+
+TEST_F(ContractTest, ViolationsLandInTheObservabilityRing) {
+  obs::LogRing ring(16);
+  ring.Install();
+  (void)CheckedDivisorStatus(0);
+  ring.Uninstall();
+
+  const auto records = ring.ForComponent("contract");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].level, LogLevel::kError);
+  EXPECT_NE(records[0].message.find("divisor must be non-zero"),
+            std::string::npos);
+  bool has_kind = false, has_condition = false, has_location = false;
+  for (const auto& [key, val] : records[0].fields) {
+    if (key == "kind" && val == "require") has_kind = true;
+    if (key == "condition" && val == "divisor != 0") has_condition = true;
+    if (key == "file" && val.find("test_contract.cpp") != std::string::npos) {
+      has_location = true;
+    }
+  }
+  EXPECT_TRUE(has_kind);
+  EXPECT_TRUE(has_condition);
+  EXPECT_TRUE(has_location);
+}
+
+TEST_F(ContractTest, CountAccumulatesAcrossViolations) {
+  (void)CheckedDivisorStatus(0);
+  (void)PostconditionFails();
+  VoidInvariantFails();
+  EXPECT_EQ(contract::ViolationCount(), 3u);
+  contract::ResetViolationStats();
+  EXPECT_EQ(contract::ViolationCount(), 0u);
+  EXPECT_FALSE(contract::LastViolation().has_value());
+}
+
+using ContractDeathTest = ContractTest;
+
+TEST_F(ContractDeathTest, AbortModeAbortsOnRequireViolation) {
+  EXPECT_DEATH(
+      {
+        ScopedMode abort_mode(Mode::kAbort);
+        (void)CheckedDivisorStatus(0);
+      },
+      "divisor must be non-zero");
+}
+
+TEST_F(ContractDeathTest, AbortModeAbortsOnInvariantViolation) {
+  EXPECT_DEATH(
+      {
+        ScopedMode abort_mode(Mode::kAbort);
+        VoidInvariantFails();
+      },
+      "arithmetic is broken");
+}
+
+}  // namespace
+}  // namespace xg

@@ -110,14 +110,16 @@ TEST(Simulation, RunUntilAdvancesClockWithNoEvents) {
 
 TEST(Simulation, ScheduleInPastClampsToNow) {
   Simulation sim;
+  // TestBody-scoped: the inner callback fires after the outer lambda's
+  // frame is gone, so it must not capture anything local to it.
+  bool ran = false;
   sim.Schedule(SimTime::Seconds(10), [&] {
-    bool ran = false;
     sim.ScheduleAt(SimTime::Seconds(1), [&ran] { ran = true; });
     // The event must still be pending, not lost.
     EXPECT_GE(sim.pending(), 1u);
-    (void)ran;
   });
   EXPECT_EQ(sim.Run(), 2u);
+  EXPECT_TRUE(ran);
   EXPECT_DOUBLE_EQ(sim.Now().seconds(), 10.0);
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contract.hpp"
+
 #include <atomic>
 #include <numeric>
 #include <vector>
@@ -101,6 +103,53 @@ TEST(ThreadPool, ResultsMatchSerialReduction) {
   });
   const double total = std::accumulate(partial.begin(), partial.end(), 0.0);
   EXPECT_DOUBLE_EQ(total, 0.5 * (n - 1) * n / 2.0);
+}
+
+
+TEST(ThreadPoolContract, NestedParallelForFallsBackInsteadOfDeadlocking) {
+  contract::ResetViolationStats();
+  ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  pool.ParallelFor(4, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      // Nesting on the same pool is a contract violation; in return mode
+      // it must degrade to inline execution and still cover the range.
+      pool.ParallelFor(3, [&](size_t ib, size_t ie) {
+        inner_hits.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(inner_hits.load(), 4 * 3);
+  EXPECT_GE(contract::ViolationCount(), 1u);
+  contract::ResetViolationStats();
+}
+
+TEST(ThreadPoolContract, NestedRunOnAllFallsBack) {
+  contract::ResetViolationStats();
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  pool.RunOnAll([&](size_t) {
+    pool.RunOnAll([&](size_t) { inner_calls.fetch_add(1); });
+  });
+  // Each of the 2 outer workers runs the inner body once, inline.
+  EXPECT_EQ(inner_calls.load(), 2);
+  EXPECT_GE(contract::ViolationCount(), 1u);
+  contract::ResetViolationStats();
+}
+
+TEST(ThreadPoolContract, SiblingPoolsMayNest) {
+  contract::ResetViolationStats();
+  ThreadPool outer(2), inner(2);
+  std::atomic<int> hits{0};
+  outer.ParallelFor(2, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      inner.ParallelFor(2, [&](size_t ib, size_t ie) {
+        hits.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(hits.load(), 4);
+  EXPECT_EQ(contract::ViolationCount(), 0u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contract.hpp"
+#include "cspot/node.hpp"
+
 #include <cstdio>
 #include <filesystem>
 
@@ -38,7 +41,7 @@ TEST(MemoryLog, AppendAssignsDenseSequenceNumbers) {
 
 TEST(MemoryLog, GetReturnsExactPayload) {
   MemoryLog log(LogConfig{"t", 64, 8});
-  log.Append(Bytes("hello"));
+  ASSERT_TRUE((log.Append(Bytes("hello"))).ok());
   auto r = log.Get(0);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(Str(r.value()), "hello");
@@ -54,7 +57,7 @@ TEST(MemoryLog, OversizePayloadRejected) {
 
 TEST(MemoryLog, HistoryEviction) {
   MemoryLog log(LogConfig{"t", 16, 4});
-  for (int i = 0; i < 10; ++i) log.Append(Bytes(std::to_string(i)));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE((log.Append(Bytes(std::to_string(i)))).ok());
   EXPECT_EQ(log.Latest(), 9);
   EXPECT_EQ(log.Earliest(), 6);
   EXPECT_FALSE(log.Get(5).ok());
@@ -66,14 +69,14 @@ TEST(MemoryLog, HistoryEviction) {
 
 TEST(MemoryLog, GetOutOfRange) {
   MemoryLog log(LogConfig{"t", 16, 4});
-  log.Append(Bytes("a"));
+  ASSERT_TRUE((log.Append(Bytes("a"))).ok());
   EXPECT_FALSE(log.Get(-1).ok());
   EXPECT_FALSE(log.Get(1).ok());
 }
 
 TEST(MemoryLog, TailReturnsOldestFirst) {
   MemoryLog log(LogConfig{"t", 16, 8});
-  for (int i = 0; i < 5; ++i) log.Append(Bytes(std::to_string(i)));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE((log.Append(Bytes(std::to_string(i)))).ok());
   auto tail = log.Tail(3);
   ASSERT_EQ(tail.size(), 3u);
   EXPECT_EQ(Str(tail[0]), "2");
@@ -82,7 +85,7 @@ TEST(MemoryLog, TailReturnsOldestFirst) {
 
 TEST(MemoryLog, TailLargerThanLog) {
   MemoryLog log(LogConfig{"t", 16, 8});
-  log.Append(Bytes("only"));
+  ASSERT_TRUE((log.Append(Bytes("only"))).ok());
   auto tail = log.Tail(10);
   ASSERT_EQ(tail.size(), 1u);
   EXPECT_EQ(Str(tail[0]), "only");
@@ -90,7 +93,7 @@ TEST(MemoryLog, TailLargerThanLog) {
 
 TEST(MemoryLog, TailRespectsEviction) {
   MemoryLog log(LogConfig{"t", 16, 3});
-  for (int i = 0; i < 6; ++i) log.Append(Bytes(std::to_string(i)));
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE((log.Append(Bytes(std::to_string(i)))).ok());
   auto tail = log.Tail(10);
   ASSERT_EQ(tail.size(), 3u);
   EXPECT_EQ(Str(tail[0]), "3");
@@ -160,7 +163,7 @@ TEST_F(FileLogTest, CircularHistoryOnDisk) {
   auto r = FileLog::Open(path_, LogConfig{"f", 16, 3});
   ASSERT_TRUE(r.ok());
   auto& log = *r.value();
-  for (int i = 0; i < 7; ++i) log.Append(Bytes(std::to_string(i)));
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE((log.Append(Bytes(std::to_string(i)))).ok());
   EXPECT_EQ(log.Earliest(), 4);
   EXPECT_FALSE(log.Get(3).ok());
   EXPECT_EQ(Str(log.Get(6).value()), "6");
@@ -181,6 +184,61 @@ TEST_F(FileLogTest, NotACspotLogRejected) {
   std::fclose(f);
   auto r = FileLog::Open(path_, LogConfig{"f", 32, 8});
   EXPECT_FALSE(r.ok());
+}
+
+
+TEST(LogConfigContract, ZeroElementSizeRejected) {
+  xg::contract::ResetViolationStats();
+  LogConfig cfg{"bad", 0, 16};
+  const Status s = ValidateLogConfig(cfg);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_GE(xg::contract::ViolationCount(), 1u);
+  xg::contract::ResetViolationStats();
+}
+
+TEST(LogConfigContract, ZeroHistoryRejected) {
+  LogConfig cfg{"bad", 64, 0};
+  const Status s = ValidateLogConfig(cfg);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(LogConfigContract, OversizeElementRejected) {
+  LogConfig cfg{"bad", kMaxElementSize + 1, 16};
+  EXPECT_EQ(ValidateLogConfig(cfg).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(LogConfigContract, FileLogOpenRejectsBadGeometry) {
+  const std::string path = ::testing::TempDir() + "xg_geom_contract.log";
+  auto r = FileLog::Open(path, LogConfig{"bad", 64, 0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(LogConfigContract, NodeCreateLogValidatesGeometry) {
+  Node node("n");
+  auto r = node.CreateLog(LogConfig{"bad", 0, 16});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(node.GetLog("bad"), nullptr);
+}
+
+TEST(DedupContract, ConflictingSeqForTokenRaisesInvariant) {
+  xg::contract::ResetViolationStats();
+  Node node("n");
+  ASSERT_TRUE(node.CreateLog(LogConfig{"l", 64, 16}).ok());
+  node.DedupRecord("l", /*token=*/7, /*seq=*/3);
+  node.DedupRecord("l", 7, 3);  // idempotent re-record: fine
+  EXPECT_EQ(xg::contract::ViolationCount(), 0u);
+  node.DedupRecord("l", 7, 4);  // same token, different seq: double write
+  EXPECT_EQ(xg::contract::ViolationCount(), 1u);
+  // The original mapping stays authoritative.
+  auto seq = node.DedupLookup("l", 7);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 3);
+  xg::contract::ResetViolationStats();
 }
 
 }  // namespace

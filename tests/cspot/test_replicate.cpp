@@ -17,9 +17,9 @@ class ReplicateTest : public ::testing::Test {
     LinkParams p;
     p.one_way_ms = 8.0;
     p.jitter_ms = 0.0;
-    rt_.wan().AddLink("edge", "repo", p);
-    rt_.CreateLog("edge", LogConfig{"telemetry", 64, 256});
-    rt_.CreateLog("repo", LogConfig{"telemetry", 64, 256});
+    EXPECT_TRUE((rt_.wan().AddLink("edge", "repo", p)).ok());
+    EXPECT_TRUE((rt_.CreateLog("edge", LogConfig{"telemetry", 64, 256})).ok());
+    EXPECT_TRUE((rt_.CreateLog("repo", LogConfig{"telemetry", 64, 256})).ok());
   }
   sim::Simulation sim_;
   Runtime rt_;
@@ -54,16 +54,16 @@ TEST_F(ReplicateTest, PartitionThenRecovery) {
       Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry", opts);
   ASSERT_TRUE(repl.ok());
 
-  rt_.wan().SetLinkUp("edge", "repo", false);
+  ASSERT_TRUE((rt_.wan().SetLinkUp("edge", "repo", false)).ok());
   for (int i = 0; i < 5; ++i) {
-    rt_.LocalAppend("edge", "telemetry", Bytes(i));
+    ASSERT_TRUE((rt_.LocalAppend("edge", "telemetry", Bytes(i))).ok());
   }
   sim_.Run();
   EXPECT_EQ(rt_.GetNode("repo")->GetLog("telemetry")->Size(), 0u);
   EXPECT_EQ(repl.value()->stats().failed, 5u);
 
   // Heal and run the recovery scan.
-  rt_.wan().SetLinkUp("edge", "repo", true);
+  ASSERT_TRUE((rt_.wan().SetLinkUp("edge", "repo", true)).ok());
   uint64_t reshipped = 0;
   repl.value()->Recover([&](uint64_t n) { reshipped = n; });
   sim_.Run();
@@ -75,7 +75,7 @@ TEST_F(ReplicateTest, PartitionThenRecovery) {
 TEST_F(ReplicateTest, RecoveryWithNothingMissingShipsNothing) {
   auto repl = Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry");
   ASSERT_TRUE(repl.ok());
-  rt_.LocalAppend("edge", "telemetry", Bytes(1));
+  ASSERT_TRUE((rt_.LocalAppend("edge", "telemetry", Bytes(1))).ok());
   sim_.Run();
   uint64_t reshipped = 99;
   repl.value()->Recover([&](uint64_t n) { reshipped = n; });
@@ -90,15 +90,15 @@ TEST_F(ReplicateTest, ChainedReplication) {
   LinkParams p;
   p.one_way_ms = 20.0;
   p.jitter_ms = 0.0;
-  rt_.wan().AddLink("repo", "archive", p);
-  rt_.CreateLog("archive", LogConfig{"telemetry", 64, 256});
+  ASSERT_TRUE((rt_.wan().AddLink("repo", "archive", p)).ok());
+  ASSERT_TRUE((rt_.CreateLog("archive", LogConfig{"telemetry", 64, 256})).ok());
   auto hop1 =
       Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry");
   auto hop2 =
       Replicator::Create(rt_, "repo", "telemetry", "archive", "telemetry");
   ASSERT_TRUE(hop1.ok());
   ASSERT_TRUE(hop2.ok());
-  for (int i = 0; i < 4; ++i) rt_.LocalAppend("edge", "telemetry", Bytes(i));
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((rt_.LocalAppend("edge", "telemetry", Bytes(i))).ok());
   sim_.Run();
   EXPECT_EQ(rt_.GetNode("archive")->GetLog("telemetry")->Size(), 4u);
 }

@@ -28,8 +28,8 @@ class RuntimeTest : public ::testing::Test {
     p.jitter_ms = 0.0;
     p.min_ms = 0.0;
     p.bandwidth_mbps = 0.0;
-    rt_.wan().AddLink("client", "server", p);
-    rt_.CreateLog("server", LogConfig{"log", 128, 64});
+    EXPECT_TRUE((rt_.wan().AddLink("client", "server", p)).ok());
+    EXPECT_TRUE((rt_.CreateLog("server", LogConfig{"log", 128, 64})).ok());
   }
 
   Result<SeqNo> Append(const std::vector<uint8_t>& payload,
@@ -66,8 +66,8 @@ TEST_F(RuntimeTest, HandlerFiresOncePerAppend) {
                                   [&](const std::string&, SeqNo,
                                       const std::vector<uint8_t>&) { ++fires; })
                   .ok());
-  rt_.LocalAppend("server", "log", Payload());
-  rt_.LocalAppend("server", "log", Payload());
+  ASSERT_TRUE((rt_.LocalAppend("server", "log", Payload())).ok());
+  ASSERT_TRUE((rt_.LocalAppend("server", "log", Payload())).ok());
   sim_.Run();
   EXPECT_EQ(fires, 2);
   EXPECT_EQ(rt_.counters().handler_fires, 2u);
@@ -76,14 +76,15 @@ TEST_F(RuntimeTest, HandlerFiresOncePerAppend) {
 TEST_F(RuntimeTest, HandlerReceivesSeqAndPayload) {
   SeqNo got_seq = kNoSeq;
   std::vector<uint8_t> got;
-  rt_.RegisterHandler("server", "log",
-                      [&](const std::string& log, SeqNo seq,
-                          const std::vector<uint8_t>& p) {
-                        EXPECT_EQ(log, "log");
-                        got_seq = seq;
-                        got = p;
-                      });
-  rt_.LocalAppend("server", "log", Payload(16, 3));
+  ASSERT_TRUE(rt_.RegisterHandler("server", "log",
+                                  [&](const std::string& log, SeqNo seq,
+                                      const std::vector<uint8_t>& p) {
+                                    EXPECT_EQ(log, "log");
+                                    got_seq = seq;
+                                    got = p;
+                                  })
+                  .ok());
+  ASSERT_TRUE((rt_.LocalAppend("server", "log", Payload(16, 3))).ok());
   sim_.Run();
   EXPECT_EQ(got_seq, 0);
   EXPECT_EQ(got, Payload(16, 3));
@@ -148,7 +149,7 @@ TEST_F(RuntimeTest, AppendToMissingLogFails) {
 
 TEST_F(RuntimeTest, RetriesThroughMessageLoss) {
   // 30% loss per crossing: individual attempts fail but retries converge.
-  rt_.wan().SetLinkUp("client", "server", true);
+  ASSERT_TRUE((rt_.wan().SetLinkUp("client", "server", true)).ok());
   Runtime lossy_rt(sim_, 7);
   lossy_rt.AddNode("c");
   lossy_rt.AddNode("s");
@@ -156,8 +157,8 @@ TEST_F(RuntimeTest, RetriesThroughMessageLoss) {
   p.one_way_ms = 5.0;
   p.jitter_ms = 0.0;
   p.loss_prob = 0.3;
-  lossy_rt.wan().AddLink("c", "s", p);
-  lossy_rt.CreateLog("s", LogConfig{"log", 128, 64});
+  ASSERT_TRUE((lossy_rt.wan().AddLink("c", "s", p)).ok());
+  ASSERT_TRUE((lossy_rt.CreateLog("s", LogConfig{"log", 128, 64})).ok());
 
   AppendOptions opts;
   opts.max_attempts = 50;
@@ -184,8 +185,8 @@ TEST_F(RuntimeTest, ExactlyOnceUnderAckLoss) {
   p.one_way_ms = 5.0;
   p.jitter_ms = 0.0;
   p.loss_prob = 0.35;
-  lossy_rt.wan().AddLink("c", "s", p);
-  lossy_rt.CreateLog("s", LogConfig{"log", 128, 1024});
+  ASSERT_TRUE((lossy_rt.wan().AddLink("c", "s", p)).ok());
+  ASSERT_TRUE((lossy_rt.CreateLog("s", LogConfig{"log", 128, 1024})).ok());
 
   AppendOptions opts;
   opts.max_attempts = 80;
@@ -205,7 +206,7 @@ TEST_F(RuntimeTest, ExactlyOnceUnderAckLoss) {
 }
 
 TEST_F(RuntimeTest, ExhaustedRetriesReportTimeout) {
-  rt_.wan().SetLinkUp("client", "server", false);
+  ASSERT_TRUE((rt_.wan().SetLinkUp("client", "server", false)).ok());
   AppendOptions opts;
   opts.max_attempts = 3;
   opts.timeout_ms = 20.0;
@@ -218,9 +219,9 @@ TEST_F(RuntimeTest, ExhaustedRetriesReportTimeout) {
 TEST_F(RuntimeTest, DelayToleranceAcrossPartition) {
   // Appends fail during the partition and succeed after it heals —
   // "programs simply pause until connectivity is restored".
-  rt_.wan().SetLinkUp("client", "server", false);
+  ASSERT_TRUE((rt_.wan().SetLinkUp("client", "server", false)).ok());
   sim_.Schedule(sim::SimTime::Seconds(30),
-                [&] { rt_.wan().SetLinkUp("client", "server", true); });
+                [&] { EXPECT_TRUE(rt_.wan().SetLinkUp("client", "server", true).ok()); });
   AppendOptions opts;
   opts.max_attempts = 1000;
   opts.timeout_ms = 500.0;
@@ -250,7 +251,7 @@ TEST_F(RuntimeTest, PowerLossRecovery) {
 }
 
 TEST_F(RuntimeTest, RemoteReads) {
-  rt_.LocalAppend("server", "log", Payload(8, 42));
+  ASSERT_TRUE((rt_.LocalAppend("server", "log", Payload(8, 42))).ok());
   Result<SeqNo> latest = Status(ErrorCode::kInternal, "pending");
   rt_.RemoteLatestSeq("client", "server", "log",
                       [&latest](Result<SeqNo> r) { latest = std::move(r); });
@@ -290,7 +291,7 @@ TEST(Topology, Table1LatencyCalibration) {
     sim::Simulation sim;
     Runtime rt(sim, 1234);
     BuildXgTopology(rt);
-    rt.CreateLog(row.host, LogConfig{"t", 1024, 128});
+    ASSERT_TRUE((rt.CreateLog(row.host, LogConfig{"t", 1024, 128})).ok());
     SampleSet lat;
     std::vector<uint8_t> payload(1024, 1);
     int i = 0;
@@ -388,11 +389,12 @@ TEST(DurableRuntime, HandlersFireOnFileBackedAppends) {
   ASSERT_TRUE(file_log.ok());
   ASSERT_TRUE(node.AdoptLog(std::move(file_log.value())).ok());
   int fires = 0;
-  rt.RegisterHandler("edge", "log",
-                     [&](const std::string&, SeqNo,
-                         const std::vector<uint8_t>&) { ++fires; });
-  rt.LocalAppend("edge", "log", {1});
-  rt.LocalAppend("edge", "log", {2});
+  ASSERT_TRUE(rt.RegisterHandler("edge", "log",
+                                 [&](const std::string&, SeqNo,
+                                     const std::vector<uint8_t>&) { ++fires; })
+                  .ok());
+  ASSERT_TRUE((rt.LocalAppend("edge", "log", {1})).ok());
+  ASSERT_TRUE((rt.LocalAppend("edge", "log", {2})).ok());
   sim.Run();
   EXPECT_EQ(fires, 2);
   std::remove(path.c_str());

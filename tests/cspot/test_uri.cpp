@@ -56,9 +56,9 @@ TEST(Namespace, ScopedCreateAndLookup) {
 TEST(Namespace, ListOnlyOwnLogs) {
   Node node("n");
   Namespace a(node, "a"), b(node, "b");
-  a.CreateLog("one", 16, 4);
-  a.CreateLog("two", 16, 4);
-  b.CreateLog("three", 16, 4);
+  ASSERT_TRUE((a.CreateLog("one", 16, 4)).ok());
+  ASSERT_TRUE((a.CreateLog("two", 16, 4)).ok());
+  ASSERT_TRUE((b.CreateLog("three", 16, 4)).ok());
   const auto names = a.LogNames();
   EXPECT_EQ(names.size(), 2u);
   EXPECT_EQ(b.LogNames().size(), 1u);
@@ -67,7 +67,7 @@ TEST(Namespace, ListOnlyOwnLogs) {
 TEST(Namespace, Delete) {
   Node node("n");
   Namespace ns(node, "x");
-  ns.CreateLog("gone", 16, 4);
+  ASSERT_TRUE((ns.CreateLog("gone", 16, 4)).ok());
   EXPECT_TRUE(ns.DeleteLog("gone").ok());
   EXPECT_EQ(ns.GetLog("gone"), nullptr);
   EXPECT_FALSE(ns.DeleteLog("gone").ok());

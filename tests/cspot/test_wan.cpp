@@ -20,7 +20,7 @@ TEST_F(WanTest, DirectDelivery) {
   p.one_way_ms = 10.0;
   p.jitter_ms = 0.0;
   p.bandwidth_mbps = 0.0;
-  wan.AddLink("a", "b", p);
+  ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   bool delivered = false;
   EXPECT_TRUE(wan.Send("a", "b", 100, [&] { delivered = true; }));
   sim_.Run();
@@ -35,8 +35,8 @@ TEST_F(WanTest, MultiHopRoutingSumsLatency) {
   p.one_way_ms = 5.0;
   p.jitter_ms = 0.0;
   p.bandwidth_mbps = 0.0;
-  wan.AddLink("a", "b", p);
-  wan.AddLink("b", "c", p);
+  ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
+  ASSERT_TRUE((wan.AddLink("b", "c", p)).ok());
   bool delivered = false;
   wan.Send("a", "c", 0, [&] { delivered = true; });
   sim_.Run();
@@ -65,7 +65,7 @@ TEST_F(WanTest, SerializationDelayScalesWithBytes) {
   p.jitter_ms = 0.0;
   p.min_ms = 0.0;
   p.bandwidth_mbps = 8.0;  // 1 ms per 1000 bytes
-  wan.AddLink("a", "b", p);
+  ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   wan.Send("a", "b", 1000, [] {});
   sim_.Run();
   EXPECT_NEAR(sim_.Now().millis(), 1.0, 1e-9);
@@ -75,7 +75,7 @@ TEST_F(WanTest, LinkDownBlocksRoute) {
   Wan wan(sim_, 5);
   wan.AddNode("a");
   wan.AddNode("b");
-  wan.AddLink("a", "b", LinkParams{});
+  ASSERT_TRUE((wan.AddLink("a", "b", LinkParams{})).ok());
   ASSERT_TRUE(wan.SetLinkUp("a", "b", false).ok());
   EXPECT_FALSE(wan.Send("a", "b", 0, [] {}));
   ASSERT_TRUE(wan.SetLinkUp("a", "b", true).ok());
@@ -97,10 +97,10 @@ TEST_F(WanTest, RouteAroundDownLink) {
   fast.bandwidth_mbps = 0.0;
   LinkParams slow = fast;
   slow.one_way_ms = 50.0;
-  wan.AddLink("a", "c", fast);   // direct
-  wan.AddLink("a", "b", slow);
-  wan.AddLink("b", "c", slow);
-  wan.SetLinkUp("a", "c", false);  // force the detour
+  ASSERT_TRUE(wan.AddLink("a", "c", fast).ok());   // direct
+  ASSERT_TRUE((wan.AddLink("a", "b", slow)).ok());
+  ASSERT_TRUE((wan.AddLink("b", "c", slow)).ok());
+  ASSERT_TRUE(wan.SetLinkUp("a", "c", false).ok());  // force the detour
   bool delivered = false;
   EXPECT_TRUE(wan.Send("a", "c", 0, [&] { delivered = true; }));
   sim_.Run();
@@ -112,7 +112,7 @@ TEST_F(WanTest, NodeUnreachableBlocksAllTraffic) {
   Wan wan(sim_, 8);
   wan.AddNode("a");
   wan.AddNode("b");
-  wan.AddLink("a", "b", LinkParams{});
+  ASSERT_TRUE((wan.AddLink("a", "b", LinkParams{})).ok());
   wan.SetNodeReachable("b", false);
   EXPECT_FALSE(wan.NodeReachable("b"));
   EXPECT_FALSE(wan.Send("a", "b", 0, [] {}));
@@ -126,7 +126,7 @@ TEST_F(WanTest, LossDropsExpectedFraction) {
   wan.AddNode("b");
   LinkParams p;
   p.loss_prob = 0.25;
-  wan.AddLink("a", "b", p);
+  ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   int delivered = 0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
@@ -146,7 +146,7 @@ TEST_F(WanTest, JitterProducesLatencySpread) {
   p.jitter_ms = 4.0;
   p.min_ms = 0.0;
   p.bandwidth_mbps = 0.0;
-  wan.AddLink("a", "b", p);
+  ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   SampleSet lat;
   for (int i = 0; i < 500; ++i) {
     const auto t0 = sim_.Now();
@@ -168,7 +168,7 @@ TEST_F(WanTest, LatencyFloorEnforced) {
   p.jitter_ms = 10.0;  // would often go negative
   p.min_ms = 0.5;
   p.bandwidth_mbps = 0.0;
-  wan.AddLink("a", "b", p);
+  ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   for (int i = 0; i < 200; ++i) {
     const auto t0 = sim_.Now();
     wan.Send("a", "b", 0, [t0, this] {

@@ -101,7 +101,7 @@ TEST(ChangeDetectionGraph, EndToEndOverCspot) {
   cspot::LinkParams p;
   p.one_way_ms = 4.0;
   p.jitter_ms = 0.0;
-  rt.wan().AddLink("unl", "ucsb", p);
+  ASSERT_TRUE((rt.wan().AddLink("unl", "ucsb", p)).ok());
 
   Program prog(rt, "cd");
   ChangeDetectorConfig cfg;
@@ -116,12 +116,12 @@ TEST(ChangeDetectionGraph, EndToEndOverCspot) {
   Rng rng(12);
   int64_t iter = 0;
   for (int i = 0; i < 12; ++i) {
-    prog.Inject(g.source, iter++, Value(rng.Gaussian(2.0, 0.2)));
+    ASSERT_TRUE((prog.Inject(g.source, iter++, Value(rng.Gaussian(2.0, 0.2)))).ok());
   }
   sim.Run();
   EXPECT_TRUE(alerts.empty());  // steady: no alert
   for (int i = 0; i < 12; ++i) {
-    prog.Inject(g.source, iter++, Value(rng.Gaussian(6.0, 0.2)));
+    ASSERT_TRUE((prog.Inject(g.source, iter++, Value(rng.Gaussian(6.0, 0.2)))).ok());
   }
   sim.Run();
   EXPECT_FALSE(alerts.empty());  // the front must be detected

@@ -24,8 +24,8 @@ TEST_F(OpsTest, Arithmetic) {
   const int prod = ops::Mul(p, "prod", "n", a, b);
   const int scaled = ops::Scale(p, "scaled", "n", a, 10.0);
   ASSERT_TRUE(p.Deploy().ok());
-  p.Inject(a, 0, Value(6.0));
-  p.Inject(b, 0, Value(2.0));
+  ASSERT_TRUE((p.Inject(a, 0, Value(6.0))).ok());
+  ASSERT_TRUE((p.Inject(b, 0, Value(2.0))).ok());
   RunAll();
   EXPECT_DOUBLE_EQ(p.OutputAt(sum, 0).value().AsDouble(), 8.0);
   EXPECT_DOUBLE_EQ(p.OutputAt(diff, 0).value().AsDouble(), 4.0);
@@ -39,8 +39,8 @@ TEST_F(OpsTest, GreaterThanProducesBool) {
   const int k = p.AddConst("k", "n", Value(3.0));
   const int gt = ops::GreaterThan(p, "gt", "n", a, k);
   ASSERT_TRUE(p.Deploy().ok());
-  p.Inject(a, 0, Value(5.0));
-  p.Inject(a, 1, Value(1.0));
+  ASSERT_TRUE((p.Inject(a, 0, Value(5.0))).ok());
+  ASSERT_TRUE((p.Inject(a, 1, Value(1.0))).ok());
   RunAll();
   EXPECT_TRUE(p.OutputAt(gt, 0).value().AsBool());
   EXPECT_FALSE(p.OutputAt(gt, 1).value().AsBool());
@@ -52,7 +52,7 @@ TEST_F(OpsTest, RunningSumFoldsInOrder) {
   const int sum = ops::RunningSum(p, "sum", "n", a);
   ASSERT_TRUE(p.Deploy().ok());
   for (int i = 0; i < 5; ++i) {
-    p.Inject(a, i, Value(static_cast<double>(i + 1)));
+    ASSERT_TRUE((p.Inject(a, i, Value(static_cast<double>(i + 1)))).ok());
   }
   RunAll();
   // 1, 3, 6, 10, 15.
@@ -67,12 +67,12 @@ TEST_F(OpsTest, ReduceHandlesOutOfOrderArrivals) {
   const int sum = ops::RunningSum(p, "sum", "n", a);
   ASSERT_TRUE(p.Deploy().ok());
   // Iteration 2 arrives first: the fold must stall, then catch up.
-  p.Inject(a, 2, Value(30.0));
+  ASSERT_TRUE((p.Inject(a, 2, Value(30.0))).ok());
   RunAll();
   EXPECT_FALSE(p.OutputAt(sum, 0).ok());
   EXPECT_FALSE(p.OutputAt(sum, 2).ok());
-  p.Inject(a, 0, Value(10.0));
-  p.Inject(a, 1, Value(20.0));
+  ASSERT_TRUE((p.Inject(a, 0, Value(10.0))).ok());
+  ASSERT_TRUE((p.Inject(a, 1, Value(20.0))).ok());
   RunAll();
   EXPECT_DOUBLE_EQ(p.OutputAt(sum, 0).value().AsDouble(), 10.0);
   EXPECT_DOUBLE_EQ(p.OutputAt(sum, 1).value().AsDouble(), 30.0);
@@ -86,7 +86,7 @@ TEST_F(OpsTest, RunningMaxAndCount) {
   const int ct = ops::RunningCount(p, "count", "n", a);
   ASSERT_TRUE(p.Deploy().ok());
   for (int i = 0; i < 4; ++i) {
-    p.Inject(a, i, Value(std::vector<double>{3.0, 7.0, 5.0, 6.0}[static_cast<size_t>(i)]));
+    ASSERT_TRUE((p.Inject(a, i, Value(std::vector<double>{3.0, 7.0, 5.0, 6.0}[static_cast<size_t>(i)]))).ok());
   }
   RunAll();
   EXPECT_DOUBLE_EQ(p.OutputAt(mx, 1).value().AsDouble(), 7.0);
@@ -104,8 +104,8 @@ TEST_F(OpsTest, ReduceFeedsDownstreamOperands) {
     sunk.push_back(v.AsDouble());
   });
   ASSERT_TRUE(p.Deploy().ok());
-  p.Inject(a, 0, Value(1.0));
-  p.Inject(a, 1, Value(2.0));
+  ASSERT_TRUE((p.Inject(a, 0, Value(1.0))).ok());
+  ASSERT_TRUE((p.Inject(a, 1, Value(2.0))).ok());
   RunAll();
   EXPECT_EQ(sunk, (std::vector<double>{1.0, 3.0}));
 }
@@ -117,7 +117,7 @@ TEST_F(OpsTest, WindowMeanOverSlidingWindow) {
   const int mean = ops::WindowMean(p, "mean", "n", win);
   ASSERT_TRUE(p.Deploy().ok());
   for (int i = 0; i < 4; ++i) {
-    p.Inject(a, i, Value(static_cast<double>(i)));  // 0,1,2,3
+    ASSERT_TRUE(p.Inject(a, i, Value(static_cast<double>(i))).ok());  // 0,1,2,3
   }
   RunAll();
   EXPECT_DOUBLE_EQ(p.OutputAt(mean, 2).value().AsDouble(), 1.0);  // (0+1+2)/3

@@ -15,7 +15,7 @@ class ProgramTest : public ::testing::Test {
     cspot::LinkParams p;
     p.one_way_ms = 5.0;
     p.jitter_ms = 0.0;
-    rt_.wan().AddLink("edge", "cloud", p);
+    EXPECT_TRUE((rt_.wan().AddLink("edge", "cloud", p)).ok());
   }
   sim::Simulation sim_;
   cspot::Runtime rt_;
@@ -51,10 +51,10 @@ TEST_F(ProgramTest, ZipWaitsForAllInputs) {
                                              vs[1].AsDouble());
                               });
   ASSERT_TRUE(prog.Deploy().ok());
-  prog.Inject(a, 0, Value(1.0));
+  ASSERT_TRUE((prog.Inject(a, 0, Value(1.0))).ok());
   sim_.Run();
   EXPECT_FALSE(prog.OutputAt(sum, 0).ok());  // strict: b missing
-  prog.Inject(b, 0, Value(2.0));
+  ASSERT_TRUE((prog.Inject(b, 0, Value(2.0))).ok());
   sim_.Run();
   auto out = prog.OutputAt(sum, 0);
   ASSERT_TRUE(out.ok());
@@ -71,10 +71,10 @@ TEST_F(ProgramTest, ZipHandlesOutOfOrderIterations) {
                                              vs[1].AsDouble());
                               });
   ASSERT_TRUE(prog.Deploy().ok());
-  prog.Inject(a, 1, Value(10.0));
-  prog.Inject(b, 0, Value(1.0));
-  prog.Inject(a, 0, Value(0.5));
-  prog.Inject(b, 1, Value(20.0));
+  ASSERT_TRUE((prog.Inject(a, 1, Value(10.0))).ok());
+  ASSERT_TRUE((prog.Inject(b, 0, Value(1.0))).ok());
+  ASSERT_TRUE((prog.Inject(a, 0, Value(0.5))).ok());
+  ASSERT_TRUE((prog.Inject(b, 1, Value(20.0))).ok());
   sim_.Run();
   EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 0).value().AsDouble(), 1.5);
   EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 1).value().AsDouble(), 30.0);
@@ -90,7 +90,7 @@ TEST_F(ProgramTest, ConstFoldsIntoZip) {
                                              vs[1].AsDouble());
                               });
   ASSERT_TRUE(prog.Deploy().ok());
-  prog.Inject(src, 0, Value(5.0));
+  ASSERT_TRUE((prog.Inject(src, 0, Value(5.0))).ok());
   sim_.Run();
   EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 0).value().AsDouble(), 15.0);
 }
@@ -101,7 +101,7 @@ TEST_F(ProgramTest, WindowEmitsSlidingVectors) {
   const int win = prog.AddWindow("w", "edge", src, 3);
   ASSERT_TRUE(prog.Deploy().ok());
   for (int i = 0; i < 5; ++i) {
-    prog.Inject(src, i, Value(static_cast<double>(i * i)));
+    ASSERT_TRUE((prog.Inject(src, i, Value(static_cast<double>(i * i)))).ok());
   }
   sim_.Run();
   EXPECT_FALSE(prog.OutputAt(win, 0).ok());
@@ -125,9 +125,9 @@ TEST_F(ProgramTest, FilterDropsIterations) {
     seen.push_back(iter);
   });
   ASSERT_TRUE(prog.Deploy().ok());
-  prog.Inject(src, 0, Value(1.0));
-  prog.Inject(src, 1, Value(-1.0));
-  prog.Inject(src, 2, Value(2.0));
+  ASSERT_TRUE((prog.Inject(src, 0, Value(1.0))).ok());
+  ASSERT_TRUE((prog.Inject(src, 1, Value(-1.0))).ok());
+  ASSERT_TRUE((prog.Inject(src, 2, Value(2.0))).ok());
   sim_.Run();
   EXPECT_EQ(seen, (std::vector<int64_t>{0, 2}));
 }
@@ -145,7 +145,7 @@ TEST_F(ProgramTest, CrossHostDataflow) {
   prog.AddSink("sink", "cloud", neg,
                [&](int64_t, const Value& v) { sunk = v.AsDouble(); });
   ASSERT_TRUE(prog.Deploy().ok());
-  prog.Inject(src, 0, Value(4.0));
+  ASSERT_TRUE((prog.Inject(src, 0, Value(4.0))).ok());
   sim_.Run();
   EXPECT_DOUBLE_EQ(sunk, -4.0);
   EXPECT_GT(sim_.Now().millis(), 10.0);  // at least one WAN crossing
@@ -206,9 +206,11 @@ TEST_F(ProgramTest, DuplicateInjectionIsIdempotent) {
                               return v;
                             });
   ASSERT_TRUE(prog.Deploy().ok());
-  prog.Inject(src, 0, Value(1.0));
+  ASSERT_TRUE(prog.Inject(src, 0, Value(1.0)).ok());
   sim_.Run();
-  prog.Inject(src, 0, Value(1.0));
+  const Status dup = prog.Inject(src, 0, Value(1.0));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), ErrorCode::kAlreadyExists);
   sim_.Run();
   EXPECT_EQ(fires, 1);
   EXPECT_EQ(prog.FiringCount(m), 1);
@@ -233,7 +235,7 @@ TEST_F(ProgramTest, DiamondTopology) {
                                              vs[1].AsDouble());
                               });
   ASSERT_TRUE(prog.Deploy().ok());
-  prog.Inject(src, 0, Value(1.0));
+  ASSERT_TRUE((prog.Inject(src, 0, Value(1.0))).ok());
   sim_.Run();
   EXPECT_DOUBLE_EQ(prog.OutputAt(sum, 0).value().AsDouble(), 5.0);
 }

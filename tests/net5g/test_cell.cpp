@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contract.hpp"
+
 #include "net5g/iperf.hpp"
 
 namespace xg::net5g {
@@ -195,6 +197,38 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(Access::kLte4G, Duplex::kFdd),
                       std::make_tuple(Access::kNr5G, Duplex::kFdd),
                       std::make_tuple(Access::kNr5G, Duplex::kTdd)));
+
+
+TEST(CellContract, OvercommittedFixedSlicesRaisePrbInvariant) {
+  xg::contract::ResetViolationStats();
+  CellConfig cfg = Make5GFddCell(20);
+  cfg.work_conserving_slicing = false;
+  cfg.slices.clear();
+  cfg.slices.push_back({"a", 0.7});
+  cfg.slices.push_back({"b", 0.7});  // fractions sum to 1.4: overcommitted
+  Cell cell(cfg, 5);
+  cell.AttachUe(CleanUe(20.0), "a");
+  cell.AttachUe(CleanUe(20.0), "b");
+  (void)cell.RunUplink(1, 0);
+  EXPECT_GE(xg::contract::ViolationCount(), 1u);
+  const auto v = xg::contract::LastViolation();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->message.find("PRB"), std::string::npos);
+  xg::contract::ResetViolationStats();
+}
+
+TEST(CellContract, ConservingSlicesStayWithinBudget) {
+  xg::contract::ResetViolationStats();
+  CellConfig cfg = Make5GFddCell(20);
+  cfg.slices.clear();
+  cfg.slices.push_back({"a", 0.5});
+  cfg.slices.push_back({"b", 0.5});
+  Cell cell(cfg, 5);
+  cell.AttachUe(CleanUe(20.0), "a");
+  cell.AttachUe(CleanUe(20.0), "b");
+  (void)cell.RunUplink(1, 0);
+  EXPECT_EQ(xg::contract::ViolationCount(), 0u);
+}
 
 }  // namespace
 }  // namespace xg::net5g

@@ -43,7 +43,7 @@ TEST(CoreNetwork, UnknownImsiRejected) {
 TEST(CoreNetwork, WrongKeysRejected) {
   // A SIM with the right IMSI but wrong Ki/OPc (cloned card) must fail AKA.
   CoreNetwork core(4);
-  core.Provision(Sub("001010000000001"));
+  ASSERT_TRUE((core.Provision(Sub("001010000000001"))).ok());
   auto r = core.Register(Sim("001010000000001", /*ki=*/999, /*opc=*/888));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kFailedPrecondition);
@@ -53,19 +53,19 @@ TEST(CoreNetwork, WrongKeysRejected) {
 
 TEST(CoreNetwork, BarredSubscriberRejected) {
   CoreNetwork core(5);
-  core.Provision(Sub("a"));
-  core.Bar("a", true);
+  ASSERT_TRUE((core.Provision(Sub("a"))).ok());
+  ASSERT_TRUE((core.Bar("a", true)).ok());
   EXPECT_FALSE(core.Register(Sim("a")).ok());
   EXPECT_EQ(core.policy_rejections(), 1u);
-  core.Bar("a", false);
+  ASSERT_TRUE((core.Bar("a", false)).ok());
   EXPECT_TRUE(core.Register(Sim("a")).ok());
 }
 
 TEST(CoreNetwork, SessionRequiresRegistration) {
   CoreNetwork core(6);
-  core.Provision(Sub("a"));
+  ASSERT_TRUE((core.Provision(Sub("a"))).ok());
   EXPECT_FALSE(core.EstablishSession("a", "default").ok());
-  core.Register(Sim("a"));
+  ASSERT_TRUE((core.Register(Sim("a"))).ok());
   auto s = core.EstablishSession("a", "default");
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(core.StateOf("a"), UeState::kSessionActive);
@@ -75,8 +75,8 @@ TEST(CoreNetwork, SessionRequiresRegistration) {
 
 TEST(CoreNetwork, SliceAllowlistEnforced) {
   CoreNetwork core(7);
-  core.Provision(Sub("iot", {"telemetry"}));
-  core.Register(Sim("iot"));
+  ASSERT_TRUE((core.Provision(Sub("iot", {"telemetry"}))).ok());
+  ASSERT_TRUE((core.Register(Sim("iot"))).ok());
   EXPECT_FALSE(core.EstablishSession("iot", "video").ok());
   EXPECT_EQ(core.policy_rejections(), 1u);
   EXPECT_TRUE(core.EstablishSession("iot", "telemetry").ok());
@@ -84,10 +84,10 @@ TEST(CoreNetwork, SliceAllowlistEnforced) {
 
 TEST(CoreNetwork, UniqueUeAddresses) {
   CoreNetwork core(8);
-  core.Provision(Sub("a"));
-  core.Provision(Sub("b"));
-  core.Register(Sim("a"));
-  core.Register(Sim("b"));
+  ASSERT_TRUE((core.Provision(Sub("a"))).ok());
+  ASSERT_TRUE((core.Provision(Sub("b"))).ok());
+  ASSERT_TRUE((core.Register(Sim("a"))).ok());
+  ASSERT_TRUE((core.Register(Sim("b"))).ok());
   auto sa = core.EstablishSession("a", "default");
   auto sb = core.EstablishSession("b", "default");
   ASSERT_TRUE(sa.ok());
@@ -99,9 +99,9 @@ TEST(CoreNetwork, UniqueUeAddresses) {
 
 TEST(CoreNetwork, DeregisterReleasesSessions) {
   CoreNetwork core(9);
-  core.Provision(Sub("a"));
-  core.Register(Sim("a"));
-  core.EstablishSession("a", "default");
+  ASSERT_TRUE((core.Provision(Sub("a"))).ok());
+  ASSERT_TRUE((core.Register(Sim("a"))).ok());
+  ASSERT_TRUE((core.EstablishSession("a", "default")).ok());
   ASSERT_TRUE(core.Deregister("a").ok());
   EXPECT_EQ(core.StateOf("a"), UeState::kDeregistered);
   EXPECT_TRUE(core.ActiveSessions().empty());
@@ -110,18 +110,18 @@ TEST(CoreNetwork, DeregisterReleasesSessions) {
 
 TEST(CoreNetwork, BarringTearsDownActiveUe) {
   CoreNetwork core(10);
-  core.Provision(Sub("a"));
-  core.Register(Sim("a"));
-  core.EstablishSession("a", "default");
-  core.Bar("a", true);
+  ASSERT_TRUE((core.Provision(Sub("a"))).ok());
+  ASSERT_TRUE((core.Register(Sim("a"))).ok());
+  ASSERT_TRUE((core.EstablishSession("a", "default")).ok());
+  ASSERT_TRUE((core.Bar("a", true)).ok());
   EXPECT_EQ(core.StateOf("a"), UeState::kDeregistered);
   EXPECT_TRUE(core.ActiveSessions().empty());
 }
 
 TEST(CoreNetwork, ReleaseSession) {
   CoreNetwork core(11);
-  core.Provision(Sub("a"));
-  core.Register(Sim("a"));
+  ASSERT_TRUE((core.Provision(Sub("a"))).ok());
+  ASSERT_TRUE((core.Register(Sim("a"))).ok());
   auto s = core.EstablishSession("a", "default");
   ASSERT_TRUE(s.ok());
   EXPECT_TRUE(core.ReleaseSession(s.value().session_id).ok());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contract.hpp"
+
 #include <memory>
 
 namespace xg::pilot {
@@ -179,6 +181,28 @@ TEST_P(RequiredNodesSweep, Eq1Formula) {
 
 INSTANTIATE_TEST_SUITE_P(DataSizes, RequiredNodesSweep,
                          ::testing::Values(0, 1, 2, 5, 10, 50));
+
+
+TEST_F(PilotTest, ZeroThresholdRaisesInvariantAndDegradesToOneNode) {
+  xg::contract::ResetViolationStats();
+  PilotConfig cfg;
+  cfg.data_threshold_bytes = 0.0;
+  // Bypass MakeController's threshold override on purpose.
+  PilotController ctl(sim_, sched_, hpc::CfdPerfModel{}, cfg, 7);
+  EXPECT_EQ(ctl.RequiredNodes(1e9), 1);  // Eq (1) floor, not a crash
+  EXPECT_GE(xg::contract::ViolationCount(), 1u);
+  xg::contract::ResetViolationStats();
+}
+
+TEST_F(PilotTest, Eq4SpecStaysWithinSiteBounds) {
+  xg::contract::ResetViolationStats();
+  auto ctl = MakeController(PilotConfig{});
+  // Demand far beyond the 8-node site: nodes clamp, walltime clamps.
+  const hpc::JobSpec spec = ctl->PilotSpec(1e12);
+  EXPECT_EQ(spec.nodes, sched_.total_nodes());
+  EXPECT_LE(spec.walltime_s, sched_.site().max_walltime_h * 3600.0);
+  EXPECT_EQ(xg::contract::ViolationCount(), 0u);
+}
 
 }  // namespace
 }  // namespace xg::pilot

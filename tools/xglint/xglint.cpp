@@ -1,0 +1,299 @@
+// xglint: project-specific correctness linter for the xGFabric tree.
+//
+// Checks the conventions the generic toolchain cannot express:
+//
+//   unchecked-value   `.value()` on a Result/optional without a guard
+//                     (`.ok(`, `has_value(`, `.initialized(`, an assertion,
+//                     or an XG_REQUIRE) earlier in the same scope. Silently
+//                     reading an errored Result is exactly the dropped-ack
+//                     bug class the Status vocabulary exists to prevent.
+//                     Enforced under src/ and tools/, where `.value()` is
+//                     the Result accessor; test code also exercises plain
+//                     value() accessors (Counter, Ewma) the textual rule
+//                     cannot distinguish.
+//   naked-new         `new` whose result is not immediately owned by a
+//                     smart pointer on the same line. The tree has no
+//                     manual delete calls; a naked new is a leak.
+//   include-hygiene   quoted includes must be project-root-relative: no
+//                     `..` path segments, no quoting of system headers.
+//   wall-clock        no wall-clock time sources outside src/common/sim.*;
+//                     everything runs on the virtual clock so results are
+//                     reproducible and sim-speed independent.
+//
+// Suppress a finding by appending `// xglint:allow(rule-name)` to the line.
+// Usage: xglint <dir-or-file>... ; exits non-zero if any finding remains.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  size_t line;
+  std::string rule;
+  std::string message;
+};
+
+/// Replaces comments and string/char literal contents with spaces so the
+/// rule regexes never match inside them. Line structure is preserved.
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
+  St st = St::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') st = St::kCode;
+        else out[i] = ' ';
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool Contains(const std::string& hay, const char* needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+bool Suppressed(const std::string& raw_line, const char* rule) {
+  const std::string marker = std::string("xglint:allow(") + rule + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+/// `.value()` calls must have a guard earlier in the same scope. The scope
+/// approximation: look back up to `kLookback` lines, stopping at a line
+/// that closes a function (a lone `}` at column zero).
+constexpr size_t kLookback = 40;
+
+bool HasGuardBefore(const std::vector<std::string>& lines, size_t idx,
+                    size_t col) {
+  static const char* kGuards[] = {".ok(",         "has_value(",
+                                  ".initialized(", "ASSERT_TRUE",
+                                  "EXPECT_TRUE",   "XG_REQUIRE",
+                                  "XG_ENSURE"};
+  const size_t first = idx > kLookback ? idx - kLookback : 0;
+  for (size_t k = idx + 1; k-- > first;) {
+    const std::string& l = lines[k];
+    const std::string prefix =
+        k == idx ? l.substr(0, col) : l;  // same line: only text before call
+    for (const char* g : kGuards) {
+      if (prefix.find(g) != std::string::npos) return true;
+    }
+    if (k != idx && !l.empty() && l[0] == '}') break;  // left the function
+  }
+  return false;
+}
+
+bool IsWallClockExempt(const fs::path& p) {
+  // The simulation clock itself and this linter may touch host facilities;
+  // benchmarks measure host elapsed time by design.
+  const std::string fname = p.filename().string();
+  return fname == "sim.hpp" || fname == "sim.cpp" || fname == "xglint.cpp" ||
+         fname.rfind("bench_", 0) == 0;
+}
+
+bool InStrictValueScope(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "src" || part == "tools") return true;
+  }
+  return false;
+}
+
+void LintFile(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io", "cannot read file"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw = buf.str();
+  const std::vector<std::string> raw_lines = SplitLines(raw);
+  const std::vector<std::string> lines =
+      SplitLines(StripCommentsAndStrings(raw));
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::string& raw_line = raw_lines[i];
+    const size_t ln = i + 1;
+
+    // --- unchecked-value ---
+    for (size_t pos = line.find(".value()");
+         InStrictValueScope(path) && pos != std::string::npos;
+         pos = line.find(".value()", pos + 1)) {
+      if (Suppressed(raw_line, "unchecked-value")) break;
+      if (!HasGuardBefore(lines, i, pos)) {
+        findings.push_back(
+            {path.string(), ln, "unchecked-value",
+             ".value() without a preceding ok()/has_value() guard in scope"});
+        break;
+      }
+    }
+
+    // --- naked-new ---
+    for (size_t pos = line.find("new "); pos != std::string::npos;
+         pos = line.find("new ", pos + 1)) {
+      // Must be the keyword, not a suffix of an identifier.
+      if (pos > 0 && (std::isalnum(static_cast<unsigned char>(line[pos - 1])) ||
+                      line[pos - 1] == '_')) {
+        continue;
+      }
+      const char after = pos + 4 < line.size() ? line[pos + 4] : '\0';
+      if (!std::isalpha(static_cast<unsigned char>(after)) && after != ':') {
+        continue;  // e.g. `new (` placement or end of line — not our pattern
+      }
+      if (Suppressed(raw_line, "naked-new")) break;
+      const std::string& prev = i > 0 ? lines[i - 1] : line;
+      if (Contains(line, "unique_ptr") || Contains(line, "shared_ptr") ||
+          Contains(line, "make_unique") || Contains(line, "make_shared") ||
+          // clang-format wraps `unique_ptr<T>(\n    new T(...))`.
+          Contains(prev, "unique_ptr") || Contains(prev, "shared_ptr")) {
+        continue;  // ownership taken at the allocation site
+      }
+      findings.push_back({path.string(), ln, "naked-new",
+                          "new without same-line smart-pointer ownership"});
+      break;
+    }
+
+    // --- include-hygiene ---
+    if (line.find("#include") != std::string::npos) {
+      // Stripping blanked the quoted path; inspect the raw line instead.
+      const size_t q1 = raw_line.find('"');
+      if (q1 != std::string::npos && !Suppressed(raw_line, "include-hygiene")) {
+        const size_t q2 = raw_line.find('"', q1 + 1);
+        const std::string inc =
+            q2 == std::string::npos ? "" : raw_line.substr(q1 + 1, q2 - q1 - 1);
+        if (inc.find("..") != std::string::npos) {
+          findings.push_back({path.string(), ln, "include-hygiene",
+                              "parent-relative include; use a project-root-"
+                              "relative path: " + inc});
+        }
+      }
+    }
+
+    // --- wall-clock ---
+    if (!IsWallClockExempt(path) && !Suppressed(raw_line, "wall-clock")) {
+      static const char* kClockTokens[] = {
+          "system_clock", "steady_clock",  "high_resolution_clock",
+          "gettimeofday", "clock_gettime", "std::time(",
+      };
+      for (const char* tok : kClockTokens) {
+        if (Contains(line, tok)) {
+          findings.push_back(
+              {path.string(), ln, "wall-clock",
+               std::string(tok) +
+                   " outside src/common/sim.*: use the virtual clock"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: xglint <dir-or-file>...\n");
+    return 2;
+  }
+  std::vector<Finding> findings;
+  size_t files = 0;
+  for (int a = 1; a < argc; ++a) {
+    const fs::path root(argv[a]);
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      ++files;
+      LintFile(root, findings);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "xglint: no such path: %s\n", argv[a]);
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(root), end; it != end; ++it) {
+      if (it->is_regular_file() && IsSourceFile(it->path())) {
+        ++files;
+        LintFile(it->path(), findings);
+      }
+    }
+  }
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "xglint: %zu file(s), %zu finding(s)\n", files,
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
