@@ -12,8 +12,11 @@
 // kernel is fastest on 2 x 64 cores, but the total application is fastest
 // on a single node.
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <vector>
 
+#include "bench/bench_json.hpp"
 #include "cfd/solver.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -22,18 +25,32 @@
 
 using namespace xg;
 
+namespace {
+struct CoreSample {
+  int cores;
+  double mean_s;
+  double sd_s;
+};
+struct ThreadSample {
+  unsigned threads;
+  double wall_s;
+};
+}  // namespace
+
 int main() {
   hpc::CfdPerfModel model;
   Rng rng(7001);
 
   Table fig7({"Cores", "Mean total (s)", "SD (s)", "-2SD", "+2SD",
               "Speedup vs 1"});
+  std::vector<CoreSample> sweep;
   const double t1 = model.TotalTime(1, 1);
   for (int cores : {1, 2, 4, 8, 16, 32, 48, 64}) {
     RunningStats runs;
     for (int r = 0; r < 10; ++r) {
       runs.Add(model.SampleTotalTime(cores, 1, rng));
     }
+    sweep.push_back({cores, runs.mean(), runs.stddev()});
     fig7.AddRow({Table::Num(cores, 0), Table::Num(runs.mean()),
                  Table::Num(runs.stddev()),
                  Table::Num(runs.mean() - 2 * runs.stddev()),
@@ -66,6 +83,7 @@ int main() {
   mp.nz = 10;
   cfd::Mesh mesh(mp);
   Table real({"Threads", "Wall-clock (s)", "Steps", "Cells"});
+  std::vector<ThreadSample> wall;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   for (unsigned threads = 1; threads <= hw; threads *= 2) {
     ThreadPool pool(threads);
@@ -79,11 +97,58 @@ int main() {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    wall.push_back({threads, secs});
     real.AddRow({Table::Num(threads, 0), Table::Num(secs, 3), "40",
                  Table::Num(static_cast<double>(mesh.cell_count()), 0)});
   }
   real.Print(std::cout,
              "Real solver wall-clock (reduced mesh; informative only on "
              "multi-core hosts)");
+
+  // Machine-readable artifact mirroring the CSV plus the real-solver runs.
+  std::ofstream jout("BENCH_fig7.json");
+  if (!jout) {
+    std::cerr << "bench_fig7: cannot open BENCH_fig7.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-fig7-v1");
+  jw.Field("paper_anchor_cores", 64);
+  jw.Field("paper_anchor_mean_s", 420.39);
+  jw.Field("paper_anchor_sd_s", 36.29);
+  jw.Key("model_sweep");
+  jw.BeginArray();
+  for (const CoreSample& s : sweep) {
+    jw.BeginObject();
+    jw.Field("cores", s.cores);
+    jw.Field("mean_total_s", s.mean_s);
+    jw.Field("sd_s", s.sd_s);
+    jw.Field("speedup_vs_1", s.mean_s > 0 ? t1 / s.mean_s : 0.0);
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.Key("real_solver");
+  jw.BeginObject();
+  jw.Field("steps", 40);
+  jw.Field("cells", static_cast<uint64_t>(mesh.cell_count()));
+  jw.Key("runs");
+  jw.BeginArray();
+  for (const ThreadSample& s : wall) {
+    jw.BeginObject();
+    jw.Field("threads", s.threads);
+    jw.Field("wall_s", s.wall_s);
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.EndObject();
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_fig7: write to BENCH_fig7.json failed\n";
+    return 1;
+  }
+  std::cout << "Data written to BENCH_fig7.json\n";
   return 0;
 }

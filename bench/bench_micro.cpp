@@ -1,8 +1,17 @@
 // Microbenchmarks (google-benchmark) for the hot paths of each substrate:
 // log appends, the radio scheduler's slot loop, the CFD kernels, the
 // statistical tests, and the discrete-event kernel.
+//
+// Uses a custom main instead of benchmark_main: every run is mirrored
+// through the shared emitter into BENCH_micro.json so regression tooling
+// gets the same machine-readable artifact as the other bench drivers
+// without needing --benchmark_out flags.
 #include <benchmark/benchmark.h>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_json.hpp"
 
 #include "cfd/solver.hpp"
 #include "common/rng.hpp"
@@ -129,4 +138,66 @@ void BM_RngGaussian(benchmark::State& state) {
 }
 BENCHMARK(BM_RngGaussian);
 
+/// Prints the standard console report while collecting every run, so the
+/// JSON artifact can be written after the benchmarks finish.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    collected_.insert(collected_.end(), report.begin(), report.end());
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+  const std::vector<Run>& collected() const { return collected_; }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+int WriteArtifact(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
+                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_micro: cannot open " << path << "\n";
+    return 1;
+  }
+  bench::JsonWriter jw(out);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-micro-v1");
+  jw.Key("benchmarks");
+  jw.BeginArray();
+  for (const auto& r : runs) {
+    if (r.error_occurred) continue;
+    jw.BeginObject();
+    jw.Field("name", r.benchmark_name());
+    jw.Field("iterations", static_cast<int64_t>(r.iterations));
+    jw.Field("real_time", r.GetAdjustedRealTime());
+    jw.Field("cpu_time", r.GetAdjustedCPUTime());
+    jw.Field("time_unit",
+             std::string(benchmark::GetTimeUnitString(r.time_unit)));
+    for (const auto& [counter_name, counter] : r.counters) {
+      jw.Field(counter_name, static_cast<double>(counter));
+    }
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.EndObject();
+  out << "\n";
+  out.close();
+  if (!out || !jw.Complete()) {
+    std::cerr << "bench_micro: write to " << path << " failed\n";
+    return 1;
+  }
+  std::cout << "Data written to " << path << "\n";
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const int rc = WriteArtifact(reporter.collected(), "BENCH_micro.json");
+  benchmark::Shutdown();
+  return rc;
+}

@@ -10,6 +10,21 @@ Mesh::Mesh(const MeshParams& params) : params_(params) {
   dy_ = params_.domain_y / params_.ny;
   dz_ = params_.domain_z / params_.nz;
   types_.assign(cell_count(), CellType::kFluid);
+  inside_house_.assign(cell_count(), 0);
+
+  for (int k = 0; k < params_.nz; ++k) {
+    for (int j = 0; j < params_.ny; ++j) {
+      for (int i = 0; i < params_.nx; ++i) {
+        const double x = X(i), y = Y(j), z = Z(k);
+        if (x > params_.house_x0 && x < params_.house_x1 &&
+            y > params_.house_y0 && y < params_.house_y1 &&
+            z < params_.house_z1) {
+          inside_house_[Index(i, j, k)] = 1;
+          ++inside_house_count_;
+        }
+      }
+    }
+  }
 
   for (int k = 0; k < params_.nz; ++k) {
     for (int j = 0; j < params_.ny; ++j) {
@@ -41,12 +56,6 @@ void Mesh::Locate(double x, double y, double z, int& i, int& j, int& k) const {
   i = std::clamp(static_cast<int>(x / dx_), 0, params_.nx - 1);
   j = std::clamp(static_cast<int>(y / dy_), 0, params_.ny - 1);
   k = std::clamp(static_cast<int>(z / dz_), 0, params_.nz - 1);
-}
-
-bool Mesh::InsideHouse(int i, int j, int k) const {
-  const double x = X(i), y = Y(j), z = Z(k);
-  return x > params_.house_x0 && x < params_.house_x1 &&
-         y > params_.house_y0 && y < params_.house_y1 && z < params_.house_z1;
 }
 
 size_t Mesh::CountType(CellType t) const {

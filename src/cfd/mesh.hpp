@@ -58,6 +58,9 @@ class Mesh {
 
   CellType Type(int i, int j, int k) const { return types_[Index(i, j, k)]; }
   CellType TypeAt(size_t idx) const { return types_[idx]; }
+  /// Contiguous per-cell type array (cell_count() entries) for kernels that
+  /// index fields directly instead of via (i, j, k).
+  const std::vector<CellType>& types() const { return types_; }
 
   /// Cell-center coordinates.
   double X(int i) const { return (i + 0.5) * dx_; }
@@ -67,8 +70,19 @@ class Mesh {
   /// Nearest cell to a physical point (clamped into the domain).
   void Locate(double x, double y, double z, int& i, int& j, int& k) const;
 
-  /// True when the cell center lies inside the house envelope.
-  bool InsideHouse(int i, int j, int k) const;
+  /// True when the cell center lies inside the house envelope. Answered
+  /// from a mask precomputed at construction so solver loops and reductions
+  /// pay one byte load instead of six floating-point comparisons.
+  bool InsideHouse(int i, int j, int k) const {
+    return inside_house_[Index(i, j, k)] != 0;
+  }
+  bool InsideHouseAt(size_t idx) const { return inside_house_[idx] != 0; }
+  /// Contiguous inside-house mask (1 = interior of the house envelope).
+  const std::vector<unsigned char>& inside_house() const {
+    return inside_house_;
+  }
+  /// Number of cells inside the house envelope.
+  size_t inside_house_count() const { return inside_house_count_; }
 
   size_t CountType(CellType t) const;
 
@@ -76,6 +90,8 @@ class Mesh {
   MeshParams params_;
   double dx_, dy_, dz_;
   std::vector<CellType> types_;
+  std::vector<unsigned char> inside_house_;
+  size_t inside_house_count_ = 0;
 };
 
 }  // namespace xg::cfd

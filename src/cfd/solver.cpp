@@ -2,6 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "obs/kerneltimer.hpp"
+
+// Kernels read through restrict-qualified pointers: the write buffer never
+// aliases the read buffer (they are distinct Fields), which lets the
+// compiler keep stencil neighborhoods in registers across the row.
+#if defined(__GNUC__) || defined(__clang__)
+#define XG_RESTRICT __restrict__
+#else
+#define XG_RESTRICT
+#endif
 
 namespace xg::cfd {
 
@@ -13,21 +25,46 @@ double WindProfile(double z_m) {
   const double z = std::max(0.5, z_m);
   return std::max(0.3, std::pow(z / 10.0, 0.14));
 }
+
+/// Partial accumulator for interior-mean reductions.
+struct SumCount {
+  double sum = 0.0;
+  uint64_t n = 0;
+};
+
+SumCount CombineSumCount(SumCount a, SumCount b) {
+  return {a.sum + b.sum, a.n + b.n};
+}
 }  // namespace
 
 Solver::Solver(const Mesh& mesh, SolverParams params, ThreadPool* pool)
     : mesh_(mesh), params_(params), pool_(pool) {
   const size_t n = mesh_.cell_count();
-  u_.assign(n, 0.0);
-  v_.assign(n, 0.0);
-  w_.assign(n, 0.0);
+  cur_.Assign(n);
+  prev_.Assign(n);
   p_.assign(n, 0.0);
-  t_.assign(n, 0.0);
-  u0_.assign(n, 0.0);
-  v0_.assign(n, 0.0);
-  w0_.assign(n, 0.0);
-  t0_.assign(n, 0.0);
   div_.assign(n, 0.0);
+
+  // Bake the porous-media terms into per-cell arrays so the diffusion
+  // kernel never consults geometry: drag coefficient per cell and the
+  // per-step canopy heat increment (K per step scaling).
+  cell_drag_.assign(n, 0.0);
+  cell_heat_.assign(n, 0.0);
+  const std::vector<CellType>& types = mesh_.types();
+  for (size_t c = 0; c < n; ++c) {
+    if (types[c] == CellType::kScreen) {
+      cell_drag_[c] = params_.screen_drag;
+    } else if (types[c] == CellType::kCanopy) {
+      cell_drag_[c] = params_.canopy_drag;
+      cell_heat_[c] = params_.dt_s * params_.canopy_heat_w * 100.0;
+    }
+  }
+  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
+  interior_cells_ = (nx > 2 && ny > 2 && nz > 2)
+                        ? static_cast<uint64_t>(nx - 2) *
+                              static_cast<uint64_t>(ny - 2) *
+                              static_cast<uint64_t>(nz - 2)
+                        : 0;
 }
 
 void Solver::WindVector(double& wx, double& wy) const {
@@ -49,48 +86,58 @@ void Solver::Initialize(const Boundary& bc) {
       for (int i = 0; i < nx; ++i) {
         const size_t c = mesh_.Index(i, j, k);
         const bool inside = mesh_.InsideHouse(i, j, k);
-        u_[c] = inside ? 0.0 : wx * prof;
-        v_[c] = inside ? 0.0 : wy * prof;
-        w_[c] = 0.0;
+        cur_.u[c] = inside ? 0.0 : wx * prof;
+        cur_.v[c] = inside ? 0.0 : wy * prof;
+        cur_.w[c] = 0.0;
         p_[c] = 0.0;
-        t_[c] = inside ? bc.interior_temp_c : bc.exterior_temp_c;
+        cur_.t[c] = inside ? bc.interior_temp_c : bc.exterior_temp_c;
       }
     }
   }
-  ApplyVelocityBounds(u_, v_, w_);
-  ApplyScalarBounds(t_, bc.exterior_temp_c);
+  ApplyBounds(cur_, true);
 }
 
-template <typename Fn>
-void Solver::ForEachInterior(Fn&& fn) {
-  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
-  auto body = [&](size_t kb, size_t ke) {
-    for (size_t k = kb; k < ke; ++k) {
-      for (int j = 1; j < ny - 1; ++j) {
-        for (int i = 1; i < nx - 1; ++i) {
-          fn(i, j, static_cast<int>(k));
-        }
-      }
-    }
-  };
+template <typename Body>
+void Solver::ForSlabs(Body&& body) const {
+  const int nz = mesh_.nz();
+  if (nz <= 2) return;
   if (pool_ != nullptr && nz > 3) {
     // Slab decomposition over k in [1, nz-1).
-    pool_->ParallelFor(static_cast<size_t>(nz - 2),
-                       [&](size_t b, size_t e) { body(b + 1, e + 1); });
+    pool_->ParallelFor(static_cast<size_t>(nz - 2), [&](size_t b, size_t e) {
+      body(static_cast<int>(b) + 1, static_cast<int>(e) + 1);
+    });
   } else {
-    body(1, static_cast<size_t>(nz - 1));
+    body(1, nz - 1);
   }
 }
 
-void Solver::ApplyVelocityBounds(std::vector<double>& u,
-                                 std::vector<double>& v,
-                                 std::vector<double>& w) const {
+template <typename T, typename Map, typename Combine>
+T Solver::ReduceSlabs(T identity, Map&& map, Combine&& combine) const {
+  const int nz = mesh_.nz();
+  if (nz <= 2) return identity;
+  if (pool_ != nullptr && nz > 3) {
+    return pool_->ParallelReduce(
+        static_cast<size_t>(nz - 2), identity,
+        [&](size_t b, size_t e) {
+          return map(static_cast<int>(b) + 1, static_cast<int>(e) + 1);
+        },
+        combine);
+  }
+  return combine(identity, map(1, nz - 1));
+}
+
+void Solver::ApplyBounds(Fields& f, bool with_scalar) const {
   const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
   double wx, wy;
   WindVector(wx, wy);
+  const double t_in = bc_.exterior_temp_c;
+  double* XG_RESTRICT u = f.u.data();
+  double* XG_RESTRICT v = f.v.data();
+  double* XG_RESTRICT w = f.w.data();
+  double* XG_RESTRICT t = f.t.data();
 
   // Lateral faces: Dirichlet inflow where the wind enters, zero-gradient
-  // outflow elsewhere.
+  // outflow elsewhere — one fused sweep over all transported fields.
   for (int k = 0; k < nz; ++k) {
     const double prof = WindProfile(mesh_.Z(k));
     for (int j = 0; j < ny; ++j) {
@@ -100,10 +147,12 @@ void Solver::ApplyVelocityBounds(std::vector<double>& u,
           u[c] = wx * prof;
           v[c] = wy * prof;
           w[c] = 0.0;
+          if (with_scalar) t[c] = t_in;
         } else {
           u[c] = u[n];
           v[c] = v[n];
           w[c] = w[n];
+          if (with_scalar) t[c] = t[n];
         }
       }
       {  // x-max face (inward normal -x)
@@ -112,10 +161,12 @@ void Solver::ApplyVelocityBounds(std::vector<double>& u,
           u[c] = wx * prof;
           v[c] = wy * prof;
           w[c] = 0.0;
+          if (with_scalar) t[c] = t_in;
         } else {
           u[c] = u[n];
           v[c] = v[n];
           w[c] = w[n];
+          if (with_scalar) t[c] = t[n];
         }
       }
     }
@@ -126,10 +177,12 @@ void Solver::ApplyVelocityBounds(std::vector<double>& u,
           u[c] = wx * prof;
           v[c] = wy * prof;
           w[c] = 0.0;
+          if (with_scalar) t[c] = t_in;
         } else {
           u[c] = u[n];
           v[c] = v[n];
           w[c] = w[n];
+          if (with_scalar) t[c] = t[n];
         }
       }
       {  // y-max face (inward normal -y)
@@ -138,138 +191,145 @@ void Solver::ApplyVelocityBounds(std::vector<double>& u,
           u[c] = wx * prof;
           v[c] = wy * prof;
           w[c] = 0.0;
+          if (with_scalar) t[c] = t_in;
         } else {
           u[c] = u[n];
           v[c] = v[n];
           w[c] = w[n];
+          if (with_scalar) t[c] = t[n];
         }
       }
     }
   }
-  // Ground: no-slip. Top: free-slip (zero normal velocity).
+  // Ground: no-slip, zero-gradient scalar. Top: free-slip (zero normal
+  // velocity), zero-gradient scalar.
   for (int j = 0; j < ny; ++j) {
     for (int i = 0; i < nx; ++i) {
       const size_t g = mesh_.Index(i, j, 0);
+      const size_t above = mesh_.Index(i, j, 1);
       u[g] = v[g] = w[g] = 0.0;
       const size_t top = mesh_.Index(i, j, nz - 1);
       const size_t below = mesh_.Index(i, j, nz - 2);
       u[top] = u[below];
       v[top] = v[below];
       w[top] = 0.0;
-    }
-  }
-}
-
-void Solver::ApplyScalarBounds(std::vector<double>& s,
-                               double inflow_value) const {
-  const int nx = mesh_.nx(), ny = mesh_.ny(), nz = mesh_.nz();
-  double wx, wy;
-  WindVector(wx, wy);
-  for (int k = 0; k < nz; ++k) {
-    for (int j = 0; j < ny; ++j) {
-      s[mesh_.Index(0, j, k)] =
-          wx > 0 ? inflow_value : s[mesh_.Index(1, j, k)];
-      s[mesh_.Index(nx - 1, j, k)] =
-          wx < 0 ? inflow_value : s[mesh_.Index(nx - 2, j, k)];
-    }
-    for (int i = 0; i < nx; ++i) {
-      s[mesh_.Index(i, 0, k)] =
-          wy > 0 ? inflow_value : s[mesh_.Index(i, 1, k)];
-      s[mesh_.Index(i, ny - 1, k)] =
-          wy < 0 ? inflow_value : s[mesh_.Index(i, ny - 2, k)];
-    }
-  }
-  for (int j = 0; j < ny; ++j) {
-    for (int i = 0; i < nx; ++i) {
-      s[mesh_.Index(i, j, 0)] = s[mesh_.Index(i, j, 1)];
-      s[mesh_.Index(i, j, nz - 1)] = s[mesh_.Index(i, j, nz - 2)];
+      if (with_scalar) {
+        t[g] = t[above];
+        t[top] = t[below];
+      }
     }
   }
 }
 
 void Solver::Advect() {
-  u0_ = u_;
-  v0_ = v_;
-  w0_ = w_;
-  t0_ = t_;
+  std::swap(cur_, prev_);
   const double dt = params_.dt_s;
   const double idx = 1.0 / mesh_.dx(), idy = 1.0 / mesh_.dy(),
                idz = 1.0 / mesh_.dz();
-  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
+  const int nx = mesh_.nx(), ny = mesh_.ny();
+  const size_t sx = 1, sy = static_cast<size_t>(nx),
+               sz = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+  const double* XG_RESTRICT u0 = prev_.u.data();
+  const double* XG_RESTRICT v0 = prev_.v.data();
+  const double* XG_RESTRICT w0 = prev_.w.data();
+  const double* XG_RESTRICT t0 = prev_.t.data();
+  double* XG_RESTRICT u = cur_.u.data();
+  double* XG_RESTRICT v = cur_.v.data();
+  double* XG_RESTRICT w = cur_.w.data();
+  double* XG_RESTRICT t = cur_.t.data();
 
-  ForEachInterior([&](int i, int j, int k) {
-    const size_t c = mesh_.Index(i, j, k);
-    const double uu = u0_[c], vv = v0_[c], ww = w0_[c];
-    auto upwind = [&](const std::vector<double>& f) {
-      // First-order upwind derivative along each axis.
-      const double dfx = uu >= 0 ? (f[c] - f[c - sx]) * idx
-                                 : (f[c + sx] - f[c]) * idx;
-      const double dfy = vv >= 0 ? (f[c] - f[c - sy]) * idy
-                                 : (f[c + sy] - f[c]) * idy;
-      const double dfz = ww >= 0 ? (f[c] - f[c - sz]) * idz
-                                 : (f[c + sz] - f[c]) * idz;
-      return uu * dfx + vv * dfy + ww * dfz;
-    };
-    u_[c] = u0_[c] - dt * upwind(u0_);
-    v_[c] = v0_[c] - dt * upwind(v0_);
-    w_[c] = w0_[c] - dt * upwind(w0_);
-    t_[c] = t0_[c] - dt * upwind(t0_);
+  ForSlabs([&](int kb, int ke) {
+    for (int k = kb; k < ke; ++k) {
+      for (int j = 1; j < ny - 1; ++j) {
+        size_t c = mesh_.Index(1, j, k);
+        for (int i = 1; i < nx - 1; ++i, ++c) {
+          const double uu = u0[c], vv = v0[c], ww = w0[c];
+          const auto upwind = [&](const double* XG_RESTRICT fld) {
+            // First-order upwind derivative along each axis.
+            const double dfx = uu >= 0 ? (fld[c] - fld[c - sx]) * idx
+                                       : (fld[c + sx] - fld[c]) * idx;
+            const double dfy = vv >= 0 ? (fld[c] - fld[c - sy]) * idy
+                                       : (fld[c + sy] - fld[c]) * idy;
+            const double dfz = ww >= 0 ? (fld[c] - fld[c - sz]) * idz
+                                       : (fld[c + sz] - fld[c]) * idz;
+            return uu * dfx + vv * dfy + ww * dfz;
+          };
+          u[c] = u0[c] - dt * upwind(u0);
+          v[c] = v0[c] - dt * upwind(v0);
+          w[c] = w0[c] - dt * upwind(w0);
+          t[c] = t0[c] - dt * upwind(t0);
+        }
+      }
+    }
   });
-  total_updates_ += mesh_.cell_count();
+  ApplyBounds(cur_, true);
+  total_updates_ += interior_cells_;
 }
 
 void Solver::DiffuseAndForce() {
-  u0_ = u_;
-  v0_ = v_;
-  w0_ = w_;
-  t0_ = t_;
+  std::swap(cur_, prev_);
   const double dt = params_.dt_s;
   const double cx = 1.0 / (mesh_.dx() * mesh_.dx());
   const double cy = 1.0 / (mesh_.dy() * mesh_.dy());
   const double cz = 1.0 / (mesh_.dz() * mesh_.dz());
-  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
-  const double nu = params_.eddy_viscosity;
-  const double kappa = params_.thermal_diffusivity;
+  const int nx = mesh_.nx(), ny = mesh_.ny();
+  const size_t sx = 1, sy = static_cast<size_t>(nx),
+               sz = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+  const double dtnu = dt * params_.eddy_viscosity;
+  const double dtkappa = dt * params_.thermal_diffusivity;
+  const double gbeta = dt * params_.gravity * params_.buoyancy_beta;
+  const double t_ext = bc_.exterior_temp_c;
+  const double* XG_RESTRICT u0 = prev_.u.data();
+  const double* XG_RESTRICT v0 = prev_.v.data();
+  const double* XG_RESTRICT w0 = prev_.w.data();
+  const double* XG_RESTRICT t0 = prev_.t.data();
+  double* XG_RESTRICT u = cur_.u.data();
+  double* XG_RESTRICT v = cur_.v.data();
+  double* XG_RESTRICT w = cur_.w.data();
+  double* XG_RESTRICT t = cur_.t.data();
+  const double* XG_RESTRICT drag = cell_drag_.data();
+  const double* XG_RESTRICT heat = cell_heat_.data();
+  const CellType* XG_RESTRICT type = mesh_.types().data();
 
-  ForEachInterior([&](int i, int j, int k) {
-    const size_t c = mesh_.Index(i, j, k);
-    auto lap = [&](const std::vector<double>& f) {
-      return cx * (f[c + sx] - 2.0 * f[c] + f[c - sx]) +
-             cy * (f[c + sy] - 2.0 * f[c] + f[c - sy]) +
-             cz * (f[c + sz] - 2.0 * f[c] + f[c - sz]);
-    };
-    double un = u0_[c] + dt * nu * lap(u0_);
-    double vn = v0_[c] + dt * nu * lap(v0_);
-    double wn = w0_[c] + dt * nu * lap(w0_);
-    double tn = t0_[c] + dt * kappa * lap(t0_);
+  ForSlabs([&](int kb, int ke) {
+    for (int k = kb; k < ke; ++k) {
+      for (int j = 1; j < ny - 1; ++j) {
+        size_t c = mesh_.Index(1, j, k);
+        for (int i = 1; i < nx - 1; ++i, ++c) {
+          const auto lap = [&](const double* XG_RESTRICT fld) {
+            return cx * (fld[c + sx] - 2.0 * fld[c] + fld[c - sx]) +
+                   cy * (fld[c + sy] - 2.0 * fld[c] + fld[c - sy]) +
+                   cz * (fld[c + sz] - 2.0 * fld[c] + fld[c - sz]);
+          };
+          double un = u0[c] + dtnu * lap(u0);
+          double vn = v0[c] + dtnu * lap(v0);
+          double wn = w0[c] + dtnu * lap(w0);
+          double tn = t0[c] + dtkappa * lap(t0);
 
-    // Boussinesq buoyancy relative to the exterior air temperature.
-    wn += dt * params_.gravity * params_.buoyancy_beta *
-          (t0_[c] - bc_.exterior_temp_c);
+          // Boussinesq buoyancy relative to the exterior air temperature.
+          wn += gbeta * (t0[c] - t_ext);
 
-    // Porous drag (implicit per cell: unconditionally stable).
-    const CellType type = mesh_.TypeAt(c);
-    if (type != CellType::kFluid) {
-      const double cd = type == CellType::kScreen ? params_.screen_drag
-                                                  : params_.canopy_drag;
-      const double speed =
-          std::sqrt(un * un + vn * vn + wn * wn);
-      const double damp = 1.0 / (1.0 + dt * cd * speed);
-      un *= damp;
-      vn *= damp;
-      wn *= damp;
-      if (type == CellType::kCanopy) {
-        tn += dt * params_.canopy_heat_w * 100.0;  // K per step scaling
+          // Porous drag (implicit per cell: unconditionally stable) and
+          // canopy heat, both from the precomputed per-cell arrays.
+          if (type[c] != CellType::kFluid) {
+            const double cd = drag[c];
+            const double speed = std::sqrt(un * un + vn * vn + wn * wn);
+            const double damp = 1.0 / (1.0 + dt * cd * speed);
+            un *= damp;
+            vn *= damp;
+            wn *= damp;
+            tn += heat[c];
+          }
+          u[c] = un;
+          v[c] = vn;
+          w[c] = wn;
+          t[c] = tn;
+        }
       }
     }
-    u_[c] = un;
-    v_[c] = vn;
-    w_[c] = wn;
-    t_[c] = tn;
   });
-  ApplyVelocityBounds(u_, v_, w_);
-  ApplyScalarBounds(t_, bc_.exterior_temp_c);
-  total_updates_ += mesh_.cell_count();
+  ApplyBounds(cur_, true);
+  total_updates_ += interior_cells_;
 }
 
 void Solver::SolvePressure(StepStats& stats) {
@@ -277,125 +337,190 @@ void Solver::SolvePressure(StepStats& stats) {
   const double dt = params_.dt_s;
   const double idx2 = 1.0 / (2.0 * mesh_.dx()), idy2 = 1.0 / (2.0 * mesh_.dy()),
                idz2 = 1.0 / (2.0 * mesh_.dz());
-  const int sx = 1, sy = nx, sz = nx * ny;
-
-  // RHS: divergence of the provisional velocity / dt.
-  ForEachInterior([&](int i, int j, int k) {
-    const size_t c = mesh_.Index(i, j, k);
-    div_[c] = ((u_[c + sx] - u_[c - sx]) * idx2 +
-               (v_[c + sy] - v_[c - sy]) * idy2 +
-               (w_[c + sz] - w_[c - sz]) * idz2) /
-              dt;
-  });
-
-  double wx, wy;
-  WindVector(wx, wy);
+  const size_t sx = 1, sy = static_cast<size_t>(nx),
+               sz = static_cast<size_t>(nx) * static_cast<size_t>(ny);
   const double cx = 1.0 / (mesh_.dx() * mesh_.dx());
   const double cy = 1.0 / (mesh_.dy() * mesh_.dy());
   const double cz = 1.0 / (mesh_.dz() * mesh_.dz());
   const double omega = params_.poisson_omega;
+  double wx, wy;
+  WindVector(wx, wy);
+  double* XG_RESTRICT p = p_.data();
+  double* XG_RESTRICT div = div_.data();
 
-  // Red-black SOR. Outflow lateral faces carry Dirichlet p = 0 ghosts (an
-  // all-Neumann problem would be singular); inflow, ground, and top faces
-  // are Neumann.
-  for (int iter = 0; iter < params_.poisson_iters; ++iter) {
-    for (int color = 0; color < 2; ++color) {
-      auto pass = [&](size_t kb, size_t ke) {
-        for (size_t kk = kb; kk < ke; ++kk) {
-          const int k = static_cast<int>(kk);
+  {
+    obs::KernelScope ks(timer_, "sor");
+
+    // RHS: divergence of the provisional velocity / dt.
+    {
+      const double* XG_RESTRICT u = cur_.u.data();
+      const double* XG_RESTRICT v = cur_.v.data();
+      const double* XG_RESTRICT w = cur_.w.data();
+      ForSlabs([&](int kb, int ke) {
+        for (int k = kb; k < ke; ++k) {
           for (int j = 1; j < ny - 1; ++j) {
-            for (int i = 1; i < nx - 1; ++i) {
-              if (((i + j + k) & 1) != color) continue;
-              const size_t c = mesh_.Index(i, j, k);
-              double ap = 0.0, sum = 0.0;
-              // x- neighbor
-              if (i > 1) { ap += cx; sum += cx * p_[c - sx]; }
-              else if (wx <= 0) { ap += cx; }  // Dirichlet ghost p=0 (outflow)
-              if (i < nx - 2) { ap += cx; sum += cx * p_[c + sx]; }
-              else if (wx >= 0) { ap += cx; }
-              if (j > 1) { ap += cy; sum += cy * p_[c - sy]; }
-              else if (wy <= 0) { ap += cy; }
-              if (j < ny - 2) { ap += cy; sum += cy * p_[c + sy]; }
-              else if (wy >= 0) { ap += cy; }
-              if (k > 1) { ap += cz; sum += cz * p_[c - sz]; }
-              if (k < nz - 2) { ap += cz; sum += cz * p_[c + sz]; }
-              if (ap <= 0.0) continue;
-              const double p_gs = (sum - div_[c]) / ap;
-              p_[c] = (1.0 - omega) * p_[c] + omega * p_gs;
+            size_t c = mesh_.Index(1, j, k);
+            for (int i = 1; i < nx - 1; ++i, ++c) {
+              div[c] = ((u[c + sx] - u[c - sx]) * idx2 +
+                        (v[c + sy] - v[c - sy]) * idy2 +
+                        (w[c + sz] - w[c - sz]) * idz2) /
+                       dt;
             }
           }
         }
-      };
-      if (pool_ != nullptr && nz > 3) {
-        pool_->ParallelFor(static_cast<size_t>(nz - 2),
-                           [&](size_t b, size_t e) { pass(b + 1, e + 1); });
-      } else {
-        pass(1, static_cast<size_t>(nz - 1));
+      });
+    }
+
+    // Red-black SOR. Outflow lateral faces carry Dirichlet p = 0 ghosts (an
+    // all-Neumann problem would be singular); inflow, ground, and top faces
+    // are Neumann. Cells whose six neighbors are all interior share one
+    // constant diagonal, so the bulk of each sweep runs a branch-free
+    // stride-2 span multiplying by the precomputed reciprocal diagonal;
+    // only the one-cell shell next to the boundary takes the general
+    // wind-dependent form (where the division also guards ap == 0).
+    const double ap_core = cx + cx + cy + cy + cz + cz;
+    const double inv_ap_core = 1.0 / ap_core;
+    for (int iter = 0; iter < params_.poisson_iters; ++iter) {
+      for (int color = 0; color < 2; ++color) {
+        const auto general_cell = [&](int i, int j, int k) {
+          const size_t c = mesh_.Index(i, j, k);
+          double ap = 0.0, sum = 0.0;
+          // x- neighbor
+          if (i > 1) { ap += cx; sum += cx * p[c - sx]; }
+          else if (wx <= 0) { ap += cx; }  // Dirichlet ghost p=0 (outflow)
+          if (i < nx - 2) { ap += cx; sum += cx * p[c + sx]; }
+          else if (wx >= 0) { ap += cx; }
+          if (j > 1) { ap += cy; sum += cy * p[c - sy]; }
+          else if (wy <= 0) { ap += cy; }
+          if (j < ny - 2) { ap += cy; sum += cy * p[c + sy]; }
+          else if (wy >= 0) { ap += cy; }
+          if (k > 1) { ap += cz; sum += cz * p[c - sz]; }
+          if (k < nz - 2) { ap += cz; sum += cz * p[c + sz]; }
+          if (ap <= 0.0) return;
+          const double p_gs = (sum - div[c]) / ap;
+          p[c] = (1.0 - omega) * p[c] + omega * p_gs;
+        };
+        ForSlabs([&](int kb, int ke) {
+          for (int k = kb; k < ke; ++k) {
+            const bool k_edge = k == 1 || k == nz - 2;
+            for (int j = 1; j < ny - 1; ++j) {
+              // Cells of this color satisfy (i & 1) == par.
+              const int par = (color ^ ((j + k) & 1)) & 1;
+              if (k_edge || j == 1 || j == ny - 2 || nx < 6) {
+                for (int i = 2 - par; i < nx - 1; i += 2) {
+                  general_cell(i, j, k);
+                }
+                continue;
+              }
+              if (par == 1) general_cell(1, j, k);
+              const int ic = par == 0 ? 2 : 3;
+              size_t c = mesh_.Index(ic, j, k);
+              for (int i = ic; i <= nx - 3; i += 2, c += 2) {
+                // Neighbors of a red cell are all black (and vice versa),
+                // so they are loop-invariant within the sweep: pair the
+                // opposite faces before scaling.
+                const double sum = cx * (p[c - sx] + p[c + sx]) +
+                                   cy * (p[c - sy] + p[c + sy]) +
+                                   cz * (p[c - sz] + p[c + sz]);
+                p[c] += omega * ((sum - div[c]) * inv_ap_core - p[c]);
+              }
+              if (((nx - 2) & 1) == par) general_cell(nx - 2, j, k);
+            }
+          }
+        });
+      }
+      total_updates_ += interior_cells_;
+    }
+
+    // Mirror pressure onto boundary cells for the gradient step.
+    for (int k = 0; k < nz; ++k) {
+      for (int j = 0; j < ny; ++j) {
+        p[mesh_.Index(0, j, k)] = wx > 0 ? p[mesh_.Index(1, j, k)] : 0.0;
+        p[mesh_.Index(nx - 1, j, k)] =
+            wx < 0 ? p[mesh_.Index(nx - 2, j, k)] : 0.0;
+      }
+      for (int i = 0; i < nx; ++i) {
+        p[mesh_.Index(i, 0, k)] = wy > 0 ? p[mesh_.Index(i, 1, k)] : 0.0;
+        p[mesh_.Index(i, ny - 1, k)] =
+            wy < 0 ? p[mesh_.Index(i, ny - 2, k)] : 0.0;
       }
     }
-    total_updates_ += mesh_.cell_count();
-  }
-
-  // Mirror pressure onto boundary cells for the gradient step.
-  for (int k = 0; k < nz; ++k) {
     for (int j = 0; j < ny; ++j) {
-      p_[mesh_.Index(0, j, k)] = wx > 0 ? p_[mesh_.Index(1, j, k)] : 0.0;
-      p_[mesh_.Index(nx - 1, j, k)] =
-          wx < 0 ? p_[mesh_.Index(nx - 2, j, k)] : 0.0;
-    }
-    for (int i = 0; i < nx; ++i) {
-      p_[mesh_.Index(i, 0, k)] = wy > 0 ? p_[mesh_.Index(i, 1, k)] : 0.0;
-      p_[mesh_.Index(i, ny - 1, k)] =
-          wy < 0 ? p_[mesh_.Index(i, ny - 2, k)] : 0.0;
-    }
-  }
-  for (int j = 0; j < ny; ++j) {
-    for (int i = 0; i < nx; ++i) {
-      p_[mesh_.Index(i, j, 0)] = p_[mesh_.Index(i, j, 1)];
-      p_[mesh_.Index(i, j, nz - 1)] = p_[mesh_.Index(i, j, nz - 2)];
+      for (int i = 0; i < nx; ++i) {
+        p[mesh_.Index(i, j, 0)] = p[mesh_.Index(i, j, 1)];
+        p[mesh_.Index(i, j, nz - 1)] = p[mesh_.Index(i, j, nz - 2)];
+      }
     }
   }
 
   // Residual of the last sweep (max |Ap - b| scaled), for diagnostics.
-  double res = 0.0;
-  for (int k = 1; k < nz - 1; ++k) {
-    for (int j = 1; j < ny - 1; ++j) {
-      for (int i = 1; i < nx - 1; ++i) {
-        const size_t c = mesh_.Index(i, j, k);
-        const double lap = cx * (p_[c + sx] - 2 * p_[c] + p_[c - sx]) +
-                           cy * (p_[c + sy] - 2 * p_[c] + p_[c - sy]) +
-                           cz * (p_[c + sz] - 2 * p_[c] + p_[c - sz]);
-        res = std::max(res, std::abs(lap - div_[c]));
-      }
-    }
-  }
-  stats.poisson_residual = res;
+  obs::KernelScope ks(timer_, "residual");
+  stats.poisson_residual = ReduceSlabs(
+      0.0,
+      [&](int kb, int ke) {
+        double local = 0.0;
+        for (int k = kb; k < ke; ++k) {
+          for (int j = 1; j < ny - 1; ++j) {
+            size_t c = mesh_.Index(1, j, k);
+            for (int i = 1; i < nx - 1; ++i, ++c) {
+              const double lap = cx * (p[c + sx] - 2 * p[c] + p[c - sx]) +
+                                 cy * (p[c + sy] - 2 * p[c] + p[c - sy]) +
+                                 cz * (p[c + sz] - 2 * p[c] + p[c - sz]);
+              local = std::max(local, std::abs(lap - div[c]));
+            }
+          }
+        }
+        return local;
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 void Solver::Project() {
   const double dt = params_.dt_s;
   const double idx2 = 1.0 / (2.0 * mesh_.dx()), idy2 = 1.0 / (2.0 * mesh_.dy()),
                idz2 = 1.0 / (2.0 * mesh_.dz());
-  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
-  ForEachInterior([&](int i, int j, int k) {
-    const size_t c = mesh_.Index(i, j, k);
-    u_[c] -= dt * (p_[c + sx] - p_[c - sx]) * idx2;
-    v_[c] -= dt * (p_[c + sy] - p_[c - sy]) * idy2;
-    w_[c] -= dt * (p_[c + sz] - p_[c - sz]) * idz2;
+  const int nx = mesh_.nx(), ny = mesh_.ny();
+  const size_t sx = 1, sy = static_cast<size_t>(nx),
+               sz = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+  const double* XG_RESTRICT p = p_.data();
+  double* XG_RESTRICT u = cur_.u.data();
+  double* XG_RESTRICT v = cur_.v.data();
+  double* XG_RESTRICT w = cur_.w.data();
+  ForSlabs([&](int kb, int ke) {
+    for (int k = kb; k < ke; ++k) {
+      for (int j = 1; j < ny - 1; ++j) {
+        size_t c = mesh_.Index(1, j, k);
+        for (int i = 1; i < nx - 1; ++i, ++c) {
+          u[c] -= dt * (p[c + sx] - p[c - sx]) * idx2;
+          v[c] -= dt * (p[c + sy] - p[c - sy]) * idy2;
+          w[c] -= dt * (p[c + sz] - p[c - sz]) * idz2;
+        }
+      }
+    }
   });
-  ApplyVelocityBounds(u_, v_, w_);
-  total_updates_ += mesh_.cell_count();
+  ApplyBounds(cur_, false);
+  total_updates_ += interior_cells_;
 }
 
 StepStats Solver::Step() {
   StepStats stats;
-  Advect();
-  ApplyVelocityBounds(u_, v_, w_);
-  ApplyScalarBounds(t_, bc_.exterior_temp_c);
-  DiffuseAndForce();
+  {
+    obs::KernelScope ks(timer_, "advect");
+    Advect();
+  }
+  {
+    obs::KernelScope ks(timer_, "diffuse_force");
+    DiffuseAndForce();
+  }
   SolvePressure(stats);
-  Project();
-  stats.max_divergence = MaxDivergence();
+  {
+    obs::KernelScope ks(timer_, "project");
+    Project();
+  }
+  {
+    obs::KernelScope ks(timer_, "max_divergence");
+    stats.max_divergence = MaxDivergence();
+  }
   stats.cell_updates = total_updates_;
   return stats;
 }
@@ -408,7 +533,8 @@ StepStats Solver::Run(int steps) {
 
 double Solver::SpeedAt(int i, int j, int k) const {
   const size_t c = mesh_.Index(i, j, k);
-  return std::sqrt(u_[c] * u_[c] + v_[c] * v_[c] + w_[c] * w_[c]);
+  return std::sqrt(cur_.u[c] * cur_.u[c] + cur_.v[c] * cur_.v[c] +
+                   cur_.w[c] * cur_.w[c]);
 }
 
 double Solver::SpeedAtPoint(double x, double y, double z) const {
@@ -420,56 +546,86 @@ double Solver::SpeedAtPoint(double x, double y, double z) const {
 double Solver::TemperatureAtPoint(double x, double y, double z) const {
   int i, j, k;
   mesh_.Locate(x, y, z, i, j, k);
-  return t_[mesh_.Index(i, j, k)];
+  return cur_.t[mesh_.Index(i, j, k)];
 }
 
 double Solver::InteriorMeanSpeed() const {
-  double sum = 0.0;
-  size_t n = 0;
-  for (int k = 1; k < mesh_.nz() - 1; ++k) {
-    for (int j = 1; j < mesh_.ny() - 1; ++j) {
-      for (int i = 1; i < mesh_.nx() - 1; ++i) {
-        if (!mesh_.InsideHouse(i, j, k)) continue;
-        sum += SpeedAt(i, j, k);
-        ++n;
-      }
-    }
-  }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  const int nx = mesh_.nx(), ny = mesh_.ny();
+  const unsigned char* XG_RESTRICT inside = mesh_.inside_house().data();
+  const double* XG_RESTRICT u = cur_.u.data();
+  const double* XG_RESTRICT v = cur_.v.data();
+  const double* XG_RESTRICT w = cur_.w.data();
+  const SumCount total = ReduceSlabs(
+      SumCount{},
+      [&](int kb, int ke) {
+        SumCount part;
+        for (int k = kb; k < ke; ++k) {
+          for (int j = 1; j < ny - 1; ++j) {
+            size_t c = mesh_.Index(1, j, k);
+            for (int i = 1; i < nx - 1; ++i, ++c) {
+              if (inside[c] == 0) continue;
+              part.sum += std::sqrt(u[c] * u[c] + v[c] * v[c] + w[c] * w[c]);
+              ++part.n;
+            }
+          }
+        }
+        return part;
+      },
+      &CombineSumCount);
+  return total.n == 0 ? 0.0 : total.sum / static_cast<double>(total.n);
 }
 
 double Solver::InteriorMeanTemperature() const {
-  double sum = 0.0;
-  size_t n = 0;
-  for (int k = 1; k < mesh_.nz() - 1; ++k) {
-    for (int j = 1; j < mesh_.ny() - 1; ++j) {
-      for (int i = 1; i < mesh_.nx() - 1; ++i) {
-        if (!mesh_.InsideHouse(i, j, k)) continue;
-        sum += t_[mesh_.Index(i, j, k)];
-        ++n;
-      }
-    }
-  }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  const int nx = mesh_.nx(), ny = mesh_.ny();
+  const unsigned char* XG_RESTRICT inside = mesh_.inside_house().data();
+  const double* XG_RESTRICT t = cur_.t.data();
+  const SumCount total = ReduceSlabs(
+      SumCount{},
+      [&](int kb, int ke) {
+        SumCount part;
+        for (int k = kb; k < ke; ++k) {
+          for (int j = 1; j < ny - 1; ++j) {
+            size_t c = mesh_.Index(1, j, k);
+            for (int i = 1; i < nx - 1; ++i, ++c) {
+              if (inside[c] == 0) continue;
+              part.sum += t[c];
+              ++part.n;
+            }
+          }
+        }
+        return part;
+      },
+      &CombineSumCount);
+  return total.n == 0 ? 0.0 : total.sum / static_cast<double>(total.n);
 }
 
 double Solver::MaxDivergence() const {
   const double idx2 = 1.0 / (2.0 * mesh_.dx()), idy2 = 1.0 / (2.0 * mesh_.dy()),
                idz2 = 1.0 / (2.0 * mesh_.dz());
-  const int sx = 1, sy = mesh_.nx(), sz = mesh_.nx() * mesh_.ny();
-  double worst = 0.0;
-  for (int k = 1; k < mesh_.nz() - 1; ++k) {
-    for (int j = 1; j < mesh_.ny() - 1; ++j) {
-      for (int i = 1; i < mesh_.nx() - 1; ++i) {
-        const size_t c = mesh_.Index(i, j, k);
-        const double d = (u_[c + sx] - u_[c - sx]) * idx2 +
-                         (v_[c + sy] - v_[c - sy]) * idy2 +
-                         (w_[c + sz] - w_[c - sz]) * idz2;
-        worst = std::max(worst, std::abs(d));
-      }
-    }
-  }
-  return worst;
+  const int nx = mesh_.nx(), ny = mesh_.ny();
+  const size_t sx = 1, sy = static_cast<size_t>(nx),
+               sz = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+  const double* XG_RESTRICT u = cur_.u.data();
+  const double* XG_RESTRICT v = cur_.v.data();
+  const double* XG_RESTRICT w = cur_.w.data();
+  return ReduceSlabs(
+      0.0,
+      [&](int kb, int ke) {
+        double local = 0.0;
+        for (int k = kb; k < ke; ++k) {
+          for (int j = 1; j < ny - 1; ++j) {
+            size_t c = mesh_.Index(1, j, k);
+            for (int i = 1; i < nx - 1; ++i, ++c) {
+              const double d = (u[c + sx] - u[c - sx]) * idx2 +
+                               (v[c + sy] - v[c - sy]) * idy2 +
+                               (w[c + sz] - w[c - sz]) * idz2;
+              local = std::max(local, std::abs(d));
+            }
+          }
+        }
+        return local;
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 }  // namespace xg::cfd

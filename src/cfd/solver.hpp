@@ -17,9 +17,20 @@
 // normal opposes the wind), with zero-gradient outflow elsewhere, no-slip
 // ground, and free-slip top.
 //
+// Hot-path layout (see DESIGN.md "CFD hot path"): the transported fields
+// live in a double-buffered SoA set — Advect and DiffuseAndForce swap the
+// current/previous buffers instead of copying five full vectors per step,
+// and each stage ends with one fused boundary sweep. Per-cell type, drag,
+// and heat-source arrays are precomputed so no geometry predicate runs
+// inside a kernel. Reductions (Poisson residual, max divergence, interior
+// means) run as ParallelReduce over horizontal slabs with deterministic
+// combine order.
+//
 // The solver is domain-decomposed over horizontal slabs and runs on a
 // ThreadPool; cell-update counts are exposed so the HPC performance model
-// can be calibrated against real measured per-cell cost.
+// can be calibrated against real measured per-cell cost. A KernelTimer can
+// be attached to record per-kernel times into a metrics registry (clock
+// injected by the caller; detached timing costs one pointer test).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +38,10 @@
 
 #include "cfd/mesh.hpp"
 #include "common/threadpool.hpp"
+
+namespace xg::obs {
+class KernelTimer;
+}  // namespace xg::obs
 
 namespace xg::cfd {
 
@@ -56,6 +71,20 @@ struct StepStats {
   uint64_t cell_updates = 0;
 };
 
+/// SoA buffer set for the transported fields (u, v, w, T). The solver
+/// holds two: swapping them is the zero-copy replacement for the old
+/// "copy current into scratch, then overwrite current" stepping.
+struct Fields {
+  std::vector<double> u, v, w, t;
+
+  void Assign(size_t n, double value = 0.0) {
+    u.assign(n, value);
+    v.assign(n, value);
+    w.assign(n, value);
+    t.assign(n, value);
+  }
+};
+
 class Solver {
  public:
   /// `pool` may be null for serial execution.
@@ -68,11 +97,15 @@ class Solver {
   const Mesh& mesh() const { return mesh_; }
   const Boundary& boundary() const { return bc_; }
 
+  /// Attach (or detach with nullptr) a per-kernel timer; see
+  /// obs::KernelTimer. The timer must outlive the solver or be detached.
+  void set_kernel_timer(obs::KernelTimer* timer) { timer_ = timer; }
+
   // Field access (cell-centered, size = mesh.cell_count()).
-  const std::vector<double>& u() const { return u_; }
-  const std::vector<double>& v() const { return v_; }
-  const std::vector<double>& w() const { return w_; }
-  const std::vector<double>& temperature() const { return t_; }
+  const std::vector<double>& u() const { return cur_.u; }
+  const std::vector<double>& v() const { return cur_.v; }
+  const std::vector<double>& w() const { return cur_.w; }
+  const std::vector<double>& temperature() const { return cur_.t; }
   const std::vector<double>& pressure() const { return p_; }
 
   /// |velocity| at a cell.
@@ -89,12 +122,19 @@ class Solver {
   /// Max |div u| over interior cells (invariant checked by tests).
   double MaxDivergence() const;
 
+  /// Interior-cell updates performed so far: each Advect / DiffuseAndForce
+  /// / Project pass and each SOR iteration counts every interior cell once
+  /// (boundary cells are applied, not solved, and are excluded — this is
+  /// the honest work figure the HPC performance model calibrates against).
   uint64_t total_cell_updates() const { return total_updates_; }
 
+  /// Interior cells updated by one kernel pass: (nx-2)(ny-2)(nz-2).
+  uint64_t interior_cell_count() const { return interior_cells_; }
+
  private:
-  void ApplyVelocityBounds(std::vector<double>& u, std::vector<double>& v,
-                           std::vector<double>& w) const;
-  void ApplyScalarBounds(std::vector<double>& s, double inflow_value) const;
+  /// One fused boundary sweep: velocity faces and, when `with_scalar`,
+  /// the temperature faces in the same traversal.
+  void ApplyBounds(Fields& f, bool with_scalar) const;
   void Advect();
   void DiffuseAndForce();
   void SolvePressure(StepStats& stats);
@@ -102,16 +142,27 @@ class Solver {
   /// Inward wind components (+x east-to-west etc.) from the boundary.
   void WindVector(double& wx, double& wy) const;
 
+  /// Run body(kb, ke) over the interior slab range k in [1, nz-1),
+  /// decomposed across the pool when one is attached.
+  template <typename Body>
+  void ForSlabs(Body&& body) const;
+  /// Reduce map(kb, ke) -> T over the interior slab range with a
+  /// deterministic combine order (serial fallback evaluates map once).
+  template <typename T, typename Map, typename Combine>
+  T ReduceSlabs(T identity, Map&& map, Combine&& combine) const;
+
   const Mesh& mesh_;
   SolverParams params_;
   ThreadPool* pool_;
+  obs::KernelTimer* timer_ = nullptr;
   Boundary bc_;
-  std::vector<double> u_, v_, w_, p_, t_;
-  std::vector<double> u0_, v0_, w0_, t0_, div_;
+  Fields cur_, prev_;
+  std::vector<double> p_, div_;
+  /// Per-cell porous drag coefficient (0 for fluid cells) and per-step
+  /// canopy heat increment, baked from mesh cell types and params.
+  std::vector<double> cell_drag_, cell_heat_;
+  uint64_t interior_cells_ = 0;
   uint64_t total_updates_ = 0;
-
-  template <typename Fn>
-  void ForEachInterior(Fn&& fn);
 };
 
 }  // namespace xg::cfd

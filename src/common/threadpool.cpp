@@ -2,15 +2,13 @@
 
 #include <algorithm>
 
-#include "common/contract.hpp"
-
 namespace xg {
 
 namespace {
 // Set while a worker thread executes a task, so a nested ParallelFor /
-// RunOnAll issued from inside a task body can be detected: the nested call
-// would wait on cv_done_ from the very thread the pool needs to finish the
-// outer task — a guaranteed deadlock.
+// ParallelReduce / RunOnAll issued from inside a task body can be detected:
+// the nested call would wait on cv_done_ from the very thread the pool
+// needs to finish the outer task — a guaranteed deadlock.
 thread_local const ThreadPool* tl_worker_pool = nullptr;
 }  // namespace
 
@@ -18,6 +16,7 @@ ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
+  ranges_.assign(threads, {0, 0});
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -34,6 +33,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::OnWorkerThread() const { return tl_worker_pool == this; }
+
 void ThreadPool::WorkerLoop(size_t index) {
   uint64_t seen = 0;
   for (;;) {
@@ -41,18 +42,19 @@ void ThreadPool::WorkerLoop(size_t index) {
     cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
     if (shutdown_) return;
     seen = generation_;
-    // Copy what this worker needs, then run unlocked.
-    auto range_fn = task_.range_fn;
-    auto worker_fn = task_.worker_fn;
+    // Copy what this worker needs, then run unlocked. The submitter keeps
+    // fn_/ctx_/ranges_ alive until the join completes, and holds submit_mu_
+    // so no other task can overwrite them mid-flight.
+    RawFn fn = fn_;
+    void* ctx = ctx_;
     std::pair<size_t, size_t> range{0, 0};
-    if (index < task_.ranges.size()) range = task_.ranges[index];
+    if (index < ranges_.size()) range = ranges_[index];
     lk.unlock();
 
     tl_worker_pool = this;
-    if (range_fn && range.second > range.first) {
-      range_fn(range.first, range.second);
+    if (fn != nullptr && range.second > range.first) {
+      fn(ctx, range.first, range.second, index);
     }
-    if (worker_fn) worker_fn(index);
     tl_worker_pool = nullptr;
 
     lk.lock();
@@ -60,53 +62,23 @@ void ThreadPool::WorkerLoop(size_t index) {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
-  // Fork-join pools do not nest: a task body calling back into its own pool
-  // would block a worker on the join it is itself part of. Degrade to
-  // inline execution so the caller still makes progress in return mode.
-  XG_INVARIANT(tl_worker_pool != this,
-               "nested ParallelFor on the same ThreadPool would deadlock");
-  if (tl_worker_pool == this) {
-    fn(0, n);
-    return;
-  }
+void ThreadPool::Dispatch(size_t n, RawFn fn, void* ctx) {
   // Serialize independent submitters: two concurrent fork-joins would race
   // on the shared task slot and lose work. Taken only after the nesting
   // check, so a worker thread can never self-deadlock here.
   std::lock_guard<std::mutex> submit_lk(submit_mu_);
   const size_t workers = workers_.size();
-  std::vector<std::pair<size_t, size_t>> ranges(workers, {0, 0});
   const size_t chunk = (n + workers - 1) / workers;
+  std::unique_lock<std::mutex> lk(mu_);
+  ranges_.resize(workers);
   for (size_t i = 0; i < workers; ++i) {
     const size_t b = std::min(n, i * chunk);
     const size_t e = std::min(n, b + chunk);
-    ranges[i] = {b, e};
+    ranges_[i] = {b, e};
   }
-  std::unique_lock<std::mutex> lk(mu_);
-  task_.range_fn = fn;
-  task_.worker_fn = nullptr;
-  task_.ranges = std::move(ranges);
+  fn_ = fn;
+  ctx_ = ctx;
   remaining_ = workers;
-  ++generation_;
-  cv_start_.notify_all();
-  cv_done_.wait(lk, [&] { return remaining_ == 0; });
-}
-
-void ThreadPool::RunOnAll(const std::function<void(size_t)>& fn) {
-  XG_INVARIANT(tl_worker_pool != this,
-               "nested RunOnAll on the same ThreadPool would deadlock");
-  if (tl_worker_pool == this) {
-    fn(0);
-    return;
-  }
-  std::lock_guard<std::mutex> submit_lk(submit_mu_);
-  std::unique_lock<std::mutex> lk(mu_);
-  task_.range_fn = nullptr;
-  task_.worker_fn = fn;
-  task_.ranges.clear();
-  remaining_ = workers_.size();
   ++generation_;
   cv_start_.notify_all();
   cv_done_.wait(lk, [&] { return remaining_ == 0; });

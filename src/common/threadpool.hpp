@@ -3,15 +3,25 @@
 //
 // The pool keeps N persistent workers; ParallelFor partitions an index range
 // into contiguous chunks (one per worker, matching the solver's slab
-// decomposition) and blocks until all chunks finish.
+// decomposition) and blocks until all chunks finish. ParallelReduce adds
+// per-worker partials combined in worker order, so a reduction over a fixed
+// worker count is deterministic run to run.
+//
+// Both entry points are templates dispatched through a raw function-pointer
+// trampoline: the callable lives on the submitter's stack and is passed by
+// address, so a fork-join costs no std::function construction and no heap
+// allocation (the chunk table is a buffer reused across submissions).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/contract.hpp"
 
 namespace xg {
 
@@ -29,18 +39,93 @@ class ThreadPool {
 
   /// Run fn(begin, end) over [0, n) split into one contiguous chunk per
   /// worker; blocks until every chunk completes. Calls from the body must
-  /// not touch the pool (no nesting).
-  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+  /// not touch the pool (no nesting): a nested call degrades to inline
+  /// execution and flags a contract violation.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn) {
+    if (n == 0) return;
+    XG_INVARIANT(!OnWorkerThread(),
+                 "nested ParallelFor on the same ThreadPool would deadlock");
+    if (OnWorkerThread()) {
+      fn(size_t{0}, n);
+      return;
+    }
+    using Body = std::remove_reference_t<Fn>;
+    Dispatch(n, &RangeTrampoline<Body>, const_cast<void*>(
+                    static_cast<const void*>(std::addressof(fn))));
+  }
+
+  /// Parallel reduction over [0, n): each worker computes
+  /// `map(begin, end) -> T` for its chunk, then the partials are folded as
+  /// `acc = combine(acc, partial)` in ascending worker order starting from
+  /// `identity`. Workers whose chunk is empty contribute `identity`, so the
+  /// result only depends on n, the worker count, and the data — not on
+  /// scheduling. Same nesting contract as ParallelFor.
+  template <typename T, typename MapFn, typename CombineFn>
+  T ParallelReduce(size_t n, T identity, MapFn&& map, CombineFn&& combine) {
+    if (n == 0) return identity;
+    XG_INVARIANT(!OnWorkerThread(),
+                 "nested ParallelReduce on the same ThreadPool would deadlock");
+    if (OnWorkerThread()) {
+      return combine(identity, map(size_t{0}, n));
+    }
+    // Cache-line-size the slots so concurrent partial writes never share.
+    struct alignas(64) Slot {
+      T value;
+    };
+    std::vector<Slot> partials(workers_.size(), Slot{identity});
+    auto body = [&](size_t begin, size_t end, size_t worker) {
+      partials[worker].value = map(begin, end);
+    };
+    using Body = decltype(body);
+    Dispatch(n, &WorkerRangeTrampoline<Body>,
+             const_cast<void*>(static_cast<const void*>(&body)));
+    T acc = std::move(identity);
+    for (Slot& s : partials) acc = combine(acc, s.value);
+    return acc;
+  }
 
   /// Run fn(worker_index) once on each worker and block until all return.
-  void RunOnAll(const std::function<void(size_t)>& fn);
+  template <typename Fn>
+  void RunOnAll(Fn&& fn) {
+    XG_INVARIANT(!OnWorkerThread(),
+                 "nested RunOnAll on the same ThreadPool would deadlock");
+    if (OnWorkerThread()) {
+      fn(size_t{0});
+      return;
+    }
+    // One unit of work per worker: chunking assigns index w to worker w.
+    auto body = [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    };
+    using Body = decltype(body);
+    Dispatch(workers_.size(), &WorkerRangeTrampoline<Body>,
+             const_cast<void*>(static_cast<const void*>(&body)));
+  }
+
+  /// True when called from one of this pool's worker threads (i.e. from
+  /// inside a task body), where fork-join entry points must not be used.
+  bool OnWorkerThread() const;
 
  private:
-  struct Task {
-    std::function<void(size_t, size_t)> range_fn;  // (begin, end)
-    std::function<void(size_t)> worker_fn;         // (worker index)
-    std::vector<std::pair<size_t, size_t>> ranges;
-  };
+  /// Type-erased task body: (ctx, begin, end, worker_index).
+  using RawFn = void (*)(void*, size_t, size_t, size_t);
+
+  template <typename Body>
+  static void RangeTrampoline(void* ctx, size_t begin, size_t end,
+                              size_t /*worker*/) {
+    (*static_cast<Body*>(ctx))(begin, end);
+  }
+  template <typename Body>
+  static void WorkerRangeTrampoline(void* ctx, size_t begin, size_t end,
+                                    size_t worker) {
+    (*static_cast<Body*>(ctx))(begin, end, worker);
+  }
+
+  /// Partition [0, n) into one contiguous chunk per worker, run `fn` on the
+  /// workers, and block until every chunk completes. Serializes concurrent
+  /// external submitters (they would otherwise race on the task slot).
+  void Dispatch(size_t n, RawFn fn, void* ctx);
 
   void WorkerLoop(size_t index);
 
@@ -49,9 +134,11 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  Task task_;
-  uint64_t generation_ = 0;      // bumps when a new task is posted
-  size_t remaining_ = 0;         // workers still running current task
+  RawFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::vector<std::pair<size_t, size_t>> ranges_;  ///< reused chunk table
+  uint64_t generation_ = 0;  // bumps when a new task is posted
+  size_t remaining_ = 0;     // workers still running current task
   bool shutdown_ = false;
 };
 

@@ -1,0 +1,74 @@
+// Per-kernel hot-path timing through the metrics registry.
+//
+// Compute engines (today: the CFD solver) expose where a step spends its
+// time by observing each kernel's elapsed time into a LatencyHistogram
+// named `<prefix>_ms{kernel="advect"|...}`. Like Tracer, the KernelTimer
+// never reads a host clock itself: the clock is injected, so simulation
+// code binds the virtual clock (or attaches no timer at all and pays
+// nothing) while benchmarks bind a host monotonic clock and measure real
+// wall time. Histogram sum/count give exact per-kernel totals and means
+// regardless of bucket layout, which is what the kernel benchmark exports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace xg::obs {
+
+class KernelTimer {
+ public:
+  /// Returns "now" in microseconds on whatever clock the caller measures
+  /// kernels against. Must be monotonic within one timed region.
+  using Clock = std::function<int64_t()>;
+
+  /// Instruments are created in `registry` (must outlive the timer) as
+  /// `<metric_prefix>_ms` histograms labeled by kernel name.
+  KernelTimer(MetricsRegistry* registry, Clock now_us,
+              std::string metric_prefix = "xg_cfd_kernel");
+
+  int64_t NowUs() const { return now_us_ ? now_us_() : 0; }
+
+  /// Record one kernel execution of `elapsed_us` microseconds.
+  void Observe(const std::string& kernel, int64_t elapsed_us);
+
+  /// Total recorded milliseconds / executions for a kernel (0 if never
+  /// observed). Convenience for benchmarks reading their own timings back.
+  double TotalMs(const std::string& kernel) const;
+  uint64_t Count(const std::string& kernel) const;
+
+ private:
+  LatencyHistogram* Hist(const std::string& kernel) const;
+
+  MetricsRegistry* registry_;
+  Clock now_us_;
+  std::string prefix_;
+  /// Lookup cache so steady-state Observe() skips the registry's keyed map.
+  mutable std::mutex mu_;
+  mutable std::map<std::string, LatencyHistogram*> hists_;
+};
+
+/// RAII scope that times one kernel execution. A null timer is a no-op, so
+/// hot paths carry a single pointer test when timing is detached.
+class KernelScope {
+ public:
+  KernelScope(KernelTimer* timer, const char* kernel)
+      : timer_(timer), kernel_(kernel),
+        start_us_(timer != nullptr ? timer->NowUs() : 0) {}
+  ~KernelScope() {
+    if (timer_ != nullptr) timer_->Observe(kernel_, timer_->NowUs() - start_us_);
+  }
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  KernelTimer* timer_;
+  const char* kernel_;
+  int64_t start_us_;
+};
+
+}  // namespace xg::obs
