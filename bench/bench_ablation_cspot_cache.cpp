@@ -31,7 +31,7 @@ SampleSet MeasureAppends(Runtime& rt, sim::Simulation& sim, const char* client,
     ++i;
     const auto t0 = sim.Now();
     rt.RemoteAppend(client, host, "log", payload, opts,
-                    [&, t0](Result<SeqNo> r) {
+                    [&, t0](Result<SeqNo> r, const xg::fault::FaultOutcome&) {
                       if (r.ok() && i > 1) lat.Add((sim.Now() - t0).millis());
                       next();
                     });
@@ -89,7 +89,7 @@ int main() {
   stale_opts.timeout_ms = 400.0;
   rt.RemoteAppend("unl-wired", "ucsb", "log", std::vector<uint8_t>(1024, 2),
                   stale_opts,
-                  [&](Result<SeqNo> r) {
+                  [&](Result<SeqNo> r, const xg::fault::FaultOutcome&) {
                     if (r.ok()) recovery_ms = (sim.Now() - t0).millis();
                   });
   sim.Run();

@@ -45,7 +45,7 @@ int main() {
     cfg.slices = {SliceConfig{"a", 0.3}, SliceConfig{"b", 0.7}};
     cfg.work_conserving_slicing = work_conserving;
     Cell cell(cfg, 777);
-    cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "a");
+    (void)cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "a");
     const auto run = cell.RunUplink(kSamples, 1);
     ab.AddRow({work_conserving ? "work-conserving" : "strict (paper)", "30%",
                Table::Num(run.per_ue[0].mean())});

@@ -54,7 +54,7 @@ void BM_CellSlotLoop(benchmark::State& state) {
   net5g::Cell cell(cfg, 2);
   const net5g::UeProfile ue =
       net5g::MakeUeProfile(net5g::DeviceType::kRaspberryPi, cfg);
-  for (int u = 0; u < users; ++u) cell.AttachUe(ue);
+  for (int u = 0; u < users; ++u) (void)cell.AttachUe(ue);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cell.RunUplink(1, 0));
   }

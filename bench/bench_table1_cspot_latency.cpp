@@ -31,7 +31,7 @@ SampleSet MeasurePath(const char* client, const char* host, uint64_t seed) {
     ++i;
     const auto t0 = sim.Now();
     rt.RemoteAppend(client, host, "bench", payload, AppendOptions{},
-                    [&, t0](Result<SeqNo> r) {
+                    [&, t0](Result<SeqNo> r, const xg::fault::FaultOutcome&) {
                       if (!r.ok()) return;
                       if (i > 1) lat.Add((sim.Now() - t0).millis());
                       next();

@@ -29,8 +29,8 @@ int main() {
     cfg.slices = {SliceConfig{"telemetry", share},
                   SliceConfig{"video", 1.0 - share}};
     Cell cell(cfg, 90210);
-    cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
-    cell.AttachUe(MakeUeProfile(DeviceType::kLaptop, cfg), "video");
+    (void)cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
+    (void)cell.AttachUe(MakeUeProfile(DeviceType::kLaptop, cfg), "video");
     const UplinkRunResult run = cell.RunUplink(60, 1);
     sweep.AddRow({Table::Num(share * 100, 0) + "%",
                   Table::Num(run.per_ue[0].mean()),
@@ -47,9 +47,9 @@ int main() {
     CellConfig cfg = Make5GTddCell(40.0);
     cfg.slices = {SliceConfig{"telemetry", 0.2}, SliceConfig{"video", 0.8}};
     Cell cell(cfg, 31415);
-    cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
+    (void)cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
     if (video_active) {
-      cell.AttachUe(MakeUeProfile(DeviceType::kLaptop, cfg), "video");
+      (void)cell.AttachUe(MakeUeProfile(DeviceType::kLaptop, cfg), "video");
     }
     const UplinkRunResult run = cell.RunUplink(60, 1);
     iso.AddRow({video_active ? "video tenant saturating its 80% slice"
@@ -68,7 +68,7 @@ int main() {
     cfg.slices = {SliceConfig{"telemetry", 0.2}, SliceConfig{"video", 0.8}};
     cfg.work_conserving_slicing = conserving;
     Cell cell(cfg, 27182);
-    cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
+    (void)cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "telemetry");
     const UplinkRunResult run = cell.RunUplink(60, 1);
     wc.AddRow({conserving ? "work-conserving" : "strict",
                Table::Num(run.per_ue[0].mean())});

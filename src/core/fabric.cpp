@@ -67,7 +67,7 @@ Fabric::Fabric(FabricConfig config)
     twin_.RegisterStation(st.id(), st.x(), st.y(), st.interior());
   }
 
-  fault_injector_ =
+  station_faults_ =
       std::make_unique<sensors::FaultInjector>(config_.seed ^ 0xF417);
   qc_ = sensors::QualityControl(config_.qc);
 
@@ -88,6 +88,17 @@ Fabric::Fabric(FabricConfig config)
   scheduler_->AttachObservability(reg);
   pilot_->AttachObservability(reg);
   if (reg != nullptr) RegisterFabricMetrics();
+
+  // Cross-layer chaos: couple the plan to the transport, the CSPOT node
+  // actuators, and the batch scheduler, then arm it on the shared clock.
+  if (!config_.fault_plan.empty()) {
+    chaos_ = std::make_unique<fault::FaultInjector>(config_.fault_plan);
+    chaos_->AttachObservability(reg,
+                                config_.tracing_enabled ? &tracer_ : nullptr);
+    cspot_->AttachFaultInjector(*chaos_);
+    scheduler_->AttachFaultInjector(*chaos_);
+    chaos_->Arm(sim_);
+  }
 }
 
 void Fabric::RegisterFabricMetrics() {
@@ -149,7 +160,7 @@ void Fabric::ScheduleFront(const sensors::FrontEvent& front) {
 }
 
 void Fabric::ScheduleStationFault(const sensors::FaultWindow& fault) {
-  fault_injector_->Add(fault);
+  station_faults_->Add(fault);
 }
 
 void Fabric::PublishTelemetry() {
@@ -171,7 +182,7 @@ void Fabric::PublishTelemetry() {
   std::vector<bool> interior;
   const auto& stations = cups_->stations();
   for (size_t i = 0; i < raw.size(); ++i) {
-    auto injected = fault_injector_->Apply(raw[i]);
+    auto injected = station_faults_->Apply(raw[i]);
     if (!injected.has_value()) {
       ++metrics_.readings_dropped;
       continue;
@@ -195,7 +206,8 @@ void Fabric::PublishTelemetry() {
   cspot_->RemoteAppend(
       telemetry_client_, nodes_.ucsb, kTelemetryLog, SerializeFrame(frame),
       opts,
-      [this, t0, frame, root](Result<cspot::SeqNo> r) {
+      [this, t0, frame, root](Result<cspot::SeqNo> r,
+                              const fault::FaultOutcome&) {
         if (!r.ok()) {
           XG_LOG(kWarn, "fabric")
               << "telemetry append failed: " << r.status().ToString();
@@ -441,7 +453,8 @@ void Fabric::StoreResult(const CfdResult& result,
   opts.trace = trace;
   cspot_->RemoteAppend(nodes_.nd, nodes_.ucsb, kResultLog,
                        SerializeResult(result), opts,
-                       [this, result](Result<cspot::SeqNo> r) {
+                       [this, result](Result<cspot::SeqNo> r,
+                                      const fault::FaultOutcome&) {
                          if (r.ok() && on_result) on_result(result);
                        });
 }

@@ -31,6 +31,7 @@
 #include "core/twin.hpp"
 #include "cspot/runtime.hpp"
 #include "cspot/topology.hpp"
+#include "fault/injector.hpp"
 #include "hpc/perfmodel.hpp"
 #include "hpc/scheduler.hpp"
 #include "laminar/change_detect.hpp"
@@ -81,6 +82,10 @@ struct FabricConfig {
   /// with tracing on, each telemetry reading's journey becomes one trace.
   bool metrics_enabled = true;
   bool tracing_enabled = true;
+  /// Chaos: a non-empty plan is armed on the fabric's clock at
+  /// construction, coupled to the WAN, the CSPOT nodes, and the batch
+  /// scheduler. Injected counts export as xg_fault_injected_total.
+  fault::FaultPlan fault_plan;
 
   FabricConfig();
 };
@@ -135,6 +140,9 @@ class Fabric {
   sensors::CupsFacility& cups() { return *cups_; }
   DigitalTwin& twin() { return twin_; }
 
+  /// The armed chaos injector (nullptr when config.fault_plan is empty).
+  fault::FaultInjector* fault_injector() { return chaos_.get(); }
+
   /// Unified observability: every layer's counters, mirrored live.
   obs::MetricsRegistry& registry() { return registry_; }
   /// Span store for the per-reading end-to-end traces (§4.4 breakdown).
@@ -181,7 +189,10 @@ class Fabric {
   hpc::CfdPerfModel perf_;
   DigitalTwin twin_;
   InterventionAdvisor advisor_;
-  std::unique_ptr<sensors::FaultInjector> fault_injector_;
+  /// Station-level sensor faults (stuck/dropout/spike) — distinct from
+  /// the cross-layer chaos injector below.
+  std::unique_ptr<sensors::FaultInjector> station_faults_;
+  std::unique_ptr<fault::FaultInjector> chaos_;
   sensors::QualityControl qc_;
   std::unique_ptr<OrchardGrid> orchard_;
   std::unique_ptr<Robot> robot_;

@@ -1,5 +1,6 @@
 #include "cspot/log.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -77,6 +78,24 @@ SeqNo MemoryLog::Earliest() const {
   return next_seq_ > static_cast<SeqNo>(config_.history)
              ? next_seq_ - static_cast<SeqNo>(config_.history)
              : 0;
+}
+
+Status MemoryLog::TruncateTo(SeqNo last_retained) {
+  XG_REQUIRE(last_retained >= kNoSeq, kInvalidArgument,
+             "truncation point below kNoSeq: " + config_.name);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (last_retained + 1 >= next_seq_) return Status::Ok();
+  // Rolling back the sequence counter makes Get() reject the dropped
+  // seqs; clearing their slots keeps a later wrap-around from exposing
+  // the dropped payloads as if they were older retained elements.
+  const SeqNo new_next = last_retained + 1;
+  const SeqNo clear_from =
+      std::max(new_next, next_seq_ - static_cast<SeqNo>(config_.history));
+  for (SeqNo s = clear_from; s < next_seq_; ++s) {
+    ring_[static_cast<size_t>(s) % config_.history].clear();
+  }
+  next_seq_ = new_next;
+  return Status::Ok();
 }
 
 namespace {
@@ -204,6 +223,17 @@ SeqNo FileLog::Earliest() const {
   return next_seq_ > static_cast<SeqNo>(config_.history)
              ? next_seq_ - static_cast<SeqNo>(config_.history)
              : 0;
+}
+
+Status FileLog::TruncateTo(SeqNo last_retained) {
+  XG_REQUIRE(last_retained >= kNoSeq, kInvalidArgument,
+             "truncation point below kNoSeq: " + config_.name);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (last_retained + 1 >= next_seq_) return Status::Ok();
+  next_seq_ = last_retained + 1;
+  // The header is the durability frontier: persisting the rolled-back
+  // counter makes the truncated slots unreadable on any reopen too.
+  return WriteHeader();
 }
 
 }  // namespace xg::cspot

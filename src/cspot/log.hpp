@@ -63,6 +63,12 @@ class LogStorage {
   /// Earliest sequence number still retained, or kNoSeq when empty.
   virtual SeqNo Earliest() const = 0;
 
+  /// Discard every element with seq > `last_retained` (power-loss
+  /// truncation to the last durable sequence number). `kNoSeq` empties
+  /// the log; a value >= Latest() is a no-op. Subsequent appends reuse
+  /// the truncated sequence numbers, preserving density.
+  virtual Status TruncateTo(SeqNo last_retained) = 0;
+
   /// Number of retained elements.
   size_t Size() const {
     const SeqNo l = Latest();
@@ -86,6 +92,7 @@ class MemoryLog : public LogStorage {
   Result<std::vector<uint8_t>> Get(SeqNo seq) const override;
   SeqNo Latest() const override;
   SeqNo Earliest() const override;
+  Status TruncateTo(SeqNo last_retained) override;
 
  private:
   LogConfig config_;
@@ -111,6 +118,7 @@ class FileLog : public LogStorage {
   Result<std::vector<uint8_t>> Get(SeqNo seq) const override;
   SeqNo Latest() const override;
   SeqNo Earliest() const override;
+  Status TruncateTo(SeqNo last_retained) override;
 
  private:
   FileLog(std::string path, LogConfig config);

@@ -4,6 +4,27 @@
 
 namespace xg::cspot {
 
+Status Node::PowerFail(size_t lose_tail_appends) {
+  up_ = false;
+  Status first_error = Status::Ok();
+  if (lose_tail_appends == 0) return first_error;
+  for (auto& [name, log] : logs_) {
+    const SeqNo latest = log->Latest();
+    if (latest == kNoSeq) continue;
+    SeqNo keep = latest - static_cast<SeqNo>(lose_tail_appends);
+    if (keep < kNoSeq) keep = kNoSeq;
+    Status s = log->TruncateTo(keep);
+    if (!s.ok() && first_error.ok()) first_error = s;
+    auto dit = dedup_.find(name);
+    if (dit == dedup_.end()) continue;
+    for (auto it = dit->second.begin(); it != dit->second.end();) {
+      if (it->second > keep) it = dit->second.erase(it);
+      else ++it;
+    }
+  }
+  return first_error;
+}
+
 Result<LogStorage*> Node::CreateLog(const LogConfig& config) {
   Status geometry = ValidateLogConfig(config);
   if (!geometry.ok()) return geometry;

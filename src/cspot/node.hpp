@@ -32,6 +32,15 @@ class Node {
   bool up() const { return up_; }
   void set_up(bool up) { up_ = up; }
 
+  /// Power loss with data loss: takes the node down and truncates the
+  /// most recent `lose_tail_appends` entries of every log (the volatile
+  /// tail that never reached stable storage). Dedup entries pointing past
+  /// the new durable frontier are erased with the data — a stale token
+  /// surviving its truncated element would make a client's retry ack a
+  /// sequence number whose payload no longer exists (silent data loss).
+  /// Returns the first truncation failure, Ok otherwise.
+  Status PowerFail(size_t lose_tail_appends);
+
   /// Create a memory-backed log. Fails with kAlreadyExists on name clash.
   Result<LogStorage*> CreateLog(const LogConfig& config);
 

@@ -4,6 +4,22 @@
 
 namespace xg::cspot {
 
+namespace {
+// FNV-1a, the standard 64-bit offset basis / prime.
+uint64_t Fnv1a64(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(uint64_t h, const std::string& s) {
+  return Fnv1a64(h, s.data(), s.size());
+}
+}  // namespace
+
 Replicator::Replicator(Runtime& rt, std::string src_node, std::string src_log,
                        std::string dst_node, std::string dst_log,
                        AppendOptions options)
@@ -25,64 +41,89 @@ Result<std::unique_ptr<Replicator>> Replicator::Create(
   Replicator* ptr = repl.get();
   Status s = rt.RegisterHandler(
       src_node, src_log,
-      [ptr](const std::string&, SeqNo, const std::vector<uint8_t>& payload) {
-        ptr->Forward(payload, /*from_recovery=*/false);
+      [ptr](const std::string&, SeqNo seq,
+            const std::vector<uint8_t>& payload) {
+        ptr->Forward(seq, payload, /*from_recovery=*/false);
       });
   if (!s.ok()) return s;
   return repl;
 }
 
-void Replicator::Forward(const std::vector<uint8_t>& payload,
-                         bool from_recovery) {
-  rt_.RemoteAppend(src_node_, dst_node_, dst_log_, payload, options_,
-                   [this, from_recovery](Result<SeqNo> r) {
-                     if (r.ok()) {
-                       ++stats_.forwarded;
-                       if (from_recovery) ++stats_.recovery_shipped;
-                     } else {
-                       ++stats_.failed;
-                       XG_LOG(kWarn, "replicator")
-                           << src_log_ << " -> " << dst_node_ << "/"
-                           << dst_log_
-                           << " forward failed: " << r.status().ToString();
-                     }
-                   });
+uint64_t Replicator::TokenFor(SeqNo src_seq,
+                              const std::vector<uint8_t>& payload) const {
+  // Hashing the payload alongside the seq is load-bearing: after a source
+  // power loss truncates the tail, a *new* payload can legitimately reuse
+  // a truncated seq. Seq-only tokens would dedup it against the dead
+  // element's ack; payload-hashed tokens only dedup true re-ships.
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = Fnv1a64(h, src_node_);
+  h = Fnv1a64(h, src_log_);
+  h = Fnv1a64(h, dst_node_);
+  h = Fnv1a64(h, dst_log_);
+  h = Fnv1a64(h, &src_seq, sizeof(src_seq));
+  h = Fnv1a64(h, payload.data(), payload.size());
+  return h == 0 ? 1 : h;  // 0 means "mint me a token" to the runtime
 }
 
-void Replicator::Recover(std::function<void(uint64_t)> done) {
-  // Ask the destination how much it holds, then re-ship the count gap
-  // (at-least-once: an element whose earlier forward succeeded but lost
-  // its ack may be shipped twice; consumers scan by content/iteration).
-  rt_.RemoteLatestSeq(
-      src_node_, dst_node_, dst_log_,
-      [this, done](Result<SeqNo> dst_latest) {
-        Node* src = rt_.GetNode(src_node_);
-        if (src == nullptr) {
-          if (done) done(0);
-          return;
+void Replicator::MarkAcked(SeqNo src_seq) {
+  if (src_seq <= report_.last_acked_contiguous) return;
+  acked_.insert(src_seq);
+  while (acked_.count(report_.last_acked_contiguous + 1)) {
+    acked_.erase(++report_.last_acked_contiguous);
+  }
+}
+
+void Replicator::Forward(SeqNo src_seq, const std::vector<uint8_t>& payload,
+                         bool from_recovery) {
+  if (src_seq <= report_.last_acked_contiguous || acked_.count(src_seq) ||
+      inflight_.count(src_seq)) {
+    return;  // already delivered or being delivered
+  }
+  inflight_.insert(src_seq);
+  AppendOptions opts = options_;
+  opts.idem_token = TokenFor(src_seq, payload);
+  rt_.RemoteAppend(
+      src_node_, dst_node_, dst_log_, payload, opts,
+      [this, src_seq, from_recovery](Result<SeqNo> r,
+                                     const fault::FaultOutcome& outcome) {
+        inflight_.erase(src_seq);
+        report_.retries += static_cast<uint64_t>(outcome.retries());
+        if (outcome.deduped) ++report_.deduped;
+        if (r.ok()) {
+          ++report_.shipped;
+          if (from_recovery) ++report_.recovery_shipped;
+          MarkAcked(src_seq);
+        } else {
+          ++report_.failed;
+          report_.final_status = r.status();
+          XG_LOG(kWarn, "replicator")
+              << src_log_ << " -> " << dst_node_ << "/" << dst_log_
+              << " forward of seq " << src_seq
+              << " failed: " << r.status().ToString();
         }
-        LogStorage* log = src->GetLog(src_log_);
-        if (log == nullptr) {
-          if (done) done(0);
-          return;
-        }
-        const int64_t have =
-            dst_latest.ok() && dst_latest.value() != kNoSeq
-                ? dst_latest.value() + 1
-                : 0;
-        const int64_t total = log->Latest() == kNoSeq ? 0 : log->Latest() + 1;
-        const int64_t gap = total - have;
-        if (gap <= 0) {
-          if (done) done(0);
-          return;
-        }
-        uint64_t shipped = 0;
-        for (const auto& payload : log->Tail(static_cast<size_t>(gap))) {
-          Forward(payload, /*from_recovery=*/true);
-          ++shipped;
-        }
-        if (done) done(shipped);
       });
+}
+
+void Replicator::Recover(std::function<void(const DeliveryReport&)> done) {
+  Node* src = rt_.GetNode(src_node_);
+  LogStorage* log = src == nullptr ? nullptr : src->GetLog(src_log_);
+  if (log == nullptr) {
+    if (done) done(report_);
+    return;
+  }
+  const SeqNo latest = log->Latest();
+  SeqNo from = report_.last_acked_contiguous + 1;
+  const SeqNo earliest = log->Earliest();
+  if (earliest != kNoSeq && from < earliest) from = earliest;
+  for (SeqNo s = from; latest != kNoSeq && s <= latest; ++s) {
+    if (acked_.count(s) || inflight_.count(s)) continue;
+    Result<std::vector<uint8_t>> payload = log->Get(s);
+    if (!payload.ok()) continue;  // evicted between Latest() and Get()
+    Forward(s, payload.value(), /*from_recovery=*/true);
+  }
+  // The forwards are asynchronous; the report the callback sees reflects
+  // what has completed so far. Tests drive the sim to quiescence first.
+  if (done) done(report_);
 }
 
 }  // namespace xg::cspot

@@ -6,50 +6,77 @@
 // the source log remote-appends each element to the destination with
 // CSPOT's retry/dedup semantics, and a recovery scan re-ships anything a
 // partition or power loss left behind.
+//
+// Exactly-once: every forward carries an idempotence token derived from
+// (endpoints, source seq, payload bytes), so a recovery re-ship of an
+// element whose earlier ack was lost dedups at the destination instead of
+// appending twice — and a *different* payload reusing a truncated seq
+// after a power loss hashes to a different token, so it is appended, not
+// wrongly absorbed.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "cspot/runtime.hpp"
 
 namespace xg::cspot {
 
-struct ReplicationStats {
-  uint64_t forwarded = 0;       ///< elements shipped (acked)
-  uint64_t failed = 0;          ///< elements that exhausted retries
-  uint64_t recovery_shipped = 0;///< elements re-shipped by recovery scans
+/// The replicator's slice of the unified failure surface: cumulative
+/// delivery accounting, readable at any time and passed to Recover()
+/// completions. Replaces the raw completion callback + ad-hoc counters.
+struct DeliveryReport {
+  uint64_t shipped = 0;          ///< source elements acked at the destination
+  uint64_t deduped = 0;          ///< acks absorbed by the dest dedup table
+  uint64_t retries = 0;          ///< protocol attempts beyond the first
+  uint64_t failed = 0;           ///< forwards that exhausted retries
+  uint64_t recovery_shipped = 0; ///< elements (re)shipped by recovery scans
+  /// Highest source seq through which *every* element has been acked.
+  SeqNo last_acked_contiguous = kNoSeq;
+  /// Status of the most recent failed forward (Ok when none failed yet).
+  Status final_status = Status::Ok();
 };
 
 class Replicator {
  public:
   /// Wires src_node/src_log -> dst_node/dst_log. The destination log must
-  /// already exist. Returns an object whose lifetime owns the stats (the
+  /// already exist. Returns an object whose lifetime owns the report (the
   /// handler stays registered for the runtime's lifetime).
   static Result<std::unique_ptr<Replicator>> Create(
       Runtime& rt, const std::string& src_node, const std::string& src_log,
       const std::string& dst_node, const std::string& dst_log,
       AppendOptions options = AppendOptions{});
 
-  const ReplicationStats& stats() const { return stats_; }
+  const DeliveryReport& report() const { return report_; }
 
-  /// Recovery: compare the destination's element count with the source's
-  /// and re-ship the gap (oldest retained first). Used after partitions
-  /// longer than the retry budget. Completion is asynchronous; the
-  /// callback receives how many elements were (re)shipped.
-  void Recover(std::function<void(uint64_t)> done = nullptr);
+  /// Recovery: re-ship every retained source element past the last
+  /// *acked* sequence number that is not already acked or in flight.
+  /// Scanning from the ack frontier — not from the destination's element
+  /// count — is what survives the crash-between-ship-and-ack case: a
+  /// count gap undercounts when the destination holds elements whose acks
+  /// were lost, and re-ships the wrong suffix. Completion is
+  /// asynchronous; the callback receives the cumulative report.
+  void Recover(std::function<void(const DeliveryReport&)> done = nullptr);
 
  private:
   Replicator(Runtime& rt, std::string src_node, std::string src_log,
              std::string dst_node, std::string dst_log, AppendOptions options);
 
-  void Forward(const std::vector<uint8_t>& payload, bool from_recovery);
+  void Forward(SeqNo src_seq, const std::vector<uint8_t>& payload,
+               bool from_recovery);
+  /// Stable idempotence token for a (source seq, payload) pair.
+  uint64_t TokenFor(SeqNo src_seq, const std::vector<uint8_t>& payload) const;
+  /// Record an ack and advance the contiguous frontier through acked_.
+  void MarkAcked(SeqNo src_seq);
 
   Runtime& rt_;
   std::string src_node_, src_log_, dst_node_, dst_log_;
   AppendOptions options_;
-  ReplicationStats stats_;
+  DeliveryReport report_;
+  std::set<SeqNo> acked_;    ///< acked seqs above the contiguous frontier
+  std::set<SeqNo> inflight_; ///< seqs with a forward currently outstanding
 };
 
 }  // namespace xg::cspot

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/contract.hpp"
+
 namespace xg::cspot {
 
 Runtime::Runtime(sim::Simulation& sim, uint64_t seed, RuntimeParams params)
@@ -50,6 +52,35 @@ void Runtime::AttachObservability(obs::MetricsRegistry* registry,
   registry->RegisterCallback(
       "xg_cspot_wan_messages_lost_total", {}, "WAN messages lost",
       [this] { return static_cast<double>(wan_.messages_lost()); }, kCounter);
+}
+
+void Runtime::AttachFaultInjector(fault::FaultInjector& injector) {
+  wan_.set_fault_injector(&injector);
+  injector.OnWindow(
+      fault::FaultKind::kPartition,
+      [this](const fault::FaultEvent& e, bool begin) {
+        const auto [a, b] = fault::FaultPlan::SplitLinkTarget(e.target);
+        // A plan naming an unknown link is a plan bug, not a runtime
+        // error path; surface it loudly under the contract macros.
+        Status s = wan_.SetLinkUp(a, b, !begin);
+        XG_INVARIANT(s.ok(), "partition target names no WAN link: " + e.target);
+      });
+  injector.OnWindow(fault::FaultKind::kNodeUnreachable,
+                    [this](const fault::FaultEvent& e, bool begin) {
+                      wan_.SetNodeReachable(e.target, !begin);
+                    });
+  injector.OnWindow(
+      fault::FaultKind::kPowerLoss,
+      [this](const fault::FaultEvent& e, bool begin) {
+        Node* node = GetNode(e.target);
+        if (node == nullptr) return;
+        if (begin) {
+          Status s = node->PowerFail(static_cast<size_t>(e.magnitude));
+          XG_INVARIANT(s.ok(), "power-loss truncation failed on " + e.target);
+        } else {
+          node->set_up(true);
+        }
+      });
 }
 
 Node& Runtime::AddNode(const std::string& name) {
@@ -129,6 +160,7 @@ struct Runtime::AppendOp {
   uint64_t token = 0;      ///< idempotence token, constant across retries
   int attempt = 0;
   bool finished = false;
+  bool deduped = false;    ///< ack came from the host's dedup table
   sim::EventHandle timeout;
   uint64_t phase_id = 0;   ///< guards stale responses from earlier phases
   obs::TraceContext span;        ///< cspot.append, whole operation
@@ -147,7 +179,7 @@ void Runtime::RemoteAppend(const std::string& client, const std::string& host,
   op->payload = std::move(payload);
   op->opts = opts;
   op->done = std::move(done);
-  op->token = next_token_++;
+  op->token = opts.idem_token != 0 ? opts.idem_token : next_token_++;
   op->span = obs::StartSpanIf(tracer_, "cspot.append", "cspot", opts.trace);
   obs::AnnotateIf(tracer_, op->span, "path", client + "->" + host);
   obs::AnnotateIf(tracer_, op->span, "log", log);
@@ -160,9 +192,14 @@ void Runtime::StartAttempt(std::shared_ptr<AppendOp> op) {
     op->finished = true;
     obs::AnnotateIf(tracer_, op->span, "error", "exhausted retries");
     obs::EndSpanIf(tracer_, op->span);
-    op->done(Status(ErrorCode::kTimeout,
-                    "append to " + op->host + "/" + op->log +
-                        " exhausted retries"));
+    const Status timeout(ErrorCode::kTimeout, "append to " + op->host + "/" +
+                                                  op->log +
+                                                  " exhausted retries");
+    fault::FaultOutcome outcome;
+    outcome.status = timeout;
+    outcome.attempts = op->attempt;
+    outcome.deduped = op->deduped;
+    op->done(timeout, outcome);
     return;
   }
   ++op->attempt;
@@ -196,14 +233,17 @@ void Runtime::PhaseGetSize(std::shared_ptr<AppendOp> op) {
                                 StartAttempt(op);
                               });
 
-  wan_.Send(op->client, op->host, params_.control_bytes, [this, op, phase]() {
+  // A synchronous send failure (no route, loss) is deliberately not acted
+  // on here: the armed timeout drives the retry at the configured pace.
+  // Failing fast would spin retries back-to-back in zero virtual time.
+  (void)wan_.Send(op->client, op->host, params_.control_bytes, [this, op, phase]() {
     // Request arrives at the host.
     Node* host = GetNode(op->host);
     if (host == nullptr || !host->up()) return;  // dropped; timeout drives retry
     LogStorage* storage = host->GetLog(op->log);
     const bool found = storage != nullptr;
     const size_t element_size = found ? storage->config().element_size : 0;
-    wan_.Send(op->host, op->client, params_.control_bytes,
+    (void)wan_.Send(op->host, op->client, params_.control_bytes,
               [this, op, phase, found, element_size]() {
                 if (op->finished || op->phase_id != phase) return;
                 sim_.Cancel(op->timeout);
@@ -245,7 +285,9 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
                               });
 
   const size_t wire_bytes = params_.control_bytes + op->payload.size();
-  wan_.Send(op->client, op->host, wire_bytes, [this, op, phase, assumed_size]() {
+  // As in PhaseGetSize: the timeout, not the synchronous Status, paces
+  // retries of lost puts.
+  (void)wan_.Send(op->client, op->host, wire_bytes, [this, op, phase, assumed_size]() {
     Node* host = GetNode(op->host);
     if (host == nullptr || !host->up()) return;
     LogStorage* storage = host->GetLog(op->log);
@@ -298,7 +340,7 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
           }
         }
       }
-      wan_.Send(op->host, op->client, params_.control_bytes,
+      (void)wan_.Send(op->host, op->client, params_.control_bytes,
                 [this, op, phase, verdict, seq]() {
                   if (op->finished || op->phase_id != phase) return;
                   sim_.Cancel(op->timeout);
@@ -309,6 +351,7 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
                       return;
                     case Verdict::kDedup:
                       ++counters_.dedup_hits;
+                      op->deduped = true;
                       FinishAttempt(op, seq);
                       return;
                     case Verdict::kNotFound:
@@ -339,13 +382,18 @@ void Runtime::FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result) 
   sim_.Cancel(op->timeout);
   if (tracer_ != nullptr && op->span.valid()) {
     tracer_->Annotate(op->span, "attempts", std::to_string(op->attempt));
+    if (op->deduped) tracer_->Annotate(op->span, "deduped", "true");
     if (!result.ok()) {
       tracer_->Annotate(op->span, "error", result.status().ToString());
     }
     tracer_->EndSpan(op->phase_span);
     tracer_->EndSpan(op->span);
   }
-  op->done(std::move(result));
+  fault::FaultOutcome outcome;
+  outcome.status = result.ok() ? Status::Ok() : result.status();
+  outcome.attempts = op->attempt;
+  outcome.deduped = op->deduped;
+  op->done(std::move(result), outcome);
 }
 
 // ---------------------------------------------------------------------------
@@ -356,39 +404,39 @@ void Runtime::RemoteLatestSeq(const std::string& client,
                               const std::string& host, const std::string& log,
                               SeqCallback done) {
   auto cb = std::make_shared<SeqCallback>(std::move(done));
-  const bool sent =
+  // Server-side reply sends are (void): a lost reply simply leaves the
+  // caller without a callback, exactly as a lost datagram would.
+  const Status sent =
       wan_.Send(client, host, params_.control_bytes, [this, client, host, log, cb]() {
         Node* h = GetNode(host);
         if (h == nullptr || !h->up()) return;
         LogStorage* storage = h->GetLog(log);
         if (storage == nullptr) {
-          wan_.Send(host, client, params_.control_bytes, [cb, log]() {
+          (void)wan_.Send(host, client, params_.control_bytes, [cb, log]() {
             (*cb)(Status(ErrorCode::kNotFound, "no log " + log));
           });
           return;
         }
         const SeqNo latest = storage->Latest();
-        wan_.Send(host, client, params_.control_bytes,
+        (void)wan_.Send(host, client, params_.control_bytes,
                   [cb, latest]() { (*cb)(latest); });
       });
-  if (!sent) {
-    sim_.Schedule(sim::SimTime::Millis(0.0), [cb, client, host]() {
-      (*cb)(Status(ErrorCode::kUnavailable, "no route " + client + "->" + host));
-    });
+  if (!sent.ok()) {
+    sim_.Schedule(sim::SimTime::Millis(0.0), [cb, sent]() { (*cb)(sent); });
   }
 }
 
 void Runtime::RemoteGet(const std::string& client, const std::string& host,
                         const std::string& log, SeqNo seq, ReadCallback done) {
   auto cb = std::make_shared<ReadCallback>(std::move(done));
-  const bool sent =
+  const Status sent =
       wan_.Send(client, host, params_.control_bytes,
                 [this, client, host, log, seq, cb]() {
                   Node* h = GetNode(host);
                   if (h == nullptr || !h->up()) return;
                   LogStorage* storage = h->GetLog(log);
                   if (storage == nullptr) {
-                    wan_.Send(host, client, params_.control_bytes, [cb, log]() {
+                    (void)wan_.Send(host, client, params_.control_bytes, [cb, log]() {
                       (*cb)(Status(ErrorCode::kNotFound, "no log " + log));
                     });
                     return;
@@ -396,13 +444,11 @@ void Runtime::RemoteGet(const std::string& client, const std::string& host,
                   Result<std::vector<uint8_t>> r = storage->Get(seq);
                   const size_t bytes =
                       params_.control_bytes + (r.ok() ? r.value().size() : 0);
-                  wan_.Send(host, client, bytes,
+                  (void)wan_.Send(host, client, bytes,
                             [cb, r = std::move(r)]() { (*cb)(r); });
                 });
-  if (!sent) {
-    sim_.Schedule(sim::SimTime::Millis(0.0), [cb, client, host]() {
-      (*cb)(Status(ErrorCode::kUnavailable, "no route " + client + "->" + host));
-    });
+  if (!sent.ok()) {
+    sim_.Schedule(sim::SimTime::Millis(0.0), [cb, sent]() { (*cb)(sent); });
   }
 }
 

@@ -26,6 +26,8 @@
 #include "common/sim.hpp"
 #include "cspot/node.hpp"
 #include "cspot/wan.hpp"
+#include "fault/injector.hpp"
+#include "fault/outcome.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -39,6 +41,11 @@ struct AppendOptions {
   /// `cspot.append` span under this parent, with per-phase and per-WAN-hop
   /// child spans.
   obs::TraceContext trace;
+  /// Idempotence token for the host's dedup table. 0 (the default) lets
+  /// the runtime mint a fresh token; a caller that may re-issue the same
+  /// logical append across its own crashes (the replicator) supplies a
+  /// stable nonzero token so the re-issue dedups instead of double-writing.
+  uint64_t idem_token = 0;
 };
 
 struct RuntimeParams {
@@ -77,6 +84,13 @@ class Runtime {
                            obs::Tracer* tracer);
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Couple a fault injector to the transport: WAN message faults (loss,
+  /// duplication, reordering) apply per Send, and window actuators are
+  /// registered for kPartition / kNodeUnreachable (link state) and
+  /// kPowerLoss (node down + tail truncation, back up at window end).
+  /// The injector must outlive this runtime; call before Arm().
+  void AttachFaultInjector(fault::FaultInjector& injector);
+
   /// Create a node (also registered with the WAN).
   Node& AddNode(const std::string& name);
   Node* GetNode(const std::string& name);
@@ -93,7 +107,10 @@ class Runtime {
   Status RegisterHandler(const std::string& node, const std::string& log,
                          Node::Handler handler);
 
-  using AppendCallback = std::function<void(Result<SeqNo>)>;
+  /// Append completion: the assigned seq (or error) plus the unified
+  /// failure-surface outcome (attempt count, dedup absorption).
+  using AppendCallback =
+      std::function<void(Result<SeqNo>, const fault::FaultOutcome&)>;
   using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
   using SeqCallback = std::function<void(Result<SeqNo>)>;
 

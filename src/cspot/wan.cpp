@@ -79,13 +79,13 @@ std::vector<size_t> Wan::Route(const std::string& from,
   return route;
 }
 
-bool Wan::Send(const std::string& from, const std::string& to, size_t bytes,
-               std::function<void()> deliver, const obs::TraceContext& trace) {
+Status Wan::Send(const std::string& from, const std::string& to, size_t bytes,
+                 std::function<void()> deliver, const obs::TraceContext& trace) {
   ++messages_sent_;
   const auto route = Route(from, to);
   if (route.empty() && from != to) {
     ++messages_lost_;
-    return false;
+    return Status(ErrorCode::kUnavailable, "no route " + from + "->" + to);
   }
   const bool traced = tracer_ != nullptr && trace.valid();
   const int64_t depart_us = sim_.Now().micros();
@@ -119,13 +119,35 @@ bool Wan::Send(const std::string& from, const std::string& to, size_t bytes,
     }
     if (lost) {
       ++messages_lost_;
-      return false;
+      return Status(ErrorCode::kUnavailable,
+                    "message lost on link " + cur + "->" + next);
     }
     total_ms += lat;
     cur = next;
   }
+  if (fault_ != nullptr) {
+    // Delivery-leg chaos, in a fixed roll order so a seeded plan replays
+    // bit-identically: loss swallows the message, duplicate schedules a
+    // second delivery `aux` ms later, reorder delays the only delivery.
+    const std::string pair = fault::FaultPlan::LinkTarget(from, to);
+    const fault::FaultEvent* ev = nullptr;
+    if ((ev = fault_->Roll(fault::FaultKind::kMessageLoss, pair, depart_us)) !=
+        nullptr) {
+      ++messages_lost_;
+      return Status(ErrorCode::kUnavailable,
+                    "injected message loss " + from + "->" + to);
+    }
+    if ((ev = fault_->Roll(fault::FaultKind::kDuplicate, pair, depart_us)) !=
+        nullptr) {
+      sim_.Schedule(sim::SimTime::Millis(total_ms + ev->aux), deliver);
+    }
+    if ((ev = fault_->Roll(fault::FaultKind::kReorder, pair, depart_us)) !=
+        nullptr) {
+      total_ms += ev->aux;
+    }
+  }
   sim_.Schedule(sim::SimTime::Millis(total_ms), std::move(deliver));
-  return true;
+  return Status::Ok();
 }
 
 Result<double> Wan::MeanPathLatencyMs(const std::string& from,

@@ -16,6 +16,7 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/sim.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 
 namespace xg::cspot {
@@ -53,12 +54,23 @@ class Wan {
   /// exact sampled per-link latency (the per-hop decomposition of §4.4).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Chaos hook: when set, each Send consults the injector's message-kind
+  /// events (loss / duplicate / reorder, keyed by the endpoints' canonical
+  /// FaultPlan::LinkTarget) before scheduling the delivery. Must outlive
+  /// this Wan.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   /// Send `bytes` from `from` to `to`; `deliver` runs at the destination
-  /// after the sampled path latency. Returns false when no route exists or
-  /// the message is lost (deliver never runs in that case).
-  bool Send(const std::string& from, const std::string& to, size_t bytes,
-            std::function<void()> deliver,
-            const obs::TraceContext& trace = obs::TraceContext{});
+  /// after the sampled path latency. Fails with kUnavailable when no
+  /// route exists or the message is lost on a link — natural loss and
+  /// injected loss alike (`deliver` never runs in that case). An injected
+  /// duplicate delivers twice; the runtime's dedup tokens make that safe.
+  [[nodiscard]] Status Send(
+      const std::string& from, const std::string& to, size_t bytes,
+      std::function<void()> deliver,
+      const obs::TraceContext& trace = obs::TraceContext{});
 
   /// Mean end-to-end one-way latency (no jitter/loss), for diagnostics.
   Result<double> MeanPathLatencyMs(const std::string& from,
@@ -82,6 +94,7 @@ class Wan {
   sim::Simulation& sim_;
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   std::vector<std::string> nodes_;
   std::map<std::string, bool> reachable_;
   std::vector<Link> links_;

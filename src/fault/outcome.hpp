@@ -1,0 +1,38 @@
+// The unified failure surface every injectable layer reports through.
+//
+// Before this header existed each layer spoke its own dialect: net5g
+// returned raw bools and -1 sentinels, cspot::Wan kept implicit counters,
+// replicate.hpp exposed a bare completion callback. A chaos test that
+// wants to assert "exactly-once despite three partitions and a power
+// loss" needs one shape it can read from any layer — this is that shape.
+//
+// A FaultOutcome accompanies the final Result/Status of an operation and
+// says how the operation *got* there: how many protocol attempts it
+// consumed and whether the host's idempotence table absorbed a retry.
+// It is deliberately a plain value type so callbacks can copy it.
+#pragma once
+
+#include "common/result.hpp"
+
+namespace xg::fault {
+
+struct FaultOutcome {
+  /// Final status of the operation; mirrors the Result the callback also
+  /// receives so code holding only the outcome can still branch on it.
+  Status status = Status::Ok();
+  /// Protocol attempts consumed (1 = first try succeeded; >1 = retries).
+  int attempts = 1;
+  /// The ack was produced by the host's dedup table — an earlier attempt
+  /// already appended durably and only the ack was lost.
+  bool deduped = false;
+
+  bool ok() const { return status.ok(); }
+  int retries() const { return attempts > 1 ? attempts - 1 : 0; }
+};
+
+}  // namespace xg::fault
+
+namespace xg {
+// The short spelling used throughout docs and tests.
+using fault::FaultOutcome;
+}  // namespace xg

@@ -1,0 +1,168 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xg::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kNodeUnreachable: return "node_unreachable";
+    case FaultKind::kMessageLoss: return "message_loss";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kPowerLoss: return "power_loss";
+    case FaultKind::kRrcDrop: return "rrc_drop";
+    case FaultKind::kLinkDegrade: return "link_degrade";
+    case FaultKind::kQueueStall: return "queue_stall";
+    case FaultKind::kJobKill: return "job_kill";
+  }
+  return "?";
+}
+
+const char* LayerName(Layer layer) {
+  switch (layer) {
+    case Layer::kNet5g: return "net5g";
+    case Layer::kWan: return "wan";
+    case Layer::kCspot: return "cspot";
+    case Layer::kHpc: return "hpc";
+  }
+  return "?";
+}
+
+Layer LayerOf(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartition:
+    case FaultKind::kNodeUnreachable:
+    case FaultKind::kMessageLoss:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+      return Layer::kWan;
+    case FaultKind::kPowerLoss:
+      return Layer::kCspot;
+    case FaultKind::kRrcDrop:
+    case FaultKind::kLinkDegrade:
+      return Layer::kNet5g;
+    case FaultKind::kQueueStall:
+    case FaultKind::kJobKill:
+      return Layer::kHpc;
+  }
+  return Layer::kWan;
+}
+
+const std::vector<FaultKind>& AllFaultKinds() {
+  static const std::vector<FaultKind> kAll = {
+      FaultKind::kPartition,  FaultKind::kNodeUnreachable,
+      FaultKind::kMessageLoss, FaultKind::kDuplicate,
+      FaultKind::kReorder,    FaultKind::kPowerLoss,
+      FaultKind::kRrcDrop,    FaultKind::kLinkDegrade,
+      FaultKind::kQueueStall, FaultKind::kJobKill,
+  };
+  return kAll;
+}
+
+bool FaultEvent::ActiveAt(int64_t now_us) const {
+  if (duration_s <= 0.0) return false;
+  const int64_t start_us = static_cast<int64_t>(start_s * 1e6);
+  const int64_t end_us = static_cast<int64_t>(end_s() * 1e6);
+  return now_us >= start_us && now_us < end_us;
+}
+
+std::string FaultPlan::LinkTarget(const std::string& a, const std::string& b) {
+  return a <= b ? a + "|" + b : b + "|" + a;
+}
+
+std::pair<std::string, std::string> FaultPlan::SplitLinkTarget(
+    const std::string& target) {
+  const size_t bar = target.find('|');
+  if (bar == std::string::npos) return {target, ""};
+  return {target.substr(0, bar), target.substr(bar + 1)};
+}
+
+std::string FaultPlan::UeTarget(int ue_index) {
+  return "ue:" + std::to_string(ue_index);
+}
+
+FaultPlan& FaultPlan::Add(FaultEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Partition(const std::string& a, const std::string& b,
+                                double start_s, double duration_s) {
+  return Add({FaultKind::kPartition, LinkTarget(a, b), start_s, duration_s,
+              0.0, 0.0});
+}
+
+FaultPlan& FaultPlan::NodeUnreachable(const std::string& node, double start_s,
+                                      double duration_s) {
+  return Add({FaultKind::kNodeUnreachable, node, start_s, duration_s, 0.0,
+              0.0});
+}
+
+FaultPlan& FaultPlan::MessageLoss(const std::string& link_target,
+                                  double start_s, double duration_s,
+                                  double probability) {
+  return Add({FaultKind::kMessageLoss, link_target, start_s, duration_s,
+              probability, 0.0});
+}
+
+FaultPlan& FaultPlan::Duplicate(const std::string& link_target, double start_s,
+                                double duration_s, double probability,
+                                double extra_delay_ms) {
+  return Add({FaultKind::kDuplicate, link_target, start_s, duration_s,
+              probability, extra_delay_ms});
+}
+
+FaultPlan& FaultPlan::Reorder(const std::string& link_target, double start_s,
+                              double duration_s, double probability,
+                              double extra_delay_ms) {
+  return Add({FaultKind::kReorder, link_target, start_s, duration_s,
+              probability, extra_delay_ms});
+}
+
+FaultPlan& FaultPlan::PowerLoss(const std::string& node, double start_s,
+                                double duration_s, int lose_tail_appends) {
+  return Add({FaultKind::kPowerLoss, node, start_s, duration_s,
+              static_cast<double>(lose_tail_appends), 0.0});
+}
+
+FaultPlan& FaultPlan::RrcDrop(int ue_index, double start_s,
+                              double duration_s) {
+  return Add({FaultKind::kRrcDrop, UeTarget(ue_index), start_s, duration_s,
+              0.0, 0.0});
+}
+
+FaultPlan& FaultPlan::LinkDegrade(int ue_index, double start_s,
+                                  double duration_s, double penalty_db) {
+  return Add({FaultKind::kLinkDegrade, UeTarget(ue_index), start_s,
+              duration_s, penalty_db, 0.0});
+}
+
+FaultPlan& FaultPlan::QueueStall(const std::string& site, double start_s,
+                                 double duration_s) {
+  return Add({FaultKind::kQueueStall, site, start_s, duration_s, 0.0, 0.0});
+}
+
+FaultPlan& FaultPlan::JobKill(const std::string& site, double at_s,
+                              int jobs) {
+  return Add({FaultKind::kJobKill, site, at_s, 0.0,
+              static_cast<double>(jobs), 0.0});
+}
+
+std::string FaultPlan::Describe() const {
+  std::ostringstream out;
+  out << "fault plan: seed=" << seed_ << " events=" << events_.size() << "\n";
+  for (const FaultEvent& e : events_) {
+    out << "  " << FaultKindName(e.kind) << " target="
+        << (e.target.empty() ? "*" : e.target) << " t=" << e.start_s << "s";
+    if (e.duration_s > 0.0) out << " for " << e.duration_s << "s";
+    if (e.magnitude != 0.0) out << " magnitude=" << e.magnitude;
+    if (e.aux != 0.0) out << " aux=" << e.aux;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xg::fault

@@ -1,0 +1,123 @@
+// FaultPlan: a scripted, seed-reproducible schedule of failures.
+//
+// A plan is a list of FaultEvents — each a (kind, target, window,
+// magnitude) tuple in virtual time. The plan itself is pure data: it does
+// nothing until a FaultInjector arms it on a Simulation, at which point
+// window-kind events actuate layer hooks (link down, node power loss,
+// queue stall) and message-kind events bias per-message decisions
+// (loss, duplication, reordering) through a deterministic seeded RNG.
+//
+// The same (plan, seed) pair always produces the same injected-fault
+// sequence, which is what makes the chaos suites bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xg::fault {
+
+enum class FaultKind {
+  // -- WAN / transport (message kinds roll per message) --
+  kPartition,       ///< window: link taken down, restored at window end
+  kNodeUnreachable, ///< window: every link of a node down (site partition)
+  kMessageLoss,     ///< per message: dropped with prob = magnitude
+  kDuplicate,       ///< per message: delivered twice; copy delayed aux ms
+  kReorder,         ///< per message: delivery delayed by aux ms
+  // -- CSPOT node --
+  kPowerLoss,       ///< window: node down; tail of magnitude appends lost
+  // -- 5G access --
+  kRrcDrop,         ///< window: UE detached from the cell (no PRB grants)
+  kLinkDegrade,     ///< window: UE SNR reduced by magnitude dB
+  // -- HPC facility --
+  kQueueStall,      ///< window: batch scheduler admits no new jobs
+  kJobKill,         ///< instant: magnitude newest running jobs cancelled
+};
+
+/// The layer a fault charges its `xg_fault_injected_total{layer=...}`
+/// count to.
+enum class Layer { kNet5g, kWan, kCspot, kHpc };
+
+const char* FaultKindName(FaultKind kind);
+const char* LayerName(Layer layer);
+Layer LayerOf(FaultKind kind);
+
+/// Every kind used by FaultPlan / FaultInjector, in a fixed export order.
+const std::vector<FaultKind>& AllFaultKinds();
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPartition;
+  /// What the fault applies to. Empty matches everything the kind can hit.
+  /// Conventions: links use FaultPlan::LinkTarget(a, b); nodes and HPC
+  /// sites use their name; UEs use FaultPlan::UeTarget(index).
+  std::string target;
+  double start_s = 0.0;
+  double duration_s = 0.0;  ///< 0 for instantaneous kinds (kJobKill)
+  /// Kind-specific: probability for message kinds, dB for kLinkDegrade,
+  /// a count for kPowerLoss (lost tail appends) and kJobKill.
+  double magnitude = 0.0;
+  /// Kind-specific extra: added delivery delay in ms for kDuplicate /
+  /// kReorder.
+  double aux = 0.0;
+
+  double end_s() const { return start_s + duration_s; }
+  /// Half-open window [start, end); instantaneous events are active never
+  /// (they fire actuators at start_s instead).
+  bool ActiveAt(int64_t now_us) const;
+  /// Whether this event applies to `target` (empty event target = any).
+  bool Matches(const std::string& query) const {
+    return target.empty() || target == query;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(uint64_t seed) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Canonical (order-independent) link target "a|b".
+  static std::string LinkTarget(const std::string& a, const std::string& b);
+  /// Splits a LinkTarget back into its endpoints.
+  static std::pair<std::string, std::string> SplitLinkTarget(
+      const std::string& target);
+  /// Target naming for a cell-attached UE.
+  static std::string UeTarget(int ue_index);
+
+  FaultPlan& Add(FaultEvent event);
+
+  // -- builder shorthands (all return *this for chaining) --
+  FaultPlan& Partition(const std::string& a, const std::string& b,
+                       double start_s, double duration_s);
+  FaultPlan& NodeUnreachable(const std::string& node, double start_s,
+                             double duration_s);
+  FaultPlan& MessageLoss(const std::string& link_target, double start_s,
+                         double duration_s, double probability);
+  FaultPlan& Duplicate(const std::string& link_target, double start_s,
+                       double duration_s, double probability,
+                       double extra_delay_ms);
+  FaultPlan& Reorder(const std::string& link_target, double start_s,
+                     double duration_s, double probability,
+                     double extra_delay_ms);
+  FaultPlan& PowerLoss(const std::string& node, double start_s,
+                       double duration_s, int lose_tail_appends = 0);
+  FaultPlan& RrcDrop(int ue_index, double start_s, double duration_s);
+  FaultPlan& LinkDegrade(int ue_index, double start_s, double duration_s,
+                         double penalty_db);
+  FaultPlan& QueueStall(const std::string& site, double start_s,
+                        double duration_s);
+  FaultPlan& JobKill(const std::string& site, double at_s, int jobs = 1);
+
+  /// Deterministic one-line-per-event description (chaos_demo output).
+  std::string Describe() const;
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace xg::fault

@@ -45,6 +45,39 @@ void BatchScheduler::AttachObservability(obs::MetricsRegistry* registry) {
       obs::MetricSample::Type::kGauge);
 }
 
+void BatchScheduler::AttachFaultInjector(fault::FaultInjector& injector) {
+  injector.OnWindow(
+      fault::FaultKind::kQueueStall,
+      [this](const fault::FaultEvent& e, bool begin) {
+        if (!e.target.empty() && e.target != site_.name) return;
+        stalled_ = begin;
+        // Window end: admit whatever queued up while stalled.
+        if (!begin) TrySchedule();
+      });
+  injector.OnWindow(
+      fault::FaultKind::kJobKill,
+      [this](const fault::FaultEvent& e, bool begin) {
+        if (!begin) return;  // instantaneous
+        if (!e.target.empty() && e.target != site_.name) return;
+        // Kill the newest running jobs first (descending id — the order a
+        // preempting operator would evict), deterministically. Snapshot
+        // the victims first: cancelling frees nodes, which can start a
+        // queued job mid-loop, and that job must not join the victims.
+        int to_kill = std::max(1, static_cast<int>(e.magnitude));
+        std::vector<JobId> victims;
+        for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+          if (it->second.state == JobState::kRunning) {
+            victims.push_back(it->first);
+          }
+        }
+        for (JobId id : victims) {
+          if (to_kill <= 0) break;
+          Status s = Cancel(id);
+          if (s.ok()) --to_kill;
+        }
+      });
+}
+
 JobId BatchScheduler::Submit(const JobSpec& spec, JobCallback on_start,
                              JobCallback on_end) {
   JobInfo info;
@@ -122,6 +155,9 @@ void BatchScheduler::FinishJob(JobId id, JobState final_state) {
 }
 
 void BatchScheduler::TrySchedule() {
+  // An injected queue stall freezes admission entirely: nodes released by
+  // finishing jobs stay idle until the stall window ends.
+  if (stalled_) return;
   // FIFO head; EASY backfill behind it.
   while (!queue_.empty()) {
     const JobId head = queue_.front();

@@ -403,7 +403,8 @@ Status Program::Emit(int op, int64_t iteration, const Value& v) {
         } else {
           rt_.RemoteAppend(o.host, c.host, in_log, payload,
                            cspot::AppendOptions{},
-                           [](Result<cspot::SeqNo>) {});
+                           [](Result<cspot::SeqNo>,
+                              const fault::FaultOutcome&) {});
         }
       }
     }

@@ -12,7 +12,7 @@ Cell::Cell(CellConfig config, uint64_t seed)
   slice_members_.resize(config_.slices.size());
 }
 
-int Cell::AttachUe(const UeProfile& profile, const std::string& slice) {
+Result<int> Cell::AttachUe(const UeProfile& profile, const std::string& slice) {
   for (size_t s = 0; s < config_.slices.size(); ++s) {
     if (config_.slices[s].name == slice) {
       UeState ue{profile, Channel(profile.channel, rng_.Fork()), s, 0.0,
@@ -20,10 +20,34 @@ int Cell::AttachUe(const UeProfile& profile, const std::string& slice) {
       ues_.push_back(std::move(ue));
       const size_t idx = ues_.size() - 1;
       slice_members_[s].push_back(idx);
+      ue_rrc_dropped_.push_back(0);
+      ue_snr_penalty_db_.push_back(0.0);
       return static_cast<int>(idx);
     }
   }
-  return -1;
+  return Status(ErrorCode::kNotFound, "no slice named " + slice);
+}
+
+void Cell::RefreshFaultState(int64_t now_us) {
+  any_rrc_dropped_ = false;
+  for (size_t u = 0; u < ues_.size(); ++u) {
+    const std::string target = fault::FaultPlan::UeTarget(static_cast<int>(u));
+    const bool dropped =
+        fault_->Active(fault::FaultKind::kRrcDrop, target, now_us);
+    const double penalty = fault_->ActiveMagnitude(
+        fault::FaultKind::kLinkDegrade, target, now_us);
+    // Count each UE's window once, on its rising edge, so a seeded run's
+    // xg_fault_injected_total is independent of how many seconds it spans.
+    if (dropped && ue_rrc_dropped_[u] == 0) {
+      fault_->Count(fault::Layer::kNet5g, fault::FaultKind::kRrcDrop);
+    }
+    if (penalty > 0.0 && ue_snr_penalty_db_[u] == 0.0) {
+      fault_->Count(fault::Layer::kNet5g, fault::FaultKind::kLinkDegrade);
+    }
+    ue_rrc_dropped_[u] = dropped ? 1 : 0;
+    ue_snr_penalty_db_[u] = penalty;
+    any_rrc_dropped_ = any_rrc_dropped_ || dropped;
+  }
 }
 
 int Cell::SlicePrbs(size_t slice_index) const {
@@ -71,7 +95,15 @@ void Cell::RunSlot(int64_t slot_index, double slot_drop_fraction,
 
   const bool is_nr = config_.access == Access::kNr5G;
   for (size_t s = 0; s < config_.slices.size(); ++s) {
-    const auto& members = slice_members_[s];
+    // An RRC-dropped UE is detached: it takes no grants, and the slice
+    // quota redistributes over the UEs still attached.
+    std::vector<size_t> attached;
+    if (any_rrc_dropped_) {
+      for (size_t idx : slice_members_[s]) {
+        if (ue_rrc_dropped_[idx] == 0) attached.push_back(idx);
+      }
+    }
+    const auto& members = any_rrc_dropped_ ? attached : slice_members_[s];
     if (members.empty()) continue;
     const int prbs = SlicePrbs(s);
     if (prbs <= 0) continue;
@@ -93,7 +125,8 @@ void Cell::RunSlot(int64_t slot_index, double slot_drop_fraction,
         const double snr = ue.channel.SlotSnrDb() +
                            (direction == Direction::kDownlink
                                 ? ue.profile.dl_snr_offset_db
-                                : 0.0);
+                                : 0.0) -
+                           ue_snr_penalty_db_[members[k]];
         const double se = SpectralEfficiency(snr, is_nr);
         const double bits = SlotBits(alloc, se);
         ue.phy_bits_this_second += bits;
@@ -110,7 +143,8 @@ void Cell::RunSlot(int64_t slot_index, double slot_drop_fraction,
         snrs[k] = ue.channel.SlotSnrDb() +
                   (direction == Direction::kDownlink
                        ? ue.profile.dl_snr_offset_db
-                       : 0.0);
+                       : 0.0) -
+                  ue_snr_penalty_db_[members[k]];
         const double inst = SlotBits(prbs, SpectralEfficiency(snrs[k], is_nr));
         const double avg = ue.avg_rate.initialized()
                                ? std::max(1.0, ue.avg_rate.value())
@@ -164,6 +198,10 @@ UplinkRunResult Cell::RunDirection(int seconds, int warmup_seconds,
     for (auto& ue : ues_) {
       ue.channel.TickSecond();
       ue.phy_bits_this_second = 0.0;
+    }
+    if (fault_ != nullptr) {
+      RefreshFaultState(
+          static_cast<int64_t>((time_base_s_ + static_cast<double>(sec)) * 1e6));
     }
     // This second's overload-induced slot-drop fraction. Overflow episodes
     // are bursty, which is why the measured variance blows up at the SDR

@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "fault/injector.hpp"
 #include "net5g/channel.hpp"
 #include "net5g/device.hpp"
 #include "net5g/phy.hpp"
@@ -44,8 +46,20 @@ class Cell {
   Cell(CellConfig config, uint64_t seed);
 
   /// Attach a UE to a slice (by slice name); returns the UE index.
-  /// Fails (returns -1) if the slice does not exist.
-  int AttachUe(const UeProfile& profile, const std::string& slice = "default");
+  /// Fails with kNotFound if the slice does not exist.
+  Result<int> AttachUe(const UeProfile& profile,
+                       const std::string& slice = "default");
+
+  /// Chaos hook: consult `injector` each virtual second for kRrcDrop
+  /// (UE detached — no PRB grants) and kLinkDegrade (SNR penalty, dB) on
+  /// FaultPlan::UeTarget(index) targets. The cell keeps its own second
+  /// counter; `time_base_s` maps its second 0 onto the plan's clock.
+  /// The injector must outlive this cell.
+  void set_fault_injector(fault::FaultInjector* injector,
+                          double time_base_s = 0.0) {
+    fault_ = injector;
+    time_base_s_ = time_base_s;
+  }
 
   int ue_count() const { return static_cast<int>(ues_.size()); }
   const CellConfig& config() const { return config_; }
@@ -82,6 +96,9 @@ class Cell {
                Direction direction);
   UplinkRunResult RunDirection(int seconds, int warmup_seconds,
                                Direction direction);
+  /// Refresh per-UE fault state for the second at `now_us`; counts each
+  /// affected UE's window once, on its rising edge.
+  void RefreshFaultState(int64_t now_us);
 
   CellConfig config_;
   Rng rng_;
@@ -89,6 +106,11 @@ class Cell {
   std::vector<std::vector<size_t>> slice_members_;
   SchedulerPolicy scheduler_ = SchedulerPolicy::kRoundRobin;
   int64_t rr_cursor_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
+  double time_base_s_ = 0.0;
+  bool any_rrc_dropped_ = false;
+  std::vector<char> ue_rrc_dropped_;       ///< per-UE, this second
+  std::vector<double> ue_snr_penalty_db_;  ///< per-UE, this second
 };
 
 }  // namespace xg::net5g

@@ -22,7 +22,8 @@ ThroughputPoint Measure(Access access, Duplex duplex, double bw_mhz,
   CellConfig cfg = MakeSweepCell(access, duplex, bw_mhz);
   Cell cell(cfg, seed);
   const UeProfile profile = MakeUeProfile(device, cfg);
-  for (int u = 0; u < users; ++u) cell.AttachUe(profile);
+  // The sweep cell always carries a "default" slice, so attach cannot fail.
+  for (int u = 0; u < users; ++u) (void)cell.AttachUe(profile);
   UplinkRunResult run = cell.RunUplink(samples, /*warmup_seconds=*/1);
 
   ThroughputPoint p;
@@ -68,8 +69,8 @@ SlicingResult MeasureSlicing(double fraction1, int samples, uint64_t seed,
   rpi2.channel.link_snr_db = 22.8;
   rpi2.host_capacity_mbps = 43.5;
 
-  cell.AttachUe(rpi1, "slice-a");
-  cell.AttachUe(rpi2, "slice-b");
+  (void)cell.AttachUe(rpi1, "slice-a");
+  (void)cell.AttachUe(rpi2, "slice-b");
   UplinkRunResult run = cell.RunUplink(samples, /*warmup_seconds=*/1);
 
   SlicingResult r;

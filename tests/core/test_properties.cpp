@@ -126,7 +126,9 @@ TEST_P(LossSweep, AppendsRemainExactlyOnce) {
   int acked = 0;
   for (int i = 0; i < n; ++i) {
     rt.RemoteAppend("a", "b", "log", std::vector<uint8_t>{uint8_t(i)}, opts,
-                    [&acked](Result<cspot::SeqNo> r) { acked += r.ok(); });
+                    [&acked](Result<cspot::SeqNo> r, const fault::FaultOutcome&) {
+                      acked += r.ok();
+                    });
     sim.Run();
   }
   EXPECT_EQ(acked, n);

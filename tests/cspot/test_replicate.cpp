@@ -34,8 +34,9 @@ TEST_F(ReplicateTest, ForwardsEveryAppend) {
   sim_.Run();
   LogStorage* dst = rt_.GetNode("repo")->GetLog("telemetry");
   EXPECT_EQ(dst->Size(), 10u);
-  EXPECT_EQ(repl.value()->stats().forwarded, 10u);
-  EXPECT_EQ(repl.value()->stats().failed, 0u);
+  EXPECT_EQ(repl.value()->report().shipped, 10u);
+  EXPECT_EQ(repl.value()->report().failed, 0u);
+  EXPECT_EQ(repl.value()->report().last_acked_contiguous, 9);
   // Content preserved in order.
   EXPECT_EQ(dst->Get(0).value(), Bytes(0));
   EXPECT_EQ(dst->Get(9).value(), Bytes(9));
@@ -60,16 +61,15 @@ TEST_F(ReplicateTest, PartitionThenRecovery) {
   }
   sim_.Run();
   EXPECT_EQ(rt_.GetNode("repo")->GetLog("telemetry")->Size(), 0u);
-  EXPECT_EQ(repl.value()->stats().failed, 5u);
+  EXPECT_EQ(repl.value()->report().failed, 5u);
 
   // Heal and run the recovery scan.
   ASSERT_TRUE((rt_.wan().SetLinkUp("edge", "repo", true)).ok());
-  uint64_t reshipped = 0;
-  repl.value()->Recover([&](uint64_t n) { reshipped = n; });
+  repl.value()->Recover();
   sim_.Run();
-  EXPECT_EQ(reshipped, 5u);
   EXPECT_EQ(rt_.GetNode("repo")->GetLog("telemetry")->Size(), 5u);
-  EXPECT_EQ(repl.value()->stats().recovery_shipped, 5u);
+  EXPECT_EQ(repl.value()->report().recovery_shipped, 5u);
+  EXPECT_EQ(repl.value()->report().last_acked_contiguous, 4);
 }
 
 TEST_F(ReplicateTest, RecoveryWithNothingMissingShipsNothing) {
@@ -77,10 +77,11 @@ TEST_F(ReplicateTest, RecoveryWithNothingMissingShipsNothing) {
   ASSERT_TRUE(repl.ok());
   ASSERT_TRUE((rt_.LocalAppend("edge", "telemetry", Bytes(1))).ok());
   sim_.Run();
-  uint64_t reshipped = 99;
-  repl.value()->Recover([&](uint64_t n) { reshipped = n; });
+  const uint64_t shipped_before = repl.value()->report().shipped;
+  repl.value()->Recover();
   sim_.Run();
-  EXPECT_EQ(reshipped, 0u);
+  EXPECT_EQ(repl.value()->report().recovery_shipped, 0u);
+  EXPECT_EQ(repl.value()->report().shipped, shipped_before);
   EXPECT_EQ(rt_.GetNode("repo")->GetLog("telemetry")->Size(), 1u);
 }
 

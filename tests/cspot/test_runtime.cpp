@@ -36,7 +36,9 @@ class RuntimeTest : public ::testing::Test {
                        AppendOptions opts = AppendOptions{}) {
     Result<SeqNo> out = Status(ErrorCode::kInternal, "callback never ran");
     rt_.RemoteAppend("client", "server", "log", payload, opts,
-                     [&out](Result<SeqNo> r) { out = std::move(r); });
+                     [&out](Result<SeqNo> r, const fault::FaultOutcome&) {
+                       out = std::move(r);
+                     });
     sim_.Run();
     return out;
   }
@@ -142,7 +144,9 @@ TEST_F(RuntimeTest, OversizePayloadFails) {
 TEST_F(RuntimeTest, AppendToMissingLogFails) {
   Result<SeqNo> out = Status(ErrorCode::kInternal, "pending");
   rt_.RemoteAppend("client", "server", "ghost", Payload(), AppendOptions{},
-                   [&out](Result<SeqNo> r) { out = std::move(r); });
+                   [&out](Result<SeqNo> r, const fault::FaultOutcome&) {
+                     out = std::move(r);
+                   });
   sim_.Run();
   EXPECT_EQ(out.status().code(), ErrorCode::kNotFound);
 }
@@ -167,7 +171,9 @@ TEST_F(RuntimeTest, RetriesThroughMessageLoss) {
   for (int i = 0; i < 20; ++i) {
     Result<SeqNo> out = Status(ErrorCode::kInternal, "pending");
     lossy_rt.RemoteAppend("c", "s", "log", Payload(), opts,
-                          [&out](Result<SeqNo> r) { out = std::move(r); });
+                          [&out](Result<SeqNo> r, const fault::FaultOutcome&) {
+                            out = std::move(r);
+                          });
     sim_.Run();
     ok_count += out.ok();
   }
@@ -195,7 +201,9 @@ TEST_F(RuntimeTest, ExactlyOnceUnderAckLoss) {
   int acked = 0;
   for (int i = 0; i < n; ++i) {
     lossy_rt.RemoteAppend("c", "s", "log", Payload(8, static_cast<uint8_t>(i)),
-                          opts, [&acked](Result<SeqNo> r) { acked += r.ok(); });
+                          opts, [&acked](Result<SeqNo> r, const fault::FaultOutcome&) {
+                            acked += r.ok();
+                          });
     sim_.Run();
   }
   EXPECT_EQ(acked, n);
@@ -227,7 +235,9 @@ TEST_F(RuntimeTest, DelayToleranceAcrossPartition) {
   opts.timeout_ms = 500.0;
   Result<SeqNo> out = Status(ErrorCode::kInternal, "pending");
   rt_.RemoteAppend("client", "server", "log", Payload(), opts,
-                   [&out](Result<SeqNo> r) { out = std::move(r); });
+                   [&out](Result<SeqNo> r, const fault::FaultOutcome&) {
+                     out = std::move(r);
+                   });
   sim_.Run();
   ASSERT_TRUE(out.ok());
   EXPECT_GT(sim_.Now().seconds(), 30.0);
@@ -244,7 +254,9 @@ TEST_F(RuntimeTest, PowerLossRecovery) {
   opts.timeout_ms = 300.0;
   Result<SeqNo> out = Status(ErrorCode::kInternal, "pending");
   rt_.RemoteAppend("client", "server", "log", Payload(), opts,
-                   [&out](Result<SeqNo> r) { out = std::move(r); });
+                   [&out](Result<SeqNo> r, const fault::FaultOutcome&) {
+                     out = std::move(r);
+                   });
   sim_.Run();
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(server->GetLog("log")->Size(), 1u);
@@ -300,7 +312,7 @@ TEST(Topology, Table1LatencyCalibration) {
       ++i;
       const auto t0 = sim.Now();
       rt.RemoteAppend(row.client, row.host, "t", payload, AppendOptions{},
-                      [&, t0](Result<SeqNo> r) {
+                      [&, t0](Result<SeqNo> r, const fault::FaultOutcome&) {
                         ASSERT_TRUE(r.ok());
                         if (i > 1) lat.Add((sim.Now() - t0).millis());
                         next();

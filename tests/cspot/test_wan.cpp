@@ -22,7 +22,7 @@ TEST_F(WanTest, DirectDelivery) {
   p.bandwidth_mbps = 0.0;
   ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   bool delivered = false;
-  EXPECT_TRUE(wan.Send("a", "b", 100, [&] { delivered = true; }));
+  EXPECT_TRUE(wan.Send("a", "b", 100, [&] { delivered = true; }).ok());
   sim_.Run();
   EXPECT_TRUE(delivered);
   EXPECT_DOUBLE_EQ(sim_.Now().millis(), 10.0);
@@ -38,7 +38,7 @@ TEST_F(WanTest, MultiHopRoutingSumsLatency) {
   ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   ASSERT_TRUE((wan.AddLink("b", "c", p)).ok());
   bool delivered = false;
-  wan.Send("a", "c", 0, [&] { delivered = true; });
+  ASSERT_TRUE(wan.Send("a", "c", 0, [&] { delivered = true; }).ok());
   sim_.Run();
   EXPECT_TRUE(delivered);
   EXPECT_DOUBLE_EQ(sim_.Now().millis(), 10.0);
@@ -51,7 +51,9 @@ TEST_F(WanTest, NoRouteFailsImmediately) {
   Wan wan(sim_, 3);
   wan.AddNode("a");
   wan.AddNode("b");
-  EXPECT_FALSE(wan.Send("a", "b", 0, [] { FAIL(); }));
+  const Status no_route = wan.Send("a", "b", 0, [] { FAIL(); });
+  EXPECT_FALSE(no_route.ok());
+  EXPECT_EQ(no_route.code(), ErrorCode::kUnavailable);
   EXPECT_FALSE(wan.MeanPathLatencyMs("a", "b").ok());
   EXPECT_EQ(wan.messages_lost(), 1u);
 }
@@ -66,7 +68,7 @@ TEST_F(WanTest, SerializationDelayScalesWithBytes) {
   p.min_ms = 0.0;
   p.bandwidth_mbps = 8.0;  // 1 ms per 1000 bytes
   ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
-  wan.Send("a", "b", 1000, [] {});
+  ASSERT_TRUE(wan.Send("a", "b", 1000, [] {}).ok());
   sim_.Run();
   EXPECT_NEAR(sim_.Now().millis(), 1.0, 1e-9);
 }
@@ -77,9 +79,9 @@ TEST_F(WanTest, LinkDownBlocksRoute) {
   wan.AddNode("b");
   ASSERT_TRUE((wan.AddLink("a", "b", LinkParams{})).ok());
   ASSERT_TRUE(wan.SetLinkUp("a", "b", false).ok());
-  EXPECT_FALSE(wan.Send("a", "b", 0, [] {}));
+  EXPECT_FALSE(wan.Send("a", "b", 0, [] {}).ok());
   ASSERT_TRUE(wan.SetLinkUp("a", "b", true).ok());
-  EXPECT_TRUE(wan.Send("a", "b", 0, [] {}));
+  EXPECT_TRUE(wan.Send("a", "b", 0, [] {}).ok());
 }
 
 TEST_F(WanTest, SetLinkUpUnknownLink) {
@@ -102,7 +104,7 @@ TEST_F(WanTest, RouteAroundDownLink) {
   ASSERT_TRUE((wan.AddLink("b", "c", slow)).ok());
   ASSERT_TRUE(wan.SetLinkUp("a", "c", false).ok());  // force the detour
   bool delivered = false;
-  EXPECT_TRUE(wan.Send("a", "c", 0, [&] { delivered = true; }));
+  EXPECT_TRUE(wan.Send("a", "c", 0, [&] { delivered = true; }).ok());
   sim_.Run();
   EXPECT_TRUE(delivered);
   EXPECT_DOUBLE_EQ(sim_.Now().millis(), 100.0);
@@ -115,9 +117,9 @@ TEST_F(WanTest, NodeUnreachableBlocksAllTraffic) {
   ASSERT_TRUE((wan.AddLink("a", "b", LinkParams{})).ok());
   wan.SetNodeReachable("b", false);
   EXPECT_FALSE(wan.NodeReachable("b"));
-  EXPECT_FALSE(wan.Send("a", "b", 0, [] {}));
+  EXPECT_FALSE(wan.Send("a", "b", 0, [] {}).ok());
   wan.SetNodeReachable("b", true);
-  EXPECT_TRUE(wan.Send("a", "b", 0, [] {}));
+  EXPECT_TRUE(wan.Send("a", "b", 0, [] {}).ok());
 }
 
 TEST_F(WanTest, LossDropsExpectedFraction) {
@@ -130,7 +132,7 @@ TEST_F(WanTest, LossDropsExpectedFraction) {
   int delivered = 0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
-    wan.Send("a", "b", 0, [&] { ++delivered; });
+    (void)wan.Send("a", "b", 0, [&] { ++delivered; });  // loss expected
   }
   sim_.Run();
   EXPECT_NEAR(static_cast<double>(delivered) / n, 0.75, 0.03);
@@ -150,9 +152,9 @@ TEST_F(WanTest, JitterProducesLatencySpread) {
   SampleSet lat;
   for (int i = 0; i < 500; ++i) {
     const auto t0 = sim_.Now();
-    wan.Send("a", "b", 0, [&lat, t0, this] {
+    ASSERT_TRUE(wan.Send("a", "b", 0, [&lat, t0, this] {
       lat.Add((sim_.Now() - t0).millis());
-    });
+    }).ok());
     sim_.Run();
   }
   EXPECT_NEAR(lat.mean(), 20.0, 0.8);
@@ -171,9 +173,9 @@ TEST_F(WanTest, LatencyFloorEnforced) {
   ASSERT_TRUE((wan.AddLink("a", "b", p)).ok());
   for (int i = 0; i < 200; ++i) {
     const auto t0 = sim_.Now();
-    wan.Send("a", "b", 0, [t0, this] {
+    ASSERT_TRUE(wan.Send("a", "b", 0, [t0, this] {
       EXPECT_GE((sim_.Now() - t0).millis(), 0.5 - 1e-9);
-    });
+    }).ok());
     sim_.Run();
   }
 }
@@ -189,6 +191,74 @@ TEST_F(WanTest, DuplicateAddNodeIsIdempotent) {
   wan.AddNode("a");
   wan.AddNode("a");
   EXPECT_TRUE(wan.HasNode("a"));
+}
+
+// --- link-down / link-up transition coverage -------------------------------
+
+TEST_F(WanTest, InFlightMessageSurvivesLinkGoingDown) {
+  // A message already on the wire is not clawed back when the link drops
+  // behind it: the down state gates routing decisions, not deliveries.
+  Wan wan(sim_, 14);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  LinkParams p;
+  p.one_way_ms = 10.0;
+  p.jitter_ms = 0.0;
+  p.bandwidth_mbps = 0.0;
+  ASSERT_TRUE(wan.AddLink("a", "b", p).ok());
+  bool delivered = false;
+  ASSERT_TRUE(wan.Send("a", "b", 0, [&] { delivered = true; }).ok());
+  sim_.Schedule(sim::SimTime::Millis(1.0),
+                [&] { ASSERT_TRUE(wan.SetLinkUp("a", "b", false).ok()); });
+  sim_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(WanTest, RepeatedDownUpCyclesTrackState) {
+  Wan wan(sim_, 15);
+  wan.AddNode("a");
+  wan.AddNode("b");
+  LinkParams p;
+  p.jitter_ms = 0.0;
+  ASSERT_TRUE(wan.AddLink("a", "b", p).ok());
+  int delivered = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(wan.SetLinkUp("a", "b", false).ok());
+    EXPECT_FALSE(wan.Send("a", "b", 0, [&] { ++delivered; }).ok());
+    ASSERT_TRUE(wan.SetLinkUp("a", "b", true).ok());
+    EXPECT_TRUE(wan.Send("a", "b", 0, [&] { ++delivered; }).ok());
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(wan.messages_lost(), 3u);
+  EXPECT_EQ(wan.messages_sent(), 6u);
+}
+
+TEST_F(WanTest, LinkUpRestoresPreferredRoute) {
+  // While the direct link is down, traffic detours; after SetLinkUp the
+  // next Send takes the short path again (routing is per-message).
+  Wan wan(sim_, 16);
+  for (const char* n : {"a", "b", "c"}) wan.AddNode(n);
+  LinkParams fast;
+  fast.one_way_ms = 1.0;
+  fast.jitter_ms = 0.0;
+  fast.bandwidth_mbps = 0.0;
+  LinkParams slow = fast;
+  slow.one_way_ms = 40.0;
+  ASSERT_TRUE(wan.AddLink("a", "c", fast).ok());
+  ASSERT_TRUE(wan.AddLink("a", "b", slow).ok());
+  ASSERT_TRUE(wan.AddLink("b", "c", slow).ok());
+
+  ASSERT_TRUE(wan.SetLinkUp("a", "c", false).ok());
+  ASSERT_TRUE(wan.Send("a", "c", 0, [] {}).ok());
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(sim_.Now().millis(), 80.0);  // detour a->b->c
+
+  ASSERT_TRUE(wan.SetLinkUp("a", "c", true).ok());
+  const auto t0 = sim_.Now();
+  ASSERT_TRUE(wan.Send("a", "c", 0, [] {}).ok());
+  sim_.Run();
+  EXPECT_DOUBLE_EQ((sim_.Now() - t0).millis(), 1.0);  // direct again
 }
 
 }  // namespace

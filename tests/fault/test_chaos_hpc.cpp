@@ -1,0 +1,129 @@
+// Chaos coupling at the HPC layer: queue stalls gate admission, job kills
+// cancel the newest running work, and faults aimed at other sites are
+// ignored.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "hpc/scheduler.hpp"
+
+namespace xg::hpc {
+namespace {
+
+SiteProfile SmallSite(int nodes = 4) {
+  SiteProfile s = NotreDameCRC();
+  s.nodes = nodes;
+  return s;
+}
+
+class ChaosHpcTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+};
+
+TEST_F(ChaosHpcTest, QueueStallDelaysAdmissionUntilWindowEnd) {
+  SiteProfile site = SmallSite();
+  BatchScheduler sched(sim_, site, 1);
+  fault::FaultPlan plan(1);
+  plan.QueueStall(site.name, 10.0, 20.0);
+  fault::FaultInjector inj(plan);
+  sched.AttachFaultInjector(inj);
+  inj.Arm(sim_);
+
+  double started = -1.0;
+  bool stalled_mid_window = false;
+  sim_.ScheduleAt(sim::SimTime::Seconds(12.0), [&] {
+    sched.Submit(JobSpec{"j", 1, 1000.0, 60.0},
+                 [&](const JobInfo&) { started = sim_.Now().seconds(); });
+  });
+  sim_.ScheduleAt(sim::SimTime::Seconds(15.0),
+                  [&] { stalled_mid_window = sched.stalled(); });
+  sim_.Run();
+  EXPECT_TRUE(stalled_mid_window);
+  EXPECT_FALSE(sched.stalled());
+  // Nodes were free the whole time; only the stall held the job back.
+  EXPECT_DOUBLE_EQ(started, 30.0);
+  EXPECT_EQ(inj.injected_total(fault::Layer::kHpc, fault::FaultKind::kQueueStall),
+            1u);
+}
+
+TEST_F(ChaosHpcTest, RunningJobsFinishThroughAStall) {
+  SiteProfile site = SmallSite();
+  BatchScheduler sched(sim_, site, 2);
+  fault::FaultPlan plan(2);
+  plan.QueueStall(site.name, 5.0, 100.0);
+  fault::FaultInjector inj(plan);
+  sched.AttachFaultInjector(inj);
+  inj.Arm(sim_);
+
+  double ended = -1.0;
+  sched.Submit(JobSpec{"j", 1, 1000.0, 30.0}, nullptr,
+               [&](const JobInfo& info) {
+                 ended = sim_.Now().seconds();
+                 EXPECT_EQ(info.state, JobState::kCompleted);
+               });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(ended, 30.0);  // unaffected by the admission stall
+}
+
+TEST_F(ChaosHpcTest, JobKillCancelsNewestRunningJobsAndFreesNodes) {
+  SiteProfile site = SmallSite(3);
+  BatchScheduler sched(sim_, site, 3);
+  fault::FaultPlan plan(3);
+  plan.JobKill(site.name, 10.0, 2);
+  fault::FaultInjector inj(plan);
+  sched.AttachFaultInjector(inj);
+  inj.Arm(sim_);
+
+  std::vector<std::pair<std::string, JobState>> finished;
+  auto record = [&](const JobInfo& info) {
+    finished.emplace_back(info.spec.name, info.state);
+  };
+  // Three 1-node jobs fill the site; a fourth waits in the queue.
+  sched.Submit(JobSpec{"a", 1, 1000.0, 500.0}, nullptr, record);
+  sched.Submit(JobSpec{"b", 1, 1000.0, 500.0}, nullptr, record);
+  sched.Submit(JobSpec{"c", 1, 1000.0, 500.0}, nullptr, record);
+  double queued_started = -1.0;
+  sched.Submit(JobSpec{"d", 1, 1000.0, 50.0},
+               [&](const JobInfo&) { queued_started = sim_.Now().seconds(); },
+               record);
+  sim_.Run();
+
+  // The two newest running jobs (b, c) die at t=10; a survives.
+  ASSERT_EQ(finished.size(), 4u);
+  EXPECT_EQ(finished[0], (std::pair<std::string, JobState>{"c", JobState::kCancelled}));
+  EXPECT_EQ(finished[1], (std::pair<std::string, JobState>{"b", JobState::kCancelled}));
+  bool a_completed = false;
+  for (const auto& [name, state] : finished) {
+    if (name == "a") a_completed = state == JobState::kCompleted;
+  }
+  EXPECT_TRUE(a_completed);
+  // The kill freed nodes, so the queued job started right then.
+  EXPECT_DOUBLE_EQ(queued_started, 10.0);
+  EXPECT_EQ(inj.injected_total(fault::Layer::kHpc, fault::FaultKind::kJobKill),
+            1u);
+}
+
+TEST_F(ChaosHpcTest, FaultsTargetingAnotherSiteAreIgnored) {
+  SiteProfile site = SmallSite();
+  BatchScheduler sched(sim_, site, 4);
+  fault::FaultPlan plan(4);
+  plan.QueueStall("someone-else", 0.0, 100.0)
+      .JobKill("someone-else", 5.0, 1);
+  fault::FaultInjector inj(plan);
+  sched.AttachFaultInjector(inj);
+  inj.Arm(sim_);
+
+  double started = -1.0;
+  JobState final_state = JobState::kQueued;
+  sched.Submit(JobSpec{"j", 1, 1000.0, 60.0},
+               [&](const JobInfo&) { started = sim_.Now().seconds(); },
+               [&](const JobInfo& info) { final_state = info.state; });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(started, 0.0);
+  EXPECT_EQ(final_state, JobState::kCompleted);
+}
+
+}  // namespace
+}  // namespace xg::hpc

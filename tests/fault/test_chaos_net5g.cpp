@@ -1,0 +1,133 @@
+// Chaos coupling at the 5G access layer: RRC drops detach a UE for the
+// window, link degradation subtracts SNR, and the query-style coupling
+// stays seed-reproducible.
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "net5g/cell.hpp"
+
+namespace xg::net5g {
+namespace {
+
+UeProfile CleanUe(double snr_db) {
+  UeProfile p;
+  p.name = "test";
+  p.channel.link_snr_db = snr_db;
+  p.channel.shadow_sigma_db = 0.0;
+  p.channel.fast_sigma_db = 0.0;
+  p.host_jitter_rel = 0.0;
+  return p;
+}
+
+TEST(ChaosNet5g, RrcDropSilencesTheUeForTheWholeRun) {
+  Cell cell(Make5GFddCell(20), 1);
+  ASSERT_TRUE(cell.AttachUe(CleanUe(20.0)).ok());
+  ASSERT_TRUE(cell.AttachUe(CleanUe(20.0)).ok());
+  fault::FaultPlan plan(1);
+  plan.RrcDrop(0, 0.0, 3600.0);
+  fault::FaultInjector inj(plan);
+  cell.set_fault_injector(&inj);
+  auto run = cell.RunUplink(10, 1);
+  EXPECT_DOUBLE_EQ(run.per_ue[0].mean(), 0.0);
+  EXPECT_GT(run.per_ue[1].mean(), 0.0);
+  EXPECT_EQ(inj.injected_total(fault::Layer::kNet5g, fault::FaultKind::kRrcDrop),
+            1u);
+}
+
+TEST(ChaosNet5g, DetachedUeQuotaRedistributesToSurvivors) {
+  // With UE 0 detached, UE 1 gets the whole carrier: its throughput must
+  // match a solo UE on a fault-free cell.
+  CellConfig cfg = Make5GFddCell(20);
+  Cell faulty(cfg, 2);
+  ASSERT_TRUE(faulty.AttachUe(CleanUe(20.0)).ok());
+  ASSERT_TRUE(faulty.AttachUe(CleanUe(20.0)).ok());
+  fault::FaultPlan plan(2);
+  plan.RrcDrop(0, 0.0, 3600.0);
+  fault::FaultInjector inj(plan);
+  faulty.set_fault_injector(&inj);
+  const double survivor = faulty.RunUplink(10, 1).per_ue[1].mean();
+
+  Cell solo(cfg, 2);
+  ASSERT_TRUE(solo.AttachUe(CleanUe(20.0)).ok());
+  const double alone = solo.RunUplink(10, 1).per_ue[0].mean();
+  EXPECT_NEAR(survivor, alone, alone * 0.02);
+}
+
+TEST(ChaosNet5g, RrcDropWindowOnlyBlanksItsSeconds) {
+  // Drop covers the warmup second plus the first 5 measured seconds of an
+  // 11-second run; the UE then re-attaches and earns throughput again.
+  Cell cell(Make5GFddCell(20), 3);
+  ASSERT_TRUE(cell.AttachUe(CleanUe(20.0)).ok());
+  fault::FaultPlan plan(3);
+  plan.RrcDrop(0, 0.0, 6.0);
+  fault::FaultInjector inj(plan);
+  cell.set_fault_injector(&inj);
+  auto run = cell.RunUplink(10, 1);
+  Cell clean(Make5GFddCell(20), 3);
+  ASSERT_TRUE(clean.AttachUe(CleanUe(20.0)).ok());
+  const double full = clean.RunUplink(10, 1).per_ue[0].mean();
+  // 5 of 10 measured seconds are blanked: mean is half the clean rate.
+  EXPECT_NEAR(run.per_ue[0].mean(), full * 0.5, full * 0.02);
+  EXPECT_EQ(inj.injected_total(fault::Layer::kNet5g, fault::FaultKind::kRrcDrop),
+            1u);  // one window, counted once despite spanning 6 seconds
+}
+
+TEST(ChaosNet5g, LinkDegradeSubtractsSnr) {
+  CellConfig cfg = Make5GFddCell(20);
+  Cell degraded(cfg, 4);
+  ASSERT_TRUE(degraded.AttachUe(CleanUe(20.0)).ok());
+  fault::FaultPlan plan(4);
+  plan.LinkDegrade(0, 0.0, 3600.0, 10.0);
+  fault::FaultInjector inj(plan);
+  degraded.set_fault_injector(&inj);
+  const double with_fault = degraded.RunUplink(10, 1).per_ue[0].mean();
+
+  // The deterministic channel makes the penalty exact: a degraded 20 dB UE
+  // performs like a clean 10 dB UE.
+  Cell reference(cfg, 4);
+  ASSERT_TRUE(reference.AttachUe(CleanUe(10.0)).ok());
+  const double at_10db = reference.RunUplink(10, 1).per_ue[0].mean();
+  EXPECT_NEAR(with_fault, at_10db, at_10db * 0.01);
+  EXPECT_EQ(
+      inj.injected_total(fault::Layer::kNet5g, fault::FaultKind::kLinkDegrade),
+      1u);
+}
+
+TEST(ChaosNet5g, TimeBaseShiftsThePlanClock) {
+  // The same 6-second drop window misses the run entirely when the cell's
+  // second 0 maps to plan time 100 s.
+  Cell cell(Make5GFddCell(20), 5);
+  ASSERT_TRUE(cell.AttachUe(CleanUe(20.0)).ok());
+  fault::FaultPlan plan(5);
+  plan.RrcDrop(0, 0.0, 6.0);
+  fault::FaultInjector inj(plan);
+  cell.set_fault_injector(&inj, /*time_base_s=*/100.0);
+  auto run = cell.RunUplink(10, 1);
+  EXPECT_GT(run.per_ue[0].mean(), 0.0);
+  EXPECT_EQ(inj.injected_total(), 0u);
+}
+
+TEST(ChaosNet5g, FaultedRunsAreSeedReproducible) {
+  auto run_once = [] {
+    Cell cell(Make5GTddCell(40), 6);
+    UeProfile ue = CleanUe(18.0);
+    ue.channel.fast_sigma_db = 2.0;  // fading, so the RNG stream matters
+    (void)cell.AttachUe(ue);
+    (void)cell.AttachUe(ue);
+    fault::FaultPlan plan(6);
+    plan.RrcDrop(0, 3.0, 4.0).LinkDegrade(1, 5.0, 10.0, 6.0);
+    fault::FaultInjector inj(plan);
+    cell.set_fault_injector(&inj);
+    auto run = cell.RunUplink(20, 1);
+    return std::make_tuple(run.per_ue[0].mean(), run.per_ue[1].mean(),
+                           inj.FormatCounts());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+}  // namespace
+}  // namespace xg::net5g

@@ -1,0 +1,98 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::fault {
+namespace {
+
+TEST(FaultPlan, LinkTargetIsOrderIndependent) {
+  EXPECT_EQ(FaultPlan::LinkTarget("unl", "ucsb"),
+            FaultPlan::LinkTarget("ucsb", "unl"));
+  const auto [a, b] = FaultPlan::SplitLinkTarget(
+      FaultPlan::LinkTarget("unl", "ucsb"));
+  // Canonical order is sorted, so the smaller name comes back first.
+  EXPECT_EQ(a, "ucsb");
+  EXPECT_EQ(b, "unl");
+}
+
+TEST(FaultPlan, UeTargetNamesAreStable) {
+  EXPECT_EQ(FaultPlan::UeTarget(0), "ue:0");
+  EXPECT_EQ(FaultPlan::UeTarget(17), "ue:17");
+}
+
+TEST(FaultPlan, BuildersRecordEventsInOrder) {
+  FaultPlan plan(7);
+  plan.Partition("a", "b", 5.0, 10.0)
+      .MessageLoss(FaultPlan::LinkTarget("a", "b"), 20.0, 5.0, 0.5)
+      .PowerLoss("a", 30.0, 2.0, 3)
+      .RrcDrop(1, 40.0, 4.0)
+      .QueueStall("crc", 50.0, 60.0)
+      .JobKill("crc", 55.0, 2);
+  ASSERT_EQ(plan.events().size(), 6u);
+  EXPECT_EQ(plan.seed(), 7u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kPartition);
+  EXPECT_EQ(plan.events()[0].target, "a|b");
+  EXPECT_DOUBLE_EQ(plan.events()[1].magnitude, 0.5);
+  EXPECT_DOUBLE_EQ(plan.events()[2].magnitude, 3.0);
+  EXPECT_EQ(plan.events()[3].target, FaultPlan::UeTarget(1));
+  EXPECT_DOUBLE_EQ(plan.events()[5].duration_s, 0.0);  // instantaneous
+}
+
+TEST(FaultPlan, WindowIsHalfOpen) {
+  FaultEvent e;
+  e.kind = FaultKind::kPartition;
+  e.start_s = 1.0;
+  e.duration_s = 2.0;
+  EXPECT_FALSE(e.ActiveAt(999'999));      // just before start
+  EXPECT_TRUE(e.ActiveAt(1'000'000));     // at start (inclusive)
+  EXPECT_TRUE(e.ActiveAt(2'999'999));     // just before end
+  EXPECT_FALSE(e.ActiveAt(3'000'000));    // at end (exclusive)
+}
+
+TEST(FaultPlan, InstantaneousEventsAreNeverActive) {
+  FaultEvent e;
+  e.kind = FaultKind::kJobKill;
+  e.start_s = 1.0;
+  e.duration_s = 0.0;
+  EXPECT_FALSE(e.ActiveAt(1'000'000));
+}
+
+TEST(FaultPlan, EmptyTargetMatchesEverything) {
+  FaultEvent e;
+  e.target = "";
+  EXPECT_TRUE(e.Matches("anything"));
+  e.target = "a|b";
+  EXPECT_TRUE(e.Matches("a|b"));
+  EXPECT_FALSE(e.Matches("a|c"));
+}
+
+TEST(FaultPlan, LayerOfChargesEveryKindSomewhere) {
+  EXPECT_EQ(LayerOf(FaultKind::kPartition), Layer::kWan);
+  EXPECT_EQ(LayerOf(FaultKind::kMessageLoss), Layer::kWan);
+  EXPECT_EQ(LayerOf(FaultKind::kPowerLoss), Layer::kCspot);
+  EXPECT_EQ(LayerOf(FaultKind::kRrcDrop), Layer::kNet5g);
+  EXPECT_EQ(LayerOf(FaultKind::kLinkDegrade), Layer::kNet5g);
+  EXPECT_EQ(LayerOf(FaultKind::kQueueStall), Layer::kHpc);
+  EXPECT_EQ(LayerOf(FaultKind::kJobKill), Layer::kHpc);
+}
+
+TEST(FaultPlan, AllFaultKindsCoversTheEnum) {
+  const auto& kinds = AllFaultKinds();
+  EXPECT_EQ(kinds.size(), 10u);
+  for (FaultKind k : kinds) {
+    EXPECT_STRNE(FaultKindName(k), "");
+    EXPECT_STRNE(LayerName(LayerOf(k)), "");
+  }
+}
+
+TEST(FaultPlan, DescribeIsDeterministic) {
+  FaultPlan a(3), b(3);
+  for (FaultPlan* p : {&a, &b}) {
+    p->Partition("x", "y", 1.0, 2.0).PowerLoss("x", 4.0, 1.0, 1);
+  }
+  EXPECT_EQ(a.Describe(), b.Describe());
+  EXPECT_NE(a.Describe().find("partition"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xg::fault

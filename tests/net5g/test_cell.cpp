@@ -21,21 +21,25 @@ UeProfile CleanUe(double snr_db) {
 
 TEST(Cell, AttachToUnknownSliceFails) {
   Cell cell(Make5GFddCell(20), 1);
-  EXPECT_EQ(cell.AttachUe(CleanUe(20), "nope"), -1);
+  EXPECT_FALSE(cell.AttachUe(CleanUe(20), "nope").ok());
   EXPECT_EQ(cell.ue_count(), 0);
 }
 
 TEST(Cell, AttachToDefaultSlice) {
   Cell cell(Make5GFddCell(20), 1);
-  EXPECT_EQ(cell.AttachUe(CleanUe(20)), 0);
-  EXPECT_EQ(cell.AttachUe(CleanUe(20)), 1);
+  Result<int> first = cell.AttachUe(CleanUe(20));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 0);
+  Result<int> second = cell.AttachUe(CleanUe(20));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 1);
   EXPECT_EQ(cell.ue_count(), 2);
 }
 
 TEST(Cell, SingleUserThroughputMatchesPhyFormula) {
   CellConfig cfg = Make5GFddCell(20);
   Cell cell(cfg, 2);
-  cell.AttachUe(CleanUe(20.0));
+  (void)cell.AttachUe(CleanUe(20.0));
   auto run = cell.RunUplink(10, 1);
   // Deterministic channel: throughput = SlotBits(106, se(20dB)) * 1000.
   const double se = SpectralEfficiency(20.0, true);
@@ -48,8 +52,8 @@ TEST(Cell, TddUplinkFractionScalesThroughput) {
   CellConfig fdd = Make5GFddCell(20);
   CellConfig tdd = Make5GTddCell(20);
   Cell cf(fdd, 3), ct(tdd, 3);
-  cf.AttachUe(CleanUe(20.0));
-  ct.AttachUe(CleanUe(20.0));
+  (void)cf.AttachUe(CleanUe(20.0));
+  (void)ct.AttachUe(CleanUe(20.0));
   const double f = cf.RunUplink(5, 1).per_ue[0].mean();
   const double t = ct.RunUplink(5, 1).per_ue[0].mean();
   // TDD 20 MHz @30kHz: 51 PRB x 2000 slots x 0.4 vs FDD 106 x 1000.
@@ -60,15 +64,15 @@ TEST(Cell, TddUplinkFractionScalesThroughput) {
 TEST(Cell, TwoUsersShareCapacityFairly) {
   CellConfig cfg = Make5GFddCell(20);
   Cell cell(cfg, 4);
-  cell.AttachUe(CleanUe(20.0));
-  cell.AttachUe(CleanUe(20.0));
+  (void)cell.AttachUe(CleanUe(20.0));
+  (void)cell.AttachUe(CleanUe(20.0));
   auto run = cell.RunUplink(20, 1);
   const double a = run.per_ue[0].mean();
   const double b = run.per_ue[1].mean();
   EXPECT_NEAR(a / b, 1.0, 0.02);  // equal split with rotating remainder
   // Aggregate equals the single-user capacity.
   Cell single(cfg, 4);
-  single.AttachUe(CleanUe(20.0));
+  (void)single.AttachUe(CleanUe(20.0));
   const double solo = single.RunUplink(20, 1).per_ue[0].mean();
   EXPECT_NEAR(run.aggregate.mean(), solo, solo * 0.02);
 }
@@ -100,7 +104,7 @@ TEST(Cell, WorkConservingSlicingDonatesIdleQuota) {
   cfg.slices = {SliceConfig{"a", 0.3}, SliceConfig{"b", 0.7}};
   cfg.work_conserving_slicing = true;
   Cell cell(cfg, 7);
-  cell.AttachUe(CleanUe(22.0), "a");
+  (void)cell.AttachUe(CleanUe(22.0), "a");
   auto run = cell.RunUplink(10, 1);
   const double se = SpectralEfficiency(22.0, true);
   const double full = SlotBits(106, se) * 2000 * 0.4 / 1e6;
@@ -109,16 +113,16 @@ TEST(Cell, WorkConservingSlicingDonatesIdleQuota) {
 
 TEST(Cell, OverloadSeverityZeroWithHeadroom) {
   Cell cell(Make5GTddCell(40), 8);
-  cell.AttachUe(CleanUe(22));
-  cell.AttachUe(CleanUe(22));
+  (void)cell.AttachUe(CleanUe(22));
+  (void)cell.AttachUe(CleanUe(22));
   EXPECT_DOUBLE_EQ(cell.OverloadSeverity(), 0.0);
 }
 
 TEST(Cell, OverloadSeverityPositiveAtSdrLimit) {
   Cell cell(Make5GTddCell(50), 9);
-  cell.AttachUe(CleanUe(22));
+  (void)cell.AttachUe(CleanUe(22));
   EXPECT_DOUBLE_EQ(cell.OverloadSeverity(), 0.0);
-  cell.AttachUe(CleanUe(22));
+  (void)cell.AttachUe(CleanUe(22));
   EXPECT_GT(cell.OverloadSeverity(), 0.0);  // 2 UEs at 50 MHz overload
 }
 
@@ -126,15 +130,15 @@ TEST(Cell, OverloadReducesThroughputAndAddsVariance) {
   CellConfig cfg = Make5GTddCell(50);
   Cell two(cfg, 10);
   UeProfile ue = MakeUeProfile(DeviceType::kLaptop, cfg);
-  two.AttachUe(ue);
-  two.AttachUe(ue);
+  (void)two.AttachUe(ue);
+  (void)two.AttachUe(ue);
   auto overloaded = two.RunUplink(60, 1);
 
   CellConfig cfg40 = Make5GTddCell(40);
   Cell ok(cfg40, 10);
   UeProfile ue40 = MakeUeProfile(DeviceType::kLaptop, cfg40);
-  ok.AttachUe(ue40);
-  ok.AttachUe(ue40);
+  (void)ok.AttachUe(ue40);
+  (void)ok.AttachUe(ue40);
   auto healthy = ok.RunUplink(60, 1);
 
   // Despite 25% more spectrum, the overloaded configuration delivers less.
@@ -148,8 +152,8 @@ TEST(Cell, ProportionalFairMatchesRoundRobinForEqualUes) {
   cell.set_scheduler(SchedulerPolicy::kProportionalFair);
   UeProfile ue = CleanUe(20.0);
   ue.channel.fast_sigma_db = 1.0;  // PF needs variation to choose on
-  cell.AttachUe(ue);
-  cell.AttachUe(ue);
+  (void)cell.AttachUe(ue);
+  (void)cell.AttachUe(ue);
   auto run = cell.RunUplink(30, 2);
   EXPECT_NEAR(run.per_ue[0].mean() / run.per_ue[1].mean(), 1.0, 0.1);
 }
@@ -162,14 +166,14 @@ TEST(Cell, ProportionalFairExploitsGoodSlots) {
   ue.channel.fast_sigma_db = 4.0;
 
   Cell rr(cfg, 12);
-  rr.AttachUe(ue);
-  rr.AttachUe(ue);
+  (void)rr.AttachUe(ue);
+  (void)rr.AttachUe(ue);
   const double rr_agg = rr.RunUplink(50, 2).aggregate.mean();
 
   Cell pf(cfg, 12);
   pf.set_scheduler(SchedulerPolicy::kProportionalFair);
-  pf.AttachUe(ue);
-  pf.AttachUe(ue);
+  (void)pf.AttachUe(ue);
+  (void)pf.AttachUe(ue);
   const double pf_agg = pf.RunUplink(50, 2).aggregate.mean();
 
   EXPECT_GT(pf_agg, rr_agg * 0.98);
@@ -184,7 +188,7 @@ TEST_P(BandwidthScaling, CleanUeThroughputGrowsWithBandwidth) {
   for (double bw : SweepBandwidths(access, duplex)) {
     CellConfig cfg = MakeSweepCell(access, duplex, bw);
     Cell cell(cfg, 13);
-    cell.AttachUe(CleanUe(18.0));
+    (void)cell.AttachUe(CleanUe(18.0));
     const double mbps = cell.RunUplink(5, 1).per_ue[0].mean();
     EXPECT_GT(mbps, prev) << AccessName(access) << " " << DuplexName(duplex)
                           << " at " << bw << " MHz";
@@ -207,8 +211,8 @@ TEST(CellContract, OvercommittedFixedSlicesRaisePrbInvariant) {
   cfg.slices.push_back({"a", 0.7});
   cfg.slices.push_back({"b", 0.7});  // fractions sum to 1.4: overcommitted
   Cell cell(cfg, 5);
-  cell.AttachUe(CleanUe(20.0), "a");
-  cell.AttachUe(CleanUe(20.0), "b");
+  (void)cell.AttachUe(CleanUe(20.0), "a");
+  (void)cell.AttachUe(CleanUe(20.0), "b");
   (void)cell.RunUplink(1, 0);
   EXPECT_GE(xg::contract::ViolationCount(), 1u);
   const auto v = xg::contract::LastViolation();
@@ -224,8 +228,8 @@ TEST(CellContract, ConservingSlicesStayWithinBudget) {
   cfg.slices.push_back({"a", 0.5});
   cfg.slices.push_back({"b", 0.5});
   Cell cell(cfg, 5);
-  cell.AttachUe(CleanUe(20.0), "a");
-  cell.AttachUe(CleanUe(20.0), "b");
+  (void)cell.AttachUe(CleanUe(20.0), "a");
+  (void)cell.AttachUe(CleanUe(20.0), "b");
   (void)cell.RunUplink(1, 0);
   EXPECT_EQ(xg::contract::ViolationCount(), 0u);
 }
@@ -243,9 +247,7 @@ TEST(CellDownlink, FddDownlinkUsesFullCarrier) {
   Cell cell(cfg, 20);
   UeProfile ue = CleanUe(20.0);
   ue.dl_snr_offset_db = 0.0;
-  cell.AttachUe(ue);
-  const double ul = Cell(cfg, 20).AttachUe(ue) >= 0 ? 0.0 : 0.0;
-  (void)ul;
+  (void)cell.AttachUe(ue);
   auto dl = cell.RunDownlink(5, 1);
   const double se = SpectralEfficiency(20.0, true);
   const double expect = SlotBits(106, se) * 1000 / 1e6;
@@ -258,8 +260,8 @@ TEST(CellDownlink, TddDownlinkOutweighsUplink) {
   UeProfile ue = CleanUe(20.0);
   ue.dl_snr_offset_db = 0.0;
   Cell a(cfg, 21), b(cfg, 21);
-  a.AttachUe(ue);
-  b.AttachUe(ue);
+  (void)a.AttachUe(ue);
+  (void)b.AttachUe(ue);
   const double ul = a.RunUplink(5, 1).per_ue[0].mean();
   const double dl = b.RunDownlink(5, 1).per_ue[0].mean();
   EXPECT_NEAR(dl / ul, cfg.tdd.DownlinkFraction() / cfg.tdd.UplinkFraction(),
@@ -273,8 +275,8 @@ TEST(CellDownlink, LinkBudgetAdvantageHelps) {
   UeProfile boosted = CleanUe(14.0);
   boosted.dl_snr_offset_db = 6.0;
   Cell a(cfg, 22), b(cfg, 22);
-  a.AttachUe(flat);
-  b.AttachUe(boosted);
+  (void)a.AttachUe(flat);
+  (void)b.AttachUe(boosted);
   EXPECT_GT(b.RunDownlink(5, 1).per_ue[0].mean(),
             a.RunDownlink(5, 1).per_ue[0].mean());
 }
@@ -285,8 +287,8 @@ TEST(CellDownlink, HostUplinkBottleneckDoesNotApply) {
   CellConfig cfg = Make4GFddCell(20);
   const UeProfile rpi = MakeUeProfile(DeviceType::kRaspberryPi, cfg);
   Cell ul_cell(cfg, 23), dl_cell(cfg, 23);
-  ul_cell.AttachUe(rpi);
-  dl_cell.AttachUe(rpi);
+  (void)ul_cell.AttachUe(rpi);
+  (void)dl_cell.AttachUe(rpi);
   const double ul = ul_cell.RunUplink(20, 1).per_ue[0].mean();
   const double dl = dl_cell.RunDownlink(20, 1).per_ue[0].mean();
   EXPECT_GT(dl, 5.0 * ul);

@@ -19,6 +19,12 @@
 //   wall-clock        no wall-clock time sources outside src/common/sim.*;
 //                     everything runs on the virtual clock so results are
 //                     reproducible and sim-speed independent.
+//   bool-send         no bool-returning send APIs under src/. Transport
+//                     entry points report through the unified failure
+//                     surface — [[nodiscard]] Status / Result<T> (plus
+//                     fault::FaultOutcome for retried operations, see
+//                     src/fault/outcome.hpp) — so callers cannot drop a
+//                     delivery failure the way a bool return invites.
 //
 // Suppress a finding by appending `// xglint:allow(rule-name)` to the line.
 // Usage: xglint <dir-or-file>... ; exits non-zero if any finding remains.
@@ -165,6 +171,39 @@ bool InStrictValueScope(const fs::path& p) {
   return false;
 }
 
+bool InSrc(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "src") return true;
+  }
+  return false;
+}
+
+/// Whether `line` declares a bool-returning send API: `bool` followed by an
+/// identifier (possibly class-qualified) ending in "Send", then '('.
+bool DeclaresBoolSend(const std::string& line) {
+  for (size_t pos = line.find("bool "); pos != std::string::npos;
+       pos = line.find("bool ", pos + 1)) {
+    if (pos > 0 && (std::isalnum(static_cast<unsigned char>(line[pos - 1])) ||
+                    line[pos - 1] == '_')) {
+      continue;  // suffix of an identifier, not the keyword
+    }
+    size_t j = pos + 5;
+    while (j < line.size() && line[j] == ' ') ++j;
+    const size_t name_begin = j;
+    while (j < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[j])) ||
+            line[j] == '_' || line[j] == ':')) {
+      ++j;
+    }
+    if (j == name_begin || j >= line.size() || line[j] != '(') continue;
+    const std::string name = line.substr(name_begin, j - name_begin);
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, "Send") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void LintFile(const fs::path& path, std::vector<Finding>& findings) {
   std::ifstream in(path);
   if (!in) {
@@ -219,6 +258,15 @@ void LintFile(const fs::path& path, std::vector<Finding>& findings) {
       findings.push_back({path.string(), ln, "naked-new",
                           "new without same-line smart-pointer ownership"});
       break;
+    }
+
+    // --- bool-send ---
+    if (InSrc(path) && !Suppressed(raw_line, "bool-send") &&
+        DeclaresBoolSend(line)) {
+      findings.push_back(
+          {path.string(), ln, "bool-send",
+           "bool-returning send API; return [[nodiscard]] Status/Result<T> "
+           "(see src/fault/outcome.hpp) so failures cannot be dropped"});
     }
 
     // --- include-hygiene ---
