@@ -85,8 +85,8 @@ int main() {
   double recovery_ms = -1.0;
   AppendOptions stale_opts;
   stale_opts.use_size_cache = true;
-  stale_opts.max_attempts = 8;
-  stale_opts.timeout_ms = 400.0;
+  stale_opts.retry.max_attempts = 8;
+  stale_opts.retry.attempt_timeout_ms = 400.0;
   rt.RemoteAppend("unl-wired", "ucsb", "log", std::vector<uint8_t>(1024, 2),
                   stale_opts,
                   [&](Result<SeqNo> r, const xg::fault::FaultOutcome&) {

@@ -7,10 +7,14 @@
 //  - a 64-core allocation sustains roughly one simulation per ~7 minutes;
 //  - the CFD result is valid for >= ~23 of the 30-minute detection cycle;
 //  - the voting rule trades HPC load against sensitivity (design ablation).
+#include <fstream>
 #include <iostream>
+#include <vector>
 
+#include "bench/bench_json.hpp"
 #include "core/fabric.hpp"
 #include "common/table.hpp"
+#include "fault/plan.hpp"
 
 using namespace xg;
 using namespace xg::core;
@@ -45,6 +49,50 @@ FabricMetrics RunDay(int votes_needed, uint64_t seed, bool with_breach) {
   }
   fabric.Run(24.0);
   return fabric.metrics();
+}
+
+// Recovery-time measurement: a scripted mid-morning 5G outage with the
+// resilience layer on. Recovery time is the gap between the fault window
+// closing and the first buffered frame draining to durable storage.
+struct RecoveryRun {
+  FabricMetrics metrics;
+  double outage_start_s = 0.0;
+  double outage_duration_s = 0.0;
+  double recovery_s = -1.0;  ///< fault end -> first drained delivery
+};
+
+RecoveryRun RunOutageDay(uint64_t seed) {
+  RecoveryRun out;
+  out.outage_start_s = 9.0 * 3600;
+  out.outage_duration_s = 600.0;
+
+  FabricConfig cfg;
+  cfg.seed = seed;
+  cfg.resilience.enabled = true;
+  cfg.fault_plan = fault::FaultPlan(seed);
+  cfg.fault_plan.Partition("unl", "unl-gw", out.outage_start_s,
+                           out.outage_duration_s);
+  Fabric fabric(cfg);
+
+  const double fault_end_s = out.outage_start_s + out.outage_duration_s;
+  fabric.on_frame_stored = [&out, fault_end_s](double time_s, bool drained) {
+    if (drained && out.recovery_s < 0.0) {
+      out.recovery_s = time_s - fault_end_s;
+    }
+  };
+  fabric.Run(24.0);
+  out.metrics = fabric.metrics();
+  return out;
+}
+
+void JsonStats(bench::JsonWriter& jw, const std::string& key,
+               const SampleSet& s) {
+  jw.Key(key);
+  jw.BeginObject();
+  jw.Field("mean", s.mean());
+  jw.Field("stddev", s.stddev());
+  jw.Field("count", static_cast<uint64_t>(s.count()));
+  jw.EndObject();
 }
 
 }  // namespace
@@ -95,11 +143,19 @@ int main() {
             "(fronts at 08:00 and 18:00, breach at 13:00)");
 
   // Ablation: voting rule vs HPC load and sensitivity.
+  struct VoteRow {
+    int k;
+    uint64_t alerts, runs;
+    double node_seconds;
+  };
+  std::vector<VoteRow> vote_rows;
   Table votes({"Voting rule", "Alerts/day", "CFD runs/day",
                "HPC node-seconds (runtime)"});
   for (int k : {1, 2, 3}) {
     const FabricMetrics vm = RunDay(k, 9100 + static_cast<uint64_t>(k),
                                     /*breach=*/false);
+    vote_rows.push_back(
+        {k, vm.alerts_raised, vm.cfd_runs_completed, vm.cfd_runtime_s.sum()});
     votes.AddRow({Table::Num(k, 0) + "-of-3", Table::Num(vm.alerts_raised, 0),
                   Table::Num(vm.cfd_runs_completed, 0),
                   Table::Num(vm.cfd_runtime_s.sum(), 0)});
@@ -109,5 +165,72 @@ int main() {
   std::cout << "Expected: stricter voting (3-of-3) raises fewer alerts and "
                "burns fewer node-seconds,\nat the risk of missing subtle "
                "condition changes.\n";
+
+  // Recovery time under a scripted 10-minute 5G outage (resilience on).
+  const RecoveryRun rec = RunOutageDay(9200);
+  Table recov({"Metric", "Measured"});
+  recov.AddRow({"Outage start (h)", Table::Num(rec.outage_start_s / 3600, 1)});
+  recov.AddRow({"Outage duration (s)", Table::Num(rec.outage_duration_s, 0)});
+  recov.AddRow({"Frames buffered during outage",
+                Table::Num(rec.metrics.telemetry_frames_buffered, 0)});
+  recov.AddRow({"Frames drained on recovery",
+                Table::Num(rec.metrics.telemetry_frames_drained, 0)});
+  recov.AddRow({"Recovery time (s, fault end -> first delivery)",
+                rec.recovery_s >= 0 ? Table::Num(rec.recovery_s, 1) : "-"});
+  recov.Print(std::cout, "\nResilience: store-and-forward recovery after a "
+                         "10-minute 5G outage");
+
+  // Machine-readable artifact (PR 3 bench convention).
+  std::ofstream jout("BENCH_e2e.json");
+  if (!jout) {
+    std::cerr << "bench_e2e: cannot open BENCH_e2e.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-e2e-v1");
+  jw.Key("day");
+  jw.BeginObject();
+  jw.Field("telemetry_frames_sent", m.telemetry_frames_sent);
+  jw.Field("telemetry_frames_stored", m.telemetry_frames_stored);
+  JsonStats(jw, "telemetry_latency_ms", m.telemetry_latency_ms);
+  jw.Field("detection_cycles", m.detection_cycles);
+  jw.Field("alerts_raised", m.alerts_raised);
+  jw.Field("cfd_runs_completed", m.cfd_runs_completed);
+  JsonStats(jw, "cfd_runtime_s", m.cfd_runtime_s);
+  JsonStats(jw, "cfd_wait_s", m.cfd_wait_s);
+  JsonStats(jw, "alert_to_result_s", m.alert_to_result_s);
+  JsonStats(jw, "result_validity_s", m.result_validity_s);
+  jw.Field("breach_suspicions", m.breach_suspicions);
+  jw.Field("breaches_confirmed", m.breaches_confirmed);
+  jw.Field("pilot_idle_node_hours", m.pilot_idle_node_seconds / 3600.0);
+  jw.EndObject();
+  jw.Key("voting_ablation");
+  jw.BeginArray();
+  for (const VoteRow& v : vote_rows) {
+    jw.BeginObject();
+    jw.Field("votes_needed", v.k);
+    jw.Field("alerts", v.alerts);
+    jw.Field("cfd_runs", v.runs);
+    jw.Field("hpc_node_seconds", v.node_seconds);
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.Key("recovery");
+  jw.BeginObject();
+  jw.Field("outage_start_s", rec.outage_start_s);
+  jw.Field("outage_duration_s", rec.outage_duration_s);
+  jw.Field("frames_buffered", rec.metrics.telemetry_frames_buffered);
+  jw.Field("frames_drained", rec.metrics.telemetry_frames_drained);
+  jw.Field("recovery_s", rec.recovery_s);
+  jw.EndObject();
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_e2e: write to BENCH_e2e.json failed\n";
+    return 1;
+  }
+  std::cout << "\nData written to BENCH_e2e.json\n";
   return 0;
 }

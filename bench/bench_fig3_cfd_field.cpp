@@ -5,8 +5,10 @@
 //   fig3_cups.ppm  — color-mapped horizontal slice of |velocity| with the
 //                    house outline (the paper's rendered panel stand-in)
 // and prints the field summary the digital twin consumes.
+#include <fstream>
 #include <iostream>
 
+#include "bench/bench_json.hpp"
 #include "cfd/case.hpp"
 #include "cfd/solver.hpp"
 #include "cfd/vtk.hpp"
@@ -70,6 +72,35 @@ int main() {
                   Table::Num(last.max_divergence, 4)});
   summary.AddRow({"Poisson residual", Table::Num(last.poisson_residual, 5)});
   summary.Print(std::cout, "Figure 3: CUPS airflow simulation summary");
+
+  // Machine-readable artifact mirroring the field summary.
+  std::ofstream jout("BENCH_fig3.json");
+  if (!jout) {
+    std::cerr << "bench_fig3: cannot open BENCH_fig3.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-fig3-v1");
+  jw.Field("cells", static_cast<uint64_t>(mesh.cell_count()));
+  jw.Field("steps", cfd_case.steps);
+  jw.Field("boundary_wind_ms", cfd_case.boundary.wind_speed_ms);
+  jw.Field("boundary_dir_deg", cfd_case.boundary.wind_dir_deg);
+  jw.Field("exterior_temp_c", cfd_case.boundary.exterior_temp_c);
+  jw.Field("interior_mean_speed_ms", solver.InteriorMeanSpeed());
+  jw.Field("interior_exterior_wind_ratio",
+           solver.InteriorMeanSpeed() / cfd_case.boundary.wind_speed_ms);
+  jw.Field("interior_mean_temp_c", solver.InteriorMeanTemperature());
+  jw.Field("max_divergence", last.max_divergence);
+  jw.Field("poisson_residual", last.poisson_residual);
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_fig3: write to BENCH_fig3.json failed\n";
+    return 1;
+  }
+  std::cout << "\nData written to BENCH_fig3.json\n";
 
   Status vtk = cfd::WriteVtk(solver, "fig3_cups.vtk");
   Status ppm = cfd::WriteSlicePpm(solver, 3.0, "fig3_cups.ppm", 6);

@@ -9,10 +9,12 @@
 // the laptop (58.31) while the COTS phone collapses (14.40); variability
 // grows with bandwidth, especially in TDD.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "bench/bench_json.hpp"
 #include "common/table.hpp"
 #include "net5g/iperf.hpp"
 
@@ -55,6 +57,17 @@ int main() {
 
   Table table({"Network", "BW (MHz)", "Device", "Mbps (sim)", "SD",
                "Mbps (paper)"});
+  std::ofstream jout("BENCH_fig4.json");
+  if (!jout) {
+    std::cerr << "bench_fig4: cannot open BENCH_fig4.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-fig4-v1");
+  jw.Field("samples_per_point", kSamples);
+  jw.Key("points");
+  jw.BeginArray();
   uint64_t seed = 4001;
   for (const auto& [access, duplex] : networks) {
     for (DeviceType dev : devices) {
@@ -69,14 +82,32 @@ int main() {
                       Table::Num(p.aggregate.mean()),
                       Table::Num(p.aggregate.stddev()),
                       paper == kPaper.end() ? "-" : Table::Num(paper->second)});
+        jw.BeginObject();
+        jw.Field("access", AccessName(access));
+        jw.Field("duplex", DuplexName(duplex));
+        jw.Field("bandwidth_mhz", bw);
+        jw.Field("device", DeviceTypeName(dev));
+        jw.Field("mean_mbps", p.aggregate.mean());
+        jw.Field("sd_mbps", p.aggregate.stddev());
+        if (paper != kPaper.end()) jw.Field("paper_mbps", paper->second);
+        jw.EndObject();
       }
     }
   }
+  jw.EndArray();
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
   table.Print(std::cout,
               "Figure 4: Single-user Uplink Throughput Across Devices");
   if (table.WriteCsv("fig4_single_user.csv")) {
     std::cout << "\nData written to fig4_single_user.csv\n";
   }
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_fig4: write to BENCH_fig4.json failed\n";
+    return 1;
+  }
+  std::cout << "Data written to BENCH_fig4.json\n";
   std::cout << "\nShape checks (paper ordering):\n"
             << "  4G FDD @20: Smartphone > Laptop > RPi\n"
             << "  5G FDD @20: Smartphone > RPi > Laptop\n"

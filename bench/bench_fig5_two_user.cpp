@@ -6,8 +6,10 @@
 // bandwidth; 5G FDD laptops scale 9.9 -> 45.7 Mbps with balanced sharing;
 // 5G TDD laptops reach ~65.2 Mbps at 40 MHz then drop at 50 MHz; RPis peak
 // near 53.8 Mbps. Per-user shares stay even in 5G.
+#include <fstream>
 #include <iostream>
 
+#include "bench/bench_json.hpp"
 #include "common/table.hpp"
 #include "net5g/iperf.hpp"
 
@@ -26,6 +28,17 @@ int main() {
 
   Table table({"Network", "BW (MHz)", "Device", "Aggregate Mbps", "SD",
                "UE1 Mbps", "UE2 Mbps", "Fairness"});
+  std::ofstream jout("BENCH_fig5.json");
+  if (!jout) {
+    std::cerr << "bench_fig5: cannot open BENCH_fig5.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-fig5-v1");
+  jw.Field("samples_per_point", kSamples);
+  jw.Key("points");
+  jw.BeginArray();
   uint64_t seed = 5001;
   for (const auto& [access, duplex] : networks) {
     for (DeviceType dev : devices) {
@@ -42,14 +55,34 @@ int main() {
                       Table::Num(p.aggregate.mean()),
                       Table::Num(p.aggregate.stddev()), Table::Num(a),
                       Table::Num(b), Table::Num(fairness)});
+        jw.BeginObject();
+        jw.Field("access", AccessName(access));
+        jw.Field("duplex", DuplexName(duplex));
+        jw.Field("bandwidth_mhz", bw);
+        jw.Field("device", DeviceTypeName(dev));
+        jw.Field("aggregate_mbps", p.aggregate.mean());
+        jw.Field("sd_mbps", p.aggregate.stddev());
+        jw.Field("ue1_mbps", a);
+        jw.Field("ue2_mbps", b);
+        jw.Field("fairness", fairness);
+        jw.EndObject();
       }
     }
   }
+  jw.EndArray();
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
   table.Print(std::cout,
               "Figure 5: Two-user Uplink Throughput Across Devices");
   if (table.WriteCsv("fig5_two_user.csv")) {
     std::cout << "\nData written to fig5_two_user.csv\n";
   }
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_fig5: write to BENCH_fig5.json failed\n";
+    return 1;
+  }
+  std::cout << "Data written to BENCH_fig5.json\n";
   std::cout << "\nShape checks (paper):\n"
             << "  4G FDD phones drop at 20 MHz (SDR sampling constraint)\n"
             << "  4G FDD RPis degrade with bandwidth (modem limits)\n"

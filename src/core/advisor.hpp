@@ -34,6 +34,11 @@ struct Advisory {
   ActionKind kind = ActionKind::kNone;
   std::string reason;
   double score = 0.0;  ///< urgency/severity in [0, 1]
+  /// True when this advisory was re-derived from the *last* CFD result
+  /// because a fresh run could not be produced (degraded stale-serve mode);
+  /// the result is still inside its validity window, but consumers should
+  /// know it is not fresh.
+  bool stale = false;
 };
 
 struct AdvisorConfig {

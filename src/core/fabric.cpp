@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 #include "cfd/solver.hpp"
@@ -23,6 +24,19 @@ struct AlertRecord {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
 };
+
+// Stable idempotence token for a serialized telemetry frame (FNV-1a over
+// the payload; frames embed their capture time, so distinct frames hash
+// apart). A frame whose append half-succeeded (ack lost) and was then
+// buffered dedups at UCSB when the drain re-ships it.
+uint64_t FrameToken(const std::vector<uint8_t>& payload) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h == 0 ? 1 : h;
+}
 }  // namespace
 
 FabricConfig::FabricConfig() : site(hpc::NotreDameCRC()) {
@@ -89,6 +103,32 @@ Fabric::Fabric(FabricConfig config)
   pilot_->AttachObservability(reg);
   if (reg != nullptr) RegisterFabricMetrics();
 
+  // Resilience: opt-in degraded-mode machinery. Breakers sit on the WAN,
+  // the degraded-mode manager keeps the audit trail, and (when a failover
+  // site is configured) a second scheduler/pilot pair stands by for
+  // interactive -> batch placement.
+  if (config_.resilience.enabled) {
+    cspot_->wan().set_metrics_registry(reg);
+    cspot_->wan().EnableCircuitBreakers(config_.resilience.breaker);
+    degraded_ = std::make_unique<resil::DegradedModeManager>();
+    degraded_->AttachObservability(
+        reg, config_.tracing_enabled ? &tracer_ : nullptr);
+    sf_ = std::make_unique<resil::StoreAndForward>(
+        config_.resilience.store_forward_capacity);
+    site_detector_ = std::make_unique<resil::FailureDetector>(
+        config_.resilience.site_detector);
+    if (config_.failover_site.has_value()) {
+      failover_scheduler_ = std::make_unique<hpc::BatchScheduler>(
+          sim_, *config_.failover_site, config_.seed ^ 0xFA11);
+      failover_scheduler_->AttachObservability(reg);
+      pilot::PilotConfig fpc = config_.pilot;
+      fpc.cores_per_node = config_.failover_site->cores_per_node;
+      failover_pilot_ = std::make_unique<pilot::PilotController>(
+          sim_, *failover_scheduler_, perf_, fpc, config_.seed ^ 0xFA12);
+    }
+    if (reg != nullptr) RegisterResilienceMetrics();
+  }
+
   // Cross-layer chaos: couple the plan to the transport, the CSPOT node
   // actuators, and the batch scheduler, then arm it on the shared clock.
   if (!config_.fault_plan.empty()) {
@@ -97,6 +137,9 @@ Fabric::Fabric(FabricConfig config)
                                 config_.tracing_enabled ? &tracer_ : nullptr);
     cspot_->AttachFaultInjector(*chaos_);
     scheduler_->AttachFaultInjector(*chaos_);
+    if (failover_scheduler_ != nullptr) {
+      failover_scheduler_->AttachFaultInjector(*chaos_);
+    }
     chaos_->Arm(sim_);
   }
 }
@@ -151,6 +194,46 @@ void Fabric::RegisterFabricMetrics() {
           " -> " + nodes_.ucsb + " (ms)");
 }
 
+void Fabric::RegisterResilienceMetrics() {
+  const auto kCounter = obs::MetricSample::Type::kCounter;
+  const auto kGauge = obs::MetricSample::Type::kGauge;
+  registry_.RegisterCallback(
+      "xg_resil_suspicion", {{"target", config_.site.name}},
+      "Phi-accrual suspicion of the primary HPC site",
+      [this] { return site_detector_->PhiAt(sim_.Now().micros()); }, kGauge);
+  registry_.RegisterCallback(
+      "xg_resil_failovers_total", {},
+      "Interactive -> batch pilot failover episodes",
+      [this] { return static_cast<double>(metrics_.site_failovers); },
+      kCounter);
+  registry_.RegisterCallback(
+      "xg_resil_stale_served_total", {},
+      "Advisories served from the last CFD result while degraded",
+      [this] { return static_cast<double>(metrics_.stale_advisories_served); },
+      kCounter);
+  registry_.RegisterCallback(
+      "xg_resil_stale_expired_total", {},
+      "Stale serves refused because the validity window had passed",
+      [this] { return static_cast<double>(metrics_.stale_advisories_expired); },
+      kCounter);
+  registry_.RegisterCallback(
+      "xg_resil_sf_depth", {},
+      "Telemetry frames currently parked in store-and-forward",
+      [this] { return static_cast<double>(sf_->size()); }, kGauge);
+  registry_.RegisterCallback(
+      "xg_resil_sf_buffered_total", {},
+      "Telemetry frames ever parked in store-and-forward",
+      [this] { return static_cast<double>(sf_->buffered_total()); }, kCounter);
+  registry_.RegisterCallback(
+      "xg_resil_sf_dropped_total", {},
+      "Buffered frames evicted by the bounded buffer",
+      [this] { return static_cast<double>(sf_->dropped_total()); }, kCounter);
+  registry_.RegisterCallback(
+      "xg_resil_sf_drained_total", {},
+      "Buffered frames delivered after recovery",
+      [this] { return static_cast<double>(sf_->drained_total()); }, kCounter);
+}
+
 void Fabric::ScheduleBreach(const sensors::BreachEvent& breach) {
   cups_->AddBreach(breach);
 }
@@ -201,17 +284,43 @@ void Fabric::PublishTelemetry() {
   tracer_.EndSpan(read_span);
 
   const sim::SimTime t0 = sim_.Now();
+  const std::vector<uint8_t> payload = SerializeFrame(frame);
+
+  // Degraded path: the access link is known-down, so park the frame
+  // instead of burning a full retry schedule against an open breaker.
+  // FIFO order is preserved — the drain ships everything buffered before
+  // anything published after recovery.
+  if (ResilienceOn() &&
+      degraded_->active(resil::DegradedMode::kStoreForward)) {
+    BufferFrame(payload);
+    tracer_.Annotate(root, "buffered", "true");
+    tracer_.EndSpan(root);
+    return;
+  }
+
   cspot::AppendOptions opts;
   opts.trace = root;
+  if (ResilienceOn()) {
+    opts.retry = config_.resilience.telemetry_retry;
+    opts.idem_token = FrameToken(payload);
+  }
   cspot_->RemoteAppend(
-      telemetry_client_, nodes_.ucsb, kTelemetryLog, SerializeFrame(frame),
-      opts,
-      [this, t0, frame, root](Result<cspot::SeqNo> r,
-                              const fault::FaultOutcome&) {
+      telemetry_client_, nodes_.ucsb, kTelemetryLog, payload, opts,
+      [this, t0, frame, root, payload](Result<cspot::SeqNo> r,
+                                       const fault::FaultOutcome&) {
         if (!r.ok()) {
           XG_LOG(kWarn, "fabric")
               << "telemetry append failed: " << r.status().ToString();
           tracer_.Annotate(root, "error", r.status().ToString());
+          if (ResilienceOn()) {
+            // Exactly-once across the boundary: the drain re-ships this
+            // frame under the same idempotence token, so an append whose
+            // ack was lost dedups instead of appending twice.
+            tracer_.Annotate(root, "buffered", "true");
+            EnterStoreForward("telemetry append failed: " +
+                              r.status().ToString());
+            BufferFrame(payload);
+          }
           tracer_.EndSpan(root);
           return;
         }
@@ -229,8 +338,116 @@ void Fabric::PublishTelemetry() {
         tracer_.EndSpan(observe);
         tracer_.EndSpan(root);
         last_frame_trace_ = root;
+        if (on_frame_stored) on_frame_stored(sim_.Now().seconds(), false);
         if (suspicion) HandleSuspicion(*suspicion);
       });
+}
+
+void Fabric::BufferFrame(const std::vector<uint8_t>& payload) {
+  sf_->Buffer(payload);
+  ++metrics_.telemetry_frames_buffered;
+}
+
+void Fabric::EnterStoreForward(const std::string& detail) {
+  if (degraded_->active(resil::DegradedMode::kStoreForward)) return;
+  degraded_->Enter(resil::DegradedMode::kStoreForward, sim_.Now().micros(),
+                   detail);
+  ScheduleStoreForwardTick();
+}
+
+void Fabric::ScheduleStoreForwardTick() {
+  if (sf_tick_pending_) return;
+  sf_tick_pending_ = true;
+  sim_.Schedule(
+      sim::SimTime::Seconds(config_.resilience.store_forward_probe_s),
+      [this] {
+        sf_tick_pending_ = false;
+        StoreForwardTick();
+      });
+}
+
+void Fabric::StoreForwardTick() {
+  if (!degraded_->active(resil::DegradedMode::kStoreForward)) return;
+  if (sf_probe_inflight_) return;
+  if (sf_->empty()) {
+    degraded_->Exit(resil::DegradedMode::kStoreForward, sim_.Now().micros());
+    return;
+  }
+  // Probe with the oldest buffered frame: a short retry budget that either
+  // lands (link restored -> drain everything) or fails fast and waits one
+  // probe period. While the breaker for the access link is open the
+  // attempts fail without touching the wire; the breaker's own half-open
+  // probing decides when traffic flows again.
+  const std::vector<uint8_t> probe = sf_->Front();
+  cspot::AppendOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.retry.attempt_timeout_ms =
+      config_.resilience.telemetry_retry.attempt_timeout_ms;
+  opts.idem_token = FrameToken(probe);
+  sf_probe_inflight_ = true;
+  cspot_->RemoteAppend(
+      telemetry_client_, nodes_.ucsb, kTelemetryLog, probe, opts,
+      [this](Result<cspot::SeqNo> r, const fault::FaultOutcome&) {
+        sf_probe_inflight_ = false;
+        if (!r.ok()) {
+          ScheduleStoreForwardTick();
+          return;
+        }
+        ObserveStoredFrame(sf_->PopFront(), /*drained=*/true);
+        StoreForwardTick();  // keep draining; exits the mode when empty
+      });
+}
+
+void Fabric::ObserveStoredFrame(const std::vector<uint8_t>& payload,
+                                bool drained) {
+  ++metrics_.telemetry_frames_stored;
+  if (drained) ++metrics_.telemetry_frames_drained;
+  auto f = DeserializeFrame(payload);
+  if (f.ok()) {
+    auto suspicion = twin_.Observe(f.value());
+    if (suspicion) HandleSuspicion(*suspicion);
+  }
+  if (on_frame_stored) on_frame_stored(sim_.Now().seconds(), drained);
+}
+
+void Fabric::ServeStaleAdvisories(const std::string& reason) {
+  if (!latest_result_.has_value()) return;
+  const double age_s = sim_.Now().seconds() - latest_result_->complete_time_s;
+  if (age_s > config_.resilience.stale_validity_s) {
+    ++metrics_.stale_advisories_expired;
+    return;
+  }
+  if (!degraded_->active(resil::DegradedMode::kStaleServe)) {
+    degraded_->Enter(resil::DegradedMode::kStaleServe, sim_.Now().micros(),
+                     reason);
+  }
+  const std::vector<TelemetryFrame> latest = RecentFrames(1);
+  if (latest.empty()) return;
+  char age[48];
+  std::snprintf(age, sizeof(age), " [stale result, age %.0fs]", age_s);
+  for (Advisory a : advisor_.Advise(*latest_result_, latest.back())) {
+    a.stale = true;
+    a.reason += age;
+    ++metrics_.stale_advisories_served;
+    if (on_advisory) on_advisory(a);
+  }
+}
+
+void Fabric::SubmitSiteProbe() {
+  hpc::JobSpec spec;
+  spec.name = "xg-canary";
+  spec.nodes = 1;
+  spec.runtime_s = config_.resilience.site_probe_runtime_s;
+  spec.walltime_s = std::max(60.0, 4.0 * spec.runtime_s);
+  scheduler_->Submit(spec, /*on_start=*/[this](const hpc::JobInfo&) {
+    const int64_t now_us = sim_.Now().micros();
+    site_detector_->Heartbeat(now_us);
+    // A canary starting is proof the queue admits again: fail back.
+    if (degraded_->active(resil::DegradedMode::kSiteFailover) &&
+        !site_detector_->SuspectAt(now_us)) {
+      degraded_->Exit(resil::DegradedMode::kSiteFailover, now_us);
+    }
+  });
 }
 
 std::vector<TelemetryFrame> Fabric::RecentFrames(size_t n) const {
@@ -295,7 +512,13 @@ void Fabric::RunDetectionCycle() {
 
 void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
                         obs::TraceContext trace) {
-  if (cfd_in_flight_) return;  // one simulation at a time in the prototype
+  if (cfd_in_flight_) {
+    // One simulation at a time in the prototype. In resilience mode the
+    // blocked alert still gets decision support: re-issue the advisories
+    // from the last result while it is inside its validity window.
+    if (ResilienceOn()) ServeStaleAdvisories("cfd in flight");
+    return;
+  }
   cfd_in_flight_ = true;
 
   // The decision span covers alert pickup: fetching the boundary frame
@@ -313,6 +536,7 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
         if (!latest.ok() || latest.value() == cspot::kNoSeq) {
           cfd_in_flight_ = false;
           tracer_.EndSpan(decision);
+          if (ResilienceOn()) ServeStaleAdvisories("boundary fetch failed");
           return;
         }
         cspot_->RemoteGet(
@@ -322,6 +546,9 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
               if (!bytes.ok()) {
                 cfd_in_flight_ = false;
                 tracer_.EndSpan(decision);
+                if (ResilienceOn()) {
+                  ServeStaleAdvisories("boundary fetch failed");
+                }
                 return;
               }
               auto frame = DeserializeFrame(bytes.value());
@@ -333,7 +560,22 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
               const TelemetryFrame boundary = frame.take();
               tracer_.EndSpan(decision);
               const int64_t submit_us = sim_.Now().micros();
-              pilot_->SubmitTask(
+              pilot::PilotController* controller = pilot_.get();
+              if (ResilienceOn() && site_detector_->SuspectAt(submit_us)) {
+                // Bridge the gap with the last result while the (slower)
+                // failover path produces a fresh one.
+                ServeStaleAdvisories("primary site suspected");
+                if (failover_pilot_ != nullptr) {
+                  if (!degraded_->active(
+                          resil::DegradedMode::kSiteFailover)) {
+                    degraded_->Enter(resil::DegradedMode::kSiteFailover,
+                                     submit_us, "primary site suspected");
+                    ++metrics_.site_failovers;
+                  }
+                  controller = failover_pilot_.get();
+                }
+              }
+              controller->SubmitTask(
                   data_bytes,
                   [this, alert_time_s, boundary, decision,
                    submit_us](const pilot::TaskResult& task) {
@@ -433,6 +675,11 @@ void Fabric::StoreResult(const CfdResult& result,
   twin_.UpdatePrediction(result);
   tracer_.EndSpan(compare);
   cfd_in_flight_ = false;
+  // A fresh result ends any stale-serving episode.
+  if (ResilienceOn() &&
+      degraded_->active(resil::DegradedMode::kStaleServe)) {
+    degraded_->Exit(resil::DegradedMode::kStaleServe, sim_.Now().micros());
+  }
 
   // Decision support: each fresh simulation re-evaluates the intervention
   // advisories against the latest telemetry.
@@ -528,6 +775,22 @@ void Fabric::Run(double hours) {
   if (config_.background_load) {
     scheduler_->StartBackgroundLoad(horizon);
     // Warm the queue: without history the first hour has an empty system.
+    if (failover_scheduler_ != nullptr) {
+      failover_scheduler_->StartBackgroundLoad(horizon);
+    }
+  }
+
+  // Canary probes against the primary site: each start is a heartbeat into
+  // the phi-accrual detector, so a stalled queue raises suspicion and a
+  // moving one fails the fabric back from the batch site.
+  if (ResilienceOn()) {
+    const double probe_s = config_.resilience.site_probe_period_s;
+    sim::Periodic(sim_, sim::SimTime::Seconds(probe_s),
+                  sim::SimTime::Seconds(probe_s), [this, horizon]() {
+                    if (sim_.Now() > horizon) return false;
+                    SubmitSiteProbe();
+                    return true;
+                  });
   }
 
   if (config_.robot_patrol) {

@@ -38,6 +38,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pilot/pilot.hpp"
+#include "resil/degraded.hpp"
 #include "sensors/cups.hpp"
 #include "sensors/quality.hpp"
 
@@ -86,6 +87,15 @@ struct FabricConfig {
   /// construction, coupled to the WAN, the CSPOT nodes, and the batch
   /// scheduler. Injected counts export as xg_fault_injected_total.
   fault::FaultPlan fault_plan;
+  /// Resilience: adaptive backoff on telemetry appends, per-link circuit
+  /// breakers, store-and-forward during access outages, stale-but-valid
+  /// advisory serving, and interactive->batch pilot failover. Off by
+  /// default so the seed behaviour (and golden numbers) are unchanged.
+  resil::ResilienceConfig resilience;
+  /// Failover facility for degraded-mode pilot placement. When set (and
+  /// resilience is enabled), CFD tasks are redirected here while the
+  /// primary site's failure detector suspects it.
+  std::optional<hpc::SiteProfile> failover_site;
 
   FabricConfig();
 };
@@ -114,6 +124,12 @@ struct FabricMetrics {
   uint64_t irrigation_advisories = 0;
   uint64_t qc_rejected_readings = 0;
   uint64_t readings_dropped = 0;  ///< station dropouts (fault injection)
+  // -- resilience (all zero unless FabricConfig::resilience.enabled) --
+  uint64_t telemetry_frames_buffered = 0;  ///< held in store-and-forward
+  uint64_t telemetry_frames_drained = 0;   ///< delivered from the buffer
+  uint64_t stale_advisories_served = 0;    ///< advisories from the last result
+  uint64_t stale_advisories_expired = 0;   ///< serves refused: window exceeded
+  uint64_t site_failovers = 0;             ///< interactive -> batch episodes
 };
 
 class Fabric {
@@ -143,6 +159,13 @@ class Fabric {
   /// The armed chaos injector (nullptr when config.fault_plan is empty).
   fault::FaultInjector* fault_injector() { return chaos_.get(); }
 
+  /// Degraded-mode audit trail (nullptr unless resilience is enabled).
+  resil::DegradedModeManager* degraded_modes() { return degraded_.get(); }
+  /// Sensor-edge store-and-forward buffer (nullptr unless enabled).
+  resil::StoreAndForward* store_forward() { return sf_.get(); }
+  /// Phi-accrual health of the primary HPC site (nullptr unless enabled).
+  resil::FailureDetector* site_detector() { return site_detector_.get(); }
+
   /// Unified observability: every layer's counters, mirrored live.
   obs::MetricsRegistry& registry() { return registry_; }
   /// Span store for the per-reading end-to-end traces (§4.4 breakdown).
@@ -157,10 +180,32 @@ class Fabric {
   std::function<void(const BreachSuspicion&, bool confirmed)> on_breach;
   /// Hook invoked for each intervention advisory a CFD result generates.
   std::function<void(const Advisory&)> on_advisory;
+  /// Hook invoked whenever a telemetry frame lands durably at UCSB.
+  /// `drained` is true when the frame was delivered from the
+  /// store-and-forward buffer rather than the live path (benches use the
+  /// first post-outage call to measure recovery time).
+  std::function<void(double store_time_s, bool drained)> on_frame_stored;
 
  private:
   void RegisterFabricMetrics();
+  void RegisterResilienceMetrics();
   void PublishTelemetry();
+  bool ResilienceOn() const { return config_.resilience.enabled; }
+  /// Park a serialized frame in the store-and-forward buffer.
+  void BufferFrame(const std::vector<uint8_t>& payload);
+  /// Enter store-and-forward (idempotent) and start the drain probes.
+  void EnterStoreForward(const std::string& detail);
+  void ScheduleStoreForwardTick();
+  /// One drain probe: try to append the oldest buffered frame; on success
+  /// keep draining, on failure back off one probe period.
+  void StoreForwardTick();
+  /// Account a frame delivered from the buffer (twin observe + metrics).
+  void ObserveStoredFrame(const std::vector<uint8_t>& payload, bool drained);
+  /// Re-issue advisories from the last CFD result while it is still inside
+  /// its validity window (flagged stale); counts an expiry otherwise.
+  void ServeStaleAdvisories(const std::string& reason);
+  /// Canary job against the primary site; its start is a detector heartbeat.
+  void SubmitSiteProbe();
   void RunDetectionCycle();
   void TriggerCfd(double alert_time_s, double data_bytes,
                   obs::TraceContext trace);
@@ -207,6 +252,14 @@ class Fabric {
   bool cfd_in_flight_ = false;
   bool robot_busy_ = false;
   size_t patrol_waypoint_ = 0;
+  // Resilience state (all null / idle unless config_.resilience.enabled).
+  std::unique_ptr<resil::DegradedModeManager> degraded_;
+  std::unique_ptr<resil::StoreAndForward> sf_;
+  std::unique_ptr<resil::FailureDetector> site_detector_;
+  std::unique_ptr<hpc::BatchScheduler> failover_scheduler_;
+  std::unique_ptr<pilot::PilotController> failover_pilot_;
+  bool sf_tick_pending_ = false;  ///< a drain probe is already scheduled
+  bool sf_probe_inflight_ = false;
   Rng rng_;
 };
 

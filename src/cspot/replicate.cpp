@@ -88,6 +88,15 @@ void Replicator::Forward(SeqNo src_seq, const std::vector<uint8_t>& payload,
                                      const fault::FaultOutcome& outcome) {
         inflight_.erase(src_seq);
         report_.retries += static_cast<uint64_t>(outcome.retries());
+        report_.retries_loss += static_cast<uint64_t>(outcome.causes.loss);
+        report_.retries_partition +=
+            static_cast<uint64_t>(outcome.causes.partition);
+        report_.retries_ack_loss +=
+            static_cast<uint64_t>(outcome.causes.ack_loss);
+        report_.total_backoff_ms += outcome.total_backoff_ms();
+        if (!outcome.backoff_ms.empty()) {
+          report_.last_backoff_ms = outcome.backoff_ms;
+        }
         if (outcome.deduped) ++report_.deduped;
         if (r.ok()) {
           ++report_.shipped;

@@ -19,6 +19,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cspot/runtime.hpp"
 
@@ -31,8 +32,21 @@ struct DeliveryReport {
   uint64_t shipped = 0;          ///< source elements acked at the destination
   uint64_t deduped = 0;          ///< acks absorbed by the dest dedup table
   uint64_t retries = 0;          ///< protocol attempts beyond the first
+  /// `retries` split by observed cause (the FaultOutcome classification).
+  /// Duplicates need no slot of their own: an injected duplicate either
+  /// delivers harmlessly or surfaces as a dedup-absorbed ack in `deduped`.
+  /// The cause total can trail `retries`: protocol restarts (stale size
+  /// cache) consume an attempt without a transport fault.
+  uint64_t retries_loss = 0;       ///< a message observed lost on a link
+  uint64_t retries_partition = 0;  ///< no route (link down / node gone)
+  uint64_t retries_ack_loss = 0;   ///< silence — only the timeout fired
   uint64_t failed = 0;           ///< forwards that exhausted retries
   uint64_t recovery_shipped = 0; ///< elements (re)shipped by recovery scans
+  /// Cumulative backoff the retry policy imposed across all forwards, and
+  /// the per-retry schedule of the most recent forward that backed off —
+  /// enough to audit the exponential spacing without keeping every op.
+  double total_backoff_ms = 0.0;
+  std::vector<double> last_backoff_ms;
   /// Highest source seq through which *every* element has been acked.
   SeqNo last_acked_contiguous = kNoSeq;
   /// Status of the most recent failed forward (Ok when none failed yet).
@@ -41,13 +55,27 @@ struct DeliveryReport {
 
 class Replicator {
  public:
+  /// The replication default: exponential backoff between retries instead
+  /// of the seed's fixed one-timeout-apart cadence, so a replicator facing
+  /// a dead link spaces its probes out to the 5 s ceiling rather than
+  /// hammering every 400 ms. Deterministic per runtime seed (the jitter
+  /// draws from the runtime's Rng).
+  static AppendOptions DefaultOptions() {
+    AppendOptions o;
+    o.retry.initial_backoff_ms = 250.0;
+    o.retry.multiplier = 2.0;
+    o.retry.max_backoff_ms = 5'000.0;
+    o.retry.jitter = 0.2;
+    return o;
+  }
+
   /// Wires src_node/src_log -> dst_node/dst_log. The destination log must
   /// already exist. Returns an object whose lifetime owns the report (the
   /// handler stays registered for the runtime's lifetime).
   static Result<std::unique_ptr<Replicator>> Create(
       Runtime& rt, const std::string& src_node, const std::string& src_log,
       const std::string& dst_node, const std::string& dst_log,
-      AppendOptions options = AppendOptions{});
+      AppendOptions options = DefaultOptions());
 
   const DeliveryReport& report() const { return report_; }
 

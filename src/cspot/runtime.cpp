@@ -156,13 +156,20 @@ struct Runtime::AppendOp {
   std::string client, host, log;
   std::vector<uint8_t> payload;
   AppendOptions opts;
+  resil::RetryPolicy policy;  ///< built from opts.retry, shared by attempts
   AppendCallback done;
   uint64_t token = 0;      ///< idempotence token, constant across retries
   int attempt = 0;
   bool finished = false;
   bool deduped = false;    ///< ack came from the host's dedup table
+  int64_t started_us = 0;  ///< first-attempt time, for the op deadline
   sim::EventHandle timeout;
   uint64_t phase_id = 0;   ///< guards stale responses from earlier phases
+  /// Most specific transport failure observed during the current attempt;
+  /// kAckLoss (pure silence) until a send reports otherwise.
+  fault::RetryCause attempt_cause = fault::RetryCause::kAckLoss;
+  fault::RetryBreakdown causes;    ///< timeout-driven retries by cause
+  std::vector<double> backoff_ms;  ///< backoff waited before each retry
   obs::TraceContext span;        ///< cspot.append, whole operation
   obs::TraceContext phase_span;  ///< current get-size / put phase
 };
@@ -178,17 +185,55 @@ void Runtime::RemoteAppend(const std::string& client, const std::string& host,
   op->log = log;
   op->payload = std::move(payload);
   op->opts = opts;
+  op->policy = resil::RetryPolicy(opts.retry);
   op->done = std::move(done);
   op->token = opts.idem_token != 0 ? opts.idem_token : next_token_++;
+  op->started_us = sim_.Now().micros();
   op->span = obs::StartSpanIf(tracer_, "cspot.append", "cspot", opts.trace);
   obs::AnnotateIf(tracer_, op->span, "path", client + "->" + host);
   obs::AnnotateIf(tracer_, op->span, "log", log);
   StartAttempt(std::move(op));
 }
 
+void Runtime::NoteSendFailure(AppendOp& op) {
+  switch (wan_.last_send_failure()) {
+    case SendFailure::kNoRoute:
+    case SendFailure::kCircuitOpen:  // open because the path is down
+      op.attempt_cause = fault::RetryCause::kPartition;
+      return;
+    case SendFailure::kLoss:
+      op.attempt_cause = fault::RetryCause::kLoss;
+      return;
+    case SendFailure::kNone:
+      return;
+  }
+}
+
+void Runtime::ScheduleRetry(std::shared_ptr<AppendOp> op) {
+  op->causes.Add(op->attempt_cause);
+  op->attempt_cause = fault::RetryCause::kAckLoss;
+  const double elapsed_ms =
+      static_cast<double>(sim_.Now().micros() - op->started_us) / 1e3;
+  if (!op->policy.ShouldAttempt(op->attempt + 1, elapsed_ms)) {
+    StartAttempt(std::move(op));  // produces the exhaustion failure now
+    return;
+  }
+  const double backoff = op->policy.BackoffMs(op->attempt + 1, rng_);
+  if (backoff <= 0.0) {
+    StartAttempt(std::move(op));
+    return;
+  }
+  op->backoff_ms.push_back(backoff);
+  obs::AnnotateIf(tracer_, op->span, "backoff_ms", std::to_string(backoff));
+  sim_.Schedule(sim::SimTime::Millis(backoff),
+                [this, op = std::move(op)]() { StartAttempt(op); });
+}
+
 void Runtime::StartAttempt(std::shared_ptr<AppendOp> op) {
   if (op->finished) return;
-  if (op->attempt >= op->opts.max_attempts) {
+  const double elapsed_ms =
+      static_cast<double>(sim_.Now().micros() - op->started_us) / 1e3;
+  if (!op->policy.ShouldAttempt(op->attempt + 1, elapsed_ms)) {
     op->finished = true;
     obs::AnnotateIf(tracer_, op->span, "error", "exhausted retries");
     obs::EndSpanIf(tracer_, op->span);
@@ -199,6 +244,8 @@ void Runtime::StartAttempt(std::shared_ptr<AppendOp> op) {
     outcome.status = timeout;
     outcome.attempts = op->attempt;
     outcome.deduped = op->deduped;
+    outcome.causes = op->causes;
+    outcome.backoff_ms = op->backoff_ms;
     op->done(timeout, outcome);
     return;
   }
@@ -222,28 +269,31 @@ void Runtime::PhaseGetSize(std::shared_ptr<AppendOp> op) {
   op->phase_span =
       obs::StartSpanIf(tracer_, "cspot.get_size", "cspot", op->span);
 
-  // Arm the per-phase timeout: if no response lands, retry from scratch.
-  op->timeout = sim_.Schedule(sim::SimTime::Millis(op->opts.timeout_ms),
+  // Arm the per-phase timeout: if no response lands, retry from scratch
+  // (after the policy's backoff).
+  op->timeout = sim_.Schedule(sim::SimTime::Millis(op->policy.AttemptTimeoutMs()),
                               [this, op, phase]() {
                                 if (op->finished || op->phase_id != phase) return;
                                 ++counters_.timeouts;
                                 obs::AnnotateIf(tracer_, op->phase_span,
                                                 "timeout", "true");
                                 obs::EndSpanIf(tracer_, op->phase_span);
-                                StartAttempt(op);
+                                ScheduleRetry(op);
                               });
 
   // A synchronous send failure (no route, loss) is deliberately not acted
   // on here: the armed timeout drives the retry at the configured pace.
   // Failing fast would spin retries back-to-back in zero virtual time.
-  (void)wan_.Send(op->client, op->host, params_.control_bytes, [this, op, phase]() {
+  // The failure kind is noted so the eventual retry is charged to its
+  // cause (loss vs. partition) instead of the silent ack-loss bucket.
+  const Status req = wan_.Send(op->client, op->host, params_.control_bytes, [this, op, phase]() {
     // Request arrives at the host.
     Node* host = GetNode(op->host);
     if (host == nullptr || !host->up()) return;  // dropped; timeout drives retry
     LogStorage* storage = host->GetLog(op->log);
     const bool found = storage != nullptr;
     const size_t element_size = found ? storage->config().element_size : 0;
-    (void)wan_.Send(op->host, op->client, params_.control_bytes,
+    const Status reply = wan_.Send(op->host, op->client, params_.control_bytes,
               [this, op, phase, found, element_size]() {
                 if (op->finished || op->phase_id != phase) return;
                 sim_.Cancel(op->timeout);
@@ -260,8 +310,10 @@ void Runtime::PhaseGetSize(std::shared_ptr<AppendOp> op) {
                 PhasePut(op, element_size);
               },
               op->phase_span);
+    if (!reply.ok()) NoteSendFailure(*op);
   },
   op->phase_span);
+  if (!req.ok()) NoteSendFailure(*op);
 }
 
 void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
@@ -274,20 +326,20 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
   }
   op->phase_span = obs::StartSpanIf(tracer_, "cspot.put", "cspot", op->span);
 
-  op->timeout = sim_.Schedule(sim::SimTime::Millis(op->opts.timeout_ms),
+  op->timeout = sim_.Schedule(sim::SimTime::Millis(op->policy.AttemptTimeoutMs()),
                               [this, op, phase]() {
                                 if (op->finished || op->phase_id != phase) return;
                                 ++counters_.timeouts;
                                 obs::AnnotateIf(tracer_, op->phase_span,
                                                 "timeout", "true");
                                 obs::EndSpanIf(tracer_, op->phase_span);
-                                StartAttempt(op);
+                                ScheduleRetry(op);
                               });
 
   const size_t wire_bytes = params_.control_bytes + op->payload.size();
   // As in PhaseGetSize: the timeout, not the synchronous Status, paces
   // retries of lost puts.
-  (void)wan_.Send(op->client, op->host, wire_bytes, [this, op, phase, assumed_size]() {
+  const Status put = wan_.Send(op->client, op->host, wire_bytes, [this, op, phase, assumed_size]() {
     Node* host = GetNode(op->host);
     if (host == nullptr || !host->up()) return;
     LogStorage* storage = host->GetLog(op->log);
@@ -340,7 +392,7 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
           }
         }
       }
-      (void)wan_.Send(op->host, op->client, params_.control_bytes,
+      const Status ack = wan_.Send(op->host, op->client, params_.control_bytes,
                 [this, op, phase, verdict, seq]() {
                   if (op->finished || op->phase_id != phase) return;
                   sim_.Cancel(op->timeout);
@@ -371,9 +423,11 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
                   }
                 },
                 op->phase_span);
+      if (!ack.ok()) NoteSendFailure(*op);
     });
   },
   op->phase_span);
+  if (!put.ok()) NoteSendFailure(*op);
 }
 
 void Runtime::FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result) {
@@ -393,6 +447,8 @@ void Runtime::FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result) 
   outcome.status = result.ok() ? Status::Ok() : result.status();
   outcome.attempts = op->attempt;
   outcome.deduped = op->deduped;
+  outcome.causes = op->causes;
+  outcome.backoff_ms = op->backoff_ms;
   op->done(std::move(result), outcome);
 }
 

@@ -30,13 +30,18 @@
 #include "fault/outcome.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resil/policy.hpp"
 
 namespace xg::cspot {
 
 struct AppendOptions {
   bool use_size_cache = false;  ///< client-side element-size caching
-  int max_attempts = 8;         ///< total protocol attempts before giving up
-  double timeout_ms = 400.0;    ///< per-phase response timeout
+  /// Retry policy: the attempt cap, the per-attempt (per-phase) response
+  /// deadline, and the backoff spacing between attempts. The default is
+  /// the seed behaviour — 8 attempts, 400 ms phase timeout, no backoff —
+  /// so retries fire one phase-timeout apart unless a caller opts into
+  /// exponential spacing via `retry.initial_backoff_ms`.
+  resil::RetryPolicyConfig retry;
   /// When valid (and a tracer is attached), the append is traced as a
   /// `cspot.append` span under this parent, with per-phase and per-WAN-hop
   /// child spans.
@@ -134,6 +139,11 @@ class Runtime {
   struct AppendOp;
 
   void StartAttempt(std::shared_ptr<AppendOp> op);
+  /// Charge the attempt's observed retry cause, then re-enter StartAttempt
+  /// after the policy's backoff (immediately when backoff is disabled).
+  void ScheduleRetry(std::shared_ptr<AppendOp> op);
+  /// Classify the WAN's most recent send failure into the op's cause slot.
+  void NoteSendFailure(AppendOp& op);
   void PhaseGetSize(std::shared_ptr<AppendOp> op);
   void PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size);
   void FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result);

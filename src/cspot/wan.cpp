@@ -79,16 +79,89 @@ std::vector<size_t> Wan::Route(const std::string& from,
   return route;
 }
 
+void Wan::EnableCircuitBreakers(resil::BreakerConfig cfg) {
+  breakers_enabled_ = true;
+  breaker_cfg_ = cfg;
+}
+
+resil::CircuitBreaker* Wan::breaker(const std::string& a,
+                                    const std::string& b) {
+  auto it = breakers_.find(fault::FaultPlan::LinkTarget(a, b));
+  return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+resil::CircuitBreaker& Wan::BreakerFor(const std::string& from,
+                                       const std::string& to) {
+  const std::string key = fault::FaultPlan::LinkTarget(from, to);
+  auto it = breakers_.find(key);
+  if (it != breakers_.end()) return *it->second;
+
+  auto brk = std::make_unique<resil::CircuitBreaker>(breaker_cfg_);
+  resil::CircuitBreaker* ptr = brk.get();
+  // Each close ends an outage episode: record the whole open window
+  // (open -> half-open probing -> closed) as one resil.breaker_open span.
+  brk->set_on_transition([this, ptr, key](resil::BreakerState /*from*/,
+                                          resil::BreakerState to,
+                                          int64_t now_us) {
+    if (tracer_ == nullptr || to != resil::BreakerState::kClosed) return;
+    if (!resil_root_.valid()) {
+      resil_root_ = tracer_->StartTrace("resil.timeline", "resil");
+    }
+    tracer_->RecordSpan("resil.breaker_open", "resil", resil_root_,
+                        ptr->opened_at_us(), now_us, {{"link", key}});
+  });
+  if (registry_ != nullptr) {
+    registry_->RegisterCallback(
+        "xg_resil_breaker_state", {{"link", key}},
+        "Breaker state: 0 closed, 1 half-open, 2 open",
+        [this, ptr] {
+          return static_cast<double>(ptr->StateAt(sim_.Now().micros()));
+        });
+    for (auto state :
+         {resil::BreakerState::kClosed, resil::BreakerState::kHalfOpen,
+          resil::BreakerState::kOpen}) {
+      registry_->RegisterCallback(
+          "xg_resil_breaker_transitions_total",
+          {{"link", key}, {"to", resil::BreakerStateName(state)}},
+          "Breaker state transitions",
+          [ptr, state] {
+            return static_cast<double>(ptr->transitions_to(state));
+          },
+          obs::MetricSample::Type::kCounter);
+    }
+    registry_->RegisterCallback(
+        "xg_resil_breaker_fast_fail_total", {{"link", key}},
+        "Sends failed fast while the breaker was open",
+        [ptr] { return static_cast<double>(ptr->fast_fails()); },
+        obs::MetricSample::Type::kCounter);
+  }
+  auto [ins, _] = breakers_.emplace(key, std::move(brk));
+  return *ins->second;
+}
+
 Status Wan::Send(const std::string& from, const std::string& to, size_t bytes,
                  std::function<void()> deliver, const obs::TraceContext& trace) {
+  last_send_failure_ = SendFailure::kNone;
+  const int64_t depart_us = sim_.Now().micros();
+  resil::CircuitBreaker* brk = nullptr;
+  if (breakers_enabled_ && from != to) {
+    brk = &BreakerFor(from, to);
+    if (!brk->Allow(depart_us)) {
+      ++messages_fast_failed_;
+      last_send_failure_ = SendFailure::kCircuitOpen;
+      return Status(ErrorCode::kUnavailable,
+                    "circuit open " + from + "->" + to);
+    }
+  }
   ++messages_sent_;
   const auto route = Route(from, to);
   if (route.empty() && from != to) {
     ++messages_lost_;
+    last_send_failure_ = SendFailure::kNoRoute;
+    if (brk != nullptr) brk->RecordFailure(depart_us);
     return Status(ErrorCode::kUnavailable, "no route " + from + "->" + to);
   }
   const bool traced = tracer_ != nullptr && trace.valid();
-  const int64_t depart_us = sim_.Now().micros();
   double total_ms = 0.0;
   std::string cur = from;
   for (size_t idx : route) {
@@ -119,6 +192,8 @@ Status Wan::Send(const std::string& from, const std::string& to, size_t bytes,
     }
     if (lost) {
       ++messages_lost_;
+      last_send_failure_ = SendFailure::kLoss;
+      if (brk != nullptr) brk->RecordFailure(depart_us);
       return Status(ErrorCode::kUnavailable,
                     "message lost on link " + cur + "->" + next);
     }
@@ -134,6 +209,8 @@ Status Wan::Send(const std::string& from, const std::string& to, size_t bytes,
     if ((ev = fault_->Roll(fault::FaultKind::kMessageLoss, pair, depart_us)) !=
         nullptr) {
       ++messages_lost_;
+      last_send_failure_ = SendFailure::kLoss;
+      if (brk != nullptr) brk->RecordFailure(depart_us);
       return Status(ErrorCode::kUnavailable,
                     "injected message loss " + from + "->" + to);
     }
@@ -147,6 +224,7 @@ Status Wan::Send(const std::string& from, const std::string& to, size_t bytes,
     }
   }
   sim_.Schedule(sim::SimTime::Millis(total_ms), std::move(deliver));
+  if (brk != nullptr) brk->RecordSuccess(depart_us);
   return Status::Ok();
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,9 @@
 #include "common/rng.hpp"
 #include "common/sim.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resil/breaker.hpp"
 
 namespace xg::cspot {
 
@@ -31,6 +34,11 @@ struct LinkParams {
   /// component ("5g-air" spans are charged to net5g, the rest to wan).
   std::string kind = "internet";
 };
+
+/// Why the most recent Send failed (kNone after a success). A Status alone
+/// cannot carry this — every transport failure is kUnavailable — and the
+/// retry-cause accounting in `fault::FaultOutcome` needs the distinction.
+enum class SendFailure { kNone, kNoRoute, kLoss, kCircuitOpen };
 
 class Wan {
  public:
@@ -79,6 +87,30 @@ class Wan {
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_lost() const { return messages_lost_; }
+  uint64_t messages_fast_failed() const { return messages_fast_failed_; }
+
+  /// Failure kind of the most recent Send on this Wan (single-threaded
+  /// simulation: read it immediately after a failed Send returns).
+  SendFailure last_send_failure() const { return last_send_failure_; }
+
+  /// Opt-in: give every endpoint pair a circuit breaker. While a pair's
+  /// breaker is open, Send fails fast with kUnavailable ("circuit open")
+  /// instead of sampling the path; after the cooldown the next Send is
+  /// admitted as a half-open probe. Off by default so the seed transport
+  /// semantics (and every golden metric) are unchanged.
+  void EnableCircuitBreakers(resil::BreakerConfig cfg);
+  bool circuit_breakers_enabled() const { return breakers_enabled_; }
+
+  /// The breaker guarding the (a, b) endpoint pair, nullptr when breakers
+  /// are disabled or no traffic has crossed the pair yet.
+  resil::CircuitBreaker* breaker(const std::string& a, const std::string& b);
+
+  /// Export `xg_resil_breaker_*` series for every breaker (created lazily,
+  /// so registration happens as pairs first see traffic). Must outlive
+  /// this Wan.
+  void set_metrics_registry(obs::MetricsRegistry* registry) {
+    registry_ = registry;
+  }
 
  private:
   struct Link {
@@ -91,15 +123,28 @@ class Wan {
   std::vector<size_t> Route(const std::string& from,
                             const std::string& to) const;
 
+  /// Lazily create (and instrument) the breaker for an endpoint pair.
+  resil::CircuitBreaker& BreakerFor(const std::string& from,
+                                    const std::string& to);
+
   sim::Simulation& sim_;
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
+  obs::MetricsRegistry* registry_ = nullptr;
   std::vector<std::string> nodes_;
   std::map<std::string, bool> reachable_;
   std::vector<Link> links_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_lost_ = 0;
+  uint64_t messages_fast_failed_ = 0;
+  SendFailure last_send_failure_ = SendFailure::kNone;
+  bool breakers_enabled_ = false;
+  resil::BreakerConfig breaker_cfg_;
+  /// Keyed by FaultPlan::LinkTarget(from, to); unique_ptr for pointer
+  /// stability across map growth (metric callbacks capture the breaker).
+  std::map<std::string, std::unique_ptr<resil::CircuitBreaker>> breakers_;
+  obs::TraceContext resil_root_;  ///< parent of resil.breaker_open spans
 };
 
 }  // namespace xg::cspot

@@ -12,9 +12,33 @@
 // It is deliberately a plain value type so callbacks can copy it.
 #pragma once
 
+#include <vector>
+
 #include "common/result.hpp"
 
 namespace xg::fault {
+
+/// What made a protocol attempt retry. The transport reports the most
+/// specific cause it observed during the attempt; kAckLoss is the residual
+/// "the request may have landed but no ack came back" bucket (host down,
+/// reply-leg loss the sender cannot distinguish from request loss).
+enum class RetryCause { kLoss = 0, kPartition = 1, kAckLoss = 2 };
+
+/// Per-cause retry tally, summable across operations.
+struct RetryBreakdown {
+  int loss = 0;        ///< a message was observed lost on a link
+  int partition = 0;   ///< no route existed (link down / node unreachable)
+  int ack_loss = 0;    ///< silence: nothing observed, the timeout fired
+
+  void Add(RetryCause c, int n = 1) {
+    switch (c) {
+      case RetryCause::kLoss: loss += n; return;
+      case RetryCause::kPartition: partition += n; return;
+      case RetryCause::kAckLoss: ack_loss += n; return;
+    }
+  }
+  int total() const { return loss + partition + ack_loss; }
+};
 
 struct FaultOutcome {
   /// Final status of the operation; mirrors the Result the callback also
@@ -25,9 +49,21 @@ struct FaultOutcome {
   /// The ack was produced by the host's dedup table — an earlier attempt
   /// already appended durably and only the ack was lost.
   bool deduped = false;
+  /// Timeout-driven retries classified by observed cause. `causes.total()`
+  /// can be below retries(): protocol restarts (e.g. a stale size-cache
+  /// rejection) consume an attempt without a transport fault.
+  RetryBreakdown causes;
+  /// Backoff schedule the retry policy imposed: the delay waited before
+  /// each retry, in order. Empty when no backoff applied.
+  std::vector<double> backoff_ms;
 
   bool ok() const { return status.ok(); }
   int retries() const { return attempts > 1 ? attempts - 1 : 0; }
+  double total_backoff_ms() const {
+    double t = 0.0;
+    for (double b : backoff_ms) t += b;
+    return t;
+  }
 };
 
 }  // namespace xg::fault

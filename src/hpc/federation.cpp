@@ -24,6 +24,34 @@ BatchScheduler* SiteSelector::Scheduler(const std::string& site) {
   return nullptr;
 }
 
+void SiteSelector::EnableFailureDetection(resil::DetectorConfig cfg) {
+  detection_enabled_ = true;
+  detector_cfg_ = cfg;
+  for (Site& s : sites_) {
+    if (s.detector == nullptr) {
+      s.detector = std::make_unique<resil::FailureDetector>(cfg);
+    }
+  }
+}
+
+void SiteSelector::RecordHeartbeat(const std::string& site, int64_t now_us) {
+  resil::FailureDetector* d = Detector(site);
+  if (d != nullptr) d->Heartbeat(now_us);
+}
+
+resil::FailureDetector* SiteSelector::Detector(const std::string& site) {
+  if (!detection_enabled_) return nullptr;
+  for (Site& s : sites_) {
+    if (s.profile.name == site) {
+      if (s.detector == nullptr) {  // added after EnableFailureDetection
+        s.detector = std::make_unique<resil::FailureDetector>(detector_cfg_);
+      }
+      return s.detector.get();
+    }
+  }
+  return nullptr;
+}
+
 std::vector<SiteScore> SiteSelector::ScoreAll(int nodes) const {
   std::vector<SiteScore> scores;
   scores.reserve(sites_.size());
@@ -37,6 +65,10 @@ std::vector<SiteScore> SiteSelector::ScoreAll(int nodes) const {
     score.est_completion_s = score.est_wait_s + score.est_runtime_s;
     score.batch_rendering =
         PlanBatchRendering(s.profile).mode != RenderMode::kUnsupported;
+    if (detection_enabled_ && s.detector != nullptr) {
+      score.phi = s.detector->PhiAt(sim_.Now().micros());
+      score.suspected = score.phi >= s.detector->config().phi_threshold;
+    }
     scores.push_back(score);
   }
   return scores;
@@ -48,9 +80,14 @@ Result<SiteScore> SiteSelector::Best(int nodes,
   const SiteScore* best = nullptr;
   for (const SiteScore& s : scores) {
     if (require_batch_rendering && !s.batch_rendering) continue;
-    if (best == nullptr || s.est_completion_s < best->est_completion_s) {
-      best = &s;
-    }
+    // Demotion order: any healthy site beats any suspected one; within a
+    // health class the completion estimate decides.
+    const bool better =
+        best == nullptr ||
+        (best->suspected && !s.suspected) ||
+        (best->suspected == s.suspected &&
+         s.est_completion_s < best->est_completion_s);
+    if (better) best = &s;
   }
   if (best == nullptr) {
     return Status(ErrorCode::kUnavailable,

@@ -17,6 +17,7 @@
 #include "hpc/perfmodel.hpp"
 #include "hpc/portability.hpp"
 #include "hpc/scheduler.hpp"
+#include "resil/detector.hpp"
 
 namespace xg::hpc {
 
@@ -26,6 +27,11 @@ struct SiteScore {
   double est_runtime_s = 0.0;
   double est_completion_s = 0.0;
   bool batch_rendering = false;
+  /// Phi-accrual suspicion at scoring time (0 when failure detection is
+  /// off). A suspected site is demoted by Best(), not excluded: when every
+  /// qualifying site is suspected, availability wins over purity.
+  double phi = 0.0;
+  bool suspected = false;
 };
 
 class SiteSelector {
@@ -38,12 +44,26 @@ class SiteSelector {
   size_t site_count() const { return sites_.size(); }
   BatchScheduler* Scheduler(const std::string& site);
 
+  /// Opt-in: track per-site health with a phi-accrual detector. Callers
+  /// feed proof-of-life via RecordHeartbeat (job starts, canary probes);
+  /// ScoreAll reads suspicion at the virtual now and Best() demotes
+  /// suspected sites behind healthy ones.
+  void EnableFailureDetection(resil::DetectorConfig cfg);
+  bool failure_detection_enabled() const { return detection_enabled_; }
+  void RecordHeartbeat(const std::string& site, int64_t now_us);
+  /// The site's detector; nullptr for unknown sites or when detection is
+  /// off.
+  resil::FailureDetector* Detector(const std::string& site);
+
   /// Score every site for an n-node job (lower completion is better).
   std::vector<SiteScore> ScoreAll(int nodes) const;
 
   /// Best site for an n-node job; fails when no site qualifies.
   /// `require_batch_rendering` filters to sites whose batch environment can
-  /// render the VTK output (Section 4.3's constraint).
+  /// render the VTK output (Section 4.3's constraint). With failure
+  /// detection on, healthy sites outrank suspected ones regardless of
+  /// their completion estimates; suspected sites are only chosen when no
+  /// healthy site qualifies.
   Result<SiteScore> Best(int nodes, bool require_batch_rendering = false) const;
 
   /// Start background load on every site (each to its own utilization).
@@ -56,8 +76,11 @@ class SiteSelector {
   struct Site {
     SiteProfile profile;
     std::unique_ptr<BatchScheduler> scheduler;
+    std::unique_ptr<resil::FailureDetector> detector;
   };
   std::vector<Site> sites_;
+  bool detection_enabled_ = false;
+  resil::DetectorConfig detector_cfg_;
 };
 
 }  // namespace xg::hpc

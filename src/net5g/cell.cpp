@@ -22,10 +22,35 @@ Result<int> Cell::AttachUe(const UeProfile& profile, const std::string& slice) {
       slice_members_[s].push_back(idx);
       ue_rrc_dropped_.push_back(0);
       ue_snr_penalty_db_.push_back(0.0);
+      if (link_health_enabled_) {
+        ue_health_.push_back(
+            std::make_unique<resil::FailureDetector>(link_health_cfg_));
+      }
       return static_cast<int>(idx);
     }
   }
   return Status(ErrorCode::kNotFound, "no slice named " + slice);
+}
+
+void Cell::EnableLinkHealth(resil::DetectorConfig cfg) {
+  link_health_enabled_ = true;
+  link_health_cfg_ = cfg;
+  ue_health_.clear();
+  for (size_t u = 0; u < ues_.size(); ++u) {
+    ue_health_.push_back(std::make_unique<resil::FailureDetector>(cfg));
+  }
+}
+
+double Cell::UeLinkPhi(int ue, int64_t now_us) const {
+  if (!link_health_enabled_ || ue < 0 ||
+      static_cast<size_t>(ue) >= ue_health_.size()) {
+    return 0.0;
+  }
+  return ue_health_[static_cast<size_t>(ue)]->PhiAt(now_us);
+}
+
+bool Cell::UeLinkSuspected(int ue, int64_t now_us) const {
+  return UeLinkPhi(ue, now_us) >= link_health_cfg_.phi_threshold;
 }
 
 void Cell::RefreshFaultState(int64_t now_us) {
@@ -199,9 +224,15 @@ UplinkRunResult Cell::RunDirection(int seconds, int warmup_seconds,
       ue.channel.TickSecond();
       ue.phy_bits_this_second = 0.0;
     }
-    if (fault_ != nullptr) {
-      RefreshFaultState(
-          static_cast<int64_t>((time_base_s_ + static_cast<double>(sec)) * 1e6));
+    const int64_t sec_us =
+        static_cast<int64_t>((time_base_s_ + static_cast<double>(sec)) * 1e6);
+    if (fault_ != nullptr) RefreshFaultState(sec_us);
+    if (link_health_enabled_) {
+      // A second with the RRC connection intact is proof of life; a drop
+      // window simply stops the heartbeats and lets phi climb.
+      for (size_t u = 0; u < ues_.size(); ++u) {
+        if (ue_rrc_dropped_[u] == 0) ue_health_[u]->Heartbeat(sec_us);
+      }
     }
     // This second's overload-induced slot-drop fraction. Overflow episodes
     // are bursty, which is why the measured variance blows up at the SDR

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "net5g/device.hpp"
 #include "net5g/phy.hpp"
 #include "net5g/types.hpp"
+#include "resil/detector.hpp"
 
 namespace xg::net5g {
 
@@ -63,6 +65,20 @@ class Cell {
 
   int ue_count() const { return static_cast<int>(ues_.size()); }
   const CellConfig& config() const { return config_; }
+
+  /// Opt-in per-UE link-health detection: every simulated second in which
+  /// the UE holds its RRC connection (no kRrcDrop window active) is a
+  /// heartbeat into a phi-accrual detector, so an RRC-drop window raises
+  /// the UE's suspicion within a few seconds and a re-established link
+  /// clears it on the next healthy second. This is the 5G edge's half of
+  /// the fabric-wide failure surface (the WAN breakers and the HPC site
+  /// detector are the others).
+  void EnableLinkHealth(resil::DetectorConfig cfg);
+  bool link_health_enabled() const { return link_health_enabled_; }
+  /// Suspicion of UE `ue` at `now_us` (0 when detection is off, the index
+  /// is bad, or the detector is still bootstrapping).
+  double UeLinkPhi(int ue, int64_t now_us) const;
+  bool UeLinkSuspected(int ue, int64_t now_us) const;
 
   void set_scheduler(SchedulerPolicy p) { scheduler_ = p; }
 
@@ -111,6 +127,9 @@ class Cell {
   bool any_rrc_dropped_ = false;
   std::vector<char> ue_rrc_dropped_;       ///< per-UE, this second
   std::vector<double> ue_snr_penalty_db_;  ///< per-UE, this second
+  bool link_health_enabled_ = false;
+  resil::DetectorConfig link_health_cfg_;
+  std::vector<std::unique_ptr<resil::FailureDetector>> ue_health_;
 };
 
 }  // namespace xg::net5g

@@ -1,0 +1,82 @@
+#include "resil/breaker.hpp"
+
+namespace xg::resil {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half_open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::MoveTo(BreakerState next, int64_t now_us) {
+  if (next == state_) return;
+  const BreakerState from = state_;
+  state_ = next;
+  ++transitions_[static_cast<int>(next)];
+  if (next == BreakerState::kOpen) {
+    opened_at_us_ = now_us;
+    half_open_streak_ = 0;
+  }
+  if (next == BreakerState::kClosed) consecutive_failures_ = 0;
+  if (on_transition_) on_transition_(from, next, now_us);
+}
+
+void CircuitBreaker::Refresh(int64_t now_us) {
+  if (state_ == BreakerState::kOpen &&
+      now_us - opened_at_us_ >=
+          static_cast<int64_t>(cfg_.open_cooldown_ms * 1e3)) {
+    half_open_streak_ = 0;
+    MoveTo(BreakerState::kHalfOpen, now_us);
+  }
+}
+
+BreakerState CircuitBreaker::StateAt(int64_t now_us) {
+  Refresh(now_us);
+  return state_;
+}
+
+bool CircuitBreaker::Allow(int64_t now_us) {
+  Refresh(now_us);
+  if (state_ == BreakerState::kOpen) {
+    ++fast_fails_;
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(int64_t now_us) {
+  Refresh(now_us);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_streak_ >= cfg_.half_open_successes) {
+        MoveTo(BreakerState::kClosed, now_us);
+      }
+      break;
+    case BreakerState::kOpen:
+      break;  // late ack from before the trip; the cooldown still applies
+  }
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_us) {
+  Refresh(now_us);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= cfg_.failure_threshold) {
+        MoveTo(BreakerState::kOpen, now_us);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      MoveTo(BreakerState::kOpen, now_us);  // probe failed: back off again
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+}  // namespace xg::resil

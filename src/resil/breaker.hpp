@@ -1,0 +1,78 @@
+// Circuit breaker over an unreliable path.
+//
+// Classic three-state machine on the virtual clock. Consecutive failures
+// trip the breaker open; while open, callers are told to fail fast instead
+// of burning a full timeout against a link that is known down. After a
+// cooldown the breaker admits probe traffic (half-open): one success streak
+// closes it, any failure re-opens it and restarts the cooldown.
+//
+// The breaker never schedules events — state is derived lazily from the
+// caller-supplied `now_us`, which keeps it deterministic and free to embed
+// anywhere (the WAN keeps one per link). Transitions are surfaced through
+// an optional callback so the owner can count them and record `resil.*`
+// spans covering each open window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace xg::resil {
+
+enum class BreakerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+const char* BreakerStateName(BreakerState s);
+
+struct BreakerConfig {
+  /// Consecutive failures (in closed state) that trip the breaker.
+  int failure_threshold = 5;
+  /// Open -> half-open after this long without traffic being admitted.
+  double open_cooldown_ms = 2'000.0;
+  /// Consecutive half-open successes required to close.
+  int half_open_successes = 2;
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerConfig cfg) : cfg_(cfg) {}
+
+  /// Fired on every state change, after the internal state updated.
+  using TransitionHook =
+      std::function<void(BreakerState from, BreakerState to, int64_t now_us)>;
+  void set_on_transition(TransitionHook hook) { on_transition_ = std::move(hook); }
+
+  /// May traffic pass at `now_us`? False = fail fast (counted). In
+  /// half-open state probes are admitted so the path can prove itself.
+  bool Allow(int64_t now_us);
+
+  /// Report the result of traffic that was admitted.
+  void RecordSuccess(int64_t now_us);
+  void RecordFailure(int64_t now_us);
+
+  /// State at `now_us`, materializing the lazy open -> half-open edge.
+  BreakerState StateAt(int64_t now_us);
+
+  const BreakerConfig& config() const { return cfg_; }
+  uint64_t fast_fails() const { return fast_fails_; }
+  uint64_t transitions_to(BreakerState s) const {
+    return transitions_[static_cast<int>(s)];
+  }
+  /// Start of the current open window (meaningful while open/half-open).
+  int64_t opened_at_us() const { return opened_at_us_; }
+
+ private:
+  void MoveTo(BreakerState next, int64_t now_us);
+  /// Open -> half-open once the cooldown has elapsed.
+  void Refresh(int64_t now_us);
+
+  BreakerConfig cfg_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_streak_ = 0;
+  int64_t opened_at_us_ = 0;
+  uint64_t fast_fails_ = 0;
+  uint64_t transitions_[3] = {0, 0, 0};
+  TransitionHook on_transition_;
+};
+
+}  // namespace xg::resil

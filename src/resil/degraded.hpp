@@ -1,0 +1,160 @@
+// Degraded operating modes and the manager that keeps their audit trail.
+//
+// When a layer's failure signal fires, the fabric does not stop — it drops
+// into an explicit degraded mode and keeps serving with reduced guarantees:
+//
+//   kStoreForward  5G/WAN outage at the sensor edge: telemetry frames are
+//                  held in a bounded buffer and drained on recovery
+//                  (CSPOT's delay-tolerance, made explicit and bounded).
+//   kStaleServe    a fresh CFD run cannot be produced: the last result is
+//                  served while inside its validity window, with the
+//                  advisory flagged stale-but-valid.
+//   kSiteFailover  the interactive HPC site is suspected: pilot traffic
+//                  fails over to the batch site (Eqs. (1)-(4) still size
+//                  the pilots there).
+//
+// The manager records every Enter/Exit as a timeline entry, exports
+// per-mode gauges and transition counters (`xg_resil_mode*`), and emits a
+// `resil.<mode>` span covering each completed episode — the auditable
+// recovery timeline chaos runs assert against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "resil/breaker.hpp"
+#include "resil/detector.hpp"
+#include "resil/policy.hpp"
+
+namespace xg::resil {
+
+// ---------------------------------------------------------------------------
+// Bounded store-and-forward buffer (sensor-edge delay tolerance)
+// ---------------------------------------------------------------------------
+
+class StoreAndForward {
+ public:
+  explicit StoreAndForward(size_t capacity) : capacity_(capacity) {}
+
+  /// Buffer a payload; when full, the *oldest* frame is evicted (newest
+  /// data is most valuable to a detection pipeline). Returns false iff an
+  /// eviction happened.
+  bool Buffer(std::vector<uint8_t> payload);
+
+  bool empty() const { return frames_.empty(); }
+  size_t size() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  const std::vector<uint8_t>& Front() const { return frames_.front(); }
+  /// Pop the oldest frame, counting it as drained.
+  std::vector<uint8_t> PopFront();
+
+  uint64_t buffered_total() const { return buffered_total_; }
+  uint64_t dropped_total() const { return dropped_total_; }
+  uint64_t drained_total() const { return drained_total_; }
+
+ private:
+  size_t capacity_;
+  std::deque<std::vector<uint8_t>> frames_;
+  uint64_t buffered_total_ = 0;
+  uint64_t dropped_total_ = 0;
+  uint64_t drained_total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Degraded-mode registry
+// ---------------------------------------------------------------------------
+
+enum class DegradedMode { kStoreForward = 0, kStaleServe = 1, kSiteFailover = 2 };
+inline constexpr int kDegradedModeCount = 3;
+
+const char* DegradedModeName(DegradedMode m);
+
+class DegradedModeManager {
+ public:
+  /// Export `xg_resil_mode{mode=...}` gauges plus transition counters to
+  /// `registry` and emit `resil.<mode>` spans to `tracer` on Exit. Either
+  /// may be nullptr; both must outlive this manager.
+  void AttachObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
+  /// Idempotent: entering an active mode is a no-op.
+  void Enter(DegradedMode m, int64_t now_us, const std::string& detail = "");
+  void Exit(DegradedMode m, int64_t now_us);
+
+  bool active(DegradedMode m) const { return active_[static_cast<int>(m)]; }
+  bool AnyActive() const;
+  uint64_t entries(DegradedMode m) const {
+    return entries_[static_cast<int>(m)];
+  }
+  /// Time spent in `m` through `now_us`, counting an open episode.
+  double TotalTimeS(DegradedMode m, int64_t now_us) const;
+
+  struct Episode {
+    DegradedMode mode;
+    int64_t enter_us = 0;
+    int64_t exit_us = -1;  ///< -1 while still open
+    std::string detail;
+  };
+  const std::vector<Episode>& timeline() const { return timeline_; }
+
+  /// Deterministic human-readable recovery timeline, one line per episode:
+  ///   [  600.000s ->  1210.000s] store_forward (610.000s) 5g outage
+  std::string FormatTimeline() const;
+
+ private:
+  bool active_[kDegradedModeCount] = {};
+  int64_t entered_us_[kDegradedModeCount] = {};
+  size_t open_episode_[kDegradedModeCount] = {};
+  uint64_t entries_[kDegradedModeCount] = {};
+  double closed_time_s_[kDegradedModeCount] = {};
+  std::vector<Episode> timeline_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceContext root_;  ///< parent of every resil.<mode> episode span
+};
+
+// ---------------------------------------------------------------------------
+// System-level resilience policy (consumed by core::FabricConfig)
+// ---------------------------------------------------------------------------
+
+struct ResilienceConfig {
+  /// Master switch. Off by default: the seed fabric's behaviour (and its
+  /// golden metrics) are unchanged unless a caller opts in.
+  bool enabled = false;
+  /// Backoff policy for telemetry appends (edge -> repository).
+  RetryPolicyConfig telemetry_retry{
+      .max_attempts = 8,
+      .attempt_timeout_ms = 400.0,
+      .initial_backoff_ms = 200.0,
+      .multiplier = 2.0,
+      .max_backoff_ms = 10'000.0,
+      .jitter = 0.2,
+  };
+  /// Per-WAN-link circuit breakers.
+  BreakerConfig breaker;
+  /// Interactive-site health (fed by canary-job starts).
+  DetectorConfig site_detector{
+      .window = 16,
+      .phi_threshold = 8.0,
+      .min_std_ms = 5'000.0,
+      .min_samples = 3,
+  };
+  /// Store-and-forward buffer capacity, frames; oldest dropped beyond it.
+  size_t store_forward_capacity = 256;
+  /// While in store-and-forward, a drain probe (single cheap attempt on
+  /// the oldest buffered frame) runs at this cadence.
+  double store_forward_probe_s = 30.0;
+  /// Serve the last CFD result as stale-but-valid for this long after it
+  /// completed (~ the detection period minus the response time; the paper
+  /// budgets a ~23-minute actionable window).
+  double stale_validity_s = 23.0 * 60.0;
+  /// Canary-job cadence against the interactive site; each start is a
+  /// detector heartbeat.
+  double site_probe_period_s = 120.0;
+  double site_probe_runtime_s = 1.0;
+};
+
+}  // namespace xg::resil

@@ -1,0 +1,54 @@
+#include "resil/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::resil {
+
+void FailureDetector::Heartbeat(int64_t now_us) {
+  ++heartbeats_;
+  if (last_us_ >= 0) {
+    intervals_us_.push_back(std::max<int64_t>(now_us - last_us_, 0));
+    while (static_cast<int>(intervals_us_.size()) > cfg_.window) {
+      intervals_us_.pop_front();
+    }
+  }
+  last_us_ = std::max(last_us_, now_us);
+}
+
+double FailureDetector::MeanIntervalMs() const {
+  if (intervals_us_.empty()) return 0.0;
+  double sum = 0.0;
+  for (int64_t v : intervals_us_) sum += static_cast<double>(v);
+  return sum / static_cast<double>(intervals_us_.size()) / 1e3;
+}
+
+double FailureDetector::StdIntervalMs() const {
+  const size_t n = intervals_us_.size();
+  if (n < 2) return cfg_.min_std_ms;
+  const double mean = MeanIntervalMs();
+  double ss = 0.0;
+  for (int64_t v : intervals_us_) {
+    const double d = static_cast<double>(v) / 1e3 - mean;
+    ss += d * d;
+  }
+  return std::max(std::sqrt(ss / static_cast<double>(n - 1)), cfg_.min_std_ms);
+}
+
+double FailureDetector::PhiAt(int64_t now_us) const {
+  if (static_cast<int>(heartbeats_) < cfg_.min_samples ||
+      intervals_us_.empty() || now_us <= last_us_) {
+    return 0.0;
+  }
+  const double since_ms = static_cast<double>(now_us - last_us_) / 1e3;
+  const double mean = MeanIntervalMs();
+  const double std = StdIntervalMs();
+  // P(heartbeat later than `since`) under N(mean, std), via erfc for
+  // numerical stability in the far tail.
+  const double z = (since_ms - mean) / (std * std::sqrt(2.0));
+  const double p_later = 0.5 * std::erfc(z);
+  if (p_later <= 1e-300) return 300.0;  // saturate instead of inf
+  return -std::log10(p_later);
+}
+
+}  // namespace xg::resil

@@ -1,0 +1,67 @@
+// Phi-accrual failure detector (Hayashibara et al.).
+//
+// Instead of a binary alive/dead timeout, the detector accrues *suspicion*:
+// it keeps a sliding window of heartbeat inter-arrival times and, given how
+// long the current silence has lasted, computes
+//
+//   phi(now) = -log10( P(a heartbeat still arrives after this long) )
+//
+// under a normal model of the window. phi ~ 1 means "this silence happens
+// about once in 10 heartbeats"; phi >= 8 means one-in-10^8 — the monitored
+// node/link is almost certainly down. Thresholding phi decouples *measuring*
+// health from *reacting* to it: the degraded-mode manager and the site
+// selector pick their own thresholds against the same accrual curve.
+//
+// Deterministic: no clock of its own, no randomness — every query takes the
+// caller's virtual `now_us`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace xg::resil {
+
+struct DetectorConfig {
+  /// Inter-arrival samples retained (sliding window).
+  int window = 32;
+  /// Suspicion level at which SuspectAt() turns true.
+  double phi_threshold = 8.0;
+  /// Floor on the modelled stddev: guards against a burst of perfectly
+  /// regular heartbeats making the detector hair-triggered.
+  double min_std_ms = 100.0;
+  /// Heartbeats required before the detector will suspect at all.
+  int min_samples = 3;
+};
+
+class FailureDetector {
+ public:
+  FailureDetector() = default;
+  explicit FailureDetector(DetectorConfig cfg) : cfg_(cfg) {}
+
+  const DetectorConfig& config() const { return cfg_; }
+
+  /// Record a heartbeat (any proof of life: an ack, a job start, a frame).
+  void Heartbeat(int64_t now_us);
+
+  /// Suspicion at `now_us`; 0 while bootstrapping (< min_samples).
+  double PhiAt(int64_t now_us) const;
+  bool SuspectAt(int64_t now_us) const {
+    return PhiAt(now_us) >= cfg_.phi_threshold;
+  }
+
+  int64_t last_heartbeat_us() const { return last_us_; }
+  int samples() const { return static_cast<int>(intervals_us_.size()); }
+  uint64_t heartbeats() const { return heartbeats_; }
+
+  /// Window statistics (ms), for metrics export and tests.
+  double MeanIntervalMs() const;
+  double StdIntervalMs() const;
+
+ private:
+  DetectorConfig cfg_;
+  std::deque<int64_t> intervals_us_;
+  int64_t last_us_ = -1;
+  uint64_t heartbeats_ = 0;
+};
+
+}  // namespace xg::resil

@@ -1,0 +1,28 @@
+#include "resil/policy.hpp"
+
+#include <algorithm>
+
+namespace xg::resil {
+
+bool RetryPolicy::ShouldAttempt(int next_attempt, double elapsed_ms) const {
+  if (next_attempt > cfg_.max_attempts) return false;
+  if (cfg_.op_deadline_ms > 0.0 && elapsed_ms >= cfg_.op_deadline_ms) {
+    return next_attempt == 1;  // the first attempt always runs
+  }
+  return true;
+}
+
+double RetryPolicy::BackoffMs(int next_attempt, Rng& rng) const {
+  if (next_attempt <= 1 || cfg_.initial_backoff_ms <= 0.0) return 0.0;
+  double b = cfg_.initial_backoff_ms;
+  for (int i = 2; i < next_attempt && b < cfg_.max_backoff_ms; ++i) {
+    b *= cfg_.multiplier;
+  }
+  b = std::min(b, cfg_.max_backoff_ms);
+  if (cfg_.jitter > 0.0) {
+    b *= rng.Uniform(1.0 - cfg_.jitter, 1.0 + cfg_.jitter);
+  }
+  return std::max(b, 0.0);
+}
+
+}  // namespace xg::resil

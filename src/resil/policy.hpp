@@ -1,0 +1,66 @@
+// Retry policy: seeded exponential backoff with jitter and deadlines.
+//
+// The seed repo retried lost appends at a fixed cadence — every retry fired
+// exactly one phase-timeout after the last, so a congested or partitioned
+// link saw the same offered load during the outage as before it. A
+// RetryPolicy spaces attempts out exponentially (decorrelated by jitter so
+// synchronized senders do not retry in lockstep) and bounds the operation
+// with per-attempt and whole-operation deadlines. All randomness comes from
+// the caller's seeded Rng, so a chaos run replays its backoff schedule
+// bit-identically.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace xg::resil {
+
+struct RetryPolicyConfig {
+  /// Total protocol attempts before the operation reports failure.
+  int max_attempts = 8;
+  /// Deadline for a single attempt (one protocol phase round trip).
+  double attempt_timeout_ms = 400.0;
+  /// Backoff before the 2nd attempt; 0 disables backoff entirely (the
+  /// legacy fixed cadence, where the attempt timeout alone paces retries).
+  double initial_backoff_ms = 0.0;
+  /// Geometric growth factor applied per retry.
+  double multiplier = 2.0;
+  /// Ceiling on the undithered backoff.
+  double max_backoff_ms = 30'000.0;
+  /// Uniform jitter as a fraction of the backoff: the sampled delay lies
+  /// in [b*(1-jitter), b*(1+jitter)]. 0 = deterministic spacing.
+  double jitter = 0.2;
+  /// Whole-operation budget measured from the first attempt; once elapsed
+  /// time exceeds it no further attempt is started. 0 = no budget (the
+  /// attempt cap alone bounds the operation).
+  double op_deadline_ms = 0.0;
+};
+
+/// Pure decision logic — holds no clock and no Rng, so one policy value can
+/// be shared by every in-flight operation of a component.
+class RetryPolicy {
+ public:
+  RetryPolicy() = default;
+  explicit RetryPolicy(RetryPolicyConfig cfg) : cfg_(cfg) {}
+
+  const RetryPolicyConfig& config() const { return cfg_; }
+
+  /// True when attempt number `next_attempt` (1-based) may start after
+  /// `elapsed_ms` of operation time.
+  bool ShouldAttempt(int next_attempt, double elapsed_ms) const;
+
+  /// Backoff to wait *before* 1-based attempt `next_attempt`. Attempt 1
+  /// starts immediately; attempt n waits initial*multiplier^(n-2),
+  /// clamped to max_backoff_ms, dithered by `jitter` via `rng`.
+  double BackoffMs(int next_attempt, Rng& rng) const;
+
+  /// Per-attempt deadline (constant across attempts; the growth lives in
+  /// the spacing, not the wait for a response that will never come).
+  double AttemptTimeoutMs() const { return cfg_.attempt_timeout_ms; }
+
+ private:
+  RetryPolicyConfig cfg_;
+};
+
+}  // namespace xg::resil

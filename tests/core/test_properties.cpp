@@ -120,8 +120,8 @@ TEST_P(LossSweep, AppendsRemainExactlyOnce) {
   ASSERT_TRUE((rt.CreateLog("b", cspot::LogConfig{"log", 64, 512})).ok());
 
   cspot::AppendOptions opts;
-  opts.max_attempts = 200;
-  opts.timeout_ms = 30.0;
+  opts.retry.max_attempts = 200;
+  opts.retry.attempt_timeout_ms = 30.0;
   const int n = 25;
   int acked = 0;
   for (int i = 0; i < n; ++i) {

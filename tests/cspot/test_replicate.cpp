@@ -49,8 +49,8 @@ TEST_F(ReplicateTest, MissingSourceLogFails) {
 
 TEST_F(ReplicateTest, PartitionThenRecovery) {
   AppendOptions opts;
-  opts.max_attempts = 2;  // small retry budget: partition defeats it
-  opts.timeout_ms = 50.0;
+  opts.retry.max_attempts = 2;  // small retry budget: partition defeats it
+  opts.retry.attempt_timeout_ms = 50.0;
   auto repl =
       Replicator::Create(rt_, "edge", "telemetry", "repo", "telemetry", opts);
   ASSERT_TRUE(repl.ok());

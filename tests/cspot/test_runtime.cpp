@@ -165,8 +165,8 @@ TEST_F(RuntimeTest, RetriesThroughMessageLoss) {
   ASSERT_TRUE((lossy_rt.CreateLog("s", LogConfig{"log", 128, 64})).ok());
 
   AppendOptions opts;
-  opts.max_attempts = 50;
-  opts.timeout_ms = 50.0;
+  opts.retry.max_attempts = 50;
+  opts.retry.attempt_timeout_ms = 50.0;
   int ok_count = 0;
   for (int i = 0; i < 20; ++i) {
     Result<SeqNo> out = Status(ErrorCode::kInternal, "pending");
@@ -195,8 +195,8 @@ TEST_F(RuntimeTest, ExactlyOnceUnderAckLoss) {
   ASSERT_TRUE((lossy_rt.CreateLog("s", LogConfig{"log", 128, 1024})).ok());
 
   AppendOptions opts;
-  opts.max_attempts = 80;
-  opts.timeout_ms = 40.0;
+  opts.retry.max_attempts = 80;
+  opts.retry.attempt_timeout_ms = 40.0;
   const int n = 30;
   int acked = 0;
   for (int i = 0; i < n; ++i) {
@@ -216,8 +216,8 @@ TEST_F(RuntimeTest, ExactlyOnceUnderAckLoss) {
 TEST_F(RuntimeTest, ExhaustedRetriesReportTimeout) {
   ASSERT_TRUE((rt_.wan().SetLinkUp("client", "server", false)).ok());
   AppendOptions opts;
-  opts.max_attempts = 3;
-  opts.timeout_ms = 20.0;
+  opts.retry.max_attempts = 3;
+  opts.retry.attempt_timeout_ms = 20.0;
   auto r = Append(Payload(), opts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kTimeout);
@@ -231,8 +231,8 @@ TEST_F(RuntimeTest, DelayToleranceAcrossPartition) {
   sim_.Schedule(sim::SimTime::Seconds(30),
                 [&] { EXPECT_TRUE(rt_.wan().SetLinkUp("client", "server", true).ok()); });
   AppendOptions opts;
-  opts.max_attempts = 1000;
-  opts.timeout_ms = 500.0;
+  opts.retry.max_attempts = 1000;
+  opts.retry.attempt_timeout_ms = 500.0;
   Result<SeqNo> out = Status(ErrorCode::kInternal, "pending");
   rt_.RemoteAppend("client", "server", "log", Payload(), opts,
                    [&out](Result<SeqNo> r, const fault::FaultOutcome&) {
@@ -250,8 +250,8 @@ TEST_F(RuntimeTest, PowerLossRecovery) {
   sim_.Schedule(sim::SimTime::Millis(5), [server] { server->set_up(false); });
   sim_.Schedule(sim::SimTime::Seconds(20), [server] { server->set_up(true); });
   AppendOptions opts;
-  opts.max_attempts = 1000;
-  opts.timeout_ms = 300.0;
+  opts.retry.max_attempts = 1000;
+  opts.retry.attempt_timeout_ms = 300.0;
   Result<SeqNo> out = Status(ErrorCode::kInternal, "pending");
   rt_.RemoteAppend("client", "server", "log", Payload(), opts,
                    [&out](Result<SeqNo> r, const fault::FaultOutcome&) {

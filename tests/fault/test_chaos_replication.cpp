@@ -64,8 +64,8 @@ ScenarioResult RunChaosScenario(uint64_t seed) {
                   .ok());
 
   AppendOptions opts;
-  opts.max_attempts = 200;
-  opts.timeout_ms = 300.0;
+  opts.retry.max_attempts = 200;
+  opts.retry.attempt_timeout_ms = 300.0;
   auto repl = Replicator::Create(rt, "edge", "telemetry", "repo", "telemetry",
                                  opts);
   EXPECT_TRUE(repl.ok());
@@ -172,8 +172,8 @@ TEST(ChaosReplication, RecoveryScansFromAckFrontierNotCountGap) {
   inj.Arm(sim);
 
   AppendOptions opts;
-  opts.max_attempts = 1;
-  opts.timeout_ms = 100.0;
+  opts.retry.max_attempts = 1;
+  opts.retry.attempt_timeout_ms = 100.0;
   auto repl = Replicator::Create(rt, "edge", "telemetry", "repo", "telemetry",
                                  opts);
   ASSERT_TRUE(repl.ok());

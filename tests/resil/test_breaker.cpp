@@ -1,0 +1,104 @@
+#include "resil/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xg::resil {
+namespace {
+
+constexpr int64_t kMs = 1000;  // microseconds per millisecond
+
+BreakerConfig SmallCfg() {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_cooldown_ms = 100.0;
+  cfg.half_open_successes = 2;
+  return cfg;
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  CircuitBreaker b(SmallCfg());
+  EXPECT_EQ(b.StateAt(0), BreakerState::kClosed);
+  b.RecordFailure(1 * kMs);
+  b.RecordFailure(2 * kMs);
+  EXPECT_EQ(b.StateAt(2 * kMs), BreakerState::kClosed);
+  b.RecordFailure(3 * kMs);
+  EXPECT_EQ(b.StateAt(3 * kMs), BreakerState::kOpen);
+  EXPECT_EQ(b.opened_at_us(), 3 * kMs);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker b(SmallCfg());
+  b.RecordFailure(1 * kMs);
+  b.RecordFailure(2 * kMs);
+  b.RecordSuccess(3 * kMs);  // streak broken
+  b.RecordFailure(4 * kMs);
+  b.RecordFailure(5 * kMs);
+  EXPECT_EQ(b.StateAt(5 * kMs), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, OpenFailsFastThenAdmitsProbesAfterCooldown) {
+  CircuitBreaker b(SmallCfg());
+  for (int i = 1; i <= 3; ++i) b.RecordFailure(i * kMs);
+  // Inside the cooldown: traffic is refused and counted.
+  EXPECT_FALSE(b.Allow(10 * kMs));
+  EXPECT_FALSE(b.Allow(50 * kMs));
+  EXPECT_EQ(b.fast_fails(), 2u);
+  // Cooldown elapsed (opened at 3 ms + 100 ms): probes flow.
+  EXPECT_TRUE(b.Allow(103 * kMs + 1));
+  EXPECT_EQ(b.StateAt(103 * kMs + 1), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenSuccessStreakCloses) {
+  CircuitBreaker b(SmallCfg());
+  for (int i = 1; i <= 3; ++i) b.RecordFailure(i * kMs);
+  ASSERT_TRUE(b.Allow(200 * kMs));
+  b.RecordSuccess(200 * kMs);
+  EXPECT_EQ(b.StateAt(200 * kMs), BreakerState::kHalfOpen);
+  b.RecordSuccess(201 * kMs);
+  EXPECT_EQ(b.StateAt(201 * kMs), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopensAndRestartsCooldown) {
+  CircuitBreaker b(SmallCfg());
+  for (int i = 1; i <= 3; ++i) b.RecordFailure(i * kMs);
+  ASSERT_TRUE(b.Allow(200 * kMs));
+  b.RecordFailure(200 * kMs);
+  EXPECT_EQ(b.StateAt(200 * kMs), BreakerState::kOpen);
+  EXPECT_EQ(b.opened_at_us(), 200 * kMs);
+  EXPECT_FALSE(b.Allow(250 * kMs));           // new cooldown not elapsed
+  EXPECT_TRUE(b.Allow(301 * kMs));            // elapsed again
+}
+
+TEST(CircuitBreaker, LateSuccessWhileOpenIsIgnored) {
+  // An ack for traffic admitted before the trip must not half-close the
+  // breaker early.
+  CircuitBreaker b(SmallCfg());
+  for (int i = 1; i <= 3; ++i) b.RecordFailure(i * kMs);
+  b.RecordSuccess(10 * kMs);
+  EXPECT_EQ(b.StateAt(10 * kMs), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, TransitionHookSeesEveryEdge) {
+  CircuitBreaker b(SmallCfg());
+  std::vector<std::string> edges;
+  b.set_on_transition([&edges](BreakerState from, BreakerState to, int64_t) {
+    edges.push_back(std::string(BreakerStateName(from)) + "->" +
+                    BreakerStateName(to));
+  });
+  for (int i = 1; i <= 3; ++i) b.RecordFailure(i * kMs);
+  ASSERT_TRUE(b.Allow(200 * kMs));
+  b.RecordSuccess(200 * kMs);
+  b.RecordSuccess(201 * kMs);
+  const std::vector<std::string> want = {"closed->open", "open->half_open",
+                                         "half_open->closed"};
+  EXPECT_EQ(edges, want);
+  EXPECT_EQ(b.transitions_to(BreakerState::kOpen), 1u);
+  EXPECT_EQ(b.transitions_to(BreakerState::kHalfOpen), 1u);
+  EXPECT_EQ(b.transitions_to(BreakerState::kClosed), 1u);
+}
+
+}  // namespace
+}  // namespace xg::resil

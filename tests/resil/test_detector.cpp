@@ -1,0 +1,90 @@
+#include "resil/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xg::resil {
+namespace {
+
+constexpr int64_t kSec = 1'000'000;
+
+DetectorConfig Cfg() {
+  DetectorConfig cfg;
+  cfg.window = 8;
+  cfg.phi_threshold = 8.0;
+  cfg.min_std_ms = 100.0;
+  cfg.min_samples = 3;
+  return cfg;
+}
+
+TEST(FailureDetector, BootstrapsSilently) {
+  FailureDetector d(Cfg());
+  EXPECT_DOUBLE_EQ(d.PhiAt(100 * kSec), 0.0);
+  d.Heartbeat(0);
+  d.Heartbeat(1 * kSec);
+  // Two heartbeats < min_samples: a long silence still does not suspect.
+  EXPECT_DOUBLE_EQ(d.PhiAt(1000 * kSec), 0.0);
+  EXPECT_FALSE(d.SuspectAt(1000 * kSec));
+}
+
+TEST(FailureDetector, SteadyHeartbeatsStayCalm) {
+  FailureDetector d(Cfg());
+  for (int i = 0; i <= 20; ++i) d.Heartbeat(i * kSec);
+  // Asked right on cadence, suspicion is negligible.
+  EXPECT_LT(d.PhiAt(21 * kSec), 1.0);
+  EXPECT_FALSE(d.SuspectAt(21 * kSec));
+  EXPECT_NEAR(d.MeanIntervalMs(), 1000.0, 1e-9);
+}
+
+TEST(FailureDetector, SilenceAccruesSuspicionMonotonically) {
+  FailureDetector d(Cfg());
+  for (int i = 0; i <= 10; ++i) d.Heartbeat(i * kSec);
+  double prev = 0.0;
+  bool suspected = false;
+  for (int s = 11; s < 40; ++s) {
+    const double phi = d.PhiAt(s * kSec);
+    EXPECT_GE(phi, prev) << "phi must not decrease during silence";
+    prev = phi;
+    suspected = suspected || d.SuspectAt(s * kSec);
+  }
+  EXPECT_TRUE(suspected) << "a 29x-cadence silence must cross phi=8";
+}
+
+TEST(FailureDetector, RecoveryClearsSuspicion) {
+  FailureDetector d(Cfg());
+  for (int i = 0; i <= 10; ++i) d.Heartbeat(i * kSec);
+  ASSERT_TRUE(d.SuspectAt(60 * kSec));
+  d.Heartbeat(60 * kSec);  // the link comes back
+  EXPECT_FALSE(d.SuspectAt(60 * kSec + kSec / 2));
+}
+
+TEST(FailureDetector, SaturatesInsteadOfOverflowing) {
+  FailureDetector d(Cfg());
+  for (int i = 0; i <= 10; ++i) d.Heartbeat(i * kSec);
+  // A silence thousands of cadences long: phi pegs at the saturation
+  // value rather than hitting inf/NaN.
+  const double phi = d.PhiAt(100'000 * kSec);
+  EXPECT_DOUBLE_EQ(phi, 300.0);
+}
+
+TEST(FailureDetector, MinStdFloorsJitterlessStreams) {
+  // Perfectly regular heartbeats would give std=0 and a hair-trigger
+  // detector; the floor keeps a small silence tolerable.
+  FailureDetector d(Cfg());
+  for (int i = 0; i <= 10; ++i) d.Heartbeat(i * kSec);
+  EXPECT_DOUBLE_EQ(d.StdIntervalMs(), 100.0);
+  EXPECT_FALSE(d.SuspectAt(11 * kSec + 100'000));  // 100 ms late: fine
+}
+
+TEST(FailureDetector, WindowSlides) {
+  FailureDetector d(Cfg());
+  // Old 10 s cadence ...
+  for (int i = 0; i < 20; ++i) d.Heartbeat(i * 10 * kSec);
+  // ... then a sustained 1 s cadence long enough to fill the window.
+  const int64_t base = 200 * kSec;
+  for (int i = 0; i < 10; ++i) d.Heartbeat(base + i * kSec);
+  EXPECT_EQ(d.samples(), 8);  // capped at the window
+  EXPECT_NEAR(d.MeanIntervalMs(), 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xg::resil

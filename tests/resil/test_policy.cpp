@@ -1,0 +1,89 @@
+#include "resil/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xg::resil {
+namespace {
+
+TEST(RetryPolicy, DefaultIsLegacyFixedCadence) {
+  // The default config reproduces the seed repo's retry behaviour: 8
+  // attempts, 400 ms apart, no backoff — golden numbers depend on it.
+  RetryPolicy p;
+  Rng rng(1);
+  EXPECT_EQ(p.config().max_attempts, 8);
+  EXPECT_DOUBLE_EQ(p.AttemptTimeoutMs(), 400.0);
+  for (int a = 1; a <= 8; ++a) {
+    EXPECT_DOUBLE_EQ(p.BackoffMs(a, rng), 0.0) << "attempt " << a;
+    EXPECT_TRUE(p.ShouldAttempt(a, 1e9));
+  }
+  EXPECT_FALSE(p.ShouldAttempt(9, 0.0));
+}
+
+TEST(RetryPolicy, GeometricGrowthClampedAtCeiling) {
+  RetryPolicyConfig cfg;
+  cfg.initial_backoff_ms = 100.0;
+  cfg.multiplier = 2.0;
+  cfg.max_backoff_ms = 450.0;
+  cfg.jitter = 0.0;
+  RetryPolicy p(cfg);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(p.BackoffMs(1, rng), 0.0);  // first attempt is immediate
+  EXPECT_DOUBLE_EQ(p.BackoffMs(2, rng), 100.0);
+  EXPECT_DOUBLE_EQ(p.BackoffMs(3, rng), 200.0);
+  EXPECT_DOUBLE_EQ(p.BackoffMs(4, rng), 400.0);
+  EXPECT_DOUBLE_EQ(p.BackoffMs(5, rng), 450.0);  // clamped
+  EXPECT_DOUBLE_EQ(p.BackoffMs(9, rng), 450.0);
+}
+
+TEST(RetryPolicy, JitterStaysInBand) {
+  RetryPolicyConfig cfg;
+  cfg.initial_backoff_ms = 1000.0;
+  cfg.multiplier = 1.0;
+  cfg.jitter = 0.25;
+  RetryPolicy p(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double b = p.BackoffMs(2, rng);
+    EXPECT_GE(b, 750.0);
+    EXPECT_LE(b, 1250.0);
+  }
+}
+
+TEST(RetryPolicy, JitterIsSeedDeterministic) {
+  RetryPolicyConfig cfg;
+  cfg.initial_backoff_ms = 500.0;
+  cfg.jitter = 0.2;
+  RetryPolicy p(cfg);
+  std::vector<double> a, b;
+  Rng r1(99), r2(99);
+  for (int i = 2; i < 8; ++i) {
+    a.push_back(p.BackoffMs(i, r1));
+    b.push_back(p.BackoffMs(i, r2));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(RetryPolicy, OpDeadlineStopsRetriesButNotTheFirstAttempt) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 100;
+  cfg.op_deadline_ms = 1000.0;
+  RetryPolicy p(cfg);
+  // The first attempt always runs, whatever the budget says.
+  EXPECT_TRUE(p.ShouldAttempt(1, 0.0));
+  EXPECT_TRUE(p.ShouldAttempt(2, 999.0));
+  EXPECT_FALSE(p.ShouldAttempt(2, 1000.5));
+  EXPECT_FALSE(p.ShouldAttempt(50, 2000.0));
+}
+
+TEST(RetryPolicy, AttemptCapIndependentOfDeadline) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 3;
+  RetryPolicy p(cfg);
+  EXPECT_TRUE(p.ShouldAttempt(3, 0.0));
+  EXPECT_FALSE(p.ShouldAttempt(4, 0.0));
+}
+
+}  // namespace
+}  // namespace xg::resil

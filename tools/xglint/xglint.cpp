@@ -25,9 +25,21 @@
 //                     fault::FaultOutcome for retried operations, see
 //                     src/fault/outcome.hpp) — so callers cannot drop a
 //                     delivery failure the way a bool return invites.
+//   unbounded-retry   `while (true)` / `for (;;)` around a send/append
+//                     under src/ with no attempt cap or deadline in the
+//                     loop body. Retry-until-ack with no bound is exactly
+//                     the failure mode the resilience layer replaces: use
+//                     resil::RetryPolicy (src/resil/policy.hpp) so every
+//                     retry loop has a schedule and a give-up point.
+//   raw-sleep         sleep()/usleep()/sleep_for under src/. The tree runs
+//                     on the virtual clock; a host sleep stalls the worker
+//                     without advancing simulated time. Schedule a
+//                     continuation (sim::Simulation::Schedule) instead.
 //
 // Suppress a finding by appending `// xglint:allow(rule-name)` to the line.
 // Usage: xglint <dir-or-file>... ; exits non-zero if any finding remains.
+//        xglint --self-test      ; run the embedded rule fixtures.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -204,15 +216,42 @@ bool DeclaresBoolSend(const std::string& line) {
   return false;
 }
 
-void LintFile(const fs::path& path, std::vector<Finding>& findings) {
-  std::ifstream in(path);
-  if (!in) {
-    findings.push_back({path.string(), 0, "io", "cannot read file"});
-    return;
+/// Whether `line` opens an unconditional loop: `while (true)` or `for (;;)`.
+bool OpensUnconditionalLoop(const std::string& line) {
+  return Contains(line, "while (true)") || Contains(line, "while(true)") ||
+         Contains(line, "for (;;)") || Contains(line, "for(;;)");
+}
+
+/// Collect the loop body starting at `idx` by brace matching (bounded at
+/// `kRetryBodyCap` lines — a longer loop gets judged on its visible prefix).
+constexpr size_t kRetryBodyCap = 80;
+
+std::string LoopBody(const std::vector<std::string>& lines, size_t idx) {
+  std::string body;
+  int depth = 0;
+  bool opened = false;
+  const size_t last = std::min(lines.size(), idx + kRetryBodyCap);
+  for (size_t k = idx; k < last; ++k) {
+    for (char c : lines[k]) {
+      if (c == '{') {
+        ++depth;
+        opened = true;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    if (k > idx) {
+      body += lines[k];
+      body += '\n';
+    }
+    if (opened && depth <= 0) break;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string raw = buf.str();
+  return body;
+}
+
+void LintSource(const std::string& path_str, const std::string& raw,
+                std::vector<Finding>& findings) {
+  const fs::path path(path_str);
   const std::vector<std::string> raw_lines = SplitLines(raw);
   const std::vector<std::string> lines =
       SplitLines(StripCommentsAndStrings(raw));
@@ -301,7 +340,161 @@ void LintFile(const fs::path& path, std::vector<Finding>& findings) {
         }
       }
     }
+
+    // --- unbounded-retry ---
+    if (InSrc(path) && OpensUnconditionalLoop(line) &&
+        !Suppressed(raw_line, "unbounded-retry")) {
+      const std::string body = LoopBody(lines, i);
+      static const char* kSendTokens[] = {"Send(", "Append(", "Replicate("};
+      static const char* kBoundTokens[] = {"attempt",  "Attempt", "deadline",
+                                           "Deadline", "budget",  "RetryPolicy",
+                                           "max_tries"};
+      bool sends = false;
+      for (const char* tok : kSendTokens) sends = sends || Contains(body, tok);
+      bool bounded = false;
+      for (const char* tok : kBoundTokens) {
+        bounded = bounded || Contains(body, tok) || Contains(line, tok);
+      }
+      if (sends && !bounded) {
+        findings.push_back(
+            {path.string(), ln, "unbounded-retry",
+             "unconditional loop around a send/append with no attempt cap or "
+             "deadline; drive retries through resil::RetryPolicy "
+             "(src/resil/policy.hpp)"});
+      }
+    }
+
+    // --- raw-sleep ---
+    if (InSrc(path) && !Suppressed(raw_line, "raw-sleep")) {
+      static const char* kSleepTokens[] = {"sleep_for", "sleep_until",
+                                           "usleep(", "nanosleep(",
+                                           "::sleep("};
+      for (const char* tok : kSleepTokens) {
+        if (Contains(line, tok)) {
+          findings.push_back(
+              {path.string(), ln, "raw-sleep",
+               std::string(tok) + " under src/: host sleeps stall the worker "
+                                  "without advancing virtual time; schedule a "
+                                  "continuation on sim::Simulation instead"});
+          break;
+        }
+      }
+    }
   }
+}
+
+void LintFile(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io", "cannot read file"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  LintSource(path.string(), buf.str(), findings);
+}
+
+/// Embedded fixtures for the rule engine: each snippet is linted as if it
+/// lived at `path`, and must produce exactly the expected rule names.
+struct SelfTestCase {
+  const char* name;
+  const char* path;
+  const char* source;
+  std::vector<std::string> expect;  ///< expected rule names, in order
+};
+
+int RunSelfTest() {
+  const std::vector<SelfTestCase> cases = {
+      {"unbounded retry around a send is flagged", "src/x/retry.cpp",
+       "void Pump() {\n"
+       "  while (true) {\n"
+       "    transport.Send(frame);\n"
+       "  }\n"
+       "}\n",
+       {"unbounded-retry"}},
+      {"for(;;) around an append is flagged", "src/x/retry.cpp",
+       "void Pump() {\n"
+       "  for (;;) {\n"
+       "    rt.Append(bytes);\n"
+       "  }\n"
+       "}\n",
+       {"unbounded-retry"}},
+      {"attempt cap in the body is accepted", "src/x/retry.cpp",
+       "void Pump() {\n"
+       "  while (true) {\n"
+       "    if (++attempt > policy.max_attempts) break;\n"
+       "    transport.Send(frame);\n"
+       "  }\n"
+       "}\n",
+       {}},
+      {"deadline in the body is accepted", "src/x/retry.cpp",
+       "void Pump() {\n"
+       "  while (true) {\n"
+       "    if (now >= deadline) return;\n"
+       "    transport.Send(frame);\n"
+       "  }\n"
+       "}\n",
+       {}},
+      {"unconditional loop without a send is not a retry loop",
+       "src/x/worker.cpp",
+       "void Loop() {\n"
+       "  for (;;) {\n"
+       "    cv.wait(lk);\n"
+       "    if (shutdown) return;\n"
+       "  }\n"
+       "}\n",
+       {}},
+      {"suppression comment silences the retry rule", "src/x/retry.cpp",
+       "void Pump() {\n"
+       "  while (true) {  // xglint:allow(unbounded-retry)\n"
+       "    transport.Send(frame);\n"
+       "  }\n"
+       "}\n",
+       {}},
+      {"retry loop outside src/ is out of scope", "tests/x/retry.cpp",
+       "void Pump() {\n"
+       "  while (true) {\n"
+       "    transport.Send(frame);\n"
+       "  }\n"
+       "}\n",
+       {}},
+      {"raw sleep under src/ is flagged", "src/x/poll.cpp",
+       "void Poll() {\n"
+       "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+       "}\n",
+       {"raw-sleep"}},
+      {"raw sleep suppression works", "src/x/poll.cpp",
+       "void Poll() {\n"
+       "  usleep(100);  // xglint:allow(raw-sleep)\n"
+       "}\n",
+       {}},
+      {"sleep in a comment is ignored", "src/x/poll.cpp",
+       "// a long sleep_for here would be wrong\n"
+       "void Poll() {}\n",
+       {}},
+      {"sleep outside src/ is out of scope", "bench/x/poll.cpp",
+       "void Poll() { usleep(100); }\n",
+       {}},
+  };
+
+  size_t failures = 0;
+  for (const SelfTestCase& tc : cases) {
+    std::vector<Finding> findings;
+    LintSource(tc.path, tc.source, findings);
+    std::vector<std::string> got;
+    for (const Finding& f : findings) got.push_back(f.rule);
+    if (got != tc.expect) {
+      ++failures;
+      std::fprintf(stderr, "self-test FAIL: %s\n  expected:", tc.name);
+      for (const auto& r : tc.expect) std::fprintf(stderr, " %s", r.c_str());
+      std::fprintf(stderr, "\n  got:     ");
+      for (const auto& r : got) std::fprintf(stderr, " %s", r.c_str());
+      std::fprintf(stderr, "\n");
+    }
+  }
+  std::fprintf(stderr, "xglint --self-test: %zu case(s), %zu failure(s)\n",
+               cases.size(), failures);
+  return failures == 0 ? 0 : 1;
 }
 
 bool IsSourceFile(const fs::path& p) {
@@ -312,8 +505,11 @@ bool IsSourceFile(const fs::path& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--self-test") {
+    return RunSelfTest();
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: xglint <dir-or-file>...\n");
+    std::fprintf(stderr, "usage: xglint <dir-or-file>... | --self-test\n");
     return 2;
   }
   std::vector<Finding> findings;
