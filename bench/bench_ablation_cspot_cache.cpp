@@ -6,13 +6,18 @@
 // causes the append to fail if the log element size is changed on the
 // server side without a client cache update." Both behaviours are
 // reproduced here, including the stale-cache recovery cost.
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
-#include <cstdlib>
+#include <memory>
+#include <vector>
 
+#include "bench/bench_json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "cspot/topology.hpp"
+#include "obs/slo/hdr.hpp"
 
 using namespace xg;
 using namespace xg::cspot;
@@ -20,7 +25,8 @@ using namespace xg::cspot;
 namespace {
 
 SampleSet MeasureAppends(Runtime& rt, sim::Simulation& sim, const char* client,
-                         const char* host, bool use_cache, int count) {
+                         const char* host, bool use_cache, int count,
+                         obs::slo::HdrHistogram* hist = nullptr) {
   SampleSet lat;
   AppendOptions opts;
   opts.use_size_cache = use_cache;
@@ -32,7 +38,12 @@ SampleSet MeasureAppends(Runtime& rt, sim::Simulation& sim, const char* client,
     const auto t0 = sim.Now();
     rt.RemoteAppend(client, host, "log", payload, opts,
                     [&, t0](Result<SeqNo> r, const xg::fault::FaultOutcome&) {
-                      if (r.ok() && i > 1) lat.Add((sim.Now() - t0).millis());
+                      if (r.ok() && i > 1) {
+                        lat.Add((sim.Now() - t0).millis());
+                        if (hist != nullptr) {
+                          hist->Record((sim.Now() - t0).micros());
+                        }
+                      }
                       next();
                     });
   };
@@ -54,6 +65,13 @@ int main() {
       {"UNL->UCSB (Internet)", "unl-wired", "ucsb"},
       {"UCSB->ND (Internet)", "ucsb", "nd"},
   };
+  struct MeasuredRow {
+    const char* path;
+    bool cache;
+    SampleSet lat;
+    std::shared_ptr<obs::slo::HdrHistogram> hist;
+  };
+  std::vector<MeasuredRow> measured;
   for (const Path& path : paths) {
     for (bool cache : {false, true}) {
       sim::Simulation sim;
@@ -62,8 +80,10 @@ int main() {
       if (!rt.CreateLog(path.host, LogConfig{"log", 1024, 256}).ok()) {
         std::abort();
       }
-      const SampleSet lat =
-          MeasureAppends(rt, sim, path.client, path.host, cache, 30);
+      auto hist = std::make_shared<obs::slo::HdrHistogram>();
+      const SampleSet lat = MeasureAppends(rt, sim, path.client, path.host,
+                                           cache, 30, hist.get());
+      measured.push_back({path.name, cache, lat, hist});
       table.AddRow({path.name,
                     cache ? "size cache (1 RTT)" : "two-phase (2 RTT)",
                     Table::Num(lat.mean(), 1), Table::Num(lat.stddev(), 1)});
@@ -102,5 +122,43 @@ int main() {
             << "Expected: ~3 round trips instead of 1 — the reliability "
                "cost that made the paper\nkeep the two-phase protocol in "
                "production.\n";
+
+  std::ofstream jout("BENCH_ablation_cspot_cache.json");
+  if (!jout) {
+    std::cerr << "bench_ablation_cspot_cache: cannot open "
+                 "BENCH_ablation_cspot_cache.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-ablation-cspot-cache-v1");
+  jw.Key("paths");
+  jw.BeginArray();
+  for (const MeasuredRow& row : measured) {
+    jw.BeginObject();
+    jw.Field("path", row.path);
+    jw.Field("protocol", row.cache ? "size_cache" : "two_phase");
+    jw.Field("mean_ms", row.lat.mean());
+    jw.Field("stddev_ms", row.lat.stddev());
+    jw.Field("p50_ms", row.hist->PercentileUs(50.0) / 1e3);
+    jw.Field("p99_ms", row.hist->PercentileUs(99.0) / 1e3);
+    jw.Field("count", row.hist->count());
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.Key("stale_cache");
+  jw.BeginObject();
+  jw.Field("invalidations", rt.counters().size_cache_invalidations);
+  jw.Field("recovery_ms", recovery_ms);
+  jw.EndObject();
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_ablation_cspot_cache: write to "
+                 "BENCH_ablation_cspot_cache.json failed\n";
+    return 1;
+  }
+  std::cout << "Data written to BENCH_ablation_cspot_cache.json\n";
   return 0;
 }

@@ -9,19 +9,27 @@
 //  - the voting rule trades HPC load against sensitivity (design ablation).
 #include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_json.hpp"
 #include "core/fabric.hpp"
 #include "common/table.hpp"
 #include "fault/plan.hpp"
+#include "obs/slo/slo.hpp"
 
 using namespace xg;
 using namespace xg::core;
 
 namespace {
 
-FabricMetrics RunDay(int votes_needed, uint64_t seed, bool with_breach) {
+struct DayRun {
+  FabricMetrics metrics;
+  obs::slo::SloTracker::Summary slo;
+  std::string slo_table;
+};
+
+DayRun RunDay(int votes_needed, uint64_t seed, bool with_breach) {
   FabricConfig cfg;
   cfg.seed = seed;
   cfg.detector.votes_needed = votes_needed;
@@ -48,7 +56,61 @@ FabricMetrics RunDay(int votes_needed, uint64_t seed, bool with_breach) {
     fabric.ScheduleBreach(breach);
   }
   fabric.Run(24.0);
-  return fabric.metrics();
+  DayRun out;
+  out.metrics = fabric.metrics();
+  out.slo = fabric.slo_tracker()->Summarize();
+  out.slo_table = fabric.slo_tracker()->FormatSummary();
+  return out;
+}
+
+// Chaos SLO run: the UCSB -> ND alert path is severed across the morning
+// front, so the escalated reading's alert never reaches the ND poller and
+// its 30-minute deadline budget expires in flight. The flight recorder
+// must auto-dump on the miss and blame the stage with the largest budget
+// share.
+struct ChaosRun {
+  FabricMetrics metrics;
+  uint64_t misses = 0;
+  uint64_t expired = 0;
+  uint64_t dumps = 0;
+  std::string dump_trigger;
+  std::string dominant_stage;
+};
+
+ChaosRun RunChaosDay(uint64_t seed) {
+  FabricConfig cfg;
+  cfg.seed = seed;
+  cfg.resilience.enabled = true;
+  cfg.fault_plan = fault::FaultPlan(seed);
+  // Covers the first post-front detection cycles (~08:30, ~09:00) and
+  // outlasts the 1800 s deadline of any reading escalated inside it.
+  cfg.fault_plan.Partition("ucsb", "nd", 8.0 * 3600, 2.5 * 3600);
+  Fabric fabric(cfg);
+  sensors::FrontEvent morning;
+  morning.start_s = 8.0 * 3600;
+  morning.ramp_s = 1800.0;
+  morning.d_wind_ms = 2.0;
+  morning.d_temp_c = 1.5;
+  fabric.ScheduleFront(morning);
+  fabric.Run(14.0);
+
+  ChaosRun out;
+  out.metrics = fabric.metrics();
+  out.misses = fabric.slo_tracker()->deadline_miss_total();
+  out.expired = fabric.slo_ledger()->closed_by_reason(
+      obs::slo::CloseReason::kExpired);
+  out.dumps = fabric.flight_recorder()->dumps_taken();
+  const std::string& dump = fabric.flight_recorder()->last_dump();
+  auto extract = [&dump](const char* key) -> std::string {
+    const std::string pat = std::string("\"") + key + "\":\"";
+    const size_t at = dump.find(pat);
+    if (at == std::string::npos) return "";
+    const size_t start = at + pat.size();
+    return dump.substr(start, dump.find('"', start) - start);
+  };
+  out.dump_trigger = extract("trigger");
+  out.dominant_stage = extract("dominant_stage");
+  return out;
 }
 
 // Recovery-time measurement: a scripted mid-morning 5G outage with the
@@ -98,7 +160,8 @@ void JsonStats(bench::JsonWriter& jw, const std::string& key,
 }  // namespace
 
 int main() {
-  const FabricMetrics m = RunDay(/*votes_needed=*/2, 9001, /*breach=*/true);
+  const DayRun day = RunDay(/*votes_needed=*/2, 9001, /*breach=*/true);
+  const FabricMetrics& m = day.metrics;
 
   Table e2e({"Metric", "Measured", "Paper"});
   e2e.AddRow({"Telemetry frames stored / sent",
@@ -142,6 +205,25 @@ int main() {
             "Section 4.4: End-to-end performance over a simulated day "
             "(fronts at 08:00 and 18:00, breach at 13:00)");
 
+  // Deadline-budget decomposition of the same day: where each reading's
+  // 30-minute budget went, per stage boundary. The per-stage consumed
+  // times sum to the end-to-end latency by construction; verify anyway.
+  std::cout << "\nDeadline-budget breakdown (per-stage share of the "
+               "end-to-end latency):\n"
+            << day.slo_table;
+  double share_sum = 0.0;
+  for (const auto& st : day.slo.stages) share_sum += st.share;
+  const double share_err_pct = 100.0 * (share_sum - 1.0);
+  std::cout << "Stage budget shares sum to "
+            << Table::Num(100.0 * share_sum, 2)
+            << "% of the e2e latency (tolerance +/- 1%).\n";
+  bool ok = day.slo.completed > 0 && share_err_pct > -1.0 &&
+            share_err_pct < 1.0;
+  if (!ok) {
+    std::cout << "FAIL: per-stage budget shares do not sum to the "
+                 "end-to-end latency.\n";
+  }
+
   // Ablation: voting rule vs HPC load and sensitivity.
   struct VoteRow {
     int k;
@@ -152,8 +234,8 @@ int main() {
   Table votes({"Voting rule", "Alerts/day", "CFD runs/day",
                "HPC node-seconds (runtime)"});
   for (int k : {1, 2, 3}) {
-    const FabricMetrics vm = RunDay(k, 9100 + static_cast<uint64_t>(k),
-                                    /*breach=*/false);
+    const FabricMetrics vm =
+        RunDay(k, 9100 + static_cast<uint64_t>(k), /*breach=*/false).metrics;
     vote_rows.push_back(
         {k, vm.alerts_raised, vm.cfd_runs_completed, vm.cfd_runtime_s.sum()});
     votes.AddRow({Table::Num(k, 0) + "-of-3", Table::Num(vm.alerts_raised, 0),
@@ -180,6 +262,27 @@ int main() {
   recov.Print(std::cout, "\nResilience: store-and-forward recovery after a "
                          "10-minute 5G outage");
 
+  // Chaos SLO: a severed alert path must surface as a deadline miss with
+  // a flight-recorder dump blaming the dominant stage.
+  const ChaosRun chaos = RunChaosDay(9300);
+  Table ct({"Metric", "Measured"});
+  ct.AddRow({"Deadline misses", Table::Num(chaos.misses, 0)});
+  ct.AddRow({"Budgets expired in flight", Table::Num(chaos.expired, 0)});
+  ct.AddRow({"Flight-recorder dumps", Table::Num(chaos.dumps, 0)});
+  ct.AddRow({"Last dump trigger",
+             chaos.dump_trigger.empty() ? "-" : chaos.dump_trigger});
+  ct.AddRow({"Blamed (dominant) stage",
+             chaos.dominant_stage.empty() ? "-" : chaos.dominant_stage});
+  ct.Print(std::cout, "\nChaos SLO: UCSB->ND alert path severed across the "
+                      "morning front (deadline forced to expire)");
+  if (chaos.misses == 0 || chaos.dumps == 0 ||
+      chaos.dump_trigger != "deadline_miss" ||
+      chaos.dominant_stage.empty() || chaos.dominant_stage == "none") {
+    std::cout << "FAIL: chaos run did not produce a deadline-miss flight "
+                 "dump naming a dominant stage.\n";
+    ok = false;
+  }
+
   // Machine-readable artifact (PR 3 bench convention).
   std::ofstream jout("BENCH_e2e.json");
   if (!jout) {
@@ -204,6 +307,42 @@ int main() {
   jw.Field("breach_suspicions", m.breach_suspicions);
   jw.Field("breaches_confirmed", m.breaches_confirmed);
   jw.Field("pilot_idle_node_hours", m.pilot_idle_node_seconds / 3600.0);
+  jw.EndObject();
+  jw.Key("slo");
+  jw.BeginObject();
+  jw.Field("completed", day.slo.completed);
+  jw.Field("full_path", day.slo.full_path);
+  jw.Field("deadline_misses", day.slo.misses);
+  jw.Field("near_misses", day.slo.near_misses);
+  jw.Field("dominant_stage", obs::slo::StageName(day.slo.dominant_stage));
+  jw.Field("share_sum", share_sum);
+  jw.Key("e2e");
+  jw.BeginObject();
+  jw.Field("count", day.slo.e2e.count);
+  jw.Field("p50_ms", day.slo.e2e.p50_ms);
+  jw.Field("p99_ms", day.slo.e2e.p99_ms);
+  jw.Field("max_ms", day.slo.e2e.max_ms);
+  jw.EndObject();
+  jw.Key("stages");
+  jw.BeginArray();
+  for (const auto& st : day.slo.stages) {
+    jw.BeginObject();
+    jw.Field("stage", obs::slo::StageName(st.stage));
+    jw.Field("count", st.count);
+    jw.Field("p50_ms", st.p50_ms);
+    jw.Field("p99_ms", st.p99_ms);
+    jw.Field("share", st.share);
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.EndObject();
+  jw.Key("chaos_slo");
+  jw.BeginObject();
+  jw.Field("deadline_misses", chaos.misses);
+  jw.Field("expired_in_flight", chaos.expired);
+  jw.Field("flight_dumps", chaos.dumps);
+  jw.Field("dump_trigger", chaos.dump_trigger);
+  jw.Field("dominant_stage", chaos.dominant_stage);
   jw.EndObject();
   jw.Key("voting_ablation");
   jw.BeginArray();
@@ -232,5 +371,8 @@ int main() {
     return 1;
   }
   std::cout << "\nData written to BENCH_e2e.json\n";
+  if (!ok) return 1;
+  std::cout << "PASS: stage budget shares sum to the e2e latency and the "
+               "chaos run dumped a deadline-miss flight record.\n";
   return 0;
 }

@@ -5,8 +5,11 @@
 // 4.95 Mbps at 10% scaling to 34.73 at 90%; RPi2 5.14 -> 43.47; midpoint
 // ~23.91 / 25.22; standard deviations within 3-5 Mbps. Includes an extra
 // series with work-conserving slicing as the enforcement-policy ablation.
+#include <fstream>
 #include <iostream>
+#include <vector>
 
+#include "bench/bench_json.hpp"
 #include "common/table.hpp"
 #include "net5g/iperf.hpp"
 
@@ -18,6 +21,12 @@ int main() {
   const double kPaperRpi1[] = {4.95, 0, 0, 0, 23.91, 0, 0, 0, 34.73};
   const double kPaperRpi2[] = {43.47, 0, 0, 0, 25.22, 0, 0, 0, 5.14};
 
+  struct RatioRow {
+    double share;
+    SlicingResult r;
+    double paper1, paper2;
+  };
+  std::vector<RatioRow> ratio_rows;
   Table table({"RPi1 slice", "RPi2 slice", "RPi1 Mbps", "SD", "RPi2 Mbps",
                "SD", "RPi1 paper", "RPi2 paper"});
   for (int i = 1; i <= 9; ++i) {
@@ -25,6 +34,7 @@ int main() {
     const SlicingResult r = MeasureSlicing(f, kSamples, 6000 + i);
     const double p1 = kPaperRpi1[i - 1];
     const double p2 = kPaperRpi2[i - 1];
+    ratio_rows.push_back({f, r, p1, p2});
     table.AddRow({Table::Num(f * 100, 0) + "%",
                   Table::Num((1.0 - f) * 100, 0) + "%",
                   Table::Num(r.ue1.mean()), Table::Num(r.ue1.stddev()),
@@ -39,6 +49,7 @@ int main() {
   }
 
   // Ablation: strict vs work-conserving enforcement with one idle slice.
+  double enforce_mbps[2] = {0.0, 0.0};
   Table ab({"Enforcement", "RPi1 share", "RPi1 Mbps (RPi2 idle slice)"});
   for (bool work_conserving : {false, true}) {
     CellConfig cfg = Make5GTddCell(40.0);
@@ -47,6 +58,7 @@ int main() {
     Cell cell(cfg, 777);
     (void)cell.AttachUe(MakeUeProfile(DeviceType::kRaspberryPi, cfg), "a");
     const auto run = cell.RunUplink(kSamples, 1);
+    enforce_mbps[work_conserving ? 1 : 0] = run.per_ue[0].mean();
     ab.AddRow({work_conserving ? "work-conserving" : "strict (paper)", "30%",
                Table::Num(run.per_ue[0].mean())});
   }
@@ -54,5 +66,42 @@ int main() {
   std::cout << "\nExpected: strict slicing caps the busy slice at its quota "
                "even when the other slice idles;\nwork-conserving donates "
                "idle PRBs (higher throughput, weaker isolation guarantee).\n";
+
+  std::ofstream jout("BENCH_fig6_slicing.json");
+  if (!jout) {
+    std::cerr << "bench_fig6: cannot open BENCH_fig6_slicing.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-fig6-v1");
+  jw.Field("samples_per_ratio", kSamples);
+  jw.Key("ratios");
+  jw.BeginArray();
+  for (const RatioRow& rr : ratio_rows) {
+    jw.BeginObject();
+    jw.Field("rpi1_share", rr.share);
+    jw.Field("rpi1_mbps_mean", rr.r.ue1.mean());
+    jw.Field("rpi1_mbps_stddev", rr.r.ue1.stddev());
+    jw.Field("rpi2_mbps_mean", rr.r.ue2.mean());
+    jw.Field("rpi2_mbps_stddev", rr.r.ue2.stddev());
+    jw.Field("rpi1_paper_mbps", rr.paper1);
+    jw.Field("rpi2_paper_mbps", rr.paper2);
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.Key("enforcement_ablation");
+  jw.BeginObject();
+  jw.Field("strict_mbps", enforce_mbps[0]);
+  jw.Field("work_conserving_mbps", enforce_mbps[1]);
+  jw.EndObject();
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_fig6: write to BENCH_fig6_slicing.json failed\n";
+    return 1;
+  }
+  std::cout << "Data written to BENCH_fig6_slicing.json\n";
   return 0;
 }

@@ -33,7 +33,7 @@ struct RunResult {
 };
 
 RunResult TimeRun(CfdMode mode, double hours, bool observability_on,
-                  int repeats) {
+                  int repeats, bool slo_on = true) {
   RunResult out;
   out.best_ms = 1e300;
   for (int r = 0; r < repeats; ++r) {
@@ -42,6 +42,7 @@ RunResult TimeRun(CfdMode mode, double hours, bool observability_on,
     cfg.cfd_mode = mode;
     cfg.metrics_enabled = observability_on;
     cfg.tracing_enabled = observability_on;
+    cfg.slo.enabled = observability_on && slo_on;
     Fabric fabric(cfg);
     sensors::FrontEvent front;
     front.start_s = 2.0 * 3600;
@@ -72,10 +73,16 @@ double OverheadPct(const RunResult& off, const RunResult& on) {
 
 int main() {
   // -- Scenario 1: full fidelity, the configuration the budget targets ----
+  // The "on" side carries the whole stack: metrics + tracing + the
+  // deadline-budget SLO ledger and flight recorder. The "no ledger" row
+  // isolates what the SLO layer itself adds.
   const double kFullHours = 4.0;
-  const RunResult full_off = TimeRun(CfdMode::kFull, kFullHours, false, 3);
-  const RunResult full_on = TimeRun(CfdMode::kFull, kFullHours, true, 3);
+  const RunResult full_off = TimeRun(CfdMode::kFull, kFullHours, false, 5);
+  const RunResult full_noslo =
+      TimeRun(CfdMode::kFull, kFullHours, true, 5, /*slo_on=*/false);
+  const RunResult full_on = TimeRun(CfdMode::kFull, kFullHours, true, 5);
   const double full_pct = OverheadPct(full_off, full_on);
+  const double noslo_pct = OverheadPct(full_off, full_noslo);
 
   // -- Scenario 2: fast-forward stress case -------------------------------
   const double kFastHours = 24.0;
@@ -94,7 +101,13 @@ int main() {
   t.AddRow({"full fidelity (4 h)", "off", Table::Num(full_off.best_ms, 1),
             Table::Num(full_off.frames, 0), Table::Num(full_off.cfd_runs, 0),
             "0", "-"});
-  t.AddRow({"full fidelity (4 h)", "on", Table::Num(full_on.best_ms, 1),
+  t.AddRow({"full fidelity (4 h)", "on, no ledger",
+            Table::Num(full_noslo.best_ms, 1),
+            Table::Num(full_noslo.frames, 0),
+            Table::Num(full_noslo.cfd_runs, 0),
+            Table::Num(full_noslo.spans, 0),
+            Table::Num(noslo_pct, 2) + "%"});
+  t.AddRow({"full fidelity (4 h)", "on + ledger", Table::Num(full_on.best_ms, 1),
             Table::Num(full_on.frames, 0), Table::Num(full_on.cfd_runs, 0),
             Table::Num(full_on.spans, 0), Table::Num(full_pct, 2) + "%"});
   t.AddRow({"fast-forward (24 h)", "off", Table::Num(fast_off.best_ms, 2),
@@ -106,7 +119,9 @@ int main() {
   t.Print(std::cout, "Observability overhead (best-of-N wall clock)");
 
   std::cout << "\nFull fidelity: " << Table::Num(full_pct, 2)
-            << "% overhead (budget < 5%).\n"
+            << "% overhead with the SLO ledger enabled (budget < 5%; "
+            << Table::Num(full_pct - noslo_pct, 2)
+            << "% attributable to the ledger + flight recorder).\n"
             << "Fast-forward stress: " << Table::Num(fast_pct, 1)
             << "% of a run that compresses a day into "
             << Table::Num(fast_off.best_ms, 1) << " ms — absolute cost "
@@ -127,6 +142,8 @@ int main() {
   // Sanity: observability must not change what the simulation computes.
   if (full_off.frames != full_on.frames ||
       full_off.cfd_runs != full_on.cfd_runs ||
+      full_noslo.frames != full_on.frames ||
+      full_noslo.cfd_runs != full_on.cfd_runs ||
       fast_off.frames != fast_on.frames ||
       fast_off.cfd_runs != fast_on.cfd_runs) {
     std::cout << "FAIL: instrumented run diverged from the baseline.\n";

@@ -5,25 +5,33 @@
 //
 // Paper values: UNL->UCSB (5G+Int.) 101 +/- 17 ms; UNL->UCSB (Internet)
 // 17 +/- 0.8 ms; UCSB->ND (Internet) 92 +/- 1 ms.
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
-#include <cstdlib>
 
+#include "bench/bench_json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "cspot/topology.hpp"
+#include "obs/slo/hdr.hpp"
 
 using namespace xg;
 using namespace xg::cspot;
 
 namespace {
 
-SampleSet MeasurePath(const char* client, const char* host, uint64_t seed) {
+struct PathMeasure {
+  SampleSet lat;
+  obs::slo::HdrHistogram hist;  ///< microsecond domain, p50/p99 source
+};
+
+void MeasurePath(const char* client, const char* host, uint64_t seed,
+                 PathMeasure& out) {
   sim::Simulation sim;
   Runtime rt(sim, seed);
   BuildXgTopology(rt);
   if (!rt.CreateLog(host, LogConfig{"bench", 1024, 128}).ok()) std::abort();
-  SampleSet lat;
   const std::vector<uint8_t> payload(1024, 0x5A);
   int i = 0;
   std::function<void()> next = [&]() {
@@ -33,13 +41,15 @@ SampleSet MeasurePath(const char* client, const char* host, uint64_t seed) {
     rt.RemoteAppend(client, host, "bench", payload, AppendOptions{},
                     [&, t0](Result<SeqNo> r, const xg::fault::FaultOutcome&) {
                       if (!r.ok()) return;
-                      if (i > 1) lat.Add((sim.Now() - t0).millis());
+                      if (i > 1) {
+                        out.lat.Add((sim.Now() - t0).millis());
+                        out.hist.Record((sim.Now() - t0).micros());
+                      }
                       next();
                     });
   };
   next();
   sim.Run();
-  return lat;
 }
 
 }  // namespace
@@ -56,13 +66,19 @@ int main() {
       {"UCSB->ND (Internet)", "ucsb", "nd", 92.0, 1.0},
   };
 
-  Table table({"Path", "Latency Avg. (ms)", "Latency SD (ms)",
-               "Paper Avg.", "Paper SD"});
+  Table table({"Path", "Latency Avg. (ms)", "Latency SD (ms)", "p50 (ms)",
+               "p99 (ms)", "Paper Avg.", "Paper SD"});
+  std::vector<PathMeasure> measures(3);
   uint64_t seed = 1001;
-  for (const Row& row : rows) {
-    const SampleSet lat = MeasurePath(row.client, row.host, seed++);
-    table.AddRow({row.name, Table::Num(lat.mean(), 0),
-                  Table::Num(lat.stddev(), 1), Table::Num(row.paper_mean, 0),
+  for (size_t i = 0; i < 3; ++i) {
+    const Row& row = rows[i];
+    PathMeasure& pm = measures[i];
+    MeasurePath(row.client, row.host, seed++, pm);
+    table.AddRow({row.name, Table::Num(pm.lat.mean(), 0),
+                  Table::Num(pm.lat.stddev(), 1),
+                  Table::Num(pm.hist.PercentileUs(50.0) / 1e3, 1),
+                  Table::Num(pm.hist.PercentileUs(99.0) / 1e3, 1),
+                  Table::Num(row.paper_mean, 0),
                   Table::Num(row.paper_sd, 1)});
   }
   table.Print(std::cout, "Table 1: CSPOT Message Latency for 1KB payload "
@@ -70,6 +86,44 @@ int main() {
   if (table.WriteCsv("table1_latency.csv")) {
     std::cout << "Data written to table1_latency.csv\n";
   }
+
+  std::ofstream jout("BENCH_table1_cspot_latency.json");
+  if (!jout) {
+    std::cerr << "bench_table1: cannot open BENCH_table1_cspot_latency.json\n";
+    return 1;
+  }
+  bench::JsonWriter jw(jout);
+  jw.BeginObject();
+  jw.Field("schema", "xg-bench-table1-v1");
+  jw.Key("paths");
+  jw.BeginArray();
+  for (size_t i = 0; i < 3; ++i) {
+    const Row& row = rows[i];
+    const PathMeasure& pm = measures[i];
+    jw.BeginObject();
+    jw.Field("path", row.name);
+    jw.Field("client", row.client);
+    jw.Field("host", row.host);
+    jw.Field("mean_ms", pm.lat.mean());
+    jw.Field("stddev_ms", pm.lat.stddev());
+    jw.Field("p50_ms", pm.hist.PercentileUs(50.0) / 1e3);
+    jw.Field("p99_ms", pm.hist.PercentileUs(99.0) / 1e3);
+    jw.Field("max_ms", static_cast<double>(pm.hist.max_us()) / 1e3);
+    jw.Field("count", pm.hist.count());
+    jw.Field("paper_mean_ms", row.paper_mean);
+    jw.Field("paper_stddev_ms", row.paper_sd);
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.EndObject();
+  jout << "\n";
+  jout.close();
+  if (!jout || !jw.Complete()) {
+    std::cerr << "bench_table1: write to BENCH_table1_cspot_latency.json "
+                 "failed\n";
+    return 1;
+  }
+  std::cout << "Data written to BENCH_table1_cspot_latency.json\n";
   std::cout << "\nNote: each append costs two protocol round trips "
                "(element-size fetch, then the element itself);\nthe 5G "
                "path's large SD comes from uplink scheduling-grant jitter "

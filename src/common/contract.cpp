@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hpp"
 
@@ -24,6 +26,10 @@ std::atomic<uint64_t> g_violations{0};
 std::mutex g_last_mu;
 std::optional<Violation> g_last;  // guarded by g_last_mu
 
+std::mutex g_listener_mu;
+uint64_t g_next_listener_token = 1;                        // guarded ^
+std::vector<std::pair<uint64_t, ViolationListener>> g_listeners;  // guarded ^
+
 Mode InitialMode() {
   const char* env = std::getenv("XG_CONTRACT_ABORT");
   if (env != nullptr && env[0] != '\0' && env[0] != '0') return Mode::kAbort;
@@ -39,6 +45,23 @@ std::atomic<Mode>& ModeFlag() {
 
 Mode GetMode() { return ModeFlag().load(std::memory_order_relaxed); }
 void SetMode(Mode m) { ModeFlag().store(m, std::memory_order_relaxed); }
+
+uint64_t AddViolationListener(ViolationListener listener) {
+  std::lock_guard<std::mutex> lk(g_listener_mu);
+  const uint64_t token = g_next_listener_token++;
+  g_listeners.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void RemoveViolationListener(uint64_t token) {
+  std::lock_guard<std::mutex> lk(g_listener_mu);
+  for (auto it = g_listeners.begin(); it != g_listeners.end(); ++it) {
+    if (it->first == token) {
+      g_listeners.erase(it);
+      return;
+    }
+  }
+}
 
 uint64_t ViolationCount() {
   return g_violations.load(std::memory_order_relaxed);
@@ -85,6 +108,18 @@ Status Report(Kind kind, const char* condition, ErrorCode code,
   rec.fields.emplace_back("file", v.file + ":" + std::to_string(line));
   rec.fields.emplace_back("function", v.function);
   EmitLog(std::move(rec));
+
+  // Notify observers (the flight recorder dumps here) before a potential
+  // abort. Copy the list so listeners run without the registry lock held.
+  std::vector<ViolationListener> listeners;
+  {
+    std::lock_guard<std::mutex> lk(g_listener_mu);
+    listeners.reserve(g_listeners.size());
+    for (const auto& [token, fn] : g_listeners) listeners.push_back(fn);
+  }
+  for (const auto& fn : listeners) {
+    if (fn) fn(v);
+  }
 
   if (GetMode() == Mode::kAbort) {
     // The log sink may be a silent ring; make sure the abort reason reaches

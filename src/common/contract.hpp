@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -62,6 +63,15 @@ class ScopedMode {
  private:
   Mode prev_;
 };
+
+/// Observer invoked for every reported violation (both modes; in kAbort
+/// mode it runs before the abort, so a flight recorder can still dump).
+/// Listeners run with no contract-layer locks held; they must not report
+/// violations themselves.
+using ViolationListener = std::function<void(const Violation&)>;
+/// Register a listener; returns a token for RemoveViolationListener.
+uint64_t AddViolationListener(ViolationListener listener);
+void RemoveViolationListener(uint64_t token);
 
 /// Process-wide count of violations reported since start / last reset.
 uint64_t ViolationCount();

@@ -142,6 +142,37 @@ Fabric::Fabric(FabricConfig config)
     }
     chaos_->Arm(sim_);
   }
+
+  // Deadline-budget SLO accounting: the ledger keys per-reading budgets by
+  // trace id (inert while tracing is off), the tracker aggregates closed
+  // records into the xg_slo_* series, and the flight recorder keeps the
+  // black box that dumps on contract violations and deadline misses.
+  if (config_.slo.enabled) {
+    obs::slo::LedgerConfig lc = config_.slo.ledger;
+    ledger_ = std::make_unique<obs::slo::LatencyLedger>(lc);
+    slo_tracker_ = std::make_unique<obs::slo::SloTracker>();
+    if (reg != nullptr) slo_tracker_->Attach(reg);
+    flight_ = std::make_unique<obs::slo::FlightRecorder>(config_.slo.flight);
+    flight_->set_clock([this] { return sim_.Now().micros(); });
+    flight_->set_ledger(ledger_.get());
+    flight_->ArmContractTrigger();
+    ledger_->set_on_close([this](const obs::slo::LedgerRecord& rec) {
+      slo_tracker_->Record(rec);
+      flight_->OnRecordClosed(rec);
+    });
+    cspot_->AttachSlo(ledger_.get());
+    // Layer event feeds into the flight recorder's fault/resilience ring.
+    if (degraded_ != nullptr) degraded_->set_flight_recorder(flight_.get());
+    if (chaos_ != nullptr) chaos_->set_flight_recorder(flight_.get());
+    scheduler_->set_flight_recorder(flight_.get());
+    pilot_->set_flight_recorder(flight_.get());
+    if (failover_scheduler_ != nullptr) {
+      failover_scheduler_->set_flight_recorder(flight_.get());
+    }
+    if (failover_pilot_ != nullptr) {
+      failover_pilot_->set_flight_recorder(flight_.get());
+    }
+  }
 }
 
 void Fabric::RegisterFabricMetrics() {
@@ -251,6 +282,13 @@ void Fabric::PublishTelemetry() {
   // journey, so its duration is the e2e latency the paper decomposes.
   const obs::TraceContext root = tracer_.StartTrace("telemetry", "fabric");
   tracer_.Annotate(root, "client", telemetry_client_);
+  if (ledger_ != nullptr) {
+    // The reporting tick doubles as the expiry sweep (a stalled journey is
+    // closed as kExpired — a deadline miss — once its budget runs out),
+    // then this reading's budget opens at the emit boundary.
+    ledger_->SweepExpired(sim_.Now().micros());
+    ledger_->Open(root.trace_id, sim_.Now().micros());
+  }
   const obs::TraceContext read_span =
       tracer_.StartSpan("sensor.read", "sensors", root);
 
@@ -295,6 +333,11 @@ void Fabric::PublishTelemetry() {
     BufferFrame(payload);
     tracer_.Annotate(root, "buffered", "true");
     tracer_.EndSpan(root);
+    // The journey continues untraced through the drain; the budget closes
+    // here and the resilience metrics account the buffered leg.
+    if (ledger_ != nullptr) {
+      ledger_->Close(root.trace_id, obs::slo::CloseReason::kBuffered);
+    }
     return;
   }
 
@@ -322,10 +365,18 @@ void Fabric::PublishTelemetry() {
             BufferFrame(payload);
           }
           tracer_.EndSpan(root);
+          if (ledger_ != nullptr) {
+            ledger_->Close(root.trace_id,
+                           ResilienceOn() ? obs::slo::CloseReason::kBuffered
+                                          : obs::slo::CloseReason::kFailed);
+          }
           return;
         }
         ++metrics_.telemetry_frames_stored;
-        const double latency_ms = (sim_.Now() - t0).millis();
+        // Grandfathered summary metric; the per-stage decomposition of the
+        // same interval lives in the deadline ledger.
+        const double latency_ms =
+            (sim_.Now() - t0).millis();  // xglint:allow(stage-stamp)
         metrics_.telemetry_latency_ms.Add(latency_ms);
         if (telemetry_latency_hist_ != nullptr) {
           telemetry_latency_hist_->Observe(latency_ms);
@@ -337,6 +388,13 @@ void Fabric::PublishTelemetry() {
         auto suspicion = twin_.Observe(frame);
         tracer_.EndSpan(observe);
         tracer_.EndSpan(root);
+        if (ledger_ != nullptr) {
+          // A newer frame supersedes the previous one as the detection
+          // window head: retire its budget as plain delivery unless the
+          // detector escalated it into the CFD path.
+          ledger_->CloseIfIdle(last_frame_trace_.trace_id,
+                               obs::slo::CloseReason::kDelivered);
+        }
         last_frame_trace_ = root;
         if (on_frame_stored) on_frame_stored(sim_.Now().seconds(), false);
         if (suspicion) HandleSuspicion(*suspicion);
@@ -479,8 +537,13 @@ void Fabric::RunDetectionCycle() {
       wind.push_back(f.exterior_wind_ms);
       temp.push_back(f.exterior_temp_c);
     }
-    changed = detector_.Evaluate(wind).changed ||
-              detector_.Evaluate(temp).changed;
+    const laminar::ChangeDecision dw = detector_.Evaluate(wind);
+    const laminar::ChangeDecision dt = detector_.Evaluate(temp);
+    changed = dw.changed || dt.changed;
+    if (changed && flight_ != nullptr) {
+      flight_->Note("laminar", dw.changed ? "wind " + dw.Describe()
+                                          : "temp " + dt.Describe());
+    }
   }
   // Bootstrap: the very first cycle with data runs a calibration
   // simulation even without a statistically detectable change.
@@ -506,7 +569,15 @@ void Fabric::RunDetectionCycle() {
   std::vector<uint8_t> bytes(sizeof(AlertRecord));
   std::memcpy(bytes.data(), &alert, sizeof(AlertRecord));
   auto r = cspot_->LocalAppend(nodes_.ucsb, kAlertLog, bytes);
-  if (r.ok()) ++metrics_.alerts_raised;
+  if (r.ok()) {
+    ++metrics_.alerts_raised;
+    // Escalation boundary: once laminar_trigger is stamped the reading's
+    // budget stays open through pilot/CFD and closes at twin_update.
+    if (ledger_ != nullptr) {
+      ledger_->Stamp(window.trace_id, obs::slo::Stage::kLaminarTrigger,
+                     sim_.Now().micros());
+    }
+  }
   tracer_.EndSpan(window);
 }
 
@@ -517,6 +588,11 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
     // blocked alert still gets decision support: re-issue the advisories
     // from the last result while it is inside its validity window.
     if (ResilienceOn()) ServeStaleAdvisories("cfd in flight");
+    // The declined escalation would otherwise dangle until the expiry
+    // sweep and read as a spurious deadline miss.
+    if (ledger_ != nullptr) {
+      ledger_->Close(trace.trace_id, obs::slo::CloseReason::kSkipped);
+    }
     return;
   }
   cfd_in_flight_ = true;
@@ -537,6 +613,9 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
           cfd_in_flight_ = false;
           tracer_.EndSpan(decision);
           if (ResilienceOn()) ServeStaleAdvisories("boundary fetch failed");
+          if (ledger_ != nullptr) {
+            ledger_->Close(decision.trace_id, obs::slo::CloseReason::kFailed);
+          }
           return;
         }
         cspot_->RemoteGet(
@@ -549,17 +628,29 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
                 if (ResilienceOn()) {
                   ServeStaleAdvisories("boundary fetch failed");
                 }
+                if (ledger_ != nullptr) {
+                  ledger_->Close(decision.trace_id,
+                                 obs::slo::CloseReason::kFailed);
+                }
                 return;
               }
               auto frame = DeserializeFrame(bytes.value());
               if (!frame.ok()) {
                 cfd_in_flight_ = false;
                 tracer_.EndSpan(decision);
+                if (ledger_ != nullptr) {
+                  ledger_->Close(decision.trace_id,
+                                 obs::slo::CloseReason::kFailed);
+                }
                 return;
               }
               const TelemetryFrame boundary = frame.take();
               tracer_.EndSpan(decision);
               const int64_t submit_us = sim_.Now().micros();
+              if (ledger_ != nullptr) {
+                ledger_->Stamp(decision.trace_id,
+                               obs::slo::Stage::kPilotSubmit, submit_us);
+              }
               pilot::PilotController* controller = pilot_.get();
               if (ResilienceOn() && site_detector_->SuspectAt(submit_us)) {
                 // Bridge the gap with the last result while the (slower)
@@ -594,6 +685,15 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
                           task.ran_in_warm_pilot ? "true" : "false"}});
                     tracer_.RecordSpan("cfd.solve", "cfd", job, start_us,
                                        end_us);
+                    if (ledger_ != nullptr) {
+                      // Queue wait (pilot_submit -> cfd_start) and solve
+                      // (cfd_start -> cfd_end) from the same accounting
+                      // that reconstructs the spans above.
+                      ledger_->Stamp(decision.trace_id,
+                                     obs::slo::Stage::kCfdStart, start_us);
+                      ledger_->Stamp(decision.trace_id,
+                                     obs::slo::Stage::kCfdEnd, end_us);
+                    }
                     CfdResult result = ExecuteCfd(alert_time_s, boundary);
                     result.complete_time_s = sim_.Now().seconds();
                     StoreResult(result, job);
@@ -674,6 +774,13 @@ void Fabric::StoreResult(const CfdResult& result,
       tracer_.StartSpan("twin.compare", "twin", trace);
   twin_.UpdatePrediction(result);
   tracer_.EndSpan(compare);
+  if (ledger_ != nullptr) {
+    // End of the full escalated path: the twin holds the fresh prediction,
+    // so the reading's journey is complete and its budget settles.
+    ledger_->Stamp(trace.trace_id, obs::slo::Stage::kTwinUpdate,
+                   sim_.Now().micros());
+    ledger_->Close(trace.trace_id, obs::slo::CloseReason::kFullPath);
+  }
   cfd_in_flight_ = false;
   // A fresh result ends any stale-serving episode.
   if (ResilienceOn() &&

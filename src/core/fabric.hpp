@@ -36,6 +36,7 @@
 #include "hpc/scheduler.hpp"
 #include "laminar/change_detect.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo/slo.hpp"
 #include "obs/trace.hpp"
 #include "pilot/pilot.hpp"
 #include "resil/degraded.hpp"
@@ -83,6 +84,12 @@ struct FabricConfig {
   /// with tracing on, each telemetry reading's journey becomes one trace.
   bool metrics_enabled = true;
   bool tracing_enabled = true;
+  /// Deadline-budget SLO accounting: per-reading latency ledger, per-stage
+  /// HDR histograms (xg_slo_*), and the flight recorder. Keys on trace
+  /// ids, so it is inert unless tracing is enabled too. The ledger
+  /// deadline defaults to one detection duty cycle (~ the paper's
+  /// 23-minute actionable window).
+  obs::slo::SloConfig slo;
   /// Chaos: a non-empty plan is armed on the fabric's clock at
   /// construction, coupled to the WAN, the CSPOT nodes, and the batch
   /// scheduler. Injected counts export as xg_fault_injected_total.
@@ -171,6 +178,13 @@ class Fabric {
   /// Span store for the per-reading end-to-end traces (§4.4 breakdown).
   obs::Tracer& tracer() { return tracer_; }
 
+  /// Per-reading deadline budgets (nullptr when config.slo is disabled).
+  obs::slo::LatencyLedger* slo_ledger() { return ledger_.get(); }
+  /// Aggregate SLO histograms / miss counters (nullptr when disabled).
+  obs::slo::SloTracker* slo_tracker() { return slo_tracker_.get(); }
+  /// Black-box dump ring (nullptr when disabled).
+  obs::slo::FlightRecorder* flight_recorder() { return flight_.get(); }
+
   /// Most recent CFD result, if any simulation completed.
   const std::optional<CfdResult>& latest_result() const { return latest_result_; }
 
@@ -243,6 +257,10 @@ class Fabric {
   std::unique_ptr<Robot> robot_;
   FabricMetrics metrics_;
   std::optional<CfdResult> latest_result_;
+  // SLO deadline accounting (all null when config_.slo.enabled is false).
+  std::unique_ptr<obs::slo::LatencyLedger> ledger_;
+  std::unique_ptr<obs::slo::SloTracker> slo_tracker_;
+  std::unique_ptr<obs::slo::FlightRecorder> flight_;
   /// Histogram view of telemetry_latency_ms (nullptr with metrics off).
   obs::LatencyHistogram* telemetry_latency_hist_ = nullptr;
   /// Trace of the most recently stored frame; the detection cycle and the

@@ -54,6 +54,11 @@ void Runtime::AttachObservability(obs::MetricsRegistry* registry,
       [this] { return static_cast<double>(wan_.messages_lost()); }, kCounter);
 }
 
+void Runtime::AttachSlo(obs::slo::LatencyLedger* ledger) {
+  slo_ = ledger;
+  wan_.set_slo_ledger(ledger);
+}
+
 void Runtime::AttachFaultInjector(fault::FaultInjector& injector) {
   wan_.set_fault_injector(&injector);
   injector.OnWindow(
@@ -212,7 +217,8 @@ void Runtime::NoteSendFailure(AppendOp& op) {
 void Runtime::ScheduleRetry(std::shared_ptr<AppendOp> op) {
   op->causes.Add(op->attempt_cause);
   op->attempt_cause = fault::RetryCause::kAckLoss;
-  const double elapsed_ms =
+  // Grandfathered: retry-budget arithmetic, not a stage boundary.
+  const double elapsed_ms =  // xglint:allow(stage-stamp)
       static_cast<double>(sim_.Now().micros() - op->started_us) / 1e3;
   if (!op->policy.ShouldAttempt(op->attempt + 1, elapsed_ms)) {
     StartAttempt(std::move(op));  // produces the exhaustion failure now
@@ -231,7 +237,8 @@ void Runtime::ScheduleRetry(std::shared_ptr<AppendOp> op) {
 
 void Runtime::StartAttempt(std::shared_ptr<AppendOp> op) {
   if (op->finished) return;
-  const double elapsed_ms =
+  // Grandfathered: retry-budget arithmetic, not a stage boundary.
+  const double elapsed_ms =  // xglint:allow(stage-stamp)
       static_cast<double>(sim_.Now().micros() - op->started_us) / 1e3;
   if (!op->policy.ShouldAttempt(op->attempt + 1, elapsed_ms)) {
     op->finished = true;
@@ -340,6 +347,12 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
   // As in PhaseGetSize: the timeout, not the synchronous Status, paces
   // retries of lost puts.
   const Status put = wan_.Send(op->client, op->host, wire_bytes, [this, op, phase, assumed_size]() {
+    // The payload has crossed the WAN to the repository — the wan_hop
+    // SLO boundary — whether or not the host can act on it.
+    if (slo_ != nullptr && op->opts.trace.valid()) {
+      slo_->Stamp(op->opts.trace.trace_id, obs::slo::Stage::kWanHop,
+                  sim_.Now().micros());
+    }
     Node* host = GetNode(op->host);
     if (host == nullptr || !host->up()) return;
     LogStorage* storage = host->GetLog(op->log);
@@ -389,6 +402,11 @@ void Runtime::PhasePut(std::shared_ptr<AppendOp> op, size_t assumed_size) {
             seq = r.value();
             host_ptr->DedupRecord(op->log, op->token, seq);
             FireHandlers(*host_ptr, op->log, seq, op->payload);
+            // Durably appended at the host: the cspot_append boundary.
+            if (slo_ != nullptr && op->opts.trace.valid()) {
+              slo_->Stamp(op->opts.trace.trace_id,
+                          obs::slo::Stage::kCspotAppend, sim_.Now().micros());
+            }
           }
         }
       }
@@ -434,6 +452,12 @@ void Runtime::FinishAttempt(std::shared_ptr<AppendOp> op, Result<SeqNo> result) 
   if (op->finished) return;
   op->finished = true;
   sim_.Cancel(op->timeout);
+  // Ack received back at the sensor edge: the replication_ack boundary
+  // (dedup-absorbed retries count — the data was durable all along).
+  if (result.ok() && slo_ != nullptr && op->opts.trace.valid()) {
+    slo_->Stamp(op->opts.trace.trace_id, obs::slo::Stage::kReplicationAck,
+                sim_.Now().micros());
+  }
   if (tracer_ != nullptr && op->span.valid()) {
     tracer_->Annotate(op->span, "attempts", std::to_string(op->attempt));
     if (op->deduped) tracer_->Annotate(op->span, "deduped", "true");

@@ -29,6 +29,7 @@
 #include "fault/injector.hpp"
 #include "fault/outcome.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo/ledger.hpp"
 #include "obs/trace.hpp"
 #include "resil/policy.hpp"
 
@@ -88,6 +89,13 @@ class Runtime {
   void AttachObservability(obs::MetricsRegistry* registry,
                            obs::Tracer* tracer);
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// SLO deadline accounting: traced appends stamp their budget's
+  /// wan_hop (put arrival at the host), cspot_append (durable append
+  /// complete) and replication_ack (ack back at the client) boundaries;
+  /// the WAN stamps the air-segment boundaries. The ledger must outlive
+  /// this runtime. nullptr detaches.
+  void AttachSlo(obs::slo::LatencyLedger* ledger);
 
   /// Couple a fault injector to the transport: WAN message faults (loss,
   /// duplication, reordering) apply per Send, and window actuators are
@@ -163,6 +171,7 @@ class Runtime {
   std::map<std::string, size_t> size_cache_;
   RuntimeCounters counters_;
   obs::Tracer* tracer_ = nullptr;
+  obs::slo::LatencyLedger* slo_ = nullptr;
   uint64_t next_token_ = 1;
 };
 

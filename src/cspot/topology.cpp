@@ -1,6 +1,7 @@
 #include "cspot/topology.hpp"
 
 #include "common/contract.hpp"
+#include "net5g/latency.hpp"
 
 namespace xg::cspot {
 
@@ -15,6 +16,9 @@ LinkParams Air5GLink() {
   p.min_ms = 8.0;
   p.bandwidth_mbps = 50.0;  // uplink-constrained
   p.kind = "5g-air";
+  // SR/grant share of each crossing, from the net5g air model — it sets
+  // where the deadline ledger splits rrc_grant from cell_egress.
+  p.grant_fraction = net5g::AirLatencyParams{}.grant_fraction;
   return p;
 }
 

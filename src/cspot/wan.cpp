@@ -177,15 +177,15 @@ Status Wan::Send(const std::string& from, const std::string& to, size_t bytes,
         lat += static_cast<double>(bytes) * 8.0 / (p.bandwidth_mbps * 1e3);
       }
     }
+    const bool air = p.kind == "5g-air";
+    const int64_t hop_start = depart_us + static_cast<int64_t>(total_ms * 1e3);
+    const int64_t hop_end = hop_start + static_cast<int64_t>(lat * 1e3);
     if (traced) {
       // The hop happened on the wire whether or not the message survives
       // it, so the span covers the crossing with the sampled latency.
-      const bool air = p.kind == "5g-air";
       std::vector<std::pair<std::string, std::string>> args = {
           {"from", cur}, {"to", next}, {"bytes", std::to_string(bytes)}};
       if (lost) args.emplace_back("lost", "true");
-      const int64_t hop_start = depart_us + static_cast<int64_t>(total_ms * 1e3);
-      const int64_t hop_end = hop_start + static_cast<int64_t>(lat * 1e3);
       tracer_->RecordSpan(air ? "net5g.access" : "wan.hop",
                           air ? "net5g" : "wan", trace, hop_start, hop_end,
                           std::move(args));
@@ -196,6 +196,16 @@ Status Wan::Send(const std::string& from, const std::string& to, size_t bytes,
       if (brk != nullptr) brk->RecordFailure(depart_us);
       return Status(ErrorCode::kUnavailable,
                     "message lost on link " + cur + "->" + next);
+    }
+    if (slo_ != nullptr && trace.valid() && air) {
+      // The air segment's SLO boundaries: the SR/grant cycle completes
+      // grant_fraction into the crossing, egress at its end. First stamp
+      // wins in the ledger, so only the first surviving crossing of a
+      // reading's journey defines the boundary.
+      const auto grant_us = static_cast<int64_t>(lat * 1e3 * p.grant_fraction);
+      slo_->Stamp(trace.trace_id, obs::slo::Stage::kRrcGrant,
+                  hop_start + grant_us);
+      slo_->Stamp(trace.trace_id, obs::slo::Stage::kCellEgress, hop_end);
     }
     total_ms += lat;
     cur = next;

@@ -19,6 +19,7 @@
 #include "common/sim.hpp"
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo/ledger.hpp"
 #include "obs/trace.hpp"
 #include "resil/breaker.hpp"
 
@@ -33,6 +34,11 @@ struct LinkParams {
   /// Physical-path segment kind, used to attribute traced hops to a
   /// component ("5g-air" spans are charged to net5g, the rest to wan).
   std::string kind = "internet";
+  /// For "5g-air" links: fraction of the crossing spent in the uplink
+  /// scheduling-request/grant cycle before the frame occupies PRBs (the
+  /// paper attributes most of the air RTT to SR+grant). Splits the SLO
+  /// rrc_grant / cell_egress stage boundary; ignored on wired links.
+  double grant_fraction = 0.6;
 };
 
 /// Why the most recent Send failed (kNone after a success). A Status alone
@@ -61,6 +67,13 @@ class Wan {
   /// link crossing of a Send is recorded as a child hop span with the
   /// exact sampled per-link latency (the per-hop decomposition of §4.4).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// SLO deadline accounting: when a ledger is attached, every surviving
+  /// "5g-air" crossing of a traced Send stamps the rrc_grant / cell_egress
+  /// stage boundaries on the message's budget (first stamp wins, so
+  /// protocol retries and acks cannot move the boundary). Must outlive
+  /// this Wan.
+  void set_slo_ledger(obs::slo::LatencyLedger* ledger) { slo_ = ledger; }
 
   /// Chaos hook: when set, each Send consults the injector's message-kind
   /// events (loss / duplicate / reorder, keyed by the endpoints' canonical
@@ -130,6 +143,7 @@ class Wan {
   sim::Simulation& sim_;
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
+  obs::slo::LatencyLedger* slo_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
   obs::MetricsRegistry* registry_ = nullptr;
   std::vector<std::string> nodes_;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/slo/flight.hpp"
+
 namespace xg::fault {
 
 namespace {
@@ -30,6 +32,11 @@ void FaultInjector::OnWindow(FaultKind kind, Actuator fn) {
 }
 
 void FaultInjector::ActuateWindow(const FaultEvent& event, bool begin) {
+  if (flight_ != nullptr) {
+    flight_->Note("fault", std::string(FaultKindName(event.kind)) +
+                               (begin ? " begin" : " end") + " target=" +
+                               (event.target.empty() ? "*" : event.target));
+  }
   auto it = actuators_.find(event.kind);
   if (it == actuators_.end()) return;
   for (const Actuator& fn : it->second) fn(event, begin);

@@ -40,6 +40,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+namespace xg::obs::slo {
+class FlightRecorder;
+}  // namespace xg::obs::slo
+
 namespace xg::fault {
 
 class FaultInjector {
@@ -94,6 +98,12 @@ class FaultInjector {
   void AttachObservability(obs::MetricsRegistry* registry,
                            obs::Tracer* tracer);
 
+  /// Feed actuated windows into the flight recorder's event ring (one
+  /// Note per begin/end edge). Must outlive this injector; may be null.
+  void set_flight_recorder(obs::slo::FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
   /// Deterministic "layer=name value" lines, for reproducibility checks.
   std::string FormatCounts() const;
 
@@ -107,6 +117,7 @@ class FaultInjector {
   mutable std::mutex mu_;
   std::map<std::pair<Layer, FaultKind>, uint64_t> counts_;
   obs::Tracer* tracer_ = nullptr;
+  obs::slo::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace xg::fault

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/slo/flight.hpp"
 
 namespace xg::hpc {
 
@@ -51,6 +52,10 @@ void BatchScheduler::AttachFaultInjector(fault::FaultInjector& injector) {
       [this](const fault::FaultEvent& e, bool begin) {
         if (!e.target.empty() && e.target != site_.name) return;
         stalled_ = begin;
+        if (flight_ != nullptr) {
+          flight_->Note("hpc", site_.name + (begin ? " queue stall begin"
+                                                   : " queue stall end"));
+        }
         // Window end: admit whatever queued up while stalled.
         if (!begin) TrySchedule();
       });
@@ -73,7 +78,13 @@ void BatchScheduler::AttachFaultInjector(fault::FaultInjector& injector) {
         for (JobId id : victims) {
           if (to_kill <= 0) break;
           Status s = Cancel(id);
-          if (s.ok()) --to_kill;
+          if (s.ok()) {
+            --to_kill;
+            if (flight_ != nullptr) {
+              flight_->Note("hpc", site_.name + " job " +
+                                       std::to_string(id) + " killed");
+            }
+          }
         }
       });
 }

@@ -1,6 +1,18 @@
 #include "laminar/change_detect.hpp"
 
+#include <cstdio>
+
 namespace xg::laminar {
+
+std::string ChangeDecision::Describe() const {
+  if (!enough_data) return "insufficient data";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "%s votes=%d welch=%.3f mw=%.3f ks=%.3f",
+                changed ? "changed" : "unchanged", votes, welch.p_value,
+                mann_whitney.p_value, kolmogorov_smirnov.p_value);
+  return buf;
+}
 
 ChangeDecision ChangeDetector::Compare(const std::vector<double>& previous,
                                        const std::vector<double>& recent) const {

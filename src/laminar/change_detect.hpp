@@ -30,6 +30,10 @@ struct ChangeDecision {
   TestOutcome welch;
   TestOutcome mann_whitney;
   TestOutcome kolmogorov_smirnov;
+
+  /// Deterministic one-liner for audit trails (flight recorder, logs):
+  ///   changed votes=2 welch=0.003 mw=0.012 ks=0.081
+  std::string Describe() const;
 };
 
 class ChangeDetector {

@@ -15,6 +15,11 @@ struct AirLatencyParams {
   double one_way_ms = 21.0;   ///< mean one-way air+core latency
   double jitter_ms = 3.5;     ///< per-message jitter (stddev)
   double min_ms = 8.0;        ///< floor (frame alignment)
+  /// Fraction of a one-way crossing spent waiting for the uplink
+  /// scheduling-request/grant cycle before the frame occupies PRBs (the
+  /// dominant term above). Splits the rrc_grant / cell_egress SLO stage
+  /// boundary in the deadline-budget ledger.
+  double grant_fraction = 0.6;
 };
 
 class AirLatency {
@@ -25,6 +30,11 @@ class AirLatency {
   double SampleOneWayMs(Rng& rng) const {
     const double v = rng.Gaussian(p_.one_way_ms, p_.jitter_ms);
     return v < p_.min_ms ? p_.min_ms : v;
+  }
+
+  /// The SR/grant share of a sampled crossing, in milliseconds.
+  double GrantShareMs(double one_way_ms) const {
+    return one_way_ms * p_.grant_fraction;
   }
 
   const AirLatencyParams& params() const { return p_; }

@@ -23,13 +23,50 @@ void LatencyHistogram::Observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const size_t i = static_cast<size_t>(it - bounds_.begin());
   counts_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, v);
+  // Release-publish: a reader that acquires count() >= n is guaranteed to
+  // see the bucket increments of the first n observations, which is what
+  // lets Snapshot() recognize a consistent cut.
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 double LatencyHistogram::mean() const {
   const uint64_t n = count();
   return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(counts_.size());
+  // Seqlock-style retry: both the per-bucket counts and the total are
+  // monotone, and Observe publishes the bucket increment before the
+  // total, so "sum of buckets == total" identifies a consistent cut. A
+  // bounded number of attempts keeps the exporter wait-free against a
+  // pathological writer storm; the final pass is still monotone-safe.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t before = count_.load(std::memory_order_acquire);
+    uint64_t total = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+      total += snap.counts[i];
+    }
+    if (total == before && count_.load(std::memory_order_acquire) == before) {
+      snap.count = total;
+      snap.sum = sum_.load(std::memory_order_relaxed);
+      return snap;
+    }
+  }
+  // Contended fallback: report the bucket sum as the count so the
+  // invariant "counts sum to count" holds regardless.
+  uint64_t total = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += snap.counts[i];
+  }
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 double LatencyHistogram::ApproxPercentile(double p) const {
@@ -144,12 +181,29 @@ void MetricsRegistry::RegisterCallback(const std::string& name,
   callbacks_[Key(n, l)] = CallbackEntry{n, l, help, std::move(read), type};
 }
 
+void MetricsRegistry::RegisterHistogramCallback(
+    const std::string& name, const Labels& labels, const std::string& help,
+    std::function<HistogramSnapshot()> read) {
+  const std::string n = SanitizeMetricName(name);
+  const Labels l = Canonical(labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  hist_callbacks_[Key(n, l)] = HistCallbackEntry{n, l, help, std::move(read)};
+}
+
 size_t MetricsRegistry::UnregisterCallbacks(const std::string& name_prefix) {
   std::lock_guard<std::mutex> lk(mu_);
   size_t removed = 0;
   for (auto it = callbacks_.begin(); it != callbacks_.end();) {
     if (it->second.name.rfind(name_prefix, 0) == 0) {
       it = callbacks_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = hist_callbacks_.begin(); it != hist_callbacks_.end();) {
+    if (it->second.name.rfind(name_prefix, 0) == 0) {
+      it = hist_callbacks_.erase(it);
       ++removed;
     } else {
       ++it;
@@ -162,7 +216,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
-              callbacks_.size());
+              callbacks_.size() + hist_callbacks_.size());
   for (const auto& [key, e] : counters_) {
     MetricSample s;
     s.type = MetricSample::Type::kCounter;
@@ -187,13 +241,16 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     s.name = e.name;
     s.labels = e.labels;
     s.help = e.help;
-    s.hist.bounds = e.inst->bounds();
-    s.hist.counts.reserve(e.inst->bucket_count());
-    for (size_t i = 0; i < e.inst->bucket_count(); ++i) {
-      s.hist.counts.push_back(e.inst->BucketCount(i));
-    }
-    s.hist.count = e.inst->count();
-    s.hist.sum = e.inst->sum();
+    s.hist = e.inst->Snapshot();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, e] : hist_callbacks_) {
+    MetricSample s;
+    s.type = MetricSample::Type::kHistogram;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.help = e.help;
+    s.hist = e.read ? e.read() : HistogramSnapshot{};
     out.push_back(std::move(s));
   }
   for (const auto& [key, e] : callbacks_) {
@@ -216,7 +273,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 size_t MetricsRegistry::instrument_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return counters_.size() + gauges_.size() + histograms_.size() +
-         callbacks_.size();
+         callbacks_.size() + hist_callbacks_.size();
 }
 
 MetricsRegistry& DefaultRegistry() {

@@ -68,6 +68,13 @@ class Gauge {
 /// CFD runs (the full dynamic range of the paper's measurements).
 std::vector<double> DefaultLatencyBucketsMs();
 
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  ///< non-cumulative, last entry is +Inf
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
 class LatencyHistogram {
  public:
   /// `upper_bounds` are sorted/deduplicated; an implicit +Inf bucket is
@@ -91,18 +98,17 @@ class LatencyHistogram {
   /// p in [0, 100]. The +Inf bucket reports the last finite bound.
   double ApproxPercentile(double p) const;
 
+  /// Consistent snapshot: retries until the per-bucket counts sum to the
+  /// total count, so an exporter racing a writer never sees a value that
+  /// is in `count` but not yet in any bucket (or vice versa). `sum` may
+  /// lead the cut by in-flight observations; counts/buckets are exact.
+  HistogramSnapshot Snapshot() const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1 (+Inf)
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-};
-
-struct HistogramSnapshot {
-  std::vector<double> bounds;
-  std::vector<uint64_t> counts;  ///< non-cumulative, last entry is +Inf
-  uint64_t count = 0;
-  double sum = 0.0;
 };
 
 /// One exported metric, produced by MetricsRegistry::Snapshot().
@@ -144,14 +150,22 @@ class MetricsRegistry {
                         const std::string& help, std::function<double()> read,
                         MetricSample::Type type = MetricSample::Type::kGauge);
 
-  /// Drop every callback whose name starts with `name_prefix` (component
-  /// teardown). Returns the number removed.
+  /// Mirror an externally-owned distribution (e.g. an slo::HdrHistogram):
+  /// `read` produces a full HistogramSnapshot at snapshot time. Same
+  /// lifetime rules as RegisterCallback.
+  void RegisterHistogramCallback(const std::string& name, const Labels& labels,
+                                 const std::string& help,
+                                 std::function<HistogramSnapshot()> read);
+
+  /// Drop every callback (scalar and histogram) whose name starts with
+  /// `name_prefix` (component teardown). Returns the number removed.
   size_t UnregisterCallbacks(const std::string& name_prefix);
 
-  /// Consistent-enough view for exporters: instruments are read with
-  /// relaxed atomics while writers keep mutating, so each value is exact
-  /// at its own read point. Sorted by (name, labels) for deterministic
-  /// export output.
+  /// Consistent view for exporters: scalar instruments are read with
+  /// relaxed atomics (each value exact at its own read point) and
+  /// histograms via LatencyHistogram::Snapshot(), so bucket counts always
+  /// sum to the reported count even while writers keep mutating. Sorted
+  /// by (name, labels) for deterministic export output.
   std::vector<MetricSample> Snapshot() const;
 
   size_t instrument_count() const;
@@ -171,6 +185,12 @@ class MetricsRegistry {
     std::function<double()> read;
     MetricSample::Type type;
   };
+  struct HistCallbackEntry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    std::function<HistogramSnapshot()> read;
+  };
 
   static std::string Key(const std::string& name, const Labels& labels);
 
@@ -179,6 +199,7 @@ class MetricsRegistry {
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<LatencyHistogram>> histograms_;
   std::map<std::string, CallbackEntry> callbacks_;
+  std::map<std::string, HistCallbackEntry> hist_callbacks_;
 };
 
 /// Process-wide registry for components not owned by a Fabric.

@@ -1,0 +1,115 @@
+#include "obs/slo/budget.hpp"
+
+#include <algorithm>
+
+namespace xg::obs::slo {
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kSensorEmit: return "sensor_emit";
+    case Stage::kRrcGrant: return "rrc_grant";
+    case Stage::kCellEgress: return "cell_egress";
+    case Stage::kWanHop: return "wan_hop";
+    case Stage::kCspotAppend: return "cspot_append";
+    case Stage::kReplicationAck: return "replication_ack";
+    case Stage::kLaminarTrigger: return "laminar_trigger";
+    case Stage::kPilotSubmit: return "pilot_submit";
+    case Stage::kCfdStart: return "cfd_start";
+    case Stage::kCfdEnd: return "cfd_end";
+    case Stage::kTwinUpdate: return "twin_update";
+  }
+  return "?";
+}
+
+const std::vector<Stage>& AllStages() {
+  static const std::vector<Stage> stages = [] {
+    std::vector<Stage> out;
+    for (int i = 0; i < kStageCount; ++i) out.push_back(static_cast<Stage>(i));
+    return out;
+  }();
+  return stages;
+}
+
+DeadlineBudget::DeadlineBudget(int64_t opened_us, int64_t budget_us)
+    : opened_us_(opened_us), budget_us_(budget_us) {
+  at_us_.fill(-1);
+  at_us_[Index(Stage::kSensorEmit)] = opened_us;
+}
+
+bool DeadlineBudget::StampAt(Stage stage, int64_t at_us) {
+  if (!open()) return false;
+  const int i = Index(stage);
+  if (at_us_[i] >= 0) return false;  // first stamp wins
+  // Clamp to the latest earlier-stage stamp so consumed times can never go
+  // negative and the per-stage sum stays exactly the end-to-end latency.
+  int64_t floor_us = opened_us_;
+  for (int j = 0; j < i; ++j) {
+    if (at_us_[j] > floor_us) floor_us = at_us_[j];
+  }
+  at_us_[i] = std::max(at_us, floor_us);
+  return true;
+}
+
+int64_t DeadlineBudget::StageConsumedUs(Stage stage) const {
+  const int i = Index(stage);
+  if (at_us_[i] < 0) return 0;
+  int64_t prev = opened_us_;
+  for (int j = 0; j < i; ++j) {
+    if (at_us_[j] >= 0) prev = at_us_[j];
+  }
+  return at_us_[i] - prev;
+}
+
+int64_t DeadlineBudget::LastStampUs() const {
+  int64_t last = opened_us_;
+  for (int i = 0; i < kStageCount; ++i) {
+    if (at_us_[i] > last) last = at_us_[i];
+  }
+  return last;
+}
+
+Stage DeadlineBudget::LastStage() const {
+  Stage last = Stage::kSensorEmit;
+  for (int i = 0; i < kStageCount; ++i) {
+    if (at_us_[i] >= 0) last = static_cast<Stage>(i);
+  }
+  return last;
+}
+
+bool DeadlineBudget::NearMissAt(int64_t now_us, double fraction) const {
+  if (MissedAt(now_us)) return false;
+  const double threshold =
+      (1.0 - fraction) * static_cast<double>(budget_us_);
+  return static_cast<double>(ConsumedUs(now_us)) >= threshold;
+}
+
+std::vector<BudgetStamp> DeadlineBudget::stamps() const {
+  std::vector<BudgetStamp> out;
+  for (int i = 0; i < kStageCount; ++i) {
+    if (at_us_[i] < 0) continue;
+    BudgetStamp st;
+    st.stage = static_cast<Stage>(i);
+    st.at_us = at_us_[i];
+    st.consumed_us = StageConsumedUs(st.stage);
+    st.remaining_us = RemainingUs(at_us_[i]);
+    out.push_back(st);
+  }
+  return out;
+}
+
+Stage DeadlineBudget::DominantStage() const {
+  Stage best = Stage::kSensorEmit;
+  int64_t best_consumed = -1;
+  for (int i = 0; i < kStageCount; ++i) {
+    if (at_us_[i] < 0) continue;
+    const Stage s = static_cast<Stage>(i);
+    const int64_t consumed = StageConsumedUs(s);
+    if (consumed > best_consumed) {  // ties resolve to the earliest stage
+      best_consumed = consumed;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace xg::obs::slo

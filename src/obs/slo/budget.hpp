@@ -1,0 +1,125 @@
+// Deadline-budget accounting for one telemetry reading (SLO pillar).
+//
+// The paper's real-time claim is a *budget*: a sensor reading must cross
+// 5G -> CSPOT -> HPC -> CFD -> digital twin fast enough that the advisory
+// it produces is still inside its validity window (~ one detection duty
+// cycle, the source of the ~23-minute actionable window). A DeadlineBudget
+// is opened when the reading is emitted and stamped at every stage
+// boundary on the virtual clock; each stamp records how much of the budget
+// the stage consumed and how much remains.
+//
+// Stage boundaries (see DESIGN.md "Deadline accounting" for the table):
+//
+//   sensor_emit      reading measured at the CUPS facility (opens budget)
+//   rrc_grant        uplink scheduling-request/grant cycle completes
+//   cell_egress      frame leaves the 5G air+core segment
+//   wan_hop          frame arrives at the repository over the WAN
+//   cspot_append     durable append completes at the host
+//   replication_ack  append ack received back at the sensor edge
+//   laminar_trigger  change detection fires an alert on this reading
+//   pilot_submit     pilot sizes and submits the CFD task
+//   cfd_start        batch job starts (queue wait ends)
+//   cfd_end          solver finishes
+//   twin_update      digital twin absorbs the fresh prediction
+//
+// Stages are stamped first-wins (protocol retries and downstream appends
+// reusing the same trace cannot move an earlier boundary) and stamp times
+// are clamped monotonically non-decreasing across the stage order, so the
+// per-stage consumed times of a record always sum exactly to its
+// end-to-end latency. Wired-path readings simply skip the air stages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xg::obs::slo {
+
+enum class Stage {
+  kSensorEmit = 0,
+  kRrcGrant,
+  kCellEgress,
+  kWanHop,
+  kCspotAppend,
+  kReplicationAck,
+  kLaminarTrigger,
+  kPilotSubmit,
+  kCfdStart,
+  kCfdEnd,
+  kTwinUpdate,
+};
+inline constexpr int kStageCount = 11;
+
+/// Metric-label form ("sensor_emit", "rrc_grant", ...).
+const char* StageName(Stage s);
+/// Every stage in pipeline order (fixed export order).
+const std::vector<Stage>& AllStages();
+
+/// One stamped stage boundary, as reported by DeadlineBudget::stamps().
+struct BudgetStamp {
+  Stage stage = Stage::kSensorEmit;
+  int64_t at_us = 0;         ///< virtual-clock stamp time
+  int64_t consumed_us = 0;   ///< budget this stage consumed (since the
+                             ///< previous stamped stage)
+  int64_t remaining_us = 0;  ///< budget left after this stage
+};
+
+class DeadlineBudget {
+ public:
+  DeadlineBudget() { at_us_.fill(-1); }
+  /// Opens the budget at `opened_us` with `budget_us` to spend; the
+  /// sensor_emit stage is stamped at the open time (consuming zero).
+  DeadlineBudget(int64_t opened_us, int64_t budget_us);
+
+  bool open() const { return budget_us_ > 0; }
+  int64_t opened_us() const { return opened_us_; }
+  int64_t budget_us() const { return budget_us_; }
+
+  /// Stamp `stage` at `at_us`. First stamp per stage wins; the time is
+  /// clamped to be no earlier than every already-stamped earlier stage
+  /// (virtual-clock stamps arrive in pipeline order, so the clamp only
+  /// guards against misuse). Returns true when the stamp was recorded.
+  bool StampAt(Stage stage, int64_t at_us);
+
+  bool stamped(Stage s) const { return at_us_[Index(s)] >= 0; }
+  int64_t StampTimeUs(Stage s) const { return at_us_[Index(s)]; }
+
+  /// Budget consumed by `stage`: time since the previous stamped stage
+  /// (zero when the stage is unstamped). Per-record, the stage consumed
+  /// times sum exactly to ConsumedUs(last stamp).
+  int64_t StageConsumedUs(Stage stage) const;
+
+  /// Latest stamped time (the open time when nothing else is stamped).
+  int64_t LastStampUs() const;
+  /// The most recently stamped stage.
+  Stage LastStage() const;
+
+  int64_t ConsumedUs(int64_t now_us) const { return now_us - opened_us_; }
+  int64_t RemainingUs(int64_t now_us) const {
+    return budget_us_ - ConsumedUs(now_us);
+  }
+  /// Exactly-at-deadline is NOT a miss: the budget is inclusive.
+  bool MissedAt(int64_t now_us) const {
+    return ConsumedUs(now_us) > budget_us_;
+  }
+  /// Within `fraction` of the deadline without missing it.
+  bool NearMissAt(int64_t now_us, double fraction) const;
+
+  /// Stamped boundaries in pipeline order with consumed/remaining filled.
+  std::vector<BudgetStamp> stamps() const;
+
+  /// The stamped stage that consumed the largest share of the budget.
+  Stage DominantStage() const;
+
+ private:
+  static int Index(Stage s) { return static_cast<int>(s); }
+
+  int64_t opened_us_ = 0;
+  int64_t budget_us_ = 0;  ///< 0 = default-constructed, not open
+  std::array<int64_t, kStageCount> at_us_{};  ///< -1 = unstamped
+
+  friend class LatencyLedger;
+};
+
+}  // namespace xg::obs::slo

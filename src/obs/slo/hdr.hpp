@@ -1,0 +1,68 @@
+// HDR-style log-bucketed latency histogram (microsecond domain).
+//
+// The fabric's stage latencies span six orders of magnitude — sub-ms radio
+// frames to multi-minute CFD queue waits — which fixed-bound buckets
+// (obs::LatencyHistogram) cannot cover with useful tail resolution. This
+// histogram uses the HdrHistogram bucketing scheme: values below
+// `kSubCount` land in exact unit buckets; above that, each power-of-two
+// octave is split into `kSubCount / 2` additional linear sub-buckets, so
+// every recorded value is bucketed with bounded relative error
+// (<= 2 / kSubCount ~ 6%) while memory stays fixed at 640 buckets.
+//
+// Counts, the total, the sum and the max are all atomics, so recording is
+// lock-free and safe from concurrent threads; Snapshot() uses the same
+// retry-until-consistent discipline as the registry histograms. Sums are
+// integer microseconds, so same-seed runs reproduce bit-identically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace xg::obs::slo {
+
+class HdrHistogram {
+ public:
+  /// Linear sub-buckets per octave; 32 bounds relative error by ~6%.
+  static constexpr int64_t kSubCount = 32;
+  /// Largest distinguishable value (~2^42 us ~ 51 days of virtual time);
+  /// anything larger saturates into the final bucket.
+  static constexpr int kMaxOctave = 42;
+
+  HdrHistogram();
+
+  /// Record one latency (negative values clamp to zero).
+  void Record(int64_t value_us);
+
+  uint64_t count() const { return count_.load(std::memory_order_acquire); }
+  /// Exact sum of recorded values in integer microseconds.
+  int64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  int64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+  double MeanUs() const;
+
+  /// Percentile in [0, 100]: the smallest bucket upper bound such that at
+  /// least p% of recorded values are <= it (HDR "highest equivalent"
+  /// convention). p >= 100 reports the exact max.
+  double PercentileUs(double p) const;
+
+  size_t bucket_count() const { return counts_.size(); }
+  /// Inclusive upper bound of bucket `i`, in microseconds.
+  static int64_t BucketUpperUs(size_t i);
+  /// Bucket index for a value (exposed for the boundary tests).
+  static size_t BucketIndex(int64_t value_us);
+
+  /// Consistent sparse snapshot for the metrics registry: bounds are the
+  /// non-empty buckets' upper edges converted to milliseconds (Prometheus
+  /// `le` semantics), counts are per-bucket, and sum-of-counts == count.
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_us_{0};
+  std::atomic<int64_t> max_us_{0};
+};
+
+}  // namespace xg::obs::slo

@@ -1,0 +1,167 @@
+#include "obs/slo/ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xg::obs::slo {
+
+const char* CloseReasonName(CloseReason r) {
+  switch (r) {
+    case CloseReason::kDelivered: return "delivered";
+    case CloseReason::kFullPath: return "full_path";
+    case CloseReason::kFailed: return "failed";
+    case CloseReason::kBuffered: return "buffered";
+    case CloseReason::kSkipped: return "skipped";
+    case CloseReason::kEvicted: return "evicted";
+    case CloseReason::kExpired: return "expired";
+  }
+  return "?";
+}
+
+LatencyLedger::LatencyLedger(LedgerConfig cfg) : cfg_(cfg) {}
+
+void LatencyLedger::Open(uint64_t trace_id, int64_t now_us) {
+  if (trace_id == 0) return;
+  if (open_.count(trace_id) != 0) return;
+  if (open_.size() >= cfg_.max_in_flight) {
+    // Evict the record opened earliest (ties cannot occur: one reading
+    // per virtual instant opens a budget).
+    auto oldest = open_.begin();
+    for (auto it = open_.begin(); it != open_.end(); ++it) {
+      if (it->second.opened_us() < oldest->second.opened_us()) oldest = it;
+    }
+    DeadlineBudget evicted = oldest->second;
+    const uint64_t evicted_id = oldest->first;
+    open_.erase(oldest);
+    Finalize(evicted_id, evicted, CloseReason::kEvicted);
+  }
+  const auto budget_us =
+      static_cast<int64_t>(cfg_.deadline_s * 1e6);
+  open_.emplace(trace_id, DeadlineBudget(now_us, budget_us));
+  ++opened_total_;
+}
+
+bool LatencyLedger::Stamp(uint64_t trace_id, Stage stage, int64_t at_us) {
+  if (trace_id == 0) return false;
+  auto it = open_.find(trace_id);
+  if (it == open_.end()) return false;
+  return it->second.StampAt(stage, at_us);
+}
+
+bool LatencyLedger::Escalated(uint64_t trace_id) const {
+  auto it = open_.find(trace_id);
+  return it != open_.end() && it->second.stamped(Stage::kLaminarTrigger);
+}
+
+void LatencyLedger::Close(uint64_t trace_id, CloseReason reason) {
+  auto it = open_.find(trace_id);
+  if (it == open_.end()) return;
+  DeadlineBudget budget = it->second;
+  open_.erase(it);
+  Finalize(trace_id, budget, reason);
+}
+
+bool LatencyLedger::CloseIfIdle(uint64_t trace_id, CloseReason reason) {
+  auto it = open_.find(trace_id);
+  if (it == open_.end() || it->second.stamped(Stage::kLaminarTrigger)) {
+    return false;
+  }
+  DeadlineBudget budget = it->second;
+  open_.erase(it);
+  Finalize(trace_id, budget, reason);
+  return true;
+}
+
+size_t LatencyLedger::SweepExpired(int64_t now_us) {
+  std::vector<uint64_t> expired;
+  for (const auto& [id, budget] : open_) {
+    if (budget.MissedAt(now_us)) expired.push_back(id);
+  }
+  for (uint64_t id : expired) Close(id, CloseReason::kExpired);
+  return expired.size();
+}
+
+void LatencyLedger::Finalize(uint64_t trace_id, DeadlineBudget budget,
+                             CloseReason reason) {
+  LedgerRecord rec;
+  rec.trace_id = trace_id;
+  rec.reason = reason;
+  rec.closed_us = budget.LastStampUs();
+  rec.consumed_us = budget.ConsumedUs(rec.closed_us);
+  // Completed journeys are judged at their last stamp; an expired record
+  // missed by definition (the clock passed its deadline while in flight).
+  // Failed / buffered / evicted journeys never finished, so they are
+  // accounted by reason rather than as deadline misses.
+  if (reason == CloseReason::kDelivered || reason == CloseReason::kFullPath) {
+    rec.missed = budget.MissedAt(rec.closed_us);
+    rec.near_miss =
+        budget.NearMissAt(rec.closed_us, cfg_.near_miss_fraction);
+  } else if (reason == CloseReason::kExpired) {
+    rec.missed = true;
+  }
+  rec.budget = std::move(budget);
+
+  ++closed_total_;
+  ++closed_by_reason_[static_cast<int>(reason)];
+  if (rec.missed) ++missed_total_;
+  if (rec.near_miss) ++near_miss_total_;
+
+  recent_.push_back(rec);
+  while (recent_.size() > cfg_.recent_capacity) recent_.pop_front();
+  if (on_close_) on_close_(rec);
+}
+
+std::vector<LatencyLedger::InFlightView> LatencyLedger::WorstInFlight(
+    size_t n, int64_t now_us) const {
+  std::vector<InFlightView> all;
+  all.reserve(open_.size());
+  for (const auto& [id, budget] : open_) {
+    InFlightView v;
+    v.trace_id = id;
+    v.last_stage = budget.LastStage();
+    v.opened_us = budget.opened_us();
+    v.consumed_us = budget.ConsumedUs(now_us);
+    v.remaining_us = budget.RemainingUs(now_us);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const InFlightView& a, const InFlightView& b) {
+              if (a.remaining_us != b.remaining_us) {
+                return a.remaining_us < b.remaining_us;
+              }
+              return a.trace_id < b.trace_id;
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::string LatencyLedger::FormatRecord(const LedgerRecord& rec) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "trace=%llu reason=%s consumed=%.6fs budget=%.0fs miss=%d "
+                "near=%d stages:",
+                static_cast<unsigned long long>(rec.trace_id),
+                CloseReasonName(rec.reason),
+                static_cast<double>(rec.consumed_us) / 1e6,
+                static_cast<double>(rec.budget.budget_us()) / 1e6,
+                rec.missed ? 1 : 0, rec.near_miss ? 1 : 0);
+  std::string out = head;
+  for (const BudgetStamp& st : rec.budget.stamps()) {
+    char part[96];
+    std::snprintf(part, sizeof(part), " %s=%.6fs", StageName(st.stage),
+                  static_cast<double>(st.consumed_us) / 1e6);
+    out += part;
+  }
+  return out;
+}
+
+std::string LatencyLedger::FormatRecent() const {
+  std::string out;
+  for (const LedgerRecord& rec : recent_) {
+    out += FormatRecord(rec);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xg::obs::slo

@@ -1,0 +1,155 @@
+// Per-reading latency ledger: the in-flight side of deadline accounting.
+//
+// The ledger keys one DeadlineBudget per telemetry reading by the
+// reading's trace id (the same id obs::Tracer threads through the 5G hop,
+// the CSPOT append protocol and the alert -> CFD -> twin path), so every
+// layer can stamp stage boundaries without new plumbing: it already holds
+// the trace context.
+//
+// Record lifecycle (driven by core::Fabric):
+//
+//   Open(trace)            reading emitted; budget opened on the clock
+//   Stamp(trace, stage)    each layer stamps its boundary (first wins)
+//   Close(trace, reason)   journey ends:
+//     kDelivered   stored + twin-observed, detection never escalated it
+//     kFullPath    escalated through CFD; closed at twin_update
+//     kFailed      append exhausted its retries
+//     kBuffered    parked in store-and-forward (journey continues without
+//                  a trace; accounted by the resilience metrics instead)
+//     kSkipped     escalation declined (CFD already in flight); the
+//                  stale-advisory path covers the alert instead
+//     kEvicted     in-flight bound hit; oldest record pushed out
+//     kExpired     SweepExpired found it past its deadline (counts a miss)
+//
+// Closed records flow to the on_close hook (SloTracker + FlightRecorder).
+// Everything is deterministic on the virtual clock: same seed, same
+// byte-identical FormatRecent() output.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/slo/budget.hpp"
+
+namespace xg::obs::slo {
+
+enum class CloseReason {
+  kDelivered = 0,
+  kFullPath,
+  kFailed,
+  kBuffered,
+  kSkipped,
+  kEvicted,
+  kExpired,
+};
+inline constexpr int kCloseReasonCount = 7;
+const char* CloseReasonName(CloseReason r);
+
+/// One finished journey, as handed to the tracker / flight recorder.
+struct LedgerRecord {
+  uint64_t trace_id = 0;
+  DeadlineBudget budget;
+  CloseReason reason = CloseReason::kDelivered;
+  int64_t closed_us = 0;   ///< close time (== last stamp for completions)
+  int64_t consumed_us = 0; ///< end-to-end latency at the last stamp
+  bool missed = false;     ///< consumed > budget (or expired in flight)
+  bool near_miss = false;  ///< within the near-miss fraction of the budget
+};
+
+struct LedgerConfig {
+  /// Deadline budget per reading. Defaults to one detection duty cycle:
+  /// the advisory a reading feeds must land within the cycle to retain
+  /// the paper's ~23-minute actionable validity window.
+  double deadline_s = 1800.0;
+  /// "Near miss" = consumed >= (1 - fraction) * budget without missing.
+  double near_miss_fraction = 0.10;
+  /// In-flight bound; the oldest record is evicted beyond it.
+  size_t max_in_flight = 256;
+  /// Closed records kept for FormatRecent() / tests.
+  size_t recent_capacity = 64;
+};
+
+class LatencyLedger {
+ public:
+  explicit LatencyLedger(LedgerConfig cfg = LedgerConfig{});
+
+  const LedgerConfig& config() const { return cfg_; }
+  /// Fires for every closed record; set before the first Open.
+  void set_on_close(std::function<void(const LedgerRecord&)> hook) {
+    on_close_ = std::move(hook);
+  }
+
+  /// Open a budget for `trace_id` at `now_us`. Ignored for id 0 (tracing
+  /// off) and for ids already in flight. May evict the oldest record.
+  void Open(uint64_t trace_id, int64_t now_us);
+
+  /// Stamp a stage boundary; a no-op for unknown / closed ids, so every
+  /// layer may stamp unconditionally. Returns true when recorded.
+  bool Stamp(uint64_t trace_id, Stage stage, int64_t at_us);
+
+  /// True when the record exists and detection escalated it (the
+  /// laminar_trigger stage is stamped) — such records stay open through
+  /// the CFD path instead of closing at delivery.
+  bool Escalated(uint64_t trace_id) const;
+
+  /// Close the record; finalizes miss / near-miss and fires on_close.
+  void Close(uint64_t trace_id, CloseReason reason);
+  /// Close only when the record is open and NOT escalated (the fabric
+  /// retires the previous frame's record when a newer frame lands).
+  bool CloseIfIdle(uint64_t trace_id, CloseReason reason);
+
+  /// Close every in-flight record whose deadline has passed as kExpired
+  /// (each counts a miss). Returns the number closed.
+  size_t SweepExpired(int64_t now_us);
+
+  // -- introspection (xgtop, flight recorder, tests) --
+  size_t in_flight() const { return open_.size(); }
+  uint64_t opened_total() const { return opened_total_; }
+  uint64_t closed_total() const { return closed_total_; }
+  uint64_t missed_total() const { return missed_total_; }
+  uint64_t near_miss_total() const { return near_miss_total_; }
+  uint64_t closed_by_reason(CloseReason r) const {
+    return closed_by_reason_[static_cast<int>(r)];
+  }
+
+  struct InFlightView {
+    uint64_t trace_id = 0;
+    Stage last_stage = Stage::kSensorEmit;
+    int64_t opened_us = 0;
+    int64_t consumed_us = 0;
+    int64_t remaining_us = 0;
+  };
+  /// The `n` in-flight readings with the least remaining budget (worst
+  /// first; ties break on trace id for determinism).
+  std::vector<InFlightView> WorstInFlight(size_t n, int64_t now_us) const;
+
+  /// Oldest-to-newest ring of recently closed records.
+  const std::deque<LedgerRecord>& recent() const { return recent_; }
+
+  /// Deterministic one-line rendering of a record:
+  ///   trace=12 reason=delivered consumed=0.123s budget=1800s miss=0
+  ///   stages: wan_hop=0.045s cspot_append=...
+  static std::string FormatRecord(const LedgerRecord& rec);
+  /// The recent ring, one line per record — byte-identical across
+  /// same-seed runs (the determinism suite asserts on this).
+  std::string FormatRecent() const;
+
+ private:
+  void Finalize(uint64_t trace_id, DeadlineBudget budget, CloseReason reason);
+
+  LedgerConfig cfg_;
+  std::function<void(const LedgerRecord&)> on_close_;
+  std::map<uint64_t, DeadlineBudget> open_;
+  std::deque<LedgerRecord> recent_;
+  uint64_t opened_total_ = 0;
+  uint64_t closed_total_ = 0;
+  uint64_t missed_total_ = 0;
+  uint64_t near_miss_total_ = 0;
+  uint64_t closed_by_reason_[kCloseReasonCount] = {};
+};
+
+}  // namespace xg::obs::slo

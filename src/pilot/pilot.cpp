@@ -7,6 +7,7 @@
 #include "common/contract.hpp"
 
 #include "common/logging.hpp"
+#include "obs/slo/flight.hpp"
 
 namespace xg::pilot {
 
@@ -145,6 +146,10 @@ void PilotController::SubmitPilot(int nodes) {
   hpc::JobSpec spec = PilotSpec(nodes * config_.data_threshold_bytes);
   spec.nodes = std::min(scheduler_.total_nodes(), nodes);
   ++pilots_submitted_;
+  if (flight_ != nullptr) {
+    flight_->Note("pilot", "pilot submitted nodes=" +
+                               std::to_string(spec.nodes));
+  }
   const hpc::JobId id = scheduler_.Submit(
       spec,
       /*on_start=*/
@@ -270,6 +275,10 @@ void PilotController::SubmitTask(double data_bytes, TaskCallback done) {
   task.nodes_needed = RequiredNodes(data_bytes);
   task.submitted = sim_.Now();
   task.done = std::move(done);
+  if (flight_ != nullptr) {
+    flight_->Note("pilot", "task submitted nodes=" +
+                               std::to_string(task.nodes_needed));
+  }
 
   if (config_.strategy == Strategy::kOnDemand) {
     RunOnDemand(std::move(task));

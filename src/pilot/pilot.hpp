@@ -30,6 +30,10 @@
 #include "hpc/scheduler.hpp"
 #include "obs/metrics.hpp"
 
+namespace xg::obs::slo {
+class FlightRecorder;
+}  // namespace xg::obs::slo
+
 namespace xg::pilot {
 
 enum class Strategy {
@@ -90,6 +94,12 @@ class PilotController {
   /// snapshot time). The registry must outlive this controller.
   void AttachObservability(obs::MetricsRegistry* registry);
 
+  /// Feed task submissions and pilot launches into the flight recorder's
+  /// event ring. Must outlive this controller; may be null.
+  void set_flight_recorder(obs::slo::FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
  private:
   struct PilotState {
     hpc::JobId job = hpc::kNoJob;
@@ -122,6 +132,7 @@ class PilotController {
   uint64_t tasks_completed_ = 0;
   double idle_node_seconds_ = 0.0;
   sim::SimTime last_accrual_{};
+  obs::slo::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace xg::pilot

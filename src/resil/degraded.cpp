@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/slo/flight.hpp"
+
 namespace xg::resil {
 
 bool StoreAndForward::Buffer(std::vector<uint8_t> payload) {
@@ -70,6 +72,10 @@ void DegradedModeManager::Enter(DegradedMode m, int64_t now_us,
   ++entries_[i];
   open_episode_[i] = timeline_.size();
   timeline_.push_back(Episode{m, now_us, -1, detail});
+  if (flight_ != nullptr) {
+    flight_->Note("resil", std::string("enter ") + DegradedModeName(m) +
+                               (detail.empty() ? "" : ": " + detail));
+  }
 }
 
 void DegradedModeManager::Exit(DegradedMode m, int64_t now_us) {
@@ -79,6 +85,9 @@ void DegradedModeManager::Exit(DegradedMode m, int64_t now_us) {
   closed_time_s_[i] += static_cast<double>(now_us - entered_us_[i]) / 1e6;
   Episode& ep = timeline_[open_episode_[i]];
   ep.exit_us = now_us;
+  if (flight_ != nullptr) {
+    flight_->Note("resil", std::string("exit ") + DegradedModeName(m));
+  }
   if (tracer_ != nullptr) {
     // All episodes hang off one lazily-opened root trace so the recovery
     // timeline reads as a single track in the Chrome trace view.

@@ -30,6 +30,10 @@
 #include "resil/detector.hpp"
 #include "resil/policy.hpp"
 
+namespace xg::obs::slo {
+class FlightRecorder;
+}  // namespace xg::obs::slo
+
 namespace xg::resil {
 
 // ---------------------------------------------------------------------------
@@ -80,6 +84,12 @@ class DegradedModeManager {
   /// may be nullptr; both must outlive this manager.
   void AttachObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
 
+  /// Feed Enter/Exit transitions into the flight recorder's event ring.
+  /// Must outlive this manager; may be null.
+  void set_flight_recorder(obs::slo::FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
   /// Idempotent: entering an active mode is a no-op.
   void Enter(DegradedMode m, int64_t now_us, const std::string& detail = "");
   void Exit(DegradedMode m, int64_t now_us);
@@ -113,6 +123,7 @@ class DegradedModeManager {
   std::vector<Episode> timeline_;
   obs::MetricsRegistry* registry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::slo::FlightRecorder* flight_ = nullptr;
   obs::TraceContext root_;  ///< parent of every resil.<mode> episode span
 };
 

@@ -90,7 +90,7 @@ TEST(Cell, StrictSlicingWastesIdleQuota) {
   cfg.slices = {SliceConfig{"a", 0.3}, SliceConfig{"b", 0.7}};
   cfg.work_conserving_slicing = false;
   Cell cell(cfg, 6);
-  cell.AttachUe(CleanUe(22.0), "a");  // slice b is idle
+  (void)cell.AttachUe(CleanUe(22.0), "a");  // slice b is idle
   auto run = cell.RunUplink(10, 1);
   // UE limited to 30% of PRBs even though 70% sit idle.
   const double se = SpectralEfficiency(22.0, true);

@@ -1,0 +1,152 @@
+// FlightRecorder: all three dump trigger paths (contract violation,
+// deadline miss, explicit chaos/manual dump), bounded rings, dump
+// contents, and the dump-to-directory file path.
+#include "obs/slo/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/contract.hpp"
+#include "obs/slo/ledger.hpp"
+
+namespace xg::obs::slo {
+namespace {
+
+constexpr int64_t kSec = 1'000'000;
+
+LedgerRecord MissedRecord(uint64_t trace_id) {
+  LatencyLedger ledger([] {
+    LedgerConfig cfg;
+    cfg.deadline_s = 10.0;
+    return cfg;
+  }());
+  LedgerRecord out;
+  ledger.set_on_close([&out](const LedgerRecord& r) { out = r; });
+  ledger.Open(trace_id, 0);
+  ledger.Stamp(trace_id, Stage::kLaminarTrigger, 5 * kSec);
+  ledger.SweepExpired(20 * kSec);
+  return out;
+}
+
+TEST(FlightRecorder, DeadlineMissTriggersDump) {
+  FlightRecorder flight;
+  flight.OnRecordClosed(MissedRecord(42));
+  EXPECT_EQ(flight.dumps_taken(), 1u);
+  const std::string& dump = flight.last_dump();
+  EXPECT_NE(dump.find("\"trigger\":\"deadline_miss\""), std::string::npos);
+  EXPECT_NE(dump.find("\"trace_id\":42"), std::string::npos);
+  // The blamed stage: largest budget share of the missed record.
+  EXPECT_NE(dump.find("\"dominant_stage\":\"laminar_trigger\""),
+            std::string::npos);
+  // No dump directory configured: in-memory only.
+  EXPECT_EQ(flight.files_written(), 0u);
+  EXPECT_TRUE(flight.last_dump_path().empty());
+}
+
+TEST(FlightRecorder, MissDumpCanBeDisabled) {
+  FlightConfig cfg;
+  cfg.dump_on_miss = false;
+  FlightRecorder flight(cfg);
+  flight.OnRecordClosed(MissedRecord(7));
+  EXPECT_EQ(flight.dumps_taken(), 0u);
+  EXPECT_EQ(flight.records_seen(), 1u);
+}
+
+TEST(FlightRecorder, ContractViolationTriggersDump) {
+  contract::ScopedMode mode(contract::Mode::kReturnStatus);
+  contract::ResetViolationStats();
+  FlightRecorder flight;
+  flight.ArmContractTrigger();
+  (void)contract::Report(contract::Kind::kInvariant, "seq_dense",
+                         ErrorCode::kInternal, "sequence gap", "test.cpp",
+                         12, "TestFn");
+  EXPECT_EQ(flight.dumps_taken(), 1u);
+  const std::string& dump = flight.last_dump();
+  EXPECT_NE(dump.find("\"trigger\":\"contract_violation\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("seq_dense"), std::string::npos);
+  flight.DisarmContractTrigger();
+  (void)contract::Report(contract::Kind::kInvariant, "other",
+                         ErrorCode::kInternal, "x", "test.cpp", 13, "TestFn");
+  EXPECT_EQ(flight.dumps_taken(), 1u);  // disarmed: no further dumps
+  contract::ResetViolationStats();
+}
+
+TEST(FlightRecorder, ExplicitChaosDumpCarriesTriggerAndEvents) {
+  FlightRecorder flight;
+  flight.set_clock([] { return int64_t{1234}; });
+  flight.Note("fault", "partition begin target=ucsb|nd");
+  flight.Note("resil", "enter degraded_wan");
+  const std::string dump =
+      flight.Dump("chaos_failure", "soak iteration 3 diverged");
+  EXPECT_NE(dump.find("\"trigger\":\"chaos_failure\""), std::string::npos);
+  EXPECT_NE(dump.find("soak iteration 3 diverged"), std::string::npos);
+  EXPECT_NE(dump.find("partition begin target=ucsb|nd"), std::string::npos);
+  EXPECT_NE(dump.find("\"source\":\"resil\""), std::string::npos);
+  EXPECT_NE(dump.find("\"at_us\":1234"), std::string::npos);
+  // No records seen at all: nothing to blame.
+  EXPECT_NE(dump.find("\"dominant_stage\":\"none\""), std::string::npos);
+}
+
+TEST(FlightRecorder, EventRingIsBounded) {
+  FlightConfig cfg;
+  cfg.event_capacity = 4;
+  FlightRecorder flight(cfg);
+  for (int i = 0; i < 10; ++i) {
+    flight.Note("hpc", "stall " + std::to_string(i));
+  }
+  ASSERT_EQ(flight.events().size(), 4u);
+  EXPECT_EQ(flight.events().front().detail, "stall 6");
+  EXPECT_EQ(flight.events().back().detail, "stall 9");
+}
+
+TEST(FlightRecorder, EmbedsLedgerInFlightView) {
+  LatencyLedger ledger;
+  ledger.Open(9, 0);
+  ledger.Stamp(9, Stage::kPilotSubmit, 65 * kSec);
+  FlightRecorder flight;
+  flight.set_ledger(&ledger);
+  flight.set_clock([] { return 70 * kSec; });
+  const std::string dump = flight.Dump("manual");
+  EXPECT_NE(dump.find("\"in_flight\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"last_stage\":\"pilot_submit\""), std::string::npos);
+}
+
+TEST(FlightRecorder, WritesDumpFilesUpToMaxDumps) {
+  char dir_template[] = "/tmp/xg_flight_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  FlightConfig cfg;
+  cfg.dump_dir = dir_template;
+  cfg.max_dumps = 2;
+  FlightRecorder flight(cfg);
+  flight.Dump("manual", "first");
+  EXPECT_EQ(flight.files_written(), 1u);
+  const std::string first_path = flight.last_dump_path();
+  ASSERT_FALSE(first_path.empty());
+  EXPECT_NE(first_path.find("flight-0001-manual.json"), std::string::npos);
+  {
+    std::ifstream in(first_path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), flight.last_dump());
+  }
+  flight.Dump("manual", "second");
+  EXPECT_EQ(flight.files_written(), 2u);
+  // The cap holds: the third dump stays in memory.
+  flight.Dump("manual", "third");
+  EXPECT_EQ(flight.dumps_taken(), 3u);
+  EXPECT_EQ(flight.files_written(), 2u);
+  EXPECT_TRUE(flight.last_dump_path().empty());
+  std::remove((std::string(dir_template) + "/flight-0001-manual.json").c_str());
+  std::remove((std::string(dir_template) + "/flight-0002-manual.json").c_str());
+  std::remove(dir_template);
+}
+
+}  // namespace
+}  // namespace xg::obs::slo

@@ -1,0 +1,152 @@
+// HdrHistogram: bucket-boundary exactness in the unit range, bounded
+// relative error in the octave range, percentile conventions, and the
+// consistent-snapshot invariant under a concurrent writer.
+#include "obs/slo/hdr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace xg::obs::slo {
+namespace {
+
+TEST(HdrBuckets, UnitRangeIsExact) {
+  // Values below kSubCount land in exact unit buckets.
+  for (int64_t v = 0; v < HdrHistogram::kSubCount; ++v) {
+    EXPECT_EQ(HdrHistogram::BucketIndex(v), static_cast<size_t>(v));
+    EXPECT_EQ(HdrHistogram::BucketUpperUs(static_cast<size_t>(v)), v);
+  }
+}
+
+TEST(HdrBuckets, FirstOctaveBoundary) {
+  // kSubCount (= 32) is the first value in the octave range; it must land
+  // in the first octave bucket, whose upper bound is 33 - 1 = 33.
+  const size_t i = HdrHistogram::BucketIndex(HdrHistogram::kSubCount);
+  EXPECT_EQ(i, static_cast<size_t>(HdrHistogram::kSubCount));
+  EXPECT_GE(HdrHistogram::BucketUpperUs(i), HdrHistogram::kSubCount);
+}
+
+TEST(HdrBuckets, UpperBoundIsInclusiveAndTight) {
+  // Every bucket's upper bound maps back into that bucket, and the next
+  // value maps past it.
+  HdrHistogram h;
+  for (size_t i = 0; i < h.bucket_count(); i += 7) {
+    const int64_t upper = HdrHistogram::BucketUpperUs(i);
+    EXPECT_EQ(HdrHistogram::BucketIndex(upper), i) << "bucket " << i;
+    if (i + 1 < h.bucket_count()) {
+      EXPECT_EQ(HdrHistogram::BucketIndex(upper + 1), i + 1)
+          << "bucket " << i;
+    }
+  }
+}
+
+TEST(HdrBuckets, BucketsAreMonotone) {
+  HdrHistogram h;
+  int64_t prev = -1;
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    const int64_t upper = HdrHistogram::BucketUpperUs(i);
+    EXPECT_GT(upper, prev) << "bucket " << i;
+    prev = upper;
+  }
+}
+
+TEST(HdrBuckets, RelativeErrorIsBounded) {
+  // The scheme's promise: <= 2/kSubCount (~6%) relative error.
+  for (int64_t v : {int64_t{100}, int64_t{1000}, int64_t{101'000},
+                    int64_t{420'000'000}, int64_t{7'200'000'000}}) {
+    const int64_t upper =
+        HdrHistogram::BucketUpperUs(HdrHistogram::BucketIndex(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v),
+              2.0 / HdrHistogram::kSubCount * static_cast<double>(v) + 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(HdrBuckets, HugeValuesSaturateIntoFinalBucket) {
+  HdrHistogram h;
+  const size_t last = h.bucket_count() - 1;
+  EXPECT_EQ(HdrHistogram::BucketIndex(INT64_MAX), last);
+  h.Record(INT64_MAX);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HdrHistogram, NegativeClampsToZero) {
+  HdrHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum_us(), 0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(50.0), 0.0);
+}
+
+TEST(HdrHistogram, CountSumMaxMean) {
+  HdrHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_us(), 60);
+  EXPECT_EQ(h.max_us(), 30);
+  EXPECT_DOUBLE_EQ(h.MeanUs(), 20.0);
+}
+
+TEST(HdrHistogram, PercentileConventions) {
+  HdrHistogram h;
+  for (int64_t v = 1; v <= 10; ++v) h.Record(v);  // unit range: exact
+  EXPECT_DOUBLE_EQ(h.PercentileUs(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(90.0), 9.0);
+  // p >= 100 reports the exact max, not a bucket bound.
+  EXPECT_DOUBLE_EQ(h.PercentileUs(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(200.0), 10.0);
+}
+
+TEST(HdrHistogram, EmptyPercentileIsZero) {
+  HdrHistogram h;
+  EXPECT_DOUBLE_EQ(h.PercentileUs(99.0), 0.0);
+}
+
+TEST(HdrHistogram, SnapshotKeepsOnlyNonEmptyBucketsAndSums) {
+  HdrHistogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(1'000'000);
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 2u);
+  ASSERT_EQ(snap.counts.size(), 3u);  // two finite + implicit +Inf
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);  // +Inf always empty: all values finite
+  EXPECT_EQ(snap.count, 3u);
+  // Bounds are exported in milliseconds.
+  EXPECT_DOUBLE_EQ(snap.bounds[0], 3.0 / 1e3);
+}
+
+TEST(HdrHistogram, SnapshotIsConsistentUnderConcurrentWriter) {
+  // The seqlock discipline: a snapshot's bucket counts must sum to its
+  // count even while a writer races. TSan exercises the memory ordering.
+  HdrHistogram h;
+  std::atomic<bool> stop{false};
+  std::thread writer([&h, &stop] {
+    int64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.Record(v % 100'000);
+      v += 37;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const HistogramSnapshot snap = h.Snapshot();
+    uint64_t bucket_sum = 0;
+    for (uint64_t c : snap.counts) bucket_sum += c;
+    EXPECT_EQ(bucket_sum, snap.count);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  const HistogramSnapshot final_snap = h.Snapshot();
+  EXPECT_EQ(final_snap.count, h.count());
+}
+
+}  // namespace
+}  // namespace xg::obs::slo

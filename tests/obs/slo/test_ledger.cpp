@@ -1,0 +1,186 @@
+// LatencyLedger: record lifecycle, close reasons, deadline sweeps,
+// eviction bounds, and the deterministic rendering the determinism suite
+// keys on.
+#include "obs/slo/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xg::obs::slo {
+namespace {
+
+constexpr int64_t kSec = 1'000'000;
+
+LedgerConfig SmallConfig() {
+  LedgerConfig cfg;
+  cfg.deadline_s = 100.0;
+  cfg.max_in_flight = 4;
+  cfg.recent_capacity = 8;
+  return cfg;
+}
+
+TEST(LatencyLedger, TraceZeroIsInert) {
+  LatencyLedger ledger;
+  ledger.Open(0, 0);
+  EXPECT_EQ(ledger.in_flight(), 0u);
+  EXPECT_FALSE(ledger.Stamp(0, Stage::kWanHop, 1));
+  EXPECT_EQ(ledger.opened_total(), 0u);
+}
+
+TEST(LatencyLedger, OpenStampCloseLifecycle) {
+  LatencyLedger ledger(SmallConfig());
+  std::vector<LedgerRecord> closed;
+  ledger.set_on_close([&closed](const LedgerRecord& r) {
+    closed.push_back(r);
+  });
+
+  ledger.Open(7, 10 * kSec);
+  EXPECT_EQ(ledger.in_flight(), 1u);
+  EXPECT_TRUE(ledger.Stamp(7, Stage::kWanHop, 10 * kSec + 57'000));
+  // Unknown ids stamp as no-ops so layers can stamp unconditionally.
+  EXPECT_FALSE(ledger.Stamp(8, Stage::kWanHop, 11 * kSec));
+
+  ledger.Close(7, CloseReason::kDelivered);
+  EXPECT_EQ(ledger.in_flight(), 0u);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].trace_id, 7u);
+  EXPECT_EQ(closed[0].reason, CloseReason::kDelivered);
+  EXPECT_EQ(closed[0].consumed_us, 57'000);
+  EXPECT_FALSE(closed[0].missed);
+  EXPECT_EQ(ledger.closed_by_reason(CloseReason::kDelivered), 1u);
+
+  // Double close is a no-op.
+  ledger.Close(7, CloseReason::kFailed);
+  EXPECT_EQ(closed.size(), 1u);
+}
+
+TEST(LatencyLedger, ReopeningAnInFlightIdIsIgnored) {
+  LatencyLedger ledger(SmallConfig());
+  ledger.Open(5, 10 * kSec);
+  ledger.Open(5, 20 * kSec);  // ignored; the original budget stands
+  EXPECT_EQ(ledger.opened_total(), 1u);
+  const auto views = ledger.WorstInFlight(1, 30 * kSec);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].opened_us, 10 * kSec);
+}
+
+TEST(LatencyLedger, CloseIfIdleSkipsEscalatedRecords) {
+  LatencyLedger ledger(SmallConfig());
+  ledger.Open(1, 0);
+  ledger.Open(2, 0);
+  ASSERT_TRUE(ledger.Stamp(2, Stage::kLaminarTrigger, 5 * kSec));
+  EXPECT_FALSE(ledger.Escalated(1));
+  EXPECT_TRUE(ledger.Escalated(2));
+
+  EXPECT_TRUE(ledger.CloseIfIdle(1, CloseReason::kDelivered));
+  // The escalated record must survive frame turnover to finish its
+  // CFD journey.
+  EXPECT_FALSE(ledger.CloseIfIdle(2, CloseReason::kDelivered));
+  EXPECT_EQ(ledger.in_flight(), 1u);
+}
+
+TEST(LatencyLedger, SweepExpiredClosesOnlyPastDeadline) {
+  LatencyLedger ledger(SmallConfig());  // 100 s budget
+  ledger.Open(1, 0);
+  ledger.Open(2, 50 * kSec);
+
+  // Exactly at trace 1's deadline: inclusive budget, nothing expires.
+  EXPECT_EQ(ledger.SweepExpired(100 * kSec), 0u);
+  EXPECT_EQ(ledger.in_flight(), 2u);
+
+  // One past: trace 1 expires, trace 2 (50 s consumed) stays.
+  EXPECT_EQ(ledger.SweepExpired(100 * kSec + 1), 1u);
+  EXPECT_EQ(ledger.in_flight(), 1u);
+  EXPECT_EQ(ledger.closed_by_reason(CloseReason::kExpired), 1u);
+  EXPECT_EQ(ledger.missed_total(), 1u);
+}
+
+TEST(LatencyLedger, ExpiredRecordsAreMissesButFailedAreNot) {
+  LatencyLedger ledger(SmallConfig());
+  std::vector<LedgerRecord> closed;
+  ledger.set_on_close([&closed](const LedgerRecord& r) {
+    closed.push_back(r);
+  });
+  ledger.Open(1, 0);
+  ledger.Close(1, CloseReason::kFailed);
+  ledger.Open(2, 0);
+  ledger.SweepExpired(200 * kSec);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_FALSE(closed[0].missed);  // failed: accounted by reason
+  EXPECT_TRUE(closed[1].missed);   // expired: a deadline miss by definition
+  EXPECT_EQ(ledger.missed_total(), 1u);
+}
+
+TEST(LatencyLedger, LateCompletionIsAMissAndNearDeadlineIsNear) {
+  LatencyLedger ledger(SmallConfig());  // 100 s, near fraction 0.10
+  std::vector<LedgerRecord> closed;
+  ledger.set_on_close([&closed](const LedgerRecord& r) {
+    closed.push_back(r);
+  });
+
+  ledger.Open(1, 0);
+  ledger.Stamp(1, Stage::kTwinUpdate, 95 * kSec);  // inside the near window
+  ledger.Close(1, CloseReason::kFullPath);
+
+  ledger.Open(2, 0);
+  ledger.Stamp(2, Stage::kTwinUpdate, 101 * kSec);  // past the deadline
+  ledger.Close(2, CloseReason::kFullPath);
+
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_FALSE(closed[0].missed);
+  EXPECT_TRUE(closed[0].near_miss);
+  EXPECT_TRUE(closed[1].missed);
+  EXPECT_FALSE(closed[1].near_miss);
+  EXPECT_EQ(ledger.near_miss_total(), 1u);
+}
+
+TEST(LatencyLedger, EvictsOldestAtInFlightBound) {
+  LatencyLedger ledger(SmallConfig());  // max_in_flight = 4
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ledger.Open(id, static_cast<int64_t>(id) * kSec);
+  }
+  ledger.Open(5, 5 * kSec);  // evicts trace 1 (earliest opened)
+  EXPECT_EQ(ledger.in_flight(), 4u);
+  EXPECT_EQ(ledger.closed_by_reason(CloseReason::kEvicted), 1u);
+  ASSERT_FALSE(ledger.recent().empty());
+  EXPECT_EQ(ledger.recent().back().trace_id, 1u);
+}
+
+TEST(LatencyLedger, WorstInFlightOrdersByRemainingThenTraceId) {
+  LatencyLedger ledger(SmallConfig());
+  ledger.Open(3, 0);         // oldest -> least remaining
+  ledger.Open(1, 10 * kSec);
+  ledger.Open(2, 10 * kSec); // same remaining as trace 1 -> id tiebreak
+  const auto views = ledger.WorstInFlight(3, 20 * kSec);
+  ASSERT_EQ(views.size(), 3u);
+  EXPECT_EQ(views[0].trace_id, 3u);
+  EXPECT_EQ(views[1].trace_id, 1u);
+  EXPECT_EQ(views[2].trace_id, 2u);
+  EXPECT_EQ(views[0].consumed_us, 20 * kSec);
+}
+
+TEST(LatencyLedger, RecentRingIsBoundedAndRenderingIsDeterministic) {
+  auto run = [] {
+    LatencyLedger ledger(SmallConfig());  // recent_capacity = 8
+    for (uint64_t id = 1; id <= 12; ++id) {
+      const int64_t t0 = static_cast<int64_t>(id) * kSec;
+      ledger.Open(id, t0);
+      ledger.Stamp(id, Stage::kWanHop, t0 + 57'000);
+      ledger.Close(id, CloseReason::kDelivered);
+    }
+    return ledger.FormatRecent();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);  // byte-identical across identical runs
+  // Ring bounded to 8: the first retained record is trace 5.
+  EXPECT_EQ(a.find("trace=4 "), std::string::npos);
+  EXPECT_NE(a.find("trace=5 "), std::string::npos);
+  EXPECT_NE(a.find("reason=delivered"), std::string::npos);
+  EXPECT_NE(a.find("wan_hop=0.057000s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xg::obs::slo

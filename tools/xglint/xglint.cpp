@@ -35,6 +35,13 @@
 //                     on the virtual clock; a host sleep stalls the worker
 //                     without advancing simulated time. Schedule a
 //                     continuation (sim::Simulation::Schedule) instead.
+//   stage-stamp       no ad-hoc stage-boundary latency deltas (`Now() - t0`
+//                     feeding a latency/elapsed variable) in pipeline code
+//                     under src/. Per-reading latency is accounted by
+//                     stamping the deadline ledger at the stage boundary
+//                     (obs::slo::LatencyLedger::Stamp), so every delta
+//                     shows up in the budget decomposition instead of a
+//                     private variable the SLO layer cannot see.
 //
 // Suppress a finding by appending `// xglint:allow(rule-name)` to the line.
 // Usage: xglint <dir-or-file>... ; exits non-zero if any finding remains.
@@ -186,6 +193,13 @@ bool InStrictValueScope(const fs::path& p) {
 bool InSrc(const fs::path& p) {
   for (const auto& part : p) {
     if (part == "src") return true;
+  }
+  return false;
+}
+
+bool InObs(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "obs") return true;
   }
   return false;
 }
@@ -364,6 +378,35 @@ void LintSource(const std::string& path_str, const std::string& raw,
       }
     }
 
+    // --- stage-stamp ---
+    // A subtraction with Now() as the minuend feeding a latency / elapsed
+    // variable is a stage-boundary measurement the deadline ledger should
+    // own. The obs layer itself computes deltas from stamped values and is
+    // exempt (the ledger only receives timestamps, never calls Now()).
+    // Wrapped statements put the delta a line below the variable; honor a
+    // suppression on either line.
+    const bool stamp_suppressed =
+        Suppressed(raw_line, "stage-stamp") ||
+        (i > 0 && Suppressed(raw_lines[i - 1], "stage-stamp"));
+    if (InSrc(path) && !InObs(path) && !stamp_suppressed &&
+        (Contains(line, "Now() - ") || Contains(line, "Now() -\n") ||
+         Contains(line, "Now().micros() - ") ||
+         Contains(line, "Now().seconds() - "))) {
+      const std::string& prev = i > 0 ? lines[i - 1] : line;
+      const std::string& next = i + 1 < lines.size() ? lines[i + 1] : line;
+      const bool latency_delta =
+          Contains(line, "latency") || Contains(line, "elapsed") ||
+          Contains(prev, "latency") || Contains(prev, "elapsed") ||
+          Contains(next, "latency") || Contains(next, "elapsed");
+      if (latency_delta) {
+        findings.push_back(
+            {path.string(), ln, "stage-stamp",
+             "ad-hoc stage-boundary Now() delta; stamp the deadline ledger "
+             "(obs::slo::LatencyLedger::Stamp) so the delta lands in the "
+             "per-stage budget decomposition"});
+      }
+    }
+
     // --- raw-sleep ---
     if (InSrc(path) && !Suppressed(raw_line, "raw-sleep")) {
       static const char* kSleepTokens[] = {"sleep_for", "sleep_until",
@@ -456,6 +499,36 @@ int RunSelfTest() {
        "  while (true) {\n"
        "    transport.Send(frame);\n"
        "  }\n"
+       "}\n",
+       {}},
+      {"latency delta off Now() in pipeline code is flagged",
+       "src/x/path.cpp",
+       "void Store() {\n"
+       "  const double latency_ms = (sim_.Now() - t0).millis();\n"
+       "}\n",
+       {"stage-stamp"}},
+      {"elapsed delta on the previous line is flagged", "src/x/path.cpp",
+       "void Retry() {\n"
+       "  const double elapsed_ms =\n"
+       "      static_cast<double>(sim_.Now().micros() - started_us) / 1e3;\n"
+       "}\n",
+       {"stage-stamp"}},
+      {"Now() delta without a latency sink is not a stage boundary",
+       "src/x/accrue.cpp",
+       "void Accrue() {\n"
+       "  const double dt = (sim_.Now() - last_accrual_).seconds();\n"
+       "}\n",
+       {}},
+      {"stage-stamp suppression works", "src/x/path.cpp",
+       "void Store() {\n"
+       "  const double latency_ms =\n"
+       "      (sim_.Now() - t0).millis();  // xglint:allow(stage-stamp)\n"
+       "}\n",
+       {}},
+      {"obs layer computes deltas from stamps and is exempt",
+       "src/obs/slo/ledger.cpp",
+       "void Close() {\n"
+       "  const double latency_ms = (clock_.Now() - opened).millis();\n"
        "}\n",
        {}},
       {"raw sleep under src/ is flagged", "src/x/poll.cpp",
