@@ -3,11 +3,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 
 namespace xg::contract {
 
@@ -23,12 +23,13 @@ const char* KindName(Kind k) {
 namespace {
 
 std::atomic<uint64_t> g_violations{0};
-std::mutex g_last_mu;
-std::optional<Violation> g_last;  // guarded by g_last_mu
+Mutex g_last_mu;
+std::optional<Violation> g_last XG_GUARDED_BY(g_last_mu);
 
-std::mutex g_listener_mu;
-uint64_t g_next_listener_token = 1;                        // guarded ^
-std::vector<std::pair<uint64_t, ViolationListener>> g_listeners;  // guarded ^
+Mutex g_listener_mu;
+uint64_t g_next_listener_token XG_GUARDED_BY(g_listener_mu) = 1;
+std::vector<std::pair<uint64_t, ViolationListener>> g_listeners
+    XG_GUARDED_BY(g_listener_mu);
 
 Mode InitialMode() {
   const char* env = std::getenv("XG_CONTRACT_ABORT");
@@ -47,14 +48,14 @@ Mode GetMode() { return ModeFlag().load(std::memory_order_relaxed); }
 void SetMode(Mode m) { ModeFlag().store(m, std::memory_order_relaxed); }
 
 uint64_t AddViolationListener(ViolationListener listener) {
-  std::lock_guard<std::mutex> lk(g_listener_mu);
+  MutexLock lk(g_listener_mu);
   const uint64_t token = g_next_listener_token++;
   g_listeners.emplace_back(token, std::move(listener));
   return token;
 }
 
 void RemoveViolationListener(uint64_t token) {
-  std::lock_guard<std::mutex> lk(g_listener_mu);
+  MutexLock lk(g_listener_mu);
   for (auto it = g_listeners.begin(); it != g_listeners.end(); ++it) {
     if (it->first == token) {
       g_listeners.erase(it);
@@ -68,13 +69,13 @@ uint64_t ViolationCount() {
 }
 
 std::optional<Violation> LastViolation() {
-  std::lock_guard<std::mutex> lk(g_last_mu);
+  MutexLock lk(g_last_mu);
   return g_last;
 }
 
 void ResetViolationStats() {
   g_violations.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(g_last_mu);
+  MutexLock lk(g_last_mu);
   g_last.reset();
 }
 
@@ -92,7 +93,7 @@ Status Report(Kind kind, const char* condition, ErrorCode code,
 
   g_violations.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(g_last_mu);
+    MutexLock lk(g_last_mu);
     g_last = v;
   }
 
@@ -113,7 +114,7 @@ Status Report(Kind kind, const char* condition, ErrorCode code,
   // abort. Copy the list so listeners run without the registry lock held.
   std::vector<ViolationListener> listeners;
   {
-    std::lock_guard<std::mutex> lk(g_listener_mu);
+    MutexLock lk(g_listener_mu);
     listeners.reserve(g_listeners.size());
     for (const auto& [token, fn] : g_listeners) listeners.push_back(fn);
   }

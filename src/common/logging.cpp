@@ -3,15 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace xg {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mu;  // guards clock/sink installation and stderr writes
-std::function<int64_t()> g_clock;
-LogSink g_sink;
+Mutex g_mu;  // guards clock/sink installation and stderr writes
+std::function<int64_t()> g_clock XG_GUARDED_BY(g_mu);
+LogSink g_sink XG_GUARDED_BY(g_mu);
 }  // namespace
 
 const char* LogLevelName(LogLevel l) {
@@ -37,12 +38,12 @@ bool ShouldLog(LogLevel level) {
 }
 
 void SetLogClock(std::function<int64_t()> clock) {
-  std::lock_guard<std::mutex> lk(g_mu);
+  MutexLock lk(g_mu);
   g_clock = std::move(clock);
 }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lk(g_mu);
+  MutexLock lk(g_mu);
   g_sink = std::move(sink);
 }
 
@@ -66,7 +67,7 @@ void EmitLog(LogRecord rec) {
   if (!ShouldLog(rec.level)) return;
   LogSink sink;
   {
-    std::lock_guard<std::mutex> lk(g_mu);
+    MutexLock lk(g_mu);
     if (g_clock && rec.sim_time_us < 0) rec.sim_time_us = g_clock();
     sink = g_sink;
   }
@@ -75,7 +76,7 @@ void EmitLog(LogRecord rec) {
     return;
   }
   const std::string line = FormatLogLine(rec);
-  std::lock_guard<std::mutex> lk(g_mu);
+  MutexLock lk(g_mu);
   std::fprintf(stderr, "%s\n", line.c_str());
 }
 

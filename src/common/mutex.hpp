@@ -1,0 +1,78 @@
+// Annotated lock shims: the only mutex vocabulary allowed under src/.
+//
+// xg::Mutex wraps std::mutex as a clang Thread Safety Analysis capability
+// type and xg::MutexLock replaces std::lock_guard as a scoped capability,
+// so `-Wthread-safety -Werror` (the CI analyze lane) can prove that every
+// XG_GUARDED_BY member is only touched with its lock held. xg::CondVar
+// wraps std::condition_variable_any to wait directly on a Mutex; predicate
+// waits are deliberately not offered — write the `while (!pred) Wait(mu);`
+// loop in the caller, where the analysis can see the lock is held while
+// the predicate reads guarded state (a lambda predicate is analyzed as a
+// separate function with no lock context and would defeat the checking).
+//
+// The xglint `unannotated-mutex` rule enforces the migration: any
+// std::mutex / std::lock_guard / std::condition_variable spelled under
+// src/ outside this file is a lint error.
+//
+// Zero-cost: on GCC the annotations vanish and every method is a direct
+// forward; there is no state beyond the wrapped primitive.
+#pragma once
+
+#include <condition_variable>  // xglint:allow(unannotated-mutex)
+#include <mutex>               // xglint:allow(unannotated-mutex)
+
+#include "common/thread_annotations.hpp"
+
+namespace xg {
+
+/// Exclusive lock, declared as a TSA capability. Satisfies BasicLockable /
+/// Lockable, so standard facilities still accept it where needed.
+class XG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XG_ACQUIRE() { mu_.lock(); }
+  void unlock() XG_RELEASE() { mu_.unlock(); }
+  bool try_lock() XG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;  // xglint:allow(unannotated-mutex)
+};
+
+/// RAII holder, the std::lock_guard replacement. Scoped-capability
+/// annotation lets the analysis credit the lock for the holder's lifetime.
+class XG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() XG_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on an xg::Mutex. Wait() requires the
+/// capability, so a caller that forgot to lock is a compile error in the
+/// analyze lane. Notify may be called with or without the lock held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Spurious wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex& mu) XG_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;  // xglint:allow(unannotated-mutex)
+};
+
+}  // namespace xg

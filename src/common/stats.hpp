@@ -1,16 +1,28 @@
 // Statistics accumulators used by every measurement harness in xGFabric:
 // throughput sampling (Figs 4-6), message latency (Table 1), CFD runtime
 // distributions (Fig 7), and end-to-end timing (Section 4.4).
+//
+// THREAD-SAFETY: every accumulator in this header is explicitly
+// single-threaded (XG_SIM_THREAD_CONFINED). None carries a lock, and
+// SampleSet mutates `mutable` state from const accessors, so even
+// concurrent reads race. Accumulate per-thread and Merge() on one
+// thread, or use the lock-free obs instruments (obs::Counter,
+// obs::LatencyHistogram) for cross-thread aggregation. xglint's
+// confined-static rule rejects file-scope instances of these types in
+// src/ because a global accumulator is exactly the shared-unguarded
+// use this contract forbids.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace xg {
 
 /// Numerically stable running mean/variance (Welford) with min/max.
-class RunningStats {
+class XG_SIM_THREAD_CONFINED RunningStats {
  public:
   void Add(double x);
   void Merge(const RunningStats& other);
@@ -42,7 +54,7 @@ class RunningStats {
 /// sort, and a concurrent Add can invalidate iterators mid-sort. Guard
 /// the whole object externally, or merge per-thread SampleSets instead.
 /// For a thread-safe bounded alternative see obs::LatencyHistogram.
-class SampleSet {
+class XG_SIM_THREAD_CONFINED SampleSet {
  public:
   void Add(double x);
   void AddAll(const std::vector<double>& xs);
@@ -77,7 +89,7 @@ class SampleSet {
 };
 
 /// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
-class Histogram {
+class XG_SIM_THREAD_CONFINED Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
 
@@ -98,7 +110,7 @@ class Histogram {
 
 /// Exponentially-weighted moving average, used by the proportional-fair
 /// scheduler for per-UE average throughput tracking.
-class Ewma {
+class XG_SIM_THREAD_CONFINED Ewma {
  public:
   explicit Ewma(double alpha) : alpha_(alpha) {}
   void Add(double x) {

@@ -1,0 +1,94 @@
+// Clang Thread Safety Analysis attribute wrappers.
+//
+// Every mutex-protected shared structure in the tree declares *statically*
+// which lock guards which state: members carry XG_GUARDED_BY(mu_), private
+// helpers that assume the lock carry XG_REQUIRES(mu_), and the lock types
+// themselves (src/common/mutex.hpp) are capability types. Under clang the
+// `analyze` CI lane compiles with `-Wthread-safety -Werror`, turning every
+// unguarded access, missed unlock, and lock-order slip into a compile
+// error; under GCC (the default local toolchain) the macros expand to
+// nothing and cost nothing.
+//
+// This matters because the fabric is about to stop being single-threaded:
+// the parallel event-kernel refactor (ROADMAP open item 1) shards the
+// virtual clock across worker threads, and the deadline guarantees the
+// paper makes (sensor -> 5G -> CSPOT -> CFD -> twin inside the advisory
+// validity window) only survive that refactor if every piece of shared
+// state is accounted for at compile time — TSan can only bless the
+// interleavings a test happens to produce.
+//
+// Convention summary (the full table lives in DESIGN.md §13):
+//   XG_CAPABILITY("mutex")     on a lock class (xg::Mutex)
+//   XG_SCOPED_CAPABILITY       on an RAII lock holder (xg::MutexLock)
+//   XG_GUARDED_BY(mu)          on data members the lock protects
+//   XG_PT_GUARDED_BY(mu)       pointer member: *pointee* is protected
+//   XG_REQUIRES(mu)            function must be called with `mu` held
+//   XG_ACQUIRE / XG_RELEASE    function takes / drops the capability
+//   XG_EXCLUDES(mu)            function must NOT be called with `mu` held
+//   XG_NO_THREAD_SAFETY_ANALYSIS  opt-out for code the analysis cannot
+//                                 model (document why at the use site)
+//
+// Classes with *no* lock are not thereby safe: state owned by the single
+// simulation thread is marked XG_SIM_THREAD_CONFINED (documentation-only,
+// enforced by convention + the xglint unannotated-mutex rule keeping
+// hidden std::mutex members out), which is exactly the inventory the
+// shard refactor must partition.
+#pragma once
+
+// clang implements the analysis attributes; GCC accepts and ignores some
+// of them but warns on others, so gate on the capability-analysis feature
+// rather than the compiler id.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define XG_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef XG_THREAD_ANNOTATION_
+#define XG_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define XG_CAPABILITY(x) XG_THREAD_ANNOTATION_(capability(x))
+#define XG_SCOPED_CAPABILITY XG_THREAD_ANNOTATION_(scoped_lockable)
+
+#define XG_GUARDED_BY(x) XG_THREAD_ANNOTATION_(guarded_by(x))
+#define XG_PT_GUARDED_BY(x) XG_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define XG_ACQUIRED_BEFORE(...) \
+  XG_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define XG_ACQUIRED_AFTER(...) \
+  XG_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define XG_REQUIRES(...) \
+  XG_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define XG_REQUIRES_SHARED(...) \
+  XG_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define XG_ACQUIRE(...) XG_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define XG_ACQUIRE_SHARED(...) \
+  XG_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define XG_RELEASE(...) XG_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define XG_RELEASE_SHARED(...) \
+  XG_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define XG_TRY_ACQUIRE(...) \
+  XG_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define XG_TRY_ACQUIRE_SHARED(...) \
+  XG_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define XG_EXCLUDES(...) XG_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define XG_ASSERT_CAPABILITY(x) XG_THREAD_ANNOTATION_(assert_capability(x))
+#define XG_RETURN_CAPABILITY(x) XG_THREAD_ANNOTATION_(lock_returned(x))
+
+#define XG_NO_THREAD_SAFETY_ANALYSIS \
+  XG_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Documentation marker (expands to nothing on every compiler): the class
+/// carries mutable state with NO internal lock because it is owned by the
+/// single simulation thread — construction, mutation and reads all happen
+/// between event callbacks on the virtual clock. Cross-thread readers
+/// (exporters, dashboards) must go through a mirror that IS synchronized
+/// (obs::MetricsRegistry callbacks, atomics) rather than touching the
+/// object. The parallel-kernel refactor must either keep each instance
+/// inside one shard or promote its state to xg::Mutex-guarded.
+#define XG_SIM_THREAD_CONFINED

@@ -25,11 +25,11 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     shutdown_ = true;
     ++generation_;
   }
-  cv_start_.notify_all();
+  cv_start_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -38,18 +38,21 @@ bool ThreadPool::OnWorkerThread() const { return tl_worker_pool == this; }
 void ThreadPool::WorkerLoop(size_t index) {
   uint64_t seen = 0;
   for (;;) {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
-    if (shutdown_) return;
-    seen = generation_;
-    // Copy what this worker needs, then run unlocked. The submitter keeps
-    // fn_/ctx_/ranges_ alive until the join completes, and holds submit_mu_
-    // so no other task can overwrite them mid-flight.
-    RawFn fn = fn_;
-    void* ctx = ctx_;
+    RawFn fn = nullptr;
+    void* ctx = nullptr;
     std::pair<size_t, size_t> range{0, 0};
-    if (index < ranges_.size()) range = ranges_[index];
-    lk.unlock();
+    {
+      MutexLock lk(mu_);
+      while (!shutdown_ && generation_ == seen) cv_start_.Wait(mu_);
+      if (shutdown_) return;
+      seen = generation_;
+      // Copy what this worker needs, then run unlocked. The submitter keeps
+      // fn_/ctx_/ranges_ alive until the join completes, and holds
+      // submit_mu_ so no other task can overwrite them mid-flight.
+      fn = fn_;
+      ctx = ctx_;
+      if (index < ranges_.size()) range = ranges_[index];
+    }
 
     tl_worker_pool = this;
     if (fn != nullptr && range.second > range.first) {
@@ -57,8 +60,8 @@ void ThreadPool::WorkerLoop(size_t index) {
     }
     tl_worker_pool = nullptr;
 
-    lk.lock();
-    if (--remaining_ == 0) cv_done_.notify_all();
+    MutexLock lk(mu_);
+    if (--remaining_ == 0) cv_done_.NotifyAll();
   }
 }
 
@@ -66,10 +69,10 @@ void ThreadPool::Dispatch(size_t n, RawFn fn, void* ctx) {
   // Serialize independent submitters: two concurrent fork-joins would race
   // on the shared task slot and lose work. Taken only after the nesting
   // check, so a worker thread can never self-deadlock here.
-  std::lock_guard<std::mutex> submit_lk(submit_mu_);
+  MutexLock submit_lk(submit_mu_);
   const size_t workers = workers_.size();
   const size_t chunk = (n + workers - 1) / workers;
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ranges_.resize(workers);
   for (size_t i = 0; i < workers; ++i) {
     const size_t b = std::min(n, i * chunk);
@@ -80,8 +83,8 @@ void ThreadPool::Dispatch(size_t n, RawFn fn, void* ctx) {
   ctx_ = ctx;
   remaining_ = workers;
   ++generation_;
-  cv_start_.notify_all();
-  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+  cv_start_.NotifyAll();
+  while (remaining_ != 0) cv_done_.Wait(mu_);
 }
 
 }  // namespace xg

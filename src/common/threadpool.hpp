@@ -13,15 +13,14 @@
 // allocation (the chunk table is a buffer reused across submissions).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/contract.hpp"
+#include "common/mutex.hpp"
 
 namespace xg {
 
@@ -125,21 +124,25 @@ class ThreadPool {
   /// Partition [0, n) into one contiguous chunk per worker, run `fn` on the
   /// workers, and block until every chunk completes. Serializes concurrent
   /// external submitters (they would otherwise race on the task slot).
-  void Dispatch(size_t n, RawFn fn, void* ctx);
+  void Dispatch(size_t n, RawFn fn, void* ctx) XG_EXCLUDES(submit_mu_, mu_);
 
   void WorkerLoop(size_t index);
 
-  std::vector<std::thread> workers_;
-  std::mutex submit_mu_;  ///< serializes external fork-join submitters
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  RawFn fn_ = nullptr;
-  void* ctx_ = nullptr;
-  std::vector<std::pair<size_t, size_t>> ranges_;  ///< reused chunk table
-  uint64_t generation_ = 0;  // bumps when a new task is posted
-  size_t remaining_ = 0;     // workers still running current task
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  ///< immutable after construction
+  /// Serializes external fork-join submitters; always taken before mu_.
+  Mutex submit_mu_ XG_ACQUIRED_BEFORE(mu_);
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  RawFn fn_ XG_GUARDED_BY(mu_) = nullptr;
+  void* ctx_ XG_GUARDED_BY(mu_) = nullptr;
+  /// Reused chunk table (one contiguous range per worker).
+  std::vector<std::pair<size_t, size_t>> ranges_ XG_GUARDED_BY(mu_);
+  /// Bumps when a new task is posted.
+  uint64_t generation_ XG_GUARDED_BY(mu_) = 0;
+  /// Workers still running the current task.
+  size_t remaining_ XG_GUARDED_BY(mu_) = 0;
+  bool shutdown_ XG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace xg

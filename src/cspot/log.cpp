@@ -43,7 +43,7 @@ MemoryLog::MemoryLog(LogConfig config) : config_(std::move(config)) {
 Result<SeqNo> MemoryLog::Append(const std::vector<uint8_t>& payload) {
   XG_REQUIRE(payload.size() <= config_.element_size, kInvalidArgument,
              "payload exceeds element size of log " + config_.name);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const SeqNo seq = next_seq_++;
   ring_[static_cast<size_t>(seq) % config_.history] = payload;
   // CSPOT's dense-sequence invariant: Append is the only writer and hands
@@ -53,7 +53,7 @@ Result<SeqNo> MemoryLog::Append(const std::vector<uint8_t>& payload) {
 }
 
 Result<std::vector<uint8_t>> MemoryLog::Get(SeqNo seq) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (seq < 0 || seq >= next_seq_) {
     return Status(ErrorCode::kNotFound, "sequence number never written");
   }
@@ -68,12 +68,12 @@ Result<std::vector<uint8_t>> MemoryLog::Get(SeqNo seq) const {
 }
 
 SeqNo MemoryLog::Latest() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return next_seq_ == 0 ? kNoSeq : next_seq_ - 1;
 }
 
 SeqNo MemoryLog::Earliest() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (next_seq_ == 0) return kNoSeq;
   return next_seq_ > static_cast<SeqNo>(config_.history)
              ? next_seq_ - static_cast<SeqNo>(config_.history)
@@ -83,7 +83,7 @@ SeqNo MemoryLog::Earliest() const {
 Status MemoryLog::TruncateTo(SeqNo last_retained) {
   XG_REQUIRE(last_retained >= kNoSeq, kInvalidArgument,
              "truncation point below kNoSeq: " + config_.name);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (last_retained + 1 >= next_seq_) return Status::Ok();
   // Rolling back the sequence counter makes Get() reject the dropped
   // seqs; clearing their slots keeps a later wrap-around from exposing
@@ -152,6 +152,9 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
   Status geometry = ValidateLogConfig(config);
   if (!geometry.ok()) return geometry;
   auto log = std::unique_ptr<FileLog>(new FileLog(path, std::move(config)));
+  // The log is not shared yet, but the header helpers assume the lock
+  // (XG_REQUIRES), so take it for the recovery/creation sequence.
+  MutexLock lk(log->mu_);
   // Try reopen first (crash recovery path), else create fresh.
   log->file_ = std::fopen(path.c_str(), "r+b");
   if (log->file_ != nullptr) {
@@ -171,7 +174,7 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
 Result<SeqNo> FileLog::Append(const std::vector<uint8_t>& payload) {
   XG_REQUIRE(payload.size() <= config_.element_size, kInvalidArgument,
              "payload exceeds element size of log " + config_.name);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const SeqNo seq = next_seq_;
   const auto len = static_cast<uint32_t>(payload.size());
   std::vector<uint8_t> slot(SlotBytes(), 0);
@@ -188,7 +191,7 @@ Result<SeqNo> FileLog::Append(const std::vector<uint8_t>& payload) {
 }
 
 Result<std::vector<uint8_t>> FileLog::Get(SeqNo seq) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (seq < 0 || seq >= next_seq_) {
     return Status(ErrorCode::kNotFound, "sequence number never written");
   }
@@ -213,12 +216,12 @@ Result<std::vector<uint8_t>> FileLog::Get(SeqNo seq) const {
 }
 
 SeqNo FileLog::Latest() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return next_seq_ == 0 ? kNoSeq : next_seq_ - 1;
 }
 
 SeqNo FileLog::Earliest() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (next_seq_ == 0) return kNoSeq;
   return next_seq_ > static_cast<SeqNo>(config_.history)
              ? next_seq_ - static_cast<SeqNo>(config_.history)
@@ -228,7 +231,7 @@ SeqNo FileLog::Earliest() const {
 Status FileLog::TruncateTo(SeqNo last_retained) {
   XG_REQUIRE(last_retained >= kNoSeq, kInvalidArgument,
              "truncation point below kNoSeq: " + config_.name);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (last_retained + 1 >= next_seq_) return Status::Ok();
   next_seq_ = last_retained + 1;
   // The header is the durability frontier: persisting the rolled-back

@@ -16,10 +16,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/result.hpp"
 
 namespace xg::cspot {
@@ -95,10 +95,10 @@ class MemoryLog : public LogStorage {
   Status TruncateTo(SeqNo last_retained) override;
 
  private:
-  LogConfig config_;
-  mutable std::mutex mu_;
-  std::vector<std::vector<uint8_t>> ring_;
-  SeqNo next_seq_ = 0;
+  LogConfig config_;  ///< immutable after construction
+  mutable Mutex mu_;
+  std::vector<std::vector<uint8_t>> ring_ XG_GUARDED_BY(mu_);
+  SeqNo next_seq_ XG_GUARDED_BY(mu_) = 0;
 };
 
 /// File-backed circular log with a fixed-size binary layout:
@@ -122,14 +122,16 @@ class FileLog : public LogStorage {
 
  private:
   FileLog(std::string path, LogConfig config);
-  Status WriteHeader();
-  Status ReadHeader();
+  Status WriteHeader() XG_REQUIRES(mu_);
+  Status ReadHeader() XG_REQUIRES(mu_);
 
-  std::string path_;
-  LogConfig config_;
-  mutable std::mutex mu_;
-  mutable std::FILE* file_ = nullptr;
-  SeqNo next_seq_ = 0;
+  std::string path_;   ///< immutable after construction
+  LogConfig config_;   ///< immutable after construction
+  mutable Mutex mu_;
+  /// The FILE* value is set once in Open(); the lock serializes the
+  /// seek/read/write cursor underneath it.
+  mutable std::FILE* file_ XG_GUARDED_BY(mu_) = nullptr;
+  SeqNo next_seq_ XG_GUARDED_BY(mu_) = 0;
 
   size_t SlotBytes() const { return sizeof(uint32_t) + config_.element_size; }
   long SlotOffset(SeqNo seq) const;

@@ -13,11 +13,12 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/thread_annotations.hpp"
 #include "cspot/log.hpp"
 
 namespace xg::cspot {
 
-class Node {
+class XG_SIM_THREAD_CONFINED Node {
  public:
   /// Handler signature: (log name, assigned seq, appended payload).
   using Handler =

@@ -24,6 +24,7 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/sim.hpp"
+#include "common/thread_annotations.hpp"
 #include "cspot/node.hpp"
 #include "cspot/wan.hpp"
 #include "fault/injector.hpp"
@@ -73,7 +74,7 @@ struct RuntimeCounters {
   uint64_t handler_fires = 0;
 };
 
-class Runtime {
+class XG_SIM_THREAD_CONFINED Runtime {
  public:
   Runtime(sim::Simulation& sim, uint64_t seed,
           RuntimeParams params = RuntimeParams{});

@@ -17,6 +17,7 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/sim.hpp"
+#include "common/thread_annotations.hpp"
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo/ledger.hpp"
@@ -46,7 +47,7 @@ struct LinkParams {
 /// retry-cause accounting in `fault::FaultOutcome` needs the distinction.
 enum class SendFailure { kNone, kNoRoute, kLoss, kCircuitOpen };
 
-class Wan {
+class XG_SIM_THREAD_CONFINED Wan {
  public:
   Wan(sim::Simulation& sim, uint64_t seed);
 

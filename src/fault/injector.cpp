@@ -98,19 +98,19 @@ const FaultEvent* FaultInjector::Roll(FaultKind kind, const std::string& query,
 }
 
 void FaultInjector::Count(Layer layer, FaultKind kind, uint64_t n) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   counts_[{layer, kind}] += n;
 }
 
 uint64_t FaultInjector::injected_total() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   uint64_t total = 0;
   for (const auto& [key, n] : counts_) total += n;
   return total;
 }
 
 uint64_t FaultInjector::injected_total(Layer layer) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   uint64_t total = 0;
   for (const auto& [key, n] : counts_) {
     if (key.first == layer) total += n;
@@ -119,7 +119,7 @@ uint64_t FaultInjector::injected_total(Layer layer) const {
 }
 
 uint64_t FaultInjector::injected_total(Layer layer, FaultKind kind) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = counts_.find({layer, kind});
   return it == counts_.end() ? 0 : it->second;
 }
@@ -143,7 +143,7 @@ void FaultInjector::AttachObservability(obs::MetricsRegistry* registry,
 }
 
 std::string FaultInjector::FormatCounts() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream out;
   for (const auto& [key, n] : counts_) {
     out << "xg_fault_injected_total{layer=" << LayerName(key.first)

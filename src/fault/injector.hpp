@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/sim.hpp"
 #include "fault/plan.hpp"
@@ -110,12 +110,15 @@ class FaultInjector {
  private:
   void ActuateWindow(const FaultEvent& event, bool begin);
 
-  FaultPlan plan_;
-  Rng rng_;
+  // plan_/rng_/actuators_ and the armed flag belong to the single
+  // simulation thread (see the class comment); only the counters are
+  // shared with exporter threads and carry the lock.
+  FaultPlan plan_ XG_SIM_THREAD_CONFINED;
+  Rng rng_ XG_SIM_THREAD_CONFINED;
   bool armed_ = false;
   std::map<FaultKind, std::vector<Actuator>> actuators_;
-  mutable std::mutex mu_;
-  std::map<std::pair<Layer, FaultKind>, uint64_t> counts_;
+  mutable Mutex mu_;
+  std::map<std::pair<Layer, FaultKind>, uint64_t> counts_ XG_GUARDED_BY(mu_);
   obs::Tracer* tracer_ = nullptr;
   obs::slo::FlightRecorder* flight_ = nullptr;
 };

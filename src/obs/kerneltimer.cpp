@@ -20,7 +20,7 @@ KernelTimer::KernelTimer(MetricsRegistry* registry, Clock now_us,
 
 LatencyHistogram* KernelTimer::Hist(const std::string& kernel) const {
   if (registry_ == nullptr) return nullptr;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = hists_.find(kernel);
   if (it != hists_.end()) return it->second;
   LatencyHistogram& h = registry_->GetHistogram(

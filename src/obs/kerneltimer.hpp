@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace xg::obs {
@@ -44,12 +44,12 @@ class KernelTimer {
  private:
   LatencyHistogram* Hist(const std::string& kernel) const;
 
-  MetricsRegistry* registry_;
-  Clock now_us_;
-  std::string prefix_;
+  MetricsRegistry* registry_;  ///< immutable after construction
+  Clock now_us_;               ///< immutable after construction
+  std::string prefix_;         ///< immutable after construction
   /// Lookup cache so steady-state Observe() skips the registry's keyed map.
-  mutable std::mutex mu_;
-  mutable std::map<std::string, LatencyHistogram*> hists_;
+  mutable Mutex mu_;
+  mutable std::map<std::string, LatencyHistogram*> hists_ XG_GUARDED_BY(mu_);
 };
 
 /// RAII scope that times one kernel execution. A null timer is a no-op, so

@@ -61,7 +61,7 @@ LogRing::LogRing(size_t capacity) : capacity_(capacity ? capacity : 1) {
 }
 
 void LogRing::Append(const LogRecord& rec) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(rec);
@@ -78,14 +78,14 @@ void LogRing::Install(bool forward_to_stderr) {
       std::fprintf(stderr, "%s\n", FormatLogLine(rec).c_str());
     }
   });
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   installed_ = true;
 }
 
 void LogRing::Uninstall() {
   bool installed;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     installed = installed_;
     installed_ = false;
   }
@@ -95,7 +95,7 @@ void LogRing::Uninstall() {
 LogRing::~LogRing() { Uninstall(); }
 
 std::vector<LogRecord> LogRing::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<LogRecord> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -119,17 +119,17 @@ std::vector<LogRecord> LogRing::ForComponent(
 }
 
 size_t LogRing::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return ring_.size();
 }
 
 uint64_t LogRing::total_appended() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return total_;
 }
 
 void LogRing::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ring_.clear();
   next_ = 0;
 }

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 
 namespace xg::obs {
 
@@ -47,12 +47,14 @@ class LogRing {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::vector<LogRecord> ring_;  // circular once full
-  size_t next_ = 0;              // insertion point when full
-  uint64_t total_ = 0;
-  bool installed_ = false;
+  mutable Mutex mu_;
+  size_t capacity_;  ///< immutable after construction
+  /// Circular once full.
+  std::vector<LogRecord> ring_ XG_GUARDED_BY(mu_);
+  /// Insertion point when full.
+  size_t next_ XG_GUARDED_BY(mu_) = 0;
+  uint64_t total_ XG_GUARDED_BY(mu_) = 0;
+  bool installed_ XG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace xg::obs

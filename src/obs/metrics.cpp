@@ -126,7 +126,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
   const std::string n = SanitizeMetricName(name);
   const Labels l = Canonical(labels);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& e = counters_[Key(n, l)];
   if (!e.inst) {
     e.name = n;
@@ -141,7 +141,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
                                  const std::string& help) {
   const std::string n = SanitizeMetricName(name);
   const Labels l = Canonical(labels);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& e = gauges_[Key(n, l)];
   if (!e.inst) {
     e.name = n;
@@ -158,7 +158,7 @@ LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
                                                 std::vector<double> bounds) {
   const std::string n = SanitizeMetricName(name);
   const Labels l = Canonical(labels);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& e = histograms_[Key(n, l)];
   if (!e.inst) {
     e.name = n;
@@ -177,7 +177,7 @@ void MetricsRegistry::RegisterCallback(const std::string& name,
                                        MetricSample::Type type) {
   const std::string n = SanitizeMetricName(name);
   const Labels l = Canonical(labels);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   callbacks_[Key(n, l)] = CallbackEntry{n, l, help, std::move(read), type};
 }
 
@@ -186,12 +186,12 @@ void MetricsRegistry::RegisterHistogramCallback(
     std::function<HistogramSnapshot()> read) {
   const std::string n = SanitizeMetricName(name);
   const Labels l = Canonical(labels);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   hist_callbacks_[Key(n, l)] = HistCallbackEntry{n, l, help, std::move(read)};
 }
 
 size_t MetricsRegistry::UnregisterCallbacks(const std::string& name_prefix) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   size_t removed = 0;
   for (auto it = callbacks_.begin(); it != callbacks_.end();) {
     if (it->second.name.rfind(name_prefix, 0) == 0) {
@@ -213,7 +213,7 @@ size_t MetricsRegistry::UnregisterCallbacks(const std::string& name_prefix) {
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
               callbacks_.size() + hist_callbacks_.size());
@@ -271,7 +271,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::instrument_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return counters_.size() + gauges_.size() + histograms_.size() +
          callbacks_.size() + hist_callbacks_.size();
 }

@@ -28,10 +28,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace xg::obs {
 
@@ -194,12 +195,16 @@ class MetricsRegistry {
 
   static std::string Key(const std::string& name, const Labels& labels);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<LatencyHistogram>> histograms_;
-  std::map<std::string, CallbackEntry> callbacks_;
-  std::map<std::string, HistCallbackEntry> hist_callbacks_;
+  // Registration and snapshot hold mu_; the instruments themselves are
+  // lock-free atomics, so references returned by Get* are written to
+  // without the lock by design (std::map nodes are pointer-stable).
+  mutable Mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_ XG_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ XG_GUARDED_BY(mu_);
+  std::map<std::string, Entry<LatencyHistogram>> histograms_
+      XG_GUARDED_BY(mu_);
+  std::map<std::string, CallbackEntry> callbacks_ XG_GUARDED_BY(mu_);
+  std::map<std::string, HistCallbackEntry> hist_callbacks_ XG_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry for components not owned by a Fabric.

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/contract.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/logging.hpp"
 #include "obs/slo/ledger.hpp"
 
@@ -54,7 +55,7 @@ struct FlightConfig {
   bool dump_on_violation = true;
 };
 
-class FlightRecorder {
+class XG_SIM_THREAD_CONFINED FlightRecorder {
  public:
   explicit FlightRecorder(FlightConfig cfg = FlightConfig{});
   ~FlightRecorder();

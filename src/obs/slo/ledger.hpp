@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/slo/budget.hpp"
 
 namespace xg::obs::slo {
@@ -73,7 +74,7 @@ struct LedgerConfig {
   size_t recent_capacity = 64;
 };
 
-class LatencyLedger {
+class XG_SIM_THREAD_CONFINED LatencyLedger {
  public:
   explicit LatencyLedger(LedgerConfig cfg = LedgerConfig{});
 

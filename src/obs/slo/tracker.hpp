@@ -23,13 +23,14 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo/hdr.hpp"
 #include "obs/slo/ledger.hpp"
 
 namespace xg::obs::slo {
 
-class SloTracker {
+class XG_SIM_THREAD_CONFINED SloTracker {
  public:
   SloTracker();
 

@@ -7,12 +7,12 @@
 namespace xg::obs {
 
 void Tracer::set_clock(Clock clock) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   clock_ = std::move(clock);
 }
 
 void Tracer::set_capacity(size_t max_spans) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   capacity_ = max_spans;
 }
 
@@ -47,7 +47,7 @@ SpanRecord* Tracer::FindLocked(uint64_t span_id) {
 TraceContext Tracer::StartTrace(const std::string& name,
                                 const std::string& component) {
   if (!enabled()) return {};
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return StartLocked(name, component, next_trace_++, 0);
 }
 
@@ -55,13 +55,13 @@ TraceContext Tracer::StartSpan(const std::string& name,
                                const std::string& component,
                                const TraceContext& parent) {
   if (!enabled() || !parent.valid()) return {};
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return StartLocked(name, component, parent.trace_id, parent.span_id);
 }
 
 void Tracer::EndSpan(const TraceContext& ctx) {
   if (!ctx.valid()) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   SpanRecord* rec = FindLocked(ctx.span_id);
   if (rec == nullptr || !rec->open()) return;
   rec->end_us = std::max(NowUs(), rec->start_us);
@@ -70,7 +70,7 @@ void Tracer::EndSpan(const TraceContext& ctx) {
 void Tracer::Annotate(const TraceContext& ctx, const std::string& key,
                       const std::string& value) {
   if (!ctx.valid()) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   SpanRecord* rec = FindLocked(ctx.span_id);
   if (rec != nullptr) rec->args.emplace_back(key, value);
 }
@@ -80,7 +80,7 @@ TraceContext Tracer::RecordSpan(
     const TraceContext& parent, int64_t start_us, int64_t end_us,
     std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled() || !parent.valid()) return {};
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   TraceContext ctx = StartLocked(name, component, parent.trace_id,
                                  parent.span_id);
   if (!ctx.valid()) return {};
@@ -92,17 +92,17 @@ TraceContext Tracer::RecordSpan(
 }
 
 size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return spans_.size();
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return spans_;
 }
 
 std::vector<SpanRecord> Tracer::TraceSpans(uint64_t trace_id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<SpanRecord> out;
   for (const auto& s : spans_) {
     if (s.trace_id == trace_id) out.push_back(s);
@@ -116,7 +116,7 @@ std::vector<SpanRecord> Tracer::TraceSpans(uint64_t trace_id) const {
 }
 
 std::vector<uint64_t> Tracer::TraceIds() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<uint64_t> ids;
   for (const auto& s : spans_) {
     if (std::find(ids.begin(), ids.end(), s.trace_id) == ids.end()) {
@@ -127,7 +127,7 @@ std::vector<uint64_t> Tracer::TraceIds() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   spans_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }

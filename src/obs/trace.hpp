@@ -21,10 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace xg::obs {
 
@@ -102,22 +103,22 @@ class Tracer {
   void Clear();
 
  private:
-  int64_t NowUs() const;
+  int64_t NowUs() const XG_REQUIRES(mu_);
   TraceContext StartLocked(const std::string& name,
                            const std::string& component, uint64_t trace_id,
-                           uint64_t parent_span);
+                           uint64_t parent_span) XG_REQUIRES(mu_);
   /// Ids are handed out contiguously to *appended* spans (a drop does not
   /// consume an id), so lookup is offset arithmetic from the first span.
-  SpanRecord* FindLocked(uint64_t span_id);
+  SpanRecord* FindLocked(uint64_t span_id) XG_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> dropped_{0};
-  Clock clock_;
-  size_t capacity_ = 1 << 18;
-  std::vector<SpanRecord> spans_;
-  uint64_t next_trace_ = 1;
-  uint64_t next_span_ = 1;
+  Clock clock_ XG_GUARDED_BY(mu_);
+  size_t capacity_ XG_GUARDED_BY(mu_) = 1 << 18;
+  std::vector<SpanRecord> spans_ XG_GUARDED_BY(mu_);
+  uint64_t next_trace_ XG_GUARDED_BY(mu_) = 1;
+  uint64_t next_span_ XG_GUARDED_BY(mu_) = 1;
 };
 
 // -- critical-path breakdown -------------------------------------------------

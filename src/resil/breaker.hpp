@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/thread_annotations.hpp"
+
 namespace xg::resil {
 
 enum class BreakerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
@@ -31,7 +33,7 @@ struct BreakerConfig {
   int half_open_successes = 2;
 };
 
-class CircuitBreaker {
+class XG_SIM_THREAD_CONFINED CircuitBreaker {
  public:
   CircuitBreaker() = default;
   explicit CircuitBreaker(BreakerConfig cfg) : cfg_(cfg) {}

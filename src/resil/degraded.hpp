@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resil/breaker.hpp"
@@ -40,7 +41,7 @@ namespace xg::resil {
 // Bounded store-and-forward buffer (sensor-edge delay tolerance)
 // ---------------------------------------------------------------------------
 
-class StoreAndForward {
+class XG_SIM_THREAD_CONFINED StoreAndForward {
  public:
   explicit StoreAndForward(size_t capacity) : capacity_(capacity) {}
 
@@ -77,7 +78,7 @@ inline constexpr int kDegradedModeCount = 3;
 
 const char* DegradedModeName(DegradedMode m);
 
-class DegradedModeManager {
+class XG_SIM_THREAD_CONFINED DegradedModeManager {
  public:
   /// Export `xg_resil_mode{mode=...}` gauges plus transition counters to
   /// `registry` and emit `resil.<mode>` spans to `tracer` on Exit. Either

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/thread_annotations.hpp"
+
 namespace xg::resil {
 
 struct DetectorConfig {
@@ -33,7 +35,7 @@ struct DetectorConfig {
   int min_samples = 3;
 };
 
-class FailureDetector {
+class XG_SIM_THREAD_CONFINED FailureDetector {
  public:
   FailureDetector() = default;
   explicit FailureDetector(DetectorConfig cfg) : cfg_(cfg) {}

@@ -1,0 +1,36 @@
+// Negative compile case for the thread-safety gate: this file MUST FAIL
+// to compile under clang with -Wthread-safety -Werror, because Deposit()
+// writes an XG_GUARDED_BY field without holding its mutex. The
+// xg_tsa_compile_fail ctest (WILL_FAIL) builds it and passes only when
+// the compiler rejects it — proving the annotation macros are live, not
+// silently expanding to nothing.
+//
+// Never add this file to a normal build target.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // unguarded write: -Wthread-safety must reject
+  }
+
+  int Read() const XG_EXCLUDES(mu_) {
+    xg::MutexLock lk(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable xg::Mutex mu_;
+  int balance_ XG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int TsaViolationProbe() {
+  Account a;
+  a.Deposit(1);
+  return a.Read();
+}

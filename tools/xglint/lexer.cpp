@@ -1,0 +1,232 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xglint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the rules care to see as one token,
+/// longest first so maximal munch falls out of the scan order.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+/// Collects every `xglint:allow(rule)` marker in a comment whose body
+/// starts at `begin` (offset into `src`) on `line`. Newlines inside the
+/// comment advance the attributed line.
+void CollectAllows(const std::string& comment, size_t first_line,
+                   std::vector<Suppression>& out) {
+  static const std::string kMarker = "xglint:allow(";
+  size_t line = first_line;
+  size_t scanned = 0;
+  for (size_t pos = comment.find(kMarker); pos != std::string::npos;
+       pos = comment.find(kMarker, pos + 1)) {
+    line += static_cast<size_t>(
+        std::count(comment.begin() + static_cast<long>(scanned),
+                   comment.begin() + static_cast<long>(pos), '\n'));
+    scanned = pos;
+    const size_t name_begin = pos + kMarker.size();
+    const size_t close = comment.find(')', name_begin);
+    if (close == std::string::npos) break;
+    out.push_back({line, comment.substr(name_begin, close - name_begin)});
+  }
+}
+
+}  // namespace
+
+LexResult Lex(const std::string& src) {
+  LexResult res;
+  size_t i = 0;
+  size_t line = 1;
+  size_t col = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+        at_line_start = true;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  const size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    const char next = i + 1 < n ? src[i + 1] : '\0';
+    const size_t tok_line = line;
+    const size_t tok_col = col;
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Comments: dropped from the stream, mined for suppressions.
+    if (c == '/' && next == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      CollectAllows(src.substr(i, end - i), tok_line, res.suppressions);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = end == std::string::npos ? n : end + 2;
+      CollectAllows(src.substr(i, end - i), tok_line, res.suppressions);
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor directive: fold the logical line (with `\` splices)
+    // into one token. Trailing comments are left to the comment handling
+    // above so a directive can carry an xglint:allow marker.
+    if (c == '#' && at_line_start) {
+      size_t end = i;
+      while (end < n) {
+        if (src[end] == '\n') {
+          // Spliced? The directive continues past a backslash-newline.
+          size_t back = end;
+          while (back > i &&
+                 std::isspace(static_cast<unsigned char>(src[back - 1])) &&
+                 src[back - 1] != '\n') {
+            --back;
+          }
+          if (back > i && src[back - 1] == '\\') {
+            ++end;
+            continue;
+          }
+          break;
+        }
+        if (src[end] == '/' && end + 1 < n &&
+            (src[end + 1] == '/' || src[end + 1] == '*')) {
+          break;
+        }
+        ++end;
+      }
+      res.tokens.push_back(
+          {TokKind::kDirective, src.substr(i, end - i), tok_line, tok_col});
+      advance(end - i);
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim", with optional encoding
+    // prefix. Must be checked before the identifier scan eats the prefix.
+    {
+      size_t p = i;
+      if (p < n && (src[p] == 'u' || src[p] == 'U' || src[p] == 'L')) {
+        if (src[p] == 'u' && p + 1 < n && src[p + 1] == '8') ++p;
+        ++p;
+      }
+      if (p < n && src[p] == 'R' && p + 1 < n && src[p + 1] == '"') {
+        const size_t delim_begin = p + 2;
+        const size_t paren = src.find('(', delim_begin);
+        if (paren != std::string::npos) {
+          const std::string closer =
+              ")" + src.substr(delim_begin, paren - delim_begin) + "\"";
+          size_t end = src.find(closer, paren + 1);
+          end = end == std::string::npos ? n : end + closer.size();
+          res.tokens.push_back(
+              {TokKind::kString, src.substr(i, end - i), tok_line, tok_col});
+          advance(end - i);
+          continue;
+        }
+      }
+    }
+
+    // Cooked string / char literal (optionally with encoding prefix, which
+    // the identifier scan below would otherwise claim — handle the
+    // prefix-free cases here; prefixed cooked literals are lexed as an
+    // identifier token followed by the literal, which is fine for rules).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t end = i + 1;
+      while (end < n && src[end] != quote) {
+        if (src[end] == '\\' && end + 1 < n) ++end;
+        ++end;
+      }
+      end = end < n ? end + 1 : n;
+      res.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            src.substr(i, end - i), tok_line, tok_col});
+      advance(end - i);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t end = i + 1;
+      while (end < n && IsIdentChar(src[end])) ++end;
+      res.tokens.push_back(
+          {TokKind::kIdent, src.substr(i, end - i), tok_line, tok_col});
+      advance(end - i);
+      continue;
+    }
+
+    // Number (pp-number: digits, digit separators, exponents, hex).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(next)))) {
+      size_t end = i + 1;
+      while (end < n) {
+        const char d = src[end];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++end;
+        } else if ((d == '+' || d == '-') && end > i &&
+                   (src[end - 1] == 'e' || src[end - 1] == 'E' ||
+                    src[end - 1] == 'p' || src[end - 1] == 'P')) {
+          ++end;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      res.tokens.push_back(
+          {TokKind::kNumber, src.substr(i, end - i), tok_line, tok_col});
+      advance(end - i);
+      continue;
+    }
+
+    // Punctuator, longest match first.
+    {
+      size_t len = 1;
+      for (const char* p : kPuncts) {
+        const size_t plen = std::char_traits<char>::length(p);
+        if (src.compare(i, plen, p) == 0) {
+          len = plen;
+          break;
+        }
+      }
+      res.tokens.push_back(
+          {TokKind::kPunct, src.substr(i, len), tok_line, tok_col});
+      advance(len);
+    }
+  }
+
+  res.line_count = line;
+  return res;
+}
+
+bool SuppressedAt(const LexResult& lex, size_t line, const std::string& rule) {
+  for (const Suppression& s : lex.suppressions) {
+    if (s.rule == rule && (s.line == line || s.line + 1 == line)) return true;
+  }
+  return false;
+}
+
+}  // namespace xglint

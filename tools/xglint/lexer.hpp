@@ -1,0 +1,64 @@
+// Lexer for xglint: turns a C++ translation unit into a lexeme stream.
+//
+// The v1 linter matched regex-ish patterns against comment-stripped lines,
+// which made every rule fight the same three battles — string literals,
+// raw strings, and statements wrapped by clang-format. The lexer settles
+// them once: rules operate on tokens with line/column positions, string
+// and character literals are single opaque tokens, comments disappear from
+// the stream entirely (but their `xglint:allow(rule)` markers are
+// collected into a suppression table), and preprocessor directives are
+// folded into one token each so `#include "path"` can be inspected
+// without tripping the string-literal handling.
+//
+// The lexer is deliberately not a preprocessor: no macro expansion, no
+// conditional-inclusion evaluation. Rules see the code as written, which
+// is what a reviewer sees and what the conventions govern.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xglint {
+
+enum class TokKind {
+  kIdent,      ///< identifier or keyword (`while`, `true`, `Send`, ...)
+  kNumber,     ///< numeric literal (pp-number: `0x1f`, `1e-3`, `1'000`)
+  kString,     ///< string literal, raw or cooked; text includes quotes
+  kChar,       ///< character literal; text includes quotes
+  kPunct,      ///< operator/punctuator, maximal munch (`::`, `<<`, `(`)
+  kDirective,  ///< whole preprocessor directive line(s), text as written
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line;  ///< 1-based line of the token's first character
+  size_t col;   ///< 1-based column of the token's first character
+};
+
+/// One `// xglint:allow(rule)` marker, attributed to the line the marker
+/// itself appears on (block comments may span lines; each marker inside
+/// one is attributed to its own line).
+struct Suppression {
+  size_t line;
+  std::string rule;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  size_t line_count = 0;
+};
+
+/// Lexes `src`. Never fails: unterminated literals/comments are closed at
+/// end of input, and bytes that fit no token class become 1-char kPunct
+/// tokens — a linter must degrade gracefully on code it half-understands.
+LexResult Lex(const std::string& src);
+
+/// Unified suppression check: a finding for `rule` reported at `line` is
+/// silenced by a marker on the same line or on the line directly above
+/// (for statements that clang-format wrapped past the marker).
+bool SuppressedAt(const LexResult& lex, size_t line, const std::string& rule);
+
+}  // namespace xglint
