@@ -173,6 +173,36 @@ Fabric::Fabric(FabricConfig config)
       failover_pilot_->set_flight_recorder(flight_.get());
     }
   }
+
+  // Overload-robust serving tier: quantized-key cache + single-flight
+  // coalescing + CoDel admission in front of the pilot tier. The cache's
+  // validity window follows resilience.stale_validity_s so the server's
+  // stale-serve and the fabric's ServeStaleAdvisories agree on the same
+  // inclusive boundary.
+  if (config_.serve.enabled) {
+    serve::ServeConfig sc = config_.serve;
+    sc.cache.validity_us =
+        std::llround(config_.resilience.stale_validity_s * 1e6);
+    advisory_server_ = std::make_unique<serve::AdvisoryServer>(sim_, sc);
+    if (degraded_ == nullptr) {
+      // Overload is a degraded mode even when the outage machinery is off.
+      degraded_ = std::make_unique<resil::DegradedModeManager>();
+      degraded_->AttachObservability(
+          reg, config_.tracing_enabled ? &tracer_ : nullptr);
+      if (flight_ != nullptr) degraded_->set_flight_recorder(flight_.get());
+    }
+    advisory_server_->set_degraded_manager(degraded_.get());
+    if (flight_ != nullptr) {
+      advisory_server_->set_flight_recorder(flight_.get());
+    }
+    advisory_server_->AttachObservability(reg);
+    advisory_server_->set_launcher(
+        [this](const serve::ConditionKey&,
+               const serve::FieldConditions& conditions,
+               std::function<void(std::vector<uint8_t>, int64_t)> done) {
+          return LaunchServeCfd(conditions, std::move(done));
+        });
+  }
 }
 
 void Fabric::RegisterFabricMetrics() {
@@ -212,6 +242,11 @@ void Fabric::RegisterFabricMetrics() {
        &metrics_.qc_rejected_readings},
       {"xg_fabric_readings_dropped_total", "Readings lost to station faults",
        &metrics_.readings_dropped},
+      {"xg_fabric_serve_cfd_runs_total",
+       "CFD refreshes launched by the serving tier", &metrics_.serve_cfd_runs},
+      {"xg_fabric_serve_cfd_rejected_total",
+       "Serve refreshes refused by the bounded pilot queue",
+       &metrics_.serve_cfd_rejected},
   };
   for (const Mirror& m : mirrors) {
     const uint64_t* field = m.field;
@@ -470,11 +505,20 @@ void Fabric::ObserveStoredFrame(const std::vector<uint8_t>& payload,
 
 void Fabric::ServeStaleAdvisories(const std::string& reason) {
   if (!latest_result_.has_value()) return;
-  const double age_s = sim_.Now().seconds() - latest_result_->complete_time_s;
-  if (age_s > config_.resilience.stale_validity_s) {
+  // Integer-µs comparison: the validity window is inclusive (a result aged
+  // exactly stale_validity_s still serves, matching DeadlineBudget's
+  // exactly-at-deadline-is-not-a-miss rule), and the float round trip
+  // through complete_time_s must not flip the boundary case.
+  const int64_t complete_us =
+      std::llround(latest_result_->complete_time_s * 1e6);
+  const int64_t age_us = sim_.Now().micros() - complete_us;
+  const int64_t validity_us =
+      std::llround(config_.resilience.stale_validity_s * 1e6);
+  if (!serve::WithinValidityUs(age_us, validity_us)) {
     ++metrics_.stale_advisories_expired;
     return;
   }
+  const double age_s = static_cast<double>(age_us) * 1e-6;
   if (!degraded_->active(resil::DegradedMode::kStaleServe)) {
     degraded_->Enter(resil::DegradedMode::kStaleServe, sim_.Now().micros(),
                      reason);
@@ -702,6 +746,39 @@ void Fabric::TriggerCfd(double alert_time_s, double data_bytes,
       });
 }
 
+bool Fabric::LaunchServeCfd(
+    const serve::FieldConditions& conditions,
+    std::function<void(std::vector<uint8_t>, int64_t)> done) {
+  // Synthesize the boundary frame the solver needs from the requested
+  // conditions (the serve tier's key is exactly the CFD boundary inputs).
+  TelemetryFrame boundary;
+  boundary.time_s = sim_.Now().seconds();
+  boundary.exterior_wind_ms = conditions.wind_ms;
+  boundary.exterior_dir_deg = conditions.dir_deg;
+  boundary.exterior_temp_c = conditions.temp_c;
+  boundary.exterior_humidity_pct = conditions.humidity_pct;
+  const double alert_time_s = boundary.time_s;
+  const double data_bytes = static_cast<double>(boundary.WireBytes());
+
+  pilot::PilotController* controller = pilot_.get();
+  if (ResilienceOn() && site_detector_ != nullptr &&
+      site_detector_->SuspectAt(sim_.Now().micros()) &&
+      failover_pilot_ != nullptr) {
+    controller = failover_pilot_.get();
+  }
+  const bool accepted = controller->TrySubmitTask(
+      data_bytes,
+      [this, alert_time_s, boundary,
+       done = std::move(done)](const pilot::TaskResult&) {
+        CfdResult result = ExecuteCfd(alert_time_s, boundary);
+        result.complete_time_s = sim_.Now().seconds();
+        ++metrics_.serve_cfd_runs;
+        done(SerializeResult(result), sim_.Now().micros());
+      });
+  if (!accepted) ++metrics_.serve_cfd_rejected;
+  return accepted;
+}
+
 CfdResult Fabric::ExecuteCfd(double alert_time_s,
                              const TelemetryFrame& boundary) {
   CfdResult result;
@@ -786,6 +863,21 @@ void Fabric::StoreResult(const CfdResult& result,
   if (ResilienceOn() &&
       degraded_->active(resil::DegradedMode::kStaleServe)) {
     degraded_->Exit(resil::DegradedMode::kStaleServe, sim_.Now().micros());
+  }
+  // Feed the serving tier: an organic alert-driven run is the freshest
+  // possible advisory for its boundary conditions, and it resolves any
+  // not-yet-launched flight on the same quantized key (that run would be
+  // redundant).
+  if (advisory_server_ != nullptr) {
+    serve::FieldConditions cond;
+    cond.wind_ms = result.boundary_wind_ms;
+    cond.dir_deg = result.boundary_dir_deg;
+    cond.temp_c = result.boundary_temp_c;
+    const std::vector<TelemetryFrame> recent = RecentFrames(1);
+    cond.humidity_pct =
+        recent.empty() ? 50.0 : recent.back().exterior_humidity_pct;
+    advisory_server_->Publish(cond, SerializeResult(result),
+                              sim_.Now().micros());
   }
 
   // Decision support: each fresh simulation re-evaluates the intervention

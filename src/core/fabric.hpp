@@ -42,6 +42,7 @@
 #include "resil/degraded.hpp"
 #include "sensors/cups.hpp"
 #include "sensors/quality.hpp"
+#include "serve/server.hpp"
 
 namespace xg::core {
 
@@ -103,6 +104,12 @@ struct FabricConfig {
   /// resilience is enabled), CFD tasks are redirected here while the
   /// primary site's failure detector suspects it.
   std::optional<hpc::SiteProfile> failover_site;
+  /// Overload-robust advisory serving tier (src/serve): quantized-key
+  /// cache, single-flight coalescing, CoDel admission, and load shedding
+  /// into the overload_shed degraded mode. Off by default; the cache's
+  /// validity window is synced to resilience.stale_validity_s at
+  /// construction so the two stale-serve paths agree.
+  serve::ServeConfig serve;
 
   FabricConfig();
 };
@@ -137,6 +144,9 @@ struct FabricMetrics {
   uint64_t stale_advisories_served = 0;    ///< advisories from the last result
   uint64_t stale_advisories_expired = 0;   ///< serves refused: window exceeded
   uint64_t site_failovers = 0;             ///< interactive -> batch episodes
+  // -- serving tier (zero unless FabricConfig::serve.enabled) --
+  uint64_t serve_cfd_runs = 0;     ///< CFD refreshes launched by the server
+  uint64_t serve_cfd_rejected = 0; ///< refreshes refused by the bounded pilot
 };
 
 class Fabric {
@@ -185,6 +195,9 @@ class Fabric {
   /// Black-box dump ring (nullptr when disabled).
   obs::slo::FlightRecorder* flight_recorder() { return flight_.get(); }
 
+  /// Overload-robust advisory front (nullptr unless config.serve.enabled).
+  serve::AdvisoryServer* advisory_server() { return advisory_server_.get(); }
+
   /// Most recent CFD result, if any simulation completed.
   const std::optional<CfdResult>& latest_result() const { return latest_result_; }
 
@@ -221,6 +234,11 @@ class Fabric {
   /// Canary job against the primary site; its start is a detector heartbeat.
   void SubmitSiteProbe();
   void RunDetectionCycle();
+  /// serve::CfdLauncher backend: one bounded CFD refresh for the requested
+  /// conditions through the pilot tier (failover-aware). Returns false
+  /// when the bounded pending queue refuses the task.
+  bool LaunchServeCfd(const serve::FieldConditions& conditions,
+                      std::function<void(std::vector<uint8_t>, int64_t)> done);
   void TriggerCfd(double alert_time_s, double data_bytes,
                   obs::TraceContext trace);
   CfdResult ExecuteCfd(double alert_time_s, const TelemetryFrame& boundary);
@@ -278,6 +296,8 @@ class Fabric {
   std::unique_ptr<pilot::PilotController> failover_pilot_;
   bool sf_tick_pending_ = false;  ///< a drain probe is already scheduled
   bool sf_probe_inflight_ = false;
+  /// Serving tier (null unless config_.serve.enabled).
+  std::unique_ptr<serve::AdvisoryServer> advisory_server_;
   Rng rng_;
 };
 

@@ -50,6 +50,11 @@ void PilotController::AttachObservability(obs::MetricsRegistry* registry) {
       [this] { return static_cast<double>(tasks_completed_); },
       obs::MetricSample::Type::kCounter);
   registry->RegisterCallback(
+      "xg_pilot_tasks_rejected_total", strategy_label,
+      "Task submissions refused by the bounded pending queue",
+      [this] { return static_cast<double>(tasks_rejected_); },
+      obs::MetricSample::Type::kCounter);
+  registry->RegisterCallback(
       "xg_pilot_idle_node_seconds_total", strategy_label,
       "Node-seconds pilots held without running a task",
       [this] { return idle_node_seconds(); },
@@ -294,6 +299,20 @@ void PilotController::SubmitTask(double data_bytes, TaskCallback done) {
   }
   pending_.push_back(std::move(task));
   DispatchPending();
+}
+
+bool PilotController::TrySubmitTask(double data_bytes, TaskCallback done) {
+  if (config_.max_pending_tasks > 0 &&
+      pending_.size() >= config_.max_pending_tasks) {
+    ++tasks_rejected_;
+    if (flight_ != nullptr) {
+      flight_->Note("pilot", "task rejected: pending queue at cap " +
+                                 std::to_string(config_.max_pending_tasks));
+    }
+    return false;
+  }
+  SubmitTask(data_bytes, std::move(done));
+  return true;
 }
 
 }  // namespace xg::pilot

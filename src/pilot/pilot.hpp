@@ -52,6 +52,10 @@ struct PilotConfig {
   int cores_per_node = 64;
   double dispatch_overhead_s = 1.0;  ///< pilot-internal task launch cost
   double proactive_lead_s = 1800.0;  ///< resubmit when expiry is this close
+  /// Bound on tasks waiting for pilot capacity; 0 = unbounded (the seed
+  /// behaviour). TrySubmitTask rejects beyond it — the serving tier's
+  /// defence against a miss storm turning into a pilot-queue collapse.
+  size_t max_pending_tasks = 0;
 };
 
 struct TaskResult {
@@ -80,6 +84,12 @@ class PilotController {
   /// callback fires (in virtual time) when the task completes.
   void SubmitTask(double data_bytes, TaskCallback done);
 
+  /// Bounded submission: like SubmitTask, but refuses (returns false,
+  /// `done` never fires, tasks_rejected() increments) when
+  /// config().max_pending_tasks > 0 and that many tasks are already
+  /// waiting for capacity. Callers own the fallback (stale-serve, shed).
+  [[nodiscard]] bool TrySubmitTask(double data_bytes, TaskCallback done);
+
   /// Proactive maintenance: keep one warm pilot queued or active. Called
   /// automatically for the proactive strategy; harmless otherwise.
   void EnsureWarmPilot(double data_bytes_hint);
@@ -88,6 +98,8 @@ class PilotController {
   double idle_node_seconds() const;
   uint64_t pilots_submitted() const { return pilots_submitted_; }
   uint64_t tasks_completed() const { return tasks_completed_; }
+  uint64_t tasks_rejected() const { return tasks_rejected_; }
+  size_t pending_tasks() const { return pending_.size(); }
   int active_pilot_nodes() const;
 
   /// Mirror pilot metrics into `registry` (labelled by strategy; read at
@@ -130,6 +142,7 @@ class PilotController {
   std::deque<PendingTask> pending_;
   uint64_t pilots_submitted_ = 0;
   uint64_t tasks_completed_ = 0;
+  uint64_t tasks_rejected_ = 0;
   double idle_node_seconds_ = 0.0;
   sim::SimTime last_accrual_{};
   obs::slo::FlightRecorder* flight_ = nullptr;

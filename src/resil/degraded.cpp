@@ -31,6 +31,7 @@ const char* DegradedModeName(DegradedMode m) {
     case DegradedMode::kStoreForward: return "store_forward";
     case DegradedMode::kStaleServe: return "stale_serve";
     case DegradedMode::kSiteFailover: return "site_failover";
+    case DegradedMode::kOverloadShed: return "overload_shed";
   }
   return "?";
 }

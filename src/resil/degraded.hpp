@@ -12,6 +12,11 @@
 //   kSiteFailover  the interactive HPC site is suspected: pilot traffic
 //                  fails over to the batch site (Eqs. (1)-(4) still size
 //                  the pilots there).
+//   kOverloadShed  the serving tier is shedding: sustained load beyond
+//                  capacity; still-valid advisories are served stale and
+//                  excess requests are dropped instead of queueing to
+//                  collapse (entered/exited with hysteresis by
+//                  serve::OverloadGovernor).
 //
 // The manager records every Enter/Exit as a timeline entry, exports
 // per-mode gauges and transition counters (`xg_resil_mode*`), and emits a
@@ -73,8 +78,13 @@ class XG_SIM_THREAD_CONFINED StoreAndForward {
 // Degraded-mode registry
 // ---------------------------------------------------------------------------
 
-enum class DegradedMode { kStoreForward = 0, kStaleServe = 1, kSiteFailover = 2 };
-inline constexpr int kDegradedModeCount = 3;
+enum class DegradedMode {
+  kStoreForward = 0,
+  kStaleServe = 1,
+  kSiteFailover = 2,
+  kOverloadShed = 3,
+};
+inline constexpr int kDegradedModeCount = 4;
 
 const char* DegradedModeName(DegradedMode m);
 

@@ -1,0 +1,107 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::serve {
+
+const char* AdmitDecisionName(AdmitDecision d) {
+  switch (d) {
+    case AdmitDecision::kAdmit:
+      return "admit";
+    case AdmitDecision::kShedQueueFull:
+      return "queue_full";
+    case AdmitDecision::kShedDeadline:
+      return "deadline";
+    case AdmitDecision::kShedSojourn:
+      return "sojourn";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(size_t shards, AdmissionConfig cfg)
+    : cfg_(cfg), shards_(std::max<size_t>(1, shards)) {
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  if (cfg_.service_us <= 0) cfg_.service_us = 1;
+}
+
+size_t AdmissionController::Depth(size_t shard, int64_t now_us) const {
+  const Shard& sh = shards_[shard % shards_.size()];
+  const int64_t backlog_us = sh.busy_until_us - now_us;
+  if (backlog_us <= 0) return 0;
+  return static_cast<size_t>((backlog_us + cfg_.service_us - 1) /
+                             cfg_.service_us);
+}
+
+bool AdmissionController::CodelShouldDrop(Shard& sh, int64_t now_us,
+                                          int64_t sojourn_us) {
+  // Standing-queue detector on the arrival-side sojourn estimate. The
+  // control law is CoDel's: drop nothing until sojourn has exceeded the
+  // target for a full interval, then pace drops at interval/sqrt(count)
+  // until sojourn dips back under target.
+  if (sojourn_us <= cfg_.target_us) {
+    sh.first_above_us = -1;
+    if (sh.dropping) {
+      sh.dropping = false;
+      sh.last_drop_count = sh.drop_count;
+    }
+    return false;
+  }
+  if (sh.first_above_us < 0) {
+    sh.first_above_us = now_us + cfg_.interval_us;
+    return false;
+  }
+  if (now_us < sh.first_above_us) return false;
+
+  auto next_gap = [this](uint32_t count) {
+    return static_cast<int64_t>(
+        static_cast<double>(cfg_.interval_us) /
+        std::sqrt(static_cast<double>(std::max<uint32_t>(1, count))));
+  };
+
+  if (!sh.dropping) {
+    sh.dropping = true;
+    // Resume near the previous drop rate if we were dropping recently;
+    // otherwise restart the ramp.
+    sh.drop_count = sh.last_drop_count > 2 ? sh.last_drop_count - 2 : 1;
+    sh.drop_next_us = now_us + next_gap(sh.drop_count);
+    return true;
+  }
+  if (now_us >= sh.drop_next_us) {
+    ++sh.drop_count;
+    sh.drop_next_us = now_us + next_gap(sh.drop_count);
+    return true;
+  }
+  return false;
+}
+
+AdmissionController::Ticket AdmissionController::Admit(
+    size_t shard, int64_t now_us, int64_t remaining_budget_us) {
+  Shard& sh = shards_[shard % shards_.size()];
+  const int64_t wait_us = std::max<int64_t>(0, sh.busy_until_us - now_us);
+  const int64_t sojourn_us = wait_us + cfg_.service_us;
+
+  Ticket t{AdmitDecision::kAdmit, sojourn_us};
+  if (Depth(shard, now_us) >= cfg_.queue_capacity) {
+    t.decision = AdmitDecision::kShedQueueFull;
+    ++shed_queue_full_;
+    return t;
+  }
+  // Inclusive, like DeadlineBudget::MissedAt: a sojourn that lands the
+  // response exactly at the deadline still admits.
+  if (remaining_budget_us >= 0 && sojourn_us > remaining_budget_us) {
+    t.decision = AdmitDecision::kShedDeadline;
+    ++shed_deadline_;
+    return t;
+  }
+  if (CodelShouldDrop(sh, now_us, sojourn_us)) {
+    t.decision = AdmitDecision::kShedSojourn;
+    ++shed_sojourn_;
+    return t;
+  }
+  sh.busy_until_us = std::max(sh.busy_until_us, now_us) + cfg_.service_us;
+  ++admitted_;
+  return t;
+}
+
+}  // namespace xg::serve

@@ -1,0 +1,104 @@
+// Deadline-aware CoDel-style admission control for the serving tier.
+//
+// Each cache shard owns one admission queue, modeled analytically as a
+// single-server FIFO on the virtual clock: `busy_until_us_` is when the
+// server drains everything already admitted, so a new arrival's sojourn
+// (queue wait + its own service) is known at admission time without
+// simulating per-request queue events. Three shed reasons, checked in
+// order:
+//
+//   kShedQueueFull  the bounded queue is at capacity — classic tail drop;
+//   kShedDeadline   the request carries a DeadlineBudget and its known
+//                   sojourn already exceeds the remaining budget: serving
+//                   it would produce a guaranteed-late advisory, so it is
+//                   shed *early* (the budget's inclusive rule applies —
+//                   sojourn exactly equal to the remaining budget admits);
+//   kShedSojourn    CoDel: sojourn has stayed above `target_us` for a full
+//                   `interval_us`, so the queue has a standing backlog
+//                   rather than a burst; drops then pace at
+//                   interval/sqrt(drop_count) until sojourn recovers.
+//
+// Everything is integer-µs arithmetic driven by caller-supplied `now_us`;
+// the controller never schedules events, so it composes with any sim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace xg::serve {
+
+struct AdmissionConfig {
+  /// Max requests simultaneously waiting+in-service per shard queue.
+  size_t queue_capacity = 256;
+  /// Modeled per-request service time (cache probe + response encode).
+  int64_t service_us = 2'000;
+  /// CoDel: acceptable standing sojourn.
+  int64_t target_us = 5'000;
+  /// CoDel: sojourn must exceed target for this long before dropping.
+  int64_t interval_us = 100'000;
+};
+
+enum class AdmitDecision : uint8_t {
+  kAdmit = 0,
+  kShedQueueFull,
+  kShedDeadline,
+  kShedSojourn,
+};
+
+const char* AdmitDecisionName(AdmitDecision d);
+
+class XG_SIM_THREAD_CONFINED AdmissionController {
+ public:
+  explicit AdmissionController(size_t shards,
+                               AdmissionConfig cfg = AdmissionConfig{});
+
+  struct Ticket {
+    AdmitDecision decision = AdmitDecision::kAdmit;
+    /// Queue wait + service for this request if admitted (valid for every
+    /// decision: it is the sojourn the request *would* have seen).
+    int64_t sojourn_us = 0;
+  };
+
+  /// Decide for an arrival on `shard` at `now_us`. `remaining_budget_us`
+  /// is the request's DeadlineBudget remainder, or < 0 when the request
+  /// carries no deadline. On kAdmit the shard's busy horizon advances by
+  /// one service time.
+  Ticket Admit(size_t shard, int64_t now_us, int64_t remaining_budget_us);
+
+  /// Current modeled depth of `shard` (admitted, not yet drained).
+  size_t Depth(size_t shard, int64_t now_us) const;
+
+  const AdmissionConfig& config() const { return cfg_; }
+  uint64_t admitted() const { return admitted_; }
+  uint64_t shed_queue_full() const { return shed_queue_full_; }
+  uint64_t shed_deadline() const { return shed_deadline_; }
+  uint64_t shed_sojourn() const { return shed_sojourn_; }
+  uint64_t shed_total() const {
+    return shed_queue_full_ + shed_deadline_ + shed_sojourn_;
+  }
+
+ private:
+  struct Shard {
+    int64_t busy_until_us = 0;
+    // CoDel state.
+    int64_t first_above_us = -1;  ///< when sojourn first exceeded target
+    bool dropping = false;
+    int64_t drop_next_us = 0;
+    uint32_t drop_count = 0;
+    uint32_t last_drop_count = 0;
+  };
+
+  bool CodelShouldDrop(Shard& sh, int64_t now_us, int64_t sojourn_us);
+
+  AdmissionConfig cfg_;
+  std::vector<Shard> shards_;
+  uint64_t admitted_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_deadline_ = 0;
+  uint64_t shed_sojourn_ = 0;
+};
+
+}  // namespace xg::serve

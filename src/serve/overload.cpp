@@ -1,0 +1,95 @@
+#include "serve/overload.hpp"
+
+#include <algorithm>
+
+namespace xg::serve {
+
+OverloadGovernor::OverloadGovernor(OverloadConfig cfg) : cfg_(cfg) {
+  if (cfg_.window_us <= 0) cfg_.window_us = 1;
+  cfg_.enter_windows = std::max(1, cfg_.enter_windows);
+  cfg_.exit_windows = std::max(1, cfg_.exit_windows);
+}
+
+void OverloadGovernor::CloseWindow(int64_t close_us, uint64_t shed,
+                                   uint64_t total) {
+  ++windows_closed_;
+  const bool quiet = total < cfg_.min_requests;
+  const double rate =
+      total == 0 ? 0.0
+                 : static_cast<double>(shed) / static_cast<double>(total);
+  last_rate_ = quiet ? 0.0 : rate;
+
+  if (!quiet && rate >= cfg_.storm_shed_rate) {
+    if (!storm_fired_ || close_us - last_storm_us_ >= cfg_.storm_cooldown_us) {
+      ++storms_;
+      storm_fired_ = true;
+      last_storm_us_ = close_us;
+      if (on_storm_) on_storm_(close_us, rate, shed, total);
+    }
+  }
+
+  if (!overloaded_) {
+    if (!quiet && rate >= cfg_.enter_shed_rate) {
+      ++above_streak_;
+      if (above_streak_ >= cfg_.enter_windows) {
+        overloaded_ = true;
+        ++transitions_;
+        above_streak_ = 0;
+        below_streak_ = 0;
+        if (on_transition_) on_transition_(true, close_us, rate);
+      }
+    } else {
+      above_streak_ = 0;
+    }
+  } else {
+    if (quiet || rate <= cfg_.exit_shed_rate) {
+      ++below_streak_;
+      if (below_streak_ >= cfg_.exit_windows) {
+        overloaded_ = false;
+        ++transitions_;
+        above_streak_ = 0;
+        below_streak_ = 0;
+        if (on_transition_) on_transition_(false, close_us, rate);
+      }
+    } else {
+      below_streak_ = 0;
+    }
+  }
+}
+
+void OverloadGovernor::RollTo(int64_t now_us) {
+  if (!started_) {
+    started_ = true;
+    window_start_us_ = now_us;
+    return;
+  }
+  // Close the in-progress window once its end has passed, then any fully
+  // quiet windows between it and now. A long silent gap collapses to just
+  // enough quiet windows to run the exit hysteresis — O(exit_windows),
+  // not O(gap).
+  if (now_us - window_start_us_ < cfg_.window_us) return;
+  int64_t close_us = window_start_us_ + cfg_.window_us;
+  CloseWindow(close_us, win_shed_, win_total_);
+  win_shed_ = 0;
+  win_total_ = 0;
+
+  int64_t quiet_windows = (now_us - close_us) / cfg_.window_us;
+  const int64_t needed = static_cast<int64_t>(cfg_.exit_windows) + 1;
+  for (int64_t i = 0; i < std::min(quiet_windows, needed); ++i) {
+    close_us += cfg_.window_us;
+    CloseWindow(close_us, 0, 0);
+  }
+  // Re-anchor on the window grid containing `now`.
+  window_start_us_ =
+      now_us - ((now_us - window_start_us_) % cfg_.window_us);
+}
+
+void OverloadGovernor::Advance(int64_t now_us) { RollTo(now_us); }
+
+void OverloadGovernor::Record(int64_t now_us, bool shed) {
+  RollTo(now_us);
+  ++win_total_;
+  if (shed) ++win_shed_;
+}
+
+}  // namespace xg::serve

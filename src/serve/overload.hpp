@@ -1,0 +1,107 @@
+// Overload detection with breaker-style hysteresis.
+//
+// The admission controller sheds individual requests; the *governor*
+// decides when shedding has become the system's operating mode. It
+// watches the shed rate over fixed duty-cycle windows on the virtual
+// clock and applies two watermarks with consecutive-window hysteresis
+// (the same asymmetric-confidence idea as resil::CircuitBreaker): the
+// fabric enters `overload_shed` only after the shed rate holds above the
+// enter watermark for `enter_windows` consecutive windows, and leaves
+// only after it holds below the (lower) exit watermark for
+// `exit_windows` windows — so a single bursty window neither flaps the
+// degraded mode on nor off.
+//
+// A third, higher watermark marks a *shed storm*: the governor fires a
+// storm hook (rate-limited by a cooldown) that the server routes to
+// FlightRecorder::Dump("overload", ...) so the black box captures the
+// window where service collapsed.
+//
+// Like the breaker, the governor is passive: state advances only inside
+// Record(), driven by caller-supplied now_us. Windows with fewer than
+// `min_requests` samples are "quiet" and count as below both watermarks
+// (an idle system is by definition not overloaded).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/thread_annotations.hpp"
+
+namespace xg::serve {
+
+struct OverloadConfig {
+  /// Duty-cycle window over which the shed rate is measured.
+  int64_t window_us = 1'000'000;
+  /// Enter overload_shed when the windowed shed rate is >= this...
+  double enter_shed_rate = 0.10;
+  /// ...for this many consecutive windows.
+  int enter_windows = 2;
+  /// Exit when the rate is <= this (strictly below the enter mark)...
+  double exit_shed_rate = 0.02;
+  /// ...for this many consecutive windows.
+  int exit_windows = 3;
+  /// Windows with fewer samples than this are quiet (count as calm).
+  uint64_t min_requests = 16;
+  /// Shed-storm watermark: a window at or above this rate fires the storm
+  /// hook (flight-recorder dump), at most once per cooldown.
+  double storm_shed_rate = 0.50;
+  int64_t storm_cooldown_us = 60'000'000;
+};
+
+class XG_SIM_THREAD_CONFINED OverloadGovernor {
+ public:
+  explicit OverloadGovernor(OverloadConfig cfg = OverloadConfig{});
+
+  /// Called on overload entry (overloaded=true) / exit (false), with the
+  /// closing window's shed rate.
+  using TransitionHook =
+      std::function<void(bool overloaded, int64_t now_us, double shed_rate)>;
+  /// Called when a window crosses the storm watermark (cooldown-limited).
+  using StormHook = std::function<void(int64_t now_us, double shed_rate,
+                                       uint64_t shed, uint64_t total)>;
+
+  void set_transition_hook(TransitionHook h) { on_transition_ = std::move(h); }
+  void set_storm_hook(StormHook h) { on_storm_ = std::move(h); }
+
+  /// Record one admission outcome at `now_us`. Closes any windows that
+  /// have elapsed since the last call before accumulating the sample.
+  void Record(int64_t now_us, bool shed);
+
+  /// Close elapsed windows without adding a sample (e.g. from a periodic
+  /// tick, so a shed burst followed by silence still resolves to exit).
+  void Advance(int64_t now_us);
+
+  bool overloaded() const { return overloaded_; }
+  uint64_t transitions() const { return transitions_; }
+  uint64_t storms() const { return storms_; }
+  uint64_t windows_closed() const { return windows_closed_; }
+  /// Shed rate of the most recently *closed* window.
+  double last_window_rate() const { return last_rate_; }
+  const OverloadConfig& config() const { return cfg_; }
+
+ private:
+  void CloseWindow(int64_t close_us, uint64_t shed, uint64_t total);
+  void RollTo(int64_t now_us);
+
+  OverloadConfig cfg_;
+  int64_t window_start_us_ = 0;
+  bool started_ = false;
+  uint64_t win_shed_ = 0;
+  uint64_t win_total_ = 0;
+
+  bool overloaded_ = false;
+  int above_streak_ = 0;
+  int below_streak_ = 0;
+  double last_rate_ = 0.0;
+  int64_t last_storm_us_ = 0;
+  bool storm_fired_ = false;
+
+  uint64_t transitions_ = 0;
+  uint64_t storms_ = 0;
+  uint64_t windows_closed_ = 0;
+
+  TransitionHook on_transition_;
+  StormHook on_storm_;
+};
+
+}  // namespace xg::serve

@@ -1,0 +1,20 @@
+// Umbrella header for the overload-robust advisory serving tier.
+//
+// Layer map (DESIGN.md §14 "Overload robustness"):
+//
+//   quantize   field conditions -> bucketed ConditionKey (cache identity)
+//   cache      sharded bounded LRU of serialized CFD results, with the
+//              inclusive 23-minute validity window
+//   admission  CoDel + deadline-aware per-shard admission control
+//   overload   windowed shed-rate governor with entry/exit hysteresis
+//   server     single-flight coalescing front tying it all together and
+//              wiring into resil::DegradedModeManager / obs
+//   loadgen    seeded open-loop Poisson requester population (bench/chaos)
+#pragma once
+
+#include "serve/admission.hpp"   // IWYU pragma: export
+#include "serve/cache.hpp"       // IWYU pragma: export
+#include "serve/loadgen.hpp"     // IWYU pragma: export
+#include "serve/overload.hpp"    // IWYU pragma: export
+#include "serve/quantize.hpp"    // IWYU pragma: export
+#include "serve/server.hpp"      // IWYU pragma: export

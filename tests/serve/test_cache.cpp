@@ -1,0 +1,138 @@
+// AdvisoryCache: freshness bands, the INCLUSIVE validity boundary
+// (age == validity still serves — the satellite-task semantics shared
+// with Fabric::ServeStaleAdvisories), LRU eviction order, and the
+// latest-valid fallback the shed path uses.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace xg::serve {
+namespace {
+
+std::vector<uint8_t> Payload(uint8_t tag) { return {tag, 1, 2, 3}; }
+
+ConditionKey Key(int32_t w) { return ConditionKey{w, 0, 0, 0}; }
+
+TEST(Cache, FreshnessBands) {
+  CacheConfig cfg;
+  cfg.fresh_us = 100;
+  cfg.validity_us = 1000;
+  AdvisoryCache cache(cfg);
+  cache.Insert(Key(1), Payload(7), /*complete_us=*/0);
+
+  auto fresh = cache.Lookup(Key(1), 100);  // age == fresh bound: still fresh
+  EXPECT_EQ(fresh.outcome, AdvisoryCache::Outcome::kFresh);
+  ASSERT_NE(fresh.payload, nullptr);
+  EXPECT_EQ((*fresh.payload)[0], 7);
+
+  auto stale = cache.Lookup(Key(1), 101);
+  EXPECT_EQ(stale.outcome, AdvisoryCache::Outcome::kStale);
+  EXPECT_EQ(stale.age_us, 101);
+  EXPECT_EQ(cache.hits_fresh(), 1u);
+  EXPECT_EQ(cache.hits_stale(), 1u);
+}
+
+TEST(Cache, ValidityBoundaryIsInclusive) {
+  // The satellite fix: a result aged exactly the validity window still
+  // serves, matching DeadlineBudget's exactly-at-deadline-is-not-a-miss.
+  CacheConfig cfg;
+  cfg.fresh_us = 100;
+  cfg.validity_us = 1'380'000'000;
+  AdvisoryCache cache(cfg);
+  cache.Insert(Key(1), Payload(9), 0);
+
+  auto at_boundary = cache.Lookup(Key(1), cfg.validity_us);
+  EXPECT_EQ(at_boundary.outcome, AdvisoryCache::Outcome::kStale);
+  ASSERT_NE(at_boundary.payload, nullptr);
+
+  auto past = cache.Lookup(Key(1), cfg.validity_us + 1);
+  EXPECT_EQ(past.outcome, AdvisoryCache::Outcome::kExpired);
+  EXPECT_EQ(past.payload, nullptr);
+  EXPECT_EQ(cache.expired(), 1u);
+  // The expired entry was dropped: the next lookup is a plain miss.
+  EXPECT_EQ(cache.Lookup(Key(1), cfg.validity_us + 2).outcome,
+            AdvisoryCache::Outcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, WithinValidityHelperMatchesBudgetRule) {
+  EXPECT_TRUE(WithinValidityUs(1380, 1380));  // inclusive at the boundary
+  EXPECT_FALSE(WithinValidityUs(1381, 1380));
+  EXPECT_TRUE(WithinValidityUs(0, 1380));
+}
+
+TEST(Cache, LruEvictsOldestWithinShard) {
+  CacheConfig cfg;
+  cfg.shards = 1;
+  cfg.shard_capacity = 2;
+  cfg.fresh_us = 1'000'000;
+  cfg.validity_us = 2'000'000;
+  AdvisoryCache cache(cfg);
+  cache.Insert(Key(1), Payload(1), 0);
+  cache.Insert(Key(2), Payload(2), 0);
+  // Touch key 1 so key 2 is the LRU victim.
+  EXPECT_EQ(cache.Lookup(Key(1), 10).outcome, AdvisoryCache::Outcome::kFresh);
+  cache.Insert(Key(3), Payload(3), 0);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(Key(2), 10).outcome, AdvisoryCache::Outcome::kMiss);
+  EXPECT_EQ(cache.Lookup(Key(1), 10).outcome, AdvisoryCache::Outcome::kFresh);
+  EXPECT_EQ(cache.Lookup(Key(3), 10).outcome, AdvisoryCache::Outcome::kFresh);
+}
+
+TEST(Cache, InsertOverwritesInPlace) {
+  AdvisoryCache cache;
+  cache.Insert(Key(1), Payload(1), 0);
+  cache.Insert(Key(1), Payload(2), 50);
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup(Key(1), 60);
+  ASSERT_NE(hit.payload, nullptr);
+  EXPECT_EQ((*hit.payload)[0], 2);
+  EXPECT_EQ(hit.complete_us, 50);
+}
+
+TEST(Cache, LatestValidFallback) {
+  CacheConfig cfg;
+  cfg.validity_us = 1000;
+  AdvisoryCache cache(cfg);
+  EXPECT_EQ(cache.LatestValid(0), nullptr);
+  cache.Insert(Key(1), Payload(1), 0);
+  cache.Insert(Key(2), Payload(2), 400);
+  const auto* latest = cache.LatestValid(500);
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ((*latest)[0], 2);  // most recent completion wins
+  EXPECT_EQ(cache.latest_complete_us(), 400);
+  // Inclusive at the boundary, gone one tick later.
+  EXPECT_NE(cache.LatestValid(1400), nullptr);
+  EXPECT_EQ(cache.LatestValid(1401), nullptr);
+}
+
+TEST(Cache, ShardingIsDeterministic) {
+  // Two caches fed the same inserts end in the same state: placement and
+  // eviction order are pure functions of the keys (FNV shard hash + LRU).
+  auto run = [] {
+    CacheConfig cfg;
+    cfg.shards = 4;
+    cfg.shard_capacity = 2;
+    AdvisoryCache cache(cfg);
+    for (int32_t w = 0; w < 32; ++w) {
+      cache.Insert(Key(w), Payload(static_cast<uint8_t>(w)), 0);
+    }
+    std::vector<int32_t> survivors;
+    for (int32_t w = 0; w < 32; ++w) {
+      if (cache.Lookup(Key(w), 0).payload != nullptr) survivors.push_back(w);
+    }
+    return std::make_pair(cache.evictions(), survivors);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_LE(a.second.size(), 8u);  // 4 shards x capacity 2
+  EXPECT_GT(a.first, 0u);          // pressure actually evicted
+}
+
+}  // namespace
+}  // namespace xg::serve

@@ -1,0 +1,117 @@
+// OverloadGovernor: windowed shed-rate measurement, enter/exit
+// hysteresis (one bursty window must not flap the mode), quiet-window
+// semantics, and the cooldown-limited storm hook.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/overload.hpp"
+
+namespace xg::serve {
+namespace {
+
+OverloadConfig Cfg() {
+  OverloadConfig cfg;
+  cfg.window_us = 1'000;
+  cfg.enter_shed_rate = 0.5;
+  cfg.enter_windows = 2;
+  cfg.exit_shed_rate = 0.1;
+  cfg.exit_windows = 3;
+  cfg.min_requests = 4;
+  cfg.storm_shed_rate = 0.9;
+  cfg.storm_cooldown_us = 10'000;
+  return cfg;
+}
+
+/// Fill one window starting at `t0` with `shed` sheds and `ok` admits.
+void Window(OverloadGovernor& g, int64_t t0, int shed, int ok) {
+  for (int i = 0; i < shed; ++i) g.Record(t0 + i, true);
+  for (int i = 0; i < ok; ++i) g.Record(t0 + shed + i, false);
+}
+
+TEST(Overload, SingleBadWindowDoesNotEnter) {
+  OverloadGovernor g(Cfg());
+  Window(g, 0, 8, 0);      // 100% shed
+  Window(g, 1'000, 0, 8);  // calm again
+  g.Advance(3'000);
+  EXPECT_FALSE(g.overloaded());
+  EXPECT_EQ(g.transitions(), 0u);
+}
+
+TEST(Overload, EntersAfterConsecutiveBadWindowsExitsAfterCalm) {
+  OverloadGovernor g(Cfg());
+  std::vector<std::pair<bool, int64_t>> hooks;
+  g.set_transition_hook([&](bool on, int64_t at_us, double) {
+    hooks.emplace_back(on, at_us);
+  });
+  Window(g, 0, 6, 2);      // 75% shed
+  Window(g, 1'000, 6, 2);  // second consecutive bad window
+  g.Advance(2'500);        // close the second window
+  EXPECT_TRUE(g.overloaded());
+  ASSERT_EQ(hooks.size(), 1u);
+  EXPECT_TRUE(hooks[0].first);
+
+  // One calm window is not enough (exit_windows = 3)...
+  Window(g, 2'500, 0, 8);
+  g.Advance(4'000);
+  EXPECT_TRUE(g.overloaded());
+  // ...but three consecutive are.
+  Window(g, 4'000, 0, 8);
+  Window(g, 5'000, 0, 8);
+  g.Advance(6'500);
+  EXPECT_FALSE(g.overloaded());
+  ASSERT_EQ(hooks.size(), 2u);
+  EXPECT_FALSE(hooks[1].first);
+  EXPECT_EQ(g.transitions(), 2u);
+}
+
+TEST(Overload, QuietWindowsCountAsCalm) {
+  OverloadGovernor g(Cfg());
+  Window(g, 0, 8, 0);
+  Window(g, 1'000, 8, 0);
+  g.Advance(2'500);
+  EXPECT_TRUE(g.overloaded());
+  // Total silence: a long gap must resolve to exit without any samples
+  // (the governor synthesizes the quiet windows, capped at exit_windows+1).
+  g.Advance(100'000);
+  EXPECT_FALSE(g.overloaded());
+}
+
+TEST(Overload, BelowMinRequestsNeverEnters) {
+  OverloadGovernor g(Cfg());  // min_requests = 4
+  for (int w = 0; w < 10; ++w) Window(g, w * 1'000, 2, 0);  // 100% but tiny
+  g.Advance(11'000);
+  EXPECT_FALSE(g.overloaded());
+}
+
+TEST(Overload, StormHookFiresWithCooldown) {
+  OverloadGovernor g(Cfg());
+  uint64_t storms = 0;
+  g.set_storm_hook([&](int64_t, double rate, uint64_t shed, uint64_t total) {
+    ++storms;
+    EXPECT_GE(rate, 0.9);
+    EXPECT_GE(total, shed);
+  });
+  // Five consecutive 100%-shed windows inside one 10ms cooldown: only the
+  // first may dump.
+  for (int w = 0; w < 5; ++w) Window(g, w * 1'000, 8, 0);
+  g.Advance(5'500);
+  EXPECT_EQ(storms, 1u);
+  EXPECT_EQ(g.storms(), 1u);
+  // Past the cooldown, a new storm dumps again.
+  Window(g, 15'000, 8, 0);
+  g.Advance(16'500);
+  EXPECT_EQ(storms, 2u);
+}
+
+TEST(Overload, LastWindowRateReported) {
+  OverloadGovernor g(Cfg());
+  Window(g, 0, 4, 4);
+  g.Advance(1'500);
+  EXPECT_DOUBLE_EQ(g.last_window_rate(), 0.5);
+  EXPECT_GE(g.windows_closed(), 1u);
+}
+
+}  // namespace
+}  // namespace xg::serve

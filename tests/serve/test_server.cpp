@@ -1,0 +1,261 @@
+// AdvisoryServer: single-flight coalescing (exactly one CFD launch per
+// quantized key), the admitted fresh/stale paths, deadline-aware waiter
+// diversion, bounded flight capacity, Publish absorption, failure
+// fallbacks, and the overload wiring into DegradedModeManager.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim.hpp"
+#include "resil/degraded.hpp"
+#include "serve/server.hpp"
+
+namespace xg::serve {
+namespace {
+
+struct Rig {
+  sim::Simulation sim;
+  ServeConfig cfg;
+  std::unique_ptr<AdvisoryServer> server;
+  uint64_t launches = 0;
+  int64_t refresh_us = 50'000;  ///< synthetic CFD turnaround
+  bool accept_launches = true;
+
+  explicit Rig(ServeConfig c = ServeConfig{}) : cfg(c) {
+    cfg.enabled = true;
+    server = std::make_unique<AdvisoryServer>(sim, cfg);
+    server->set_launcher(
+        [this](const ConditionKey&, const FieldConditions& fc,
+               std::function<void(std::vector<uint8_t>, int64_t)> done) {
+          if (!accept_launches) return false;
+          ++launches;
+          sim.Schedule(sim::SimTime::Micros(refresh_us),
+                       [this, fc, done = std::move(done)] {
+                         std::vector<uint8_t> payload = {
+                             static_cast<uint8_t>(fc.wind_ms)};
+                         done(std::move(payload), sim.Now().micros());
+                       });
+          return true;
+        });
+  }
+
+  AdvisoryServer::Request Req(double wind, int64_t budget_us = 0) {
+    AdvisoryServer::Request r;
+    r.conditions = FieldConditions{wind, 180.0, 20.0, 50.0};
+    if (budget_us > 0) {
+      r.budget = obs::slo::DeadlineBudget(sim.Now().micros(), budget_us);
+    }
+    return r;
+  }
+};
+
+TEST(Server, ColdCacheHerdCoalescesToOneFlight) {
+  Rig rig;
+  // Refresh outlasts every admission sojourn (50 x 2ms), so all followers
+  // genuinely park on the flight instead of hitting the refilled cache.
+  rig.refresh_us = 500'000;
+  std::vector<AdvisoryServer::Response> got;
+  // 50 requesters, same quantized key, no prior result: the leader
+  // launches exactly one CFD run; everyone shares it.
+  for (int i = 0; i < 50; ++i) {
+    rig.server->Submit(rig.Req(3.1),
+                       [&](const AdvisoryServer::Response& r) {
+                         got.push_back(r);
+                       });
+  }
+  rig.sim.Run();
+  EXPECT_EQ(rig.launches, 1u);
+  ASSERT_EQ(got.size(), 50u);
+  for (const auto& r : got) {
+    EXPECT_EQ(r.status, ServeStatus::kServedFresh);
+    ASSERT_NE(r.payload, nullptr);
+    EXPECT_EQ((*r.payload)[0], 3);
+    EXPECT_FALSE(r.late);
+  }
+  EXPECT_EQ(rig.server->counters().coalesced, 49u);
+  EXPECT_EQ(rig.server->counters().flights_completed, 1u);
+}
+
+TEST(Server, WarmCacheServesFreshWithoutLaunch) {
+  Rig rig;
+  rig.server->Publish(FieldConditions{3.1, 180.0, 20.0, 50.0}, {42},
+                      rig.sim.Now().micros());
+  AdvisoryServer::Response got;
+  rig.server->Submit(rig.Req(3.2),  // same bucket as 3.1
+                     [&](const AdvisoryServer::Response& r) { got = r; });
+  rig.sim.Run();
+  EXPECT_EQ(rig.launches, 0u);
+  EXPECT_EQ(got.status, ServeStatus::kServedFresh);
+  // Latency is the admission sojourn (empty queue: one service time).
+  EXPECT_EQ(got.latency_us, rig.cfg.admission.service_us);
+}
+
+TEST(Server, StaleWindowServesWithoutRefresh) {
+  // The invocation bound: stale-but-valid serves do NOT trigger a CFD.
+  ServeConfig cfg;
+  cfg.cache.fresh_us = 1'000'000;
+  cfg.cache.validity_us = 10'000'000;
+  Rig rig(cfg);
+  rig.server->Publish(FieldConditions{3.1, 180.0, 20.0, 50.0}, {42}, 0);
+  AdvisoryServer::Response got;
+  rig.sim.ScheduleAt(sim::SimTime::Micros(5'000'000), [&] {
+    rig.server->Submit(rig.Req(3.1),
+                       [&](const AdvisoryServer::Response& r) { got = r; });
+  });
+  rig.sim.Run();
+  EXPECT_EQ(rig.launches, 0u);
+  EXPECT_EQ(got.status, ServeStatus::kServedStale);
+  EXPECT_GT(got.result_age_us, cfg.cache.fresh_us);
+}
+
+TEST(Server, DeadlineWaiterDivertsToStaleInsteadOfParking) {
+  ServeConfig cfg;
+  cfg.expected_refresh_us = 100'000;
+  cfg.cache.fresh_us = 1'000;        // prior result goes stale quickly
+  cfg.cache.validity_us = 60'000'000;
+  Rig rig(cfg);
+  // An old result exists (different key) for the fallback.
+  rig.server->Publish(FieldConditions{9.0, 0.0, 0.0, 0.0}, {7}, 0);
+  AdvisoryServer::Response got;
+  rig.sim.ScheduleAt(sim::SimTime::Micros(1'000'000), [&] {
+    // Budget (10ms) cannot survive the 100ms expected refresh: the miss
+    // must divert to the latest valid result, not park on a flight.
+    rig.server->Submit(rig.Req(3.1, 10'000),
+                       [&](const AdvisoryServer::Response& r) { got = r; });
+  });
+  rig.sim.Run();
+  EXPECT_EQ(rig.launches, 0u);
+  EXPECT_EQ(got.status, ServeStatus::kServedStaleShed);
+  ASSERT_NE(got.payload, nullptr);
+  EXPECT_EQ((*got.payload)[0], 7);
+  EXPECT_FALSE(got.late);
+}
+
+TEST(Server, FlightCapacityBoundsLaunchesAndQueues) {
+  ServeConfig cfg;
+  cfg.max_concurrent_cfd = 1;
+  cfg.max_pending_flights = 1;
+  Rig rig(cfg);
+  AdvisoryServer::Response third;
+  // Three distinct keys on a cold cache: one flies, one queues, the third
+  // finds the flight tier saturated and is dropped (nothing valid cached).
+  rig.server->Submit(rig.Req(1.0), [](const AdvisoryServer::Response&) {});
+  rig.server->Submit(rig.Req(5.0), [](const AdvisoryServer::Response&) {});
+  rig.server->Submit(rig.Req(9.0),
+                     [&](const AdvisoryServer::Response& r) { third = r; });
+  rig.sim.Run();
+  EXPECT_EQ(rig.launches, 2u);  // the queued flight launched after the first
+  EXPECT_EQ(third.status, ServeStatus::kShed);
+  EXPECT_EQ(rig.server->counters().flights_completed, 2u);
+}
+
+TEST(Server, PublishAbsorbsPendingFlight) {
+  ServeConfig cfg;
+  cfg.max_concurrent_cfd = 1;
+  cfg.max_pending_flights = 4;
+  Rig rig(cfg);
+  rig.refresh_us = 500'000;
+  AdvisoryServer::Response queued;
+  rig.server->Submit(rig.Req(1.0), [](const AdvisoryServer::Response&) {});
+  rig.server->Submit(rig.Req(5.0),
+                     [&](const AdvisoryServer::Response& r) { queued = r; });
+  // While key 5.0's flight waits for a slot, the fabric publishes a fresh
+  // organic result for that key: the pending flight must resolve without
+  // ever launching.
+  rig.sim.ScheduleAt(sim::SimTime::Micros(100'000), [&] {
+    rig.server->Publish(FieldConditions{5.0, 180.0, 20.0, 50.0}, {55},
+                        rig.sim.Now().micros());
+  });
+  rig.sim.Run();
+  EXPECT_EQ(rig.launches, 1u);  // only key 1.0 ever flew
+  EXPECT_EQ(queued.status, ServeStatus::kServedFresh);
+  ASSERT_NE(queued.payload, nullptr);
+  EXPECT_EQ((*queued.payload)[0], 55);
+  EXPECT_EQ(rig.server->counters().flights_absorbed, 1u);
+}
+
+TEST(Server, RejectedLaunchFallsBackOrFails) {
+  Rig rig;
+  rig.accept_launches = false;
+  AdvisoryServer::Response first;
+  rig.server->Submit(rig.Req(1.0),
+                     [&](const AdvisoryServer::Response& r) { first = r; });
+  rig.sim.Run();
+  EXPECT_EQ(first.status, ServeStatus::kFailed);  // nothing to fall back on
+  EXPECT_EQ(rig.server->counters().flights_failed, 1u);
+
+  // With a valid result in cache, the same failure degrades to stale.
+  rig.server->Publish(FieldConditions{9.0, 0.0, 0.0, 0.0}, {7},
+                      rig.sim.Now().micros());
+  AdvisoryServer::Response second;
+  rig.server->Submit(rig.Req(1.0),
+                     [&](const AdvisoryServer::Response& r) { second = r; });
+  rig.sim.Run();
+  EXPECT_EQ(second.status, ServeStatus::kServedStaleShed);
+}
+
+TEST(Server, OverloadEntersDegradedModeWithHysteresis) {
+  ServeConfig cfg;
+  cfg.admission.queue_capacity = 2;
+  cfg.admission.service_us = 1'000;
+  cfg.overload.window_us = 10'000;
+  cfg.overload.enter_shed_rate = 0.3;
+  cfg.overload.enter_windows = 2;
+  cfg.overload.exit_shed_rate = 0.05;
+  cfg.overload.exit_windows = 2;
+  cfg.overload.min_requests = 4;
+  Rig rig(cfg);
+  resil::DegradedModeManager dm;
+  rig.server->set_degraded_manager(&dm);
+  rig.server->Publish(FieldConditions{3.1, 180.0, 20.0, 50.0}, {1}, 0);
+
+  // Overload phase: 40 requests per 10ms window against a 2-deep queue.
+  for (int burst = 0; burst < 6; ++burst) {
+    rig.sim.ScheduleAt(sim::SimTime::Micros(burst * 10'000), [&] {
+      for (int i = 0; i < 40; ++i) {
+        rig.server->Submit(rig.Req(3.1),
+                           [](const AdvisoryServer::Response&) {});
+      }
+    });
+  }
+  rig.sim.Run();
+  EXPECT_TRUE(dm.active(resil::DegradedMode::kOverloadShed));
+  EXPECT_EQ(dm.entries(resil::DegradedMode::kOverloadShed), 1u);
+
+  // Calm phase: trickle well under capacity until the governor exits.
+  for (int i = 0; i < 30; ++i) {
+    rig.sim.ScheduleAt(sim::SimTime::Micros(60'000 + i * 2'000), [&] {
+      rig.server->Submit(rig.Req(3.1), [](const AdvisoryServer::Response&) {});
+    });
+  }
+  rig.sim.Run();
+  EXPECT_FALSE(dm.active(resil::DegradedMode::kOverloadShed));
+  // The episode is on the timeline with both edges.
+  ASSERT_EQ(dm.timeline().size(), 1u);
+  EXPECT_GE(dm.timeline()[0].exit_us, dm.timeline()[0].enter_us);
+}
+
+TEST(Server, ShedFastPathServesWithoutQueueing) {
+  ServeConfig cfg;
+  cfg.admission.queue_capacity = 1;
+  Rig rig(cfg);
+  rig.server->Publish(FieldConditions{3.1, 180.0, 20.0, 50.0}, {9}, 0);
+  std::vector<AdvisoryServer::Response> got;
+  for (int i = 0; i < 3; ++i) {
+    rig.server->Submit(rig.Req(3.1), [&](const AdvisoryServer::Response& r) {
+      got.push_back(r);
+    });
+  }
+  // The queue-full sheds answered synchronously (latency 0), before the
+  // admitted request's sojourn elapsed.
+  ASSERT_GE(got.size(), 2u);
+  EXPECT_EQ(got[0].status, ServeStatus::kServedStaleShed);
+  EXPECT_EQ(got[0].latency_us, 0);
+  EXPECT_EQ(got[0].admit, AdmitDecision::kShedQueueFull);
+  rig.sim.Run();
+  ASSERT_EQ(got.size(), 3u);
+}
+
+}  // namespace
+}  // namespace xg::serve

@@ -400,6 +400,69 @@ const std::vector<SelfTestCase>& Cases() {
        "static SampleSet g_latency;\n",
        {}},
 
+      // --- unbounded-queue -------------------------------------------------
+      {"queue in a backpressure tier with no named bound is flagged",
+       "src/serve/relay.hpp",
+       "class Relay {\n"
+       " private:\n"
+       "  std::deque<Frame> pending_;\n"
+       "};\n",
+       {"unbounded-queue"}},
+      {"std::queue under src/resil without a bound is flagged",
+       "src/resil/buffer.hpp",
+       "class Buffer {\n"
+       " private:\n"
+       "  std::queue<Frame> frames_;\n"
+       "};\n",
+       {"unbounded-queue"}},
+      {"a named capacity in the same file is accepted", "src/serve/relay.hpp",
+       "class Relay {\n"
+       " public:\n"
+       "  size_t capacity() const { return cap_; }\n"
+       " private:\n"
+       "  std::deque<Frame> pending_;\n"
+       "  size_t cap_ = 0;\n"
+       "};\n",
+       {}},
+      {"a config max_* member counts as the bound", "src/serve/relay.hpp",
+       "struct RelayConfig {\n"
+       "  size_t max_pending = 8;\n"
+       "};\n"
+       "class Relay {\n"
+       " private:\n"
+       "  std::deque<Frame> pending_;\n"
+       "};\n",
+       {}},
+      {"a sliding-window size counts as the bound", "src/resil/probe.hpp",
+       "class Probe {\n"
+       " private:\n"
+       "  int window = 32;\n"
+       "  std::deque<int64_t> intervals_us_;\n"
+       "};\n",
+       {}},
+      {"a project Queue type is not std's", "src/serve/relay.hpp",
+       "class Relay {\n"
+       " private:\n"
+       "  ring::queue<Frame> pending_;\n"
+       "};\n",
+       {}},
+      {"deque outside the backpressure tiers is out of scope",
+       "src/cspot/wan.cpp",
+       "void Bfs() {\n"
+       "  std::deque<std::string> frontier;\n"
+       "}\n",
+       {}},
+      {"unbounded-queue suppression works", "src/serve/relay.hpp",
+       "class Relay {\n"
+       " private:\n"
+       "  std::deque<Frame> pending_;  // xglint:allow(unbounded-queue)\n"
+       "};\n",
+       {}},
+      {"deque named in a comment is ignored", "src/serve/relay.hpp",
+       "// a std::deque<Frame> here would need a cap\n"
+       "class Relay {};\n",
+       {}},
+
       // --- lexer regressions -----------------------------------------------
       {"raw string contents are opaque to every rule", "src/x/doc.cpp",
        "const char* kHelp = R\"x(std::mutex sleep_for while (true) "

@@ -52,6 +52,12 @@
 //                     Ewma) under src/: a static accumulator is shared
 //                     state without a lock. Accumulate per-thread and
 //                     Merge() on one thread.
+//   unbounded-queue   std::deque / std::queue / std::priority_queue
+//                     declared in the backpressure tiers (src/serve,
+//                     src/resil) in a file that never names a bound
+//                     (capacity / max_* / limit / bound / window): every
+//                     queue in the overload path must state what stops it
+//                     from growing.
 //
 // Suppress a finding with `// xglint:allow(rule-name)` on the finding
 // line or on the line directly above (for wrapped statements). Every
@@ -658,6 +664,51 @@ void RuleConfinedStatic(const Ctx& ctx) {
   }
 }
 
+/// The backpressure tiers: every queue here sits on the overload path, so
+/// an unbounded one converts a load spike into unbounded memory and
+/// unbounded latency (the failure mode admission control exists to stop).
+bool InBackpressureScope(const fs::path& p) {
+  return HasComponent(p, "serve") || HasComponent(p, "resil");
+}
+
+void RuleUnboundedQueue(const Ctx& ctx) {
+  if (!InSrc(ctx.path) || !InBackpressureScope(ctx.path)) return;
+  static const std::set<std::string> kQueueTypes = {"deque", "queue",
+                                                    "priority_queue"};
+  static const std::vector<const char*> kBoundMarks = {
+      "capacity", "max_", "Max", "limit", "Limit", "bound", "window"};
+  const auto& toks = ctx.lex.tokens;
+  // The bound check is file-local: a queue's cap lives in the same header
+  // (a config member like max_pending_flights, a capacity() accessor, a
+  // sliding-window size). A file that declares a queue but never names a
+  // bound has nothing enforcing one.
+  bool names_a_bound = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && ContainsAny(t.text, kBoundMarks)) {
+      names_a_bound = true;
+      break;
+    }
+  }
+  if (names_a_bound) return;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        kQueueTypes.count(toks[i].text) == 0 || !IsPunct(toks[i + 1], "<")) {
+      continue;
+    }
+    // Require std:: qualification so project types named e.g. Queue or a
+    // `queue` local of a bounded project type stay out of scope.
+    if (i < 2 || !IsPunct(toks[i - 1], "::") || !IsIdent(toks[i - 2], "std")) {
+      continue;
+    }
+    ctx.Report(toks[i].line, "unbounded-queue",
+               "std::" + toks[i].text +
+                   " in a backpressure tier with no named bound in this "
+                   "file; state the capacity that stops it from growing "
+                   "(config max_*, capacity(), window size) and enforce it "
+                   "where elements are pushed");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -681,6 +732,7 @@ void LintSource(const std::string& path_str, const std::string& raw,
   RuleUnseededRng(ctx);
   RuleRawThread(ctx);
   RuleConfinedStatic(ctx);
+  RuleUnboundedQueue(ctx);
   // Rules run sequentially; present this file's findings in line order
   // (stable, so same-line findings keep the rule-registration order).
   std::stable_sort(findings.begin() + static_cast<long>(first), findings.end(),

@@ -25,12 +25,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_json.hpp"
 #include "core/fabric.hpp"
 #include "fault/plan.hpp"
+#include "serve/loadgen.hpp"
 
 using namespace xg;
 
@@ -40,6 +42,7 @@ struct Options {
   double hours = 24.0;
   uint64_t seed = 42;
   double refresh_s = 1800.0;
+  double serve_requesters = 0.0;  ///< >0 enables the advisory serving tier
   bool chaos = false;
   bool snapshot = false;
   bool clear = true;
@@ -49,11 +52,13 @@ struct Options {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: xgtop [--hours H] [--seed N] [--refresh S] [--chaos]\n"
-      "             [--no-clear] [--snapshot] [--out FILE]\n"
+      "usage: xgtop [--hours H] [--seed N] [--refresh S] [--serve R]\n"
+      "             [--chaos] [--no-clear] [--snapshot] [--out FILE]\n"
       "  --hours H    simulated hours to run (default 24)\n"
       "  --seed N     scenario seed (default 42)\n"
       "  --refresh S  dashboard cadence in simulated seconds (default 1800)\n"
+      "  --serve R    enable the advisory serving tier under a seeded\n"
+      "               open-loop load of R requesters (default 0 = off)\n"
       "  --chaos      script a 5G outage + HPC queue stall into the day\n"
       "  --no-clear   no ANSI clear between frames (pipe-friendly)\n"
       "  --snapshot   emit one JSON document at the end instead of frames\n"
@@ -75,6 +80,8 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       opt.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (a == "--refresh") {
       if (!next(opt.refresh_s)) return false;
+    } else if (a == "--serve") {
+      if (!next(opt.serve_requesters)) return false;
     } else if (a == "--chaos") {
       opt.chaos = true;
     } else if (a == "--no-clear") {
@@ -88,7 +95,7 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       return false;
     }
   }
-  return opt.hours > 0.0 && opt.refresh_s > 0.0;
+  return opt.hours > 0.0 && opt.refresh_s > 0.0 && opt.serve_requesters >= 0.0;
 }
 
 std::string ClockHms(double t_s) {
@@ -206,6 +213,46 @@ void RenderFrame(core::Fabric& fabric, const Options& opt) {
   }
   if (!any) out += "  nominal (no degraded modes, breakers closed)\n";
 
+  serve::AdvisoryServer* srv = fabric.advisory_server();
+  if (srv != nullptr) {
+    const serve::AdvisoryServer::Counters& c = srv->counters();
+    const serve::AdvisoryCache& cache = srv->cache();
+    const serve::AdmissionController& adm = srv->admission();
+    const serve::OverloadGovernor& gov = srv->governor();
+    out += "\n-- advisory serve --\n";
+    std::snprintf(line, sizeof(line),
+                  "  req=%llu coalesced=%llu hit fresh/stale=%llu/%llu "
+                  "shed=%llu (q=%llu dl=%llu soj=%llu) late=%llu\n",
+                  static_cast<unsigned long long>(c.requests),
+                  static_cast<unsigned long long>(c.coalesced),
+                  static_cast<unsigned long long>(cache.hits_fresh()),
+                  static_cast<unsigned long long>(cache.hits_stale()),
+                  static_cast<unsigned long long>(adm.shed_total()),
+                  static_cast<unsigned long long>(adm.shed_queue_full()),
+                  static_cast<unsigned long long>(adm.shed_deadline()),
+                  static_cast<unsigned long long>(adm.shed_sojourn()),
+                  static_cast<unsigned long long>(c.late_responses));
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  flights launched=%llu done=%llu absorbed=%llu failed=%llu "
+        "in_air=%zu pending=%zu\n",
+        static_cast<unsigned long long>(c.flights_launched),
+        static_cast<unsigned long long>(c.flights_completed),
+        static_cast<unsigned long long>(c.flights_absorbed),
+        static_cast<unsigned long long>(c.flights_failed),
+        srv->flights_in_air(), srv->flights_pending());
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  overload %s  transitions=%llu storms=%llu  "
+                  "serve p99=%.3fms\n",
+                  gov.overloaded() ? "ACTIVE" : "clear",
+                  static_cast<unsigned long long>(gov.transitions()),
+                  static_cast<unsigned long long>(gov.storms()),
+                  srv->latency_hist().PercentileUs(99.0) / 1e3);
+    out += line;
+  }
+
   obs::slo::FlightRecorder* flight = fabric.flight_recorder();
   if (flight != nullptr) {
     std::snprintf(line, sizeof(line),
@@ -318,6 +365,43 @@ int WriteSnapshot(core::Fabric& fabric, const Options& opt, std::ostream& os) {
   }
   jw.EndObject();
 
+  serve::AdvisoryServer* srv = fabric.advisory_server();
+  if (srv != nullptr) {
+    const serve::AdvisoryServer::Counters& c = srv->counters();
+    const serve::AdvisoryCache& cache = srv->cache();
+    const serve::AdmissionController& adm = srv->admission();
+    const serve::OverloadGovernor& gov = srv->governor();
+    jw.Key("serve");
+    jw.BeginObject();
+    jw.Field("requests", c.requests);
+    jw.Key("responses");
+    jw.BeginObject();
+    for (int s = 0; s < serve::kServeStatusCount; ++s) {
+      jw.Field(serve::ServeStatusName(static_cast<serve::ServeStatus>(s)),
+               c.responses[s]);
+    }
+    jw.EndObject();
+    jw.Field("coalesced", c.coalesced);
+    jw.Field("cache_hits_fresh", cache.hits_fresh());
+    jw.Field("cache_hits_stale", cache.hits_stale());
+    jw.Field("cache_misses", cache.misses());
+    jw.Field("shed_total", adm.shed_total());
+    jw.Field("shed_queue_full", adm.shed_queue_full());
+    jw.Field("shed_deadline", adm.shed_deadline());
+    jw.Field("shed_sojourn", adm.shed_sojourn());
+    jw.Field("late_responses", c.late_responses);
+    jw.Field("cfd_launched", c.flights_launched);
+    jw.Field("cfd_completed", c.flights_completed);
+    jw.Field("cfd_absorbed", c.flights_absorbed);
+    jw.Field("cfd_failed", c.flights_failed);
+    jw.Field("overloaded", gov.overloaded());
+    jw.Field("overload_transitions", gov.transitions());
+    jw.Field("overload_storms", gov.storms());
+    jw.Field("latency_p50_ms", srv->latency_hist().PercentileUs(50.0) / 1e3);
+    jw.Field("latency_p99_ms", srv->latency_hist().PercentileUs(99.0) / 1e3);
+    jw.EndObject();
+  }
+
   jw.Key("flight");
   jw.BeginObject();
   jw.Field("dumps_taken", flight != nullptr ? flight->dumps_taken() : 0);
@@ -357,6 +441,7 @@ int main(int argc, char** argv) {
   core::FabricConfig cfg;
   cfg.seed = opt.seed;
   cfg.resilience.enabled = true;
+  cfg.serve.enabled = opt.serve_requesters > 0.0;
   if (opt.chaos) {
     cfg.fault_plan = fault::FaultPlan(opt.seed);
     // Mid-morning access outage (store-and-forward territory) and an
@@ -366,6 +451,25 @@ int main(int argc, char** argv) {
   }
   core::Fabric fabric(cfg);
   ScheduleScenario(fabric);
+
+  // Optional serving-tier load: a seeded open-loop requester population
+  // polling the advisory endpoint for the whole run.
+  std::unique_ptr<serve::LoadGenerator> loadgen;
+  if (opt.serve_requesters > 0.0) {
+    serve::LoadGenConfig lg;
+    lg.seed = opt.seed;
+    lg.requesters = opt.serve_requesters;
+    lg.start_s = 0.0;
+    lg.duration_s = opt.hours * 3600.0;
+    // Advisory consumers tolerate a refresh cycle, not a web-page RTT:
+    // give them the paper's >= 23-minute validity window as a deadline so
+    // cold-key misses can park on a real CFD flight instead of all
+    // diverting to the stale fast path.
+    lg.deadline_us = 30ll * 60 * 1'000'000;
+    loadgen = std::make_unique<serve::LoadGenerator>(
+        fabric.simulation(), *fabric.advisory_server(), lg);
+    loadgen->Start();
+  }
 
   if (!opt.snapshot) {
     sim::Periodic(fabric.simulation(), sim::SimTime::Seconds(opt.refresh_s),
